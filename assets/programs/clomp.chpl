@@ -1,0 +1,109 @@
+/* CLOMP — mini-Chapel port of the Livermore OpenMP benchmark, following
+   the Chapel port profiled in the paper (§V.B).
+
+   Structure mirrors the paper's description: `main` initializes
+   `partArray`, then `do_parallel_version` repeatedly runs
+   `parallel_cycle`, which calls `parallel_module1..4` (differing only in
+   the number of forall loops). Each forall updates every Part via
+   `update_part`, which deposits value into the part's zones and leaves a
+   residue. The dominant data structure is the nested
+   partArray[i].zoneArray[j].value hierarchy (Table IV).                  */
+
+config const CLOMP_numParts = 64;
+config const CLOMP_zonesPerPart = 500;
+config const CLOMP_timeScale = 8;
+
+const partDomain = {0..#CLOMP_numParts};
+const zoneDomain = {0..#CLOMP_zonesPerPart};
+
+record Zone {
+  var value: real;
+}
+
+record Part {
+  var residue: real;
+  var deposit_ratio: real;
+  var zoneArray: [zoneDomain] Zone;
+}
+
+var partArray: [partDomain] Part;
+var total_deposit = 0.0;
+
+proc init_part(ref p: Part) {
+  p.deposit_ratio = 0.7 / CLOMP_zonesPerPart;
+  p.residue = 0.0;
+  for j in zoneDomain {
+    p.zoneArray[j].value = 0.0;
+  }
+}
+
+proc calc_deposit(): real {
+  var deposit = 0.0;
+  for i in partDomain {
+    deposit = deposit + partArray[i].residue;
+  }
+  return 0.5 + deposit * 0.01 / CLOMP_numParts;
+}
+
+proc update_part(ref p: Part, deposit_in: real) {
+  var remaining_deposit: real;
+  remaining_deposit = deposit_in;
+  for j in zoneDomain {
+    var deposit = remaining_deposit * p.deposit_ratio;
+    p.zoneArray[j].value = p.zoneArray[j].value + deposit;
+    remaining_deposit = remaining_deposit - deposit;
+  }
+  p.residue = remaining_deposit;
+}
+
+proc parallel_module1() {
+  var deposit = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], deposit); }
+}
+
+proc parallel_module2() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d2); }
+}
+
+proc parallel_module3() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d2); }
+  var d3 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d3); }
+}
+
+proc parallel_module4() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d2); }
+  var d3 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d3); }
+  var d4 = calc_deposit();
+  forall i in partDomain { update_part(partArray[i], d4); }
+}
+
+proc parallel_cycle() {
+  parallel_module1();
+  parallel_module2();
+  parallel_module3();
+  parallel_module4();
+}
+
+proc do_parallel_version() {
+  for t in 0..#CLOMP_timeScale {
+    parallel_cycle();
+  }
+}
+
+proc main() {
+  forall i in partDomain { init_part(partArray[i]); }
+  do_parallel_version();
+  total_deposit = calc_deposit();
+  writeln("CLOMP checksum:", total_deposit);
+}

@@ -1,0 +1,101 @@
+/* CLOMP, optimized as in the paper's §V.B (after Johnson & Hollingsworth):
+   "we can use a large 2D array to hold those values ... Accessing elements
+   in one big array is much faster than through nested structures."
+
+   The Part/Zone record hierarchy is flattened into module-level 2-D value
+   arrays plus per-part residue/ratio vectors; everything else (module
+   structure, deposit math, iteration counts, the checksum) is identical
+   to clomp.chpl, so the two programs are directly comparable.            */
+
+config const CLOMP_numParts = 64;
+config const CLOMP_zonesPerPart = 500;
+config const CLOMP_timeScale = 8;
+
+const partDomain = {0..#CLOMP_numParts};
+const zoneDomain = {0..#CLOMP_zonesPerPart};
+const flatDomain = {0..#CLOMP_numParts, 0..#CLOMP_zonesPerPart};
+
+var zoneValues: [flatDomain] real;
+var residues: [partDomain] real;
+var ratios: [partDomain] real;
+var total_deposit = 0.0;
+
+proc init_part(i: int) {
+  ratios[i] = 0.7 / CLOMP_zonesPerPart;
+  residues[i] = 0.0;
+  for j in zoneDomain {
+    zoneValues[i, j] = 0.0;
+  }
+}
+
+proc calc_deposit(): real {
+  var deposit = 0.0;
+  for i in partDomain {
+    deposit = deposit + residues[i];
+  }
+  return 0.5 + deposit * 0.01 / CLOMP_numParts;
+}
+
+proc update_part(i: int, deposit_in: real) {
+  var remaining_deposit: real;
+  remaining_deposit = deposit_in;
+  var ratio = ratios[i];
+  for j in zoneDomain {
+    var deposit = remaining_deposit * ratio;
+    zoneValues[i, j] = zoneValues[i, j] + deposit;
+    remaining_deposit = remaining_deposit - deposit;
+  }
+  residues[i] = remaining_deposit;
+}
+
+proc parallel_module1() {
+  var deposit = calc_deposit();
+  forall i in partDomain { update_part(i, deposit); }
+}
+
+proc parallel_module2() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(i, d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(i, d2); }
+}
+
+proc parallel_module3() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(i, d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(i, d2); }
+  var d3 = calc_deposit();
+  forall i in partDomain { update_part(i, d3); }
+}
+
+proc parallel_module4() {
+  var d1 = calc_deposit();
+  forall i in partDomain { update_part(i, d1); }
+  var d2 = calc_deposit();
+  forall i in partDomain { update_part(i, d2); }
+  var d3 = calc_deposit();
+  forall i in partDomain { update_part(i, d3); }
+  var d4 = calc_deposit();
+  forall i in partDomain { update_part(i, d4); }
+}
+
+proc parallel_cycle() {
+  parallel_module1();
+  parallel_module2();
+  parallel_module3();
+  parallel_module4();
+}
+
+proc do_parallel_version() {
+  for t in 0..#CLOMP_timeScale {
+    parallel_cycle();
+  }
+}
+
+proc main() {
+  forall i in partDomain { init_part(i); }
+  do_parallel_version();
+  total_deposit = calc_deposit();
+  writeln("CLOMP checksum:", total_deposit);
+}

@@ -1,0 +1,21 @@
+/* Fig. 1 example from "Data Centric Performance Measurement Techniques
+   for Chapel Programs" (Zhang & Hollingsworth, IPDPSW 2017).
+   The five statements sit exactly at source lines 16-20 so the
+   regenerated Table I matches the paper line-for-line:
+
+     a -> 16, 18, 19
+     b -> 17
+     c -> 16, 17, 18, 19, 20                                          */
+proc main() {
+  var a: int;
+  var b: int;
+  var c: int;
+
+  // The statements from the paper's Fig. 1 occupy lines 16-20.
+
+  a = 2;
+  b = 3;
+  if a < b then
+    a = b + 1;
+  c = a + b;
+}

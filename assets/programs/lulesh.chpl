@@ -1,0 +1,327 @@
+/* LULESH — mini-Chapel port of the Livermore Unstructured Lagrangian
+   Explicit Shock Hydrodynamics proxy app, following the Chapel version
+   profiled in the paper (§V.C).
+
+   Structure mirrors the paper's call tree: main drives LagrangeLeapFrog,
+   which does the nodal phase (CalcForceForNodes -> CalcVolumeForceForElems
+   -> IntegrateStressForElems + CalcHourglassControlForElems ->
+   CalcFBHourglassForceForElems -> CalcElemFBHourglassForce) and the
+   element phase. The variables of Table VI appear with their original
+   names and contexts: hgfx/hgfy/hgfz and hourgam/hourmodx(y/z) in
+   CalcFBHourglassForceForElems, shx/hx in CalcElemFBHourglassForce,
+   determ in CalcVolumeForceForElems, dvdx(y/z) in
+   CalcHourglassControlForElems, b_x(y/z) in IntegrateStressForElems.
+
+   The three 'param' markers (tagged P1-P3) are the loop-unrolling locations of
+   Table VII; benchmarks generate the P-variants by dropping individual
+   markers. This ORIGINAL version ships with all three `param` keywords,
+   local (per-call) determ/dvdx arrays (the VG opportunity) and
+   tuple-temporary face normals in CalcElemNodeNormals (the CENN
+   opportunity).                                                          */
+
+config const edgeElems = 6;       // scaled from the paper's 15
+config const numSteps = 3;
+config const hgcoef = 3.0;
+config const dtfixed = 0.0001;
+
+const numElems = edgeElems * edgeElems * edgeElems;
+const Elems = {0..#numElems};
+const edgeNodes = edgeElems + 1;
+const numNodes = edgeNodes * edgeNodes * edgeNodes;
+const Nodes = {0..#numNodes};
+
+/* Hourglass shape vectors (4 modes x 8 nodes). */
+const gammaCoef: 4*(8*real) =
+    (( 1.0,  1.0, -1.0, -1.0, -1.0, -1.0,  1.0,  1.0),
+     ( 1.0, -1.0, -1.0,  1.0, -1.0,  1.0,  1.0, -1.0),
+     ( 1.0, -1.0,  1.0, -1.0,  1.0, -1.0,  1.0, -1.0),
+     (-1.0,  1.0, -1.0,  1.0,  1.0, -1.0, -1.0,  1.0));
+
+/* Nodal fields. */
+var x: [Nodes] real;
+var y: [Nodes] real;
+var z: [Nodes] real;
+var xd: [Nodes] real;
+var yd: [Nodes] real;
+var zd: [Nodes] real;
+var fx: [Nodes] real;
+var fy: [Nodes] real;
+var fz: [Nodes] real;
+
+/* Element fields. */
+var e: [Elems] real;
+var p: [Elems] real;
+var volo: [Elems] real;
+var elemToNode: [Elems] 8*int;
+
+proc initMesh() {
+  forall n in Nodes {
+    var nz = n / (edgeNodes * edgeNodes);
+    var rem = n % (edgeNodes * edgeNodes);
+    var ny = rem / edgeNodes;
+    var nx = rem % edgeNodes;
+    x[n] = 1.125 * nx / edgeElems;
+    y[n] = 1.125 * ny / edgeElems;
+    z[n] = 1.125 * nz / edgeElems;
+    xd[n] = 0.0;
+    yd[n] = 0.0;
+    zd[n] = 0.0;
+  }
+  forall i in Elems {
+    var ez = i / (edgeElems * edgeElems);
+    var rem = i % (edgeElems * edgeElems);
+    var ey = rem / edgeElems;
+    var ex = rem % edgeElems;
+    var n0 = ez * edgeNodes * edgeNodes + ey * edgeNodes + ex;
+    elemToNode[i] = (n0, n0 + 1, n0 + edgeNodes + 1, n0 + edgeNodes,
+                     n0 + edgeNodes * edgeNodes, n0 + edgeNodes * edgeNodes + 1,
+                     n0 + edgeNodes * edgeNodes + edgeNodes + 1,
+                     n0 + edgeNodes * edgeNodes + edgeNodes);
+    volo[i] = 1.0 / (edgeElems * edgeElems * edgeElems);
+    e[i] = 0.0;
+    p[i] = 0.0;
+  }
+  e[0] = 3.948746e+7 / numElems;   // initial energy deposition, scaled
+}
+
+/* Gather one nodal field at an element's corners. */
+proc gatherElem(i: int, src: [Nodes] real): 8*real {
+  var t: 8*real;
+  var c = elemToNode[i];
+  for param k in 1..8 {
+    t(k) = src[c(k)];
+  }
+  return t;
+}
+
+/* Partial face normal from two edge vectors (CENN helper). */
+proc faceNormal(ax: real, ay: real, az: real, bx: real, by: real, bz: real): 3*real {
+  return (ay*bz - az*by, az*bx - ax*bz, ax*by - ay*bx);
+}
+
+/* Compute node normals of an element from its corner coordinates. The
+   partial results of each face are produced in tuple temporaries and
+   accumulated with whole-tuple additions — the construct/destruct churn
+   the paper's CENN optimization removes. */
+proc CalcElemNodeNormals(ref b_x: 8*real, ref b_y: 8*real, ref b_z: 8*real,
+                         x8: 8*real, y8: 8*real, z8: 8*real) {
+  for param f in 1..6 {
+    var n = faceNormal(x8(f%8+1) - x8(f), y8(f%8+1) - y8(f), z8(f%8+1) - z8(f),
+                       x8(f%4+1) - x8(f), y8(f%4+1) - y8(f), z8(f%4+1) - z8(f));
+    var tx: 8*real;
+    var ty: 8*real;
+    var tz: 8*real;
+    tx(f) = n(1) * 0.25;
+    tx(f%8+1) = n(1) * 0.25;
+    ty(f) = n(2) * 0.25;
+    ty(f%8+1) = n(2) * 0.25;
+    tz(f) = n(3) * 0.25;
+    tz(f%8+1) = n(3) * 0.25;
+    b_x = b_x + tx;
+    b_y = b_y + ty;
+    b_z = b_z + tz;
+  }
+}
+
+/* Element volume from corner coordinates (simplified hexahedron). */
+proc CalcElemVolume(x8: 8*real, y8: 8*real, z8: 8*real): real {
+  var dv = 0.0;
+  for param k in 1..4 {
+    dv = dv + (x8(k+4) - x8(k)) * (y8(k%4+1) - y8(k)) * (z8(k%4+1) - z8(k+4));
+  }
+  return 0.25 * dv + 0.7 / numElems;
+}
+
+proc IntegrateStressForElems(determ: [Elems] real) {
+  forall i in Elems {
+    var b_x: 8*real;
+    var b_y: 8*real;
+    var b_z: 8*real;
+    var x8 = gatherElem(i, x);
+    var y8 = gatherElem(i, y);
+    var z8 = gatherElem(i, z);
+    CalcElemNodeNormals(b_x, b_y, b_z, x8, y8, z8);
+    determ[i] = CalcElemVolume(x8, y8, z8);
+    var stress = 0.0 - p[i] - e[i] * 0.3;
+    var c = elemToNode[i];
+    for param k in 1..8 {
+      fx[c(k)] = fx[c(k)] + b_x(k) * stress;
+      fy[c(k)] = fy[c(k)] + b_y(k) * stress;
+      fz[c(k)] = fz[c(k)] + b_z(k) * stress;
+    }
+  }
+}
+
+proc CalcElemFBHourglassForce(ref hgfx: 8*real, ref hgfy: 8*real, ref hgfz: 8*real,
+                              ref hourgam: 8*(4*real),
+                              xd8: 8*real, yd8: 8*real, zd8: 8*real,
+                              coefficient: real) {
+  var hx: 4*real;
+  var hy: 4*real;
+  var hz: 4*real;
+  for /*P2*/param i in 1..4 {
+    var shx = 0.0;
+    var shy = 0.0;
+    var shz = 0.0;
+    for param j in 1..8 {
+      shx = shx + xd8(j) * hourgam(j)(i);
+      shy = shy + yd8(j) * hourgam(j)(i);
+      shz = shz + zd8(j) * hourgam(j)(i);
+    }
+    hx(i) = shx;
+    hy(i) = shy;
+    hz(i) = shz;
+  }
+  for /*P3*/param i in 1..8 {
+    var hgx = 0.0;
+    var hgy = 0.0;
+    var hgz = 0.0;
+    for param j in 1..4 {
+      hgx = hgx + hourgam(i)(j) * hx(j);
+      hgy = hgy + hourgam(i)(j) * hy(j);
+      hgz = hgz + hourgam(i)(j) * hz(j);
+    }
+    hgfx(i) = hgx * coefficient;
+    hgfy(i) = hgy * coefficient;
+    hgfz(i) = hgz * coefficient;
+  }
+}
+
+proc CalcFBHourglassForceForElems(determ: [Elems] real,
+                                  dvdx: [Elems] 8*real,
+                                  dvdy: [Elems] 8*real,
+                                  dvdz: [Elems] 8*real) {
+  forall i in Elems {
+    var hourgam: 8*(4*real);
+    var hourmodx = 0.0;
+    var hourmody = 0.0;
+    var hourmodz = 0.0;
+    var volinv = 1.0 / determ[i];
+    var x8 = gatherElem(i, x);
+    var y8 = gatherElem(i, y);
+    var z8 = gatherElem(i, z);
+    /* The hot loop block of the paper's Fig. 5. */
+    for /*P1*/param j in 1..4 {
+      hourmodx = 0.0;
+      hourmody = 0.0;
+      hourmodz = 0.0;
+      for param k in 1..8 {
+        hourmodx = hourmodx + x8(k) * gammaCoef(j)(k);
+        hourmody = hourmody + y8(k) * gammaCoef(j)(k);
+        hourmodz = hourmodz + z8(k) * gammaCoef(j)(k);
+      }
+      for param k in 1..8 {
+        hourgam(k)(j) = gammaCoef(j)(k) - volinv * (dvdx[i](k) * hourmodx +
+                                                    dvdy[i](k) * hourmody +
+                                                    dvdz[i](k) * hourmodz);
+      }
+    }
+    var hgfx: 8*real;
+    var hgfy: 8*real;
+    var hgfz: 8*real;
+    var xd8 = gatherElem(i, xd);
+    var yd8 = gatherElem(i, yd);
+    var zd8 = gatherElem(i, zd);
+    var coefficient = 0.0 - hgcoef * 0.01 * volinv;
+    CalcElemFBHourglassForce(hgfx, hgfy, hgfz, hourgam, xd8, yd8, zd8, coefficient);
+    var c = elemToNode[i];
+    for param k in 1..8 {
+      fx[c(k)] = fx[c(k)] + hgfx(k);
+      fy[c(k)] = fy[c(k)] + hgfy(k);
+      fz[c(k)] = fz[c(k)] + hgfz(k);
+    }
+  }
+}
+
+proc CalcHourglassControlForElems(determ: [Elems] real) {
+  var dvdx: [Elems] 8*real;
+  var dvdy: [Elems] 8*real;
+  var dvdz: [Elems] 8*real;
+  var x8n: [Elems] 8*real;
+  var y8n: [Elems] 8*real;
+  var z8n: [Elems] 8*real;
+  for i in Elems {
+    x8n[i] = gatherElem(i, x);
+    y8n[i] = gatherElem(i, y);
+    z8n[i] = gatherElem(i, z);
+    var x8 = x8n[i];
+    var y8 = y8n[i];
+    var z8 = z8n[i];
+    var vol = determ[i];
+    for param k in 1..8 {
+      dvdx[i](k) = (y8(k%8+1) * z8(k%4+1) - y8(k%4+1) * z8(k%8+1)) / (vol * 12.0 + 1.0);
+      dvdy[i](k) = (z8(k%8+1) * x8(k%4+1) - z8(k%4+1) * x8(k%8+1)) / (vol * 12.0 + 1.0);
+      dvdz[i](k) = (x8(k%8+1) * y8(k%4+1) - x8(k%4+1) * y8(k%8+1)) / (vol * 12.0 + 1.0);
+    }
+  }
+  CalcFBHourglassForceForElems(determ, dvdx, dvdy, dvdz);
+}
+
+proc CalcVolumeForceForElems() {
+  var determ: [Elems] real;
+  var sigxx: [Elems] real;
+  var sigyy: [Elems] real;
+  var sigzz: [Elems] real;
+  for i in Elems {
+    sigxx[i] = 0.0 - p[i] - e[i] * 0.3;
+    sigyy[i] = sigxx[i];
+    sigzz[i] = sigxx[i];
+  }
+  IntegrateStressForElems(determ);
+  CalcHourglassControlForElems(determ);
+}
+
+proc CalcForceForNodes() {
+  forall n in Nodes {
+    fx[n] = 0.0;
+    fy[n] = 0.0;
+    fz[n] = 0.0;
+  }
+  CalcVolumeForceForElems();
+}
+
+proc LagrangeNodal() {
+  CalcForceForNodes();
+  for n in Nodes {
+    xd[n] = xd[n] + fx[n] * dtfixed;
+    yd[n] = yd[n] + fy[n] * dtfixed;
+    zd[n] = zd[n] + fz[n] * dtfixed;
+    x[n] = x[n] + xd[n] * dtfixed;
+    y[n] = y[n] + yd[n] * dtfixed;
+    z[n] = z[n] + zd[n] * dtfixed;
+  }
+}
+
+proc LagrangeElements() {
+  for i in Elems {
+    var xd8 = gatherElem(i, xd);
+    var yd8 = gatherElem(i, yd);
+    var zd8 = gatherElem(i, zd);
+    var dvol = 0.0;
+    for param k in 1..8 {
+      dvol = dvol + xd8(k) + yd8(k) + zd8(k);
+    }
+    e[i] = e[i] + dvol * dtfixed;
+    p[i] = e[i] * 0.3333;
+  }
+}
+
+proc LagrangeLeapFrog() {
+  LagrangeNodal();
+  LagrangeElements();
+}
+
+proc main() {
+  initMesh();
+  for step in 0..#numSteps {
+    LagrangeLeapFrog();
+  }
+  var chk = 0.0;
+  for i in Elems {
+    chk = chk + e[i];
+  }
+  for n in Nodes {
+    chk = chk + fx[n] + xd[n];
+  }
+  writeln("LULESH checksum:", chk);
+}

@@ -1,0 +1,143 @@
+/* MiniMD — mini-Chapel port of Sandia's Mini Molecular Dynamics proxy app,
+   following the Chapel version profiled in the paper (§V.A).
+
+   Atoms live in spatial bins. `Pos` holds per-bin atom positions over the
+   ghost-extended DistSpace; `Bins` holds per-bin atom attributes (velocity,
+   force, neighbor count); `Count` tracks per-bin occupancy. `RealPos` and
+   `RealCount` are array slices aliasing the non-ghost interior — Chapel
+   slices alias the data rather than copying it (Table II).
+
+   This ORIGINAL version uses the succinct zippered-iteration expressions
+   and performs domain remapping inside the nested loops, the pattern the
+   paper's profile flags as the bottleneck ("the hot spots of these three
+   functions are inside the nested for loop, where Bins and Pos are
+   calculated after several domain remapping operations").               */
+
+type v3 = 3*real;
+
+config const numBins = 96;      // scaled stand-in for the 16^3-cell box
+config const perBin = 8;        // atoms per bin
+config const numSteps = 8;
+config const dt = 0.002;
+config const cutsq = 0.95;
+
+const binSpace = {0..#numBins};
+const DistSpace = binSpace.expand(1);   // +1 ghost bin on each side
+const perBinSpace = {0..#perBin};
+
+record atom {
+  var velocity: v3;
+  var force: v3;
+  var neighbors: int;
+}
+
+var Pos: [DistSpace] [perBinSpace] v3;
+var Bins: [binSpace] [perBinSpace] atom;
+var Count: [DistSpace] int;
+var RealCount => Count[binSpace];
+var RealPos => Pos[binSpace];
+
+proc initAtoms() {
+  forall b in binSpace {
+    RealCount[b] = perBin;
+    for i in perBinSpace {
+      RealPos[b][i] = (random(), random(), random());
+      Bins[b][i].velocity = (0.0, 0.0, 0.0);
+      Bins[b][i].force = (0.0, 0.0, 0.0);
+      Bins[b][i].neighbors = 0;
+    }
+  }
+}
+
+/* Put atoms into bins and rebuild the neighbor counts. */
+proc buildNeighbors() {
+  forall (b, bin, c) in zip(binSpace, Bins, Count[binSpace]) {
+    for (i, bp) in zip(perBinSpace, RealPos[b]) {
+      if i < c {
+        var ncount = 0;
+        for nb in b-1..b+1 {
+          var npos => Pos[DistSpace];       // domain remap in the nested loop
+          var ncnt => Count[DistSpace];
+          for (j, np) in zip(perBinSpace, npos[nb]) {
+            if j < ncnt[nb] {
+              var del = bp - np;
+              var rsq = del(1)*del(1) + del(2)*del(2) + del(3)*del(3);
+              if rsq < cutsq then ncount = ncount + 1;
+            }
+          }
+        }
+        bin[i].neighbors = ncount;
+      }
+    }
+  }
+}
+
+/* Update the ghost copies of position and occupancy (periodic). */
+proc updateFluff() {
+  for i in perBinSpace {
+    Pos[0-1][i] = Pos[numBins-1][i];
+    Pos[numBins][i] = Pos[0][i];
+  }
+  Count[0-1] = RealCount[numBins-1];
+  Count[numBins] = RealCount[0];
+}
+
+/* Lennard-Jones force between atoms in neighboring bins. */
+proc computeForce() {
+  forall (b, bin) in zip(binSpace, Bins) {
+    for (i, bp) in zip(perBinSpace, RealPos[b]) {
+      if i < perBin {
+        var f = (0.0, 0.0, 0.0);
+        for nb in b-1..b+1 {
+          var npos => Pos[DistSpace];       // domain remap in the nested loop
+          for (j, np) in zip(perBinSpace, npos[nb]) {
+            if j < Count[nb] {
+              var del = bp - np;
+              var rsq = del(1)*del(1) + del(2)*del(2) + del(3)*del(3);
+              if rsq < cutsq && rsq > 0.000001 {
+                var sr2 = 1.0 / rsq;
+                var sr6 = sr2 * sr2 * sr2;
+                var fpair = min(48.0 * sr6 * (sr6 - 0.5) * sr2, 50.0);
+                f = f + del * fpair;
+              }
+            }
+          }
+        }
+        bin[i].force = f;
+      }
+    }
+  }
+}
+
+/* Velocity-Verlet-ish integration of the interior atoms. */
+proc integrate() {
+  forall (b, bin) in zip(binSpace, Bins) {
+    for i in perBinSpace {
+      if i < RealCount[b] {
+        bin[i].velocity = bin[i].velocity + bin[i].force * dt;
+        RealPos[b][i] = RealPos[b][i] + bin[i].velocity * dt;
+      }
+    }
+  }
+}
+
+proc run() {
+  for step in 0..#numSteps {
+    buildNeighbors();
+    updateFluff();
+    computeForce();
+    integrate();
+  }
+}
+
+proc main() {
+  initAtoms();
+  run();
+  var chk = 0.0;
+  for b in binSpace {
+    for i in perBinSpace {
+      chk = chk + RealPos[b][i](1) + Bins[b][i].velocity(1);
+    }
+  }
+  writeln("MiniMD checksum:", chk);
+}

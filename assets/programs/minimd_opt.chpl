@@ -1,0 +1,133 @@
+/* MiniMD, optimized as in the paper's §V.A (after Johnson's de-zippering
+   transformations, Appendix A of [19]): the zippered iterations and the
+   domain-remapping expressions in the nested loops are replaced by plain
+   foralls over binSpace with direct global indexing, and per-bin loop
+   invariants (occupancy counts) are hoisted.
+
+   Identical physics, identical iteration counts, identical checksum to
+   minimd.chpl — only the iteration machinery changed.                    */
+
+type v3 = 3*real;
+
+config const numBins = 96;
+config const perBin = 8;
+config const numSteps = 8;
+config const dt = 0.002;
+config const cutsq = 0.95;
+
+const binSpace = {0..#numBins};
+const DistSpace = binSpace.expand(1);
+const perBinSpace = {0..#perBin};
+
+record atom {
+  var velocity: v3;
+  var force: v3;
+  var neighbors: int;
+}
+
+var Pos: [DistSpace] [perBinSpace] v3;
+var Bins: [binSpace] [perBinSpace] atom;
+var Count: [DistSpace] int;
+
+proc initAtoms() {
+  forall b in binSpace {
+    Count[b] = perBin;
+    for i in perBinSpace {
+      Pos[b][i] = (random(), random(), random());
+      Bins[b][i].velocity = (0.0, 0.0, 0.0);
+      Bins[b][i].force = (0.0, 0.0, 0.0);
+      Bins[b][i].neighbors = 0;
+    }
+  }
+}
+
+proc buildNeighbors() {
+  forall b in binSpace {
+    var c = Count[b];
+    for i in perBinSpace {
+      if i < c {
+        var ncount = 0;
+        for nb in b-1..b+1 {
+          var nc = Count[nb];
+          for j in perBinSpace {
+            if j < nc {
+              var del = Pos[b][i] - Pos[nb][j];
+              var rsq = del(1)*del(1) + del(2)*del(2) + del(3)*del(3);
+              if rsq < cutsq then ncount = ncount + 1;
+            }
+          }
+        }
+        Bins[b][i].neighbors = ncount;
+      }
+    }
+  }
+}
+
+proc updateFluff() {
+  for i in perBinSpace {
+    Pos[0-1][i] = Pos[numBins-1][i];
+    Pos[numBins][i] = Pos[0][i];
+  }
+  Count[0-1] = Count[numBins-1];
+  Count[numBins] = Count[0];
+}
+
+proc computeForce() {
+  forall b in binSpace {
+    var c = Count[b];
+    for i in perBinSpace {
+      if i < c {
+        var f = (0.0, 0.0, 0.0);
+        for nb in b-1..b+1 {
+          var nc = Count[nb];
+          for j in perBinSpace {
+            if j < nc {
+              var del = Pos[b][i] - Pos[nb][j];
+              var rsq = del(1)*del(1) + del(2)*del(2) + del(3)*del(3);
+              if rsq < cutsq && rsq > 0.000001 {
+                var sr2 = 1.0 / rsq;
+                var sr6 = sr2 * sr2 * sr2;
+                var fpair = min(48.0 * sr6 * (sr6 - 0.5) * sr2, 50.0);
+                f = f + del * fpair;
+              }
+            }
+          }
+        }
+        Bins[b][i].force = f;
+      }
+    }
+  }
+}
+
+proc integrate() {
+  forall b in binSpace {
+    var c = Count[b];
+    for i in perBinSpace {
+      if i < c {
+        Bins[b][i].velocity = Bins[b][i].velocity + Bins[b][i].force * dt;
+        Pos[b][i] = Pos[b][i] + Bins[b][i].velocity * dt;
+      }
+    }
+  }
+}
+
+proc run() {
+  for step in 0..#numSteps {
+    buildNeighbors();
+    updateFluff();
+    computeForce();
+    integrate();
+  }
+}
+
+proc main() {
+  initAtoms();
+  run();
+  var chk = 0.0;
+  for b in binSpace {
+    for i in perBinSpace {
+      chk = chk + Pos[b][i](1) + Bins[b][i].velocity(1);
+    }
+  }
+  writeln("MiniMD checksum:", chk);
+}

@@ -1,0 +1,43 @@
+// Ablation: PMU skid (§IV.B). The paper samples events, notes "skid is an
+// important factor that most sampling based profilers need to take into
+// account", and leaves compensation to future work. Here we inject skid
+// (the sampled IP overshoots the overflowing instruction by N instructions)
+// and measure how the CLOMP blame profile degrades.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+cb::Profiler profileWithSkid(uint32_t skid) {
+  cb::Profiler p;
+  p.options().run.sampleThreshold = 9973;
+  p.options().run.skidInstructions = skid;
+  if (!p.profileFile(cb::assetProgram("clomp"))) {
+    std::fprintf(stderr, "%s\n", p.lastError().c_str());
+    std::exit(1);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cb;
+  bench::printHeader("Ablation — PMU skid (sampled IP overshoots by N instructions, CLOMP)");
+
+  TextTable t({"Skid (instrs)", "value blame", "remaining_deposit", "deposit", "j"});
+  for (uint32_t skid : {0u, 2u, 5u, 10u, 25u}) {
+    Profiler p = profileWithSkid(skid);
+    t.addRow({std::to_string(skid),
+              bench::blameOf(p, "->partArray[i].zoneArray[j].value"),
+              bench::blameOf(p, "remaining_deposit"), bench::blameOf(p, "deposit"),
+              bench::blameOf(p, "j")});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Skid smears samples onto following instructions: fine-grained rows\n"
+      "(loop-local scalars) drift while the dominant aggregate stays put —\n"
+      "why the paper plans instruction-precise (ProfileMe-style) sampling.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the table/figure regeneration benches.
+//
+// Each bench binary regenerates one table or figure from the paper and
+// prints (a) the measured rows and (b) the paper's reported values for
+// side-by-side comparison. Absolute numbers are not expected to match (the
+// substrate is a deterministic virtual machine, not the authors' Xeon
+// testbed); the *shape* — who wins, by roughly what factor, where
+// crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "support/table.h"
+
+namespace cb::bench {
+
+/// Profiles a bundled program end to end; aborts loudly on failure.
+inline Profiler profileAsset(const std::string& name, bool fast = false,
+                             uint64_t threshold = 9973,
+                             std::map<std::string, std::string> configs = {}) {
+  Profiler p;
+  p.options().compile.fast = fast;
+  p.options().run.fastCostProfile = fast;
+  p.options().run.sampleThreshold = threshold;
+  for (auto& [k, v] : configs) p.options().run.configOverrides[k] = v;
+  if (!p.profileFile(assetProgram(name))) {
+    std::fprintf(stderr, "bench: profiling %s failed:\n%s\n", name.c_str(),
+                 p.lastError().c_str());
+    std::exit(1);
+  }
+  return p;
+}
+
+/// Runs a bundled program without sampling and returns its virtual-cycle
+/// wall time (the "run time" of the paper's speedup tables).
+inline uint64_t runtimeCycles(const std::string& name, bool fast = false,
+                              std::map<std::string, std::string> configs = {}) {
+  Profiler p;
+  p.options().compile.fast = fast;
+  p.options().run.fastCostProfile = fast;
+  p.options().run.sampleThreshold = 0;
+  for (auto& [k, v] : configs) p.options().run.configOverrides[k] = v;
+  if (!(p.compileFile(assetProgram(name)) && p.run())) {
+    std::fprintf(stderr, "bench: running %s failed:\n%s\n", name.c_str(), p.lastError().c_str());
+    std::exit(1);
+  }
+  return p.runResult()->totalCycles;
+}
+
+/// Same, for an in-memory source (LULESH variants).
+inline uint64_t runtimeCyclesSource(const std::string& source, bool fast = false) {
+  Profiler p;
+  p.options().compile.fast = fast;
+  p.options().run.fastCostProfile = fast;
+  p.options().run.sampleThreshold = 0;
+  if (!(p.compileString("variant.chpl", source) && p.run())) {
+    std::fprintf(stderr, "bench: running variant failed:\n%s\n", p.lastError().c_str());
+    std::exit(1);
+  }
+  return p.runResult()->totalCycles;
+}
+
+/// Blame percentage of a named variable ("-" when absent).
+inline std::string blameOf(const Profiler& p, const std::string& name) {
+  const pm::VariableBlame* row = p.blameReport()->find(name);
+  if (!row) return "-";
+  return formatFixed(row->percent, 1) + "%";
+}
+
+inline void printHeader(const char* what) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace cb::bench

@@ -1,0 +1,26 @@
+// Regenerates the paper's Fig. 4: the gperftools pprof --text profile of
+// LULESH. The expected shape: __sched_yield dominates (the paper: "time
+// spent in this function is often due to load imbalance or lack of
+// parallelism elsewhere"), runtime/task frames fill most of the top ten,
+// and the only recognizable user function (CalcElemNodeNormals) sits in
+// the low single digits.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cb;
+  bench::printHeader("Fig. 4 — pprof profile output of LULESH");
+
+  Profiler p = bench::profileAsset("lulesh");
+  std::printf("%s", p.pprofText("lulesh").c_str());
+
+  std::printf("\nPaper's Fig. 4 (for comparison):\n");
+  std::printf("   14180 79.0%% 79.0%%    14180 79.0%% __sched_yield\n");
+  std::printf("     829  4.6%% 83.7%%      959  5.3%% coforall_fn_chpl22\n");
+  std::printf("     691  3.9%% 87.5%%      691  3.9%% __pthread_setcancelstate\n");
+  std::printf("     216  1.2%% 88.7%%      216  1.2%% atomic_fetch_add_explicit__real64\n");
+  std::printf("     163  0.9%% 89.6%%      164  0.9%% coforall_fn_chpl38\n");
+  std::printf("     160  0.9%% 90.5%%      164  1.5%% CalcElemNodeNormals_chpl\n");
+  return 0;
+}

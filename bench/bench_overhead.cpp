@@ -1,0 +1,70 @@
+// Regenerates the paper's §V overhead paragraph for LULESH:
+//   - per-stack-walk cost vs sampling interval (the paper: 0.051 ms walk,
+//     241 ms interval => 0.02% overhead),
+//   - raw dataset size (paper: 6-20 MB),
+//   - post-mortem processing time per sample (paper: ~16 ms).
+// Ours are measured in real (host) time over the virtual run.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  using namespace cb;
+  bench::printHeader("§V overhead — monitoring and post-mortem costs (LULESH)");
+
+  Profiler p;
+  p.options().run.sampleThreshold = 9973;
+  if (!p.compileFile(assetProgram("lulesh"))) return 1;
+  p.analyze();
+
+  auto t0 = Clock::now();
+  if (!p.run()) return 1;
+  auto t1 = Clock::now();
+
+  const sampling::RunLog& log = p.runResult()->log;
+  size_t samples = log.samples.size();
+  double runMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  // Approximate raw dataset size: every sample stores its stack frames;
+  // every spawn stores a pre-spawn stack.
+  size_t bytes = 0;
+  for (const auto& s : log.samples) bytes += sizeof(s) + s.stack.size() * sizeof(sampling::Frame);
+  for (const auto& [tag, rec] : log.spawns)
+    bytes += sizeof(rec) + rec.preSpawnStack.size() * sizeof(sampling::Frame);
+
+  auto t2 = Clock::now();
+  if (!p.postProcess()) return 1;
+  auto t3 = Clock::now();
+  double postMs = std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+  double avgDepth = 0;
+  size_t walked = 0;
+  for (const auto& s : log.samples) {
+    if (s.runtimeFrame != sampling::RuntimeFrameKind::None) continue;  // idle: no walk
+    avgDepth += static_cast<double>(s.stack.size());
+    ++walked;
+  }
+  if (walked) avgDepth /= static_cast<double>(walked);
+
+  std::printf("samples taken:                 %zu\n", samples);
+  std::printf("virtual sampling interval:     %llu cycles\n",
+              static_cast<unsigned long long>(log.sampleThreshold));
+  std::printf("monitored run (host time):     %.1f ms  (%.4f ms/sample incl. stack walks)\n",
+              runMs, samples ? runMs / samples : 0.0);
+  std::printf("average stack-walk depth:      %.1f frames\n", avgDepth);
+  std::printf("raw dataset size:              %.2f MB  (paper: 6-20 MB at full scale)\n",
+              bytes / 1e6);
+  std::printf("post-mortem processing:        %.1f ms total, %.4f ms/sample (paper: ~16 ms/sample\n"
+              "                               on 2010-era hardware with DWARF resolution)\n",
+              postMs, samples ? postMs / samples : 0.0);
+
+  // The paper's headline: monitoring overhead is ~0.02% because the walk is
+  // ~5000x cheaper than the interval. Our analogue: one sample per ~10k
+  // virtual cycles, each walk touching only the live frames.
+  std::printf("sampling overhead ratio:       1 walk per %llu executed cycles\n",
+              static_cast<unsigned long long>(log.sampleThreshold));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the profiler pipeline stages:
+// lexing, parsing, full compilation, static blame analysis, monitored
+// execution, trace consolidation and blame attribution. These measure the
+// tool itself (host time), not the virtual workloads.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/blame.h"
+#include "core/profiler.h"
+#include "frontend/compiler.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "postmortem/attribution.h"
+#include "postmortem/instance.h"
+#include "runtime/interp.h"
+
+namespace {
+
+std::string loadAsset(const std::string& name) {
+  std::ifstream in(cb::assetProgram(name));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void BM_Lex(benchmark::State& state) {
+  std::string src = loadAsset("lulesh");
+  for (auto _ : state) {
+    cb::SourceManager sm;
+    uint32_t f = sm.addBuffer("lulesh.chpl", src);
+    cb::DiagnosticEngine diags(sm);
+    cb::fe::Lexer lexer(sm, f, diags);
+    benchmark::DoNotOptimize(lexer.lexAll());
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  std::string src = loadAsset("lulesh");
+  for (auto _ : state) {
+    cb::SourceManager sm;
+    uint32_t f = sm.addBuffer("lulesh.chpl", src);
+    cb::DiagnosticEngine diags(sm);
+    cb::fe::Lexer lexer(sm, f, diags);
+    cb::fe::Parser parser(lexer.lexAll(), diags, f);
+    benchmark::DoNotOptimize(parser.parseProgram());
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_CompileToIR(benchmark::State& state) {
+  std::string src = loadAsset("lulesh");
+  for (auto _ : state) {
+    auto c = cb::fe::Compilation::fromString("lulesh.chpl", src);
+    benchmark::DoNotOptimize(c->ok());
+  }
+}
+BENCHMARK(BM_CompileToIR);
+
+void BM_BlameAnalysis(benchmark::State& state) {
+  auto c = cb::fe::Compilation::fromString("lulesh.chpl", loadAsset("lulesh"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb::an::analyzeModule(c->module()));
+  }
+}
+BENCHMARK(BM_BlameAnalysis);
+
+void BM_MonitoredExecution(benchmark::State& state) {
+  auto c = cb::fe::Compilation::fromString("clomp.chpl", loadAsset("clomp"));
+  cb::rt::RunOptions opts;
+  opts.sampleThreshold = 9973;
+  opts.configOverrides["CLOMP_numParts"] = "16";
+  opts.configOverrides["CLOMP_zonesPerPart"] = "64";
+  opts.configOverrides["CLOMP_timeScale"] = "1";
+  for (auto _ : state) {
+    cb::rt::RunResult r = cb::rt::execute(c->module(), opts);
+    benchmark::DoNotOptimize(r.totalCycles);
+    state.counters["MIPS(virtual)"] = benchmark::Counter(
+        static_cast<double>(r.instructionsExecuted), benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1000);
+  }
+}
+BENCHMARK(BM_MonitoredExecution);
+
+void BM_ConsolidateAndAttribute(benchmark::State& state) {
+  cb::Profiler p;
+  p.options().run.sampleThreshold = 997;
+  if (!p.compileFile(cb::assetProgram("clomp"))) return;
+  p.options().run.configOverrides["CLOMP_timeScale"] = "1";
+  p.analyze();
+  p.run();
+  const auto& m = p.compilation()->module();
+  for (auto _ : state) {
+    auto instances = cb::pm::consolidate(m, p.runResult()->log);
+    auto report = cb::pm::attribute(*p.moduleBlame(), instances);
+    benchmark::DoNotOptimize(report.rows.size());
+    state.counters["samples/s"] = benchmark::Counter(
+        static_cast<double>(instances.size()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_ConsolidateAndAttribute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

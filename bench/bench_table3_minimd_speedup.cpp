@@ -1,0 +1,22 @@
+// Regenerates the paper's Table III: MiniMD original vs de-zippered, with
+// and without --fast.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cb;
+  bench::printHeader("Table III — MiniMD results w/ or w/o --fast");
+
+  TextTable t({"", "Original", "Optimized", "Speedup", "Paper speedup"});
+  for (bool fast : {false, true}) {
+    uint64_t orig = bench::runtimeCycles("minimd", fast);
+    uint64_t opt = bench::runtimeCycles("minimd_opt", fast);
+    double speedup = static_cast<double>(orig) / static_cast<double>(opt);
+    t.addRow({fast ? "w/ --fast" : "w/o --fast", std::to_string(orig), std::to_string(opt),
+              formatFixed(speedup, 2), fast ? "2.56" : "2.26"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(run time in virtual cycles; the paper reports seconds)\n");
+  return 0;
+}

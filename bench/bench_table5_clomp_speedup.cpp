@@ -1,0 +1,52 @@
+// Regenerates the paper's Table V: CLOMP original vs flat-array version
+// over four (numParts, zonesPerPart) shapes, with and without --fast.
+//
+// The paper's sizes (1024/64000 ... 65536/6400) are scaled down ~1000x so
+// the interpreted runs stay in seconds; the zones-to-parts *shape* of each
+// row is preserved, which is what drives the speedup pattern (zone-loop
+// heavy rows gain ~2x; the few-zones-per-part row is diluted by per-part
+// overheads and gains least).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cb;
+  bench::printHeader("Table V — CLOMP results w/ or w/o --fast");
+
+  struct Size {
+    const char* paperLabel;
+    int parts, zones, timeScale;
+    const char* paperNoFast;
+    const char* paperFast;
+  };
+  const Size sizes[] = {
+      {"1024/64,000 (scaled 32/1000)", 32, 1000, 4, "1.84", "2.59"},
+      {"65536/10    (scaled 4096/4)", 4096, 4, 4, "1.09", "2.40"},
+      {"12/640,000  (scaled 4/8000)", 4, 8000, 4, "2.13", "2.65"},
+      {"65536/6400  (scaled 1024/64)", 1024, 64, 4, "1.10", "1.96"},
+  };
+
+  TextTable t({"Flag", "Problem Size", "Original", "Optimized", "Speedup", "Paper"});
+  for (bool fast : {false, true}) {
+    for (const Size& s : sizes) {
+      std::map<std::string, std::string> cfg = {
+          {"CLOMP_numParts", std::to_string(s.parts)},
+          {"CLOMP_zonesPerPart", std::to_string(s.zones)},
+          {"CLOMP_timeScale", std::to_string(s.timeScale)},
+      };
+      uint64_t orig = bench::runtimeCycles("clomp", fast, cfg);
+      uint64_t opt = bench::runtimeCycles("clomp_opt", fast, cfg);
+      double speedup = static_cast<double>(orig) / static_cast<double>(opt);
+      t.addRow({fast ? "w/ fast" : "w/o fast", s.paperLabel, std::to_string(orig),
+                std::to_string(opt), formatFixed(speedup, 2),
+                fast ? s.paperFast : s.paperNoFast});
+    }
+    t.addSeparator();
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(numThreads=12, as in the paper's footnote)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates the paper's Table IX: LULESH overall results for each
+// optimization, with and without --fast.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/lulesh_variants.h"
+
+int main() {
+  using namespace cb;
+  bench::printHeader("Table IX — LULESH results w/ or w/o --fast");
+
+  struct Row {
+    const char* tag;
+    LuleshVariant v;
+    const char* paperNoFast;
+    const char* paperFast;
+  };
+  const Row rows[] = {
+      {"Best Case", LuleshVariant::best(), "1.38", "1.47"},
+      {"VG", {true, true, true, true, false}, "1.25", "1.39"},
+      {"P 1", {true, false, false, false, false}, "1.07", "1.04"},
+      {"CENN", {true, true, true, false, true}, "1.08", "1.02"},
+      {"Original", LuleshVariant::original(), "1.00", "1.00"},
+  };
+
+  TextTable t({"", "w/o fast (cycles)", "Speedup", "Paper", "w/ fast (cycles)", "Speedup",
+               "Paper"});
+  uint64_t base = bench::runtimeCyclesSource(luleshSource(LuleshVariant::original()), false);
+  uint64_t baseFast = bench::runtimeCyclesSource(luleshSource(LuleshVariant::original()), true);
+  for (const Row& r : rows) {
+    uint64_t c = bench::runtimeCyclesSource(luleshSource(r.v), false);
+    uint64_t cf = bench::runtimeCyclesSource(luleshSource(r.v), true);
+    t.addRow({r.tag, std::to_string(c), formatFixed(double(base) / c, 2), r.paperNoFast,
+              std::to_string(cf), formatFixed(double(baseFast) / cf, 2), r.paperFast});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// CLOMP case study (paper §V.B): hierarchical blame on nested data
+// structures, across problem shapes.
+//
+// Shows the tool's unique capability — the "->" rows that walk INTO
+// partArray and say which *field* of the nested structure is hot — and how
+// the flat-2D-array rewrite pays off differently per problem shape.
+#include <cstdio>
+#include <string>
+
+#include "core/profiler.h"
+#include "support/table.h"
+
+namespace {
+
+cb::Profiler profileClomp(const char* prog, int parts, int zones) {
+  cb::Profiler p;
+  p.options().run.configOverrides["CLOMP_numParts"] = std::to_string(parts);
+  p.options().run.configOverrides["CLOMP_zonesPerPart"] = std::to_string(zones);
+  p.options().run.configOverrides["CLOMP_timeScale"] = "2";
+  if (!p.profileFile(cb::assetProgram(prog))) {
+    std::fprintf(stderr, "%s failed:\n%s\n", prog, p.lastError().c_str());
+    std::exit(1);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hierarchical blame for CLOMP (64 parts x 500 zones) ===\n\n");
+  cb::Profiler p = profileClomp("clomp", 64, 500);
+  std::printf("%s\n", p.dataCentricText().c_str());
+  std::printf(
+      "Reading the hierarchy: partArray holds ~everything; following the ->\n"
+      "rows shows the zoneArray[j].value field is where the cycles go, while\n"
+      "residue and the update_part locals are minor. That points directly at\n"
+      "the nested-structure access pattern, which the flat-array rewrite\n"
+      "(clomp_opt.chpl) removes.\n\n");
+
+  std::printf("=== Speedup of the flat-array rewrite across problem shapes ===\n\n");
+  cb::TextTable t({"parts x zones/part", "original (cycles)", "flat 2D (cycles)", "speedup"});
+  struct Shape {
+    int parts, zones;
+  };
+  for (Shape s : {Shape{32, 1000}, Shape{512, 64}, Shape{2048, 8}}) {
+    cb::Profiler orig = profileClomp("clomp", s.parts, s.zones);
+    cb::Profiler opt = profileClomp("clomp_opt", s.parts, s.zones);
+    double speedup = static_cast<double>(orig.runResult()->totalCycles) /
+                     static_cast<double>(opt.runResult()->totalCycles);
+    t.addRow({std::to_string(s.parts) + " x " + std::to_string(s.zones),
+              std::to_string(orig.runResult()->totalCycles),
+              std::to_string(opt.runResult()->totalCycles), cb::formatFixed(speedup, 2) + "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nZone-heavy shapes gain ~2x; with few zones per part the per-part\n"
+              "overheads dominate and the gain shrinks (the paper's Table V shape).\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Command-line profiler driver: compile, analyze, run and report on any
+// mini-Chapel program (a bundled asset name or a path to a .chpl file).
+//
+//   profile_program clomp --view data
+//   profile_program minimd --view pprof --threshold 20011
+//   profile_program lulesh --fast --view code
+//   profile_program my_prog.chpl --config CLOMP_numParts=128 --time
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/profiler.h"
+#include "report/views.h"
+#include "report/html.h"
+#include "sampling/log_io.h"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: profile_program <program|path.chpl> [options]\n"
+      "  --fast                compile with the --fast pipeline\n"
+      "  --threshold N         PMU overflow threshold (virtual cycles)\n"
+      "  --workers N           worker streams (default 12)\n"
+      "  --config K=V          override a config const (repeatable)\n"
+      "  --view V              data|code|pprof|hybrid|gui|baseline|csv (default data)\n"
+      "  --skid N              simulate PMU skid of N instructions\n"
+      "  --locales N           simulate N locales and aggregate blame\n"
+      "  --save-log PATH       write the raw monitoring dataset to PATH\n"
+      "  --html PATH           write a standalone HTML report (the GUI) to PATH\n"
+      "  --no-idle             do not sample idle workers\n"
+      "  --echo                echo program writeln output\n"
+      "  --time                print total virtual cycles\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string program = argv[1];
+  std::string view = "data";
+  bool showTime = false;
+  uint32_t numLocales = 1;
+  std::string saveLogPath;
+  std::string htmlPath;
+  cb::Profiler profiler;
+  profiler.options().run.sampleThreshold = 9973;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fast") {
+      profiler.options().compile.fast = true;
+      profiler.options().run.fastCostProfile = true;
+    } else if (arg == "--threshold") {
+      profiler.options().run.sampleThreshold = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--workers") {
+      profiler.options().run.numWorkers = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--config") {
+      std::string kv = next();
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        usage();
+        return 2;
+      }
+      profiler.options().run.configOverrides[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (arg == "--view") {
+      view = next();
+    } else if (arg == "--skid") {
+      profiler.options().run.skidInstructions = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--locales") {
+      numLocales = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--save-log") {
+      saveLogPath = next();
+    } else if (arg == "--html") {
+      htmlPath = next();
+    } else if (arg == "--no-idle") {
+      profiler.options().run.sampleIdle = false;
+    } else if (arg == "--echo") {
+      profiler.options().run.echoWriteln = true;
+    } else if (arg == "--time") {
+      showTime = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  std::string path = program.size() > 5 && program.substr(program.size() - 5) == ".chpl"
+                         ? program
+                         : cb::assetProgram(program);
+
+  if (numLocales > 1) {
+    cb::MultiLocaleResult ml = cb::profileMultiLocale(path, numLocales, profiler.options());
+    if (!ml.ok) {
+      std::cerr << "error:\n" << ml.error << "\n";
+      return 1;
+    }
+    std::cout << "Aggregated blame across " << numLocales << " locales:\n"
+              << cb::rpt::dataCentricView(ml.aggregate, profiler.options().view);
+    return 0;
+  }
+
+  if (!profiler.profileFile(path)) {
+    std::cerr << "error:\n" << profiler.lastError() << "\n";
+    return 1;
+  }
+  if (!saveLogPath.empty() &&
+      !cb::sampling::saveRunLog(profiler.runResult()->log, saveLogPath)) {
+    std::cerr << "error: cannot write " << saveLogPath << "\n";
+    return 1;
+  }
+  if (!htmlPath.empty() && !cb::rpt::writeHtmlReport(htmlPath, program, *profiler.blameReport(),
+                                                     *profiler.codeReport())) {
+    std::cerr << "error: cannot write " << htmlPath << "\n";
+    return 1;
+  }
+
+  if (view == "data") std::cout << profiler.dataCentricText();
+  else if (view == "code") std::cout << profiler.codeCentricText();
+  else if (view == "pprof") std::cout << profiler.pprofText(program);
+  else if (view == "hybrid") std::cout << profiler.hybridText();
+  else if (view == "gui") std::cout << profiler.guiText();
+  else if (view == "baseline") std::cout << cb::rpt::baselineView(profiler.baselineReport());
+  else if (view == "csv") std::cout << cb::rpt::dataCentricCsv(*profiler.blameReport());
+  else {
+    usage();
+    return 2;
+  }
+
+  if (showTime) {
+    std::cout << "total virtual cycles: " << profiler.runResult()->totalCycles << "\n";
+    std::cout << "instructions executed: " << profiler.runResult()->instructionsExecuted << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// The paper's §III/§IV static blame analysis over CIR.
+//
+// For every function we compute a set of *blame entities* — user variables,
+// parameters, globals, compiler temporaries, the return value, and
+// hierarchical sub-object paths like `partArray[i].zoneArray[j].value` —
+// and for each entity its *blame set*: the instructions whose samples the
+// entity is blamed for,
+//
+//     BlameSet(v) = U_{w in writes(v)} BackwardsSlice(w)
+//
+// built from explicit transfer (data flow), implicit transfer (control
+// dependence: loop indices and branch conditions), alias edges (array
+// slices), and sub-object containment (a struct inherits its fields' blame).
+// Exit variables (ref/array/domain parameters, globals, return values) and
+// per-callsite transfer maps support interprocedural bubbling at
+// post-mortem time (§IV.C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cb::an {
+
+using EntityId = uint32_t;
+inline constexpr EntityId kNoEntity = ~0u;
+
+struct PathElem {
+  enum class Kind : uint8_t { Field, TupleElem, Index } kind;
+  uint32_t idx = 0;           // field / tuple element index (Index ignores it)
+  std::string fieldName;      // rendered name for Field elements
+
+  friend bool operator==(const PathElem& a, const PathElem& b) {
+    return a.kind == b.kind && a.idx == b.idx;
+  }
+};
+
+/// What a store address or array value ultimately roots at.
+enum class RootKind : uint8_t { Local, Param, Global, Ret, Unknown };
+
+struct EntityKey {
+  RootKind root = RootKind::Unknown;
+  uint32_t rootId = 0;  // alloca InstrId / param index / GlobalId / 0
+  std::vector<PathElem> path;
+
+  friend bool operator==(const EntityKey& a, const EntityKey& b) {
+    return a.root == b.root && a.rootId == b.rootId && a.path == b.path;
+  }
+};
+
+struct EntityKeyHash {
+  size_t operator()(const EntityKey& k) const {
+    size_t h = (static_cast<size_t>(k.root) << 24) ^ k.rootId;
+    for (const PathElem& p : k.path)
+      h = h * 1000003u + (static_cast<size_t>(p.kind) << 16) + p.idx + 1;
+    return h;
+  }
+};
+
+struct Entity {
+  EntityKey key;
+  ir::DebugVarId debugVar = ir::kNone;  // of the root (kNone for Ret/Unknown)
+  std::string displayName;              // "partArray" / "->partArray[i].residue"
+  std::string typeDisplay;              // Chapel-style type of the leaf object
+  bool displayable = false;             // false for temps / Ret / Unknown
+  EntityId parent = kNoEntity;          // containing prefix entity (path pop)
+};
+
+/// Per-function analysis result.
+struct FunctionBlame {
+  ir::FuncId func = ir::kNone;
+  std::vector<Entity> entities;
+  std::unordered_map<EntityKey, EntityId, EntityKeyHash> index;
+
+  /// Value-flow blame set per entity (propagates along inheritance edges).
+  std::vector<std::set<ir::InstrId>> blameInstrs;
+  /// Region-only blame set per entity: IR-level writes to the variable's
+  /// memory region that are not part of any value computation — view
+  /// descriptor writes (domain remapping), zippered-iterator advances, and
+  /// call sites whose callee writes the variable. These match samples (the
+  /// paper's Count/binSpace rows, and the inclusive call-path credit) but
+  /// do NOT transfer to consumers of the variable's value.
+  std::vector<std::set<ir::InstrId>> regionInstrs;
+  /// Explicit/implicit/alias inheritance edges: e inherits the full
+  /// value-flow blame set of each entity in inheritsFrom[e].
+  std::vector<std::set<EntityId>> inheritsFrom;
+  /// Region inheritance: containment (a struct spans its fields' regions)
+  /// and aliasing (an owner spans its slices' regions). Region blame flows
+  /// only along these edges — never through value dependencies.
+  std::vector<std::set<EntityId>> regionInheritsFrom;
+  /// True when samples blamed to this entity must bubble to the caller
+  /// (parameter roots of by-ref / array / domain kind).
+  std::vector<bool> exitViaCaller;
+
+  /// Interprocedural transfer function data per call/spawn site.
+  struct CallSite {
+    ir::FuncId callee = ir::kNone;
+    /// Callee param index -> caller entity the argument roots at.
+    std::vector<EntityId> paramToCallerEntity;  // kNoEntity when untracked
+    /// Caller entities that consume the call's return value.
+    std::set<EntityId> resultTargets;
+  };
+  std::unordered_map<ir::InstrId, CallSite> callsites;
+
+  /// Inverted index: instruction -> entities whose blame set contains it.
+  std::vector<std::vector<EntityId>> instrEntities;
+
+  /// Source lines (within the defining file) of an entity's blame set —
+  /// the "Blame Lines" representation from the paper's Table I.
+  std::set<uint32_t> blameLines(const ir::Module& m, EntityId e) const;
+
+  EntityId find(const EntityKey& k) const {
+    auto it = index.find(k);
+    return it == index.end() ? kNoEntity : it->second;
+  }
+};
+
+/// Whole-module blame database (the paper's step-1 output).
+struct ModuleBlame {
+  const ir::Module* mod = nullptr;
+  std::vector<FunctionBlame> functions;  // indexed by FuncId
+
+  /// Module-scope alias groups: `var RealPos => Pos[binSpace];` puts
+  /// RealPos and Pos in one group — a sample blaming one blames the whole
+  /// group ("writes to the memory region allocated to the variable v, the
+  /// aliases of v, ...", §III). Indexed by GlobalId; singleton groups for
+  /// unaliased globals.
+  std::vector<uint32_t> globalAliasGroup;
+  std::vector<std::vector<ir::GlobalId>> aliasGroups;
+
+  const FunctionBlame& fn(ir::FuncId f) const { return functions.at(f); }
+  /// Other globals aliasing this one (excluding itself).
+  std::vector<ir::GlobalId> aliasSiblings(ir::GlobalId g) const;
+};
+
+struct BlameOptions {
+  bool implicitTransfer = true;   // control-dependence blame (ablatable)
+  bool aliasTransfer = true;      // array-slice alias edges (ablatable)
+};
+
+/// Runs the full static analysis over every function of the module.
+ModuleBlame analyzeModule(const ir::Module& m, const BlameOptions& opts = {});
+
+}  // namespace cb::an

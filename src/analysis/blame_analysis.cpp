@@ -1,0 +1,732 @@
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/blame.h"
+#include "analysis/cfg.h"
+#include "analysis/resolve.h"
+#include "analysis/control_dep.h"
+#include "analysis/dominators.h"
+#include "support/common.h"
+
+namespace cb::an {
+
+using ir::Instr;
+using ir::InstrId;
+using ir::Opcode;
+using ir::TypeId;
+using ir::TypeKind;
+using ir::ValueRef;
+
+namespace {
+
+/// What each function (transitively) writes: which of its formals, and
+/// which module globals. Call sites become write points of the caller
+/// entities bound to written formals and of written globals — the paper's
+/// exit-variable transfer ("parameters that are pointers, return values,
+/// global variables"). Without the written-check, read-only ref captures
+/// would absorb the blame of entire parallel regions.
+struct WriteSummary {
+  std::vector<std::vector<bool>> params;      // per function, per formal
+  std::vector<std::set<ir::GlobalId>> globals;  // per function
+};
+
+WriteSummary computeWriteSummary(const ir::Module& m) {
+  WriteSummary out;
+  out.params.resize(m.numFunctions());
+  out.globals.resize(m.numFunctions());
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+    out.params[f].assign(m.function(f).params.size(), false);
+
+  auto markDirect = [&](ir::FuncId f, const ir::Function& fn, const ValueRef& addr) {
+    EntityKey k = resolveChainKey(m, fn, addr);
+    if (k.root == RootKind::Param && k.rootId < out.params[f].size())
+      out.params[f][k.rootId] = true;
+    else if (k.root == RootKind::Global)
+      out.globals[f].insert(k.rootId);
+  };
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    for (const Instr& in : fn.instrs) {
+      if (in.op == Opcode::Store) {
+        markDirect(f, fn, in.ops[1]);
+      } else if (in.op == Opcode::Builtin &&
+                 (in.extra.builtin == ir::BuiltinKind::ArrayFill ||
+                  in.extra.builtin == ir::BuiltinKind::ArrayCopy)) {
+        markDirect(f, fn, in.ops[0]);
+      } else if (in.op == Opcode::ArrayView) {
+        // Descriptor writes (domain remapping) count as IR-level writes.
+        markDirect(f, fn, in.ops[0]);
+        markDirect(f, fn, in.ops[1]);
+      } else if (in.op == Opcode::IterOverhead) {
+        // Zippered iterator advance writes the follower state of each
+        // iterand.
+        for (const ValueRef& op : in.ops) markDirect(f, fn, op);
+      }
+    }
+  }
+  // Transitive closure over the call graph.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+      const ir::Function& fn = m.function(f);
+      for (const Instr& in : fn.instrs) {
+        if (in.op != Opcode::Call && in.op != Opcode::Spawn) continue;
+        ir::FuncId callee = in.extra.func;
+        // NOTE: globals written by a callee are deliberately NOT folded into
+        // the caller's set — inclusive sample matching already visits every
+        // frame on the call path, so the frame where the write really
+        // happens provides the credit. Folding transitively would blame
+        // every module variable for the whole program (losing Table II's
+        // Count-vs-Pos differentiation).
+        // Arguments bound to written formals are written by the caller.
+        const auto& calleeParams = out.params[callee];
+        for (size_t i = 0; i < in.ops.size() && i < calleeParams.size(); ++i) {
+          if (!calleeParams[i]) continue;
+          EntityKey k = resolveChainKey(m, fn, in.ops[i]);
+          if (k.root == RootKind::Param && k.rootId < out.params[f].size() &&
+              !out.params[f][k.rootId]) {
+            out.params[f][k.rootId] = true;
+            changed = true;
+          } else if (k.root == RootKind::Global && out.globals[f].insert(k.rootId).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Per-function analyzer. Builds entities, blame sets, inheritance edges and
+/// callsite transfer maps for one function.
+class FunctionAnalyzer {
+ public:
+  FunctionAnalyzer(const ir::Module& m, ir::FuncId fid, const BlameOptions& opts,
+                   const WriteSummary& writeSummary)
+      : m_(m), fn_(m.function(fid)), fid_(fid), opts_(opts), writeSummary_(writeSummary) {
+    out_.func = fid;
+    sliceCache_.resize(fn_.numInstrs());
+  }
+
+  FunctionBlame run() {
+    Cfg cfg(fn_);
+    DominatorTree dom(cfg, /*post=*/false);
+    DominatorTree postDom(cfg, /*post=*/true);
+    ControlDependence cd(cfg, postDom);
+
+    // A block's write is "conditional" when it is control-dependent on a
+    // branch that is NOT a loop header (an if/else). Conditional writes
+    // contribute their own statement lines but do not establish explicit
+    // transfer edges — the statement "is not necessarily executed during
+    // runtime" (paper §III; this is what keeps `b`'s line out of `a`'s
+    // blame set for `if a<b then a=b+1` in Table I).
+    auto isLoopHeader = [&](ir::BlockId a) {
+      for (ir::BlockId p : cfg.preds(a))
+        if (dom.dominates(a, p)) return true;  // back edge into a
+      return false;
+    };
+    conditionalBlock_.assign(fn_.numBlocks(), false);
+    for (ir::BlockId b = 0; b < fn_.numBlocks(); ++b) {
+      for (ir::BlockId a : cd.controllers(b)) {
+        if (!isLoopHeader(a)) {
+          conditionalBlock_[b] = true;
+          break;
+        }
+      }
+    }
+
+    collectWrites();
+    applyDirectTransfer();
+    applyImplicitTransfer(cd);
+    propagate();
+    finalizeEntities();
+    invertIndex();
+    return std::move(out_);
+  }
+
+ private:
+  struct Slice {
+    std::set<InstrId> instrs;
+    std::set<EntityId> reads;   // entities read (explicit-transfer sources)
+    std::set<InstrId> calls;    // call instructions feeding the value
+  };
+
+  struct WriteRec {
+    InstrId instr;
+    ir::BlockId block;
+    EntityId target;
+    const Slice* slice;            // may be null (call-site writes)
+    const Slice* addrSlice = nullptr;  // write-address computation work
+    bool aliasStore = false;       // stored value is an array handle/view
+  };
+
+  // ---- type / chain helpers (shared with the baseline profiler) ----------
+
+  bool isArrayValue(const ValueRef& v) const {
+    TypeId t = typeOfValue(m_, fn_, v);
+    return t != ir::kInvalidType && m_.types().kindOf(t) == TypeKind::Array;
+  }
+
+  EntityKey resolveKey(const ValueRef& v) const { return resolveChainKey(m_, fn_, v); }
+
+  /// Gets or creates the entity for a key, along with all prefix entities.
+  /// Containment edges make every prefix inherit its sub-objects' blame.
+  EntityId entityOf(const EntityKey& key) {
+    auto it = out_.index.find(key);
+    if (it != out_.index.end()) return it->second;
+
+    EntityId parent = kNoEntity;
+    if (!key.path.empty()) {
+      EntityKey pk = key;
+      pk.path.pop_back();
+      parent = entityOf(pk);
+    }
+    EntityId id = static_cast<EntityId>(out_.entities.size());
+    Entity e;
+    e.key = key;
+    e.parent = parent;
+    out_.entities.push_back(std::move(e));
+    out_.blameInstrs.emplace_back();
+    out_.regionInstrs.emplace_back();
+    out_.inheritsFrom.emplace_back();
+    out_.regionInheritsFrom.emplace_back();
+    out_.exitViaCaller.push_back(false);
+    out_.index.emplace(key, id);
+    if (parent != kNoEntity) {
+      out_.inheritsFrom[parent].insert(id);
+      out_.regionInheritsFrom[parent].insert(id);
+    }
+    return id;
+  }
+
+  // ---- slices -------------------------------------------------------------
+
+  const Slice& sliceOf(InstrId r) {
+    if (sliceCache_[r]) return *sliceCache_[r];
+    Slice s;
+    s.instrs.insert(r);
+    const Instr& in = fn_.instrs[r];
+
+    // Merge a sub-slice. `structural` operands (the base pointer of an
+    // address chain) contribute their instructions — the addressing work —
+    // but NOT their entity reads: reading p.ratio transfers blame from the
+    // ratio field, not from the whole struct p.
+    auto mergeReg = [&](const ValueRef& op, bool structural) {
+      if (op.kind == ValueRef::Kind::Reg) {
+        const Slice& sub = sliceOf(op.reg);
+        s.instrs.insert(sub.instrs.begin(), sub.instrs.end());
+        s.calls.insert(sub.calls.begin(), sub.calls.end());
+        if (!structural) s.reads.insert(sub.reads.begin(), sub.reads.end());
+      } else if (op.kind == ValueRef::Kind::Arg && !structural) {
+        s.reads.insert(entityOf(EntityKey{RootKind::Param, op.arg, {}}));
+      }
+    };
+
+    switch (in.op) {
+      case Opcode::Load: {
+        // Stop at loads: the loaded location becomes an explicit-transfer
+        // source; its own blame set is inherited via an edge, not inlined.
+        EntityKey k = resolveKey(in.ops[0]);
+        if (k.root != RootKind::Unknown) s.reads.insert(entityOf(k));
+        // Address-computation work (field/element addressing, descriptor
+        // loads) belongs to this read; its reads are index reads only.
+        mergeReg(in.ops[0], /*structural=*/false);
+        break;
+      }
+      case Opcode::FieldAddr:
+      case Opcode::TupleAddr:
+      case Opcode::IndexAddr:
+      case Opcode::ArrayView:
+        mergeReg(in.ops[0], /*structural=*/true);
+        for (size_t i = 1; i < in.ops.size(); ++i) mergeReg(in.ops[i], /*structural=*/false);
+        break;
+      case Opcode::Alloca:
+        break;
+      case Opcode::Call:
+        s.calls.insert(r);
+        for (const ValueRef& op : in.ops) mergeReg(op, /*structural=*/false);
+        break;
+      default:
+        for (const ValueRef& op : in.ops) mergeReg(op, /*structural=*/false);
+        break;
+    }
+    sliceCache_[r] = std::move(s);
+    return *sliceCache_[r];
+  }
+
+  // ---- write collection ---------------------------------------------------
+
+  void collectWrites() {
+    for (ir::BlockId b = 0; b < fn_.numBlocks(); ++b) {
+      for (InstrId id : fn_.blocks[b].instrs) {
+        const Instr& in = fn_.instrs[id];
+        switch (in.op) {
+          case Opcode::Store: {
+            EntityKey k = resolveKey(in.ops[1]);
+            if (k.root == RootKind::Unknown) break;
+            WriteRec w;
+            w.instr = id;
+            w.block = b;
+            w.target = entityOf(k);
+            w.slice = &sliceOf2(in.ops[0]);
+            if (in.ops[1].kind == ValueRef::Kind::Reg) w.addrSlice = &sliceOf(in.ops[1].reg);
+            w.aliasStore = isArrayValue(in.ops[0]);
+            writes_.push_back(w);
+            break;
+          }
+          case Opcode::Builtin: {
+            if (in.extra.builtin == ir::BuiltinKind::ArrayFill ||
+                in.extra.builtin == ir::BuiltinKind::ArrayCopy) {
+              EntityKey k = resolveKey(in.ops[0]);
+              if (k.root == RootKind::Unknown) break;
+              WriteRec w;
+              w.instr = id;
+              w.block = b;
+              w.target = entityOf(k);
+              w.slice = &sliceOf2(in.ops[1]);
+              if (in.ops[0].kind == ValueRef::Kind::Reg) w.addrSlice = &sliceOf(in.ops[0].reg);
+              // Note: ArrayCopy is an element-wise value copy, so the
+              // destination inherits the source explicitly (not an alias).
+              writes_.push_back(w);
+            }
+            break;
+          }
+          case Opcode::ArrayView: {
+            // Domain remapping writes a view descriptor tied to the base
+            // array and the mapping domain — an IR-level write, which is
+            // exactly how the paper explains Count's and binSpace's blame
+            // in Table II ("this variable is 'written' (not at the source
+            // code level, but at the llvm instruction level) during the
+            // main calculations").
+            for (int k = 0; k < 2; ++k) {
+              EntityKey key = resolveKey(in.ops[k]);
+              if (key.root == RootKind::Unknown) continue;
+              WriteRec w;
+              w.instr = id;
+              w.block = b;
+              w.target = entityOf(key);
+              w.slice = nullptr;
+              writes_.push_back(w);
+            }
+            break;
+          }
+          case Opcode::IterOverhead: {
+            // Per-iteration zippered iterator advance: an IR-level write to
+            // each iterand's follower state.
+            for (const ValueRef& op : in.ops) {
+              EntityKey k = resolveKey(op);
+              if (k.root == RootKind::Unknown) continue;
+              WriteRec w;
+              w.instr = id;
+              w.block = b;
+              w.target = entityOf(k);
+              w.slice = nullptr;
+              writes_.push_back(w);
+            }
+            break;
+          }
+          case Opcode::Ret: {
+            if (in.ops.empty()) break;
+            WriteRec w;
+            w.instr = id;
+            w.block = b;
+            w.target = entityOf(EntityKey{RootKind::Ret, 0, {}});
+            w.slice = &sliceOf2(in.ops[0]);
+            writes_.push_back(w);
+            break;
+          }
+          case Opcode::Call:
+          case Opcode::Spawn: {
+            if (in.op == Opcode::Spawn) {
+              // Zippered iteration over a remapped view (`zip(Count[binSpace],
+              // ...)`) drives the iterators through the view descriptor every
+              // spawn: the mapping domain is written at the IR level here, so
+              // samples under the forall blame it (Table II's binSpace row).
+              for (const ValueRef& op : in.ops) {
+                ValueRef v = op;
+                while (v.kind == ValueRef::Kind::Reg) {
+                  const Instr& def = fn_.instrs[v.reg];
+                  if (def.op == Opcode::ArrayView) {
+                    EntityKey dk = resolveKey(def.ops[1]);
+                    if (dk.root != RootKind::Unknown) {
+                      WriteRec w;
+                      w.instr = id;
+                      w.block = b;
+                      w.target = entityOf(dk);
+                      w.slice = nullptr;
+                      writes_.push_back(w);
+                    }
+                    v = def.ops[0];
+                  } else if (def.op == Opcode::Load) {
+                    v = def.ops[0];
+                  } else {
+                    break;
+                  }
+                }
+              }
+            }
+            // Globals (transitively) written by the callee: the call site
+            // is a write point for each — this is what lets samples deep in
+            // LagrangeLeapFrog-style call chains bubble up to module-scope
+            // variables (the paper's global exit variables).
+            for (ir::GlobalId g : writeSummary_.globals[in.extra.func]) {
+              WriteRec w;
+              w.instr = id;
+              w.block = b;
+              w.target = entityOf(EntityKey{RootKind::Global, g, {}});
+              w.slice = nullptr;
+              writes_.push_back(w);
+            }
+            FunctionBlame::CallSite cs;
+            cs.callee = in.extra.func;
+            const ir::Function& callee = m_.function(cs.callee);
+            cs.paramToCallerEntity.assign(callee.params.size(), kNoEntity);
+            for (size_t i = 0; i < in.ops.size() && i < callee.params.size(); ++i) {
+              EntityKey k = resolveKey(in.ops[i]);
+              if (k.root == RootKind::Unknown) continue;
+              EntityId ce = entityOf(k);
+              cs.paramToCallerEntity[i] = ce;
+              // The call site is a write point of the caller entity only
+              // when the callee (transitively) writes this formal.
+              const auto& calleeWritten = writeSummary_.params[in.extra.func];
+              if (i < calleeWritten.size() && calleeWritten[i]) {
+                WriteRec w;
+                w.instr = id;
+                w.block = b;
+                w.target = ce;
+                w.slice = nullptr;
+                writes_.push_back(w);
+              }
+            }
+            out_.callsites.emplace(id, std::move(cs));
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    // Writer blocks per entity (used by the loop-carried test below).
+    writerBlocks_.assign(out_.entities.size(), {});
+    for (const WriteRec& w : writes_) {
+      if (w.target < writerBlocks_.size()) writerBlocks_[w.target].insert(w.block);
+    }
+  }
+
+  /// sliceOf for an arbitrary operand (constants yield an empty slice).
+  const Slice& sliceOf2(const ValueRef& v) {
+    if (v.kind == ValueRef::Kind::Reg) return sliceOf(v.reg);
+    static const Slice kEmpty{};
+    if (v.kind == ValueRef::Kind::Arg) {
+      // A by-value parameter use contributes the parameter as a read.
+      Slice s;
+      s.reads.insert(entityOf(EntityKey{RootKind::Param, v.arg, {}}));
+      argSlices_.push_back(std::make_unique<Slice>(std::move(s)));
+      return *argSlices_.back();
+    }
+    return kEmpty;
+  }
+
+  // ---- transfer -----------------------------------------------------------
+
+  void applyDirectTransfer() {
+    for (const WriteRec& w : writes_) {
+      if (!w.slice && !w.addrSlice) {
+        // Region-only write (descriptor / iterator-state / call-site).
+        out_.regionInstrs[w.target].insert(w.instr);
+        continue;
+      }
+      auto& set = out_.blameInstrs[w.target];
+      set.insert(w.instr);
+      if (w.addrSlice) {
+        // Address computation for the write is work done on behalf of the
+        // target; its reads (e.g. the element index) transfer explicitly.
+        set.insert(w.addrSlice->instrs.begin(), w.addrSlice->instrs.end());
+        if (w.block >= conditionalBlock_.size() || !conditionalBlock_[w.block])
+          for (EntityId r : w.addrSlice->reads) out_.inheritsFrom[w.target].insert(r);
+      }
+      if (!w.slice) continue;
+      set.insert(w.slice->instrs.begin(), w.slice->instrs.end());
+      if (w.aliasStore && opts_.aliasTransfer) {
+        // Alias-establishing store (`var RealPos => Pos[binSpace];` or an
+        // array handle copy): the owner inherits the alias's future blame,
+        // not the other way round — Pos >= RealPos, as in Table II.
+        for (EntityId r : w.slice->reads) {
+          out_.inheritsFrom[r].insert(w.target);
+          out_.regionInheritsFrom[r].insert(w.target);
+        }
+      } else if (w.block >= conditionalBlock_.size() || !conditionalBlock_[w.block]) {
+        for (EntityId r : w.slice->reads) out_.inheritsFrom[w.target].insert(r);
+      }
+      for (InstrId c : w.slice->calls) {
+        auto cs = out_.callsites.find(c);
+        if (cs != out_.callsites.end()) cs->second.resultTargets.insert(w.target);
+      }
+    }
+  }
+
+  void applyImplicitTransfer(const ControlDependence& cd) {
+    if (!opts_.implicitTransfer) return;
+    size_t numWrites = writes_.size();  // snapshot: implicit adds no writes
+    for (size_t wi = 0; wi < numWrites; ++wi) {
+      const WriteRec& w = writes_[wi];
+      if (!w.slice && !w.addrSlice) continue;  // region-only writes: no implicit
+      for (ir::BlockId a : cd.controllers(w.block)) {
+        const ir::BasicBlock& ab = fn_.blocks[a];
+        InstrId branchId = ab.instrs.back();
+        const Instr& branch = fn_.instrs[branchId];
+        out_.blameInstrs[w.target].insert(branchId);
+        if (branch.op != Opcode::CondBr || branch.ops[0].kind != ValueRef::Kind::Reg) continue;
+        // NOTE: sliceOf may create entities and reallocate blameInstrs, so
+        // compute it before taking any reference into the table.
+        const Slice& cond = sliceOf(branch.ops[0].reg);
+        auto& set = out_.blameInstrs[w.target];
+        set.insert(cond.instrs.begin(), cond.instrs.end());
+        // Loop-carried condition variables (e.g. the loop index, whose
+        // increment is itself controlled by this branch) transfer blame to
+        // everything written under the branch.
+        for (EntityId u : cond.reads) {
+          if (u >= writerBlocks_.size()) continue;
+          bool loopCarried = false;
+          for (ir::BlockId wb : writerBlocks_[u]) {
+            const auto& ctl = cd.controllers(wb);
+            if (std::find(ctl.begin(), ctl.end(), a) != ctl.end()) {
+              loopCarried = true;
+              break;
+            }
+          }
+          if (loopCarried) out_.inheritsFrom[w.target].insert(u);
+        }
+      }
+    }
+  }
+
+  void propagate() {
+    auto fixpoint = [&](std::vector<std::set<InstrId>>& sets,
+                        const std::vector<std::set<EntityId>>& edges) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (EntityId e = 0; e < out_.entities.size(); ++e) {
+          auto& set = sets[e];
+          size_t before = set.size();
+          for (EntityId u : edges[e]) {
+            if (u == e) continue;
+            set.insert(sets[u].begin(), sets[u].end());
+          }
+          if (set.size() != before) changed = true;
+        }
+      }
+    };
+    fixpoint(out_.blameInstrs, out_.inheritsFrom);
+    fixpoint(out_.regionInstrs, out_.regionInheritsFrom);
+  }
+
+  // ---- finalize -----------------------------------------------------------
+
+  void finalizeEntities() {
+    for (EntityId id = 0; id < out_.entities.size(); ++id) {
+      Entity& e = out_.entities[id];
+      std::string rootName;
+      ir::TypeId rootTy = ir::kInvalidType;
+      bool rootDisplayable = false;
+      switch (e.key.root) {
+        case RootKind::Local: {
+          const Instr& a = fn_.instrs[e.key.rootId];
+          if (a.extra.debugVar != ir::kNone) {
+            const ir::DebugVar& dv = m_.debugVar(a.extra.debugVar);
+            e.debugVar = a.extra.debugVar;
+            rootName = m_.interner().str(dv.name);
+            rootDisplayable = dv.displayable();
+          } else {
+            rootName = "_local" + std::to_string(e.key.rootId);
+          }
+          rootTy = m_.types().pointee(a.type);
+          break;
+        }
+        case RootKind::Param: {
+          const ir::Param& p = fn_.params[e.key.rootId];
+          e.debugVar = p.debugVar;
+          rootName = m_.interner().str(p.name);
+          rootTy = p.type;
+          rootDisplayable = p.debugVar != ir::kNone && m_.debugVar(p.debugVar).displayable();
+          // Compiler-generated iteration parameters are hidden, user
+          // captures keep their names.
+          if (rootName.rfind("_iter", 0) == 0 || rootName.rfind("chunk_", 0) == 0)
+            rootDisplayable = false;
+          out_.exitViaCaller[id] =
+              p.byRef || m_.types().kindOf(p.type) == TypeKind::Array ||
+              m_.types().kindOf(p.type) == TypeKind::Domain;
+          break;
+        }
+        case RootKind::Global: {
+          const ir::GlobalVar& g = m_.global(e.key.rootId);
+          e.debugVar = g.debugVar;
+          rootName = m_.interner().str(g.name);
+          rootTy = g.type;
+          rootDisplayable = g.debugVar != ir::kNone && m_.debugVar(g.debugVar).displayable();
+          break;
+        }
+        case RootKind::Ret:
+          rootName = "<ret>";
+          rootTy = fn_.returnType;
+          break;
+        case RootKind::Unknown:
+          rootName = "<unknown>";
+          break;
+      }
+
+      // Render the display name and compute the leaf type along the path.
+      std::string name = rootName;
+      TypeId ty = rootTy;
+      int indexDepth = 0;
+      static const char* kIndexNames[] = {"i", "j", "k", "l", "m"};
+      for (const PathElem& pe : e.key.path) {
+        switch (pe.kind) {
+          case PathElem::Kind::Field:
+            name += "." + (pe.fieldName.empty() ? ("f" + std::to_string(pe.idx)) : pe.fieldName);
+            if (ty != ir::kInvalidType && m_.types().kindOf(ty) == TypeKind::Record) {
+              const ir::Type& rt = m_.types().get(ty);
+              ty = pe.idx < rt.fields.size() ? rt.fields[pe.idx].type : ir::kInvalidType;
+            } else {
+              ty = ir::kInvalidType;
+            }
+            break;
+          case PathElem::Kind::Index:
+            name += std::string("[") + kIndexNames[std::min(indexDepth, 4)] + "]";
+            ++indexDepth;
+            if (ty != ir::kInvalidType && m_.types().kindOf(ty) == TypeKind::Array)
+              ty = m_.types().get(ty).elem;
+            else
+              ty = ir::kInvalidType;
+            break;
+          case PathElem::Kind::TupleElem:
+            name += pe.idx == ~0u ? "(i)" : "(" + std::to_string(pe.idx + 1) + ")";
+            if (ty != ir::kInvalidType && m_.types().kindOf(ty) == TypeKind::Tuple) {
+              const ir::Type& tt = m_.types().get(ty);
+              ty = (pe.idx == ~0u && !tt.elems.empty()) ? tt.elems.front()
+                   : pe.idx < tt.elems.size()           ? tt.elems[pe.idx]
+                                                        : ir::kInvalidType;
+            } else {
+              ty = ir::kInvalidType;
+            }
+            break;
+        }
+      }
+      e.displayName = e.key.path.empty() ? name : "->" + name;
+      if (e.key.path.empty() && e.debugVar != ir::kNone &&
+          !m_.debugVar(e.debugVar).typeDisplay.empty()) {
+        e.typeDisplay = m_.debugVar(e.debugVar).typeDisplay;
+      } else if (ty != ir::kInvalidType) {
+        e.typeDisplay = m_.types().display(ty, m_.interner());
+      } else {
+        e.typeDisplay = "?";
+      }
+      e.displayable = rootDisplayable && e.key.root != RootKind::Ret &&
+                      e.key.root != RootKind::Unknown && !m_.debugInfoStripped;
+    }
+  }
+
+  void invertIndex() {
+    out_.instrEntities.assign(fn_.numInstrs(), {});
+    for (EntityId e = 0; e < out_.entities.size(); ++e) {
+      for (InstrId i : out_.blameInstrs[e]) out_.instrEntities[i].push_back(e);
+      for (InstrId i : out_.regionInstrs[e]) {
+        if (!out_.blameInstrs[e].count(i)) out_.instrEntities[i].push_back(e);
+      }
+    }
+  }
+
+  const ir::Module& m_;
+  const ir::Function& fn_;
+  ir::FuncId fid_;
+  BlameOptions opts_;
+  const WriteSummary& writeSummary_;
+  FunctionBlame out_;
+  std::vector<std::optional<Slice>> sliceCache_;
+  std::vector<std::unique_ptr<Slice>> argSlices_;
+  std::vector<WriteRec> writes_;
+  std::vector<std::set<ir::BlockId>> writerBlocks_;
+  std::vector<bool> conditionalBlock_;
+};
+
+}  // namespace
+
+std::set<uint32_t> FunctionBlame::blameLines(const ir::Module& m, EntityId e) const {
+  std::set<uint32_t> lines;
+  const ir::Function& f = m.function(func);
+  auto add = [&](const std::set<ir::InstrId>& set) {
+    for (ir::InstrId i : set) {
+      const ir::Instr& in = f.instrs.at(i);
+      if (in.loc.valid()) lines.insert(in.loc.line);
+    }
+  };
+  add(blameInstrs.at(e));
+  add(regionInstrs.at(e));
+  return lines;
+}
+
+std::vector<ir::GlobalId> ModuleBlame::aliasSiblings(ir::GlobalId g) const {
+  std::vector<ir::GlobalId> out;
+  if (g >= globalAliasGroup.size()) return out;
+  for (ir::GlobalId other : aliasGroups[globalAliasGroup[g]])
+    if (other != g) out.push_back(other);
+  return out;
+}
+
+namespace {
+
+/// Union-find over globals joined by module-scope alias stores
+/// (`var RealPos => Pos[binSpace];`).
+void computeAliasGroups(const ir::Module& m, ModuleBlame& out) {
+  std::vector<uint32_t> parent(m.numGlobals());
+  for (uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    for (const Instr& in : fn.instrs) {
+      if (in.op != Opcode::Store) continue;
+      if (in.ops[1].kind != ValueRef::Kind::GlobalAddr) continue;
+      ir::GlobalId dst = in.ops[1].global;
+      if (m.types().kindOf(m.global(dst).type) != TypeKind::Array) continue;
+      EntityKey src = resolveChainKey(m, fn, in.ops[0]);
+      if (src.root != RootKind::Global || src.rootId == dst) continue;
+      // Only view/handle aliases, not element stores (path must be empty).
+      if (!src.path.empty()) continue;
+      if (m.types().kindOf(m.global(src.rootId).type) != TypeKind::Array) continue;
+      parent[find(dst)] = find(src.rootId);
+    }
+  }
+  std::unordered_map<uint32_t, uint32_t> groupIds;
+  out.globalAliasGroup.resize(m.numGlobals());
+  for (ir::GlobalId g = 0; g < m.numGlobals(); ++g) {
+    uint32_t root = find(g);
+    auto [it, inserted] = groupIds.emplace(root, static_cast<uint32_t>(out.aliasGroups.size()));
+    if (inserted) out.aliasGroups.emplace_back();
+    out.globalAliasGroup[g] = it->second;
+    out.aliasGroups[it->second].push_back(g);
+  }
+}
+
+}  // namespace
+
+ModuleBlame analyzeModule(const ir::Module& m, const BlameOptions& opts) {
+  ModuleBlame out;
+  out.mod = &m;
+  WriteSummary summary = computeWriteSummary(m);
+  out.functions.reserve(m.numFunctions());
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    out.functions.push_back(FunctionAnalyzer(m, f, opts, summary).run());
+  }
+  computeAliasGroups(m, out);
+  return out;
+}
+
+}  // namespace cb::an

@@ -1,0 +1,57 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace cb::an {
+
+namespace {
+
+void postorder(ir::BlockId start, const std::vector<std::vector<ir::BlockId>>& adj,
+               std::vector<ir::BlockId>& out) {
+  std::vector<uint8_t> state(adj.size(), 0);  // 0=unseen 1=open 2=done
+  std::vector<std::pair<ir::BlockId, size_t>> stack;
+  stack.emplace_back(start, 0);
+  state[start] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < adj[b].size()) {
+      ir::BlockId s = adj[b][next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      out.push_back(b);
+      state[b] = 2;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Cfg::Cfg(const ir::Function& fn) : fn_(&fn), numBlocks_(fn.numBlocks()) {
+  size_t n = numBlocks_ + 1;  // + virtual exit
+  succs_.resize(n);
+  preds_.resize(n);
+  for (ir::BlockId b = 0; b < numBlocks_; ++b) {
+    for (ir::BlockId s : fn.successors(b)) {
+      succs_[b].push_back(s);
+      preds_[s].push_back(b);
+    }
+    if (fn.terminator(b).op == ir::Opcode::Ret) {
+      succs_[b].push_back(virtualExit());
+      preds_[virtualExit()].push_back(b);
+    }
+  }
+
+  std::vector<ir::BlockId> po;
+  postorder(0, succs_, po);
+  rpo_.assign(po.rbegin(), po.rend());
+
+  std::vector<ir::BlockId> rpoBack;
+  postorder(virtualExit(), preds_, rpoBack);
+  rrpo_.assign(rpoBack.rbegin(), rpoBack.rend());
+}
+
+}  // namespace cb::an

@@ -1,0 +1,38 @@
+// Control-flow-graph utilities over CIR functions.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace cb::an {
+
+/// Predecessor lists and traversal orders for one function's CFG.
+/// A virtual exit node (id = numBlocks()) is appended so post-dominance is
+/// well-defined for functions with multiple returns.
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& fn);
+
+  const ir::Function& fn() const { return *fn_; }
+  size_t numBlocks() const { return numBlocks_; }          // real blocks
+  ir::BlockId virtualExit() const { return static_cast<ir::BlockId>(numBlocks_); }
+
+  const std::vector<ir::BlockId>& succs(ir::BlockId b) const { return succs_[b]; }
+  const std::vector<ir::BlockId>& preds(ir::BlockId b) const { return preds_[b]; }
+
+  /// Reverse postorder over the forward CFG starting at the entry.
+  const std::vector<ir::BlockId>& rpo() const { return rpo_; }
+  /// Reverse postorder over the reversed CFG starting at the virtual exit.
+  const std::vector<ir::BlockId>& reverseRpo() const { return rrpo_; }
+
+ private:
+  const ir::Function* fn_;
+  size_t numBlocks_;
+  std::vector<std::vector<ir::BlockId>> succs_;  // incl. virtual exit node
+  std::vector<std::vector<ir::BlockId>> preds_;
+  std::vector<ir::BlockId> rpo_;
+  std::vector<ir::BlockId> rrpo_;
+};
+
+}  // namespace cb::an

@@ -1,0 +1,29 @@
+#include "analysis/control_dep.h"
+
+#include <algorithm>
+
+namespace cb::an {
+
+ControlDependence::ControlDependence(const Cfg& cfg, const DominatorTree& postDom) {
+  size_t n = cfg.numBlocks();
+  deps_.resize(n);
+  // For every CFG edge A -> S where A does not post-dominate... walk the
+  // post-dominator tree from S up to (but excluding) ipdom(A); every block on
+  // that path is control-dependent on A.
+  for (ir::BlockId a = 0; a < n; ++a) {
+    if (cfg.succs(a).size() < 2) continue;  // only branches create dependence
+    ir::BlockId stop = postDom.idom(a);
+    for (ir::BlockId s : cfg.succs(a)) {
+      ir::BlockId runner = s;
+      while (runner != stop && runner != kNoBlock && runner != cfg.virtualExit()) {
+        if (runner < n) {
+          auto& d = deps_[runner];
+          if (std::find(d.begin(), d.end(), a) == d.end()) d.push_back(a);
+        }
+        runner = postDom.idom(runner);
+      }
+    }
+  }
+}
+
+}  // namespace cb::an

@@ -1,0 +1,28 @@
+// Control-dependence computation via the classic Ferrante-Ottenstein-Warren
+// criterion: B is control-dependent on branch block A iff A has a successor
+// S such that B post-dominates S, and B does not strictly post-dominate A.
+//
+// The paper's implicit blame transfer hangs off this: "All variables within
+// control dependent basic blocks have a relationship to the implicit
+// variables responsible for the control flow" (§IV.A).
+#pragma once
+
+#include <vector>
+
+#include "analysis/dominators.h"
+
+namespace cb::an {
+
+class ControlDependence {
+ public:
+  ControlDependence(const Cfg& cfg, const DominatorTree& postDom);
+
+  /// Branch blocks (with conditional terminators) that block b is
+  /// control-dependent on.
+  const std::vector<ir::BlockId>& controllers(ir::BlockId b) const { return deps_[b]; }
+
+ private:
+  std::vector<std::vector<ir::BlockId>> deps_;
+};
+
+}  // namespace cb::an

@@ -1,0 +1,60 @@
+#include "analysis/dominators.h"
+
+#include <unordered_map>
+
+#include "support/common.h"
+
+namespace cb::an {
+
+DominatorTree::DominatorTree(const Cfg& cfg, bool post) {
+  size_t n = cfg.numBlocks() + 1;
+  idom_.assign(n, kNoBlock);
+  root_ = post ? cfg.virtualExit() : 0;
+  const std::vector<ir::BlockId>& order = post ? cfg.reverseRpo() : cfg.rpo();
+
+  // Map block -> position in the chosen RPO; used by the intersect walk.
+  std::vector<uint32_t> rpoIndex(n, ~0u);
+  for (uint32_t i = 0; i < order.size(); ++i) rpoIndex[order[i]] = i;
+
+  auto preds = [&](ir::BlockId b) -> const std::vector<ir::BlockId>& {
+    return post ? cfg.succs(b) : cfg.preds(b);
+  };
+
+  auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+    while (a != b) {
+      while (rpoIndex[a] > rpoIndex[b]) a = idom_[a];
+      while (rpoIndex[b] > rpoIndex[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  idom_[root_] = root_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::BlockId b : order) {
+      if (b == root_) continue;
+      ir::BlockId newIdom = kNoBlock;
+      for (ir::BlockId p : preds(b)) {
+        if (rpoIndex[p] == ~0u || idom_[p] == kNoBlock) continue;  // unreachable
+        newIdom = (newIdom == kNoBlock) ? p : intersect(p, newIdom);
+      }
+      if (newIdom != kNoBlock && idom_[b] != newIdom) {
+        idom_[b] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  idom_[root_] = kNoBlock;  // the root has no immediate dominator
+}
+
+bool DominatorTree::dominates(ir::BlockId a, ir::BlockId b) const {
+  while (b != kNoBlock) {
+    if (a == b) return true;
+    if (b == root_) return false;
+    b = idom_[b];
+  }
+  return false;
+}
+
+}  // namespace cb::an

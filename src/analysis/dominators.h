@@ -1,0 +1,34 @@
+// Dominator and post-dominator trees (Cooper-Harvey-Kennedy "A Simple, Fast
+// Dominance Algorithm"). The post-dominator tree feeds control-dependence
+// computation, which drives the paper's *implicit* blame transfer.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace cb::an {
+
+inline constexpr ir::BlockId kNoBlock = ~0u;
+
+class DominatorTree {
+ public:
+  /// post = false: dominators rooted at the entry; post = true:
+  /// post-dominators rooted at the virtual exit.
+  DominatorTree(const Cfg& cfg, bool post);
+
+  /// Immediate (post-)dominator; kNoBlock for the root / unreachable blocks.
+  ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+  ir::BlockId root() const { return root_; }
+
+  /// True when a (post-)dominates b (reflexive).
+  bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+  size_t size() const { return idom_.size(); }
+
+ private:
+  std::vector<ir::BlockId> idom_;
+  ir::BlockId root_;
+};
+
+}  // namespace cb::an

@@ -1,0 +1,121 @@
+#include "analysis/resolve.h"
+
+namespace cb::an {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::TypeId;
+using ir::TypeKind;
+using ir::ValueRef;
+
+TypeId typeOfValue(const ir::Module& m, const ir::Function& fn, const ValueRef& v) {
+  switch (v.kind) {
+    case ValueRef::Kind::Reg:
+      return fn.instrs[v.reg].type;
+    case ValueRef::Kind::Arg: {
+      const ir::Param& p = fn.params[v.arg];
+      // By-ref formals carry the address of a value of their declared type.
+      if (p.byRef) {
+        // Look the Ref type up without mutating the context: scan for it.
+        for (TypeId t = 0; t < m.types().size(); ++t) {
+          const ir::Type& ty = m.types().get(t);
+          if (ty.kind == TypeKind::Ref && ty.elem == p.type) return t;
+        }
+        return ir::kInvalidType;  // no address of this type was ever formed
+      }
+      return p.type;
+    }
+    case ValueRef::Kind::GlobalAddr: {
+      TypeId g = m.global(v.global).type;
+      for (TypeId t = 0; t < m.types().size(); ++t) {
+        const ir::Type& ty = m.types().get(t);
+        if (ty.kind == TypeKind::Ref && ty.elem == g) return t;
+      }
+      return ir::kInvalidType;
+    }
+    case ValueRef::Kind::ConstInt: return m.types().intTy();
+    case ValueRef::Kind::ConstReal: return m.types().realTy();
+    case ValueRef::Kind::ConstBool: return m.types().boolTy();
+    case ValueRef::Kind::ConstString: return m.types().stringTy();
+    case ValueRef::Kind::None: return ir::kInvalidType;
+  }
+  return ir::kInvalidType;
+}
+
+EntityKey resolveChainKey(const ir::Module& m, const ir::Function& fn, ValueRef v) {
+  std::vector<PathElem> rpath;  // leaf-to-root
+  for (;;) {
+    switch (v.kind) {
+      case ValueRef::Kind::Arg: {
+        EntityKey k{RootKind::Param, v.arg, {}};
+        k.path.assign(rpath.rbegin(), rpath.rend());
+        return k;
+      }
+      case ValueRef::Kind::GlobalAddr: {
+        EntityKey k{RootKind::Global, v.global, {}};
+        k.path.assign(rpath.rbegin(), rpath.rend());
+        return k;
+      }
+      case ValueRef::Kind::Reg: {
+        const Instr& in = fn.instrs[v.reg];
+        switch (in.op) {
+          case Opcode::Alloca: {
+            EntityKey k{RootKind::Local, v.reg, {}};
+            k.path.assign(rpath.rbegin(), rpath.rend());
+            return k;
+          }
+          case Opcode::FieldAddr: {
+            PathElem pe{PathElem::Kind::Field, in.imm, {}};
+            TypeId baseTy = typeOfValue(m, fn, in.ops[0]);
+            if (baseTy != ir::kInvalidType && m.types().kindOf(baseTy) == TypeKind::Ref) {
+              const ir::Type& rec = m.types().get(m.types().pointee(baseTy));
+              if (rec.kind == TypeKind::Record && in.imm < rec.fields.size())
+                pe.fieldName = m.interner().str(rec.fields[in.imm].name);
+            }
+            rpath.push_back(std::move(pe));
+            v = in.ops[0];
+            continue;
+          }
+          case Opcode::TupleAddr:
+            // Dynamic tuple indexing folds all positions together (~0u).
+            rpath.push_back(
+                PathElem{PathElem::Kind::TupleElem, in.ops.size() == 2 ? ~0u : in.imm, {}});
+            v = in.ops[0];
+            continue;
+          case Opcode::IndexAddr:
+            rpath.push_back(PathElem{PathElem::Kind::Index, 0, {}});
+            v = in.ops[0];
+            continue;
+          case Opcode::Load:
+            v = in.ops[0];
+            continue;
+          case Opcode::ArrayView:
+            v = in.ops[0];
+            continue;
+          case Opcode::TupleGet: {
+            // Value-path extraction from a record or tuple.
+            TypeId baseTy = typeOfValue(m, fn, in.ops[0]);
+            uint32_t idx = in.ops.size() == 2 ? ~0u : in.imm;
+            if (baseTy != ir::kInvalidType && m.types().kindOf(baseTy) == TypeKind::Record) {
+              PathElem pe{PathElem::Kind::Field, idx, {}};
+              const ir::Type& rec = m.types().get(baseTy);
+              if (idx < rec.fields.size())
+                pe.fieldName = m.interner().str(rec.fields[idx].name);
+              rpath.push_back(std::move(pe));
+            } else {
+              rpath.push_back(PathElem{PathElem::Kind::TupleElem, idx, {}});
+            }
+            v = in.ops[0];
+            continue;
+          }
+          default:
+            return EntityKey{RootKind::Unknown, 0, {}};
+        }
+      }
+      default:
+        return EntityKey{RootKind::Unknown, 0, {}};
+    }
+  }
+}
+
+}  // namespace cb::an

@@ -1,0 +1,19 @@
+// Address/value chain resolution shared by the blame analyzer and the
+// allocation-threshold baseline profiler: walks Load / FieldAddr /
+// TupleAddr / IndexAddr / ArrayView chains back to the rooting variable.
+#pragma once
+
+#include "analysis/blame.h"
+#include "ir/module.h"
+
+namespace cb::an {
+
+/// Static type of an operand value in the context of `fn`.
+ir::TypeId typeOfValue(const ir::Module& m, const ir::Function& fn, const ir::ValueRef& v);
+
+/// Resolves an address (or array-value) chain to its root entity key.
+/// Field path elements carry rendered field names. Unknown roots are
+/// returned as RootKind::Unknown.
+EntityKey resolveChainKey(const ir::Module& m, const ir::Function& fn, ir::ValueRef v);
+
+}  // namespace cb::an

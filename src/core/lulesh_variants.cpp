@@ -1,0 +1,100 @@
+#include "core/lulesh_variants.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/profiler.h"
+#include "support/common.h"
+
+namespace cb {
+
+namespace {
+
+/// Replaces exactly one occurrence; aborts if the pattern is absent (the
+/// transforms must track the bundled source).
+void replaceOnce(std::string& s, const std::string& from, const std::string& to) {
+  size_t pos = s.find(from);
+  CB_ASSERT(pos != std::string::npos, "lulesh variant anchor not found: " + from);
+  s.replace(pos, from.size(), to);
+}
+
+}  // namespace
+
+std::string luleshSource(const LuleshVariant& v) {
+  std::ifstream in(assetProgram("lulesh"));
+  CB_ASSERT(in.good(), "cannot open bundled lulesh.chpl");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+
+  if (!v.p1) replaceOnce(s, "for /*P1*/param j in 1..4 {", "for j in 1..4 {");
+  if (!v.p2) replaceOnce(s, "for /*P2*/param i in 1..4 {", "for i in 1..4 {");
+  if (!v.p3) replaceOnce(s, "for /*P3*/param i in 1..8 {", "for i in 1..8 {");
+
+  if (v.vg) {
+    // Variable Globalization: "moves the declarations of several safe local
+    // variables to the global space so that they won't be dynamically
+    // allocated every time when the function is called" (§V.C).
+    replaceOnce(s,
+                "proc CalcVolumeForceForElems() {\n"
+                "  var determ: [Elems] real;\n"
+                "  var sigxx: [Elems] real;\n"
+                "  var sigyy: [Elems] real;\n"
+                "  var sigzz: [Elems] real;\n",
+                "proc CalcVolumeForceForElems() {\n");
+    replaceOnce(s,
+                "proc CalcHourglassControlForElems(determ: [Elems] real) {\n"
+                "  var dvdx: [Elems] 8*real;\n"
+                "  var dvdy: [Elems] 8*real;\n"
+                "  var dvdz: [Elems] 8*real;\n"
+                "  var x8n: [Elems] 8*real;\n"
+                "  var y8n: [Elems] 8*real;\n"
+                "  var z8n: [Elems] 8*real;\n",
+                "proc CalcHourglassControlForElems(determ: [Elems] real) {\n");
+    replaceOnce(s,
+                "var elemToNode: [Elems] 8*int;\n",
+                "var elemToNode: [Elems] 8*int;\n"
+                "\n"
+                "/* VG: hoisted from CalcVolumeForceForElems /\n"
+                "   CalcHourglassControlForElems so they are allocated once. */\n"
+                "var determ: [Elems] real;\n"
+                "var sigxx: [Elems] real;\n"
+                "var sigyy: [Elems] real;\n"
+                "var sigzz: [Elems] real;\n"
+                "var dvdx: [Elems] 8*real;\n"
+                "var dvdy: [Elems] 8*real;\n"
+                "var dvdz: [Elems] 8*real;\n"
+                "var x8n: [Elems] 8*real;\n"
+                "var y8n: [Elems] 8*real;\n"
+                "var z8n: [Elems] 8*real;\n");
+  }
+
+  if (v.cenn) {
+    // CENN: "We optimized this part by directly assigning intermediate
+    // results to the passed-in variables, thus avoiding redundant tuple
+    // constructions" (§V.C).
+    replaceOnce(s,
+                "    var tx: 8*real;\n"
+                "    var ty: 8*real;\n"
+                "    var tz: 8*real;\n"
+                "    tx(f) = n(1) * 0.25;\n"
+                "    tx(f%8+1) = n(1) * 0.25;\n"
+                "    ty(f) = n(2) * 0.25;\n"
+                "    ty(f%8+1) = n(2) * 0.25;\n"
+                "    tz(f) = n(3) * 0.25;\n"
+                "    tz(f%8+1) = n(3) * 0.25;\n"
+                "    b_x = b_x + tx;\n"
+                "    b_y = b_y + ty;\n"
+                "    b_z = b_z + tz;\n",
+                "    b_x(f) = b_x(f) + n(1) * 0.25;\n"
+                "    b_x(f%8+1) = b_x(f%8+1) + n(1) * 0.25;\n"
+                "    b_y(f) = b_y(f) + n(2) * 0.25;\n"
+                "    b_y(f%8+1) = b_y(f%8+1) + n(2) * 0.25;\n"
+                "    b_z(f) = b_z(f) + n(3) * 0.25;\n"
+                "    b_z(f%8+1) = b_z(f%8+1) + n(3) * 0.25;\n");
+  }
+
+  return s;
+}
+
+}  // namespace cb

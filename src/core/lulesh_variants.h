@@ -1,0 +1,33 @@
+// Source-level LULESH optimization variants (paper §V.C).
+//
+// The paper's LULESH experiments are source edits: toggling the three
+// `param` keywords (Table VII), hoisting determ/dvdx to module scope
+// ("VG", variable globalization), and removing the tuple temporaries in
+// CalcElemNodeNormals ("CENN"). This helper applies those edits to the
+// bundled lulesh.chpl, exactly as a programmer following the tool's
+// guidance would.
+#pragma once
+
+#include <string>
+
+namespace cb {
+
+struct LuleshVariant {
+  bool p1 = true;    // `param` on the Fig. 5 outer loop
+  bool p2 = true;    // `param` on CalcElemFBHourglassForce's first loop
+  bool p3 = true;    // `param` on CalcElemFBHourglassForce's second loop
+  bool vg = false;   // variable globalization of determ/dvdx(y/z)
+  bool cenn = false; // direct-assignment CalcElemNodeNormals
+
+  /// The paper's Table VII row labels ("Original", "P 1", "P1+P2", ...).
+  static LuleshVariant original() { return {}; }
+  static LuleshVariant noParams() { return {false, false, false, false, false}; }
+  static LuleshVariant best() { return {true, false, false, true, true}; }
+};
+
+/// Loads assets/programs/lulesh.chpl and applies the variant's edits.
+/// Aborts (CB_ASSERT) if the expected code patterns are missing — the
+/// transforms are anchored to exact source snippets.
+std::string luleshSource(const LuleshVariant& v);
+
+}  // namespace cb

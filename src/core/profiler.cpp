@@ -1,0 +1,129 @@
+#include "core/profiler.h"
+
+#include "cb_config.h"
+
+namespace cb {
+
+std::string assetProgram(const std::string& name) {
+  return std::string(kAssetDir) + "/programs/" + name + ".chpl";
+}
+
+bool Profiler::compileString(const std::string& name, const std::string& source) {
+  comp_ = fe::Compilation::fromString(name, source, opts_.compile);
+  if (!comp_->ok()) {
+    error_ = comp_->diags().renderAll();
+    return false;
+  }
+  return true;
+}
+
+bool Profiler::compileFile(const std::string& path) {
+  comp_ = fe::Compilation::fromFile(path, opts_.compile);
+  if (!comp_->ok()) {
+    error_ = comp_->diags().renderAll();
+    return false;
+  }
+  return true;
+}
+
+bool Profiler::analyze() {
+  if (!comp_ || !comp_->ok()) {
+    error_ = "analyze() requires a successful compile";
+    return false;
+  }
+  blame_ = an::analyzeModule(comp_->module(), opts_.blame);
+  return true;
+}
+
+bool Profiler::run() {
+  if (!comp_ || !comp_->ok()) {
+    error_ = "run() requires a successful compile";
+    return false;
+  }
+  result_ = rt::execute(comp_->module(), opts_.run);
+  if (!result_->ok) {
+    error_ = "runtime error: " + result_->error;
+    return false;
+  }
+  return true;
+}
+
+bool Profiler::postProcess() {
+  if (!blame_ || !result_) {
+    error_ = "postProcess() requires analyze() and run()";
+    return false;
+  }
+  instances_ = pm::consolidate(comp_->module(), result_->log, opts_.consolidate);
+  codeReport_ = rpt::codeCentric(*instances_);
+  if (comp_->module().debugInfoStripped) {
+    // --fast: the IR -> source-variable mapping is gone; only the
+    // code-centric view is meaningful (paper §V, footnote 1).
+    report_ = pm::BlameReport{};
+    report_->totalRawSamples = instances_->size();
+    return true;
+  }
+  report_ = pm::attribute(*blame_, *instances_, opts_.attribution);
+  return true;
+}
+
+bool Profiler::profileString(const std::string& name, const std::string& source) {
+  return compileString(name, source) && analyze() && run() && postProcess();
+}
+
+bool Profiler::profileFile(const std::string& path) {
+  return compileFile(path) && analyze() && run() && postProcess();
+}
+
+pm::BaselineReport Profiler::baselineReport() const {
+  if (!comp_ || !result_ || !instances_) return {};
+  return pm::baselineAttribute(comp_->module(), result_->log, *instances_, opts_.baseline);
+}
+
+std::string Profiler::dataCentricText() const {
+  if (!report_) return "<no blame report>";
+  return rpt::dataCentricView(*report_, opts_.view);
+}
+
+std::string Profiler::codeCentricText() const {
+  if (!codeReport_) return "<no code-centric report>";
+  return rpt::codeCentricView(*codeReport_, opts_.view.maxRows);
+}
+
+std::string Profiler::pprofText(const std::string& binaryName) const {
+  if (!codeReport_) return "<no code-centric report>";
+  return rpt::pprofView(*codeReport_, binaryName);
+}
+
+std::string Profiler::hybridText() const {
+  if (!report_) return "<no blame report>";
+  return rpt::hybridView(*report_, opts_.view);
+}
+
+std::string Profiler::guiText() const {
+  if (!report_ || !codeReport_) return "<no reports>";
+  return rpt::guiView(*report_, *codeReport_, opts_.view);
+}
+
+MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocales,
+                                     ProfileOptions opts) {
+  MultiLocaleResult result;
+  for (uint32_t locale = 0; locale < numLocales; ++locale) {
+    ProfileOptions o = opts;
+    o.run.rngSeed = opts.run.rngSeed + locale;
+    o.run.configOverrides["hereId"] = std::to_string(locale);
+    Profiler p(o);
+    if (!p.profileFile(path)) {
+      result.error = "locale " + std::to_string(locale) + ": " + p.lastError();
+      return result;
+    }
+    result.perLocale.push_back(*p.blameReport());
+  }
+  std::vector<const pm::BlameReport*> ptrs;
+  ptrs.reserve(result.perLocale.size());
+  for (const pm::BlameReport& r : result.perLocale) ptrs.push_back(&r);
+  result.aggregate = pm::aggregateAcrossLocales(ptrs);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace cb

@@ -1,0 +1,119 @@
+// ChapelBlame public facade — the paper's tool, end to end:
+//
+//   Profiler p;
+//   p.compileFile(cb::assetProgram("minimd"));   // step 0: chpl --llvm -g
+//   p.analyze();                                 // step 1: static blame
+//   p.run();                                     // step 2: sampled execution
+//   p.postProcess();                             // step 3: glue + attribute
+//   std::cout << p.dataCentricText();            // step 4: present
+//
+// Every intermediate artefact (IR module, blame database, raw samples,
+// instances, reports) stays accessible for tests, benches and ablations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/blame.h"
+#include "frontend/compiler.h"
+#include "postmortem/attribution.h"
+#include "postmortem/baseline.h"
+#include "postmortem/instance.h"
+#include "report/views.h"
+#include "runtime/interp.h"
+
+namespace cb {
+
+struct ProfileOptions {
+  fe::CompileOptions compile;
+  an::BlameOptions blame;
+  rt::RunOptions run;
+  pm::ConsolidateOptions consolidate;
+  pm::AttributionOptions attribution;
+  pm::BaselineOptions baseline;
+  rpt::ViewOptions view;
+};
+
+/// Absolute path of a bundled mini-Chapel program, e.g. assetProgram("clomp")
+/// -> "<repo>/assets/programs/clomp.chpl".
+std::string assetProgram(const std::string& name);
+
+class Profiler {
+ public:
+  explicit Profiler(ProfileOptions opts = {}) : opts_(std::move(opts)) {}
+
+  const ProfileOptions& options() const { return opts_; }
+  ProfileOptions& options() { return opts_; }
+
+  /// Step 0: compile. Returns false (and keeps diagnostics) on error.
+  bool compileString(const std::string& name, const std::string& source);
+  bool compileFile(const std::string& path);
+
+  /// Step 1: static blame analysis. Requires a successful compile.
+  bool analyze();
+
+  /// Step 2: execute under the monitor. Requires a successful compile.
+  bool run();
+
+  /// Step 3: consolidate instances and attribute blame. Requires analyze()
+  /// and run(). Data-centric attribution refuses --fast modules (the
+  /// source-variable mapping is gone) but code-centric results still work.
+  bool postProcess();
+
+  /// Convenience: all four steps. Returns false on the first failure.
+  bool profileString(const std::string& name, const std::string& source);
+  bool profileFile(const std::string& path);
+
+  // ---- artefacts ----------------------------------------------------------
+  const fe::Compilation* compilation() const { return comp_.get(); }
+  const an::ModuleBlame* moduleBlame() const { return blame_ ? &*blame_ : nullptr; }
+  const rt::RunResult* runResult() const { return result_ ? &*result_ : nullptr; }
+  const std::vector<pm::Instance>* instances() const {
+    return instances_ ? &*instances_ : nullptr;
+  }
+  const pm::BlameReport* blameReport() const { return report_ ? &*report_ : nullptr; }
+  const rpt::CodeCentricReport* codeReport() const {
+    return codeReport_ ? &*codeReport_ : nullptr;
+  }
+
+  /// Baseline (allocation-threshold) attribution, computed on demand.
+  pm::BaselineReport baselineReport() const;
+
+  // ---- renderings ---------------------------------------------------------
+  std::string dataCentricText() const;
+  std::string codeCentricText() const;
+  std::string pprofText(const std::string& binaryName) const;
+  std::string hybridText() const;
+  std::string guiText() const;
+
+  /// Last failure description (compile diagnostics / runtime error / usage).
+  const std::string& lastError() const { return error_; }
+
+ private:
+  ProfileOptions opts_;
+  std::unique_ptr<fe::Compilation> comp_;
+  std::optional<an::ModuleBlame> blame_;
+  std::optional<rt::RunResult> result_;
+  std::optional<std::vector<pm::Instance>> instances_;
+  std::optional<pm::BlameReport> report_;
+  std::optional<rpt::CodeCentricReport> codeReport_;
+  std::string error_;
+};
+
+/// Multi-locale simulation (paper §VI future work / §IV.C step 4): runs the
+/// full pipeline once per simulated locale — each locale gets its own RNG
+/// stream and a `hereId` config override programs can branch on — then
+/// aggregates the per-locale blame reports. Step 3 is embarrassingly
+/// parallel across locales; step 4 is the combine.
+struct MultiLocaleResult {
+  pm::BlameReport aggregate;
+  std::vector<pm::BlameReport> perLocale;
+  bool ok = false;
+  std::string error;
+};
+
+MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocales,
+                                     ProfileOptions opts = {});
+
+}  // namespace cb

@@ -1,0 +1,212 @@
+// Mini-Chapel abstract syntax tree.
+//
+// Fat-node representation: one Expr struct and one Stmt struct, each with a
+// kind tag and only the fields that kind uses. Nodes are arena-owned by the
+// Program. This keeps the frontend small while covering every construct the
+// paper's case studies need (domains, records, tuples, zippered forall,
+// `for param` unrolling, array aliases).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+#include "support/source_manager.h"
+
+namespace cb::fe {
+
+struct Expr;
+struct Stmt;
+struct TypeExpr;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+using TypeExprPtr = std::unique_ptr<TypeExpr>;
+
+// ---------------------------------------------------------------- TypeExpr
+
+enum class TypeExprKind {
+  Named,    // int, real, bool, string, or a record name
+  HomTuple, // N * T
+  Tuple,    // (T1, T2, ...)
+  Array,    // [domainExpr] T   — the domain expression is evaluated at decl
+  Domain,   // domain(rank)
+};
+
+struct TypeExpr {
+  TypeExprKind kind = TypeExprKind::Named;
+  SourceLoc loc;
+  std::string name;                 // Named
+  uint32_t tupleArity = 0;          // HomTuple
+  TypeExprPtr elem;                 // HomTuple / Array element
+  std::vector<TypeExprPtr> elems;   // Tuple
+  ExprPtr domainExpr;               // Array
+  uint32_t rank = 1;                // Domain
+};
+
+// -------------------------------------------------------------------- Expr
+
+enum class ExprKind {
+  IntLit, RealLit, BoolLit, StringLit,
+  Ident,
+  Binary,        // binOp, args[0], args[1]
+  Unary,         // unOp, args[0]
+  Call,          // callee name + args (procs, builtins, tuple indexing —
+                 // disambiguated during lowering)
+  Index,         // args[0] = base, args[1..] = indices (also array slices /
+                 // domain remaps when the index is a domain)
+  Field,         // args[0] = base, name = field
+  MethodCall,    // args[0] = base, name = method, args[1..] = call args
+  TupleLit,      // args = elements
+  TupleIndex,    // args[0] = base expr, args[1] = 1-based index
+  Range,         // args[0] = lo, args[1] = hi-or-count; counted == `lo..#n`
+  DomainLit,     // args = ranges (rank = args.size())
+  Reduce,        // Chapel reduction: `+ reduce A`; binOp in {Add,Mul} or
+                 // min/max via strVal; args[0] = the reduced array
+};
+
+enum class BinOp { Add, Sub, Mul, Div, Mod, Pow, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+enum class UnOp { Neg, Not };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  int64_t intVal = 0;
+  double realVal = 0;
+  bool boolVal = false;
+  std::string strVal;     // Ident / Call / Field / MethodCall name, string lit
+  BinOp binOp = BinOp::Add;
+  UnOp unOp = UnOp::Neg;
+  bool counted = false;   // Range: `lo..#n`
+  std::vector<ExprPtr> args;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// -------------------------------------------------------------------- Stmt
+
+enum class StmtKind {
+  Block,
+  DeclVar,     // var/const name [: type] [= init] — or alias `var a => expr;`
+  Assign,      // lhs (op)= rhs
+  ExprStmt,
+  If,
+  While,
+  For,         // sequential loop; indexNames over iterands (zip if >1 iterand)
+  ForParam,    // compile-time unrolled loop over a literal range
+  Forall,      // data-parallel loop (chunked over workers)
+  Coforall,    // one task per index
+  Select,      // select expr { when v1, v2 { } ... otherwise { } }
+  Return,
+};
+
+enum class AssignOp { Plain, Add, Sub, Mul, Div };
+
+struct LoopHead {
+  std::vector<std::string> indexNames;  // 1 for `i`, n for `(i,j)` / zip refs
+  std::vector<ExprPtr> iterands;        // >1 means zip(...)
+  bool zipped = false;
+};
+
+struct WhenClause {
+  std::vector<ExprPtr> values;  // the `when v1, v2` match values
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  std::vector<StmtPtr> body;      // Block / loop bodies / If-then
+  std::vector<StmtPtr> elseBody;  // If-else / Select-otherwise
+  std::vector<WhenClause> whens;  // Select
+
+  // DeclVar.
+  std::string name;
+  bool isConst = false;
+  bool isAlias = false;           // `var a => expr;` array alias
+  TypeExprPtr declType;
+  ExprPtr init;
+
+  // Assign.
+  ExprPtr lhs;
+  AssignOp assignOp = AssignOp::Plain;
+  ExprPtr rhs;
+
+  // ExprStmt / Return / If / While condition.
+  ExprPtr expr;
+
+  // Loops.
+  LoopHead head;
+  int64_t paramLo = 0, paramHi = 0;  // ForParam bounds (literal)
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ------------------------------------------------------------ Declarations
+
+struct FieldDecl {
+  std::string name;
+  TypeExprPtr type;
+  SourceLoc loc;
+};
+
+struct RecordDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  SourceLoc loc;
+};
+
+enum class Intent { Value, Ref };
+
+struct ParamDecl {
+  std::string name;
+  TypeExprPtr type;
+  Intent intent = Intent::Value;
+  SourceLoc loc;
+};
+
+struct ProcDecl {
+  std::string name;
+  std::vector<ParamDecl> params;
+  TypeExprPtr returnType;  // null = void
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct TypeAliasDecl {
+  std::string name;
+  TypeExprPtr type;
+  SourceLoc loc;
+};
+
+struct GlobalDecl {
+  std::string name;
+  bool isConfig = false;
+  bool isConst = false;
+  bool isAlias = false;  // `var a => expr;` module-scope array alias
+  TypeExprPtr type;   // may be null (inferred)
+  ExprPtr init;       // may be null (default init)
+  SourceLoc loc;
+};
+
+/// Reference to a top-level declaration in source order. Order matters:
+/// record field domains may reference earlier globals, and global array
+/// types may reference earlier records — exactly as in Chapel modules.
+struct TopLevelRef {
+  enum class Kind { Record, Global, Proc, TypeAlias } kind;
+  size_t index;
+};
+
+/// A whole parsed translation unit.
+struct Program {
+  std::vector<RecordDecl> records;
+  std::vector<GlobalDecl> globals;
+  std::vector<ProcDecl> procs;
+  std::vector<TypeAliasDecl> typeAliases;
+  std::vector<TopLevelRef> order;
+  uint32_t file = 0;
+};
+
+}  // namespace cb::fe

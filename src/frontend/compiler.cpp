@@ -1,0 +1,57 @@
+#include "frontend/compiler.h"
+
+#include "frontend/lexer.h"
+#include "frontend/lower.h"
+#include "frontend/parser.h"
+#include "frontend/passes.h"
+#include "ir/verifier.h"
+
+namespace cb::fe {
+
+Compilation::Compilation(const CompileOptions& opts) : opts_(opts), diags_(sm_) {}
+
+std::unique_ptr<Compilation> Compilation::fromString(const std::string& name,
+                                                     const std::string& source,
+                                                     const CompileOptions& opts) {
+  auto c = std::unique_ptr<Compilation>(new Compilation(opts));
+  uint32_t file = c->sm_.addBuffer(name, source);
+  c->compileBuffer(file);
+  return c;
+}
+
+std::unique_ptr<Compilation> Compilation::fromFile(const std::string& path,
+                                                   const CompileOptions& opts) {
+  auto c = std::unique_ptr<Compilation>(new Compilation(opts));
+  auto file = c->sm_.addFile(path);
+  if (!file) {
+    c->diags_.error(SourceLoc{}, "cannot open '" + path + "'");
+    return c;
+  }
+  c->compileBuffer(*file);
+  return c;
+}
+
+void Compilation::compileBuffer(uint32_t file) {
+  Lexer lexer(sm_, file, diags_);
+  std::vector<Token> tokens = lexer.lexAll();
+  if (diags_.hasErrors()) return;
+
+  Parser parser(std::move(tokens), diags_, file);
+  Program prog = parser.parseProgram();
+  if (diags_.hasErrors()) return;
+
+  module_ = std::make_unique<ir::Module>(interner_, sm_);
+  Lowerer lowerer(prog, *module_, diags_);
+  if (!lowerer.run()) return;
+
+  if (opts_.fast) runFastPipeline(*module_);
+
+  if (opts_.verify) {
+    auto errs = ir::verifyModule(*module_);
+    for (const auto& e : errs) diags_.error(SourceLoc{}, "IR verifier: " + e);
+    if (!errs.empty()) return;
+  }
+  ok_ = true;
+}
+
+}  // namespace cb::fe

@@ -1,0 +1,55 @@
+// Compilation driver: source -> tokens -> AST -> CIR (+ optional --fast
+// pipeline). Owns everything a compiled program needs (sources, interner,
+// diagnostics, module).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+#include "support/interner.h"
+#include "support/source_manager.h"
+
+namespace cb::fe {
+
+struct CompileOptions {
+  /// Run the --fast optimization pipeline (strips the source-variable
+  /// mapping; data-centric profiling then degrades, as in the paper).
+  bool fast = false;
+  /// Verify the produced IR (cheap; on by default).
+  bool verify = true;
+};
+
+class Compilation {
+ public:
+  /// Compiles an in-memory buffer. Always returns an object; check ok().
+  static std::unique_ptr<Compilation> fromString(const std::string& name,
+                                                 const std::string& source,
+                                                 const CompileOptions& opts = {});
+  /// Compiles a file from disk.
+  static std::unique_ptr<Compilation> fromFile(const std::string& path,
+                                               const CompileOptions& opts = {});
+
+  bool ok() const { return ok_; }
+  ir::Module& module() { return *module_; }
+  const ir::Module& module() const { return *module_; }
+  SourceManager& sourceManager() { return sm_; }
+  const SourceManager& sourceManager() const { return sm_; }
+  DiagnosticEngine& diags() { return diags_; }
+  const DiagnosticEngine& diags() const { return diags_; }
+  const CompileOptions& options() const { return opts_; }
+
+ private:
+  explicit Compilation(const CompileOptions& opts);
+  void compileBuffer(uint32_t file);
+
+  CompileOptions opts_;
+  SourceManager sm_;
+  StringInterner interner_;
+  DiagnosticEngine diags_;
+  std::unique_ptr<ir::Module> module_;
+  bool ok_ = false;
+};
+
+}  // namespace cb::fe

@@ -1,0 +1,292 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace cb::fe {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::KwConfig: return "'config'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwRecord: return "'record'";
+    case Tok::KwProc: return "'proc'";
+    case Tok::KwRef: return "'ref'";
+    case Tok::KwIn: return "'in'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwForall: return "'forall'";
+    case Tok::KwCoforall: return "'coforall'";
+    case Tok::KwParam: return "'param'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwZip: return "'zip'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwDomain: return "'domain'";
+    case Tok::KwUse: return "'use'";
+    case Tok::KwType: return "'type'";
+    case Tok::KwReduce: return "'reduce'";
+    case Tok::KwSelect: return "'select'";
+    case Tok::KwWhen: return "'when'";
+    case Tok::KwOtherwise: return "'otherwise'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Dot: return "'.'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Hash: return "'#'";
+    case Tok::Arrow: return "'=>'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::StarStar: return "'**'";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"config", Tok::KwConfig},   {"const", Tok::KwConst},
+      {"var", Tok::KwVar},         {"record", Tok::KwRecord},
+      {"proc", Tok::KwProc},       {"ref", Tok::KwRef},
+      {"in", Tok::KwIn},           {"if", Tok::KwIf},
+      {"then", Tok::KwThen},       {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"forall", Tok::KwForall},   {"coforall", Tok::KwCoforall},
+      {"param", Tok::KwParam},     {"return", Tok::KwReturn},
+      {"zip", Tok::KwZip},         {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},     {"domain", Tok::KwDomain},
+      {"use", Tok::KwUse},         {"type", Tok::KwType},
+      {"reduce", Tok::KwReduce},   {"select", Tok::KwSelect},
+      {"when", Tok::KwWhen},       {"otherwise", Tok::KwOtherwise},
+  };
+  return kw;
+}
+}  // namespace
+
+Lexer::Lexer(const SourceManager& sm, uint32_t file, DiagnosticEngine& diags)
+    : src_(sm.contents(file)), file_(file), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (peek() != c) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const { return {file_, line_, col_}; }
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(here(), "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token t;
+  t.loc = here();
+  if (pos_ >= src_.size()) {
+    t.kind = Tok::Eof;
+    return t;
+  }
+  char c = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string ident(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') ident += advance();
+    auto it = keywords().find(ident);
+    if (it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = Tok::Ident;
+      t.text = std::move(ident);
+    }
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num(1, c);
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_') {
+      char d = advance();
+      if (d != '_') num += d;  // Chapel-style digit separators
+    }
+    // A '.' starts a fractional part only when NOT followed by another '.'
+    // (so `0..n` lexes as int, dotdot, ident).
+    bool isReal = false;
+    if (peek() == '.' && peek(1) != '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      isReal = true;
+      num += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      isReal = true;
+      num += advance();
+      if (peek() == '+' || peek() == '-') num += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    }
+    if (isReal) {
+      t.kind = Tok::RealLit;
+      t.realVal = std::strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = Tok::IntLit;
+      t.intVal = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  if (c == '"') {
+    std::string s;
+    while (peek() != '"') {
+      if (peek() == '\0' || peek() == '\n') {
+        diags_.error(t.loc, "unterminated string literal");
+        break;
+      }
+      char d = advance();
+      if (d == '\\') {
+        char e = advance();
+        switch (e) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case '\\': s += '\\'; break;
+          case '"': s += '"'; break;
+          default: s += e; break;
+        }
+      } else {
+        s += d;
+      }
+    }
+    if (peek() == '"') advance();
+    t.kind = Tok::StringLit;
+    t.text = std::move(s);
+    return t;
+  }
+
+  switch (c) {
+    case '{': t.kind = Tok::LBrace; return t;
+    case '}': t.kind = Tok::RBrace; return t;
+    case '(': t.kind = Tok::LParen; return t;
+    case ')': t.kind = Tok::RParen; return t;
+    case '[': t.kind = Tok::LBracket; return t;
+    case ']': t.kind = Tok::RBracket; return t;
+    case ',': t.kind = Tok::Comma; return t;
+    case ';': t.kind = Tok::Semi; return t;
+    case ':': t.kind = Tok::Colon; return t;
+    case '#': t.kind = Tok::Hash; return t;
+    case '.':
+      t.kind = match('.') ? Tok::DotDot : Tok::Dot;
+      return t;
+    case '=':
+      if (match('=')) t.kind = Tok::EqEq;
+      else if (match('>')) t.kind = Tok::Arrow;
+      else t.kind = Tok::Assign;
+      return t;
+    case '+': t.kind = match('=') ? Tok::PlusAssign : Tok::Plus; return t;
+    case '-': t.kind = match('=') ? Tok::MinusAssign : Tok::Minus; return t;
+    case '*':
+      if (match('*')) t.kind = Tok::StarStar;
+      else if (match('=')) t.kind = Tok::StarAssign;
+      else t.kind = Tok::Star;
+      return t;
+    case '/': t.kind = match('=') ? Tok::SlashAssign : Tok::Slash; return t;
+    case '%': t.kind = Tok::Percent; return t;
+    case '!': t.kind = match('=') ? Tok::NotEq : Tok::Not; return t;
+    case '<': t.kind = match('=') ? Tok::Le : Tok::Lt; return t;
+    case '>': t.kind = match('=') ? Tok::Ge : Tok::Gt; return t;
+    case '&':
+      if (match('&')) {
+        t.kind = Tok::AndAnd;
+        return t;
+      }
+      break;
+    case '|':
+      if (match('|')) {
+        t.kind = Tok::OrOr;
+        return t;
+      }
+      break;
+    default:
+      break;
+  }
+  diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+  return next();  // skip the bad character and keep lexing (error recovery)
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    bool eof = (t.kind == Tok::Eof);
+    out.push_back(std::move(t));
+    if (eof) return out;
+  }
+}
+
+}  // namespace cb::fe

@@ -1,0 +1,35 @@
+// Mini-Chapel lexer.
+#pragma once
+
+#include <vector>
+
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace cb::fe {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, uint32_t file, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole buffer (ends with an Eof token).
+  std::vector<Token> lexAll();
+
+ private:
+  Token next();
+  char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char c);
+  SourceLoc here() const;
+  void skipTrivia();
+
+  const std::string& src_;
+  uint32_t file_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace cb::fe

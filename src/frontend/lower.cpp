@@ -1,0 +1,506 @@
+// Lowerer driver: top-level declarations, records, globals, signatures,
+// types, debug info, and the free-variable analysis used for outlining.
+// Statement and expression lowering live in lower_stmt.cpp.
+#include "frontend/lower.h"
+
+#include <algorithm>
+
+#include "support/common.h"
+
+namespace cb::fe {
+
+using ir::TypeId;
+using ir::TypeKind;
+using ir::ValueRef;
+
+Lowerer::Lowerer(const Program& prog, ir::Module& mod, DiagnosticEngine& diags)
+    : prog_(prog), mod_(mod), diags_(diags) {}
+
+bool Lowerer::run() {
+  // Module initializer shell: runs global initializers in declaration order,
+  // like Chapel's module initialization.
+  ir::Function initShell;
+  initShell.name = mod_.interner().intern("_module_init");
+  initShell.displayName = "_module_init";
+  initShell.returnType = mod_.types().voidTy();
+  ir::FuncId initId = mod_.addFunction(initShell);
+  mod_.moduleInitFunc = initId;
+
+  pushFnCtx(initId, std::move(initShell));
+  pushScope();
+
+  // Pass 1: records and globals, in source order.
+  for (const TopLevelRef& ref : prog_.order) {
+    switch (ref.kind) {
+      case TopLevelRef::Kind::Record:
+        registerRecord(prog_.records[ref.index]);
+        break;
+      case TopLevelRef::Kind::Global:
+        processGlobal(prog_.globals[ref.index]);
+        break;
+      case TopLevelRef::Kind::TypeAlias: {
+        const TypeAliasDecl& a = prog_.typeAliases[ref.index];
+        if (!typeAliases_.emplace(a.name, a.type.get()).second)
+          error(a.loc, "type alias '" + a.name + "' redefined");
+        break;
+      }
+      case TopLevelRef::Kind::Proc:
+        break;  // handled in passes 2/3
+    }
+  }
+  popScope();
+  popFnCtxAndCommit();  // terminates _module_init
+
+  // Pass 2: proc signatures (so bodies can call in any order).
+  for (const ProcDecl& p : prog_.procs) declareProcSignature(p);
+
+  // Pass 3: proc bodies.
+  for (const ProcDecl& p : prog_.procs) lowerProcBody(p);
+
+  if (mod_.mainFunc == ir::kNone) {
+    SourceLoc loc;
+    loc.file = prog_.file;
+    loc.line = 1;
+    error(loc, "program has no 'main' procedure");
+  }
+  return !diags_.hasErrors();
+}
+
+// --------------------------------------------------------------- contexts
+
+void Lowerer::pushFnCtx(ir::FuncId fid, ir::Function shell) {
+  auto c = std::make_unique<FnCtx>();
+  c->fn = std::move(shell);
+  c->fid = fid;
+  c->retTy = c->fn.returnType;
+  c->builder = std::make_unique<ir::IRBuilder>(mod_, c->fn);
+  ctxStack_.push_back(std::move(c));
+  ir::BlockId entry = b().newBlock("entry");
+  b().setBlock(entry);
+}
+
+void Lowerer::popFnCtxAndCommit() {
+  FnCtx& c = ctx();
+  if (!c.builder->blockTerminated()) {
+    // Fall-through return; non-void functions return a default value (a
+    // diagnosed error path keeps the IR well-formed).
+    if (mod_.types().kindOf(c.retTy) == TypeKind::Void) {
+      c.builder->ret();
+    } else if (mod_.types().kindOf(c.retTy) == TypeKind::Real) {
+      c.builder->ret(ValueRef::makeReal(0.0));
+    } else {
+      c.builder->ret(ValueRef::makeInt(0));
+    }
+  }
+  mod_.function(c.fid) = std::move(c.fn);
+  ctxStack_.pop_back();
+}
+
+Lowerer::Binding* Lowerer::lookup(const std::string& name) {
+  auto& scopes = ctx().scopes;
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    auto f = it->find(name);
+    if (f != it->end()) return &f->second;
+  }
+  return nullptr;
+}
+
+void Lowerer::bind(const std::string& name, Binding bd) {
+  CB_ASSERT(!ctx().scopes.empty(), "no open scope");
+  ctx().scopes.back()[name] = bd;
+}
+
+// ------------------------------------------------------------------ types
+
+uint32_t Lowerer::syntacticDomainRank(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::DomainLit:
+      return static_cast<uint32_t>(e.args.size());
+    case ExprKind::Range:
+      return 1;
+    case ExprKind::Ident: {
+      auto g = globalsByName_.find(e.strVal);
+      if (g != globalsByName_.end()) {
+        const ir::Type& t = mod_.types().get(mod_.global(g->second).type);
+        if (t.kind == TypeKind::Domain) return t.rank;
+        if (t.kind == TypeKind::Array) return t.rank;
+      }
+      if (Binding* bnd = !ctxStack_.empty() ? lookup(e.strVal) : nullptr) {
+        const ir::Type& t = mod_.types().get(bnd->type);
+        if (t.kind == TypeKind::Domain) return t.rank;
+        if (t.kind == TypeKind::Array) return t.rank;
+      }
+      break;
+    }
+    case ExprKind::MethodCall:
+      if (e.strVal == "expand" && !e.args.empty()) return syntacticDomainRank(*e.args[0]);
+      break;
+    default:
+      break;
+  }
+  error(e.loc, "cannot determine domain rank of this expression");
+  return 1;
+}
+
+TypeId Lowerer::resolveTypeForSignature(const TypeExpr& t) {
+  ir::TypeContext& types = mod_.types();
+  switch (t.kind) {
+    case TypeExprKind::Named: {
+      if (t.name == "int") return types.intTy();
+      if (t.name == "real") return types.realTy();
+      if (t.name == "bool") return types.boolTy();
+      if (t.name == "string") return types.stringTy();
+      auto alias = typeAliases_.find(t.name);
+      if (alias != typeAliases_.end()) return resolveTypeForSignature(*alias->second);
+      TypeId rec = types.findRecord(mod_.interner().intern(t.name));
+      if (rec != ir::kInvalidType) return rec;
+      error(t.loc, "unknown type '" + t.name + "'");
+      return types.intTy();
+    }
+    case TypeExprKind::HomTuple:
+      return types.homogeneousTuple(t.tupleArity, resolveTypeForSignature(*t.elem));
+    case TypeExprKind::Tuple: {
+      std::vector<TypeId> elems;
+      for (const auto& e : t.elems) elems.push_back(resolveTypeForSignature(*e));
+      return types.tuple(std::move(elems));
+    }
+    case TypeExprKind::Array: {
+      uint32_t rank = syntacticDomainRank(*t.domainExpr);
+      return types.array(resolveTypeForSignature(*t.elem), static_cast<uint8_t>(rank));
+    }
+    case TypeExprKind::Domain:
+      return types.domain(static_cast<uint8_t>(t.rank));
+  }
+  CB_UNREACHABLE("bad type expr");
+}
+
+std::string Lowerer::typeDisplayOf(const TypeExpr& t) {
+  // Chapel-flavoured source-level type rendering for blame tables, keeping
+  // the *names* the user wrote (e.g. "[DistSpace][perBinSpace] v3").
+  switch (t.kind) {
+    case TypeExprKind::Named:
+      if (t.name == "int") return "int(64)";
+      return t.name;
+    case TypeExprKind::HomTuple:
+      return std::to_string(t.tupleArity) + "*" + typeDisplayOf(*t.elem);
+    case TypeExprKind::Tuple: {
+      std::string out = "(";
+      for (size_t i = 0; i < t.elems.size(); ++i) {
+        if (i) out += ", ";
+        out += typeDisplayOf(*t.elems[i]);
+      }
+      return out + ")";
+    }
+    case TypeExprKind::Array: {
+      std::string dom = "[?]";
+      if (t.domainExpr->kind == ExprKind::Ident) dom = "[" + t.domainExpr->strVal + "]";
+      return dom + " " + typeDisplayOf(*t.elem);
+    }
+    case TypeExprKind::Domain:
+      return "domain";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- debug info
+
+ir::DebugVarId Lowerer::makeDebugVar(const std::string& name, TypeId ty, ir::VarKind kind,
+                                     SourceLoc loc, ir::FuncId scope) {
+  ir::DebugVar dv;
+  dv.name = mod_.interner().intern(name);
+  dv.type = ty;
+  dv.typeDisplay = mod_.types().display(ty, mod_.interner());
+  dv.kind = kind;
+  dv.scope = scope;
+  dv.declLoc = loc;
+  return mod_.addDebugVar(std::move(dv));
+}
+
+ir::DebugVarId Lowerer::makeTempVar(const std::string& hint, TypeId ty, SourceLoc loc) {
+  return makeDebugVar("_tmp_" + hint + std::to_string(tempCounter_++), ty, ir::VarKind::Temp,
+                      loc, ctx().fid);
+}
+
+// ---------------------------------------------------------------- records
+
+void Lowerer::registerRecord(const RecordDecl& r) {
+  recordAst_[r.name] = &r;
+  std::vector<ir::RecordField> fields;
+  std::vector<const Expr*> arrayFieldDomains(r.fields.size(), nullptr);
+  for (size_t i = 0; i < r.fields.size(); ++i) {
+    const FieldDecl& f = r.fields[i];
+    ir::RecordField rf;
+    rf.name = mod_.interner().intern(f.name);
+    rf.type = resolveTypeForSignature(*f.type);
+    if (f.type->kind == TypeExprKind::Array) arrayFieldDomains[i] = f.type->domainExpr.get();
+    fields.push_back(rf);
+  }
+  Symbol name = mod_.interner().intern(r.name);
+  if (mod_.types().findRecord(name) != ir::kInvalidType) {
+    error(r.loc, "record '" + r.name + "' redefined");
+    return;
+  }
+  TypeId recTy = mod_.types().record(name, std::move(fields));
+
+  // Generate a domain thunk per array field so the runtime can
+  // default-initialize record values ("[zoneDomain] Zone" evaluates
+  // zoneDomain, a global, at construction time).
+  for (size_t i = 0; i < r.fields.size(); ++i) {
+    if (!arrayFieldDomains[i]) continue;
+    ir::Function shell;
+    std::string fname = "_fielddom_" + r.name + "_" + r.fields[i].name;
+    shell.name = mod_.interner().intern(fname);
+    shell.displayName = fname;
+    shell.loc = r.fields[i].loc;
+    uint32_t rank = syntacticDomainRank(*arrayFieldDomains[i]);
+    shell.returnType = mod_.types().domain(static_cast<uint8_t>(rank));
+    ir::FuncId fid = mod_.addFunction(shell);
+    pushFnCtx(fid, std::move(shell));
+    pushScope();
+    b().setLoc(r.fields[i].loc);
+    TypedValue dv = lowerExpr(*arrayFieldDomains[i]);
+    if (mod_.types().kindOf(dv.type) != TypeKind::Domain)
+      error(r.fields[i].loc, "array field domain expression is not a domain");
+    b().ret(dv.v);
+    popScope();
+    popFnCtxAndCommit();
+    mod_.fieldDomainThunks[{recTy, static_cast<uint32_t>(i)}] = fid;
+  }
+}
+
+// ---------------------------------------------------------------- globals
+
+void Lowerer::processGlobal(const GlobalDecl& g) {
+  if (globalsByName_.count(g.name)) {
+    error(g.loc, "global '" + g.name + "' redefined");
+    return;
+  }
+  b().setLoc(g.loc);
+  ir::TypeContext& types = mod_.types();
+
+  auto registerGlobal = [&](TypeId ty, const std::string& display) -> ir::GlobalId {
+    ir::GlobalVar gv;
+    gv.name = mod_.interner().intern(g.name);
+    gv.type = ty;
+    gv.loc = g.loc;
+    gv.debugVar = makeDebugVar(g.name, ty, ir::VarKind::Global, g.loc, ir::kNone);
+    if (!display.empty()) mod_.debugVar(gv.debugVar).typeDisplay = display;
+    ir::GlobalId id = mod_.addGlobal(std::move(gv));
+    globalsByName_[g.name] = id;
+    return id;
+  };
+
+  if (g.isAlias) {
+    // `var RealPos => Pos[binSpace];` — module-scope array alias.
+    TypedValue v = lowerExpr(*g.init);
+    if (types.kindOf(v.type) != TypeKind::Array) {
+      error(g.loc, "'=>' alias initializer must be an array expression");
+      return;
+    }
+    ir::GlobalId id = registerGlobal(v.type, "");
+    b().store(v.v, ValueRef::makeGlobal(id));
+    return;
+  }
+
+  auto wrapConfig = [&](ValueRef v, TypeId ty) -> ValueRef {
+    if (!g.isConfig) return v;
+    if (!types.isScalar(ty)) {
+      error(g.loc, "config variables must be scalar");
+      return v;
+    }
+    uint32_t sid = mod_.addString(g.name);
+    return b().builtin(ir::BuiltinKind::ConfigGet, {ValueRef::makeString(sid), v}, ty);
+  };
+
+  if (g.type && g.type->kind == TypeExprKind::Array) {
+    // `var A: [D] T;` — evaluate the domain now, allocate the array.
+    TypedValue dom = lowerExpr(*g.type->domainExpr);
+    if (types.kindOf(dom.type) != TypeKind::Domain) {
+      error(g.loc, "array global domain expression is not a domain");
+      return;
+    }
+    TypeId elem = resolveTypeForSignature(*g.type->elem);
+    TypeId arrTy = types.array(elem, types.get(dom.type).rank);
+    ir::GlobalId id = registerGlobal(arrTy, typeDisplayOf(*g.type));
+    ValueRef arr = b().arrayNew(dom.v, arrTy);
+    initNestedArrayElems(arr, arrTy, *g.type->elem, g.loc);
+    b().store(arr, ValueRef::makeGlobal(id));
+    if (g.init) error(g.loc, "array globals take no initializer expression");
+    return;
+  }
+
+  if (g.init) {
+    TypedValue v = lowerExpr(*g.init);
+    TypeId ty = v.type;
+    ValueRef val = v.v;
+    if (g.type) {
+      ty = resolveTypeForSignature(*g.type);
+      val = coerce(v, ty, g.loc);
+    }
+    val = wrapConfig(val, ty);
+    ir::GlobalId id = registerGlobal(ty, g.type ? typeDisplayOf(*g.type) : "");
+    b().store(val, ValueRef::makeGlobal(id));
+    return;
+  }
+
+  if (!g.type) {
+    error(g.loc, "global '" + g.name + "' needs a type or an initializer");
+    return;
+  }
+  TypeId ty = resolveTypeForSignature(*g.type);
+  ir::GlobalId id = registerGlobal(ty, typeDisplayOf(*g.type));
+  ValueRef def = emitDefaultValue(ty);
+  if (def.isNone()) {
+    error(g.loc, "global '" + g.name + "' of this type needs an initializer");
+    return;
+  }
+  b().store(def, ValueRef::makeGlobal(id));
+}
+
+// -------------------------------------------------------------- signatures
+
+void Lowerer::declareProcSignature(const ProcDecl& p) {
+  if (procsByName_.count(p.name)) {
+    error(p.loc, "procedure '" + p.name + "' redefined");
+    return;
+  }
+  ir::Function shell;
+  shell.name = mod_.interner().intern(p.name);
+  shell.displayName = p.name;
+  shell.loc = p.loc;
+  shell.returnType = p.returnType ? resolveTypeForSignature(*p.returnType) : mod_.types().voidTy();
+  for (const ParamDecl& pd : p.params) {
+    ir::Param prm;
+    prm.name = mod_.interner().intern(pd.name);
+    prm.type = resolveTypeForSignature(*pd.type);
+    TypeKind k = mod_.types().kindOf(prm.type);
+    // Arrays and domains have reference semantics in Chapel; explicit `ref`
+    // makes anything an exit variable.
+    prm.byRef = (pd.intent == Intent::Ref) || k == TypeKind::Array || k == TypeKind::Domain;
+    shell.params.push_back(prm);
+  }
+  ir::FuncId fid = mod_.addFunction(std::move(shell));
+  procsByName_[p.name] = fid;
+  if (p.name == "main") mod_.mainFunc = fid;
+}
+
+void Lowerer::lowerProcBody(const ProcDecl& p) {
+  auto it = procsByName_.find(p.name);
+  if (it == procsByName_.end()) return;
+  ir::FuncId fid = it->second;
+  ir::Function shell = mod_.function(fid);  // copy of the signature shell
+
+  pushFnCtx(fid, std::move(shell));
+  pushScope();
+  b().setLoc(p.loc);
+
+  for (uint32_t i = 0; i < ctx().fn.params.size(); ++i) {
+    ir::Param& prm = ctx().fn.params[i];
+    const ParamDecl& pd = p.params[i];
+    prm.debugVar = makeDebugVar(pd.name, prm.type, ir::VarKind::Param, pd.loc, fid);
+    mod_.debugVar(prm.debugVar).typeDisplay = typeDisplayOf(*pd.type);
+    if (prm.byRef) {
+      bind(pd.name, Binding{Binding::Kind::VarAddr, ValueRef::makeArg(i), prm.type});
+    } else {
+      // clang -O0 shape: value params are spilled to an alloca so they are
+      // addressable and carry debug info.
+      ValueRef slot = b().alloca_(prm.type, prm.debugVar);
+      b().store(ValueRef::makeArg(i), slot);
+      bind(pd.name, Binding{Binding::Kind::VarAddr, slot, prm.type});
+    }
+  }
+
+  lowerStmts(p.body);
+  popScope();
+  popFnCtxAndCommit();
+}
+
+// ------------------------------------------------------ free-var analysis
+
+void Lowerer::collectFreeVarsExpr(const Expr& e, std::set<std::string>& bound,
+                                  std::vector<std::string>& out) {
+  auto consider = [&](const std::string& name) {
+    if (bound.count(name)) return;
+    if (!lookup(name)) return;  // not a variable in the enclosing scopes
+    if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+  };
+  switch (e.kind) {
+    case ExprKind::Ident:
+      consider(e.strVal);
+      break;
+    case ExprKind::Call:
+      // `t(1)` tuple indexing references variable t; a real call does not.
+      consider(e.strVal);
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& a : e.args) collectFreeVarsExpr(*a, bound, out);
+}
+
+void Lowerer::collectFreeVarsStmt(const Stmt& s, std::set<std::string>& bound,
+                                  std::vector<std::string>& out) {
+  switch (s.kind) {
+    case StmtKind::DeclVar:
+      if (s.init) collectFreeVarsExpr(*s.init, bound, out);
+      if (s.declType && s.declType->kind == TypeExprKind::Array && s.declType->domainExpr)
+        collectFreeVarsExpr(*s.declType->domainExpr, bound, out);
+      bound.insert(s.name);
+      return;
+    case StmtKind::Assign:
+      collectFreeVarsExpr(*s.lhs, bound, out);
+      collectFreeVarsExpr(*s.rhs, bound, out);
+      return;
+    case StmtKind::ExprStmt:
+    case StmtKind::Return:
+      if (s.expr) collectFreeVarsExpr(*s.expr, bound, out);
+      return;
+    case StmtKind::If: {
+      collectFreeVarsExpr(*s.expr, bound, out);
+      std::set<std::string> b1 = bound;
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      std::set<std::string> b2 = bound;
+      for (const StmtPtr& c : s.elseBody) collectFreeVarsStmt(*c, b2, out);
+      return;
+    }
+    case StmtKind::While: {
+      collectFreeVarsExpr(*s.expr, bound, out);
+      std::set<std::string> b1 = bound;
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      return;
+    }
+    case StmtKind::Block: {
+      std::set<std::string> b1 = bound;
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      return;
+    }
+    case StmtKind::For:
+    case StmtKind::Forall:
+    case StmtKind::Coforall: {
+      for (const ExprPtr& it : s.head.iterands) collectFreeVarsExpr(*it, bound, out);
+      std::set<std::string> b1 = bound;
+      for (const std::string& n : s.head.indexNames) b1.insert(n);
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      return;
+    }
+    case StmtKind::ForParam: {
+      std::set<std::string> b1 = bound;
+      b1.insert(s.head.indexNames.front());
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      return;
+    }
+    case StmtKind::Select: {
+      collectFreeVarsExpr(*s.expr, bound, out);
+      for (const WhenClause& w : s.whens) {
+        for (const ExprPtr& v : w.values) collectFreeVarsExpr(*v, bound, out);
+        std::set<std::string> b1 = bound;
+        for (const StmtPtr& c : w.body) collectFreeVarsStmt(*c, b1, out);
+      }
+      std::set<std::string> b2 = bound;
+      for (const StmtPtr& c : s.elseBody) collectFreeVarsStmt(*c, b2, out);
+      return;
+    }
+  }
+}
+
+}  // namespace cb::fe

@@ -1,0 +1,177 @@
+// AST -> CIR lowering.
+//
+// Produces clang -O0-shaped IR: every user variable is an alloca (or module
+// global) with a DebugVar record; forall/coforall bodies are outlined into
+// task functions (the analogue of Chapel's coforall_fn_chplNN) that receive
+// a [lo, hi] index range plus one ref parameter per captured variable —
+// which is precisely what makes interprocedural blame transfer and spawn
+// gluing work downstream.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace cb::fe {
+
+class Lowerer {
+ public:
+  Lowerer(const Program& prog, ir::Module& mod, DiagnosticEngine& diags);
+
+  /// Lowers the whole program. Returns false if any error was diagnosed.
+  bool run();
+
+ private:
+  // ---- per-function lowering context -----------------------------------
+  struct Binding {
+    enum class Kind {
+      VarAddr,   // addr is a Ref(T)-typed ValueRef (alloca / ref arg / global)
+      ConstVal,  // compile-time value (param-loop index)
+      Value,     // run-time value binding (read-only, e.g. zip index value)
+    };
+    Kind kind = Kind::VarAddr;
+    ir::ValueRef ref;    // address (VarAddr) or value (ConstVal/Value)
+    ir::TypeId type = ir::kInvalidType;  // pointee type (VarAddr) / value type
+  };
+  using Scope = std::unordered_map<std::string, Binding>;
+
+  struct FnCtx {
+    ir::Function fn;        // built locally, moved into the module at the end
+    ir::FuncId fid = ir::kNone;
+    std::unique_ptr<ir::IRBuilder> builder;
+    std::vector<Scope> scopes;
+    ir::TypeId retTy = ir::kInvalidType;
+  };
+
+  // ---- phases -----------------------------------------------------------
+  void registerRecord(const RecordDecl& r);
+  void processGlobal(const GlobalDecl& g);
+  void declareProcSignature(const ProcDecl& p);
+  void lowerProcBody(const ProcDecl& p);
+
+  // ---- context helpers --------------------------------------------------
+  FnCtx& ctx() { return *ctxStack_.back(); }
+  ir::IRBuilder& b() { return *ctx().builder; }
+  void pushFnCtx(ir::FuncId fid, ir::Function shell);
+  void popFnCtxAndCommit();
+  void pushScope() { ctx().scopes.emplace_back(); }
+  void popScope() { ctx().scopes.pop_back(); }
+  Binding* lookup(const std::string& name);
+  void bind(const std::string& name, Binding bind);
+
+  // ---- types ------------------------------------------------------------
+  ir::TypeId resolveTypeForSignature(const TypeExpr& t);
+  uint32_t syntacticDomainRank(const Expr& e);
+  std::string typeDisplayOf(const TypeExpr& t);
+
+  // ---- declarations / debug info ----------------------------------------
+  ir::DebugVarId makeDebugVar(const std::string& name, ir::TypeId ty, ir::VarKind kind,
+                              SourceLoc loc, ir::FuncId scope);
+  ir::DebugVarId makeTempVar(const std::string& hint, ir::TypeId ty, SourceLoc loc);
+
+  // ---- statements -------------------------------------------------------
+  void lowerStmts(const std::vector<StmtPtr>& body);
+  void lowerStmt(const Stmt& s);
+  void lowerDeclVar(const Stmt& s);
+  void lowerAssign(const Stmt& s);
+  void lowerIf(const Stmt& s);
+  void lowerWhile(const Stmt& s);
+  void lowerFor(const Stmt& s);
+  void lowerForParam(const Stmt& s);
+  void lowerParallel(const Stmt& s);  // forall / coforall
+  void lowerSelect(const Stmt& s);
+  void lowerReturn(const Stmt& s);
+
+  // Loop plumbing shared between sequential and outlined loops.
+  struct IterInfo {
+    enum class Kind { Range, Domain1D, Domain2D, Array } kind = Kind::Range;
+    ir::ValueRef value;           // domain or array value (if applicable)
+    ir::ValueRef lo, hi;          // linear bounds (inclusive)
+    ir::TypeId type = ir::kInvalidType;  // array type for Kind::Array
+  };
+  IterInfo classifyIterand(const Expr& e);
+  /// Binds one loop index name for iterand `info` given the current linear
+  /// index value `idx` (emits element-addressing for arrays, (i,j)
+  /// reconstruction for 2-D domains).
+  void bindLoopIndex(const std::string& name, const IterInfo& info, ir::ValueRef idx,
+                     SourceLoc loc);
+  /// Emits a sequential `for idx in lo..hi` skeleton around `emitBody(idxVal)`.
+  template <typename F>
+  void emitCountedLoop(ir::ValueRef lo, ir::ValueRef hi, SourceLoc loc, F emitBody);
+
+  /// For `var A: [D] [P] T;` declarations: allocates one inner array per
+  /// element of the freshly-created outer array (recursively). `elemTE` is
+  /// the syntactic element type (aliases are resolved here).
+  void initNestedArrayElems(ir::ValueRef arrValue, ir::TypeId arrTy, const TypeExpr& elemTE,
+                            SourceLoc loc);
+
+  // Free-variable analysis for outlining.
+  void collectFreeVarsStmt(const Stmt& s, std::set<std::string>& bound,
+                           std::vector<std::string>& out);
+  void collectFreeVarsExpr(const Expr& e, std::set<std::string>& bound,
+                           std::vector<std::string>& out);
+
+  // ---- expressions ------------------------------------------------------
+  struct TypedValue {
+    ir::ValueRef v;
+    ir::TypeId type = ir::kInvalidType;
+  };
+  struct LValue {
+    ir::ValueRef addr;                    // Ref(T)-typed
+    ir::TypeId type = ir::kInvalidType;   // T
+    bool valid = false;
+  };
+  TypedValue lowerExpr(const Expr& e);
+  LValue lowerLValue(const Expr& e);
+  /// True when the expression denotes an addressable location (so field and
+  /// element reads can go through FieldAddr/IndexAddr instead of copying
+  /// whole aggregates — required for blame-chain resolution).
+  bool isLValueExpr(const Expr& e);
+  TypedValue lowerBinary(const Expr& e);
+  TypedValue lowerCall(const Expr& e);
+  TypedValue lowerMethodCall(const Expr& e);
+  TypedValue lowerIndexExpr(const Expr& e);
+  /// Inserts int->real conversion when needed; diagnoses other mismatches.
+  ir::ValueRef coerce(TypedValue v, ir::TypeId want, SourceLoc loc);
+  TypedValue makeError(SourceLoc loc);
+
+  // Tuple element-wise arithmetic (the CENN cost story: TupleGet xN, op xN,
+  // TupleMake).
+  TypedValue tupleElementwise(BinOp op, TypedValue a, TypedValue b, SourceLoc loc);
+
+  ir::BinKind toIrBin(BinOp op) const;
+
+  /// Compile-time integer value of an expression (literal or `for param`
+  /// index), or INT64_MIN when not statically known.
+  int64_t constIntOf(const Expr& e);
+
+  /// Emits the default value for a type (zeros, recursively for tuples,
+  /// RecordNew for records). Returns none() for types without an emittable
+  /// default (arrays/domains).
+  ir::ValueRef emitDefaultValue(ir::TypeId ty);
+
+  void error(SourceLoc loc, const std::string& msg) { diags_.error(loc, msg); }
+
+  // ---- members ----------------------------------------------------------
+  const Program& prog_;
+  ir::Module& mod_;
+  DiagnosticEngine& diags_;
+
+  std::unordered_map<std::string, ir::GlobalId> globalsByName_;
+  std::unordered_map<std::string, ir::FuncId> procsByName_;
+  std::unordered_map<std::string, const RecordDecl*> recordAst_;
+  std::unordered_map<std::string, const TypeExpr*> typeAliases_;
+
+  std::vector<std::unique_ptr<FnCtx>> ctxStack_;
+  uint32_t tempCounter_ = 0;
+  uint32_t taskFnCounter_ = 0;
+};
+
+}  // namespace cb::fe

@@ -1,0 +1,1414 @@
+// Statement and expression lowering (the Lowerer's second half; the driver
+// lives in lower.cpp).
+#include <algorithm>
+
+#include "frontend/lower.h"
+#include "support/common.h"
+
+namespace cb::fe {
+
+using ir::BinKind;
+using ir::BuiltinKind;
+using ir::Opcode;
+using ir::TypeId;
+using ir::TypeKind;
+using ir::UnKind;
+using ir::ValueRef;
+
+ir::BinKind Lowerer::toIrBin(BinOp op) const {
+  switch (op) {
+    case BinOp::Add: return BinKind::Add;
+    case BinOp::Sub: return BinKind::Sub;
+    case BinOp::Mul: return BinKind::Mul;
+    case BinOp::Div: return BinKind::Div;
+    case BinOp::Mod: return BinKind::Mod;
+    case BinOp::Pow: return BinKind::Pow;
+    case BinOp::Eq: return BinKind::Eq;
+    case BinOp::Ne: return BinKind::Ne;
+    case BinOp::Lt: return BinKind::Lt;
+    case BinOp::Le: return BinKind::Le;
+    case BinOp::Gt: return BinKind::Gt;
+    case BinOp::Ge: return BinKind::Ge;
+    case BinOp::And: return BinKind::And;
+    case BinOp::Or: return BinKind::Or;
+  }
+  CB_UNREACHABLE("bad binop");
+}
+
+// ---------------------------------------------------------------- helpers
+
+Lowerer::TypedValue Lowerer::makeError(SourceLoc loc) {
+  (void)loc;
+  return {ValueRef::makeInt(0), mod_.types().intTy()};
+}
+
+ir::ValueRef Lowerer::coerce(TypedValue v, TypeId want, SourceLoc loc) {
+  ir::TypeContext& types = mod_.types();
+  if (v.type == want) return v.v;
+  if (types.kindOf(want) == TypeKind::Real && types.kindOf(v.type) == TypeKind::Int)
+    return b().un(UnKind::IntToReal, v.v, want);
+  // Homogeneous-tuple widening: int tuple literal assigned to real tuple.
+  if (types.kindOf(want) == TypeKind::Tuple && types.kindOf(v.type) == TypeKind::Tuple) {
+    const ir::Type& wt = types.get(want);
+    const ir::Type& vt = types.get(v.type);
+    if (wt.elems.size() == vt.elems.size()) {
+      std::vector<ValueRef> elems;
+      for (uint32_t i = 0; i < wt.elems.size(); ++i) {
+        ValueRef e = b().tupleGet(v.v, i, vt.elems[i]);
+        elems.push_back(coerce({e, vt.elems[i]}, wt.elems[i], loc));
+      }
+      return b().tupleMake(elems, want);
+    }
+  }
+  error(loc, "type mismatch: have " + types.display(v.type, mod_.interner()) + ", want " +
+                 types.display(want, mod_.interner()));
+  return v.v;
+}
+
+ir::ValueRef Lowerer::emitDefaultValue(TypeId ty) {
+  ir::TypeContext& types = mod_.types();
+  switch (types.kindOf(ty)) {
+    case TypeKind::Int: return ValueRef::makeInt(0);
+    case TypeKind::Real: return ValueRef::makeReal(0.0);
+    case TypeKind::Bool: return ValueRef::makeBool(false);
+    case TypeKind::Record: return b().recordNew(ty);
+    case TypeKind::Tuple: {
+      const ir::Type& t = types.get(ty);
+      std::vector<ValueRef> elems;
+      elems.reserve(t.elems.size());
+      for (TypeId e : t.elems) elems.push_back(emitDefaultValue(e));
+      return b().tupleMake(elems, ty);
+    }
+    default:
+      return ValueRef::none();
+  }
+}
+
+// ------------------------------------------------------------- statements
+
+void Lowerer::lowerStmts(const std::vector<StmtPtr>& body) {
+  for (const StmtPtr& s : body) {
+    if (b().blockTerminated()) return;  // unreachable code after return
+    lowerStmt(*s);
+  }
+}
+
+void Lowerer::lowerStmt(const Stmt& s) {
+  b().setLoc(s.loc);
+  switch (s.kind) {
+    case StmtKind::Block:
+      pushScope();
+      lowerStmts(s.body);
+      popScope();
+      return;
+    case StmtKind::DeclVar: return lowerDeclVar(s);
+    case StmtKind::Assign: return lowerAssign(s);
+    case StmtKind::ExprStmt:
+      lowerExpr(*s.expr);
+      return;
+    case StmtKind::If: return lowerIf(s);
+    case StmtKind::While: return lowerWhile(s);
+    case StmtKind::For: return lowerFor(s);
+    case StmtKind::ForParam: return lowerForParam(s);
+    case StmtKind::Forall:
+    case StmtKind::Coforall: return lowerParallel(s);
+    case StmtKind::Select: return lowerSelect(s);
+    case StmtKind::Return: return lowerReturn(s);
+  }
+}
+
+void Lowerer::lowerSelect(const Stmt& s) {
+  // `select x { when v1, v2 {...} otherwise {...} }` lowers to an if-else
+  // chain on a once-evaluated selector. The implicit blame transfer for the
+  // bodies falls out of control dependence, exactly as for `if` (§IV.A:
+  // "the same situation happens to ... select-when statements").
+  ir::TypeContext& types = mod_.types();
+  TypedValue sel = lowerExpr(*s.expr);
+  ir::BlockId joinB = b().newBlock("select.join");
+
+  for (const WhenClause& w : s.whens) {
+    // cond = (sel == v1) || (sel == v2) || ...
+    ValueRef cond;
+    for (const ExprPtr& v : w.values) {
+      TypedValue val = lowerExpr(*v);
+      ValueRef eq = b().bin(BinKind::Eq, sel.v, coerce(val, sel.type, v->loc), types.boolTy());
+      cond = cond.isNone() ? eq : b().bin(BinKind::Or, cond, eq, types.boolTy());
+    }
+    ir::BlockId thenB = b().newBlock("when.body");
+    ir::BlockId nextB = b().newBlock("when.next");
+    b().condBr(cond, thenB, nextB);
+    b().setBlock(thenB);
+    pushScope();
+    lowerStmts(w.body);
+    popScope();
+    if (!b().blockTerminated()) b().br(joinB);
+    b().setBlock(nextB);
+  }
+  pushScope();
+  lowerStmts(s.elseBody);  // otherwise clause (may be empty)
+  popScope();
+  if (!b().blockTerminated()) b().br(joinB);
+  b().setBlock(joinB);
+}
+
+void Lowerer::lowerDeclVar(const Stmt& s) {
+  ir::TypeContext& types = mod_.types();
+  if (lookup(s.name) && ctx().scopes.back().count(s.name)) {
+    error(s.loc, "variable '" + s.name + "' redefined in this scope");
+  }
+
+  auto declare = [&](TypeId ty, ValueRef initVal, const std::string& display) {
+    ir::DebugVarId dv = makeDebugVar(s.name, ty, ir::VarKind::Local, s.loc, ctx().fid);
+    if (!display.empty()) mod_.debugVar(dv).typeDisplay = display;
+    ValueRef slot = b().alloca_(ty, dv);
+    if (!initVal.isNone()) b().store(initVal, slot);
+    bind(s.name, Binding{Binding::Kind::VarAddr, slot, ty});
+  };
+
+  if (s.isAlias) {
+    // `var RealPos => Pos[binSpace];` — the initializer is an array view.
+    TypedValue v = lowerExpr(*s.init);
+    if (types.kindOf(v.type) != TypeKind::Array) {
+      error(s.loc, "'=>' alias initializer must be an array expression");
+      return;
+    }
+    declare(v.type, v.v, "");
+    return;
+  }
+
+  if (s.declType && s.declType->kind == TypeExprKind::Array) {
+    // `var determ: [Elems] real;` — evaluate the domain, heap-allocate.
+    TypedValue dom = lowerExpr(*s.declType->domainExpr);
+    if (types.kindOf(dom.type) != TypeKind::Domain) {
+      error(s.loc, "array variable domain expression is not a domain");
+      return;
+    }
+    TypeId elem = resolveTypeForSignature(*s.declType->elem);
+    TypeId arrTy = types.array(elem, types.get(dom.type).rank);
+    ValueRef arr = b().arrayNew(dom.v, arrTy);
+    initNestedArrayElems(arr, arrTy, *s.declType->elem, s.loc);
+    declare(arrTy, arr, typeDisplayOf(*s.declType));
+    if (s.init) error(s.loc, "array variables take no initializer expression");
+    return;
+  }
+
+  if (s.init) {
+    TypedValue v = lowerExpr(*s.init);
+    TypeId ty = v.type;
+    ValueRef val = v.v;
+    if (s.declType) {
+      ty = resolveTypeForSignature(*s.declType);
+      val = coerce(v, ty, s.loc);
+    }
+    declare(ty, val, s.declType ? typeDisplayOf(*s.declType) : "");
+    return;
+  }
+
+  if (!s.declType) {
+    error(s.loc, "variable '" + s.name + "' needs a type or an initializer");
+    return;
+  }
+  TypeId ty = resolveTypeForSignature(*s.declType);
+  ValueRef def = emitDefaultValue(ty);
+  if (def.isNone()) {
+    error(s.loc, "variable '" + s.name + "' of this type needs an initializer");
+    return;
+  }
+  declare(ty, def, typeDisplayOf(*s.declType));
+}
+
+void Lowerer::lowerAssign(const Stmt& s) {
+  ir::TypeContext& types = mod_.types();
+  LValue lhs = lowerLValue(*s.lhs);
+  if (!lhs.valid) return;
+
+  // Whole-array assignments: `A = 0;` broadcast, `A = B;` copy.
+  if (types.kindOf(lhs.type) == TypeKind::Array) {
+    TypedValue rhs = lowerExpr(*s.rhs);
+    ValueRef dst = b().load(lhs.addr, lhs.type);
+    if (types.kindOf(rhs.type) == TypeKind::Array) {
+      if (s.assignOp != AssignOp::Plain) {
+        error(s.loc, "compound assignment between arrays is not supported");
+        return;
+      }
+      b().builtin(BuiltinKind::ArrayCopy, {dst, rhs.v}, types.voidTy());
+    } else {
+      TypeId elem = types.arrayElem(lhs.type);
+      ValueRef v = coerce(rhs, elem, s.loc);
+      if (s.assignOp != AssignOp::Plain) {
+        error(s.loc, "compound broadcast assignment is not supported");
+        return;
+      }
+      b().builtin(BuiltinKind::ArrayFill, {dst, v}, types.voidTy());
+    }
+    return;
+  }
+
+  TypedValue rhs = lowerExpr(*s.rhs);
+  if (s.assignOp == AssignOp::Plain) {
+    b().store(coerce(rhs, lhs.type, s.loc), lhs.addr);
+    return;
+  }
+  // Compound: load-modify-store (tuple element-wise when applicable).
+  BinOp op = s.assignOp == AssignOp::Add ? BinOp::Add
+           : s.assignOp == AssignOp::Sub ? BinOp::Sub
+           : s.assignOp == AssignOp::Mul ? BinOp::Mul
+                                         : BinOp::Div;
+  ValueRef cur = b().load(lhs.addr, lhs.type);
+  TypedValue result;
+  if (types.kindOf(lhs.type) == TypeKind::Tuple || types.kindOf(rhs.type) == TypeKind::Tuple) {
+    result = tupleElementwise(op, {cur, lhs.type}, rhs, s.loc);
+  } else {
+    ValueRef r = coerce(rhs, lhs.type, s.loc);
+    result = {b().bin(toIrBin(op), cur, r, lhs.type), lhs.type};
+  }
+  b().store(coerce(result, lhs.type, s.loc), lhs.addr);
+}
+
+void Lowerer::lowerIf(const Stmt& s) {
+  TypedValue cond = lowerExpr(*s.expr);
+  ir::BlockId thenB = b().newBlock("if.then");
+  ir::BlockId elseB = s.elseBody.empty() ? ir::kNone : b().newBlock("if.else");
+  ir::BlockId joinB = b().newBlock("if.join");
+  b().condBr(cond.v, thenB, elseB == ir::kNone ? joinB : elseB);
+
+  b().setBlock(thenB);
+  pushScope();
+  lowerStmts(s.body);
+  popScope();
+  if (!b().blockTerminated()) b().br(joinB);
+
+  if (elseB != ir::kNone) {
+    b().setBlock(elseB);
+    pushScope();
+    lowerStmts(s.elseBody);
+    popScope();
+    if (!b().blockTerminated()) b().br(joinB);
+  }
+  b().setBlock(joinB);
+}
+
+void Lowerer::lowerWhile(const Stmt& s) {
+  ir::BlockId header = b().newBlock("while.header");
+  ir::BlockId body = b().newBlock("while.body");
+  ir::BlockId exit = b().newBlock("while.exit");
+  b().br(header);
+  b().setBlock(header);
+  b().setLoc(s.loc);
+  TypedValue cond = lowerExpr(*s.expr);
+  b().condBr(cond.v, body, exit);
+  b().setBlock(body);
+  pushScope();
+  lowerStmts(s.body);
+  popScope();
+  if (!b().blockTerminated()) b().br(header);
+  b().setBlock(exit);
+}
+
+template <typename F>
+void Lowerer::emitCountedLoop(ValueRef lo, ValueRef hi, SourceLoc loc, F emitBody) {
+  ir::TypeContext& types = mod_.types();
+  b().setLoc(loc);
+  ir::DebugVarId dv = makeTempVar("idx", types.intTy(), loc);
+  ValueRef idxSlot = b().alloca_(types.intTy(), dv);
+  b().store(lo, idxSlot);
+  ir::BlockId header = b().newBlock("loop.header");
+  ir::BlockId body = b().newBlock("loop.body");
+  ir::BlockId latch = b().newBlock("loop.latch");
+  ir::BlockId exit = b().newBlock("loop.exit");
+  b().br(header);
+
+  b().setBlock(header);
+  b().setLoc(loc);
+  ValueRef idx = b().load(idxSlot, types.intTy());
+  ValueRef cond = b().bin(BinKind::Le, idx, hi, types.boolTy());
+  b().condBr(cond, body, exit);
+
+  b().setBlock(body);
+  emitBody(idx);
+  if (!b().blockTerminated()) b().br(latch);
+
+  b().setBlock(latch);
+  b().setLoc(loc);
+  ValueRef cur = b().load(idxSlot, types.intTy());
+  ValueRef nxt = b().bin(BinKind::Add, cur, ValueRef::makeInt(1), types.intTy());
+  b().store(nxt, idxSlot);
+  b().br(header);
+
+  b().setBlock(exit);
+}
+
+void Lowerer::initNestedArrayElems(ValueRef arrValue, TypeId arrTy, const TypeExpr& elemTE,
+                                   SourceLoc loc) {
+  const TypeExpr* et = &elemTE;
+  while (et->kind == TypeExprKind::Named) {
+    auto a = typeAliases_.find(et->name);
+    if (a == typeAliases_.end()) break;
+    et = a->second;
+  }
+  if (et->kind != TypeExprKind::Array) return;
+
+  ir::TypeContext& types = mod_.types();
+  TypeId innerTy = types.arrayElem(arrTy);
+  // The inner domain is evaluated once, outside the loop (it may only
+  // reference enclosing-scope values, like a record field domain).
+  TypedValue dom = lowerExpr(*et->domainExpr);
+  if (types.kindOf(dom.type) != TypeKind::Domain) {
+    error(loc, "inner array domain expression is not a domain");
+    return;
+  }
+  ValueRef n = b().domainSize(arrValue);
+  ValueRef hi = b().bin(BinKind::Sub, n, ValueRef::makeInt(1), types.intTy());
+  const TypeExpr* innerElem = et->elem.get();
+  emitCountedLoop(ValueRef::makeInt(0), hi, loc, [&](ValueRef idx) {
+    ValueRef inner = b().arrayNew(dom.v, innerTy);
+    ValueRef addr = b().indexAddr(arrValue, {idx}, innerTy, /*linear=*/true);
+    b().store(inner, addr);
+    if (innerElem) initNestedArrayElems(inner, innerTy, *innerElem, loc);
+  });
+}
+
+Lowerer::IterInfo Lowerer::classifyIterand(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  IterInfo info;
+  if (e.kind == ExprKind::Range) {
+    info.kind = IterInfo::Kind::Range;
+    TypedValue lo = lowerExpr(*e.args[0]);
+    TypedValue cnt = lowerExpr(*e.args[1]);
+    info.lo = coerce(lo, types.intTy(), e.loc);
+    if (e.counted) {
+      ValueRef n = coerce(cnt, types.intTy(), e.loc);
+      ValueRef hiPlus = b().bin(BinKind::Add, info.lo, n, types.intTy());
+      info.hi = b().bin(BinKind::Sub, hiPlus, ValueRef::makeInt(1), types.intTy());
+    } else {
+      info.hi = coerce(cnt, types.intTy(), e.loc);
+    }
+    return info;
+  }
+  TypedValue v = lowerExpr(e);
+  switch (types.kindOf(v.type)) {
+    case TypeKind::Domain: {
+      uint8_t rank = types.get(v.type).rank;
+      if (rank == 1) {
+        info.kind = IterInfo::Kind::Domain1D;
+        info.value = v.v;
+        info.lo = b().domainDim(v.v, 0, false);
+        info.hi = b().domainDim(v.v, 0, true);
+      } else {
+        info.kind = IterInfo::Kind::Domain2D;
+        info.value = v.v;
+        info.type = v.type;
+        info.lo = ValueRef::makeInt(0);
+        ValueRef size = b().domainSize(v.v);
+        info.hi = b().bin(BinKind::Sub, size, ValueRef::makeInt(1), types.intTy());
+      }
+      return info;
+    }
+    case TypeKind::Array: {
+      info.kind = IterInfo::Kind::Array;
+      info.value = v.v;
+      info.type = v.type;
+      info.lo = ValueRef::makeInt(0);
+      ValueRef size = b().domainSize(v.v);
+      info.hi = b().bin(BinKind::Sub, size, ValueRef::makeInt(1), types.intTy());
+      return info;
+    }
+    default:
+      error(e.loc, "cannot iterate over this expression");
+      info.lo = ValueRef::makeInt(0);
+      info.hi = ValueRef::makeInt(-1);
+      return info;
+  }
+}
+
+void Lowerer::bindLoopIndex(const std::string& name, const IterInfo& info, ValueRef idx,
+                            SourceLoc loc) {
+  ir::TypeContext& types = mod_.types();
+  switch (info.kind) {
+    case IterInfo::Kind::Range:
+    case IterInfo::Kind::Domain1D: {
+      // User-visible index variable: an alloca written every iteration at
+      // the loop-header line (this is what carries implicit blame).
+      ValueRef actual = b().bin(BinKind::Add, info.lo, idx, types.intTy());
+      ir::DebugVarId dv = makeDebugVar(name, types.intTy(), ir::VarKind::Local, loc, ctx().fid);
+      ValueRef slot = b().alloca_(types.intTy(), dv);
+      b().store(actual, slot);
+      bind(name, Binding{Binding::Kind::VarAddr, slot, types.intTy()});
+      return;
+    }
+    case IterInfo::Kind::Array: {
+      TypeId elem = types.arrayElem(info.type);
+      ValueRef addr = b().indexAddr(info.value, {idx}, elem, /*linear=*/true);
+      bind(name, Binding{Binding::Kind::VarAddr, addr, elem});
+      return;
+    }
+    case IterInfo::Kind::Domain2D:
+      CB_UNREACHABLE("Domain2D is bound via bind2DIndices");
+  }
+}
+
+void Lowerer::lowerForParam(const Stmt& s) {
+  // Compile-time unrolled, exactly like Chapel's `for param`: the body is
+  // lowered once per iteration with the index bound to a constant.
+  for (int64_t k = s.paramLo; k <= s.paramHi; ++k) {
+    pushScope();
+    bind(s.head.indexNames.front(),
+         Binding{Binding::Kind::ConstVal, ValueRef::makeInt(k), mod_.types().intTy()});
+    lowerStmts(s.body);
+    popScope();
+    if (b().blockTerminated()) break;
+  }
+}
+
+void Lowerer::lowerFor(const Stmt& s) {
+  ir::TypeContext& types = mod_.types();
+  std::vector<IterInfo> infos;
+  for (const ExprPtr& it : s.head.iterands) infos.push_back(classifyIterand(*it));
+
+  // Single 2-D domain iterand with (i, j): nested sequential loops.
+  if (infos.size() == 1 && infos[0].kind == IterInfo::Kind::Domain2D) {
+    if (s.head.indexNames.size() != 2) {
+      error(s.loc, "iterating a 2-D domain needs two index names");
+      return;
+    }
+    ValueRef dom = infos[0].value;
+    ValueRef lo0 = b().domainDim(dom, 0, false), hi0 = b().domainDim(dom, 0, true);
+    ValueRef lo1 = b().domainDim(dom, 1, false), hi1 = b().domainDim(dom, 1, true);
+    emitCountedLoop(lo0, hi0, s.loc, [&](ValueRef i0) {
+      pushScope();
+      ir::DebugVarId dv0 =
+          makeDebugVar(s.head.indexNames[0], types.intTy(), ir::VarKind::Local, s.loc, ctx().fid);
+      ValueRef slot0 = b().alloca_(types.intTy(), dv0);
+      b().store(i0, slot0);
+      bind(s.head.indexNames[0], Binding{Binding::Kind::VarAddr, slot0, types.intTy()});
+      emitCountedLoop(lo1, hi1, s.loc, [&](ValueRef i1) {
+        pushScope();
+        ir::DebugVarId dv1 = makeDebugVar(s.head.indexNames[1], types.intTy(), ir::VarKind::Local,
+                                          s.loc, ctx().fid);
+        ValueRef slot1 = b().alloca_(types.intTy(), dv1);
+        b().store(i1, slot1);
+        bind(s.head.indexNames[1], Binding{Binding::Kind::VarAddr, slot1, types.intTy()});
+        lowerStmts(s.body);
+        popScope();
+      });
+      popScope();
+    });
+    return;
+  }
+
+  if (s.head.indexNames.size() != infos.size()) {
+    error(s.loc, "loop index count does not match iterand count");
+    return;
+  }
+
+  // Linear loop over the first iterand's extent; every iterand is accessed
+  // at the same linear position (zippered semantics).
+  ValueRef count = b().bin(BinKind::Sub, infos[0].hi, infos[0].lo, types.intTy());
+  emitCountedLoop(ValueRef::makeInt(0), count, s.loc, [&](ValueRef idx) {
+    pushScope();
+    if (s.head.zipped) {
+      // Only array iterands have per-iteration follower state to advance;
+      // domains are immutable index sets.
+      std::vector<ValueRef> itvals;
+      for (const IterInfo& info : infos)
+        if (info.kind == IterInfo::Kind::Array) itvals.push_back(info.value);
+      b().iterOverhead(static_cast<uint32_t>(infos.size()), itvals);
+    }
+    for (size_t k = 0; k < infos.size(); ++k)
+      bindLoopIndex(s.head.indexNames[k], infos[k], idx, s.loc);
+    lowerStmts(s.body);
+    popScope();
+  });
+}
+
+void Lowerer::lowerParallel(const Stmt& s) {
+  ir::TypeContext& types = mod_.types();
+  bool isCoforall = (s.kind == StmtKind::Coforall);
+  b().setLoc(s.loc);
+
+  std::vector<IterInfo> infos;
+  for (const ExprPtr& it : s.head.iterands) infos.push_back(classifyIterand(*it));
+  bool twoDSingle = infos.size() == 1 && infos[0].kind == IterInfo::Kind::Domain2D;
+  if (!twoDSingle && s.head.indexNames.size() != infos.size()) {
+    error(s.loc, "loop index count does not match iterand count");
+    return;
+  }
+  if (twoDSingle && s.head.indexNames.size() != 2) {
+    error(s.loc, "iterating a 2-D domain needs two index names");
+    return;
+  }
+
+  // Free variables of the body (minus the loop indices) become ref captures.
+  std::set<std::string> bound(s.head.indexNames.begin(), s.head.indexNames.end());
+  std::vector<std::string> captures;
+  for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, bound, captures);
+
+  // ---- build the task function shell ------------------------------------
+  ir::Function shell;
+  std::string fname = std::string(isCoforall ? "coforall" : "forall") + "_fn_chpl" +
+                      std::to_string(++taskFnCounter_);
+  shell.name = mod_.interner().intern(fname);
+  shell.displayName = fname;
+  shell.loc = s.loc;
+  shell.returnType = types.voidTy();
+  shell.taskKind = isCoforall ? ir::TaskKind::Coforall : ir::TaskKind::Forall;
+  shell.spawnParent = ctx().fid;
+  shell.spawnLoc = s.loc;
+
+  auto addParam = [&](const std::string& name, TypeId ty, bool byRef) {
+    ir::Param prm;
+    prm.name = mod_.interner().intern(name);
+    prm.type = ty;
+    prm.byRef = byRef;
+    shell.params.push_back(prm);
+    return static_cast<uint32_t>(shell.params.size() - 1);
+  };
+
+  addParam("chunk_lo", types.intTy(), false);
+  addParam("chunk_hi", types.intTy(), false);
+
+  // One parameter per iterand carrying what the task needs to rebuild the
+  // element/index bindings.
+  struct IterParam {
+    uint32_t argIdx;
+    IterInfo::Kind kind;
+    TypeId type;
+  };
+  std::vector<IterParam> iterParams;
+  std::vector<ValueRef> spawnArgs;
+  for (size_t k = 0; k < infos.size(); ++k) {
+    const IterInfo& info = infos[k];
+    switch (info.kind) {
+      case IterInfo::Kind::Range:
+      case IterInfo::Kind::Domain1D: {
+        uint32_t a = addParam("_iterbase" + std::to_string(k), types.intTy(), false);
+        iterParams.push_back({a, IterInfo::Kind::Range, types.intTy()});
+        spawnArgs.push_back(info.lo);
+        break;
+      }
+      case IterInfo::Kind::Domain2D: {
+        uint32_t a = addParam("_iterdom" + std::to_string(k), info.type, false);
+        iterParams.push_back({a, info.kind, info.type});
+        spawnArgs.push_back(info.value);
+        break;
+      }
+      case IterInfo::Kind::Array: {
+        uint32_t a = addParam("_iterarr" + std::to_string(k), info.type, false);
+        iterParams.push_back({a, info.kind, info.type});
+        spawnArgs.push_back(info.value);
+        break;
+      }
+    }
+  }
+
+  // Captures: always by reference (address of the variable), so writes in
+  // the task blame the captured variable via the transfer function.
+  struct CapturePlan {
+    std::string name;
+    TypeId type;
+    uint32_t argIdx;
+  };
+  std::vector<CapturePlan> capturePlans;
+  for (const std::string& cname : captures) {
+    Binding* bd = lookup(cname);
+    CB_ASSERT(bd != nullptr, "capture lookup failed");
+    ValueRef addr;
+    TypeId ty = bd->type;
+    if (bd->kind == Binding::Kind::VarAddr) {
+      addr = bd->ref;
+    } else {
+      // Constant / value bindings are materialized into a temp slot.
+      ir::DebugVarId dv = makeTempVar("cap_" + cname, ty, s.loc);
+      addr = b().alloca_(ty, dv);
+      b().store(bd->ref, addr);
+    }
+    uint32_t a = addParam(cname, ty, true);
+    capturePlans.push_back({cname, ty, a});
+    spawnArgs.push_back(addr);
+  }
+
+  ir::FuncId taskId = mod_.addFunction(shell);
+
+  // ---- caller side: spawn ------------------------------------------------
+  // Chunk bounds are linear offsets [0, count).
+  ValueRef count = b().bin(BinKind::Sub, infos[0].hi, infos[0].lo, types.intTy());
+  std::vector<ValueRef> ops;
+  ops.push_back(ValueRef::makeInt(0));
+  ops.push_back(count);
+  ops.insert(ops.end(), spawnArgs.begin(), spawnArgs.end());
+  b().spawn(taskId, isCoforall ? 1u : 0u, ops);
+
+  // ---- task body ----------------------------------------------------------
+  pushFnCtx(taskId, std::move(shell));
+  pushScope();
+  b().setLoc(s.loc);
+
+  for (const CapturePlan& cp : capturePlans) {
+    ctx().fn.params[cp.argIdx].debugVar =
+        makeDebugVar(cp.name, cp.type, ir::VarKind::Param, s.loc, taskId);
+    bind(cp.name, Binding{Binding::Kind::VarAddr, ValueRef::makeArg(cp.argIdx), cp.type});
+  }
+
+  ValueRef lo = ValueRef::makeArg(0);
+  ValueRef hi = ValueRef::makeArg(1);
+  emitCountedLoop(lo, hi, s.loc, [&](ValueRef idx) {
+    pushScope();
+    if (s.head.zipped) {
+      std::vector<ValueRef> itvals;
+      for (const IterParam& ip : iterParams)
+        if (ip.kind == IterInfo::Kind::Array) itvals.push_back(ValueRef::makeArg(ip.argIdx));
+      b().iterOverhead(static_cast<uint32_t>(infos.size()), itvals);
+    }
+    if (twoDSingle) {
+      // Reconstruct (i, j) from the linear index: i = lo0 + idx / n1,
+      // j = lo1 + idx % n1 — the per-iteration index math Chapel's
+      // follower iterators perform.
+      ValueRef dom = ValueRef::makeArg(iterParams[0].argIdx);
+      ValueRef lo0 = b().domainDim(dom, 0, false);
+      ValueRef lo1 = b().domainDim(dom, 1, false);
+      ValueRef hi1 = b().domainDim(dom, 1, true);
+      ValueRef n1p = b().bin(BinKind::Sub, hi1, lo1, types.intTy());
+      ValueRef n1 = b().bin(BinKind::Add, n1p, ValueRef::makeInt(1), types.intTy());
+      ValueRef q = b().bin(BinKind::Div, idx, n1, types.intTy());
+      ValueRef r = b().bin(BinKind::Mod, idx, n1, types.intTy());
+      ValueRef iV = b().bin(BinKind::Add, lo0, q, types.intTy());
+      ValueRef jV = b().bin(BinKind::Add, lo1, r, types.intTy());
+      for (int k = 0; k < 2; ++k) {
+        ir::DebugVarId dv = makeDebugVar(s.head.indexNames[k], types.intTy(), ir::VarKind::Local,
+                                         s.loc, taskId);
+        ValueRef slot = b().alloca_(types.intTy(), dv);
+        b().store(k == 0 ? iV : jV, slot);
+        bind(s.head.indexNames[k], Binding{Binding::Kind::VarAddr, slot, types.intTy()});
+      }
+    } else {
+      for (size_t k = 0; k < infos.size(); ++k) {
+        const IterParam& ip = iterParams[k];
+        // Rebuild an IterInfo against the task's own parameters.
+        IterInfo local;
+        local.kind = ip.kind;
+        switch (ip.kind) {
+          case IterInfo::Kind::Range:
+            local.lo = ValueRef::makeArg(ip.argIdx);
+            break;
+          case IterInfo::Kind::Array:
+            local.value = ValueRef::makeArg(ip.argIdx);
+            local.type = ip.type;
+            break;
+          default:
+            break;
+        }
+        bindLoopIndex(s.head.indexNames[k], local, idx, s.loc);
+      }
+    }
+    lowerStmts(s.body);
+    popScope();
+  });
+
+  popScope();
+  popFnCtxAndCommit();
+}
+
+void Lowerer::lowerReturn(const Stmt& s) {
+  if (!s.expr) {
+    b().ret();
+    return;
+  }
+  TypedValue v = lowerExpr(*s.expr);
+  b().ret(coerce(v, ctx().retTy, s.loc));
+}
+
+// ------------------------------------------------------------ expressions
+
+Lowerer::TypedValue Lowerer::lowerExpr(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  b().setLoc(e.loc);
+  switch (e.kind) {
+    case ExprKind::IntLit: return {ValueRef::makeInt(e.intVal), types.intTy()};
+    case ExprKind::RealLit: return {ValueRef::makeReal(e.realVal), types.realTy()};
+    case ExprKind::BoolLit: return {ValueRef::makeBool(e.boolVal), types.boolTy()};
+    case ExprKind::StringLit:
+      return {ValueRef::makeString(mod_.addString(e.strVal)), types.stringTy()};
+    case ExprKind::Ident: {
+      if (Binding* bd = lookup(e.strVal)) {
+        if (bd->kind == Binding::Kind::VarAddr) return {b().load(bd->ref, bd->type), bd->type};
+        return {bd->ref, bd->type};
+      }
+      auto g = globalsByName_.find(e.strVal);
+      if (g != globalsByName_.end()) {
+        TypeId ty = mod_.global(g->second).type;
+        return {b().load(ValueRef::makeGlobal(g->second), ty), ty};
+      }
+      error(e.loc, "unknown identifier '" + e.strVal + "'");
+      return makeError(e.loc);
+    }
+    case ExprKind::Unary: {
+      TypedValue v = lowerExpr(*e.args[0]);
+      if (e.unOp == UnOp::Neg) {
+        if (!types.isNumeric(v.type)) {
+          error(e.loc, "negation needs a numeric operand");
+          return makeError(e.loc);
+        }
+        return {b().un(UnKind::Neg, v.v, v.type), v.type};
+      }
+      return {b().un(UnKind::Not, v.v, types.boolTy()), types.boolTy()};
+    }
+    case ExprKind::Binary: return lowerBinary(e);
+    case ExprKind::Call: return lowerCall(e);
+    case ExprKind::MethodCall: return lowerMethodCall(e);
+    case ExprKind::Index: return lowerIndexExpr(e);
+    case ExprKind::Field: {
+      // Record field reads on addressable bases go through FieldAddr+Load,
+      // keeping the address chain resolvable for the blame analysis (and
+      // avoiding whole-record copies). `.size` stays a domain/array
+      // pseudo-field.
+      if (e.strVal != "size" && isLValueExpr(e)) {
+        LValue lv = lowerLValue(e);
+        if (!lv.valid) return makeError(e.loc);
+        return {b().load(lv.addr, lv.type), lv.type};
+      }
+      TypedValue base = lowerExpr(*e.args[0]);
+      TypeKind k = types.kindOf(base.type);
+      if ((k == TypeKind::Domain || k == TypeKind::Array) && e.strVal == "size")
+        return {b().domainSize(base.v), types.intTy()};
+      if (k == TypeKind::Record) {
+        const ir::Type& rt = types.get(base.type);
+        for (uint32_t i = 0; i < rt.fields.size(); ++i) {
+          if (mod_.interner().str(rt.fields[i].name) == e.strVal)
+            return {b().tupleGet(base.v, i, rt.fields[i].type), rt.fields[i].type};
+        }
+        error(e.loc, "record has no field '" + e.strVal + "'");
+        return makeError(e.loc);
+      }
+      error(e.loc, "'." + e.strVal + "' is not supported on this type");
+      return makeError(e.loc);
+    }
+    case ExprKind::TupleLit: {
+      std::vector<ValueRef> elems;
+      std::vector<TypeId> elemTys;
+      for (const ExprPtr& a : e.args) {
+        TypedValue v = lowerExpr(*a);
+        elems.push_back(v.v);
+        elemTys.push_back(v.type);
+      }
+      TypeId ty = types.tuple(std::move(elemTys));
+      return {b().tupleMake(elems, ty), ty};
+    }
+    case ExprKind::TupleIndex: {
+      if (isLValueExpr(*e.args[0])) {
+        LValue lv = lowerLValue(e);
+        if (!lv.valid) return makeError(e.loc);
+        return {b().load(lv.addr, lv.type), lv.type};
+      }
+      TypedValue base = lowerExpr(*e.args[0]);
+      if (types.kindOf(base.type) != TypeKind::Tuple) {
+        error(e.loc, "tuple indexing on a non-tuple value");
+        return makeError(e.loc);
+      }
+      const ir::Type& tt = types.get(base.type);
+      int64_t idx = constIntOf(*e.args[1]);
+      if (idx >= 1 && static_cast<size_t>(idx) <= tt.elems.size()) {
+        TypeId ety = tt.elems[idx - 1];
+        return {b().tupleGet(base.v, static_cast<uint32_t>(idx - 1), ety), ety};
+      }
+      for (TypeId et : tt.elems) {
+        if (et != tt.elems.front()) {
+          error(e.loc, "run-time tuple indexing needs a homogeneous tuple");
+          return makeError(e.loc);
+        }
+      }
+      ValueRef iv = coerce(lowerExpr(*e.args[1]), types.intTy(), e.loc);
+      return {b().tupleGetDyn(base.v, iv, tt.elems.front()), tt.elems.front()};
+    }
+    case ExprKind::Reduce: {
+      // `+ reduce A` — lowered to a sequential accumulation loop over the
+      // array's elements (the paper's §VI future work: reduction support).
+      TypedValue arr = lowerExpr(*e.args[0]);
+      if (types.kindOf(arr.type) != TypeKind::Array) {
+        error(e.loc, "reduce expects an array operand");
+        return makeError(e.loc);
+      }
+      TypeId elem = types.arrayElem(arr.type);
+      if (!types.isNumeric(elem)) {
+        error(e.loc, "reduce needs a numeric element type");
+        return makeError(e.loc);
+      }
+      bool isReal = types.kindOf(elem) == TypeKind::Real;
+      ir::BinKind op = e.strVal == "min"  ? BinKind::Min
+                     : e.strVal == "max"  ? BinKind::Max
+                     : e.binOp == BinOp::Mul ? BinKind::Mul
+                                             : BinKind::Add;
+      ValueRef acc = b().alloca_(elem, makeTempVar("reduce", elem, e.loc));
+      // Identity for +/*; for min/max, seed with the first element (empty
+      // arrays reduce to the identity of +, i.e. zero).
+      ValueRef identity =
+          (op == BinKind::Mul)
+              ? (isReal ? ValueRef::makeReal(1.0) : ValueRef::makeInt(1))
+              : (isReal ? ValueRef::makeReal(0.0) : ValueRef::makeInt(0));
+      b().store(identity, acc);
+      ValueRef n = b().domainSize(arr.v);
+      ValueRef hi = b().bin(BinKind::Sub, n, ValueRef::makeInt(1), types.intTy());
+      bool seedFirst = (op == BinKind::Min || op == BinKind::Max);
+      if (seedFirst) {
+        // Seed with the first element when the array is non-empty.
+        ir::BlockId seedB = b().newBlock("reduce.seed");
+        ir::BlockId contB = b().newBlock("reduce.cont");
+        ValueRef nonEmpty = b().bin(BinKind::Gt, n, ValueRef::makeInt(0), types.boolTy());
+        b().condBr(nonEmpty, seedB, contB);
+        b().setBlock(seedB);
+        ValueRef first =
+            b().load(b().indexAddr(arr.v, {ValueRef::makeInt(0)}, elem, /*linear=*/true), elem);
+        b().store(first, acc);
+        b().br(contB);
+        b().setBlock(contB);
+      }
+      emitCountedLoop(ValueRef::makeInt(seedFirst ? 1 : 0), hi, e.loc, [&](ValueRef idx) {
+        ValueRef ev = b().load(b().indexAddr(arr.v, {idx}, elem, /*linear=*/true), elem);
+        ValueRef cur = b().load(acc, elem);
+        b().store(b().bin(op, cur, ev, elem), acc);
+      });
+      return {b().load(acc, elem), elem};
+    }
+    case ExprKind::Range: {
+      // A naked range in value position becomes a 1-D domain.
+      TypedValue lo = lowerExpr(*e.args[0]);
+      TypedValue cnt = lowerExpr(*e.args[1]);
+      ValueRef loV = coerce(lo, types.intTy(), e.loc);
+      ValueRef hiV;
+      if (e.counted) {
+        ValueRef n = coerce(cnt, types.intTy(), e.loc);
+        ValueRef p = b().bin(BinKind::Add, loV, n, types.intTy());
+        hiV = b().bin(BinKind::Sub, p, ValueRef::makeInt(1), types.intTy());
+      } else {
+        hiV = coerce(cnt, types.intTy(), e.loc);
+      }
+      return {b().domainMake({loV, hiV}, 1), types.domain(1)};
+    }
+    case ExprKind::DomainLit: {
+      std::vector<ValueRef> bounds;
+      for (const ExprPtr& a : e.args) {
+        if (a->kind != ExprKind::Range) {
+          error(a->loc, "domain literal components must be ranges");
+          return makeError(e.loc);
+        }
+        TypedValue lo = lowerExpr(*a->args[0]);
+        TypedValue cnt = lowerExpr(*a->args[1]);
+        ValueRef loV = coerce(lo, types.intTy(), a->loc);
+        ValueRef hiV;
+        if (a->counted) {
+          ValueRef n = coerce(cnt, types.intTy(), a->loc);
+          ValueRef p = b().bin(BinKind::Add, loV, n, types.intTy());
+          hiV = b().bin(BinKind::Sub, p, ValueRef::makeInt(1), types.intTy());
+        } else {
+          hiV = coerce(cnt, types.intTy(), a->loc);
+        }
+        bounds.push_back(loV);
+        bounds.push_back(hiV);
+      }
+      uint8_t rank = static_cast<uint8_t>(e.args.size());
+      return {b().domainMake(bounds, rank), types.domain(rank)};
+    }
+  }
+  CB_UNREACHABLE("bad expr kind");
+}
+
+Lowerer::TypedValue Lowerer::tupleElementwise(BinOp op, TypedValue a, TypedValue b_,
+                                              SourceLoc loc) {
+  ir::TypeContext& types = mod_.types();
+  bool aTup = types.kindOf(a.type) == TypeKind::Tuple;
+  bool bTup = types.kindOf(b_.type) == TypeKind::Tuple;
+  const ir::Type& tt = types.get(aTup ? a.type : b_.type);
+  TypeId resultTy = aTup ? a.type : b_.type;
+  size_t n = tt.elems.size();
+  if (aTup && bTup && types.get(a.type).elems.size() != types.get(b_.type).elems.size()) {
+    error(loc, "tuple arity mismatch in element-wise operation");
+    return makeError(loc);
+  }
+  // The expensive shape the paper's CENN optimization removes: N element
+  // extractions, N scalar ops, then a fresh tuple construction.
+  std::vector<ValueRef> elems;
+  for (uint32_t i = 0; i < n; ++i) {
+    TypeId ety = tt.elems[i];
+    ValueRef av = aTup ? b().tupleGet(a.v, i, ety) : coerce(a, ety, loc);
+    ValueRef bv = bTup ? b().tupleGet(b_.v, i, ety) : coerce(b_, ety, loc);
+    elems.push_back(b().bin(toIrBin(op), av, bv, ety));
+  }
+  return {b().tupleMake(elems, resultTy), resultTy};
+}
+
+Lowerer::TypedValue Lowerer::lowerBinary(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  TypedValue a = lowerExpr(*e.args[0]);
+  TypedValue b2 = lowerExpr(*e.args[1]);
+
+  if (types.kindOf(a.type) == TypeKind::Tuple || types.kindOf(b2.type) == TypeKind::Tuple) {
+    switch (e.binOp) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+        return tupleElementwise(e.binOp, a, b2, e.loc);
+      default:
+        error(e.loc, "unsupported tuple operation");
+        return makeError(e.loc);
+    }
+  }
+
+  switch (e.binOp) {
+    case BinOp::And:
+    case BinOp::Or:
+      return {b().bin(toIrBin(e.binOp), a.v, b2.v, types.boolTy()), types.boolTy()};
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      TypeId common = (types.kindOf(a.type) == TypeKind::Real ||
+                       types.kindOf(b2.type) == TypeKind::Real)
+                          ? types.realTy()
+                          : a.type;
+      ValueRef av = coerce(a, common, e.loc);
+      ValueRef bv = coerce(b2, common, e.loc);
+      return {b().bin(toIrBin(e.binOp), av, bv, types.boolTy()), types.boolTy()};
+    }
+    default: {
+      if (!types.isNumeric(a.type) || !types.isNumeric(b2.type)) {
+        error(e.loc, "arithmetic needs numeric operands");
+        return makeError(e.loc);
+      }
+      TypeId common = (types.kindOf(a.type) == TypeKind::Real ||
+                       types.kindOf(b2.type) == TypeKind::Real)
+                          ? types.realTy()
+                          : types.intTy();
+      if (e.binOp == BinOp::Pow) common = types.realTy();
+      ValueRef av = coerce(a, common, e.loc);
+      ValueRef bv = coerce(b2, common, e.loc);
+      return {b().bin(toIrBin(e.binOp), av, bv, common), common};
+    }
+  }
+}
+
+Lowerer::TypedValue Lowerer::lowerCall(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+
+  // Tuple indexing `t(i)` — 1-based, Chapel 1.x style. Compile-time
+  // constant indices (literals, `for param` indices) compile to a direct
+  // extraction; run-time indices compile to the expensive dynamic dispatch.
+  {
+    ValueRef tupleVal;
+    TypeId tupleTy = ir::kInvalidType;
+    if (Binding* bd = lookup(e.strVal)) {
+      if (types.kindOf(bd->type) != TypeKind::Tuple) {
+        error(e.loc, "'" + e.strVal + "' is not callable");
+        return makeError(e.loc);
+      }
+      tupleTy = bd->type;
+      tupleVal = (bd->kind == Binding::Kind::VarAddr) ? b().load(bd->ref, bd->type) : bd->ref;
+    } else {
+      auto g = globalsByName_.find(e.strVal);
+      if (g != globalsByName_.end() &&
+          types.kindOf(mod_.global(g->second).type) == TypeKind::Tuple) {
+        tupleTy = mod_.global(g->second).type;
+        tupleVal = b().load(ValueRef::makeGlobal(g->second), tupleTy);
+      }
+    }
+    if (tupleTy != ir::kInvalidType) {
+      if (e.args.size() != 1) {
+        error(e.loc, "tuple indexing takes one index");
+        return makeError(e.loc);
+      }
+      const ir::Type& tt = types.get(tupleTy);
+      int64_t idx = -1;
+      if (e.args[0]->kind == ExprKind::IntLit) {
+        idx = e.args[0]->intVal;
+      } else if (e.args[0]->kind == ExprKind::Ident) {
+        Binding* ib = lookup(e.args[0]->strVal);
+        if (ib && ib->kind == Binding::Kind::ConstVal &&
+            ib->ref.kind == ValueRef::Kind::ConstInt)
+          idx = ib->ref.i;
+      }
+      if (idx >= 1 && static_cast<size_t>(idx) <= tt.elems.size()) {
+        TypeId ety = tt.elems[idx - 1];
+        return {b().tupleGet(tupleVal, static_cast<uint32_t>(idx - 1), ety), ety};
+      }
+      // Dynamic index: requires a homogeneous tuple (single element type).
+      for (TypeId et : tt.elems) {
+        if (et != tt.elems.front()) {
+          error(e.loc, "run-time tuple indexing needs a homogeneous tuple");
+          return makeError(e.loc);
+        }
+      }
+      ValueRef iv = coerce(lowerExpr(*e.args[0]), types.intTy(), e.loc);
+      return {b().tupleGetDyn(tupleVal, iv, tt.elems.front()), tt.elems.front()};
+    }
+  }
+
+  // User procedure call.
+  auto p = procsByName_.find(e.strVal);
+  if (p != procsByName_.end()) {
+    ir::FuncId callee = p->second;
+    const ir::Function& cf = mod_.function(callee);
+    if (cf.params.size() != e.args.size()) {
+      error(e.loc, "call to '" + e.strVal + "': expected " + std::to_string(cf.params.size()) +
+                       " arguments, got " + std::to_string(e.args.size()));
+      return makeError(e.loc);
+    }
+    std::vector<ValueRef> args;
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      const ir::Param& prm = cf.params[i];
+      if (prm.byRef) {
+        LValue lv = lowerLValue(*e.args[i]);
+        if (lv.valid && lv.type == prm.type) {
+          args.push_back(lv.addr);
+        } else {
+          // Non-lvalue by-ref argument (e.g. a view expression): materialize
+          // into a temporary slot.
+          TypedValue v = lowerExpr(*e.args[i]);
+          ValueRef slot =
+              b().alloca_(prm.type, makeTempVar("arg_" + e.strVal, prm.type, e.loc));
+          b().store(coerce(v, prm.type, e.loc), slot);
+          args.push_back(slot);
+        }
+      } else {
+        TypedValue v = lowerExpr(*e.args[i]);
+        args.push_back(coerce(v, prm.type, e.loc));
+      }
+    }
+    b().setLoc(e.loc);
+    ValueRef r = b().call(callee, args, cf.returnType);
+    return {r, cf.returnType};
+  }
+
+  // Builtins.
+  auto unary = [&](UnKind k) -> TypedValue {
+    if (e.args.size() != 1) {
+      error(e.loc, e.strVal + " takes one argument");
+      return makeError(e.loc);
+    }
+    TypedValue v = lowerExpr(*e.args[0]);
+    if (e.strVal == "abs")
+      return {b().un(UnKind::Abs, v.v, v.type), v.type};
+    ValueRef rv = coerce(v, types.realTy(), e.loc);
+    TypeId rty = (k == UnKind::Floor) ? types.intTy() : types.realTy();
+    return {b().un(k, rv, rty), rty};
+  };
+  if (e.strVal == "sqrt") return unary(UnKind::Sqrt);
+  if (e.strVal == "abs") return unary(UnKind::Abs);
+  if (e.strVal == "sin") return unary(UnKind::Sin);
+  if (e.strVal == "cos") return unary(UnKind::Cos);
+  if (e.strVal == "exp") return unary(UnKind::Exp);
+  if (e.strVal == "floor") return unary(UnKind::Floor);
+  if (e.strVal == "min" || e.strVal == "max") {
+    if (e.args.size() != 2) {
+      error(e.loc, e.strVal + " takes two arguments");
+      return makeError(e.loc);
+    }
+    TypedValue a = lowerExpr(*e.args[0]);
+    TypedValue c = lowerExpr(*e.args[1]);
+    TypeId common =
+        (types.kindOf(a.type) == TypeKind::Real || types.kindOf(c.type) == TypeKind::Real)
+            ? types.realTy()
+            : types.intTy();
+    ValueRef av = coerce(a, common, e.loc);
+    ValueRef cv = coerce(c, common, e.loc);
+    return {b().bin(e.strVal == "min" ? BinKind::Min : BinKind::Max, av, cv, common), common};
+  }
+  if (e.strVal == "random")
+    return {b().builtin(BuiltinKind::Random, {}, types.realTy()), types.realTy()};
+  if (e.strVal == "clock")
+    return {b().builtin(BuiltinKind::Clock, {}, types.intTy()), types.intTy()};
+  if (e.strVal == "yield") {
+    b().builtin(BuiltinKind::Yield, {}, types.voidTy());
+    return {ValueRef::makeInt(0), types.intTy()};
+  }
+  if (e.strVal == "writeln") {
+    std::vector<ValueRef> args;
+    for (const ExprPtr& a : e.args) args.push_back(lowerExpr(*a).v);
+    b().builtin(BuiltinKind::Writeln, args, types.voidTy());
+    return {ValueRef::makeInt(0), types.intTy()};
+  }
+
+  error(e.loc, "unknown procedure '" + e.strVal + "'");
+  return makeError(e.loc);
+}
+
+Lowerer::TypedValue Lowerer::lowerMethodCall(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  TypedValue base = lowerExpr(*e.args[0]);
+  TypeKind k = types.kindOf(base.type);
+  if (k == TypeKind::Domain) {
+    uint8_t rank = types.get(base.type).rank;
+    if (e.strVal == "expand") {
+      if (e.args.size() != 2) {
+        error(e.loc, "expand takes one argument");
+        return makeError(e.loc);
+      }
+      TypedValue amt = lowerExpr(*e.args[1]);
+      ValueRef av = coerce(amt, types.intTy(), e.loc);
+      return {b().domainExpand(base.v, av, rank), base.type};
+    }
+    if (e.strVal == "size" && e.args.size() == 1)
+      return {b().domainSize(base.v), types.intTy()};
+    if ((e.strVal == "low" || e.strVal == "high") && e.args.size() == 2 &&
+        e.args[1]->kind == ExprKind::IntLit) {
+      uint32_t dim = static_cast<uint32_t>(e.args[1]->intVal) - 1;  // 1-based dims
+      return {b().domainDim(base.v, dim, e.strVal == "high"), types.intTy()};
+    }
+  }
+  if (k == TypeKind::Array && e.strVal == "size" && e.args.size() == 1)
+    return {b().domainSize(base.v), types.intTy()};
+  if (k == TypeKind::Record && e.args.size() == 2) {
+    // Tuple-typed field indexing parsed as a method call: `atom.force(1)`.
+    const ir::Type& rt = types.get(base.type);
+    for (uint32_t i = 0; i < rt.fields.size(); ++i) {
+      if (mod_.interner().str(rt.fields[i].name) != e.strVal) continue;
+      TypeId fty = rt.fields[i].type;
+      if (types.kindOf(fty) != TypeKind::Tuple) break;
+      ValueRef fv = b().tupleGet(base.v, i, fty);
+      const ir::Type& tt = types.get(fty);
+      int64_t idx = constIntOf(*e.args[1]);
+      if (idx >= 1 && static_cast<size_t>(idx) <= tt.elems.size()) {
+        TypeId ety = tt.elems[idx - 1];
+        return {b().tupleGet(fv, static_cast<uint32_t>(idx - 1), ety), ety};
+      }
+      for (TypeId et : tt.elems) {
+        if (et != tt.elems.front()) {
+          error(e.loc, "run-time tuple indexing needs a homogeneous tuple");
+          return makeError(e.loc);
+        }
+      }
+      ValueRef iv = coerce(lowerExpr(*e.args[1]), types.intTy(), e.loc);
+      return {b().tupleGetDyn(fv, iv, tt.elems.front()), tt.elems.front()};
+    }
+  }
+  error(e.loc, "unknown method '" + e.strVal + "' on this type");
+  return makeError(e.loc);
+}
+
+Lowerer::TypedValue Lowerer::lowerIndexExpr(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  TypedValue base = lowerExpr(*e.args[0]);
+  if (types.kindOf(base.type) != TypeKind::Array) {
+    error(e.loc, "indexing a non-array value");
+    return makeError(e.loc);
+  }
+  const ir::Type& at = types.get(base.type);
+
+  // Array view / domain remap: `Pos[binSpace]` (the expensive slice the
+  // paper's MiniMD optimization hoists or removes).
+  if (e.args.size() == 2) {
+    // Peek at the index expression type without committing to scalar.
+    TypedValue idx0 = lowerExpr(*e.args[1]);
+    if (types.kindOf(idx0.type) == TypeKind::Domain) {
+      return {b().arrayView(base.v, idx0.v, base.type), base.type};
+    }
+    // Scalar 1-D element access.
+    if (at.rank != 1) {
+      error(e.loc, "array of rank " + std::to_string(at.rank) + " indexed with 1 index");
+      return makeError(e.loc);
+    }
+    ValueRef iv = coerce(idx0, types.intTy(), e.loc);
+    ValueRef addr = b().indexAddr(base.v, {iv}, at.elem);
+    return {b().load(addr, at.elem), at.elem};
+  }
+
+  if (e.args.size() - 1 != at.rank) {
+    error(e.loc, "index count does not match array rank");
+    return makeError(e.loc);
+  }
+  std::vector<ValueRef> idx;
+  for (size_t i = 1; i < e.args.size(); ++i)
+    idx.push_back(coerce(lowerExpr(*e.args[i]), types.intTy(), e.loc));
+  ValueRef addr = b().indexAddr(base.v, idx, at.elem);
+  return {b().load(addr, at.elem), at.elem};
+}
+
+int64_t Lowerer::constIntOf(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.intVal;
+    case ExprKind::Ident: {
+      Binding* ib = lookup(e.strVal);
+      if (ib && ib->kind == Binding::Kind::ConstVal && ib->ref.kind == ValueRef::Kind::ConstInt)
+        return ib->ref.i;
+      return INT64_MIN;
+    }
+    case ExprKind::Unary: {
+      if (e.unOp != UnOp::Neg) return INT64_MIN;
+      int64_t v = constIntOf(*e.args[0]);
+      return v == INT64_MIN ? INT64_MIN : -v;
+    }
+    case ExprKind::Binary: {
+      // Fold `param`-index arithmetic (f%4+1 and friends) so tuple
+      // accesses in unrolled loops stay static, exactly as Chapel's param
+      // folding does.
+      int64_t a = constIntOf(*e.args[0]);
+      int64_t b = constIntOf(*e.args[1]);
+      if (a == INT64_MIN || b == INT64_MIN) return INT64_MIN;
+      switch (e.binOp) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div: return b == 0 ? INT64_MIN : a / b;
+        case BinOp::Mod: return b == 0 ? INT64_MIN : a % b;
+        default: return INT64_MIN;
+      }
+    }
+    default:
+      return INT64_MIN;
+  }
+}
+
+bool Lowerer::isLValueExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Ident: {
+      if (Binding* bd = lookup(e.strVal)) return bd->kind == Binding::Kind::VarAddr;
+      return globalsByName_.count(e.strVal) > 0;
+    }
+    case ExprKind::Index:
+      // Array elements are addressable (lowerLValue evaluates the base as
+      // an array value). Slices `A[dom]` are views, not lvalues, but they
+      // never appear under a field access, the only caller of this check.
+      return true;
+    case ExprKind::Field:
+    case ExprKind::TupleIndex:
+      return isLValueExpr(*e.args[0]);
+    case ExprKind::Call: {
+      if (Binding* bd = lookup(e.strVal))
+        return bd->kind == Binding::Kind::VarAddr &&
+               mod_.types().kindOf(bd->type) == TypeKind::Tuple;
+      auto g = globalsByName_.find(e.strVal);
+      return g != globalsByName_.end() &&
+             mod_.types().kindOf(mod_.global(g->second).type) == TypeKind::Tuple;
+    }
+    default:
+      return false;
+  }
+}
+
+Lowerer::LValue Lowerer::lowerLValue(const Expr& e) {
+  ir::TypeContext& types = mod_.types();
+  b().setLoc(e.loc);
+  switch (e.kind) {
+    case ExprKind::Ident: {
+      if (Binding* bd = lookup(e.strVal)) {
+        if (bd->kind != Binding::Kind::VarAddr) {
+          error(e.loc, "'" + e.strVal + "' is not assignable");
+          return {};
+        }
+        return {bd->ref, bd->type, true};
+      }
+      auto g = globalsByName_.find(e.strVal);
+      if (g != globalsByName_.end())
+        return {ValueRef::makeGlobal(g->second), mod_.global(g->second).type, true};
+      error(e.loc, "unknown identifier '" + e.strVal + "'");
+      return {};
+    }
+    case ExprKind::Index: {
+      TypedValue base = lowerExpr(*e.args[0]);
+      if (types.kindOf(base.type) != TypeKind::Array) {
+        error(e.loc, "indexing a non-array value");
+        return {};
+      }
+      const ir::Type& at = types.get(base.type);
+      if (e.args.size() - 1 != at.rank) {
+        error(e.loc, "index count does not match array rank");
+        return {};
+      }
+      std::vector<ValueRef> idx;
+      for (size_t i = 1; i < e.args.size(); ++i)
+        idx.push_back(coerce(lowerExpr(*e.args[i]), types.intTy(), e.loc));
+      return {b().indexAddr(base.v, idx, at.elem), at.elem, true};
+    }
+    case ExprKind::Field: {
+      LValue base = lowerLValue(*e.args[0]);
+      if (!base.valid) return {};
+      if (types.kindOf(base.type) != TypeKind::Record) {
+        error(e.loc, "field access on a non-record value");
+        return {};
+      }
+      const ir::Type& rt = types.get(base.type);
+      for (uint32_t i = 0; i < rt.fields.size(); ++i) {
+        if (mod_.interner().str(rt.fields[i].name) == e.strVal)
+          return {b().fieldAddr(base.addr, i, rt.fields[i].type), rt.fields[i].type, true};
+      }
+      error(e.loc, "record has no field '" + e.strVal + "'");
+      return {};
+    }
+    case ExprKind::TupleIndex: {
+      LValue base = lowerLValue(*e.args[0]);
+      if (!base.valid) return {};
+      if (types.kindOf(base.type) != TypeKind::Tuple) {
+        error(e.loc, "tuple indexing on a non-tuple value");
+        return {};
+      }
+      const ir::Type& tt = types.get(base.type);
+      int64_t idx = constIntOf(*e.args[1]);
+      if (idx >= 1 && static_cast<size_t>(idx) <= tt.elems.size()) {
+        TypeId ety = tt.elems[idx - 1];
+        return {b().tupleAddr(base.addr, static_cast<uint32_t>(idx - 1), ety), ety, true};
+      }
+      for (TypeId et : tt.elems) {
+        if (et != tt.elems.front()) {
+          error(e.loc, "run-time tuple indexing needs a homogeneous tuple");
+          return {};
+        }
+      }
+      ValueRef iv = coerce(lowerExpr(*e.args[1]), types.intTy(), e.loc);
+      return {b().tupleAddrDyn(base.addr, iv, tt.elems.front()), tt.elems.front(), true};
+    }
+    case ExprKind::Call: {
+      // Tuple element lvalue `t(1)`.
+      Binding* bd = lookup(e.strVal);
+      ValueRef baseAddr;
+      TypeId baseTy = ir::kInvalidType;
+      if (bd && bd->kind == Binding::Kind::VarAddr) {
+        baseAddr = bd->ref;
+        baseTy = bd->type;
+      } else {
+        auto g = globalsByName_.find(e.strVal);
+        if (g != globalsByName_.end()) {
+          baseAddr = ValueRef::makeGlobal(g->second);
+          baseTy = mod_.global(g->second).type;
+        }
+      }
+      if (baseTy == ir::kInvalidType || types.kindOf(baseTy) != TypeKind::Tuple) {
+        error(e.loc, "cannot assign to this expression");
+        return {};
+      }
+      if (e.args.size() != 1) {
+        error(e.loc, "tuple indexing takes one index");
+        return {};
+      }
+      int64_t idx = -1;
+      if (e.args[0]->kind == ExprKind::IntLit) idx = e.args[0]->intVal;
+      else if (e.args[0]->kind == ExprKind::Ident) {
+        Binding* ib = lookup(e.args[0]->strVal);
+        if (ib && ib->kind == Binding::Kind::ConstVal &&
+            ib->ref.kind == ValueRef::Kind::ConstInt)
+          idx = ib->ref.i;
+      }
+      const ir::Type& tt = types.get(baseTy);
+      if (idx >= 1 && static_cast<size_t>(idx) <= tt.elems.size()) {
+        TypeId ety = tt.elems[idx - 1];
+        return {b().tupleAddr(baseAddr, static_cast<uint32_t>(idx - 1), ety), ety, true};
+      }
+      for (TypeId et : tt.elems) {
+        if (et != tt.elems.front()) {
+          error(e.loc, "run-time tuple indexing needs a homogeneous tuple");
+          return {};
+        }
+      }
+      ValueRef iv = coerce(lowerExpr(*e.args[0]), types.intTy(), e.loc);
+      return {b().tupleAddrDyn(baseAddr, iv, tt.elems.front()), tt.elems.front(), true};
+    }
+    default:
+      error(e.loc, "cannot assign to this expression");
+      return {};
+  }
+}
+
+// Explicit instantiation not needed: emitCountedLoop is used only within
+// this translation unit and lower.cpp does not reference it.
+
+}  // namespace cb::fe

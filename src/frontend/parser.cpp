@@ -1,0 +1,666 @@
+#include "frontend/parser.h"
+
+#include <utility>
+
+namespace cb::fe {
+
+const Token& Parser::peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= toks_.size()) i = toks_.size() - 1;  // Eof
+  return toks_[i];
+}
+
+Token Parser::advance() {
+  Token t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(Tok k, const char* what) {
+  if (check(k)) return advance();
+  diags_.error(cur().loc,
+               std::string("expected ") + tokName(k) + " " + what + ", got " + tokName(cur().kind));
+  return cur();
+}
+
+void Parser::error(const char* msg) { diags_.error(cur().loc, msg); }
+
+void Parser::syncToDeclOrSemi() {
+  while (!check(Tok::Eof)) {
+    if (accept(Tok::Semi)) return;
+    switch (cur().kind) {
+      case Tok::KwProc:
+      case Tok::KwRecord:
+      case Tok::KwConfig:
+      case Tok::RBrace:
+        return;
+      default:
+        advance();
+    }
+  }
+}
+
+Program Parser::parseProgram() {
+  Program p;
+  p.file = file_;
+  while (!check(Tok::Eof)) {
+    switch (cur().kind) {
+      case Tok::KwUse:  // accepted for Chapel flavour, ignored
+        advance();
+        while (!check(Tok::Semi) && !check(Tok::Eof)) advance();
+        accept(Tok::Semi);
+        break;
+      case Tok::KwRecord:
+        p.order.push_back({TopLevelRef::Kind::Record, p.records.size()});
+        p.records.push_back(parseRecord());
+        break;
+      case Tok::KwType: {
+        advance();
+        TypeAliasDecl a;
+        a.loc = cur().loc;
+        a.name = expect(Tok::Ident, "type alias name").text;
+        expect(Tok::Assign, "in type alias");
+        a.type = parseType();
+        expect(Tok::Semi, "after type alias");
+        p.order.push_back({TopLevelRef::Kind::TypeAlias, p.typeAliases.size()});
+        p.typeAliases.push_back(std::move(a));
+        break;
+      }
+      case Tok::KwProc:
+        p.order.push_back({TopLevelRef::Kind::Proc, p.procs.size()});
+        p.procs.push_back(parseProc());
+        break;
+      case Tok::KwConfig: {
+        advance();
+        bool isConst = accept(Tok::KwConst);
+        if (!isConst) expect(Tok::KwVar, "after 'config'");
+        GlobalDecl g = parseGlobal(/*isConfig=*/true);
+        g.isConst = isConst;
+        p.order.push_back({TopLevelRef::Kind::Global, p.globals.size()});
+        p.globals.push_back(std::move(g));
+        break;
+      }
+      case Tok::KwConst:
+      case Tok::KwVar: {
+        bool isConst = advance().kind == Tok::KwConst;
+        GlobalDecl g = parseGlobal(/*isConfig=*/false);
+        g.isConst = isConst;
+        p.order.push_back({TopLevelRef::Kind::Global, p.globals.size()});
+        p.globals.push_back(std::move(g));
+        break;
+      }
+      default:
+        error("expected top-level declaration");
+        syncToDeclOrSemi();
+        break;
+    }
+  }
+  return p;
+}
+
+RecordDecl Parser::parseRecord() {
+  RecordDecl r;
+  r.loc = cur().loc;
+  expect(Tok::KwRecord, "");
+  r.name = expect(Tok::Ident, "record name").text;
+  expect(Tok::LBrace, "to open record body");
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) {
+    expect(Tok::KwVar, "field declaration");
+    FieldDecl f;
+    f.loc = cur().loc;
+    f.name = expect(Tok::Ident, "field name").text;
+    expect(Tok::Colon, "after field name");
+    f.type = parseType();
+    expect(Tok::Semi, "after field");
+    r.fields.push_back(std::move(f));
+  }
+  expect(Tok::RBrace, "to close record body");
+  return r;
+}
+
+ProcDecl Parser::parseProc() {
+  ProcDecl d;
+  d.loc = cur().loc;
+  expect(Tok::KwProc, "");
+  d.name = expect(Tok::Ident, "procedure name").text;
+  expect(Tok::LParen, "to open parameter list");
+  if (!check(Tok::RParen)) {
+    do {
+      ParamDecl pd;
+      pd.loc = cur().loc;
+      if (accept(Tok::KwRef)) pd.intent = Intent::Ref;
+      else accept(Tok::KwIn);
+      pd.name = expect(Tok::Ident, "parameter name").text;
+      expect(Tok::Colon, "after parameter name");
+      pd.type = parseType();
+      d.params.push_back(std::move(pd));
+    } while (accept(Tok::Comma));
+  }
+  expect(Tok::RParen, "to close parameter list");
+  if (accept(Tok::Colon)) d.returnType = parseType();
+  expect(Tok::LBrace, "to open procedure body");
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) d.body.push_back(parseStmt());
+  expect(Tok::RBrace, "to close procedure body");
+  return d;
+}
+
+GlobalDecl Parser::parseGlobal(bool isConfig) {
+  GlobalDecl g;
+  g.isConfig = isConfig;
+  g.loc = cur().loc;
+  g.name = expect(Tok::Ident, "variable name").text;
+  if (accept(Tok::Arrow)) {
+    // `var RealPos => Pos[binSpace];` — module-scope array alias.
+    g.isAlias = true;
+    g.init = parseExpr();
+  } else {
+    if (accept(Tok::Colon)) g.type = parseType();
+    if (accept(Tok::Assign)) g.init = parseExpr();
+  }
+  expect(Tok::Semi, "after declaration");
+  return g;
+}
+
+TypeExprPtr Parser::parseType() {
+  auto t = std::make_unique<TypeExpr>();
+  t->loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::Ident: {
+      t->kind = TypeExprKind::Named;
+      t->name = advance().text;
+      return t;
+    }
+    case Tok::IntLit: {
+      // Homogeneous tuple: N*T.
+      t->kind = TypeExprKind::HomTuple;
+      t->tupleArity = static_cast<uint32_t>(advance().intVal);
+      expect(Tok::Star, "in homogeneous tuple type");
+      t->elem = parseType();
+      return t;
+    }
+    case Tok::LParen: {
+      advance();
+      t->kind = TypeExprKind::Tuple;
+      do {
+        t->elems.push_back(parseType());
+      } while (accept(Tok::Comma));
+      expect(Tok::RParen, "to close tuple type");
+      if (t->elems.size() == 1) return std::move(t->elems.front());  // (T) == T
+      return t;
+    }
+    case Tok::LBracket: {
+      advance();
+      t->kind = TypeExprKind::Array;
+      t->domainExpr = parseExpr();
+      expect(Tok::RBracket, "to close array domain");
+      t->elem = parseType();
+      return t;
+    }
+    case Tok::KwDomain: {
+      advance();
+      t->kind = TypeExprKind::Domain;
+      expect(Tok::LParen, "after 'domain'");
+      t->rank = static_cast<uint32_t>(expect(Tok::IntLit, "domain rank").intVal);
+      expect(Tok::RParen, "to close domain rank");
+      return t;
+    }
+    default:
+      error("expected a type");
+      advance();
+      t->kind = TypeExprKind::Named;
+      t->name = "int";
+      return t;
+  }
+}
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  std::vector<StmtPtr> body;
+  expect(Tok::LBrace, "to open block");
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) body.push_back(parseStmt());
+  expect(Tok::RBrace, "to close block");
+  return body;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().kind) {
+    case Tok::KwVar: advance(); return parseDeclVar(false);
+    case Tok::KwConst: advance(); return parseDeclVar(true);
+    case Tok::KwIf: return parseIf();
+    case Tok::KwWhile: return parseWhile();
+    case Tok::KwFor:
+      if (peek(1).kind == Tok::KwParam) return parseForLike(StmtKind::ForParam);
+      return parseForLike(StmtKind::For);
+    case Tok::KwForall: return parseForLike(StmtKind::Forall);
+    case Tok::KwCoforall: return parseForLike(StmtKind::Coforall);
+    case Tok::KwSelect: {
+      auto s = std::make_unique<Stmt>(StmtKind::Select, cur().loc);
+      advance();
+      s->expr = parseExpr();
+      expect(Tok::LBrace, "to open select body");
+      while (!check(Tok::RBrace) && !check(Tok::Eof)) {
+        if (accept(Tok::KwWhen)) {
+          WhenClause w;
+          w.loc = cur().loc;
+          do {
+            w.values.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+          w.body = parseBlock();
+          s->whens.push_back(std::move(w));
+        } else if (accept(Tok::KwOtherwise)) {
+          s->elseBody = parseBlock();
+        } else {
+          error("expected 'when' or 'otherwise' in select");
+          advance();
+        }
+      }
+      expect(Tok::RBrace, "to close select body");
+      return s;
+    }
+    case Tok::KwReturn: {
+      auto s = std::make_unique<Stmt>(StmtKind::Return, cur().loc);
+      advance();
+      if (!check(Tok::Semi)) s->expr = parseExpr();
+      expect(Tok::Semi, "after return");
+      return s;
+    }
+    case Tok::LBrace: {
+      auto s = std::make_unique<Stmt>(StmtKind::Block, cur().loc);
+      s->body = parseBlock();
+      return s;
+    }
+    default:
+      return parseSimpleStmt();
+  }
+}
+
+StmtPtr Parser::parseDeclVar(bool isConst) {
+  auto s = std::make_unique<Stmt>(StmtKind::DeclVar, cur().loc);
+  s->isConst = isConst;
+  s->name = expect(Tok::Ident, "variable name").text;
+  if (accept(Tok::Arrow)) {
+    // `var a => expr;` — array alias (Chapel 1.x slice alias syntax).
+    s->isAlias = true;
+    s->init = parseExpr();
+  } else {
+    if (accept(Tok::Colon)) s->declType = parseType();
+    if (accept(Tok::Assign)) s->init = parseExpr();
+  }
+  expect(Tok::Semi, "after declaration");
+  return s;
+}
+
+StmtPtr Parser::parseIf() {
+  auto s = std::make_unique<Stmt>(StmtKind::If, cur().loc);
+  expect(Tok::KwIf, "");
+  s->expr = parseExpr();
+  if (accept(Tok::KwThen)) {
+    s->body.push_back(parseStmt());
+  } else {
+    s->body = parseBlock();
+  }
+  if (accept(Tok::KwElse)) {
+    if (check(Tok::KwIf)) {
+      s->elseBody.push_back(parseIf());
+    } else if (check(Tok::LBrace)) {
+      s->elseBody = parseBlock();
+    } else {
+      s->elseBody.push_back(parseStmt());
+    }
+  }
+  return s;
+}
+
+StmtPtr Parser::parseWhile() {
+  auto s = std::make_unique<Stmt>(StmtKind::While, cur().loc);
+  expect(Tok::KwWhile, "");
+  s->expr = parseExpr();
+  s->body = parseBlock();
+  return s;
+}
+
+LoopHead Parser::parseLoopHead() {
+  LoopHead h;
+  if (accept(Tok::LParen)) {
+    do {
+      h.indexNames.push_back(expect(Tok::Ident, "loop index").text);
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close index tuple");
+  } else {
+    h.indexNames.push_back(expect(Tok::Ident, "loop index").text);
+  }
+  expect(Tok::KwIn, "in loop header");
+  if (accept(Tok::KwZip)) {
+    h.zipped = true;
+    expect(Tok::LParen, "after zip");
+    do {
+      h.iterands.push_back(parseExpr());
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close zip");
+  } else {
+    h.iterands.push_back(parseExpr());
+  }
+  return h;
+}
+
+StmtPtr Parser::parseForLike(StmtKind kind) {
+  auto s = std::make_unique<Stmt>(kind, cur().loc);
+  advance();  // for / forall / coforall
+  if (kind == StmtKind::ForParam) {
+    expect(Tok::KwParam, "");
+    s->head.indexNames.push_back(expect(Tok::Ident, "loop index").text);
+    expect(Tok::KwIn, "in loop header");
+    // Bounds must be integer literals (possibly negated): `param` loops are
+    // unrolled at compile time, exactly like Chapel's.
+    auto parseBound = [&]() -> int64_t {
+      bool neg = accept(Tok::Minus);
+      int64_t v = expect(Tok::IntLit, "param loop bound").intVal;
+      return neg ? -v : v;
+    };
+    s->paramLo = parseBound();
+    expect(Tok::DotDot, "in param loop range");
+    if (accept(Tok::Hash)) {
+      int64_t n = parseBound();
+      s->paramHi = s->paramLo + n - 1;
+    } else {
+      s->paramHi = parseBound();
+    }
+  } else {
+    s->head = parseLoopHead();
+  }
+  s->body = parseBlock();
+  return s;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  SourceLoc loc = cur().loc;
+  ExprPtr e = parseExpr();
+  AssignOp op;
+  switch (cur().kind) {
+    case Tok::Assign: op = AssignOp::Plain; break;
+    case Tok::PlusAssign: op = AssignOp::Add; break;
+    case Tok::MinusAssign: op = AssignOp::Sub; break;
+    case Tok::StarAssign: op = AssignOp::Mul; break;
+    case Tok::SlashAssign: op = AssignOp::Div; break;
+    default: {
+      auto s = std::make_unique<Stmt>(StmtKind::ExprStmt, loc);
+      s->expr = std::move(e);
+      expect(Tok::Semi, "after expression statement");
+      return s;
+    }
+  }
+  advance();
+  auto s = std::make_unique<Stmt>(StmtKind::Assign, loc);
+  s->lhs = std::move(e);
+  s->assignOp = op;
+  s->rhs = parseExpr();
+  expect(Tok::Semi, "after assignment");
+  return s;
+}
+
+// ------------------------------------------------------------- expressions
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr e = parseAnd();
+  while (check(Tok::OrOr)) {
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = BinOp::Or;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parseAnd());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr e = parseEquality();
+  while (check(Tok::AndAnd)) {
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = BinOp::And;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parseEquality());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr e = parseComparison();
+  while (check(Tok::EqEq) || check(Tok::NotEq)) {
+    Tok k = cur().kind;
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = (k == Tok::EqEq) ? BinOp::Eq : BinOp::Ne;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parseComparison());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr e = parseRange();
+  while (check(Tok::Lt) || check(Tok::Le) || check(Tok::Gt) || check(Tok::Ge)) {
+    Tok k = cur().kind;
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = (k == Tok::Lt) ? BinOp::Lt : (k == Tok::Le) ? BinOp::Le
+             : (k == Tok::Gt) ? BinOp::Gt : BinOp::Ge;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parseRange());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseRange() {
+  ExprPtr e = parseAdditive();
+  if (check(Tok::DotDot)) {
+    SourceLoc loc = advance().loc;
+    auto r = std::make_unique<Expr>(ExprKind::Range, loc);
+    r->counted = accept(Tok::Hash);
+    r->args.push_back(std::move(e));
+    r->args.push_back(parseAdditive());
+    return r;
+  }
+  return e;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr e = parseMultiplicative();
+  while (check(Tok::Plus) || check(Tok::Minus)) {
+    Tok k = cur().kind;
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = (k == Tok::Plus) ? BinOp::Add : BinOp::Sub;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parseMultiplicative());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr e = parsePower();
+  while (check(Tok::Star) || check(Tok::Slash) || check(Tok::Percent)) {
+    Tok k = cur().kind;
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = (k == Tok::Star) ? BinOp::Mul : (k == Tok::Slash) ? BinOp::Div : BinOp::Mod;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parsePower());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr e = parseUnary();
+  if (check(Tok::StarStar)) {
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::Binary, loc);
+    b->binOp = BinOp::Pow;
+    b->args.push_back(std::move(e));
+    b->args.push_back(parsePower());  // right-associative
+    return b;
+  }
+  return e;
+}
+
+ExprPtr Parser::parseUnary() {
+  // Chapel reduction expressions: `+ reduce A`, `* reduce A`,
+  // `min reduce A`, `max reduce A`.
+  bool isReduce =
+      (check(Tok::Plus) || check(Tok::Star)) ? peek(1).kind == Tok::KwReduce
+      : (check(Tok::Ident) && (cur().text == "min" || cur().text == "max"))
+          ? peek(1).kind == Tok::KwReduce
+          : false;
+  if (isReduce) {
+    SourceLoc loc = cur().loc;
+    auto r = std::make_unique<Expr>(ExprKind::Reduce, loc);
+    if (check(Tok::Plus)) r->binOp = BinOp::Add;
+    else if (check(Tok::Star)) r->binOp = BinOp::Mul;
+    else r->strVal = cur().text;  // "min" / "max"
+    advance();                    // the operator
+    advance();                    // 'reduce'
+    r->args.push_back(parseUnary());
+    return r;
+  }
+  if (check(Tok::Minus) || check(Tok::Not)) {
+    Tok k = cur().kind;
+    SourceLoc loc = advance().loc;
+    auto u = std::make_unique<Expr>(ExprKind::Unary, loc);
+    u->unOp = (k == Tok::Minus) ? UnOp::Neg : UnOp::Not;
+    u->args.push_back(parseUnary());
+    return u;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr e = parsePrimary();
+  for (;;) {
+    if (check(Tok::LBracket)) {
+      SourceLoc loc = advance().loc;
+      auto idx = std::make_unique<Expr>(ExprKind::Index, loc);
+      idx->args.push_back(std::move(e));
+      do {
+        idx->args.push_back(parseExpr());
+      } while (accept(Tok::Comma));
+      expect(Tok::RBracket, "to close index");
+      e = std::move(idx);
+    } else if (check(Tok::Dot)) {
+      SourceLoc loc = advance().loc;
+      std::string name = expect(Tok::Ident, "member name").text;
+      if (check(Tok::LParen)) {
+        advance();
+        auto m = std::make_unique<Expr>(ExprKind::MethodCall, loc);
+        m->strVal = std::move(name);
+        m->args.push_back(std::move(e));
+        if (!check(Tok::RParen)) {
+          do {
+            m->args.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close method call");
+        e = std::move(m);
+      } else {
+        auto f = std::make_unique<Expr>(ExprKind::Field, loc);
+        f->strVal = std::move(name);
+        f->args.push_back(std::move(e));
+        e = std::move(f);
+      }
+    } else if (check(Tok::LParen) && e->kind == ExprKind::Ident) {
+      // Call — or tuple indexing `t(1)`, disambiguated during lowering.
+      SourceLoc loc = advance().loc;
+      auto c = std::make_unique<Expr>(ExprKind::Call, loc);
+      c->strVal = e->strVal;
+      if (!check(Tok::RParen)) {
+        do {
+          c->args.push_back(parseExpr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "to close call");
+      e = std::move(c);
+    } else if (check(Tok::LParen) &&
+               (e->kind == ExprKind::Index || e->kind == ExprKind::Field ||
+                e->kind == ExprKind::TupleIndex || e->kind == ExprKind::Call)) {
+      // Postfix tuple indexing on a compound expression: `Pos[b][i](1)`,
+      // `hourgam(j)(i)` (tuple-of-tuples).
+      SourceLoc loc = advance().loc;
+      auto t = std::make_unique<Expr>(ExprKind::TupleIndex, loc);
+      t->args.push_back(std::move(e));
+      t->args.push_back(parseExpr());
+      expect(Tok::RParen, "to close tuple index");
+      e = std::move(t);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::IntLit: {
+      auto e = std::make_unique<Expr>(ExprKind::IntLit, loc);
+      e->intVal = advance().intVal;
+      return e;
+    }
+    case Tok::RealLit: {
+      auto e = std::make_unique<Expr>(ExprKind::RealLit, loc);
+      e->realVal = advance().realVal;
+      return e;
+    }
+    case Tok::StringLit: {
+      auto e = std::make_unique<Expr>(ExprKind::StringLit, loc);
+      e->strVal = advance().text;
+      return e;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      auto e = std::make_unique<Expr>(ExprKind::BoolLit, loc);
+      e->boolVal = (advance().kind == Tok::KwTrue);
+      return e;
+    }
+    case Tok::Ident: {
+      auto e = std::make_unique<Expr>(ExprKind::Ident, loc);
+      e->strVal = advance().text;
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr first = parseExpr();
+      if (accept(Tok::RParen)) return first;  // parenthesized expression
+      auto t = std::make_unique<Expr>(ExprKind::TupleLit, loc);
+      t->args.push_back(std::move(first));
+      while (accept(Tok::Comma)) t->args.push_back(parseExpr());
+      expect(Tok::RParen, "to close tuple literal");
+      return t;
+    }
+    case Tok::LBrace: {
+      advance();
+      auto d = std::make_unique<Expr>(ExprKind::DomainLit, loc);
+      do {
+        d->args.push_back(parseExpr());
+      } while (accept(Tok::Comma));
+      expect(Tok::RBrace, "to close domain literal");
+      return d;
+    }
+    default:
+      error("expected an expression");
+      advance();
+      return std::make_unique<Expr>(ExprKind::IntLit, loc);
+  }
+}
+
+}  // namespace cb::fe

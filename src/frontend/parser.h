@@ -1,0 +1,70 @@
+// Recursive-descent parser for mini-Chapel.
+#pragma once
+
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+
+namespace cb::fe {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags, uint32_t file)
+      : toks_(std::move(tokens)), diags_(diags), file_(file) {}
+
+  /// Parses a whole translation unit. Errors are reported to the diagnostic
+  /// engine; the returned Program is best-effort on error.
+  Program parseProgram();
+
+ private:
+  // Token stream helpers.
+  const Token& peek(size_t ahead = 0) const;
+  const Token& cur() const { return peek(); }
+  Token advance();
+  bool check(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k);
+  Token expect(Tok k, const char* what);
+  void error(const char* msg);
+  void syncToDeclOrSemi();
+
+  // Declarations.
+  RecordDecl parseRecord();
+  ProcDecl parseProc();
+  GlobalDecl parseGlobal(bool isConfig);
+
+  // Types.
+  TypeExprPtr parseType();
+
+  // Statements.
+  StmtPtr parseStmt();
+  std::vector<StmtPtr> parseBlock();
+  StmtPtr parseDeclVar(bool isConst);
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseForLike(StmtKind kind);
+  LoopHead parseLoopHead();
+  StmtPtr parseSimpleStmt();  // assignment / expression statement
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseComparison();
+  ExprPtr parseRange();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parsePower();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+  uint32_t file_;
+};
+
+}  // namespace cb::fe

@@ -1,0 +1,39 @@
+// Optimization passes — the `--fast` pipeline.
+//
+// The paper compiles WITHOUT --fast because optimization "would make it
+// nearly impossible to map the performance data from the IR nodes back to
+// the source level variables". Our pipeline reproduces both halves of that
+// story: it genuinely transforms the IR (folding, dead-code elimination) and
+// it strips the source-variable mapping, after which the profiler can only
+// produce code-centric results.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/module.h"
+
+namespace cb::fe {
+
+/// Folds constant Bin/Un/TupleGet instructions and propagates the results
+/// into operand positions. Returns the number of instructions folded.
+size_t constantFold(ir::Module& m);
+
+/// Removes side-effect-free instructions whose results are unused,
+/// renumbering instruction ids. Returns the number removed.
+size_t deadCodeElim(ir::Module& m);
+
+/// Forwards loads from an alloca when the same block contains a preceding
+/// store to the same address register with no intervening call/store/spawn
+/// (a conservative slice of mem2reg). Returns the number of loads forwarded.
+size_t forwardLoads(ir::Module& m);
+
+/// Drops the IR -> source-variable mapping: every debug variable is
+/// demoted to a compiler temp with a mangled name, exactly the effect the
+/// paper observed with `--fast` ("functions removed or renamed, variables
+/// optimized out"). Sets Module::debugInfoStripped.
+void stripDebugInfo(ir::Module& m);
+
+/// The full --fast pipeline: fold + forward + DCE to fixpoint, then strip.
+void runFastPipeline(ir::Module& m);
+
+}  // namespace cb::fe

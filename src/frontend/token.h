@@ -1,0 +1,41 @@
+// Token definitions for the mini-Chapel lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_manager.h"
+
+namespace cb::fe {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  RealLit,
+  StringLit,
+
+  // Keywords.
+  KwConfig, KwConst, KwVar, KwRecord, KwProc, KwRef, KwIn, KwIf, KwThen,
+  KwElse, KwWhile, KwFor, KwForall, KwCoforall, KwParam, KwReturn, KwZip,
+  KwTrue, KwFalse, KwDomain, KwUse, KwType, KwReduce, KwSelect, KwWhen, KwOtherwise,
+
+  // Punctuation / operators.
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Comma, Semi, Colon, Dot, DotDot, Hash, Arrow,      // Arrow: "=>"
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  Plus, Minus, Star, Slash, Percent, StarStar,
+  EqEq, NotEq, Lt, Le, Gt, Ge, AndAnd, OrOr, Not,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string text;   // identifier / string literal contents
+  int64_t intVal = 0;
+  double realVal = 0;
+};
+
+const char* tokName(Tok t);
+
+}  // namespace cb::fe

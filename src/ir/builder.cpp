@@ -1,0 +1,253 @@
+#include "ir/builder.h"
+
+#include "support/common.h"
+
+namespace cb::ir {
+
+BlockId IRBuilder::newBlock(std::string label) {
+  fn_->blocks.push_back(BasicBlock{{}, std::move(label)});
+  return static_cast<BlockId>(fn_->blocks.size() - 1);
+}
+
+bool IRBuilder::blockTerminated() const {
+  const BasicBlock& bb = fn_->blocks.at(cur_);
+  if (bb.instrs.empty()) return false;
+  return fn_->instrs.at(bb.instrs.back()).isTerminator();
+}
+
+InstrId IRBuilder::append(Instr in) {
+  CB_ASSERT(!blockTerminated(), "appending to terminated block");
+  in.loc = loc_;
+  InstrId id = static_cast<InstrId>(fn_->instrs.size());
+  fn_->instrs.push_back(std::move(in));
+  fn_->blocks.at(cur_).instrs.push_back(id);
+  return id;
+}
+
+ValueRef IRBuilder::alloca_(TypeId pointee, DebugVarId dv) {
+  Instr in;
+  in.op = Opcode::Alloca;
+  in.type = mod_->types().ref(pointee);
+  in.extra.debugVar = dv;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::load(ValueRef addr, TypeId valueTy) {
+  Instr in;
+  in.op = Opcode::Load;
+  in.type = valueTy;
+  in.ops = {addr};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+void IRBuilder::store(ValueRef value, ValueRef addr) {
+  Instr in;
+  in.op = Opcode::Store;
+  in.type = mod_->types().voidTy();
+  in.ops = {value, addr};
+  append(std::move(in));
+}
+
+ValueRef IRBuilder::fieldAddr(ValueRef recAddr, uint32_t fieldIdx, TypeId fieldTy) {
+  Instr in;
+  in.op = Opcode::FieldAddr;
+  in.type = mod_->types().ref(fieldTy);
+  in.ops = {recAddr};
+  in.imm = fieldIdx;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::indexAddr(ValueRef arrayValue, const std::vector<ValueRef>& idx, TypeId elemTy,
+                              bool linear) {
+  Instr in;
+  in.op = Opcode::IndexAddr;
+  in.type = mod_->types().ref(elemTy);
+  in.ops = {arrayValue};
+  in.ops.insert(in.ops.end(), idx.begin(), idx.end());
+  in.imm = linear ? 1 : 0;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::tupleAddr(ValueRef tupAddr, uint32_t elemIdx, TypeId elemTy) {
+  Instr in;
+  in.op = Opcode::TupleAddr;
+  in.type = mod_->types().ref(elemTy);
+  in.ops = {tupAddr};
+  in.imm = elemIdx;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::tupleAddrDyn(ValueRef tupAddr, ValueRef idx1Based, TypeId elemTy) {
+  Instr in;
+  in.op = Opcode::TupleAddr;
+  in.type = mod_->types().ref(elemTy);
+  in.ops = {tupAddr, idx1Based};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::tupleGetDyn(ValueRef tup, ValueRef idx1Based, TypeId elemTy) {
+  Instr in;
+  in.op = Opcode::TupleGet;
+  in.type = elemTy;
+  in.ops = {tup, idx1Based};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::bin(BinKind k, ValueRef a, ValueRef b, TypeId ty) {
+  Instr in;
+  in.op = Opcode::Bin;
+  in.type = ty;
+  in.ops = {a, b};
+  in.extra.bin = k;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::un(UnKind k, ValueRef v, TypeId ty) {
+  Instr in;
+  in.op = Opcode::Un;
+  in.type = ty;
+  in.ops = {v};
+  in.extra.un = k;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::tupleMake(const std::vector<ValueRef>& elems, TypeId tupleTy) {
+  Instr in;
+  in.op = Opcode::TupleMake;
+  in.type = tupleTy;
+  in.ops = elems;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::tupleGet(ValueRef tup, uint32_t idx, TypeId elemTy) {
+  Instr in;
+  in.op = Opcode::TupleGet;
+  in.type = elemTy;
+  in.ops = {tup};
+  in.imm = idx;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::recordNew(TypeId recTy) {
+  Instr in;
+  in.op = Opcode::RecordNew;
+  in.type = recTy;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::domainMake(const std::vector<ValueRef>& bounds, uint8_t rank) {
+  Instr in;
+  in.op = Opcode::DomainMake;
+  in.type = mod_->types().domain(rank);
+  in.ops = bounds;
+  in.imm = rank;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::domainExpand(ValueRef dom, ValueRef amount, uint8_t rank) {
+  Instr in;
+  in.op = Opcode::DomainExpand;
+  in.type = mod_->types().domain(rank);
+  in.ops = {dom, amount};
+  in.imm = rank;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::domainSize(ValueRef dom) {
+  Instr in;
+  in.op = Opcode::DomainSize;
+  in.type = mod_->types().intTy();
+  in.ops = {dom};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::domainDim(ValueRef dom, uint32_t dim, bool hi) {
+  Instr in;
+  in.op = Opcode::DomainDim;
+  in.type = mod_->types().intTy();
+  in.ops = {dom};
+  in.imm = dim * 2 + (hi ? 1 : 0);
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::arrayNew(ValueRef dom, TypeId arrayTy) {
+  Instr in;
+  in.op = Opcode::ArrayNew;
+  in.type = arrayTy;
+  in.ops = {dom};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::arrayView(ValueRef arr, ValueRef dom, TypeId arrayTy) {
+  Instr in;
+  in.op = Opcode::ArrayView;
+  in.type = arrayTy;
+  in.ops = {arr, dom};
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+ValueRef IRBuilder::call(FuncId callee, const std::vector<ValueRef>& args, TypeId retTy) {
+  Instr in;
+  in.op = Opcode::Call;
+  in.type = retTy;
+  in.ops = args;
+  in.extra.func = callee;
+  return ValueRef::makeReg(append(std::move(in)));
+}
+
+void IRBuilder::ret(ValueRef v) {
+  Instr in;
+  in.op = Opcode::Ret;
+  in.type = mod_->types().voidTy();
+  if (!v.isNone()) in.ops = {v};
+  append(std::move(in));
+}
+
+void IRBuilder::br(BlockId target) {
+  Instr in;
+  in.op = Opcode::Br;
+  in.type = mod_->types().voidTy();
+  in.target0 = target;
+  append(std::move(in));
+}
+
+void IRBuilder::condBr(ValueRef cond, BlockId thenB, BlockId elseB) {
+  Instr in;
+  in.op = Opcode::CondBr;
+  in.type = mod_->types().voidTy();
+  in.ops = {cond};
+  in.target0 = thenB;
+  in.target1 = elseB;
+  append(std::move(in));
+}
+
+void IRBuilder::spawn(FuncId taskFn, uint32_t kindImm, const std::vector<ValueRef>& args) {
+  Instr in;
+  in.op = Opcode::Spawn;
+  in.type = mod_->types().voidTy();
+  in.ops = args;
+  in.imm = kindImm;
+  in.extra.func = taskFn;
+  append(std::move(in));
+}
+
+void IRBuilder::iterOverhead(uint32_t numIterands, const std::vector<ValueRef>& iterands) {
+  Instr in;
+  in.op = Opcode::IterOverhead;
+  in.type = mod_->types().voidTy();
+  in.imm = numIterands;
+  in.ops = iterands;
+  append(std::move(in));
+}
+
+ValueRef IRBuilder::builtin(BuiltinKind k, const std::vector<ValueRef>& args, TypeId retTy) {
+  Instr in;
+  in.op = Opcode::Builtin;
+  in.type = retTy;
+  in.ops = args;
+  in.extra.builtin = k;
+  InstrId id = append(std::move(in));
+  return fn_->instrs[id].producesValue(mod_->types()) ? ValueRef::makeReg(id) : ValueRef::none();
+}
+
+}  // namespace cb::ir

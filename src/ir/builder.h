@@ -1,0 +1,77 @@
+// IRBuilder: append-style construction of CIR functions.
+#pragma once
+
+#include "ir/module.h"
+
+namespace cb::ir {
+
+class IRBuilder {
+ public:
+  IRBuilder(Module& m, Function& f) : mod_(&m), fn_(&f) {}
+
+  Module& module() { return *mod_; }
+  Function& func() { return *fn_; }
+
+  /// Creates a new (empty, unterminated) block and returns its id.
+  BlockId newBlock(std::string label);
+  /// Switches the insertion point.
+  void setBlock(BlockId b) { cur_ = b; }
+  BlockId currentBlock() const { return cur_; }
+  /// True if the current block already ends in a terminator.
+  bool blockTerminated() const;
+
+  void setLoc(SourceLoc loc) { loc_ = loc; }
+  SourceLoc loc() const { return loc_; }
+
+  // --- memory ---
+  ValueRef alloca_(TypeId pointee, DebugVarId dv);
+  ValueRef load(ValueRef addr, TypeId valueTy);
+  void store(ValueRef value, ValueRef addr);
+  ValueRef fieldAddr(ValueRef recAddr, uint32_t fieldIdx, TypeId fieldTy);
+  /// `linear` selects 0-based flat-offset indexing (compiler-generated
+  /// element iteration); otherwise indices are per-dimension domain indices.
+  ValueRef indexAddr(ValueRef arrayValue, const std::vector<ValueRef>& idx, TypeId elemTy,
+                     bool linear = false);
+  ValueRef tupleAddr(ValueRef tupAddr, uint32_t elemIdx, TypeId elemTy);
+  /// Dynamic (run-time, 1-based) tuple element addressing — Chapel allows
+  /// it but it compiles to a dispatch, which is why `for param` loops win.
+  ValueRef tupleAddrDyn(ValueRef tupAddr, ValueRef idx1Based, TypeId elemTy);
+  ValueRef tupleGetDyn(ValueRef tup, ValueRef idx1Based, TypeId elemTy);
+
+  // --- values ---
+  ValueRef bin(BinKind k, ValueRef a, ValueRef b, TypeId ty);
+  ValueRef un(UnKind k, ValueRef v, TypeId ty);
+  ValueRef tupleMake(const std::vector<ValueRef>& elems, TypeId tupleTy);
+  ValueRef tupleGet(ValueRef tup, uint32_t idx, TypeId elemTy);
+  ValueRef recordNew(TypeId recTy);
+
+  // --- domains / arrays ---
+  ValueRef domainMake(const std::vector<ValueRef>& bounds, uint8_t rank);
+  ValueRef domainExpand(ValueRef dom, ValueRef amount, uint8_t rank);
+  ValueRef domainSize(ValueRef dom);
+  ValueRef domainDim(ValueRef dom, uint32_t dim, bool hi);
+  ValueRef arrayNew(ValueRef dom, TypeId arrayTy);
+  ValueRef arrayView(ValueRef arr, ValueRef dom, TypeId arrayTy);
+
+  // --- control ---
+  ValueRef call(FuncId callee, const std::vector<ValueRef>& args, TypeId retTy);
+  void ret(ValueRef v = ValueRef::none());
+  void br(BlockId target);
+  void condBr(ValueRef cond, BlockId thenB, BlockId elseB);
+  void spawn(FuncId taskFn, uint32_t kindImm, const std::vector<ValueRef>& args);
+  /// `iterands` are the zipped array/domain values being driven — the blame
+  /// analysis treats the per-iteration iterator advance as an IR-level
+  /// write to them.
+  void iterOverhead(uint32_t numIterands, const std::vector<ValueRef>& iterands = {});
+  ValueRef builtin(BuiltinKind k, const std::vector<ValueRef>& args, TypeId retTy);
+
+ private:
+  InstrId append(Instr in);
+
+  Module* mod_;
+  Function* fn_;
+  BlockId cur_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace cb::ir

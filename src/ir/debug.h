@@ -1,0 +1,44 @@
+// Debug information: the variable records and source locations that make
+// data-centric attribution possible.
+//
+// The paper had to modify the Chapel compiler's LLVM frontend to emit this
+// information; in our substrate the frontend emits it natively, and the
+// `--fast` pass pipeline strips it (mirroring why the paper cannot profile
+// `--fast` binaries data-centrically).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/instr.h"
+#include "support/interner.h"
+#include "support/source_manager.h"
+
+namespace cb::ir {
+
+enum class VarKind : uint8_t {
+  Global,      // module-scope variable (Chapel globals, config consts)
+  Local,       // user-declared local
+  Param,       // formal parameter
+  Temp,        // compiler-generated temporary — tracked, never displayed
+  FieldPath,   // synthetic "->parent.field" entry for hierarchical display
+};
+
+/// One debug-variable record. Temps are flagged so the static analysis can
+/// track them through the data flow while the GUI/report layer hides them
+/// (paper §IV.A: "we flag these internal elements and don't display them").
+struct DebugVar {
+  Symbol name;
+  std::string typeDisplay;     // Chapel-style type string for reports
+  TypeId type = kInvalidType;
+  VarKind kind = VarKind::Temp;
+  FuncId scope = kNone;        // defining function; kNone for globals
+  SourceLoc declLoc;
+  // FieldPath entries: the variable this is a field of, and the field chain
+  // rendered for display (e.g. "partArray[i].zoneArray[j].value").
+  DebugVarId parent = kNone;
+
+  bool displayable() const { return kind != VarKind::Temp; }
+};
+
+}  // namespace cb::ir

@@ -1,0 +1,58 @@
+// CIR functions: parameter lists, basic blocks, instruction storage, and the
+// task-function metadata used for spawn-trace gluing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.h"
+#include "support/interner.h"
+
+namespace cb::ir {
+
+struct Param {
+  Symbol name;
+  TypeId type = kInvalidType;   // refs are passed as Ref(T)
+  bool byRef = false;           // true when this formal is an exit variable
+  DebugVarId debugVar = kNone;
+};
+
+struct BasicBlock {
+  std::vector<InstrId> instrs;
+  std::string label;
+};
+
+/// Task functions are the outlined bodies of forall/coforall blocks, the
+/// analogue of Chapel's generated `coforall_fn_chplNN`. `spawnParent` and
+/// `spawnLoc` tie them back to the user construct for call-path gluing.
+enum class TaskKind : uint8_t { None, Forall, Coforall };
+
+struct Function {
+  Symbol name;
+  std::string displayName;            // user-facing name for reports
+  std::vector<Param> params;
+  TypeId returnType = kInvalidType;
+  std::vector<Instr> instrs;          // all instructions, indexed by InstrId
+  std::vector<BasicBlock> blocks;     // block 0 is the entry
+  SourceLoc loc;                      // declaration location
+
+  // Task-function metadata.
+  TaskKind taskKind = TaskKind::None;
+  FuncId spawnParent = kNone;         // lexically-enclosing user function
+  SourceLoc spawnLoc;                 // source location of the forall/coforall
+
+  bool isTaskFn() const { return taskKind != TaskKind::None; }
+
+  const Instr& instr(InstrId id) const { return instrs.at(id); }
+  Instr& instr(InstrId id) { return instrs.at(id); }
+  size_t numInstrs() const { return instrs.size(); }
+  size_t numBlocks() const { return blocks.size(); }
+
+  /// The terminator of a block (asserts the block is terminated).
+  const Instr& terminator(BlockId b) const;
+  /// Successor block ids of a block.
+  std::vector<BlockId> successors(BlockId b) const;
+};
+
+}  // namespace cb::ir

@@ -1,0 +1,114 @@
+#include "ir/module.h"
+
+#include "support/common.h"
+
+namespace cb::ir {
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::FieldAddr: return "fieldaddr";
+    case Opcode::IndexAddr: return "indexaddr";
+    case Opcode::TupleAddr: return "tupleaddr";
+    case Opcode::Bin: return "bin";
+    case Opcode::Un: return "un";
+    case Opcode::TupleMake: return "tuplemake";
+    case Opcode::TupleGet: return "tupleget";
+    case Opcode::DomainMake: return "domainmake";
+    case Opcode::DomainExpand: return "domainexpand";
+    case Opcode::DomainSize: return "domainsize";
+    case Opcode::DomainDim: return "domaindim";
+    case Opcode::ArrayNew: return "arraynew";
+    case Opcode::ArrayView: return "arrayview";
+    case Opcode::RecordNew: return "recordnew";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Spawn: return "spawn";
+    case Opcode::IterOverhead: return "iteroverhead";
+    case Opcode::Builtin: return "builtin";
+  }
+  return "?";
+}
+
+const char* binKindName(BinKind k) {
+  switch (k) {
+    case BinKind::Add: return "add";
+    case BinKind::Sub: return "sub";
+    case BinKind::Mul: return "mul";
+    case BinKind::Div: return "div";
+    case BinKind::Mod: return "mod";
+    case BinKind::Pow: return "pow";
+    case BinKind::Eq: return "eq";
+    case BinKind::Ne: return "ne";
+    case BinKind::Lt: return "lt";
+    case BinKind::Le: return "le";
+    case BinKind::Gt: return "gt";
+    case BinKind::Ge: return "ge";
+    case BinKind::And: return "and";
+    case BinKind::Or: return "or";
+    case BinKind::Min: return "min";
+    case BinKind::Max: return "max";
+  }
+  return "?";
+}
+
+const char* unKindName(UnKind k) {
+  switch (k) {
+    case UnKind::Neg: return "neg";
+    case UnKind::Not: return "not";
+    case UnKind::IntToReal: return "int2real";
+    case UnKind::RealToInt: return "real2int";
+    case UnKind::Abs: return "abs";
+    case UnKind::Sqrt: return "sqrt";
+    case UnKind::Sin: return "sin";
+    case UnKind::Cos: return "cos";
+    case UnKind::Exp: return "exp";
+    case UnKind::Floor: return "floor";
+  }
+  return "?";
+}
+
+const char* builtinName(BuiltinKind k) {
+  switch (k) {
+    case BuiltinKind::Writeln: return "writeln";
+    case BuiltinKind::Random: return "random";
+    case BuiltinKind::Clock: return "clock";
+    case BuiltinKind::Yield: return "yield";
+    case BuiltinKind::HeapHint: return "heaphint";
+    case BuiltinKind::ArrayFill: return "arrayfill";
+    case BuiltinKind::ArrayCopy: return "arraycopy";
+    case BuiltinKind::ConfigGet: return "configget";
+  }
+  return "?";
+}
+
+const Instr& Function::terminator(BlockId b) const {
+  const BasicBlock& bb = blocks.at(b);
+  CB_ASSERT(!bb.instrs.empty(), "empty block has no terminator");
+  const Instr& last = instrs.at(bb.instrs.back());
+  CB_ASSERT(last.isTerminator(), "block not terminated");
+  return last;
+}
+
+std::vector<BlockId> Function::successors(BlockId b) const {
+  const Instr& t = terminator(b);
+  switch (t.op) {
+    case Opcode::Ret: return {};
+    case Opcode::Br: return {t.target0};
+    case Opcode::CondBr: return {t.target0, t.target1};
+    default: CB_UNREACHABLE("bad terminator");
+  }
+}
+
+FuncId Module::findFunction(Symbol name) const {
+  for (FuncId i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return i;
+  }
+  return kNone;
+}
+
+}  // namespace cb::ir

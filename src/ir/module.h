@@ -1,0 +1,93 @@
+// CIR module: functions, globals, debug variables, string pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/debug.h"
+#include "ir/function.h"
+#include "ir/type.h"
+#include "support/interner.h"
+#include "support/source_manager.h"
+
+namespace cb::ir {
+
+struct GlobalVar {
+  Symbol name;
+  TypeId type = kInvalidType;
+  DebugVarId debugVar = kNone;
+  SourceLoc loc;
+};
+
+/// One translation unit. Owns the type context; the interner and source
+/// manager are shared with the frontend and referenced here.
+class Module {
+ public:
+  Module(StringInterner& interner, SourceManager& sm) : interner_(&interner), sm_(&sm) {}
+
+  TypeContext& types() { return types_; }
+  const TypeContext& types() const { return types_; }
+  StringInterner& interner() { return *interner_; }
+  const StringInterner& interner() const { return *interner_; }
+  SourceManager& sourceManager() { return *sm_; }
+  const SourceManager& sourceManager() const { return *sm_; }
+
+  FuncId addFunction(Function f) {
+    functions_.push_back(std::move(f));
+    return static_cast<FuncId>(functions_.size() - 1);
+  }
+  Function& function(FuncId id) { return functions_.at(id); }
+  const Function& function(FuncId id) const { return functions_.at(id); }
+  size_t numFunctions() const { return functions_.size(); }
+  FuncId findFunction(Symbol name) const;
+
+  GlobalId addGlobal(GlobalVar g) {
+    globals_.push_back(std::move(g));
+    return static_cast<GlobalId>(globals_.size() - 1);
+  }
+  GlobalVar& global(GlobalId id) { return globals_.at(id); }
+  const GlobalVar& global(GlobalId id) const { return globals_.at(id); }
+  size_t numGlobals() const { return globals_.size(); }
+
+  DebugVarId addDebugVar(DebugVar v) {
+    debugVars_.push_back(std::move(v));
+    return static_cast<DebugVarId>(debugVars_.size() - 1);
+  }
+  const DebugVar& debugVar(DebugVarId id) const { return debugVars_.at(id); }
+  DebugVar& debugVar(DebugVarId id) { return debugVars_.at(id); }
+  size_t numDebugVars() const { return debugVars_.size(); }
+
+  uint32_t addString(std::string s) {
+    stringPool_.push_back(std::move(s));
+    return static_cast<uint32_t>(stringPool_.size() - 1);
+  }
+  const std::string& string(uint32_t id) const { return stringPool_.at(id); }
+
+  /// Entry points: `moduleInit` runs global initializers, then `main`.
+  FuncId mainFunc = kNone;
+  FuncId moduleInitFunc = kNone;
+
+  /// True once the --fast pipeline stripped the source-variable mapping.
+  bool debugInfoStripped = false;
+
+  /// For record fields of array type: the generated thunk evaluating the
+  /// field's declared domain (may reference globals only). The runtime calls
+  /// these when default-initializing a record value. Key: (record TypeId,
+  /// field index).
+  std::map<std::pair<TypeId, uint32_t>, FuncId> fieldDomainThunks;
+
+ private:
+  TypeContext types_;
+  StringInterner* interner_;
+  SourceManager* sm_;
+  std::vector<Function> functions_;
+  std::vector<GlobalVar> globals_;
+  std::vector<DebugVar> debugVars_;
+  std::vector<std::string> stringPool_;
+};
+
+}  // namespace cb::ir

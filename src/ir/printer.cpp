@@ -1,0 +1,86 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace cb::ir {
+
+namespace {
+
+std::string refStr(const Module& m, const ValueRef& v) {
+  switch (v.kind) {
+    case ValueRef::Kind::None: return "<none>";
+    case ValueRef::Kind::Reg: return "%" + std::to_string(v.reg);
+    case ValueRef::Kind::Arg: return "$arg" + std::to_string(v.arg);
+    case ValueRef::Kind::GlobalAddr:
+      return "@" + m.interner().str(m.global(v.global).name);
+    case ValueRef::Kind::ConstInt: return std::to_string(v.i);
+    case ValueRef::Kind::ConstReal: {
+      std::ostringstream ss;
+      ss << v.r;
+      return ss.str();
+    }
+    case ValueRef::Kind::ConstBool: return v.b ? "true" : "false";
+    case ValueRef::Kind::ConstString: return "\"" + m.string(v.stringId) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string printFunction(const Module& m, FuncId fid) {
+  const Function& f = m.function(fid);
+  std::ostringstream out;
+  out << "func @" << f.displayName << "(";
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i) out << ", ";
+    if (f.params[i].byRef) out << "ref ";
+    out << m.interner().str(f.params[i].name) << ": "
+        << m.types().display(f.params[i].type, m.interner());
+  }
+  out << ") -> " << m.types().display(f.returnType, m.interner());
+  if (f.isTaskFn())
+    out << "  // task fn (" << (f.taskKind == TaskKind::Forall ? "forall" : "coforall") << ")";
+  out << "\n";
+  for (BlockId b = 0; b < f.blocks.size(); ++b) {
+    out << "  bb" << b;
+    if (!f.blocks[b].label.empty()) out << " <" << f.blocks[b].label << ">";
+    out << ":\n";
+    for (InstrId id : f.blocks[b].instrs) {
+      const Instr& in = f.instrs[id];
+      out << "    ";
+      if (in.producesValue(m.types())) out << "%" << id << " = ";
+      out << opcodeName(in.op);
+      if (in.op == Opcode::Bin) out << "." << binKindName(in.extra.bin);
+      if (in.op == Opcode::Un) out << "." << unKindName(in.extra.un);
+      if (in.op == Opcode::Builtin) out << "." << builtinName(in.extra.builtin);
+      if (in.op == Opcode::Call || in.op == Opcode::Spawn)
+        out << " @" << m.function(in.extra.func).displayName;
+      if (in.op == Opcode::FieldAddr || in.op == Opcode::TupleAddr || in.op == Opcode::TupleGet ||
+          in.op == Opcode::IterOverhead || in.op == Opcode::Spawn)
+        out << " #" << in.imm;
+      if (in.op == Opcode::Alloca && in.extra.debugVar != kNone) {
+        const DebugVar& dv = m.debugVar(in.extra.debugVar);
+        out << " !" << m.interner().str(dv.name) << (dv.displayable() ? "" : " (temp)");
+      }
+      for (const ValueRef& v : in.ops) out << " " << refStr(m, v);
+      if (in.op == Opcode::Br) out << " -> bb" << in.target0;
+      if (in.op == Opcode::CondBr) out << " -> bb" << in.target0 << ", bb" << in.target1;
+      if (in.loc.valid()) out << "   ; line " << in.loc.line;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string printModule(const Module& m) {
+  std::ostringstream out;
+  for (GlobalId g = 0; g < m.numGlobals(); ++g) {
+    const GlobalVar& gv = m.global(g);
+    out << "global @" << m.interner().str(gv.name) << ": "
+        << m.types().display(gv.type, m.interner()) << "\n";
+  }
+  for (FuncId f = 0; f < m.numFunctions(); ++f) out << "\n" << printFunction(m, f);
+  return out.str();
+}
+
+}  // namespace cb::ir

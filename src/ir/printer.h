@@ -1,0 +1,13 @@
+// Human-readable CIR dumps for tests and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace cb::ir {
+
+std::string printFunction(const Module& m, FuncId f);
+std::string printModule(const Module& m);
+
+}  // namespace cb::ir

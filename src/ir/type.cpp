@@ -1,0 +1,137 @@
+#include "ir/type.h"
+
+#include "support/common.h"
+
+namespace cb::ir {
+
+TypeContext::TypeContext() {
+  // Pre-seed the scalar singletons in the order the inline accessors expect.
+  auto scalar = [](TypeKind k) {
+    Type t;
+    t.kind = k;
+    return t;
+  };
+  add(scalar(TypeKind::Void));
+  add(scalar(TypeKind::Bool));
+  add(scalar(TypeKind::Int));
+  add(scalar(TypeKind::Real));
+  add(scalar(TypeKind::String));
+}
+
+TypeId TypeContext::add(Type t) {
+  types_.push_back(std::move(t));
+  return static_cast<TypeId>(types_.size() - 1);
+}
+
+TypeId TypeContext::tuple(std::vector<TypeId> elems) {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == TypeKind::Tuple && types_[i].elems == elems) return i;
+  }
+  Type t;
+  t.kind = TypeKind::Tuple;
+  t.elems = std::move(elems);
+  return add(std::move(t));
+}
+
+TypeId TypeContext::homogeneousTuple(uint32_t n, TypeId elem) {
+  return tuple(std::vector<TypeId>(n, elem));
+}
+
+TypeId TypeContext::record(Symbol name, std::vector<RecordField> fields) {
+  TypeId existing = findRecord(name);
+  if (existing != kInvalidType) return existing;
+  Type t;
+  t.kind = TypeKind::Record;
+  t.recordName = name;
+  for (const RecordField& f : fields) t.elems.push_back(f.type);
+  t.fields = std::move(fields);
+  return add(std::move(t));
+}
+
+TypeId TypeContext::findRecord(Symbol name) const {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == TypeKind::Record && types_[i].recordName == name) return i;
+  }
+  return kInvalidType;
+}
+
+TypeId TypeContext::domain(uint8_t rank) {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == TypeKind::Domain && types_[i].rank == rank) return i;
+  }
+  Type t;
+  t.kind = TypeKind::Domain;
+  t.rank = rank;
+  return add(std::move(t));
+}
+
+TypeId TypeContext::array(TypeId elem, uint8_t rank) {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == TypeKind::Array && types_[i].elem == elem && types_[i].rank == rank)
+      return i;
+  }
+  Type t;
+  t.kind = TypeKind::Array;
+  t.elem = elem;
+  t.rank = rank;
+  return add(std::move(t));
+}
+
+TypeId TypeContext::ref(TypeId pointeeTy) {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == TypeKind::Ref && types_[i].elem == pointeeTy) return i;
+  }
+  Type t;
+  t.kind = TypeKind::Ref;
+  t.elem = pointeeTy;
+  return add(std::move(t));
+}
+
+TypeId TypeContext::pointee(TypeId refTy) const {
+  const Type& t = get(refTy);
+  CB_ASSERT(t.kind == TypeKind::Ref, "pointee() on non-ref type");
+  return t.elem;
+}
+
+TypeId TypeContext::arrayElem(TypeId arrTy) const {
+  const Type& t = get(arrTy);
+  CB_ASSERT(t.kind == TypeKind::Array, "arrayElem() on non-array type");
+  return t.elem;
+}
+
+std::string TypeContext::display(TypeId id, const StringInterner& interner) const {
+  const Type& t = get(id);
+  switch (t.kind) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Int: return "int(64)";
+    case TypeKind::Real: return "real";
+    case TypeKind::String: return "string";
+    case TypeKind::Tuple: {
+      // Homogeneous tuples print Chapel-style "N*T".
+      bool homogeneous = true;
+      for (TypeId e : t.elems)
+        if (e != t.elems.front()) homogeneous = false;
+      if (homogeneous && !t.elems.empty()) {
+        return std::to_string(t.elems.size()) + "*" + display(t.elems.front(), interner);
+      }
+      std::string out = "(";
+      for (size_t i = 0; i < t.elems.size(); ++i) {
+        if (i) out += ", ";
+        out += display(t.elems[i], interner);
+      }
+      return out + ")";
+    }
+    case TypeKind::Record: return interner.str(t.recordName);
+    case TypeKind::Domain: return "domain";
+    case TypeKind::Array: {
+      std::string out = "[";
+      for (uint8_t i = 0; i < t.rank; ++i) out += (i ? ",.." : "..");
+      return out + "] " + display(t.elem, interner);
+    }
+    case TypeKind::Ref: return "ref " + display(t.elem, interner);
+  }
+  return "?";
+}
+
+}  // namespace cb::ir

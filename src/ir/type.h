@@ -1,0 +1,103 @@
+// CIR type system.
+//
+// Mirrors the slice of LLVM/Chapel types the paper's analysis manipulates:
+// scalars, homogeneous tuples (Chapel's `3*real`), records with named fields,
+// rectangular domains, arrays over domains, and references (addresses).
+// Types are uniqued within a TypeContext and referred to by dense TypeId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/interner.h"
+
+namespace cb::ir {
+
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidType = ~0u;
+
+enum class TypeKind : uint8_t {
+  Void,
+  Bool,
+  Int,     // 64-bit signed (Chapel's default int)
+  Real,    // 64-bit IEEE double (Chapel's default real)
+  String,  // runtime-managed immutable string
+  Tuple,   // fixed arity; element types may differ (homogeneous N*T common)
+  Record,  // nominal, named fields
+  Domain,  // rectangular index set of a given rank
+  Array,   // elements of elem type over a domain of given rank
+  Ref,     // address of a value of the pointee type
+};
+
+struct RecordField {
+  Symbol name;
+  TypeId type = kInvalidType;
+};
+
+/// One type node. Payload members are meaningful per kind (see accessors on
+/// TypeContext).
+struct Type {
+  TypeKind kind = TypeKind::Void;
+  // Tuple: element types. Record: field types mirror `fields`.
+  std::vector<TypeId> elems;
+  // Record only.
+  Symbol recordName;
+  std::vector<RecordField> fields;
+  // Domain/Array rank; Ref/Array element type.
+  uint8_t rank = 0;
+  TypeId elem = kInvalidType;
+};
+
+/// Owns and uniques all types of one module.
+class TypeContext {
+ public:
+  TypeContext();
+
+  TypeId voidTy() const { return 0; }
+  TypeId boolTy() const { return 1; }
+  TypeId intTy() const { return 2; }
+  TypeId realTy() const { return 3; }
+  TypeId stringTy() const { return 4; }
+
+  TypeId tuple(std::vector<TypeId> elems);
+  /// Homogeneous tuple `n*t` (Chapel syntax).
+  TypeId homogeneousTuple(uint32_t n, TypeId t);
+  /// Records are nominal: the first call registers the body; later calls with
+  /// the same name return the same id (bodies must match).
+  TypeId record(Symbol name, std::vector<RecordField> fields);
+  /// Looks up an already-declared record by name; kInvalidType if unknown.
+  TypeId findRecord(Symbol name) const;
+  TypeId domain(uint8_t rank);
+  TypeId array(TypeId elem, uint8_t rank);
+  TypeId ref(TypeId pointee);
+
+  const Type& get(TypeId id) const { return types_.at(id); }
+  TypeKind kindOf(TypeId id) const { return get(id).kind; }
+  bool isScalar(TypeId id) const {
+    TypeKind k = kindOf(id);
+    return k == TypeKind::Bool || k == TypeKind::Int || k == TypeKind::Real;
+  }
+  bool isNumeric(TypeId id) const {
+    TypeKind k = kindOf(id);
+    return k == TypeKind::Int || k == TypeKind::Real;
+  }
+
+  /// Pointee of a Ref type.
+  TypeId pointee(TypeId refTy) const;
+  /// Element type of an Array type.
+  TypeId arrayElem(TypeId arrTy) const;
+
+  /// Chapel-flavoured rendering used in blame tables, e.g. "8*real",
+  /// "[binSpace] int(64)", "domain".
+  std::string display(TypeId id, const StringInterner& interner) const;
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  TypeId add(Type t);
+
+  std::vector<Type> types_;
+};
+
+}  // namespace cb::ir

@@ -1,0 +1,142 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/common.h"
+
+namespace cb::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& m, FuncId fid, std::vector<std::string>& out)
+      : mod_(m), fn_(m.function(fid)), fid_(fid), out_(out) {}
+
+  void run() {
+    if (fn_.blocks.empty()) {
+      fail("function has no blocks");
+      return;
+    }
+    // Every block must be non-empty and end in exactly one terminator, with
+    // no terminator in the middle.
+    std::unordered_set<InstrId> seen;
+    for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      const BasicBlock& bb = fn_.blocks[b];
+      if (bb.instrs.empty()) {
+        fail("block " + std::to_string(b) + " is empty");
+        continue;
+      }
+      for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        InstrId id = bb.instrs[i];
+        if (id >= fn_.instrs.size()) {
+          fail("block references out-of-range instruction");
+          continue;
+        }
+        if (!seen.insert(id).second) fail("instruction appears in two blocks");
+        const Instr& in = fn_.instrs[id];
+        bool last = (i + 1 == bb.instrs.size());
+        if (in.isTerminator() != last)
+          fail("terminator placement wrong in block " + std::to_string(b));
+        checkInstr(id, in);
+      }
+    }
+  }
+
+ private:
+  void fail(std::string msg) {
+    out_.push_back("fn " + fn_.displayName + " (#" + std::to_string(fid_) + "): " + std::move(msg));
+  }
+
+  void checkOperand(InstrId user, const ValueRef& v) {
+    switch (v.kind) {
+      case ValueRef::Kind::Reg:
+        if (v.reg >= fn_.instrs.size()) fail("operand register out of range");
+        else if (!fn_.instrs[v.reg].producesValue(mod_.types()))
+          fail("operand register #" + std::to_string(v.reg) + " of instr #" +
+               std::to_string(user) + " produces no value");
+        break;
+      case ValueRef::Kind::Arg:
+        if (v.arg >= fn_.params.size()) fail("operand arg index out of range");
+        break;
+      case ValueRef::Kind::GlobalAddr:
+        if (v.global >= mod_.numGlobals()) fail("operand global out of range");
+        break;
+      case ValueRef::Kind::None:
+        fail("operand is None");
+        break;
+      default:
+        break;  // constants are always fine
+    }
+  }
+
+  void checkTarget(BlockId t) {
+    if (t == kNone || t >= fn_.blocks.size()) fail("branch target out of range");
+  }
+
+  void checkInstr(InstrId id, const Instr& in) {
+    for (const ValueRef& v : in.ops) checkOperand(id, v);
+    switch (in.op) {
+      case Opcode::Store:
+        if (in.ops.size() != 2) fail("store needs 2 operands");
+        break;
+      case Opcode::Load:
+        if (in.ops.size() != 1) fail("load needs 1 operand");
+        break;
+      case Opcode::Br:
+        checkTarget(in.target0);
+        break;
+      case Opcode::CondBr:
+        if (in.ops.size() != 1) fail("condbr needs 1 operand");
+        checkTarget(in.target0);
+        checkTarget(in.target1);
+        break;
+      case Opcode::Call:
+      case Opcode::Spawn:
+        if (in.extra.func >= mod_.numFunctions()) fail("call target out of range");
+        if (in.op == Opcode::Call) {
+          const Function& callee = mod_.function(in.extra.func);
+          if (callee.params.size() != in.ops.size())
+            fail("call to " + callee.displayName + " arity mismatch");
+        }
+        break;
+      case Opcode::Alloca:
+        if (in.extra.debugVar != kNone && in.extra.debugVar >= mod_.numDebugVars())
+          fail("alloca debug var out of range");
+        break;
+      case Opcode::FieldAddr: {
+        if (in.ops.size() != 1) { fail("fieldaddr needs 1 operand"); break; }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const Module& mod_;
+  const Function& fn_;
+  FuncId fid_;
+  std::vector<std::string>& out_;
+};
+
+}  // namespace
+
+std::vector<std::string> verifyModule(const Module& m) {
+  std::vector<std::string> out;
+  for (FuncId f = 0; f < m.numFunctions(); ++f) FunctionVerifier(m, f, out).run();
+  if (m.mainFunc == kNone || m.mainFunc >= m.numFunctions())
+    out.push_back("module has no main function");
+  return out;
+}
+
+void verifyModuleOrDie(const Module& m) {
+  auto errs = verifyModule(m);
+  if (!errs.empty()) {
+    std::ostringstream ss;
+    for (const auto& e : errs) ss << e << "\n";
+    CB_ASSERT(false, "IR verification failed:\n" + ss.str());
+  }
+}
+
+}  // namespace cb::ir

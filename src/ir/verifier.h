@@ -1,0 +1,19 @@
+// Structural verifier for CIR modules. Run after lowering and after every
+// pass pipeline: the profiler trusts these invariants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cb::ir {
+
+/// Returns a list of violation messages; empty means the module is well
+/// formed.
+std::vector<std::string> verifyModule(const Module& m);
+
+/// Convenience: asserts (aborts) on the first violation.
+void verifyModuleOrDie(const Module& m);
+
+}  // namespace cb::ir

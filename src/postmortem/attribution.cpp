@@ -1,0 +1,251 @@
+#include "postmortem/attribution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/common.h"
+
+namespace cb::pm {
+
+using an::Entity;
+using an::EntityId;
+using an::EntityKey;
+using an::FunctionBlame;
+using an::kNoEntity;
+using an::PathElem;
+using an::RootKind;
+
+namespace {
+
+/// Renders additional path elements appended below an already-rendered
+/// entity (used when a callee's sub-object path lands on a caller variable).
+std::string renderExtraPath(const std::vector<PathElem>& path, int indexDepth) {
+  static const char* kIndexNames[] = {"i", "j", "k", "l", "m"};
+  std::string out;
+  for (const PathElem& pe : path) {
+    switch (pe.kind) {
+      case PathElem::Kind::Field:
+        out += "." + (pe.fieldName.empty() ? ("f" + std::to_string(pe.idx)) : pe.fieldName);
+        break;
+      case PathElem::Kind::Index:
+        out += std::string("[") + kIndexNames[std::min(indexDepth, 4)] + "]";
+        ++indexDepth;
+        break;
+      case PathElem::Kind::TupleElem:
+        out += pe.idx == ~0u ? "(i)" : "(" + std::to_string(pe.idx + 1) + ")";
+        break;
+    }
+  }
+  return out;
+}
+
+int indexDepthOf(const std::vector<PathElem>& path) {
+  int n = 0;
+  for (const PathElem& pe : path)
+    if (pe.kind == PathElem::Kind::Index) ++n;
+  return n;
+}
+
+class Attributor {
+ public:
+  Attributor(const an::ModuleBlame& mb, const AttributionOptions& opts)
+      : mb_(mb), m_(*mb.mod), opts_(opts) {}
+
+  BlameReport run(const std::vector<Instance>& instances) {
+    for (const Instance& inst : instances) {
+      ++report_.totalRawSamples;
+      if (inst.idle || inst.frames.empty()) continue;
+      ++report_.totalUserSamples;
+      perSample_.clear();
+      // Inclusive attribution: every frame of the call path is matched
+      // against its function's blame sets (a sample deep in a callee also
+      // blames caller variables whose blame lines include the callsite).
+      for (size_t fi = 0; fi < inst.frames.size(); ++fi) {
+        const ResolvedFrame& fr = inst.frames[fi];
+        const FunctionBlame& fb = mb_.fn(fr.func);
+        if (fr.instr >= fb.instrEntities.size()) continue;
+        for (EntityId e : fb.instrEntities[fr.instr])
+          blameOne(inst, fi, fb, e, {});
+      }
+      for (const auto& key : perSample_) {
+        auto& row = agg_[key];
+        ++row;
+      }
+    }
+    return finish();
+  }
+
+ private:
+  void blameOne(const Instance& inst, size_t frameIdx, const FunctionBlame& fb, EntityId e,
+                std::vector<PathElem> extraPath) {
+    if (depth_ > 64) return;  // cyclic transfer guard
+    const Entity& ent = fb.entities[e];
+    switch (ent.key.root) {
+      case RootKind::Param:
+        if (opts_.interprocedural && fb.exitViaCaller[e] && frameIdx > 0) {
+          const ResolvedFrame& caller = inst.frames[frameIdx - 1];
+          const FunctionBlame& cfb = mb_.fn(caller.func);
+          auto cs = cfb.callsites.find(caller.instr);
+          if (cs != cfb.callsites.end() &&
+              ent.key.rootId < cs->second.paramToCallerEntity.size()) {
+            EntityId ce = cs->second.paramToCallerEntity[ent.key.rootId];
+            if (ce != kNoEntity) {
+              std::vector<PathElem> combined = ent.key.path;
+              combined.insert(combined.end(), extraPath.begin(), extraPath.end());
+              ++depth_;
+              blameOne(inst, frameIdx - 1, cfb, ce, std::move(combined));
+              --depth_;
+              return;
+            }
+          }
+        }
+        record(inst, frameIdx, fb, ent, extraPath);
+        return;
+      case RootKind::Ret:
+        if (opts_.interprocedural && frameIdx > 0) {
+          const ResolvedFrame& caller = inst.frames[frameIdx - 1];
+          const FunctionBlame& cfb = mb_.fn(caller.func);
+          auto cs = cfb.callsites.find(caller.instr);
+          if (cs != cfb.callsites.end()) {
+            for (EntityId t : cs->second.resultTargets) {
+              ++depth_;
+              blameOne(inst, frameIdx - 1, cfb, t, {});
+              --depth_;
+            }
+          }
+        }
+        return;  // return values are never reported directly
+      case RootKind::Global:
+      case RootKind::Local:
+      case RootKind::Unknown:
+        record(inst, frameIdx, fb, ent, extraPath);
+        return;
+    }
+  }
+
+  void record(const Instance& inst, size_t frameIdx, const FunctionBlame& fb, const Entity& ent,
+              const std::vector<PathElem>& extraPath) {
+    if (!ent.displayable && !opts_.includeHidden) return;
+
+    std::string name = ent.displayName;
+    std::string type = ent.typeDisplay;
+    if (!extraPath.empty()) {
+      // Prefer the statically-known combined entity if the function formed
+      // one (better type display); otherwise render the suffix by hand.
+      EntityKey combined = ent.key;
+      combined.path.insert(combined.path.end(), extraPath.begin(), extraPath.end());
+      EntityId ce = fb.find(combined);
+      if (ce != kNoEntity) {
+        name = fb.entities[ce].displayName;
+        type = fb.entities[ce].typeDisplay;
+      } else {
+        if (ent.key.path.empty()) name = "->" + name;
+        name += renderExtraPath(extraPath, indexDepthOf(ent.key.path));
+        type = "?";
+      }
+    }
+
+    std::string context = ent.key.root == RootKind::Global
+                              ? "main"
+                              : userContextName(m_, inst.frames[frameIdx].func);
+    perSample_.insert(context + "\x01" + name + "\x01" + type);
+
+    // Module-scope aliases share their region: blaming RealPos blames Pos
+    // (and vice versa) — §III: "writes to the memory region allocated to
+    // the variable v, the aliases of v, ...".
+    if (ent.key.root == RootKind::Global) {
+      for (ir::GlobalId sib : mb_.aliasSiblings(ent.key.rootId)) {
+        const ir::GlobalVar& gv = m_.global(sib);
+        if (gv.debugVar == ir::kNone || !m_.debugVar(gv.debugVar).displayable()) continue;
+        const ir::DebugVar& dv = m_.debugVar(gv.debugVar);
+        std::string sname = m_.interner().str(dv.name);
+        std::string stype = dv.typeDisplay.empty()
+                                ? m_.types().display(gv.type, m_.interner())
+                                : dv.typeDisplay;
+        perSample_.insert("main\x01" + sname + "\x01" + stype);
+      }
+    }
+  }
+
+  BlameReport finish() {
+    for (const auto& [key, count] : agg_) {
+      size_t p1 = key.find('\x01');
+      size_t p2 = key.find('\x01', p1 + 1);
+      VariableBlame row;
+      row.context = key.substr(0, p1);
+      row.name = key.substr(p1 + 1, p2 - p1 - 1);
+      row.type = key.substr(p2 + 1);
+      row.sampleCount = count;
+      row.percent = report_.totalUserSamples
+                        ? 100.0 * static_cast<double>(count) / report_.totalUserSamples
+                        : 0.0;
+      report_.rows.push_back(std::move(row));
+    }
+    std::sort(report_.rows.begin(), report_.rows.end(), [](const auto& a, const auto& b) {
+      if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
+      return a.name < b.name;
+    });
+    return std::move(report_);
+  }
+
+  const an::ModuleBlame& mb_;
+  const ir::Module& m_;
+  AttributionOptions opts_;
+  BlameReport report_;
+  std::unordered_set<std::string> perSample_;
+  std::unordered_map<std::string, uint64_t> agg_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const VariableBlame* BlameReport::find(const std::string& name) const {
+  for (const VariableBlame& r : rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+std::string userContextName(const ir::Module& m, ir::FuncId f) {
+  ir::FuncId cur = f;
+  int guard = 0;
+  while (cur != ir::kNone && m.function(cur).isTaskFn() && guard++ < 64)
+    cur = m.function(cur).spawnParent;
+  if (cur == ir::kNone) return "?";
+  const std::string& n = m.function(cur).displayName;
+  return n == "_module_init" ? "main" : n;
+}
+
+BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
+                      const AttributionOptions& opts) {
+  return Attributor(mb, opts).run(instances);
+}
+
+BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale) {
+  BlameReport out;
+  // Key on (context, name); keep the first type display seen.
+  std::unordered_map<std::string, VariableBlame> agg;
+  for (const BlameReport* r : perLocale) {
+    if (!r) continue;
+    out.totalUserSamples += r->totalUserSamples;
+    out.totalRawSamples += r->totalRawSamples;
+    for (const VariableBlame& row : r->rows) {
+      std::string key = row.context + "\x01" + row.name;
+      auto [it, inserted] = agg.emplace(key, row);
+      if (!inserted) it->second.sampleCount += row.sampleCount;
+    }
+  }
+  out.rows.reserve(agg.size());
+  for (auto& [key, row] : agg) {
+    row.percent = out.totalUserSamples
+                      ? 100.0 * static_cast<double>(row.sampleCount) / out.totalUserSamples
+                      : 0.0;
+    out.rows.push_back(std::move(row));
+  }
+  std::sort(out.rows.begin(), out.rows.end(), [](const auto& a, const auto& b) {
+    if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace cb::pm

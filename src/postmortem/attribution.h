@@ -1,0 +1,52 @@
+// Post-mortem blame attribution (paper §IV.C): combine the static blame
+// database with consolidated instances, bubble blame up the call path via
+// exit variables / transfer functions, and aggregate per source variable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/blame.h"
+#include "postmortem/instance.h"
+#include "sampling/sample.h"
+
+namespace cb::pm {
+
+struct VariableBlame {
+  std::string name;      // "Pos", "->partArray[i].zoneArray[j].value", ...
+  std::string type;      // Chapel-style type display
+  std::string context;   // defining function ("main" for module-scope vars)
+  uint64_t sampleCount = 0;
+  double percent = 0.0;  // of user samples; rows can sum to > 100% (paper §III)
+};
+
+struct BlameReport {
+  uint64_t totalUserSamples = 0;  // denominator for percentages
+  uint64_t totalRawSamples = 0;   // including idle/runtime samples
+  std::vector<VariableBlame> rows;  // sorted by percent, descending
+
+  /// Finds a row by display name (first match); nullptr if absent.
+  const VariableBlame* find(const std::string& name) const;
+};
+
+struct AttributionOptions {
+  bool interprocedural = true;  // transfer-function bubbling (ablatable)
+  bool includeHidden = false;   // include compiler temps (debugging aid)
+};
+
+/// Attributes every instance and aggregates per (variable, context).
+BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
+                      const AttributionOptions& opts = {});
+
+/// Step 4 for multi-locale runs (paper §IV.C: "for multi-locale, we need to
+/// aggregate the results across the nodes"): merges per-locale blame
+/// reports by summing sample counts per (variable, context) and recomputing
+/// percentages over the combined denominator. Step 3 is embarrassingly
+/// parallel across locales; this is the final combine.
+BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale);
+
+/// Resolves the user-facing context of a function: task functions report
+/// their lexically-enclosing user function; _module_init reports "main".
+std::string userContextName(const ir::Module& m, ir::FuncId f);
+
+}  // namespace cb::pm

@@ -1,0 +1,107 @@
+#include "postmortem/baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/resolve.h"
+
+namespace cb::pm {
+
+namespace {
+
+/// For each function: alloca instruction -> the ArrayNew feeding it (the
+/// allocation site a heap-tracking profiler would intercept).
+std::unordered_map<uint64_t, uint64_t> buildAllocSiteMap(const ir::Module& m) {
+  std::unordered_map<uint64_t, uint64_t> out;  // (func, alloca) -> (func, arraynew)
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    for (ir::InstrId i = 0; i < fn.numInstrs(); ++i) {
+      const ir::Instr& in = fn.instrs[i];
+      if (in.op != ir::Opcode::Store) continue;
+      const ir::ValueRef& val = in.ops[0];
+      const ir::ValueRef& addr = in.ops[1];
+      if (val.kind != ir::ValueRef::Kind::Reg || addr.kind != ir::ValueRef::Kind::Reg) continue;
+      if (fn.instrs[val.reg].op != ir::Opcode::ArrayNew) continue;
+      if (fn.instrs[addr.reg].op != ir::Opcode::Alloca) continue;
+      out[sampling::RunLog::siteKey(f, addr.reg)] = sampling::RunLog::siteKey(f, val.reg);
+    }
+  }
+  return out;
+}
+
+bool isMemoryTouch(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::Load:
+    case ir::Opcode::Store:
+    case ir::Opcode::IndexAddr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+BaselineReport baselineAttribute(const ir::Module& m, const sampling::RunLog& log,
+                                 const std::vector<Instance>& instances,
+                                 const BaselineOptions& opts) {
+  auto allocSites = buildAllocSiteMap(m);
+  BaselineReport report;
+  std::unordered_map<std::string, uint64_t> agg;
+  uint64_t unknown = 0;
+
+  for (const Instance& inst : instances) {
+    if (inst.idle || inst.frames.empty()) continue;
+    ++report.totalSamples;
+    const ResolvedFrame& leaf = inst.frames.back();
+    const ir::Function& fn = m.function(leaf.func);
+    std::string attributed;
+    if (leaf.instr < fn.numInstrs()) {
+      const ir::Instr& in = fn.instrs[leaf.instr];
+      if (isMemoryTouch(in.op)) {
+        // Which address is touched? Store: ops[1]; Load: ops[0]; IndexAddr:
+        // ops[0] (the array value).
+        const ir::ValueRef& addr = in.op == ir::Opcode::Store ? in.ops[1] : in.ops[0];
+        an::EntityKey key = an::resolveChainKey(m, fn, addr);
+        if (key.root == an::RootKind::Local) {
+          const ir::Instr& a = fn.instrs[key.rootId];
+          bool isArrayVar =
+              m.types().kindOf(m.types().pointee(a.type)) == ir::TypeKind::Array;
+          if (isArrayVar && a.extra.debugVar != ir::kNone &&
+              m.debugVar(a.extra.debugVar).displayable()) {
+            auto site = allocSites.find(sampling::RunLog::siteKey(leaf.func, key.rootId));
+            if (site != allocSites.end()) {
+              auto bytes = log.allocBytesBySite.find(site->second);
+              if (bytes != log.allocBytesBySite.end() && bytes->second >= opts.minBytes) {
+                attributed = m.interner().str(m.debugVar(a.extra.debugVar).name);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (attributed.empty()) ++unknown;
+    else ++agg[attributed];
+  }
+
+  for (const auto& [name, count] : agg) {
+    BaselineRow row;
+    row.name = name;
+    row.sampleCount = count;
+    row.percent =
+        report.totalSamples ? 100.0 * static_cast<double>(count) / report.totalSamples : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+  BaselineRow unk;
+  unk.name = "unknown data";
+  unk.sampleCount = unknown;
+  unk.percent =
+      report.totalSamples ? 100.0 * static_cast<double>(unknown) / report.totalSamples : 0.0;
+  report.unknownPercent = unk.percent;
+  report.rows.push_back(std::move(unk));
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const auto& a, const auto& b) { return a.sampleCount > b.sampleCount; });
+  return report;
+}
+
+}  // namespace cb::pm

@@ -1,0 +1,43 @@
+// Post-mortem step 1 (paper §IV.C): convert raw context-sensitive samples
+// into consolidated "instances" — complete, clean call paths with
+// pre-/post-spawn stacks glued via spawn tags and resolved to file/line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "sampling/sample.h"
+
+namespace cb::pm {
+
+/// One resolved call-path frame.
+struct ResolvedFrame {
+  ir::FuncId func = ir::kNone;
+  ir::InstrId instr = ir::kNone;
+  std::string funcName;
+  std::string file;
+  uint32_t line = 0;
+};
+
+/// A consolidated sample: the paper's "instance" abstraction (module, file,
+/// line and stack order number for every level of the call path).
+struct Instance {
+  std::vector<ResolvedFrame> frames;   // outermost first; leaf last
+  uint32_t stream = 0;
+  bool idle = false;
+  sampling::RuntimeFrameKind runtimeFrame = sampling::RuntimeFrameKind::None;
+};
+
+struct ConsolidateOptions {
+  /// Glue worker samples to their spawn context (ablatable: without gluing,
+  /// task-function samples lose their user-code calling context, which is
+  /// the HPCToolkit-on-Chapel failure the paper describes in §II.B).
+  bool glueSpawns = true;
+};
+
+/// Glues, trims and resolves every sample of a run.
+std::vector<Instance> consolidate(const ir::Module& m, const sampling::RunLog& log,
+                                  const ConsolidateOptions& opts = {});
+
+}  // namespace cb::pm

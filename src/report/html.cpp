@@ -1,0 +1,122 @@
+#include "report/html.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace cb::rpt {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void emitBar(std::ostringstream& out, double pct) {
+  out << "<td class=bar><div style=\"width:" << formatFixed(pct, 1)
+      << "%\"></div><span>" << formatFixed(pct, 1) << "%</span></td>";
+}
+
+}  // namespace
+
+std::string htmlReport(const std::string& title, const pm::BlameReport& blame,
+                       const CodeCentricReport& code) {
+  std::ostringstream out;
+  out << "<!doctype html><html><head><meta charset=\"utf-8\">"
+         "<title>ChapelBlame — "
+      << escape(title)
+      << "</title><style>"
+         "body{font:14px/1.45 system-ui,sans-serif;margin:1.5em;background:#fafafa;color:#222}"
+         "h1{font-size:1.3em} .tabs button{padding:.5em 1em;border:1px solid #bbb;"
+         "background:#eee;cursor:pointer} .tabs button.on{background:#fff;font-weight:600}"
+         "table{border-collapse:collapse;margin-top:1em;background:#fff}"
+         "th,td{border:1px solid #ddd;padding:.3em .6em;text-align:left;font-variant-numeric:tabular-nums}"
+         "th{background:#f0f0f0} td.bar{min-width:180px;position:relative}"
+         "td.bar div{background:#4a90d9;height:1em;opacity:.35;position:absolute;left:0;top:.3em}"
+         "td.bar span{position:relative} .pane{display:none} .pane.on{display:block}"
+         "code{background:#eee;padding:0 .25em}"
+         "</style></head><body>"
+         "<h1>ChapelBlame report — <code>"
+      << escape(title) << "</code></h1><p>" << blame.totalUserSamples << " user samples, "
+      << blame.totalRawSamples << " total.</p><div class=tabs>"
+         "<button class=on onclick=\"show(0,this)\">Data-centric (blame)</button>"
+         "<button onclick=\"show(1,this)\">Code-centric</button>"
+         "<button onclick=\"show(2,this)\">Hybrid (blame points)</button></div>";
+
+  // Pane 0: flat data-centric view.
+  out << "<div class=\"pane on\"><table><tr><th>Name</th><th>Type</th><th>Blame</th>"
+         "<th>Context</th><th>Samples</th></tr>";
+  for (const pm::VariableBlame& row : blame.rows) {
+    if (row.percent < 0.05) continue;
+    out << "<tr><td><code>" << escape(row.name) << "</code></td><td>" << escape(row.type)
+        << "</td>";
+    emitBar(out, row.percent);
+    out << "<td>" << escape(row.context) << "</td><td>" << row.sampleCount << "</td></tr>";
+  }
+  out << "</table></div>";
+
+  // Pane 1: code-centric view.
+  out << "<div class=pane><table><tr><th>Function</th><th>Self</th><th>Self %</th>"
+         "<th>Inclusive</th><th>Incl %</th></tr>";
+  double total = static_cast<double>(code.totalSamples ? code.totalSamples : 1);
+  for (const CodeCentricRow& row : code.rows) {
+    out << "<tr><td><code>" << escape(row.function) << "</code></td><td>" << row.self << "</td>";
+    emitBar(out, 100.0 * row.self / total);
+    out << "<td>" << row.inclusive << "</td>";
+    emitBar(out, 100.0 * row.inclusive / total);
+    out << "</tr>";
+  }
+  out << "</table></div>";
+
+  // Pane 2: hybrid blame points, grouped by context (main first).
+  out << "<div class=pane>";
+  std::map<std::string, std::vector<const pm::VariableBlame*>> byContext;
+  for (const pm::VariableBlame& row : blame.rows)
+    if (row.percent >= 0.05) byContext[row.context].push_back(&row);
+  auto emitPoint = [&](const std::string& ctx) {
+    auto it = byContext.find(ctx);
+    if (it == byContext.end()) return;
+    out << "<h2>blame point: <code>" << escape(ctx) << "</code></h2><table>"
+           "<tr><th>Name</th><th>Type</th><th>Blame</th></tr>";
+    for (const pm::VariableBlame* row : it->second) {
+      out << "<tr><td><code>" << escape(row->name) << "</code></td><td>" << escape(row->type)
+          << "</td>";
+      emitBar(out, row->percent);
+      out << "</tr>";
+    }
+    out << "</table>";
+    byContext.erase(it);
+  };
+  emitPoint("main");
+  while (!byContext.empty()) emitPoint(byContext.begin()->first);
+  out << "</div>";
+
+  out << "<script>function show(i,b){document.querySelectorAll('.pane').forEach("
+         "(p,k)=>p.classList.toggle('on',k===i));document.querySelectorAll('.tabs button')"
+         ".forEach(x=>x.classList.toggle('on',x===b));}</script></body></html>";
+  return out.str();
+}
+
+bool writeHtmlReport(const std::string& path, const std::string& title,
+                     const pm::BlameReport& blame, const CodeCentricReport& code) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::string html = htmlReport(title, blame, code);
+  f.write(html.data(), static_cast<std::streamsize>(html.size()));
+  return f.good();
+}
+
+}  // namespace cb::rpt

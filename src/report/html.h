@@ -1,0 +1,22 @@
+// Standalone HTML report — the paper's GUI (Fig. 3) as a self-contained
+// page with the three windows: flat data-centric view (default), classic
+// code-centric view, and the hybrid blame-points view.
+#pragma once
+
+#include <string>
+
+#include "postmortem/attribution.h"
+#include "report/views.h"
+
+namespace cb::rpt {
+
+/// Renders a self-contained HTML page (no external assets) with tabs for
+/// the three views. `title` labels the profiled program.
+std::string htmlReport(const std::string& title, const pm::BlameReport& blame,
+                       const CodeCentricReport& code);
+
+/// Writes the page to a file; returns false on I/O error.
+bool writeHtmlReport(const std::string& path, const std::string& title,
+                     const pm::BlameReport& blame, const CodeCentricReport& code);
+
+}  // namespace cb::rpt

@@ -1,0 +1,164 @@
+#include "report/views.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/table.h"
+
+namespace cb::rpt {
+
+std::string dataCentricView(const pm::BlameReport& report, const ViewOptions& opts) {
+  TextTable t({"Name", "Type", "Blame", "Context"});
+  size_t shown = 0;
+  for (const pm::VariableBlame& row : report.rows) {
+    if (shown >= opts.maxRows) break;
+    if (row.percent < opts.minPercent) continue;
+    t.addRow({row.name, row.type, formatFixed(row.percent, 1) + "%", row.context});
+    ++shown;
+  }
+  std::ostringstream out;
+  out << "Data-centric (blame) view — " << report.totalUserSamples << " user samples ("
+      << report.totalRawSamples << " total)\n"
+      << t.render();
+  return out.str();
+}
+
+std::string dataCentricCsv(const pm::BlameReport& report) {
+  TextTable t({"name", "type", "blame_percent", "samples", "context"});
+  for (const pm::VariableBlame& row : report.rows) {
+    t.addRow({row.name, row.type, formatFixed(row.percent, 3), std::to_string(row.sampleCount),
+              row.context});
+  }
+  return t.renderCsv();
+}
+
+CodeCentricReport codeCentric(const std::vector<pm::Instance>& instances) {
+  CodeCentricReport report;
+  std::unordered_map<std::string, CodeCentricRow> rows;
+  for (const pm::Instance& inst : instances) {
+    ++report.totalSamples;
+    if (inst.idle) {
+      const char* name = sampling::runtimeFrameName(inst.runtimeFrame);
+      auto& r = rows[name];
+      r.function = name;
+      ++r.self;
+      ++r.inclusive;
+      continue;
+    }
+    if (inst.frames.empty()) continue;
+    auto& leaf = rows[inst.frames.back().funcName];
+    leaf.function = inst.frames.back().funcName;
+    ++leaf.self;
+    std::set<std::string> seen;
+    for (const pm::ResolvedFrame& fr : inst.frames) {
+      if (!seen.insert(fr.funcName).second) continue;  // recursion: count once
+      auto& r = rows[fr.funcName];
+      r.function = fr.funcName;
+      ++r.inclusive;
+    }
+  }
+  report.rows.reserve(rows.size());
+  for (auto& [_, row] : rows) report.rows.push_back(std::move(row));
+  std::sort(report.rows.begin(), report.rows.end(), [](const auto& a, const auto& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.function < b.function;
+  });
+  return report;
+}
+
+std::string codeCentricView(const CodeCentricReport& report, size_t maxRows) {
+  TextTable t({"Function", "Self", "Self%", "Inclusive", "Incl%"});
+  double total = static_cast<double>(std::max<uint64_t>(1, report.totalSamples));
+  for (size_t i = 0; i < report.rows.size() && i < maxRows; ++i) {
+    const CodeCentricRow& r = report.rows[i];
+    t.addRow({r.function, std::to_string(r.self), formatFixed(100.0 * r.self / total, 1) + "%",
+              std::to_string(r.inclusive), formatFixed(100.0 * r.inclusive / total, 1) + "%"});
+  }
+  std::ostringstream out;
+  out << "Code-centric view — " << report.totalSamples << " samples\n" << t.render();
+  return out.str();
+}
+
+std::string pprofView(const CodeCentricReport& report, const std::string& binaryName,
+                      size_t maxRows) {
+  std::ostringstream out;
+  out << "Using local file ./" << binaryName << ".\n";
+  out << "Using local file prof.log.\n";
+  out << "Total: " << report.totalSamples << " samples\n";
+  double total = static_cast<double>(std::max<uint64_t>(1, report.totalSamples));
+  double cum = 0.0;
+  char buf[256];
+  for (size_t i = 0; i < report.rows.size() && i < maxRows; ++i) {
+    const CodeCentricRow& r = report.rows[i];
+    double selfPct = 100.0 * r.self / total;
+    double inclPct = 100.0 * r.inclusive / total;
+    cum += selfPct;
+    // gperftools sees the Chapel compiler's mangled symbols: user functions
+    // carry a _chpl suffix; runtime frames (__sched_yield et al.) don't.
+    std::string name = r.function;
+    bool runtimeFrame = name.rfind("__", 0) == 0 || name.rfind("chpl_", 0) == 0;
+    bool alreadyMangled = name.find("_chpl") != std::string::npos;
+    if (!runtimeFrame && !alreadyMangled && name != "main" && name != "_init")
+      name += "_chpl";
+    std::snprintf(buf, sizeof buf, "%8llu %5.1f%% %5.1f%% %8llu %5.1f%% %s\n",
+                  static_cast<unsigned long long>(r.self), selfPct, cum,
+                  static_cast<unsigned long long>(r.inclusive), inclPct, name.c_str());
+    out << buf;
+  }
+  return out.str();
+}
+
+std::string hybridView(const pm::BlameReport& report, const ViewOptions& opts) {
+  // Group rows by context; main first (the paper: "the most common blame
+  // point is the main function, since the variables in there cannot be
+  // bubbled up any further").
+  std::map<std::string, std::vector<const pm::VariableBlame*>> byContext;
+  for (const pm::VariableBlame& row : report.rows) {
+    if (row.percent < opts.minPercent) continue;
+    byContext[row.context].push_back(&row);
+  }
+  std::ostringstream out;
+  out << "Hybrid view (blame points)\n";
+  auto renderPoint = [&](const std::string& ctx) {
+    auto it = byContext.find(ctx);
+    if (it == byContext.end()) return;
+    out << "\n== blame point: " << ctx << " ==\n";
+    TextTable t({"Name", "Type", "Blame"});
+    size_t shown = 0;
+    for (const pm::VariableBlame* row : it->second) {
+      if (shown++ >= opts.maxRows) break;
+      t.addRow({row->name, row->type, formatFixed(row->percent, 1) + "%"});
+    }
+    out << t.render();
+    byContext.erase(it);
+  };
+  renderPoint("main");
+  while (!byContext.empty()) renderPoint(byContext.begin()->first);
+  return out.str();
+}
+
+std::string baselineView(const pm::BaselineReport& report) {
+  TextTable t({"Variable", "Samples", "Percent"});
+  for (const pm::BaselineRow& row : report.rows) {
+    t.addRow({row.name, std::to_string(row.sampleCount), formatFixed(row.percent, 2) + "%"});
+  }
+  std::ostringstream out;
+  out << "Allocation-threshold baseline (HPCToolkit-data-centric stand-in) — "
+      << report.totalSamples << " samples\n"
+      << t.render();
+  return out.str();
+}
+
+std::string guiView(const pm::BlameReport& blame, const CodeCentricReport& code,
+                    const ViewOptions& opts) {
+  std::ostringstream out;
+  out << "================ ChapelBlame viewer ================\n\n";
+  out << codeCentricView(code, opts.maxRows) << "\n";
+  out << dataCentricView(blame, opts);
+  return out.str();
+}
+
+}  // namespace cb::rpt

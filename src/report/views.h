@@ -1,0 +1,66 @@
+// Presentation layer (paper §IV.D): the flat data-centric view, the
+// traditional code-centric view (plain table and gperftools/pprof text
+// format, Fig. 4), and the hybrid "blame points" view. Text-mode stand-ins
+// for the paper's GUI windows (Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "postmortem/attribution.h"
+#include "postmortem/baseline.h"
+#include "postmortem/instance.h"
+
+namespace cb::rpt {
+
+struct ViewOptions {
+  size_t maxRows = 25;
+  double minPercent = 1.0;  // hide rows below this blame share
+};
+
+/// Flat data-centric view: variables ranked by blame, with type and context
+/// (Tables II / IV / VI).
+std::string dataCentricView(const pm::BlameReport& report, const ViewOptions& opts = {});
+
+/// CSV twin of the data-centric view (all rows).
+std::string dataCentricCsv(const pm::BlameReport& report);
+
+// ---- code-centric ---------------------------------------------------------
+
+struct CodeCentricRow {
+  std::string function;
+  uint64_t self = 0;        // samples with this function at the leaf
+  uint64_t inclusive = 0;   // samples with this function anywhere on the path
+};
+
+struct CodeCentricReport {
+  uint64_t totalSamples = 0;  // all samples, idle included (like pprof)
+  std::vector<CodeCentricRow> rows;  // sorted by self, descending
+};
+
+/// Builds the function-granularity profile from consolidated instances.
+/// Runtime frames (__sched_yield etc.) are included, as gperftools sees them.
+CodeCentricReport codeCentric(const std::vector<pm::Instance>& instances);
+
+/// Plain table rendering of the code-centric view.
+std::string codeCentricView(const CodeCentricReport& report, size_t maxRows = 25);
+
+/// gperftools pprof --text format, reproducing Fig. 4:
+///   samples  self%  cum%  inclusive  incl%  name
+std::string pprofView(const CodeCentricReport& report, const std::string& binaryName,
+                      size_t maxRows = 10);
+
+// ---- hybrid -----------------------------------------------------------------
+
+/// Hybrid blame-points view: variables grouped by the function ("blame
+/// point") where their blame comes to rest; main is the primary blame point.
+std::string hybridView(const pm::BlameReport& report, const ViewOptions& opts = {});
+
+/// Baseline (allocation-threshold) report rendering.
+std::string baselineView(const pm::BaselineReport& report);
+
+/// Fig. 3 stand-in: code-centric and data-centric views side by side.
+std::string guiView(const pm::BlameReport& blame, const CodeCentricReport& code,
+                    const ViewOptions& opts = {});
+
+}  // namespace cb::rpt

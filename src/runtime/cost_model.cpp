@@ -1,0 +1,119 @@
+#include "runtime/cost_model.h"
+
+namespace cb::rt {
+
+CostProfile CostProfile::fast() {
+  CostProfile p;
+  // Optimized codegen: scalar ops pipelined, stack traffic largely in
+  // registers, inlined address math, leaner tasking/iterator protocol.
+  p.addSub = 1;
+  p.mul = 1;
+  p.div = 12;
+  p.mod = 12;
+  p.pow = 25;
+  p.load = 1;
+  p.store = 1;
+  p.fieldAddr = 1;
+  p.tupleAddr = 0;
+  p.indexBase = 1;
+  p.indexPerDim = 1;
+  p.indexLinear = 1;
+  p.viewIndexExtra = 6;
+  p.nestedArrayHandle = 30;
+  p.tupleMakeBase = 3;
+  p.tupleMakePerElem = 2;
+  p.tupleGet = 0;
+  p.tupleDynAccess = 3;
+  p.recordNewBase = 3;
+  p.recordNewPerField = 1;
+  p.domainMake = 4;
+  p.domainExpand = 3;
+  p.domainQuery = 1;
+  p.arrayNewBase = 180;   // allocation itself barely improves
+  p.arrayNewPerElem = 40;
+  p.arrayViewBase = 150;
+  p.arrayFillPerElem = 1;
+  p.arrayCopyPerElem = 1;
+  p.branch = 0;
+  p.condBranch = 1;
+  p.ret = 1;
+  p.callOverhead = 6;
+  p.spawnBase = 300;
+  p.spawnPerTask = 90;
+  p.iterOverheadPerIterand = 68;
+  p.writelnBase = 200;
+  return p;
+}
+
+uint64_t CostModel::cost(const ir::Instr& in) const {
+  using ir::Opcode;
+  switch (in.op) {
+    case Opcode::Alloca: return 1;
+    case Opcode::Load: return p_.load;
+    case Opcode::Store: return p_.store;
+    case Opcode::FieldAddr: return p_.fieldAddr;
+    case Opcode::TupleAddr:
+      return in.ops.size() == 2 ? p_.tupleDynAccess : p_.tupleAddr;
+    case Opcode::IndexAddr: {
+      if (in.imm == 1) return p_.indexLinear;  // linear iteration mode
+      uint32_t dims = static_cast<uint32_t>(in.ops.size()) - 1;
+      return p_.indexBase + p_.indexPerDim * dims;
+    }
+    case Opcode::Bin:
+      switch (in.extra.bin) {
+        case ir::BinKind::Add:
+        case ir::BinKind::Sub: return p_.addSub;
+        case ir::BinKind::Mul: return p_.mul;
+        case ir::BinKind::Div: return p_.div;
+        case ir::BinKind::Mod: return p_.mod;
+        case ir::BinKind::Pow: return p_.pow;
+        case ir::BinKind::Min:
+        case ir::BinKind::Max: return p_.minmax;
+        case ir::BinKind::And:
+        case ir::BinKind::Or: return p_.logical;
+        default: return p_.cmp;
+      }
+    case Opcode::Un:
+      switch (in.extra.un) {
+        case ir::UnKind::Neg: return p_.neg;
+        case ir::UnKind::Not: return p_.neg;
+        case ir::UnKind::IntToReal:
+        case ir::UnKind::RealToInt:
+        case ir::UnKind::Floor: return p_.conv;
+        case ir::UnKind::Sqrt: return p_.sqrtC;
+        case ir::UnKind::Abs: return p_.absC;
+        default: return p_.trig;
+      }
+    case Opcode::TupleMake:
+      return p_.tupleMakeBase + p_.tupleMakePerElem * in.ops.size();
+    case Opcode::TupleGet:
+      return in.ops.size() == 2 ? p_.tupleDynAccess : p_.tupleGet;
+    case Opcode::RecordNew: return p_.recordNewBase;  // + per-field, charged dynamically
+    case Opcode::DomainMake: return p_.domainMake;
+    case Opcode::DomainExpand: return p_.domainExpand;
+    case Opcode::DomainSize:
+    case Opcode::DomainDim: return p_.domainQuery;
+    case Opcode::ArrayNew: return p_.arrayNewBase;  // + per-elem, charged dynamically
+    case Opcode::ArrayView: return p_.arrayViewBase;
+    case Opcode::Call: return p_.callOverhead;
+    case Opcode::Ret: return p_.ret;
+    case Opcode::Br: return p_.branch;
+    case Opcode::CondBr: return p_.condBranch;
+    case Opcode::Spawn: return p_.spawnBase;  // + per-task, charged dynamically
+    case Opcode::IterOverhead: return p_.iterOverheadPerIterand * in.imm;
+    case Opcode::Builtin:
+      switch (in.extra.builtin) {
+        case ir::BuiltinKind::Writeln: return p_.writelnBase;
+        case ir::BuiltinKind::Random: return p_.randomC;
+        case ir::BuiltinKind::Clock: return p_.clockC;
+        case ir::BuiltinKind::Yield: return p_.yieldC;
+        case ir::BuiltinKind::ConfigGet: return p_.configGet;
+        case ir::BuiltinKind::ArrayFill:
+        case ir::BuiltinKind::ArrayCopy: return 4;  // + per-elem dynamically
+        default: return 1;
+      }
+  }
+  return 1;
+}
+
+}  // namespace cb::rt

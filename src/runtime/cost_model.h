@@ -1,0 +1,79 @@
+// Virtual-cycle cost model.
+//
+// Plays the role of the hardware the paper measured on (PAPI_TOT_CYC on a
+// 2.53 GHz Xeon SMP): each executed IR operation is charged a cycle cost.
+// Relative costs encode the performance phenomena the case studies hinge on:
+//   - zippered-iterator coordination and domain-remapping views are
+//     expensive (MiniMD, §V.A; "domain remapping and zippered iterations are
+//     expensive to use");
+//   - per-call dynamic array allocation is expensive (LULESH VG, §V.C);
+//   - tuple construction/destruction is non-trivial (LULESH CENN, §V.C);
+//   - multi-level struct/element indirection costs per level (CLOMP, §V.B).
+// The `fast()` profile models --fast codegen: cheaper loads/stores/branches
+// and cheaper abstraction overheads, as an optimizing backend would emit.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instr.h"
+
+namespace cb::rt {
+
+struct CostProfile {
+  // Scalar ALU.
+  uint64_t addSub = 1, mul = 3, div = 20, mod = 20, pow = 40, cmp = 1, logical = 1, minmax = 2;
+  uint64_t neg = 1, conv = 1, sqrtC = 20, trig = 40, absC = 1;
+  // Memory.
+  uint64_t load = 3, store = 3, fieldAddr = 2, tupleAddr = 1;
+  uint64_t indexBase = 3, indexPerDim = 3, indexLinear = 2, viewIndexExtra = 10;
+  /// Loading an array handle out of a record field is a dependent pointer
+  /// chase through a nested descriptor (the CLOMP nested-structs penalty;
+  /// "accessing elements in one big array is much faster than through
+  /// nested structures", §V.B).
+  uint64_t nestedArrayHandle = 50;
+  // Aggregates.
+  uint64_t tupleMakeBase = 10, tupleMakePerElem = 7, tupleGet = 1;
+  uint64_t tupleDynAccess = 4;   // run-time tuple index: an indexed load
+  uint64_t recordNewBase = 6, recordNewPerField = 2;
+  // Domains / arrays.
+  uint64_t domainMake = 8, domainExpand = 6, domainQuery = 2;
+  uint64_t arrayNewBase = 220, arrayNewPerElem = 70;     // alloc + default-init per scalar slot
+  uint64_t arrayViewBase = 240;                         // slice/remap descriptor (allocates)
+  uint64_t arrayFillPerElem = 2, arrayCopyPerElem = 3;
+  // Control.
+  uint64_t branch = 1, condBranch = 2, ret = 2, callOverhead = 18;
+  uint64_t spawnBase = 400, spawnPerTask = 120;         // tasking-layer cost
+  uint64_t iterOverheadPerIterand = 135;          // zippered leader/follower protocol
+  // Builtins.
+  uint64_t randomC = 20, clockC = 4, yieldC = 30, writelnBase = 200, configGet = 10;
+
+  // Instruction-footprint (icache) pressure: functions larger than the
+  // threshold pay a per-cycle multiplier growing with the excess size.
+  // This is what makes aggressive `param` unrolling counter-productive
+  // (Table VII: "sometimes it would be counterproductive since it enlarges
+  // the code size"). Multiplier = 1 + min(maxQ10, excess*slopeQ10)/1024.
+  uint64_t icacheThresholdInstrs = 700;
+  uint64_t icacheSlopeQ10 = 1;    // +1/1024 per excess instruction
+  uint64_t icacheMaxQ10 = 900;    // cap at ~1.88x
+
+  /// The --fast profile: what an optimizing backend does to abstraction
+  /// overheads (registers instead of stack traffic, inlined accessors,
+  /// leaner iterator protocol).
+  static CostProfile fast();
+  static CostProfile standard() { return CostProfile{}; }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostProfile& p) : p_(p) {}
+  const CostProfile& profile() const { return p_; }
+
+  /// Static (per-instruction) cost. Size-dependent extras (array allocation,
+  /// fills, copies) are charged by the interpreter on top of this.
+  uint64_t cost(const ir::Instr& in) const;
+
+ private:
+  CostProfile p_;
+};
+
+}  // namespace cb::rt

@@ -1,0 +1,69 @@
+// CIR interpreter with a deterministic task scheduler and virtual-PMU
+// sampling — the stand-in for the Chapel runtime + qthreads + PAPI + the
+// Dyninst monitoring process.
+//
+// Execution model:
+//  - The main thread is stream 0; `numWorkers` worker streams are 1..W.
+//  - Spawn from the main thread distributes tasks round-robin over workers;
+//    each worker executes its tasks serially on its own virtual clock. The
+//    region ends at the max worker clock; the main clock jumps there, and
+//    worker idle time is charged to synthetic runtime frames (__sched_yield
+//    et al. — the Fig. 4 story). Nested spawns execute inline on the
+//    spawning stream (a saturated pool).
+//  - Every spawn gets a unique tag and a recorded pre-spawn stack; samples
+//    taken inside tasks carry the tag so the post-mortem step can glue full
+//    call paths (§IV.B).
+// Determinism: everything (scheduling, sampling, RNG) is a pure function of
+// the module + options, so every paper table reproduces exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+#include "runtime/cost_model.h"
+#include "runtime/value.h"
+#include "sampling/sample.h"
+#include "support/rng.h"
+
+namespace cb::rt {
+
+struct RunOptions {
+  /// PMU overflow threshold in virtual cycles (0 disables sampling). The
+  /// default is prime, like the paper's 608,888,809.
+  uint64_t sampleThreshold = 9973;
+  uint32_t numWorkers = 12;
+  bool fastCostProfile = false;   // pair with the --fast compile pipeline
+  bool sampleIdle = true;         // emit __sched_yield samples for idle workers
+  bool echoWriteln = false;       // also print program output to stdout
+  std::unordered_map<std::string, std::string> configOverrides;
+  uint64_t rngSeed = 0x5eedULL;
+  uint64_t maxInstructions = 4000000000ULL;  // runaway guard
+  /// PMU skid: the sampled instruction pointer lands this many instructions
+  /// AFTER the overflowing one (real PMUs overshoot; the paper notes skid
+  /// as a known issue and leaves compensation to future work, §IV.B).
+  /// 0 = precise sampling (the default, as if ProfileMe-style).
+  uint32_t skidInstructions = 0;
+  /// Full cost-profile override (calibration/ablation); when set it takes
+  /// precedence over fastCostProfile.
+  std::optional<CostProfile> costProfileOverride;
+};
+
+struct RunResult {
+  sampling::RunLog log;
+  uint64_t totalCycles = 0;           // main-thread end-to-end virtual time
+  uint64_t instructionsExecuted = 0;
+  std::string output;                 // accumulated writeln text
+  /// Exclusive busy cycles per function (ground truth for validating the
+  /// sampling-based views).
+  std::vector<uint64_t> cyclesPerFunction;
+  bool ok = false;
+  std::string error;                  // runtime error message when !ok
+};
+
+/// Compiles nothing — executes an already-lowered module under monitoring.
+RunResult execute(const ir::Module& m, const RunOptions& opts);
+
+}  // namespace cb::rt

@@ -1,0 +1,81 @@
+#include "runtime/value.h"
+
+#include <sstream>
+
+namespace cb::rt {
+
+namespace {
+
+uint64_t valueBytes(const Value& v) {
+  switch (v.kind) {
+    case VKind::Tuple:
+    case VKind::Record: {
+      uint64_t n = 0;
+      for (const Value& e : v.elems) n += valueBytes(e);
+      return n;
+    }
+    case VKind::Array:
+      return v.arr ? v.arr->approxBytes() : 0;
+    default:
+      return 8;
+  }
+}
+
+}  // namespace
+
+uint64_t ArrayObj::approxBytes() const {
+  if (base) return 0;  // views own nothing
+  uint64_t n = 0;
+  for (const Value& e : data) n += valueBytes(e);
+  return n;
+}
+
+std::string renderValue(const Value& v) {
+  std::ostringstream out;
+  switch (v.kind) {
+    case VKind::None: out << "<none>"; break;
+    case VKind::Int: out << v.i; break;
+    case VKind::Real: out << v.d; break;
+    case VKind::Bool: out << (v.b ? "true" : "false"); break;
+    case VKind::Str: out << (v.str ? *v.str : ""); break;
+    case VKind::Ref: out << "<ref>"; break;
+    case VKind::Tuple: {
+      out << "(";
+      for (size_t i = 0; i < v.elems.size(); ++i) {
+        if (i) out << ", ";
+        out << renderValue(v.elems[i]);
+      }
+      out << ")";
+      break;
+    }
+    case VKind::Record: {
+      out << "{";
+      for (size_t i = 0; i < v.elems.size(); ++i) {
+        if (i) out << ", ";
+        out << renderValue(v.elems[i]);
+      }
+      out << "}";
+      break;
+    }
+    case VKind::Domain: {
+      out << "{";
+      for (int d = 0; d < v.dom.rank; ++d) {
+        if (d) out << ", ";
+        out << v.dom.lo[d] << ".." << v.dom.hi[d];
+      }
+      out << "}";
+      break;
+    }
+    case VKind::Array: {
+      if (!v.arr) {
+        out << "[]";
+        break;
+      }
+      out << "[" << v.arr->dom.size() << " elements]";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cb::rt

@@ -1,0 +1,151 @@
+// Runtime values for the CIR interpreter.
+//
+// Chapel-faithful semantics: scalars, tuples and records are value types
+// (deep copy on assignment); arrays are reference types (a Value holds a
+// shared handle; slices alias the base array's storage). Domains are small
+// value objects describing rectangular index sets of rank 1..3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/common.h"
+
+namespace cb::rt {
+
+struct ArrayObj;
+
+/// Rectangular index set, rank 1..3, inclusive bounds, row-major layout.
+struct DomainVal {
+  uint8_t rank = 1;
+  int64_t lo[3] = {0, 0, 0};
+  int64_t hi[3] = {-1, -1, -1};
+
+  int64_t extent(int d) const { return hi[d] >= lo[d] ? hi[d] - lo[d] + 1 : 0; }
+  int64_t size() const {
+    int64_t n = 1;
+    for (int d = 0; d < rank; ++d) n *= extent(d);
+    return n;
+  }
+  bool contains(const int64_t* idx) const {
+    for (int d = 0; d < rank; ++d)
+      if (idx[d] < lo[d] || idx[d] > hi[d]) return false;
+    return true;
+  }
+  /// Row-major linearization; returns -1 when out of bounds.
+  int64_t linearize(const int64_t* idx) const {
+    if (!contains(idx)) return -1;
+    int64_t k = 0;
+    for (int d = 0; d < rank; ++d) k = k * extent(d) + (idx[d] - lo[d]);
+    return k;
+  }
+  void delinearize(int64_t k, int64_t* idx) const {
+    for (int d = rank - 1; d >= 0; --d) {
+      int64_t e = extent(d);
+      idx[d] = lo[d] + (e > 0 ? k % e : 0);
+      if (e > 0) k /= e;
+    }
+  }
+  DomainVal expand(int64_t n) const {
+    DomainVal d = *this;
+    for (int i = 0; i < rank; ++i) {
+      d.lo[i] -= n;
+      d.hi[i] += n;
+    }
+    return d;
+  }
+  friend bool operator==(const DomainVal& a, const DomainVal& b) {
+    if (a.rank != b.rank) return false;
+    for (int d = 0; d < a.rank; ++d)
+      if (a.lo[d] != b.lo[d] || a.hi[d] != b.hi[d]) return false;
+    return true;
+  }
+};
+
+enum class VKind : uint8_t { None, Int, Real, Bool, Str, Ref, Tuple, Record, Domain, Array };
+
+struct Value {
+  VKind kind = VKind::None;
+  union {
+    int64_t i;
+    double d;
+    bool b;
+    Value* ref;  // transient address (frame slot / global / element / field)
+  };
+  DomainVal dom;                       // Domain
+  std::vector<Value> elems;            // Tuple / Record fields (value semantics)
+  std::shared_ptr<ArrayObj> arr;       // Array (reference semantics)
+  std::shared_ptr<std::string> str;    // Str
+
+  Value() : i(0) {}
+  static Value makeInt(int64_t v) { Value x; x.kind = VKind::Int; x.i = v; return x; }
+  static Value makeReal(double v) { Value x; x.kind = VKind::Real; x.d = v; return x; }
+  static Value makeBool(bool v) { Value x; x.kind = VKind::Bool; x.b = v; return x; }
+  static Value makeRef(Value* p) { Value x; x.kind = VKind::Ref; x.ref = p; return x; }
+  static Value makeStr(std::string s) {
+    Value x;
+    x.kind = VKind::Str;
+    x.str = std::make_shared<std::string>(std::move(s));
+    return x;
+  }
+  static Value makeDomain(const DomainVal& d) {
+    Value x;
+    x.kind = VKind::Domain;
+    x.dom = d;
+    return x;
+  }
+
+  int64_t asInt() const { CB_ASSERT(kind == VKind::Int, "not an int"); return i; }
+  double asReal() const { CB_ASSERT(kind == VKind::Real, "not a real"); return d; }
+  bool asBool() const { CB_ASSERT(kind == VKind::Bool, "not a bool"); return b; }
+
+  /// Numeric coercion helper (int or real -> double).
+  double num() const {
+    if (kind == VKind::Int) return static_cast<double>(i);
+    CB_ASSERT(kind == VKind::Real, "not numeric");
+    return d;
+  }
+};
+
+/// Array storage. Owners hold data; views hold a base handle and a
+/// restricted domain — element lookups use the *same coordinates* as the
+/// base (Chapel slice semantics: `Pos[binSpace]` aliases Pos's elements).
+struct ArrayObj {
+  DomainVal dom;
+  std::vector<Value> data;             // empty for views
+  std::shared_ptr<ArrayObj> base;      // non-null for views
+
+  bool isView() const { return base != nullptr; }
+
+  /// Element at multi-dimensional index; nullptr when out of bounds.
+  Value* at(const int64_t* idx) {
+    if (base) {
+      if (!dom.contains(idx)) return nullptr;
+      return base->at(idx);
+    }
+    int64_t k = dom.linearize(idx);
+    if (k < 0) return nullptr;
+    return &data[static_cast<size_t>(k)];
+  }
+
+  /// Element at 0-based flat offset within this array's (or view's) domain.
+  Value* atLinear(int64_t k) {
+    if (k < 0 || k >= dom.size()) return nullptr;
+    if (!base) return &data[static_cast<size_t>(k)];
+    int64_t idx[3];
+    dom.delinearize(k, idx);
+    return base->at(idx);
+  }
+
+  /// Approximate payload size in bytes (for the allocation-threshold
+  /// baseline profiler). Scalars count as 8 bytes.
+  uint64_t approxBytes() const;
+};
+
+/// Renders a value for writeln / debugging.
+std::string renderValue(const Value& v);
+
+}  // namespace cb::rt

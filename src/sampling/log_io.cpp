@@ -1,0 +1,109 @@
+#include "sampling/log_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cb::sampling {
+
+std::string serializeRunLog(const RunLog& log) {
+  std::ostringstream out;
+  out << "cblog 1 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+      << "\n";
+  for (const RawSample& s : log.samples) {
+    out << "S " << s.stream << " " << s.taskTag << " " << s.atCycle << " "
+        << static_cast<int>(s.runtimeFrame) << " " << s.stack.size();
+    for (const Frame& f : s.stack) out << " " << f.func << ":" << f.instr;
+    out << "\n";
+  }
+  for (const auto& [tag, rec] : log.spawns) {
+    out << "W " << rec.tag << " " << rec.parentTag << " " << rec.taskFn << " " << rec.spawnInstr
+        << " " << rec.preSpawnStack.size();
+    for (const Frame& f : rec.preSpawnStack) out << " " << f.func << ":" << f.instr;
+    out << "\n";
+  }
+  for (const auto& [key, bytes] : log.allocBytesBySite)
+    out << "A " << key << " " << bytes << "\n";
+  return out.str();
+}
+
+namespace {
+
+bool parseFrames(std::istringstream& in, size_t n, std::vector<Frame>& out) {
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string tok;
+    if (!(in >> tok)) return false;
+    size_t colon = tok.find(':');
+    if (colon == std::string::npos) return false;
+    Frame f;
+    f.func = static_cast<ir::FuncId>(std::strtoul(tok.c_str(), nullptr, 10));
+    f.instr = static_cast<ir::InstrId>(std::strtoul(tok.c_str() + colon + 1, nullptr, 10));
+    out.push_back(f);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool deserializeRunLog(const std::string& text, RunLog& out) {
+  out = RunLog{};
+  std::istringstream lines(text);
+  std::string line;
+  if (!std::getline(lines, line)) return false;
+  {
+    std::istringstream h(line);
+    std::string magic;
+    int version = 0;
+    if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
+      return false;
+    if (magic != "cblog" || version != 1) return false;
+  }
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    char kind;
+    in >> kind;
+    if (kind == 'S') {
+      RawSample s;
+      int rtk = 0;
+      size_t n = 0;
+      if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk >> n)) return false;
+      s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+      if (!parseFrames(in, n, s.stack)) return false;
+      out.samples.push_back(std::move(s));
+    } else if (kind == 'W') {
+      SpawnRecord rec;
+      size_t n = 0;
+      if (!(in >> rec.tag >> rec.parentTag >> rec.taskFn >> rec.spawnInstr >> n)) return false;
+      if (!parseFrames(in, n, rec.preSpawnStack)) return false;
+      out.spawns.emplace(rec.tag, std::move(rec));
+    } else if (kind == 'A') {
+      uint64_t key = 0, bytes = 0;
+      if (!(in >> key >> bytes)) return false;
+      out.allocBytesBySite[key] = bytes;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool saveRunLog(const RunLog& log, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::string text = serializeRunLog(log);
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return f.good();
+}
+
+bool loadRunLog(const std::string& path, RunLog& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return deserializeRunLog(ss.str(), out);
+}
+
+}  // namespace cb::sampling

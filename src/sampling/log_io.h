@@ -1,0 +1,28 @@
+// Run-log (de)serialization — the "raw sample data" files the paper's
+// monitoring process writes to disk between step 2 and the post-mortem
+// step 3 (6-20 MB per run at the paper's scale). A compact line-based
+// format; fully round-trippable.
+#pragma once
+
+#include <string>
+
+#include "sampling/sample.h"
+
+namespace cb::sampling {
+
+/// Serializes a run log. Line-based:
+///   cblog 1 <threshold> <streams> <totalCycles>
+///   S <stream> <tag> <cycle> <runtimeFrameKind> <n> <func:instr>*
+///   W <tag> <parentTag> <taskFn> <spawnInstr> <n> <func:instr>*
+///   A <siteKey> <bytes>
+std::string serializeRunLog(const RunLog& log);
+
+/// Parses a serialized log. Returns false (leaving `out` unspecified) on a
+/// malformed input.
+bool deserializeRunLog(const std::string& text, RunLog& out);
+
+/// File convenience wrappers; return false on I/O or format errors.
+bool saveRunLog(const RunLog& log, const std::string& path);
+bool loadRunLog(const std::string& path, RunLog& out);
+
+}  // namespace cb::sampling

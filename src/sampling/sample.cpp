@@ -1,0 +1,15 @@
+#include "sampling/sample.h"
+
+namespace cb::sampling {
+
+const char* runtimeFrameName(RuntimeFrameKind k) {
+  switch (k) {
+    case RuntimeFrameKind::None: return "<user>";
+    case RuntimeFrameKind::SchedYield: return "__sched_yield";
+    case RuntimeFrameKind::ChplTaskYield: return "chpl_thread_yield";
+    case RuntimeFrameKind::PthreadState: return "__pthread_setcancelstate";
+  }
+  return "?";
+}
+
+}  // namespace cb::sampling

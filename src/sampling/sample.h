@@ -1,0 +1,118 @@
+// Raw profiling artefacts produced during execution (the paper's step 2).
+//
+// A sample is a context-sensitive stack snapshot taken when a virtual PMU
+// stream overflows. Samples taken inside spawned tasks carry the spawn tag
+// chain; the matching pre-spawn stack snapshots live in the SpawnRegistry so
+// the post-mortem step can glue full call paths (§IV.B/C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cb::sampling {
+
+/// One call-stack frame: a function plus the instruction the frame is
+/// currently at (the callsite for parent frames, the sampled instruction for
+/// the leaf).
+struct Frame {
+  ir::FuncId func = ir::kNone;
+  ir::InstrId instr = ir::kNone;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Synthetic runtime frames for idle workers (what gperftools sees as
+/// __sched_yield / chpl_thread_yield in the paper's Fig. 4).
+enum class RuntimeFrameKind : uint8_t {
+  None,
+  SchedYield,         // __sched_yield
+  ChplTaskYield,      // chpl_thread_yield
+  PthreadState,       // __pthread_setcancelstate
+};
+
+struct RawSample {
+  uint32_t stream = 0;           // 0 = main thread, 1..W = workers
+  uint64_t taskTag = 0;          // 0 when not inside a spawned task
+  uint64_t atCycle = 0;          // stream-local virtual time of the overflow
+  RuntimeFrameKind runtimeFrame = RuntimeFrameKind::None;  // set for idle samples
+  std::vector<Frame> stack;      // post-spawn stack, outermost first; empty for idle
+};
+
+/// Recorded once per spawn operation ("we keep a unique tag for each spawn
+/// operation and record the stack trace before the spawn operation begins").
+struct SpawnRecord {
+  uint64_t tag = 0;
+  uint64_t parentTag = 0;        // 0 when spawned from the main thread context
+  ir::FuncId taskFn = ir::kNone;
+  ir::InstrId spawnInstr = ir::kNone;  // the Spawn instruction in the parent
+  std::vector<Frame> preSpawnStack;    // outermost first; leaf is the spawn site
+};
+
+/// Everything a monitored run produces.
+struct RunLog {
+  std::vector<RawSample> samples;
+  std::unordered_map<uint64_t, SpawnRecord> spawns;
+  uint64_t sampleThreshold = 0;
+  uint32_t numStreams = 0;
+  uint64_t totalCycles = 0;      // main-thread end-to-end virtual time
+
+  /// Heap allocations observed at each ArrayNew site: (func<<32|instr) ->
+  /// largest allocation in bytes. Feeds the allocation-threshold baseline
+  /// profiler (the ">= 4K bytes" rule the paper criticizes in §II.B).
+  std::unordered_map<uint64_t, uint64_t> allocBytesBySite;
+
+  static uint64_t siteKey(ir::FuncId f, ir::InstrId i) {
+    return (static_cast<uint64_t>(f) << 32) | i;
+  }
+
+  size_t numIdleSamples() const {
+    size_t n = 0;
+    for (const RawSample& s : samples)
+      if (s.runtimeFrame != RuntimeFrameKind::None) ++n;
+    return n;
+  }
+  size_t numUserSamples() const { return samples.size() - numIdleSamples(); }
+};
+
+const char* runtimeFrameName(RuntimeFrameKind k);
+
+/// Event-overflow virtual PMU: one counter per execution stream. `advance`
+/// returns the number of overflows that occurred while charging `cost`
+/// cycles (normally 0 or 1; large single costs can trigger several).
+class VirtualPmu {
+ public:
+  VirtualPmu(uint64_t threshold, uint32_t numStreams)
+      : threshold_(threshold), next_(numStreams, threshold), clock_(numStreams, 0) {
+    // A threshold of 0 disables sampling.
+    if (threshold_ == 0)
+      for (auto& n : next_) n = ~0ull;
+  }
+
+  uint32_t advance(uint32_t stream, uint64_t cost) {
+    clock_[stream] += cost;
+    uint32_t overflows = 0;
+    while (clock_[stream] >= next_[stream]) {
+      next_[stream] += threshold_ == 0 ? ~0ull : threshold_;
+      ++overflows;
+    }
+    return overflows;
+  }
+
+  uint64_t clock(uint32_t stream) const { return clock_[stream]; }
+  void setClock(uint32_t stream, uint64_t t) {
+    clock_[stream] = t;
+    if (threshold_ != 0) next_[stream] = ((t / threshold_) + 1) * threshold_;
+  }
+  uint64_t threshold() const { return threshold_; }
+
+ private:
+  uint64_t threshold_;
+  std::vector<uint64_t> next_;
+  std::vector<uint64_t> clock_;
+};
+
+}  // namespace cb::sampling

@@ -1,0 +1,25 @@
+// Basic assertion and utility macros shared by every ChapelBlame module.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cb {
+
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "chapelblame fatal: %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace cb
+
+/// Internal invariant check. Active in all build types: the profiler's
+/// correctness claims rest on these invariants, and the cost of the checks is
+/// negligible next to interpretation.
+#define CB_ASSERT(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) ::cb::fatal(__FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#define CB_UNREACHABLE(msg) ::cb::fatal(__FILE__, __LINE__, (msg))

@@ -1,0 +1,26 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace cb {
+
+namespace {
+const char* levelName(DiagLevel l) {
+  switch (l) {
+    case DiagLevel::Note: return "note";
+    case DiagLevel::Warning: return "warning";
+    case DiagLevel::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string DiagnosticEngine::renderAll() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << sm_->render(d.loc) << ": " << levelName(d.level) << ": " << d.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cb

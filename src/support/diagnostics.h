@@ -1,0 +1,47 @@
+// Diagnostic reporting for the mini-Chapel frontend and the analysis layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_manager.h"
+
+namespace cb {
+
+enum class DiagLevel { Note, Warning, Error };
+
+struct Diagnostic {
+  DiagLevel level = DiagLevel::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; rendering is deferred so tests can assert on
+/// structured contents.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(const SourceManager& sm) : sm_(&sm) {}
+
+  void error(SourceLoc loc, std::string msg) { add(DiagLevel::Error, loc, std::move(msg)); }
+  void warning(SourceLoc loc, std::string msg) { add(DiagLevel::Warning, loc, std::move(msg)); }
+  void note(SourceLoc loc, std::string msg) { add(DiagLevel::Note, loc, std::move(msg)); }
+
+  bool hasErrors() const { return numErrors_ > 0; }
+  size_t numErrors() const { return numErrors_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Renders every diagnostic as "file:line:col: level: message" lines.
+  std::string renderAll() const;
+
+ private:
+  void add(DiagLevel level, SourceLoc loc, std::string msg) {
+    if (level == DiagLevel::Error) ++numErrors_;
+    diags_.push_back({level, loc, std::move(msg)});
+  }
+
+  const SourceManager* sm_;
+  std::vector<Diagnostic> diags_;
+  size_t numErrors_ = 0;
+};
+
+}  // namespace cb

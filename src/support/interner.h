@@ -1,0 +1,72 @@
+// String interning: maps strings to dense 32-bit symbols for cheap
+// comparison and use as map keys throughout the compiler and profiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cb {
+
+/// A handle to an interned string. Value 0 is the empty symbol.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+
+  constexpr uint32_t id() const { return id_; }
+  constexpr bool empty() const { return id_ == 0; }
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_ = 0;
+};
+
+/// Owns the interned strings. Not thread-safe; each compilation pipeline owns
+/// exactly one interner and the runtime only reads resolved strings.
+class StringInterner {
+ public:
+  StringInterner() {
+    strings_.emplace_back();  // symbol 0 = ""
+    map_.emplace(std::string(), 0u);
+  }
+
+  Symbol intern(std::string_view s) {
+    auto it = map_.find(s);
+    if (it != map_.end()) return Symbol(it->second);
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    map_.emplace(strings_.back(), id);
+    return Symbol(id);
+  }
+
+  const std::string& str(Symbol s) const { return strings_.at(s.id()); }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // Node-based map keyed by views into strings_ (deque-like stability is
+  // guaranteed because std::string contents don't move on vector growth only
+  // if we store them indirectly; we therefore key on owned copies).
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t, SvHash, SvEq> map_;
+};
+
+}  // namespace cb
+
+template <>
+struct std::hash<cb::Symbol> {
+  size_t operator()(cb::Symbol s) const { return std::hash<uint32_t>{}(s.id()); }
+};

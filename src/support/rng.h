@@ -1,0 +1,47 @@
+// Deterministic PRNG (splitmix64 + xoshiro256**) used by the runtime's
+// builtin random() and by workload generators in tests/benches. Determinism
+// matters: every table in EXPERIMENTS.md must reproduce bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace cb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound).
+  uint64_t nextBounded(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cb

@@ -1,0 +1,58 @@
+#include "support/source_manager.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/common.h"
+
+namespace cb {
+
+uint32_t SourceManager::addBuffer(std::string name, std::string contents) {
+  Buffer b;
+  b.name = std::move(name);
+  b.contents = std::move(contents);
+  b.lineStarts.push_back(0);
+  for (size_t i = 0; i < b.contents.size(); ++i) {
+    if (b.contents[i] == '\n') b.lineStarts.push_back(i + 1);
+  }
+  buffers_.push_back(std::move(b));
+  return static_cast<uint32_t>(buffers_.size());  // ids are 1-based
+}
+
+std::optional<uint32_t> SourceManager::addFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return addBuffer(path, ss.str());
+}
+
+const SourceManager::Buffer& SourceManager::buf(uint32_t file) const {
+  CB_ASSERT(file >= 1 && file <= buffers_.size(), "invalid file id");
+  return buffers_[file - 1];
+}
+
+const std::string& SourceManager::name(uint32_t file) const { return buf(file).name; }
+const std::string& SourceManager::contents(uint32_t file) const { return buf(file).contents; }
+
+std::string_view SourceManager::lineText(uint32_t file, uint32_t line) const {
+  const Buffer& b = buf(file);
+  if (line == 0 || line > b.lineStarts.size()) return {};
+  size_t start = b.lineStarts[line - 1];
+  size_t end = (line < b.lineStarts.size()) ? b.lineStarts[line] : b.contents.size();
+  while (end > start && (b.contents[end - 1] == '\n' || b.contents[end - 1] == '\r')) --end;
+  return std::string_view(b.contents).substr(start, end - start);
+}
+
+uint32_t SourceManager::lineCount(uint32_t file) const {
+  return static_cast<uint32_t>(buf(file).lineStarts.size());
+}
+
+std::string SourceManager::render(const SourceLoc& loc) const {
+  if (!loc.valid()) return "<unknown>";
+  std::string out = name(loc.file) + ":" + std::to_string(loc.line);
+  if (loc.col != 0) out += ":" + std::to_string(loc.col);
+  return out;
+}
+
+}  // namespace cb

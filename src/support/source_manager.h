@@ -1,0 +1,62 @@
+// Source buffer management and (file, line, column) resolution.
+//
+// The profiler's entire data-centric mapping hinges on reliable
+// instruction -> source-location resolution, so locations are first-class
+// here: a SourceLoc is a file id plus 1-based line/column, and the manager
+// can render them and slice out source lines for reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cb {
+
+/// A resolved source position. line/col are 1-based; 0 means "unknown".
+struct SourceLoc {
+  uint32_t file = 0;  ///< index into SourceManager; 0 = invalid file
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool valid() const { return file != 0 && line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Owns all source buffers for one compilation.
+class SourceManager {
+ public:
+  /// Registers a buffer under the given display name; returns its file id
+  /// (>= 1).
+  uint32_t addBuffer(std::string name, std::string contents);
+
+  /// Loads a file from disk. Returns std::nullopt on I/O failure.
+  std::optional<uint32_t> addFile(const std::string& path);
+
+  const std::string& name(uint32_t file) const;
+  const std::string& contents(uint32_t file) const;
+  size_t numBuffers() const { return buffers_.size(); }
+
+  /// Returns the text of the given 1-based line (without newline), or "" if
+  /// out of range.
+  std::string_view lineText(uint32_t file, uint32_t line) const;
+
+  /// Number of lines in the buffer.
+  uint32_t lineCount(uint32_t file) const;
+
+  /// Renders "name:line:col" (or "name:line" when col==0).
+  std::string render(const SourceLoc& loc) const;
+
+ private:
+  struct Buffer {
+    std::string name;
+    std::string contents;
+    std::vector<size_t> lineStarts;  // byte offset of each line start
+  };
+  const Buffer& buf(uint32_t file) const;
+
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace cb

@@ -1,0 +1,83 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/common.h"
+
+namespace cb {
+
+void TextTable::addRow(std::vector<std::string> row) {
+  CB_ASSERT(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::addSeparator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  auto rule = [&] {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    return out + "\n";
+  };
+
+  std::string out = rule() + renderRow(header_) + rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end() && r != 0)
+      out += rule();
+    out += renderRow(rows_[r]);
+  }
+  out += rule();
+  return out;
+}
+
+namespace {
+std::string csvEscape(const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) return f;
+  std::string out = "\"";
+  for (char ch : f) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  return out + "\"";
+}
+}  // namespace
+
+std::string TextTable::renderCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << csvEscape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string formatFixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", places, v);
+  return buf;
+}
+
+std::string formatPercent(double fraction, int places) {
+  return formatFixed(fraction * 100.0, places) + "%";
+}
+
+}  // namespace cb

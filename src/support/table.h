@@ -1,0 +1,42 @@
+// Plain-text table and CSV rendering used by the report layer and the
+// benchmark harnesses to regenerate the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cb {
+
+/// Column-aligned text table. Rows may be added cell-by-cell or as a whole.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator before the next row (used to group related
+  /// rows, e.g. Table VIII's optimization groups).
+  void addSeparator();
+
+  size_t numRows() const { return rows_.size(); }
+
+  /// Renders with a header rule and padded columns.
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted).
+  std::string renderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;  // row indices before which to draw a rule
+};
+
+/// Formats a double with the given number of decimal places.
+std::string formatFixed(double v, int places);
+
+/// Formats a fraction (0..1) as a percentage with one decimal, e.g. "96.3%".
+std::string formatPercent(double fraction, int places = 1);
+
+}  // namespace cb

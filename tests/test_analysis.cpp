@@ -1,0 +1,138 @@
+// Tests for the CFG / dominator / control-dependence machinery underlying
+// the blame analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/control_dep.h"
+#include "analysis/dominators.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+/// Builds the CFG of a compiled function by display name.
+struct Built {
+  std::unique_ptr<fe::Compilation> comp;
+  const ir::Function* fn = nullptr;
+};
+
+Built buildFn(const std::string& src, const std::string& name = "main") {
+  Built b;
+  b.comp = test::compile(src);
+  const ir::Module& m = b.comp->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+    if (m.function(f).displayName == name) b.fn = &m.function(f);
+  EXPECT_NE(b.fn, nullptr);
+  return b;
+}
+
+TEST(Cfg, StraightLineHasOneBlock) {
+  Built b = buildFn("proc main() { var x = 1; }");
+  an::Cfg cfg(*b.fn);
+  EXPECT_EQ(cfg.numBlocks(), 1u);
+  EXPECT_EQ(cfg.succs(0).size(), 1u);  // virtual exit
+  EXPECT_EQ(cfg.succs(0)[0], cfg.virtualExit());
+}
+
+TEST(Cfg, IfProducesDiamond) {
+  Built b = buildFn("proc main() { var x = 1; if x > 0 { x = 2; } else { x = 3; } }");
+  an::Cfg cfg(*b.fn);
+  EXPECT_EQ(cfg.numBlocks(), 4u);  // entry, then, else, join
+  EXPECT_EQ(cfg.succs(0).size(), 2u);
+  EXPECT_EQ(cfg.preds(3).size(), 2u);
+}
+
+TEST(Cfg, RpoStartsAtEntry) {
+  Built b = buildFn("proc main() { var x = 0; while x < 3 { x = x + 1; } }");
+  an::Cfg cfg(*b.fn);
+  ASSERT_FALSE(cfg.rpo().empty());
+  EXPECT_EQ(cfg.rpo().front(), 0u);
+}
+
+TEST(Dominators, EntryDominatesAll) {
+  Built b = buildFn("proc main() { var x = 1; if x > 0 { x = 2; } x = 3; }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree dom(cfg, false);
+  for (ir::BlockId blk = 0; blk < cfg.numBlocks(); ++blk)
+    EXPECT_TRUE(dom.dominates(0, blk)) << "entry should dominate bb" << blk;
+}
+
+TEST(Dominators, BranchArmsDoNotDominateJoin) {
+  Built b = buildFn("proc main() { var x = 1; if x > 0 { x = 2; } else { x = 3; } x = 4; }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree dom(cfg, false);
+  // Blocks 1 and 2 are the arms; 3 is the join.
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_FALSE(dom.dominates(2, 3));
+  EXPECT_EQ(dom.idom(3), 0u);
+}
+
+TEST(Dominators, PostDomExitDominatesAll) {
+  Built b = buildFn("proc main() { var x = 0; while x < 3 { x = x + 1; } }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree post(cfg, true);
+  for (ir::BlockId blk = 0; blk < cfg.numBlocks(); ++blk)
+    EXPECT_TRUE(post.dominates(cfg.virtualExit(), blk));
+}
+
+TEST(ControlDep, IfArmDependsOnBranch) {
+  Built b = buildFn("proc main() { var x = 1; if x > 0 { x = 2; } x = 3; }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree post(cfg, true);
+  an::ControlDependence cd(cfg, post);
+  // The then-arm (bb1) is control-dependent on the entry branch (bb0).
+  ASSERT_EQ(cd.controllers(1).size(), 1u);
+  EXPECT_EQ(cd.controllers(1)[0], 0u);
+  // The join is not control-dependent on the branch.
+  bool joinDependsOnEntry = false;
+  for (ir::BlockId a : cd.controllers(2))
+    if (a == 0) joinDependsOnEntry = true;
+  EXPECT_FALSE(joinDependsOnEntry);
+}
+
+TEST(ControlDep, LoopBodyDependsOnHeader) {
+  Built b = buildFn("proc main() { var x = 0; while x < 3 { x = x + 1; } }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree post(cfg, true);
+  an::ControlDependence cd(cfg, post);
+  // Find the header (the block with 2 successors).
+  ir::BlockId header = an::kNoBlock;
+  for (ir::BlockId blk = 0; blk < cfg.numBlocks(); ++blk)
+    if (cfg.succs(blk).size() == 2) header = blk;
+  ASSERT_NE(header, an::kNoBlock);
+  // Every block inside the loop (reaching back to the header) depends on it,
+  // including the header itself (classic loop self-dependence).
+  bool someBodyDependsOnHeader = false;
+  for (ir::BlockId blk = 0; blk < cfg.numBlocks(); ++blk) {
+    for (ir::BlockId a : cd.controllers(blk))
+      if (a == header && blk != header) someBodyDependsOnHeader = true;
+  }
+  EXPECT_TRUE(someBodyDependsOnHeader);
+  const auto& selfCtl = cd.controllers(header);
+  EXPECT_NE(std::find(selfCtl.begin(), selfCtl.end(), header), selfCtl.end());
+}
+
+TEST(ControlDep, NestedIfHasTransitiveControllers) {
+  Built b = buildFn(
+      "proc main() { var x = 1; if x > 0 { if x > 1 { x = 9; } } }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree post(cfg, true);
+  an::ControlDependence cd(cfg, post);
+  // The innermost block depends on the inner branch (directly); the inner
+  // branch block depends on the outer branch.
+  size_t blocksWithControllers = 0;
+  for (ir::BlockId blk = 0; blk < cfg.numBlocks(); ++blk)
+    if (!cd.controllers(blk).empty()) ++blocksWithControllers;
+  EXPECT_GE(blocksWithControllers, 2u);
+}
+
+TEST(ControlDep, StraightLineHasNoControllers) {
+  Built b = buildFn("proc main() { var x = 1; var y = x + 1; }");
+  an::Cfg cfg(*b.fn);
+  an::DominatorTree post(cfg, true);
+  an::ControlDependence cd(cfg, post);
+  EXPECT_TRUE(cd.controllers(0).empty());
+}
+
+}  // namespace
+}  // namespace cb

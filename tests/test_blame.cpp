@@ -1,0 +1,265 @@
+// Tests of the static blame analysis (§III/§IV.A): blame-line sets,
+// explicit/implicit/alias transfer, hierarchy, exit variables, transfer
+// functions.
+#include <gtest/gtest.h>
+
+#include "analysis/blame.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+using test::blameLinesOf;
+using test::profileSource;
+
+/// The paper's Fig. 1 code, with the statements pinned to lines 6..10.
+const char* kFig1 = R"(proc main() {
+  var a: int;
+  var b: int;
+  var c: int;
+
+  a = 2;
+  b = 3;
+  if a < b then
+    a = b + 1;
+  c = a + b;
+}
+)";
+
+TEST(Blame, Fig1TableI) {
+  Profiler p = profileSource(kFig1);
+  EXPECT_EQ(blameLinesOf(p, "main", "a", 6, 10), (std::set<uint32_t>{6, 8, 9}));
+  EXPECT_EQ(blameLinesOf(p, "main", "b", 6, 10), (std::set<uint32_t>{7}));
+  EXPECT_EQ(blameLinesOf(p, "main", "c", 6, 10), (std::set<uint32_t>{6, 7, 8, 9, 10}));
+}
+
+TEST(Blame, ConditionalWriteDoesNotTransferExplicitly) {
+  // `a = b + 1` under the if contributes its line to a, but a must NOT
+  // inherit b's write line (Table I: a lacks line 17 of the paper).
+  Profiler p = profileSource(kFig1);
+  auto a = blameLinesOf(p, "main", "a", 6, 10);
+  EXPECT_EQ(a.count(7), 0u);
+}
+
+TEST(Blame, UnconditionalWriteTransfersExplicitly) {
+  Profiler p = profileSource(R"(proc main() {
+  var x = 2;
+  var y = x * 3;
+  writeln(y);
+}
+)");
+  // y = x*3 (line 3) inherits x's write line (2).
+  auto y = blameLinesOf(p, "main", "y", 1, 5);
+  EXPECT_TRUE(y.count(2));
+  EXPECT_TRUE(y.count(3));
+}
+
+TEST(Blame, LoopBodyInheritsLoopLine) {
+  Profiler p = profileSource(R"(proc main() {
+  var s = 0;
+  for i in 1..4 {
+    s = s + i;
+  }
+  writeln(s);
+}
+)");
+  auto s = blameLinesOf(p, "main", "s", 1, 6);
+  EXPECT_TRUE(s.count(3)) << "s must inherit the loop-control line (implicit transfer)";
+  EXPECT_TRUE(s.count(4));
+}
+
+TEST(Blame, ImplicitTransferCanBeDisabled) {
+  ProfileOptions opts;
+  opts.blame.implicitTransfer = false;
+  Profiler p(opts);
+  ASSERT_TRUE(p.profileString("test.chpl", kFig1)) << p.lastError();
+  auto a = blameLinesOf(p, "main", "a", 6, 10);
+  EXPECT_EQ(a.count(8), 0u) << "without implicit transfer the condition line disappears";
+}
+
+TEST(Blame, AliasOwnerInheritsAliasBlame) {
+  Profiler p = profileSource(R"(const D = {0..#8};
+const I = {2..5};
+var A: [D] real;
+var V => A[I];
+proc main() {
+  V[3] = 1.5;
+  writeln(A[3]);
+}
+)");
+  const ir::Module& m = p.compilation()->module();
+  // Statically: within main, the write through V is rooted at V; the module
+  // alias group ties V and A together. Check the group.
+  ir::GlobalId aId = ir::kNone, vId = ir::kNone;
+  for (ir::GlobalId g = 0; g < m.numGlobals(); ++g) {
+    std::string n = m.interner().str(m.global(g).name);
+    if (n == "A") aId = g;
+    if (n == "V") vId = g;
+  }
+  ASSERT_NE(aId, ir::kNone);
+  ASSERT_NE(vId, ir::kNone);
+  auto sibs = p.moduleBlame()->aliasSiblings(vId);
+  EXPECT_NE(std::find(sibs.begin(), sibs.end(), aId), sibs.end());
+}
+
+TEST(Blame, HierarchicalEntitiesForRecordFields) {
+  Profiler p = profileSource(R"(const ZD = {0..#4};
+record Zone { var value: real; }
+record Part { var residue: real; var zones: [ZD] Zone; }
+const PD = {0..#2};
+var parts: [PD] Part;
+proc main() {
+  parts[0].zones[1].value = 2.0;
+  writeln(parts[0].zones[1].value);
+}
+)",
+                             ProfileOptions{});
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  std::set<std::string> names;
+  for (const an::Entity& e : fb.entities) names.insert(e.displayName);
+  EXPECT_TRUE(names.count("parts"));
+  EXPECT_TRUE(names.count("->parts[i]"));
+  EXPECT_TRUE(names.count("->parts[i].zones"));
+  EXPECT_TRUE(names.count("->parts[i].zones[j]"));
+  EXPECT_TRUE(names.count("->parts[i].zones[j].value"));
+}
+
+TEST(Blame, ParentInheritsChildBlame) {
+  Profiler p = profileSource(R"(record P { var x: real; var y: real; }
+var g: P;
+proc main() {
+  g.x = 1.0;
+  g.y = 2.0;
+  writeln(g.x);
+}
+)");
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  std::set<uint32_t> parentLines, xLines, yLines;
+  for (an::EntityId e = 0; e < fb.entities.size(); ++e) {
+    const std::string& n = fb.entities[e].displayName;
+    auto lines = fb.blameLines(m, e);
+    if (n == "g") parentLines = lines;
+    if (n == "->g.x") xLines = lines;
+    if (n == "->g.y") yLines = lines;
+  }
+  for (uint32_t l : xLines) EXPECT_TRUE(parentLines.count(l));
+  for (uint32_t l : yLines) EXPECT_TRUE(parentLines.count(l));
+}
+
+TEST(Blame, RefParamsAreExitVariables) {
+  Profiler p = profileSource(R"(proc bump(ref v: real, amount: real) {
+  v = v + amount;
+}
+proc main() {
+  var x = 0.0;
+  bump(x, 1.5);
+  writeln(x);
+}
+)");
+  const ir::Module& m = p.compilation()->module();
+  ir::FuncId f = ir::kNone;
+  for (ir::FuncId i = 0; i < m.numFunctions(); ++i)
+    if (m.function(i).displayName == "bump") f = i;
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(f);
+  bool vExit = false, amountExit = false;
+  for (an::EntityId e = 0; e < fb.entities.size(); ++e) {
+    if (fb.entities[e].displayName == "v") vExit = fb.exitViaCaller[e];
+    if (fb.entities[e].displayName == "amount") amountExit = fb.exitViaCaller[e];
+  }
+  EXPECT_TRUE(vExit);
+  EXPECT_FALSE(amountExit);  // by-value scalars don't bubble
+}
+
+TEST(Blame, CallsiteTransferMapsArgToCallerEntity) {
+  Profiler p = profileSource(R"(proc bump(ref v: real) { v = v + 1.0; }
+proc main() {
+  var x = 0.0;
+  bump(x);
+  writeln(x);
+}
+)");
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  bool found = false;
+  for (const auto& [instr, cs] : fb.callsites) {
+    if (m.function(cs.callee).displayName != "bump") continue;
+    found = true;
+    ASSERT_EQ(cs.paramToCallerEntity.size(), 1u);
+    ASSERT_NE(cs.paramToCallerEntity[0], an::kNoEntity);
+    EXPECT_EQ(fb.entities[cs.paramToCallerEntity[0]].displayName, "x");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Blame, ReturnValueFeedsResultTargets) {
+  Profiler p = profileSource(R"(proc three(): int { return 3; }
+proc main() {
+  var x = three();
+  writeln(x);
+}
+)");
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  bool xIsTarget = false;
+  for (const auto& [instr, cs] : fb.callsites) {
+    for (an::EntityId t : cs.resultTargets)
+      if (fb.entities[t].displayName == "x") xIsTarget = true;
+  }
+  EXPECT_TRUE(xIsTarget);
+}
+
+TEST(Blame, CompilerTempsAreHidden) {
+  Profiler p = profileSource("proc main() { var shown = 1; for i in 0..3 { shown += i; } "
+                             "writeln(shown); }");
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  for (const an::Entity& e : fb.entities) {
+    if (e.displayName.rfind("_tmp", 0) == 0 || e.displayName.rfind("_local", 0) == 0)
+      EXPECT_FALSE(e.displayable);
+  }
+}
+
+TEST(Blame, StrippedDebugInfoHidesEverything) {
+  fe::CompileOptions copts;
+  copts.fast = true;
+  auto c = fe::Compilation::fromString("t.chpl", kFig1, copts);
+  ASSERT_TRUE(c->ok());
+  an::ModuleBlame mb = an::analyzeModule(c->module());
+  for (const an::FunctionBlame& fb : mb.functions)
+    for (const an::Entity& e : fb.entities) EXPECT_FALSE(e.displayable);
+}
+
+TEST(Blame, InstrEntityIndexIsConsistent) {
+  Profiler p = profileSource(kFig1);
+  const ir::Module& m = p.compilation()->module();
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(m.mainFunc);
+  for (an::EntityId e = 0; e < fb.entities.size(); ++e) {
+    for (ir::InstrId i : fb.blameInstrs[e]) {
+      const auto& ents = fb.instrEntities[i];
+      EXPECT_NE(std::find(ents.begin(), ents.end(), e), ents.end());
+    }
+  }
+}
+
+TEST(Blame, ViewDescriptorWritesBlameBaseAndDomain) {
+  Profiler p = profileSource(R"(const D = {0..#8};
+var A: [D] real;
+proc main() {
+  for i in 0..#4 {
+    var V => A[D];
+    V[i] = 1.0;
+  }
+  writeln(A[0]);
+}
+)");
+  // The remap line (5) must appear in the blame of both A and D.
+  auto aLines = blameLinesOf(p, "main", "A", 4, 7);
+  auto dLines = blameLinesOf(p, "main", "D", 4, 7);
+  EXPECT_TRUE(aLines.count(5));
+  EXPECT_TRUE(dLines.count(5));
+}
+
+}  // namespace
+}  // namespace cb

@@ -1,0 +1,68 @@
+// Tests of the HTML report exporter (the Fig. 3 GUI stand-in).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/html.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+Profiler profiled() {
+  ProfileOptions o;
+  o.run.sampleThreshold = 101;
+  return test::profileSource(
+      "const D = {0..#64};\nvar A: [D] real;\n"
+      "proc kernel() { forall i in D { var t = 0.0; for j in 0..#40 { t += i * j; } A[i] = t; "
+      "} }\nproc main() { kernel(); }",
+      o);
+}
+
+TEST(Html, ContainsAllThreePanes) {
+  Profiler p = profiled();
+  std::string html = rpt::htmlReport("prog", *p.blameReport(), *p.codeReport());
+  EXPECT_NE(html.find("Data-centric (blame)"), std::string::npos);
+  EXPECT_NE(html.find("Code-centric"), std::string::npos);
+  EXPECT_NE(html.find("blame point: <code>main</code>"), std::string::npos);
+}
+
+TEST(Html, ListsVariablesAndFunctions) {
+  Profiler p = profiled();
+  std::string html = rpt::htmlReport("prog", *p.blameReport(), *p.codeReport());
+  EXPECT_NE(html.find("<code>A</code>"), std::string::npos);
+  EXPECT_NE(html.find("<code>kernel</code>"), std::string::npos);
+}
+
+TEST(Html, EscapesMarkup) {
+  pm::BlameReport blame;
+  blame.totalUserSamples = 1;
+  blame.rows.push_back({"->a<b>[i]", "8*real", "main", 1, 50.0});
+  rpt::CodeCentricReport code;
+  code.totalSamples = 1;
+  std::string html = rpt::htmlReport("x<y>", blame, code);
+  EXPECT_EQ(html.find("<b>[i]"), std::string::npos);
+  EXPECT_NE(html.find("&lt;b&gt;"), std::string::npos);
+}
+
+TEST(Html, WritesToFile) {
+  Profiler p = profiled();
+  std::string path = ::testing::TempDir() + "/cb_report.html";
+  ASSERT_TRUE(rpt::writeHtmlReport(path, "prog", *p.blameReport(), *p.codeReport()));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first.rfind("<!doctype html>", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Html, RejectsUnwritablePath) {
+  pm::BlameReport blame;
+  rpt::CodeCentricReport code;
+  EXPECT_FALSE(rpt::writeHtmlReport("/no/such/dir/x.html", "p", blame, code));
+}
+
+}  // namespace
+}  // namespace cb

@@ -1,0 +1,383 @@
+// End-to-end language/runtime semantics tests: compile a snippet, execute
+// it, assert on the writeln output (and on runtime errors).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+using test::runOutput;
+
+TEST(Interp, WritelnScalars) {
+  EXPECT_EQ(runOutput("proc main() { writeln(42, 2.5, true, \"hi\"); }"), "42 2.5 true hi\n");
+}
+
+TEST(Interp, IntegerArithmetic) {
+  EXPECT_EQ(runOutput("proc main() { writeln(7 + 3 * 2, 7 / 2, 7 % 2, -5); }"), "13 3 1 -5\n");
+}
+
+TEST(Interp, RealArithmeticAndCoercion) {
+  EXPECT_EQ(runOutput("proc main() { writeln(1 + 0.5, 3.0 / 2, 2.0 ** 3.0); }"),
+            "1.5 1.5 8\n");
+}
+
+TEST(Interp, Comparisons) {
+  EXPECT_EQ(runOutput("proc main() { writeln(1 < 2, 2 <= 2, 3 != 3, 1.5 > 1); }"),
+            "true true false true\n");
+}
+
+TEST(Interp, BooleanOps) {
+  EXPECT_EQ(runOutput("proc main() { writeln(true && false, true || false, !true); }"),
+            "false true false\n");
+}
+
+TEST(Interp, MinMaxAbsSqrt) {
+  EXPECT_EQ(runOutput("proc main() { writeln(min(3, 7), max(2.5, 1.0), abs(-4), sqrt(9.0)); }"),
+            "3 2.5 4 3\n");
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_EQ(runOutput("proc main() { var x = 5; if x > 3 { writeln(\"big\"); } else { "
+                      "writeln(\"small\"); } }"),
+            "big\n");
+}
+
+TEST(Interp, IfThenShortForm) {
+  EXPECT_EQ(runOutput("proc main() { var a = 2; var b = 3; if a < b then a = b + 1; "
+                      "writeln(a); }"),
+            "4\n");
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_EQ(runOutput("proc main() { var i = 0; var s = 0; while i < 5 { s += i; i += 1; } "
+                      "writeln(s); }"),
+            "10\n");
+}
+
+TEST(Interp, ForOverRange) {
+  EXPECT_EQ(runOutput("proc main() { var s = 0; for i in 1..4 { s += i; } writeln(s); }"),
+            "10\n");
+}
+
+TEST(Interp, ForOverCountedRange) {
+  EXPECT_EQ(runOutput("proc main() { var s = 0; for i in 3..#4 { s += i; } writeln(s); }"),
+            "18\n");  // 3+4+5+6
+}
+
+TEST(Interp, ForParamUnrolls) {
+  EXPECT_EQ(runOutput("proc main() { var t: 4*int; for param k in 1..4 { t(k) = k * k; } "
+                      "writeln(t); }"),
+            "(1, 4, 9, 16)\n");
+}
+
+TEST(Interp, NestedLoops) {
+  EXPECT_EQ(runOutput("proc main() { var s = 0; for i in 0..2 { for j in 0..2 { s += i * j; } "
+                      "} writeln(s); }"),
+            "9\n");
+}
+
+TEST(Interp, ProcCallAndReturn) {
+  EXPECT_EQ(runOutput("proc sq(x: int): int { return x * x; }\n"
+                      "proc main() { writeln(sq(7)); }"),
+            "49\n");
+}
+
+TEST(Interp, RefParamWritesBack) {
+  EXPECT_EQ(runOutput("proc bump(ref x: int) { x = x + 1; }\n"
+                      "proc main() { var v = 10; bump(v); bump(v); writeln(v); }"),
+            "12\n");
+}
+
+TEST(Interp, ValueParamDoesNotWriteBack) {
+  EXPECT_EQ(runOutput("proc f(x: int): int { x = 99; return x; }\n"
+                      "proc main() { var v = 1; var r = f(v); writeln(v, r); }"),
+            "1 99\n");
+}
+
+TEST(Interp, RecursionWorks) {
+  EXPECT_EQ(runOutput("proc fib(n: int): int { if n < 2 then return n; return fib(n-1) + "
+                      "fib(n-2); }\nproc main() { writeln(fib(10)); }"),
+            "55\n");
+}
+
+TEST(Interp, TupleValueSemantics) {
+  EXPECT_EQ(runOutput("proc main() { var a = (1, 2); var b = a; b(1) = 99; writeln(a, b); }"),
+            "(1, 2) (99, 2)\n");
+}
+
+TEST(Interp, TupleElementwiseArithmetic) {
+  EXPECT_EQ(runOutput("proc main() { var a = (1.0, 2.0, 3.0); var b = (0.5, 0.5, 0.5); "
+                      "writeln(a + b, a * 2.0); }"),
+            "(1.5, 2.5, 3.5) (2, 4, 6)\n");
+}
+
+TEST(Interp, DynamicTupleIndexing) {
+  EXPECT_EQ(runOutput("proc main() { var t = (10.0, 20.0, 30.0); var s = 0.0; "
+                      "for i in 1..3 { s += t(i); } writeln(s); }"),
+            "60\n");
+}
+
+TEST(Interp, RecordFieldsAndCopySemantics) {
+  EXPECT_EQ(runOutput("record P { var x: int; var y: real; }\n"
+                      "proc main() { var p: P; p.x = 3; p.y = 1.5; var q = p; q.x = 9; "
+                      "writeln(p.x, q.x, p.y); }"),
+            "3 9 1.5\n");
+}
+
+TEST(Interp, ArraysOverDomains) {
+  EXPECT_EQ(runOutput("const D = {0..#5};\nvar A: [D] int;\n"
+                      "proc main() { for i in D { A[i] = i * i; } writeln(A[3], A.size); }"),
+            "9 5\n");
+}
+
+TEST(Interp, ArrayReferenceSemantics) {
+  // Chapel arrays alias on assignment-by-initialization of a var (handle
+  // copy); writes through one name are visible through the other.
+  EXPECT_EQ(runOutput("const D = {0..#3};\nvar A: [D] int;\n"
+                      "proc main() { var B => A[D]; B[1] = 42; writeln(A[1]); }"),
+            "42\n");
+}
+
+TEST(Interp, WholeArrayFillAndCopy) {
+  EXPECT_EQ(runOutput("const D = {0..#4};\nvar A: [D] real;\nvar B: [D] real;\n"
+                      "proc main() { A = 2.5; B = A; writeln(B[0] + B[3]); }"),
+            "5\n");
+}
+
+TEST(Interp, TwoDimensionalArrays) {
+  EXPECT_EQ(runOutput("const D = {0..#3, 0..#4};\nvar A: [D] int;\n"
+                      "proc main() { for (i, j) in D { A[i, j] = i * 10 + j; } "
+                      "writeln(A[2, 3], A.size); }"),
+            "23 12\n");
+}
+
+TEST(Interp, DomainExpandAndDims) {
+  EXPECT_EQ(runOutput("const D = {0..#4};\nconst E = D.expand(1);\n"
+                      "proc main() { writeln(E.size, E.low(1), E.high(1)); }"),
+            "6 -1 4\n");
+}
+
+TEST(Interp, ArraySliceAliasesBase) {
+  EXPECT_EQ(runOutput("const D = {0..#6};\nconst Inner = {1..4};\nvar A: [D] int;\n"
+                      "var V => A[Inner];\n"
+                      "proc main() { V[2] = 7; writeln(A[2], V.size); }"),
+            "7 4\n");
+}
+
+TEST(Interp, SliceOutOfViewDomainFails) {
+  auto c = fe::Compilation::fromString(
+      "t.chpl",
+      "const D = {0..#6};\nconst Inner = {1..4};\nvar A: [D] int;\nvar V => A[Inner];\n"
+      "proc main() { V[5] = 1; }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, NestedArrays) {
+  EXPECT_EQ(runOutput("const Outer = {0..#3};\nconst Inner = {0..#2};\n"
+                      "var A: [Outer] [Inner] real;\n"
+                      "proc main() { A[1][0] = 2.5; A[1][1] = 0.5; "
+                      "writeln(A[1][0] + A[1][1], A[0][0]); }"),
+            "3 0\n");
+}
+
+TEST(Interp, RecordWithArrayField) {
+  EXPECT_EQ(runOutput("config const nz = 4;\nconst Z = {0..#nz};\n"
+                      "record Part { var residue: real; var zones: [Z] real; }\n"
+                      "var P: Part;\n"
+                      "proc main() { P.zones[2] = 1.5; P.residue = 0.5; "
+                      "writeln(P.zones[2] + P.residue, P.zones.size); }"),
+            "2 4\n");
+}
+
+TEST(Interp, ArrayOfRecordsWithArrayFields) {
+  EXPECT_EQ(runOutput("const PD = {0..#3};\nconst Z = {0..#2};\n"
+                      "record Part { var v: real; var zones: [Z] real; }\n"
+                      "var parts: [PD] Part;\n"
+                      "proc main() { parts[1].zones[1] = 9.0; parts[2].v = 1.0; "
+                      "writeln(parts[1].zones[1], parts[0].zones[1], parts[2].v); }"),
+            "9 0 1\n");
+}
+
+TEST(Interp, ForallComputesSameAsFor) {
+  const char* forallSrc =
+      "const D = {0..#100};\nvar A: [D] int;\n"
+      "proc main() { forall i in D { A[i] = i * 3; } var s = 0; for i in D { s += A[i]; } "
+      "writeln(s); }";
+  const char* forSrc =
+      "const D = {0..#100};\nvar A: [D] int;\n"
+      "proc main() { for i in D { A[i] = i * 3; } var s = 0; for i in D { s += A[i]; } "
+      "writeln(s); }";
+  EXPECT_EQ(runOutput(forallSrc), runOutput(forSrc));
+}
+
+TEST(Interp, CoforallRunsAllIndices) {
+  EXPECT_EQ(runOutput("const D = {0..#8};\nvar A: [D] int;\n"
+                      "proc main() { coforall t in 0..#8 { A[t] = t + 1; } var s = 0; "
+                      "for i in D { s += A[i]; } writeln(s); }"),
+            "36\n");
+}
+
+TEST(Interp, ForallCapturesLocalByRef) {
+  EXPECT_EQ(runOutput("const D = {0..#10};\nvar A: [D] int;\n"
+                      "proc main() { var base = 5; forall i in D { A[i] = base + i; } "
+                      "writeln(A[9]); }"),
+            "14\n");
+}
+
+TEST(Interp, Forall2DDomain) {
+  EXPECT_EQ(runOutput("const D = {0..#4, 0..#3};\nvar A: [D] int;\n"
+                      "proc main() { forall (i, j) in D { A[i, j] = i + j; } "
+                      "writeln(A[3, 2]); }"),
+            "5\n");
+}
+
+TEST(Interp, ZippedForallOverArrays) {
+  EXPECT_EQ(runOutput("const D = {0..#6};\nvar A: [D] int;\nvar B: [D] int;\n"
+                      "proc main() { for i in D { A[i] = i; } "
+                      "forall (a, b) in zip(A, B) { b = a * 2; } writeln(B[5]); }"),
+            "10\n");
+}
+
+TEST(Interp, ZipWithDomainGivesIndex) {
+  EXPECT_EQ(runOutput("const D = {0..#5};\nvar A: [D] int;\n"
+                      "proc main() { forall (i, a) in zip(D, A) { a = i * i; } "
+                      "writeln(A[4]); }"),
+            "16\n");
+}
+
+TEST(Interp, NestedForallExecutesInline) {
+  EXPECT_EQ(runOutput("const D = {0..#4};\nvar A: [D] [D] int;\n"
+                      "proc main() { forall i in D { forall j in D { A[i][j] = i * 4 + j; } } "
+                      "writeln(A[3][3]); }"),
+            "15\n");
+}
+
+TEST(Interp, ConfigOverride) {
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  o.configOverrides["n"] = "7";
+  EXPECT_EQ(runOutput("config const n = 3;\nproc main() { writeln(n * 2); }", o), "14\n");
+}
+
+TEST(Interp, ConfigDefaultWithoutOverride) {
+  EXPECT_EQ(runOutput("config const n = 3;\nproc main() { writeln(n); }"), "3\n");
+}
+
+TEST(Interp, ConfigRealAndBoolOverrides) {
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  o.configOverrides["scale"] = "2.5";
+  o.configOverrides["flag"] = "true";
+  EXPECT_EQ(runOutput("config const scale = 1.0;\nconfig const flag = false;\n"
+                      "proc main() { writeln(scale, flag); }",
+                      o),
+            "2.5 true\n");
+}
+
+TEST(Interp, DivisionByZeroFails) {
+  auto c = fe::Compilation::fromString("t.chpl",
+                                       "proc main() { var x = 3; var y = 0; writeln(x / y); }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, ArrayOutOfBoundsFails) {
+  auto c = fe::Compilation::fromString(
+      "t.chpl", "const D = {0..#4};\nvar A: [D] int;\nproc main() { A[9] = 1; }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, InstructionBudgetGuard) {
+  auto c = fe::Compilation::fromString("t.chpl",
+                                       "proc main() { var i = 0; while i < 100000 { i += 1; } }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  o.maxInstructions = 1000;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, RandomIsDeterministicPerSeed) {
+  const char* src = "proc main() { writeln(random(), random()); }";
+  rt::RunOptions a;
+  a.sampleThreshold = 0;
+  a.rngSeed = 1;
+  rt::RunOptions b = a;
+  EXPECT_EQ(runOutput(src, a), runOutput(src, b));
+  rt::RunOptions c2 = a;
+  c2.rngSeed = 2;
+  EXPECT_NE(runOutput(src, a), runOutput(src, c2));
+}
+
+TEST(Interp, ClockIsMonotonic) {
+  EXPECT_EQ(runOutput("proc main() { var a = clock(); var i = 0; while i < 100 { i += 1; } "
+                      "var b = clock(); writeln(b > a); }"),
+            "true\n");
+}
+
+TEST(Interp, GlobalTupleOfTuples) {
+  EXPECT_EQ(runOutput("const g: 2*(3*real) = ((1.0, 2.0, 3.0), (4.0, 5.0, 6.0));\n"
+                      "proc main() { writeln(g(2)(1) + g(1)(3)); }"),
+            "7\n");
+}
+
+TEST(Interp, MethodStyleTupleFieldIndexing) {
+  EXPECT_EQ(runOutput("record atom { var force: 3*real; }\nconst D = {0..#2};\n"
+                      "var Bins: [D] atom;\n"
+                      "proc main() { Bins[1].force = (1.0, 2.0, 3.0); "
+                      "writeln(Bins[1].force(2)); }"),
+            "2\n");
+}
+
+TEST(Interp, MainThreadTotalCoversWorkers) {
+  // The main clock must cover the parallel region (jump to max worker end).
+  auto c = fe::Compilation::fromString(
+      "t.chpl",
+      "const D = {0..#1000};\nvar A: [D] real;\nproc main() { forall i in D { A[i] = i * 0.5; "
+      "} }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  rt::RunResult serial = rt::execute(c->module(), o);
+  ASSERT_TRUE(serial.ok);
+  EXPECT_GT(serial.totalCycles, 0u);
+  // With more workers the wall time shrinks.
+  rt::RunOptions o1 = o;
+  o1.numWorkers = 1;
+  rt::RunResult one = rt::execute(c->module(), o1);
+  EXPECT_GT(one.totalCycles, serial.totalCycles);
+}
+
+TEST(Interp, FastProfileIsFaster) {
+  const char* src =
+      "const D = {0..#500};\nvar A: [D] real;\n"
+      "proc main() { for i in D { A[i] = i * 1.5; } }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions slow;
+  slow.sampleThreshold = 0;
+  rt::RunOptions fast = slow;
+  fast.fastCostProfile = true;
+  EXPECT_LT(rt::execute(c->module(), fast).totalCycles,
+            rt::execute(c->module(), slow).totalCycles);
+}
+
+}  // namespace
+}  // namespace cb

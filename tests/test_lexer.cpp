@@ -1,0 +1,125 @@
+// Unit tests for the mini-Chapel lexer.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace cb::fe {
+namespace {
+
+std::vector<Token> lex(const std::string& src, bool expectErrors = false) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t.chpl", src);
+  DiagnosticEngine d(sm);
+  Lexer lexer(sm, f, d);
+  auto toks = lexer.lexAll();
+  EXPECT_EQ(d.hasErrors(), expectErrors) << d.renderAll();
+  return toks;
+}
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyGivesEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::Eof);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = lex("foo _bar b42");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "b42");
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("config const var record proc"),
+            (std::vector<Tok>{Tok::KwConfig, Tok::KwConst, Tok::KwVar, Tok::KwRecord,
+                              Tok::KwProc, Tok::Eof}));
+  EXPECT_EQ(kinds("forall coforall for param zip type"),
+            (std::vector<Tok>{Tok::KwForall, Tok::KwCoforall, Tok::KwFor, Tok::KwParam,
+                              Tok::KwZip, Tok::KwType, Tok::Eof}));
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = lex("0 42 1_000_000");
+  EXPECT_EQ(toks[0].intVal, 0);
+  EXPECT_EQ(toks[1].intVal, 42);
+  EXPECT_EQ(toks[2].intVal, 1000000);  // Chapel-style digit separators
+}
+
+TEST(Lexer, RealLiterals) {
+  auto toks = lex("1.5 2e3 6.08e8 1.25e-2");
+  EXPECT_DOUBLE_EQ(toks[0].realVal, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].realVal, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[2].realVal, 6.08e8);
+  EXPECT_DOUBLE_EQ(toks[3].realVal, 0.0125);
+}
+
+TEST(Lexer, RangeDoesNotEatDots) {
+  // `0..n` must lex as int, dotdot, ident — not a malformed real.
+  EXPECT_EQ(kinds("0..n"), (std::vector<Tok>{Tok::IntLit, Tok::DotDot, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, CountedRange) {
+  EXPECT_EQ(kinds("0..#n"),
+            (std::vector<Tok>{Tok::IntLit, Tok::DotDot, Tok::Hash, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  auto toks = lex(R"("hello\nworld" "tab\t")");
+  EXPECT_EQ(toks[0].text, "hello\nworld");
+  EXPECT_EQ(toks[1].text, "tab\t");
+}
+
+TEST(Lexer, Operators) {
+  EXPECT_EQ(kinds("+ - * / % **"),
+            (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                              Tok::StarStar, Tok::Eof}));
+  EXPECT_EQ(kinds("== != < <= > >="),
+            (std::vector<Tok>{Tok::EqEq, Tok::NotEq, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge,
+                              Tok::Eof}));
+  EXPECT_EQ(kinds("= += -= *= /= =>"),
+            (std::vector<Tok>{Tok::Assign, Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign,
+                              Tok::SlashAssign, Tok::Arrow, Tok::Eof}));
+  EXPECT_EQ(kinds("&& || !"),
+            (std::vector<Tok>{Tok::AndAnd, Tok::OrOr, Tok::Not, Tok::Eof}));
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(kinds("a // comment to end\nb"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, BlockComments) {
+  EXPECT_EQ(kinds("a /* multi\nline */ b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) { lex("a /* never closed", true); }
+
+TEST(Lexer, UnterminatedStringIsError) { lex("\"no close", true); }
+
+TEST(Lexer, UnexpectedCharacterIsError) { lex("a $ b", true); }
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, MarkerCommentBetweenTokens) {
+  // The Table VII variant generator relies on /*P1*/ sitting between `for`
+  // and `param` without disturbing the token stream.
+  EXPECT_EQ(kinds("for /*P1*/param j"),
+            (std::vector<Tok>{Tok::KwFor, Tok::KwParam, Tok::Ident, Tok::Eof}));
+}
+
+}  // namespace
+}  // namespace cb::fe

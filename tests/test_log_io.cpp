@@ -1,0 +1,118 @@
+// Tests of run-log serialization (the monitor's on-disk dataset).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "postmortem/attribution.h"
+#include "postmortem/instance.h"
+#include "sampling/log_io.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+sampling::RunLog makeLog() {
+  auto c = fe::Compilation::fromString(
+      "t.chpl",
+      "const D = {0..#64};\nvar A: [D] real;\nproc main() { forall i in D { var t = 0.0; for j "
+      "in 0..#30 { t += i * j; } A[i] = t; } }");
+  EXPECT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 101;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_TRUE(r.ok);
+  return r.log;
+}
+
+TEST(LogIo, RoundTripPreservesEverything) {
+  sampling::RunLog log = makeLog();
+  std::string text = sampling::serializeRunLog(log);
+  sampling::RunLog back;
+  ASSERT_TRUE(sampling::deserializeRunLog(text, back));
+  EXPECT_EQ(back.sampleThreshold, log.sampleThreshold);
+  EXPECT_EQ(back.numStreams, log.numStreams);
+  EXPECT_EQ(back.totalCycles, log.totalCycles);
+  ASSERT_EQ(back.samples.size(), log.samples.size());
+  for (size_t i = 0; i < log.samples.size(); ++i) {
+    EXPECT_EQ(back.samples[i].stream, log.samples[i].stream);
+    EXPECT_EQ(back.samples[i].taskTag, log.samples[i].taskTag);
+    EXPECT_EQ(back.samples[i].atCycle, log.samples[i].atCycle);
+    EXPECT_EQ(back.samples[i].runtimeFrame, log.samples[i].runtimeFrame);
+    EXPECT_EQ(back.samples[i].stack, log.samples[i].stack);
+  }
+  EXPECT_EQ(back.spawns.size(), log.spawns.size());
+  EXPECT_EQ(back.allocBytesBySite, log.allocBytesBySite);
+}
+
+TEST(LogIo, FileRoundTrip) {
+  sampling::RunLog log = makeLog();
+  std::string path = ::testing::TempDir() + "/cb_log_io_test.cblog";
+  ASSERT_TRUE(sampling::saveRunLog(log, path));
+  sampling::RunLog back;
+  ASSERT_TRUE(sampling::loadRunLog(path, back));
+  EXPECT_EQ(back.samples.size(), log.samples.size());
+  std::remove(path.c_str());
+}
+
+TEST(LogIo, RejectsGarbage) {
+  sampling::RunLog out;
+  EXPECT_FALSE(sampling::deserializeRunLog("", out));
+  EXPECT_FALSE(sampling::deserializeRunLog("not a log\n", out));
+  EXPECT_FALSE(sampling::deserializeRunLog("cblog 99 1 1 1\n", out));
+  EXPECT_FALSE(sampling::deserializeRunLog("cblog 1 1 1 1\nX nonsense\n", out));
+}
+
+TEST(LogIo, ReloadedLogAttributesIdentically) {
+  // Post-mortem over a reloaded log must equal post-mortem over the live
+  // one (the paper's step 3 runs from the on-disk dataset).
+  Profiler p;
+  p.options().run.sampleThreshold = 101;
+  ASSERT_TRUE(p.compileFile(assetProgram("example")) && p.analyze() && p.run() &&
+              p.postProcess())
+      << p.lastError();
+  std::string text = sampling::serializeRunLog(p.runResult()->log);
+  sampling::RunLog back;
+  ASSERT_TRUE(sampling::deserializeRunLog(text, back));
+  auto instances = pm::consolidate(p.compilation()->module(), back);
+  pm::BlameReport report = pm::attribute(*p.moduleBlame(), instances);
+  ASSERT_EQ(report.rows.size(), p.blameReport()->rows.size());
+  for (size_t i = 0; i < report.rows.size(); ++i) {
+    EXPECT_EQ(report.rows[i].name, p.blameReport()->rows[i].name);
+    EXPECT_EQ(report.rows[i].sampleCount, p.blameReport()->rows[i].sampleCount);
+  }
+}
+
+TEST(SelectWhen, LowersAndRuns) {
+  EXPECT_EQ(test::runOutput(R"(proc label(x: int): int {
+  var out = 0;
+  select x {
+    when 1, 2 { out = 10; }
+    when 3 { out = 30; }
+    otherwise { out = 99; }
+  }
+  return out;
+}
+proc main() { writeln(label(1), label(2), label(3), label(7)); }
+)"),
+            "10 10 30 99\n");
+}
+
+TEST(SelectWhen, ImplicitBlameFromSelector) {
+  // §IV.A: select-when creates implicit transfer like if: variables written
+  // in when-arms take the select line into their blame sets.
+  Profiler p = test::profileSource(R"(proc main() {
+  var x = 2;
+  var out = 0;
+  select x {
+    when 2 { out = 5; }
+    otherwise { out = 1; }
+  }
+  writeln(out);
+}
+)");
+  auto lines = test::blameLinesOf(p, "main", "out", 1, 9);
+  EXPECT_TRUE(lines.count(4) || lines.count(5)) << "select/when control lines must blame out";
+}
+
+}  // namespace
+}  // namespace cb

@@ -1,0 +1,297 @@
+// Tests of AST -> CIR lowering: IR shapes, debug info, task outlining,
+// captures, and the --fast pass pipeline.
+#include <gtest/gtest.h>
+
+#include "frontend/passes.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+using test::compile;
+
+const ir::Function& findFn(const ir::Module& m, const std::string& name) {
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+    if (m.function(f).displayName == name) return m.function(f);
+  ADD_FAILURE() << "function " << name << " not found";
+  static ir::Function dummy;
+  return dummy;
+}
+
+size_t countOps(const ir::Function& f, ir::Opcode op) {
+  size_t n = 0;
+  for (const ir::Instr& in : f.instrs)
+    if (in.op == op) ++n;
+  return n;
+}
+
+TEST(Lower, UserVariablesGetAllocasWithDebugInfo) {
+  auto c = compile("proc main() { var counter = 0; var rate: real; }");
+  const ir::Function& f = findFn(c->module(), "main");
+  std::vector<std::string> names;
+  for (const ir::Instr& in : f.instrs) {
+    if (in.op != ir::Opcode::Alloca || in.extra.debugVar == ir::kNone) continue;
+    const ir::DebugVar& dv = c->module().debugVar(in.extra.debugVar);
+    if (dv.displayable()) names.push_back(c->module().interner().str(dv.name));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"counter", "rate"}));
+}
+
+TEST(Lower, ModuleInitStoresGlobalsInOrder) {
+  auto c = compile("const a = 1;\nconst b = a + 1;\nproc main() { writeln(b); }");
+  const ir::Module& m = c->module();
+  ASSERT_NE(m.moduleInitFunc, ir::kNone);
+  EXPECT_EQ(m.numGlobals(), 2u);
+  EXPECT_EQ(m.interner().str(m.global(0).name), "a");
+  EXPECT_EQ(m.interner().str(m.global(1).name), "b");
+}
+
+TEST(Lower, ConfigConstUsesConfigGet) {
+  auto c = compile("config const n = 16;\nproc main() { }");
+  const ir::Function& init = c->module().function(c->module().moduleInitFunc);
+  bool found = false;
+  for (const ir::Instr& in : init.instrs)
+    if (in.op == ir::Opcode::Builtin && in.extra.builtin == ir::BuiltinKind::ConfigGet)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, ForallOutlinesTaskFunction) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] int;\n"
+                   "proc main() { forall i in D { A[i] = i; } }");
+  const ir::Module& m = c->module();
+  bool found = false;
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    if (!fn.isTaskFn()) continue;
+    found = true;
+    EXPECT_EQ(fn.taskKind, ir::TaskKind::Forall);
+    EXPECT_EQ(m.function(fn.spawnParent).displayName, "main");
+    EXPECT_GE(fn.params.size(), 2u);  // chunk_lo, chunk_hi
+    EXPECT_EQ(m.interner().str(fn.params[0].name), "chunk_lo");
+  }
+  EXPECT_TRUE(found);
+  const ir::Function& main = findFn(m, "main");
+  EXPECT_EQ(countOps(main, ir::Opcode::Spawn), 1u);
+}
+
+TEST(Lower, CoforallTaskKind) {
+  auto c = compile("proc main() { coforall t in 0..#4 { var x = t; } }");
+  const ir::Module& m = c->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+    if (m.function(f).isTaskFn())
+      EXPECT_EQ(m.function(f).taskKind, ir::TaskKind::Coforall);
+}
+
+TEST(Lower, CapturedLocalsBecomeRefParams) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] int;\n"
+                   "proc main() { var base = 3; forall i in D { A[i] = base; } }");
+  const ir::Module& m = c->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    if (!fn.isTaskFn()) continue;
+    bool sawBase = false;
+    for (const ir::Param& p : fn.params) {
+      if (m.interner().str(p.name) == "base") {
+        sawBase = true;
+        EXPECT_TRUE(p.byRef);
+      }
+    }
+    EXPECT_TRUE(sawBase) << "capture 'base' missing from task params";
+  }
+}
+
+TEST(Lower, GlobalsAreNotCaptured) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] int;\nvar g = 5;\n"
+                   "proc main() { forall i in D { A[i] = g; } }");
+  const ir::Module& m = c->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    if (!fn.isTaskFn()) continue;
+    for (const ir::Param& p : fn.params) EXPECT_NE(m.interner().str(p.name), "g");
+  }
+}
+
+TEST(Lower, ZippedLoopEmitsIterOverheadWithArrayOperands) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] int;\nvar B: [D] int;\n"
+                   "proc main() { for (a, b) in zip(A, B) { b = a; } }");
+  const ir::Function& main = findFn(c->module(), "main");
+  bool found = false;
+  for (const ir::Instr& in : main.instrs) {
+    if (in.op != ir::Opcode::IterOverhead) continue;
+    found = true;
+    EXPECT_EQ(in.imm, 2u);
+    EXPECT_EQ(in.ops.size(), 2u);  // both array iterands carried as operands
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, NonZippedLoopHasNoIterOverhead) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] int;\n"
+                   "proc main() { for i in D { A[i] = i; } }");
+  EXPECT_EQ(countOps(findFn(c->module(), "main"), ir::Opcode::IterOverhead), 0u);
+}
+
+TEST(Lower, ParamLoopFullyUnrolled) {
+  auto c = compile("proc main() { var t: 4*int; for param k in 1..4 { t(k) = k; } }");
+  const ir::Function& main = findFn(c->module(), "main");
+  // No branches: the loop disappeared.
+  EXPECT_EQ(countOps(main, ir::Opcode::CondBr), 0u);
+  EXPECT_EQ(countOps(main, ir::Opcode::TupleAddr), 4u);
+}
+
+TEST(Lower, DynamicTupleIndexUsesOperandForm) {
+  auto c = compile("proc main() { var t = (1.0, 2.0); var i = 1; var x = t(i); }");
+  const ir::Function& main = findFn(c->module(), "main");
+  bool sawDynamic = false;
+  for (const ir::Instr& in : main.instrs)
+    if (in.op == ir::Opcode::TupleGet && in.ops.size() == 2) sawDynamic = true;
+  EXPECT_TRUE(sawDynamic);
+}
+
+TEST(Lower, StaticTupleIndexUsesImmediateForm) {
+  auto c = compile("proc main() { var t = (1.0, 2.0); var x = t(2); }");
+  const ir::Function& main = findFn(c->module(), "main");
+  for (const ir::Instr& in : main.instrs)
+    if (in.op == ir::Opcode::TupleGet) EXPECT_EQ(in.ops.size(), 1u);
+}
+
+TEST(Lower, SliceProducesArrayView) {
+  auto c = compile("const D = {0..#8};\nconst I = {2..5};\nvar A: [D] int;\n"
+                   "proc main() { var V => A[I]; V[3] = 1; }");
+  const ir::Function& main = findFn(c->module(), "main");
+  EXPECT_EQ(countOps(main, ir::Opcode::ArrayView), 1u);
+}
+
+TEST(Lower, WholeArrayAssignmentsUseBuiltins) {
+  auto c = compile("const D = {0..#8};\nvar A: [D] real;\nvar B: [D] real;\n"
+                   "proc main() { A = 1.5; B = A; }");
+  const ir::Function& main = findFn(c->module(), "main");
+  size_t fills = 0, copies = 0;
+  for (const ir::Instr& in : main.instrs) {
+    if (in.op != ir::Opcode::Builtin) continue;
+    if (in.extra.builtin == ir::BuiltinKind::ArrayFill) ++fills;
+    if (in.extra.builtin == ir::BuiltinKind::ArrayCopy) ++copies;
+  }
+  EXPECT_EQ(fills, 1u);
+  EXPECT_EQ(copies, 1u);
+}
+
+TEST(Lower, RecordFieldReadsUseFieldAddr) {
+  auto c = compile("record P { var x: real; }\nvar p: P;\n"
+                   "proc main() { var v = p.x; }");
+  const ir::Function& main = findFn(c->module(), "main");
+  EXPECT_GE(countOps(main, ir::Opcode::FieldAddr), 1u);
+  // No whole-record TupleGet extraction for addressable bases.
+  EXPECT_EQ(countOps(main, ir::Opcode::TupleGet), 0u);
+}
+
+TEST(Lower, ArrayParamsAreByRef) {
+  auto c = compile("const D = {0..#4};\n"
+                   "proc f(A: [D] real, x: int) { }\nproc main() { }");
+  const ir::Function& f = findFn(c->module(), "f");
+  EXPECT_TRUE(f.params[0].byRef);   // arrays have reference semantics
+  EXPECT_FALSE(f.params[1].byRef);  // scalars by value
+}
+
+TEST(Lower, TypeAliasDisplaysAliasName) {
+  auto c = compile("type v3 = 3*real;\nvar g: v3;\nproc main() { }");
+  const ir::Module& m = c->module();
+  EXPECT_EQ(m.debugVar(m.global(0).debugVar).typeDisplay, "v3");
+}
+
+TEST(Lower, NestedArrayDeclInitializesInnerArrays) {
+  auto c = compile("const O = {0..#3};\nconst I = {0..#2};\nvar A: [O] [I] real;\n"
+                   "proc main() { }");
+  // Inner allocation loop lives in _module_init: one outer + per-element
+  // inner ArrayNew (emitted once inside a loop).
+  const ir::Function& init = c->module().function(c->module().moduleInitFunc);
+  EXPECT_GE(countOps(init, ir::Opcode::ArrayNew), 2u);
+  EXPECT_GE(countOps(init, ir::Opcode::CondBr), 1u);  // the init loop
+}
+
+TEST(Lower, ErrorUnknownIdentifier) {
+  auto c = fe::Compilation::fromString("t.chpl", "proc main() { writeln(nope); }");
+  EXPECT_FALSE(c->ok());
+  EXPECT_NE(c->diags().renderAll().find("unknown identifier"), std::string::npos);
+}
+
+TEST(Lower, ErrorMissingMain) {
+  auto c = fe::Compilation::fromString("t.chpl", "proc helper() { }");
+  EXPECT_FALSE(c->ok());
+  EXPECT_NE(c->diags().renderAll().find("no 'main'"), std::string::npos);
+}
+
+TEST(Lower, ErrorArityMismatch) {
+  auto c = fe::Compilation::fromString(
+      "t.chpl", "proc f(x: int) { }\nproc main() { f(1, 2); }");
+  EXPECT_FALSE(c->ok());
+  EXPECT_NE(c->diags().renderAll().find("arguments"), std::string::npos);
+}
+
+TEST(Lower, ErrorTypeMismatch) {
+  auto c = fe::Compilation::fromString("t.chpl",
+                                       "proc main() { var x: int = (1.0, 2.0); }");
+  EXPECT_FALSE(c->ok());
+}
+
+// ---- --fast pass pipeline -------------------------------------------------
+
+TEST(Passes, ConstantFoldingPropagates) {
+  auto c = compile("proc main() { var x = 2 + 3 * 4; writeln(x); }");
+  size_t folded = fe::constantFold(c->module());
+  EXPECT_GE(folded, 2u);
+}
+
+TEST(Passes, DeadCodeElimRemovesUnusedPureInstrs) {
+  auto c = compile("proc main() { var x = 1 + 2; }");
+  fe::constantFold(c->module());
+  size_t removed = fe::deadCodeElim(c->module());
+  EXPECT_GE(removed, 1u);
+  EXPECT_TRUE(ir::verifyModule(c->module()).empty());
+}
+
+TEST(Passes, ForwardLoadsWithinBlock) {
+  auto c = compile("proc main() { var x = 5; var y = x + 1; writeln(y); }");
+  size_t fwd = fe::forwardLoads(c->module());
+  EXPECT_GE(fwd, 1u);
+  EXPECT_TRUE(ir::verifyModule(c->module()).empty());
+}
+
+TEST(Passes, StripDebugInfoDemotesVariables) {
+  auto c = compile("proc main() { var visible = 1; writeln(visible); }");
+  fe::stripDebugInfo(c->module());
+  EXPECT_TRUE(c->module().debugInfoStripped);
+  for (uint32_t i = 0; i < c->module().numDebugVars(); ++i)
+    EXPECT_FALSE(c->module().debugVar(i).displayable());
+}
+
+TEST(Passes, FastPipelinePreservesSemantics) {
+  const char* src =
+      "const D = {0..#16};\nvar A: [D] real;\n"
+      "proc main() { for i in D { A[i] = i * 0.5 + 1.0; } var s = 0.0; "
+      "for i in D { s += A[i]; } writeln(s); }";
+  std::string plain = test::runOutput(src);
+  fe::CompileOptions fast;
+  fast.fast = true;
+  std::string fastOut = test::runOutput(src, {}, fast);
+  EXPECT_EQ(plain, fastOut);
+}
+
+TEST(Passes, FastPipelineKeepsBenchChecksums) {
+  for (const char* prog : {"clomp", "minimd", "lulesh"}) {
+    Profiler plain;
+    plain.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(plain.compileFile(assetProgram(prog)) && plain.run()) << plain.lastError();
+    Profiler fast;
+    fast.options().compile.fast = true;
+    fast.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(fast.compileFile(assetProgram(prog)) && fast.run()) << fast.lastError();
+    EXPECT_EQ(plain.runResult()->output, fast.runResult()->output) << prog;
+  }
+}
+
+}  // namespace
+}  // namespace cb

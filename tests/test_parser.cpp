@@ -1,0 +1,229 @@
+// Unit tests for the mini-Chapel parser (AST shapes and error recovery).
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+
+namespace cb::fe {
+namespace {
+
+Program parse(const std::string& src, bool expectErrors = false) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t.chpl", src);
+  DiagnosticEngine d(sm);
+  Lexer lexer(sm, f, d);
+  Parser parser(lexer.lexAll(), d, f);
+  Program p = parser.parseProgram();
+  EXPECT_EQ(d.hasErrors(), expectErrors) << d.renderAll();
+  return p;
+}
+
+TEST(Parser, ConfigConst) {
+  Program p = parse("config const n = 16;");
+  ASSERT_EQ(p.globals.size(), 1u);
+  EXPECT_TRUE(p.globals[0].isConfig);
+  EXPECT_TRUE(p.globals[0].isConst);
+  EXPECT_EQ(p.globals[0].name, "n");
+  ASSERT_NE(p.globals[0].init, nullptr);
+  EXPECT_EQ(p.globals[0].init->kind, ExprKind::IntLit);
+}
+
+TEST(Parser, GlobalWithDeclaredType) {
+  Program p = parse("var x: real;");
+  ASSERT_EQ(p.globals.size(), 1u);
+  ASSERT_NE(p.globals[0].type, nullptr);
+  EXPECT_EQ(p.globals[0].type->kind, TypeExprKind::Named);
+  EXPECT_EQ(p.globals[0].type->name, "real");
+}
+
+TEST(Parser, GlobalAlias) {
+  Program p = parse("var RealPos => Pos[binSpace];");
+  ASSERT_EQ(p.globals.size(), 1u);
+  EXPECT_TRUE(p.globals[0].isAlias);
+  EXPECT_EQ(p.globals[0].init->kind, ExprKind::Index);
+}
+
+TEST(Parser, RecordDecl) {
+  Program p = parse("record atom { var v: 3*real; var n: int; }");
+  ASSERT_EQ(p.records.size(), 1u);
+  EXPECT_EQ(p.records[0].name, "atom");
+  ASSERT_EQ(p.records[0].fields.size(), 2u);
+  EXPECT_EQ(p.records[0].fields[0].type->kind, TypeExprKind::HomTuple);
+  EXPECT_EQ(p.records[0].fields[0].type->tupleArity, 3u);
+}
+
+TEST(Parser, TypeAlias) {
+  Program p = parse("type v3 = 3*real;");
+  ASSERT_EQ(p.typeAliases.size(), 1u);
+  EXPECT_EQ(p.typeAliases[0].name, "v3");
+  EXPECT_EQ(p.typeAliases[0].type->kind, TypeExprKind::HomTuple);
+}
+
+TEST(Parser, TopLevelOrderIsPreserved) {
+  Program p = parse("const a = 1; record R { var x: int; } const b = 2; proc main() { }");
+  ASSERT_EQ(p.order.size(), 4u);
+  EXPECT_EQ(p.order[0].kind, TopLevelRef::Kind::Global);
+  EXPECT_EQ(p.order[1].kind, TopLevelRef::Kind::Record);
+  EXPECT_EQ(p.order[2].kind, TopLevelRef::Kind::Global);
+  EXPECT_EQ(p.order[3].kind, TopLevelRef::Kind::Proc);
+}
+
+TEST(Parser, ProcWithRefParams) {
+  Program p = parse("proc f(ref a: 8*real, b: int): real { return b; }");
+  ASSERT_EQ(p.procs.size(), 1u);
+  const ProcDecl& d = p.procs[0];
+  ASSERT_EQ(d.params.size(), 2u);
+  EXPECT_EQ(d.params[0].intent, Intent::Ref);
+  EXPECT_EQ(d.params[1].intent, Intent::Value);
+  ASSERT_NE(d.returnType, nullptr);
+}
+
+TEST(Parser, ArrayTypeWithDomainExpr) {
+  Program p = parse("proc f(A: [Elems] real) { }");
+  const TypeExpr& t = *p.procs[0].params[0].type;
+  EXPECT_EQ(t.kind, TypeExprKind::Array);
+  EXPECT_EQ(t.domainExpr->kind, ExprKind::Ident);
+  EXPECT_EQ(t.elem->kind, TypeExprKind::Named);
+}
+
+TEST(Parser, ParenthesizedTypeIsNotATuple) {
+  Program p = parse("proc f(h: 8*(4*real)) { }");
+  const TypeExpr& t = *p.procs[0].params[0].type;
+  EXPECT_EQ(t.kind, TypeExprKind::HomTuple);
+  EXPECT_EQ(t.tupleArity, 8u);
+  EXPECT_EQ(t.elem->kind, TypeExprKind::HomTuple);  // (4*real) unwrapped
+  EXPECT_EQ(t.elem->tupleArity, 4u);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  Program p = parse("proc main() { var x = 1 + 2 * 3; }");
+  const Stmt& s = *p.procs[0].body[0];
+  ASSERT_EQ(s.kind, StmtKind::DeclVar);
+  EXPECT_EQ(s.init->binOp, BinOp::Add);
+  EXPECT_EQ(s.init->args[1]->binOp, BinOp::Mul);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  Program p = parse("proc main() { var x = 2.0 ** 3.0 ** 2.0; }");
+  const Expr& e = *p.procs[0].body[0]->init;
+  EXPECT_EQ(e.binOp, BinOp::Pow);
+  EXPECT_EQ(e.args[1]->binOp, BinOp::Pow);
+}
+
+TEST(Parser, RangeBindsLooserThanAdditive) {
+  Program p = parse("proc main() { for i in 1..n-1 { } }");
+  const Stmt& loop = *p.procs[0].body[0];
+  ASSERT_EQ(loop.head.iterands.size(), 1u);
+  const Expr& r = *loop.head.iterands[0];
+  EXPECT_EQ(r.kind, ExprKind::Range);
+  EXPECT_EQ(r.args[1]->kind, ExprKind::Binary);  // hi = n-1
+}
+
+TEST(Parser, IfThenSingleStatement) {
+  Program p = parse("proc main() { if a < b then a = b + 1; }");
+  const Stmt& s = *p.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, IfElseChain) {
+  Program p = parse("proc main() { if a { } else if b { } else { c = 1; } }");
+  const Stmt& s = *p.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.elseBody.size(), 1u);
+  EXPECT_EQ(s.elseBody[0]->kind, StmtKind::If);
+  EXPECT_EQ(s.elseBody[0]->elseBody.size(), 1u);  // the final else's statement
+}
+
+TEST(Parser, ZippedForall) {
+  Program p = parse("proc main() { forall (a, b) in zip(A, B) { } }");
+  const Stmt& s = *p.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::Forall);
+  EXPECT_TRUE(s.head.zipped);
+  EXPECT_EQ(s.head.indexNames, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(s.head.iterands.size(), 2u);
+}
+
+TEST(Parser, ForParamBounds) {
+  Program p = parse("proc main() { for param i in 1..8 { } }");
+  const Stmt& s = *p.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::ForParam);
+  EXPECT_EQ(s.paramLo, 1);
+  EXPECT_EQ(s.paramHi, 8);
+}
+
+TEST(Parser, ForParamCountedRange) {
+  Program p = parse("proc main() { for param i in 0..#4 { } }");
+  const Stmt& s = *p.procs[0].body[0];
+  EXPECT_EQ(s.paramLo, 0);
+  EXPECT_EQ(s.paramHi, 3);
+}
+
+TEST(Parser, CoforallOverRange) {
+  Program p = parse("proc main() { coforall t in 0..#4 { } }");
+  EXPECT_EQ(p.procs[0].body[0]->kind, StmtKind::Coforall);
+}
+
+TEST(Parser, CompoundAssignments) {
+  Program p = parse("proc main() { x += 1; y -= 2; z *= 3; w /= 4; }");
+  EXPECT_EQ(p.procs[0].body[0]->assignOp, AssignOp::Add);
+  EXPECT_EQ(p.procs[0].body[1]->assignOp, AssignOp::Sub);
+  EXPECT_EQ(p.procs[0].body[2]->assignOp, AssignOp::Mul);
+  EXPECT_EQ(p.procs[0].body[3]->assignOp, AssignOp::Div);
+}
+
+TEST(Parser, TupleLiteralVsParen) {
+  Program p = parse("proc main() { var t = (1, 2, 3); var x = (1); }");
+  EXPECT_EQ(p.procs[0].body[0]->init->kind, ExprKind::TupleLit);
+  EXPECT_EQ(p.procs[0].body[1]->init->kind, ExprKind::IntLit);
+}
+
+TEST(Parser, DomainLiteral2D) {
+  Program p = parse("const D = {0..#4, 0..#8};");
+  const Expr& e = *p.globals[0].init;
+  EXPECT_EQ(e.kind, ExprKind::DomainLit);
+  EXPECT_EQ(e.args.size(), 2u);
+  EXPECT_TRUE(e.args[0]->counted);
+}
+
+TEST(Parser, ChainedTupleIndexing) {
+  Program p = parse("proc main() { var x = hourgam(j)(i); }");
+  const Expr& e = *p.procs[0].body[0]->init;
+  EXPECT_EQ(e.kind, ExprKind::TupleIndex);
+  EXPECT_EQ(e.args[0]->kind, ExprKind::Call);
+}
+
+TEST(Parser, TupleIndexAfterIndexAndField) {
+  Program p = parse("proc main() { var a = Pos[b][i](1); var c = bin.force(2); }");
+  EXPECT_EQ(p.procs[0].body[0]->init->kind, ExprKind::TupleIndex);
+  // `.force(2)` parses as a method call; lowering resolves it to a
+  // tuple-typed field access.
+  EXPECT_EQ(p.procs[0].body[1]->init->kind, ExprKind::MethodCall);
+}
+
+TEST(Parser, MethodCallAndField) {
+  Program p = parse("proc main() { var a = D.expand(1); var b = D.size; }");
+  EXPECT_EQ(p.procs[0].body[0]->init->kind, ExprKind::MethodCall);
+  EXPECT_EQ(p.procs[0].body[1]->init->kind, ExprKind::Field);
+}
+
+TEST(Parser, UseStatementIgnored) {
+  Program p = parse("use Time;\nproc main() { }");
+  EXPECT_EQ(p.procs.size(), 1u);
+}
+
+TEST(Parser, ErrorRecoveryAtTopLevel) {
+  Program p = parse("@@@ ; proc main() { }", true);
+  EXPECT_EQ(p.procs.size(), 1u);  // recovered and parsed main
+}
+
+TEST(Parser, MissingSemicolonIsError) { parse("proc main() { var x = 1 }", true); }
+
+TEST(Parser, LocalAliasDecl) {
+  Program p = parse("proc main() { var npos => Pos[DistSpace]; }");
+  EXPECT_TRUE(p.procs[0].body[0]->isAlias);
+}
+
+}  // namespace
+}  // namespace cb::fe

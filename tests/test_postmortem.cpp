@@ -1,0 +1,205 @@
+// Tests of the post-mortem pipeline: trace gluing, instance resolution,
+// interprocedural blame attribution, contexts, and the baseline profiler.
+#include <gtest/gtest.h>
+
+#include "postmortem/baseline.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+using test::profileSource;
+
+const char* kForallProgram = R"(const D = {0..#64};
+var A: [D] real;
+proc kernel() {
+  forall i in D {
+    var t = 0.0;
+    for j in 0..#40 {
+      t += i * j;
+    }
+    A[i] = t;
+  }
+}
+proc main() {
+  kernel();
+}
+)";
+
+ProfileOptions denseSampling() {
+  ProfileOptions o;
+  o.run.sampleThreshold = 101;
+  return o;
+}
+
+TEST(Postmortem, GluedInstancesReachMain) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  bool sawFullPath = false;
+  for (const pm::Instance& inst : *p.instances()) {
+    if (inst.idle || inst.frames.size() < 3) continue;
+    if (inst.frames.front().funcName == "main" && inst.frames[1].funcName == "kernel")
+      sawFullPath = true;
+  }
+  EXPECT_TRUE(sawFullPath) << "worker samples must glue back to main -> kernel";
+}
+
+TEST(Postmortem, FramesCarryFileAndLine) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  for (const pm::Instance& inst : *p.instances()) {
+    if (inst.idle) continue;
+    for (const pm::ResolvedFrame& fr : inst.frames) {
+      EXPECT_FALSE(fr.funcName.empty());
+      EXPECT_GT(fr.line, 0u);
+    }
+  }
+}
+
+TEST(Postmortem, UnGluedInstancesLoseContext) {
+  ProfileOptions o = denseSampling();
+  o.consolidate.glueSpawns = false;
+  Profiler p = profileSource(kForallProgram, o);
+  for (const pm::Instance& inst : *p.instances()) {
+    if (inst.idle || inst.frames.empty()) continue;
+    // Worker instances start at the task function, never at main.
+    if (inst.frames.front().funcName.find("forall_fn") == 0)
+      EXPECT_NE(inst.frames.front().funcName, "main");
+  }
+}
+
+TEST(Postmortem, BlameBubblesToCallerVariable) {
+  Profiler p = profileSource(R"(const D = {0..#256};
+proc fill(A: [D] real, v: real) {
+  for i in D {
+    A[i] = v + i;
+  }
+}
+proc main() {
+  var data: [D] real;
+  fill(data, 0.5);
+  writeln(data[0]);
+}
+)",
+                             denseSampling());
+  const pm::VariableBlame* row = p.blameReport()->find("data");
+  ASSERT_NE(row, nullptr) << p.dataCentricText();
+  EXPECT_GT(row->percent, 50.0);
+  EXPECT_EQ(row->context, "main");
+}
+
+TEST(Postmortem, GlobalsReportMainContext) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  const pm::VariableBlame* row = p.blameReport()->find("A");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->context, "main");
+}
+
+TEST(Postmortem, TaskLocalsReportEnclosingUserFunction) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  const pm::VariableBlame* row = p.blameReport()->find("t");
+  ASSERT_NE(row, nullptr) << p.dataCentricText();
+  EXPECT_EQ(row->context, "kernel");
+}
+
+TEST(Postmortem, PercentagesAreSane) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  const pm::BlameReport& r = *p.blameReport();
+  EXPECT_GT(r.totalUserSamples, 0u);
+  for (const pm::VariableBlame& row : r.rows) {
+    EXPECT_GE(row.percent, 0.0);
+    EXPECT_LE(row.percent, 100.0);
+    EXPECT_LE(row.sampleCount, r.totalUserSamples);
+  }
+}
+
+TEST(Postmortem, SumOfBlameCanExceed100) {
+  // §III: "the total percentage assigned to all variables can possibly be
+  // more than 100%".
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  double sum = 0;
+  for (const pm::VariableBlame& row : p.blameReport()->rows) sum += row.percent;
+  EXPECT_GT(sum, 100.0);
+}
+
+TEST(Postmortem, RowsSortedDescending) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  const auto& rows = p.blameReport()->rows;
+  for (size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].sampleCount, rows[i].sampleCount);
+}
+
+TEST(Postmortem, InterproceduralOffKeepsBlameLocal) {
+  ProfileOptions o = denseSampling();
+  o.attribution.interprocedural = false;
+  Profiler p = profileSource(R"(const D = {0..#256};
+proc fill(ref A: [D] real) {
+  for i in D {
+    A[i] = i * 0.5;
+  }
+}
+proc main() {
+  var data: [D] real;
+  fill(data);
+  writeln(data[0]);
+}
+)",
+                             o);
+  // Without bubbling, the callee formal A carries the blame instead of data.
+  const pm::VariableBlame* formal = p.blameReport()->find("A");
+  ASSERT_NE(formal, nullptr);
+  EXPECT_EQ(formal->context, "fill");
+}
+
+TEST(Postmortem, BaselineFilesMostUnderUnknownData) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  pm::BaselineReport b = p.baselineReport();
+  EXPECT_GT(b.unknownPercent, 50.0);
+  ASSERT_FALSE(b.rows.empty());
+}
+
+TEST(Postmortem, BaselineTracksLargeLocalArraysOnly) {
+  // A >= 4KB local array directly indexed at the leaf is attributable; the
+  // global A (Chapel-style module variable) is not.
+  Profiler p = profileSource(R"(const D = {0..#1024};
+proc main() {
+  var big: [D] real;
+  var s = 0.0;
+  for r in 0..#50 {
+    for i in D {
+      big[i] = i * 1.5;
+      s += big[i];
+    }
+  }
+  writeln(s);
+}
+)",
+                             denseSampling());
+  pm::BaselineReport b = p.baselineReport();
+  bool sawBig = false;
+  for (const pm::BaselineRow& row : b.rows)
+    if (row.name == "big" && row.sampleCount > 0) sawBig = true;
+  EXPECT_TRUE(sawBig) << rpt::baselineView(b);
+}
+
+TEST(Postmortem, UserContextNameSkipsTaskFunctions) {
+  Profiler p = profileSource(kForallProgram, denseSampling());
+  const ir::Module& m = p.compilation()->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    if (m.function(f).isTaskFn())
+      EXPECT_EQ(pm::userContextName(m, f), "kernel");
+  }
+  EXPECT_EQ(pm::userContextName(m, m.mainFunc), "main");
+}
+
+TEST(Postmortem, FastModeRefusesDataCentric) {
+  ProfileOptions o = denseSampling();
+  o.compile.fast = true;
+  o.run.fastCostProfile = true;
+  Profiler p(o);
+  ASSERT_TRUE(p.profileString("t.chpl", kForallProgram)) << p.lastError();
+  // Data-centric attribution is refused (empty) but code-centric works.
+  EXPECT_TRUE(p.blameReport()->rows.empty());
+  EXPECT_FALSE(p.codeReport()->rows.empty());
+}
+
+}  // namespace
+}  // namespace cb

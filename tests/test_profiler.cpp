@@ -1,0 +1,182 @@
+// Integration tests of the Profiler facade and the bundled benchmark
+// programs (the paper's case studies).
+#include <gtest/gtest.h>
+
+#include "core/lulesh_variants.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+TEST(Profiler, StageOrderingIsEnforced) {
+  Profiler p;
+  EXPECT_FALSE(p.analyze());
+  EXPECT_FALSE(p.run());
+  EXPECT_FALSE(p.postProcess());
+  EXPECT_FALSE(p.lastError().empty());
+}
+
+TEST(Profiler, CompileErrorIsReported) {
+  Profiler p;
+  EXPECT_FALSE(p.compileString("bad.chpl", "proc main() { writeln(undefined_thing); }"));
+  EXPECT_NE(p.lastError().find("unknown identifier"), std::string::npos);
+}
+
+TEST(Profiler, RuntimeErrorIsReported) {
+  Profiler p;
+  p.options().run.sampleThreshold = 0;
+  EXPECT_FALSE(p.profileString("bad.chpl",
+                               "const D = {0..#4};\nvar A: [D] int;\nproc main() { A[99] = 1; }"));
+  EXPECT_NE(p.lastError().find("out of bounds"), std::string::npos);
+}
+
+TEST(Profiler, MissingAssetFileFails) {
+  Profiler p;
+  EXPECT_FALSE(p.compileFile("/no/such/file.chpl"));
+}
+
+TEST(Profiler, BundledProgramsCompile) {
+  for (const char* prog : {"example", "clomp", "clomp_opt", "minimd", "minimd_opt", "lulesh"}) {
+    Profiler p;
+    EXPECT_TRUE(p.compileFile(assetProgram(prog))) << prog << ": " << p.lastError();
+  }
+}
+
+TEST(Profiler, OptimizedVariantsMatchOriginalOutputs) {
+  // The case-study optimizations must preserve program results exactly.
+  for (auto [orig, opt] : {std::pair{"clomp", "clomp_opt"}, std::pair{"minimd", "minimd_opt"}}) {
+    Profiler a, b;
+    a.options().run.sampleThreshold = 0;
+    b.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(a.compileFile(assetProgram(orig)) && a.run()) << a.lastError();
+    ASSERT_TRUE(b.compileFile(assetProgram(opt)) && b.run()) << b.lastError();
+    EXPECT_EQ(a.runResult()->output, b.runResult()->output) << orig;
+    EXPECT_LT(b.runResult()->totalCycles, a.runResult()->totalCycles)
+        << opt << " must be faster";
+  }
+}
+
+TEST(Profiler, LuleshVariantsPreserveChecksum) {
+  std::string expected;
+  for (const LuleshVariant& v :
+       {LuleshVariant::original(), LuleshVariant::noParams(), LuleshVariant::best(),
+        LuleshVariant{true, true, true, true, false}, LuleshVariant{true, true, true, false, true}}) {
+    Profiler p;
+    p.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(p.compileString("lulesh.chpl", luleshSource(v)) && p.run()) << p.lastError();
+    if (expected.empty()) expected = p.runResult()->output;
+    else EXPECT_EQ(p.runResult()->output, expected);
+  }
+}
+
+TEST(Profiler, LuleshBestIsFastest) {
+  uint64_t orig, best;
+  {
+    Profiler p;
+    p.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(p.compileString("l.chpl", luleshSource(LuleshVariant::original())) && p.run());
+    orig = p.runResult()->totalCycles;
+  }
+  {
+    Profiler p;
+    p.options().run.sampleThreshold = 0;
+    ASSERT_TRUE(p.compileString("l.chpl", luleshSource(LuleshVariant::best())) && p.run());
+    best = p.runResult()->totalCycles;
+  }
+  EXPECT_LT(best, orig);
+}
+
+TEST(Profiler, Fig1BlameMatchesTableI) {
+  Profiler p;
+  p.options().run.sampleThreshold = 7;
+  ASSERT_TRUE(p.profileFile(assetProgram("example"))) << p.lastError();
+  EXPECT_EQ(test::blameLinesOf(p, "main", "a", 16, 20), (std::set<uint32_t>{16, 18, 19}));
+  EXPECT_EQ(test::blameLinesOf(p, "main", "b", 16, 20), (std::set<uint32_t>{17}));
+  EXPECT_EQ(test::blameLinesOf(p, "main", "c", 16, 20),
+            (std::set<uint32_t>{16, 17, 18, 19, 20}));
+}
+
+TEST(Profiler, ClompBlameShape) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram("clomp"))) << p.lastError();
+  const pm::BlameReport& r = *p.blameReport();
+  const pm::VariableBlame* partArray = r.find("partArray");
+  const pm::VariableBlame* value = r.find("->partArray[i].zoneArray[j].value");
+  const pm::VariableBlame* residue = r.find("->partArray[i].residue");
+  const pm::VariableBlame* remaining = r.find("remaining_deposit");
+  ASSERT_NE(partArray, nullptr);
+  ASSERT_NE(value, nullptr);
+  ASSERT_NE(residue, nullptr);
+  ASSERT_NE(remaining, nullptr);
+  // Table IV's shape: the hierarchy dominates; residue/remaining are minor.
+  EXPECT_GT(partArray->percent, 90.0);
+  EXPECT_GT(value->percent, 80.0);
+  EXPECT_GT(partArray->percent, residue->percent);
+  EXPECT_LT(remaining->percent, 50.0);
+  EXPECT_EQ(remaining->context, "update_part");
+}
+
+TEST(Profiler, MinimdBlameShape) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram("minimd"))) << p.lastError();
+  const pm::BlameReport& r = *p.blameReport();
+  for (const char* name : {"Pos", "Bins", "RealPos", "RealCount", "Count", "binSpace"})
+    ASSERT_NE(r.find(name), nullptr) << name;
+  // Table II's shape: Pos/Bins/RealPos top; Count and binSpace mid-range.
+  EXPECT_GT(r.find("Pos")->percent, 90.0);
+  EXPECT_GT(r.find("Bins")->percent, 80.0);
+  EXPECT_GT(r.find("Pos")->percent, r.find("Count")->percent);
+  EXPECT_GT(r.find("binSpace")->percent, 20.0);
+  EXPECT_LT(r.find("binSpace")->percent, 80.0);
+}
+
+TEST(Profiler, LuleshBlameListsTableVIVariables) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram("lulesh"))) << p.lastError();
+  const pm::BlameReport& r = *p.blameReport();
+  struct Expect {
+    const char* name;
+    const char* context;
+  };
+  for (const Expect& e : std::initializer_list<Expect>{
+           {"hgfx", "CalcFBHourglassForceForElems"},
+           {"hourgam", "CalcFBHourglassForceForElems"},
+           {"hourmodx", "CalcFBHourglassForceForElems"},
+           {"shx", "CalcElemFBHourglassForce"},
+           {"hx", "CalcElemFBHourglassForce"},
+           {"determ", "CalcVolumeForceForElems"},
+           {"dvdx", "CalcHourglassControlForElems"},
+           {"b_x", "IntegrateStressForElems"}}) {
+    const pm::VariableBlame* row = r.find(e.name);
+    ASSERT_NE(row, nullptr) << e.name;
+    EXPECT_EQ(row->context, e.context) << e.name;
+    EXPECT_GT(row->percent, 0.0) << e.name;
+  }
+}
+
+TEST(Profiler, LuleshPprofDominatedByRuntimeFrames) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram("lulesh"))) << p.lastError();
+  const rpt::CodeCentricReport& r = *p.codeReport();
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_EQ(r.rows[0].function, "__sched_yield") << rpt::pprofView(r, "lulesh");
+  EXPECT_GT(100.0 * r.rows[0].self / r.totalSamples, 40.0);
+}
+
+TEST(Profiler, BaselineUnknownDataReproducesMotivation) {
+  for (const char* prog : {"clomp", "lulesh"}) {
+    Profiler p;
+    ASSERT_TRUE(p.profileFile(assetProgram(prog))) << p.lastError();
+    EXPECT_GT(p.baselineReport().unknownPercent, 85.0) << prog;
+  }
+}
+
+TEST(Profiler, VariantAnchorsAbortIfSourceDrifts) {
+  // luleshSource() must track the bundled source; a smoke call per variant.
+  EXPECT_FALSE(luleshSource(LuleshVariant::best()).empty());
+  EXPECT_NE(luleshSource({false, false, false, false, false}).find("for j in 1..4 {"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cb

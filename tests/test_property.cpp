@@ -1,0 +1,219 @@
+// Property-style parameterized suites (TEST_P): invariants that must hold
+// across programs, thresholds, worker counts and compile modes.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Invariants over the whole program corpus.
+// ---------------------------------------------------------------------------
+
+class CorpusInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusInvariants, PipelineSucceeds) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+}
+
+TEST_P(CorpusInvariants, BlamePercentagesWithinBounds) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+  const pm::BlameReport& r = *p.blameReport();
+  for (const pm::VariableBlame& row : r.rows) {
+    EXPECT_GE(row.percent, 0.0) << row.name;
+    EXPECT_LE(row.percent, 100.0) << row.name;
+    EXPECT_LE(row.sampleCount, r.totalUserSamples) << row.name;
+    EXPECT_FALSE(row.name.empty());
+    EXPECT_FALSE(row.context.empty());
+  }
+}
+
+TEST_P(CorpusInvariants, NoCompilerTempsInReport) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+  for (const pm::VariableBlame& row : p.blameReport()->rows) {
+    EXPECT_EQ(row.name.rfind("_tmp", 0), std::string::npos) << row.name;
+    EXPECT_EQ(row.name.find("chunk_"), std::string::npos) << row.name;
+    EXPECT_EQ(row.name.find("_iter"), std::string::npos) << row.name;
+  }
+}
+
+TEST_P(CorpusInvariants, CodeCentricSelfPartitionsSamples) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+  uint64_t sum = 0;
+  for (const auto& row : p.codeReport()->rows) sum += row.self;
+  EXPECT_EQ(sum, p.codeReport()->totalSamples);
+}
+
+TEST_P(CorpusInvariants, DeterministicEndToEnd) {
+  Profiler a, b;
+  ASSERT_TRUE(a.profileFile(assetProgram(GetParam())));
+  ASSERT_TRUE(b.profileFile(assetProgram(GetParam())));
+  EXPECT_EQ(a.runResult()->totalCycles, b.runResult()->totalCycles);
+  EXPECT_EQ(a.runResult()->output, b.runResult()->output);
+  ASSERT_EQ(a.blameReport()->rows.size(), b.blameReport()->rows.size());
+  for (size_t i = 0; i < a.blameReport()->rows.size(); ++i) {
+    EXPECT_EQ(a.blameReport()->rows[i].name, b.blameReport()->rows[i].name);
+    EXPECT_EQ(a.blameReport()->rows[i].sampleCount, b.blameReport()->rows[i].sampleCount);
+  }
+}
+
+TEST_P(CorpusInvariants, StaticBlameSetsInvertConsistently) {
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam())));
+  const ir::Module& m = p.compilation()->module();
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const an::FunctionBlame& fb = p.moduleBlame()->fn(f);
+    ASSERT_EQ(fb.blameInstrs.size(), fb.entities.size());
+    ASSERT_EQ(fb.regionInstrs.size(), fb.entities.size());
+    for (an::EntityId e = 0; e < fb.entities.size(); ++e) {
+      for (ir::InstrId i : fb.blameInstrs[e]) {
+        ASSERT_LT(i, fb.instrEntities.size());
+        const auto& ents = fb.instrEntities[i];
+        EXPECT_NE(std::find(ents.begin(), ents.end(), e), ents.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CorpusInvariants,
+                         ::testing::Values("example", "clomp", "clomp_opt", "minimd",
+                                           "minimd_opt", "lulesh"));
+
+// ---------------------------------------------------------------------------
+// Sampling-threshold sweep: sample counts scale inversely; attribution of
+// the dominant variable stays stable.
+// ---------------------------------------------------------------------------
+
+class ThresholdSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThresholdSweep, SampleCountTracksThreshold) {
+  Profiler p;
+  p.options().run.sampleThreshold = GetParam();
+  ASSERT_TRUE(p.profileFile(assetProgram("clomp"))) << p.lastError();
+  uint64_t samples = p.runResult()->log.samples.size();
+  // Total busy cycles across streams is roughly streams x wall; expect the
+  // sample count within a factor of 4 of cycles/threshold (idle emission
+  // and per-stream remainders make it inexact).
+  uint64_t wall = p.runResult()->totalCycles;
+  uint64_t lower = wall / GetParam() / 2;
+  uint64_t upper = 16 * wall / GetParam() + 64;
+  EXPECT_GE(samples, lower);
+  EXPECT_LE(samples, upper);
+}
+
+TEST_P(ThresholdSweep, DominantVariableStable) {
+  Profiler p;
+  p.options().run.sampleThreshold = GetParam();
+  ASSERT_TRUE(p.profileFile(assetProgram("clomp"))) << p.lastError();
+  const pm::VariableBlame* row = p.blameReport()->find("partArray");
+  ASSERT_NE(row, nullptr);
+  EXPECT_GT(row->percent, 90.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(997, 9973, 49999, 99991));
+
+// ---------------------------------------------------------------------------
+// Worker-count sweep: semantics invariant, wall time non-increasing from 1
+// worker to many.
+// ---------------------------------------------------------------------------
+
+class WorkerSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WorkerSweep, OutputInvariant) {
+  Profiler p;
+  p.options().run.numWorkers = GetParam();
+  p.options().run.sampleThreshold = 0;
+  ASSERT_TRUE(p.compileFile(assetProgram("minimd")) && p.run()) << p.lastError();
+  Profiler ref;
+  ref.options().run.sampleThreshold = 0;
+  ASSERT_TRUE(ref.compileFile(assetProgram("minimd")) && ref.run());
+  EXPECT_EQ(p.runResult()->output, ref.runResult()->output);
+}
+
+TEST_P(WorkerSweep, MoreWorkersNeverSlower) {
+  uint32_t w = GetParam();
+  if (w == 1) return;
+  auto cyclesWith = [&](uint32_t workers) {
+    Profiler p;
+    p.options().run.numWorkers = workers;
+    p.options().run.sampleThreshold = 0;
+    EXPECT_TRUE(p.compileFile(assetProgram("minimd")) && p.run());
+    return p.runResult()->totalCycles;
+  };
+  EXPECT_LE(cyclesWith(w), cyclesWith(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep, ::testing::Values(1u, 2u, 4u, 12u, 32u));
+
+// ---------------------------------------------------------------------------
+// Compile-mode matrix: every program produces identical output with and
+// without --fast (the pipeline must be semantics-preserving).
+// ---------------------------------------------------------------------------
+
+class FastModeMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FastModeMatrix, OutputsMatch) {
+  Profiler plain, fast;
+  plain.options().run.sampleThreshold = 0;
+  fast.options().run.sampleThreshold = 0;
+  fast.options().compile.fast = true;
+  ASSERT_TRUE(plain.compileFile(assetProgram(GetParam())) && plain.run()) << plain.lastError();
+  ASSERT_TRUE(fast.compileFile(assetProgram(GetParam())) && fast.run()) << fast.lastError();
+  EXPECT_EQ(plain.runResult()->output, fast.runResult()->output);
+}
+
+TEST_P(FastModeMatrix, FastRunsFewerInstructions) {
+  Profiler plain, fast;
+  plain.options().run.sampleThreshold = 0;
+  fast.options().run.sampleThreshold = 0;
+  fast.options().compile.fast = true;
+  ASSERT_TRUE(plain.compileFile(assetProgram(GetParam())) && plain.run());
+  ASSERT_TRUE(fast.compileFile(assetProgram(GetParam())) && fast.run());
+  EXPECT_LE(fast.runResult()->instructionsExecuted, plain.runResult()->instructionsExecuted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, FastModeMatrix,
+                         ::testing::Values("example", "clomp", "clomp_opt", "minimd",
+                                           "minimd_opt", "lulesh"));
+
+// ---------------------------------------------------------------------------
+// CLOMP size sweep: the optimized variant must win at every problem shape,
+// and outputs must agree pairwise.
+// ---------------------------------------------------------------------------
+
+struct ClompShape {
+  int parts, zones;
+};
+
+class ClompShapeSweep : public ::testing::TestWithParam<ClompShape> {};
+
+TEST_P(ClompShapeSweep, OptimizedMatchesAndWins) {
+  auto run = [&](const char* prog) {
+    Profiler p;
+    p.options().run.sampleThreshold = 0;
+    p.options().run.configOverrides["CLOMP_numParts"] = std::to_string(GetParam().parts);
+    p.options().run.configOverrides["CLOMP_zonesPerPart"] = std::to_string(GetParam().zones);
+    p.options().run.configOverrides["CLOMP_timeScale"] = "1";
+    EXPECT_TRUE(p.compileFile(assetProgram(prog)) && p.run()) << p.lastError();
+    return std::pair<std::string, uint64_t>(p.runResult()->output,
+                                            p.runResult()->totalCycles);
+  };
+  auto [outO, cyclesO] = run("clomp");
+  auto [outP, cyclesP] = run("clomp_opt");
+  EXPECT_EQ(outO, outP);
+  EXPECT_LT(cyclesP, cyclesO);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ClompShapeSweep,
+                         ::testing::Values(ClompShape{4, 64}, ClompShape{64, 16},
+                                           ClompShape{256, 4}, ClompShape{16, 256},
+                                           ClompShape{1, 1024}));
+
+}  // namespace
+}  // namespace cb

@@ -1,0 +1,120 @@
+// Tests of the presentation layer: data-centric / code-centric / pprof /
+// hybrid views and CSV output.
+#include <gtest/gtest.h>
+
+#include "report/views.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+const char* kProgram = R"(const D = {0..#64};
+var A: [D] real;
+proc kernel() {
+  forall i in D {
+    var t = 0.0;
+    for j in 0..#40 {
+      t += i * j;
+    }
+    A[i] = t;
+  }
+}
+proc main() {
+  kernel();
+}
+)";
+
+Profiler profiled() {
+  ProfileOptions o;
+  o.run.sampleThreshold = 101;
+  return test::profileSource(kProgram, o);
+}
+
+TEST(Report, DataCentricViewHasHeaderAndRows) {
+  Profiler p = profiled();
+  std::string v = rpt::dataCentricView(*p.blameReport(), {25, 0.0});
+  EXPECT_NE(v.find("Name"), std::string::npos);
+  EXPECT_NE(v.find("Blame"), std::string::npos);
+  EXPECT_NE(v.find("Context"), std::string::npos);
+  EXPECT_NE(v.find("A"), std::string::npos);
+  EXPECT_NE(v.find("user samples"), std::string::npos);
+}
+
+TEST(Report, MinPercentFiltersRows) {
+  Profiler p = profiled();
+  std::string all = rpt::dataCentricView(*p.blameReport(), {100, 0.0});
+  std::string filtered = rpt::dataCentricView(*p.blameReport(), {100, 99.5});
+  EXPECT_GT(all.size(), filtered.size());
+}
+
+TEST(Report, CsvHasOneLinePerRow) {
+  Profiler p = profiled();
+  std::string csv = rpt::dataCentricCsv(*p.blameReport());
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, p.blameReport()->rows.size() + 1);  // + header
+  EXPECT_EQ(csv.rfind("name,type,blame_percent,samples,context", 0), 0u);
+}
+
+TEST(Report, CodeCentricCountsSelfAndInclusive) {
+  Profiler p = profiled();
+  const rpt::CodeCentricReport& r = *p.codeReport();
+  uint64_t totalSelf = 0;
+  for (const auto& row : r.rows) {
+    EXPECT_GE(row.inclusive, row.self);
+    totalSelf += row.self;
+  }
+  EXPECT_EQ(totalSelf, r.totalSamples);  // self-counts partition the samples
+}
+
+TEST(Report, CodeCentricMainHasFullInclusive) {
+  Profiler p = profiled();
+  const rpt::CodeCentricReport& r = *p.codeReport();
+  uint64_t idle = 0;
+  for (const auto& row : r.rows)
+    if (row.function.rfind("__", 0) == 0 || row.function.rfind("chpl_", 0) == 0)
+      idle += row.self;
+  for (const auto& row : r.rows) {
+    if (row.function != "main") continue;
+    // Nearly all non-idle samples sit under main; the remainder belongs to
+    // _module_init (global initialization runs before main).
+    EXPECT_LE(row.inclusive, r.totalSamples - idle);
+    EXPECT_GE(row.inclusive, (r.totalSamples - idle) * 9 / 10);
+  }
+}
+
+TEST(Report, PprofFormatMatchesGperftools) {
+  Profiler p = profiled();
+  std::string out = rpt::pprofView(*p.codeReport(), "kernelprog");
+  EXPECT_EQ(out.rfind("Using local file ./kernelprog.", 0), 0u);
+  EXPECT_NE(out.find("Total: "), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(Report, PprofManglesUserFunctions) {
+  Profiler p = profiled();
+  std::string out = rpt::pprofView(*p.codeReport(), "prog", 50);
+  EXPECT_NE(out.find("kernel_chpl"), std::string::npos);
+}
+
+TEST(Report, HybridViewGroupsByBlamePoint) {
+  Profiler p = profiled();
+  std::string out = rpt::hybridView(*p.blameReport(), {25, 0.0});
+  EXPECT_NE(out.find("blame point: main"), std::string::npos);
+  EXPECT_NE(out.find("blame point: kernel"), std::string::npos);
+}
+
+TEST(Report, GuiViewCombinesBothPanes) {
+  Profiler p = profiled();
+  std::string out = p.guiText();
+  EXPECT_NE(out.find("Code-centric view"), std::string::npos);
+  EXPECT_NE(out.find("Data-centric (blame) view"), std::string::npos);
+}
+
+TEST(Report, BaselineViewListsUnknownData) {
+  Profiler p = profiled();
+  std::string out = rpt::baselineView(p.baselineReport());
+  EXPECT_NE(out.find("unknown data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cb

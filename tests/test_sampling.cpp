@@ -1,0 +1,164 @@
+// Tests of the virtual PMU and the raw monitoring artefacts (samples,
+// spawn records, idle accounting, allocation sites).
+#include <gtest/gtest.h>
+
+#include "sampling/sample.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+TEST(Pmu, OverflowEveryThreshold) {
+  sampling::VirtualPmu pmu(100, 1);
+  EXPECT_EQ(pmu.advance(0, 99), 0u);
+  EXPECT_EQ(pmu.advance(0, 1), 1u);   // exactly at threshold
+  EXPECT_EQ(pmu.advance(0, 199), 1u);
+  EXPECT_EQ(pmu.advance(0, 1), 1u);
+}
+
+TEST(Pmu, LargeCostTriggersMultipleOverflows) {
+  sampling::VirtualPmu pmu(10, 1);
+  EXPECT_EQ(pmu.advance(0, 35), 3u);
+}
+
+TEST(Pmu, ZeroThresholdDisables) {
+  sampling::VirtualPmu pmu(0, 1);
+  EXPECT_EQ(pmu.advance(0, 1000000), 0u);
+}
+
+TEST(Pmu, StreamsAreIndependent) {
+  sampling::VirtualPmu pmu(100, 3);
+  pmu.advance(0, 250);
+  EXPECT_EQ(pmu.clock(0), 250u);
+  EXPECT_EQ(pmu.clock(1), 0u);
+  EXPECT_EQ(pmu.advance(1, 100), 1u);
+}
+
+TEST(Pmu, SetClockRealignsNextSample) {
+  sampling::VirtualPmu pmu(100, 1);
+  pmu.setClock(0, 950);
+  EXPECT_EQ(pmu.advance(0, 49), 0u);
+  EXPECT_EQ(pmu.advance(0, 1), 1u);  // at 1000
+}
+
+TEST(Sampling, SamplesCarryStacksAndTags) {
+  const char* src =
+      "const D = {0..#64};\nvar A: [D] real;\n"
+      "proc work() { forall i in D { var t = 0.0; for j in 0..#50 { t += i * j; } A[i] = t; } "
+      "}\nproc main() { work(); }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 101;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok);
+  const sampling::RunLog& log = r.log;
+  ASSERT_GT(log.samples.size(), 10u);
+  ASSERT_EQ(log.spawns.size(), 1u);
+
+  const sampling::SpawnRecord& rec = log.spawns.begin()->second;
+  EXPECT_EQ(rec.parentTag, 0u);
+  ASSERT_GE(rec.preSpawnStack.size(), 2u);  // main -> work (at the spawn)
+  EXPECT_EQ(c->module().function(rec.preSpawnStack[0].func).displayName, "main");
+  EXPECT_EQ(c->module().function(rec.preSpawnStack[1].func).displayName, "work");
+
+  bool sawWorkerSample = false;
+  for (const sampling::RawSample& s : log.samples) {
+    if (s.taskTag == 0) continue;
+    sawWorkerSample = true;
+    EXPECT_EQ(s.taskTag, rec.tag);
+    ASSERT_FALSE(s.stack.empty());
+    // Post-spawn stacks are task-local: rooted at the task function.
+    EXPECT_TRUE(c->module().function(s.stack[0].func).isTaskFn());
+  }
+  EXPECT_TRUE(sawWorkerSample);
+}
+
+TEST(Sampling, NestedSpawnsChainTags) {
+  const char* src =
+      "const D = {0..#4};\nvar A: [D] [D] real;\n"
+      "proc main() { forall i in D { forall j in D { var t = 0.0; for k in 0..#80 { t += k; } "
+      "A[i][j] = t; } } }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 53;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok);
+  // At least one spawn record must have a non-zero parent (nested).
+  bool nested = false;
+  for (const auto& [tag, rec] : r.log.spawns)
+    if (rec.parentTag != 0) nested = true;
+  EXPECT_TRUE(nested);
+}
+
+TEST(Sampling, IdleWorkersProduceRuntimeFrames) {
+  // Serial main-thread work between parallel regions must surface as
+  // __sched_yield-style samples on the workers.
+  const char* src =
+      "const D = {0..#24};\nvar A: [D] real;\n"
+      "proc main() { forall i in D { A[i] = i; } var s = 0.0; for r in 0..#200 { for i in D { "
+      "s += A[i]; } } forall i in D { A[i] = s; } }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 211;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.log.numIdleSamples(), 0u);
+  EXPECT_GT(r.log.numUserSamples(), 0u);
+}
+
+TEST(Sampling, NoIdleWhenDisabled) {
+  const char* src = "const D = {0..#24};\nvar A: [D] real;\nproc main() { forall i in D { A[i] "
+                    "= i; } var s = 0.0; for r in 0..#100 { s += r; } }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 101;
+  o.sampleIdle = false;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_EQ(r.log.numIdleSamples(), 0u);
+}
+
+TEST(Sampling, AllocationSitesRecorded) {
+  const char* src = "const D = {0..#2048};\nproc main() { var A: [D] real; A[5] = 1.0; }";
+  auto c = fe::Compilation::fromString("t.chpl", src);
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 0;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok);
+  bool bigAlloc = false;
+  for (const auto& [site, bytes] : r.log.allocBytesBySite)
+    if (bytes >= 4096) bigAlloc = true;
+  EXPECT_TRUE(bigAlloc);  // 2048 reals = 16 KB
+}
+
+TEST(Sampling, DeterministicAcrossRuns) {
+  auto c = fe::Compilation::fromString(
+      "t.chpl",
+      "const D = {0..#32};\nvar A: [D] real;\nproc main() { forall i in D { A[i] = i * 2.0; } }");
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.sampleThreshold = 101;
+  rt::RunResult r1 = rt::execute(c->module(), o);
+  rt::RunResult r2 = rt::execute(c->module(), o);
+  ASSERT_EQ(r1.log.samples.size(), r2.log.samples.size());
+  for (size_t i = 0; i < r1.log.samples.size(); ++i) {
+    EXPECT_EQ(r1.log.samples[i].stream, r2.log.samples[i].stream);
+    EXPECT_EQ(r1.log.samples[i].atCycle, r2.log.samples[i].atCycle);
+    EXPECT_EQ(r1.log.samples[i].stack.size(), r2.log.samples[i].stack.size());
+  }
+  EXPECT_EQ(r1.totalCycles, r2.totalCycles);
+}
+
+TEST(Sampling, RuntimeFrameNames) {
+  EXPECT_STREQ(sampling::runtimeFrameName(sampling::RuntimeFrameKind::SchedYield),
+               "__sched_yield");
+  EXPECT_STREQ(sampling::runtimeFrameName(sampling::RuntimeFrameKind::ChplTaskYield),
+               "chpl_thread_yield");
+}
+
+}  // namespace
+}  // namespace cb

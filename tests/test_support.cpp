@@ -1,0 +1,173 @@
+// Unit tests for the support layer: interner, source manager, diagnostics,
+// text tables, PRNG.
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "support/source_manager.h"
+#include "support/table.h"
+
+namespace cb {
+namespace {
+
+TEST(Interner, EmptySymbolIsZero) {
+  StringInterner in;
+  EXPECT_TRUE(Symbol().empty());
+  EXPECT_EQ(in.intern(""), Symbol(0));
+}
+
+TEST(Interner, SameStringSameSymbol) {
+  StringInterner in;
+  Symbol a = in.intern("hello");
+  Symbol b = in.intern("hello");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Interner, DifferentStringsDifferentSymbols) {
+  StringInterner in;
+  EXPECT_NE(in.intern("a"), in.intern("b"));
+}
+
+TEST(Interner, RoundTrip) {
+  StringInterner in;
+  Symbol s = in.intern("partArray");
+  EXPECT_EQ(in.str(s), "partArray");
+}
+
+TEST(Interner, ManySymbolsStayStable) {
+  StringInterner in;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(in.intern("sym" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(in.str(syms[i]), "sym" + std::to_string(i));
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t", "one\ntwo\nthree");
+  EXPECT_EQ(sm.lineText(f, 1), "one");
+  EXPECT_EQ(sm.lineText(f, 2), "two");
+  EXPECT_EQ(sm.lineText(f, 3), "three");
+  EXPECT_EQ(sm.lineText(f, 4), "");
+}
+
+TEST(SourceManager, LineCount) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t", "a\nb\nc\n");
+  EXPECT_EQ(sm.lineCount(f), 4u);  // trailing newline opens a last empty line
+}
+
+TEST(SourceManager, RenderLoc) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("prog.chpl", "x");
+  EXPECT_EQ(sm.render(SourceLoc{f, 3, 7}), "prog.chpl:3:7");
+  EXPECT_EQ(sm.render(SourceLoc{f, 3, 0}), "prog.chpl:3");
+  EXPECT_EQ(sm.render(SourceLoc{}), "<unknown>");
+}
+
+TEST(SourceManager, MissingFileReturnsNullopt) {
+  SourceManager sm;
+  EXPECT_FALSE(sm.addFile("/nonexistent/definitely/not/here.chpl").has_value());
+}
+
+TEST(SourceManager, CrLfLinesStripped) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t", "one\r\ntwo\r\n");
+  EXPECT_EQ(sm.lineText(f, 1), "one");
+  EXPECT_EQ(sm.lineText(f, 2), "two");
+}
+
+TEST(Diagnostics, ErrorCounting) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("t", "x");
+  DiagnosticEngine d(sm);
+  EXPECT_FALSE(d.hasErrors());
+  d.warning(SourceLoc{f, 1, 1}, "w");
+  EXPECT_FALSE(d.hasErrors());
+  d.error(SourceLoc{f, 1, 1}, "e");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.numErrors(), 1u);
+}
+
+TEST(Diagnostics, RenderAllIncludesLevelAndLocation) {
+  SourceManager sm;
+  uint32_t f = sm.addBuffer("p.chpl", "x");
+  DiagnosticEngine d(sm);
+  d.error(SourceLoc{f, 2, 5}, "bad thing");
+  std::string out = d.renderAll();
+  EXPECT_NE(out.find("p.chpl:2:5"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  EXPECT_NE(out.find("bad thing"), std::string::npos);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.addRow({"short", "1"});
+  t.addRow({"much longer name", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("much longer name"), std::string::npos);
+  // All data lines have equal width.
+  size_t firstNl = out.find('\n');
+  std::string line1 = out.substr(0, firstNl);
+  for (size_t pos = 0; pos < out.size();) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, line1.size());
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.addRow({"has,comma", "has\"quote"});
+  std::string csv = t.renderCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, SeparatorGroupsRows) {
+  TextTable t({"x"});
+  t.addRow({"1"});
+  t.addSeparator();
+  t.addRow({"2"});
+  std::string out = t.render();
+  // header rule + top + bottom + separator = 4 rules
+  size_t rules = 0;
+  for (size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+  EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+  EXPECT_EQ(formatPercent(0.963), "96.3%");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.nextBounded(17), 17u);
+  EXPECT_EQ(r.nextBounded(0), 0u);
+}
+
+}  // namespace
+}  // namespace cb

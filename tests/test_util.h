@@ -1,0 +1,61 @@
+// Shared helpers for the ChapelBlame test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/profiler.h"
+
+namespace cb::test {
+
+/// Compiles a snippet; fails the test (with diagnostics) on error.
+inline std::unique_ptr<fe::Compilation> compile(const std::string& src,
+                                                fe::CompileOptions opts = {}) {
+  auto c = fe::Compilation::fromString("test.chpl", src, opts);
+  EXPECT_TRUE(c->ok()) << c->diags().renderAll();
+  return c;
+}
+
+/// Compiles + runs a snippet, returning the writeln output. Sampling off by
+/// default so tests are fast and output-focused.
+inline std::string runOutput(const std::string& src, rt::RunOptions ropts = {},
+                             fe::CompileOptions copts = {}) {
+  auto c = fe::Compilation::fromString("test.chpl", src, copts);
+  EXPECT_TRUE(c->ok()) << c->diags().renderAll();
+  if (!c->ok()) return "<compile error>";
+  if (ropts.sampleThreshold == 9973) ropts.sampleThreshold = 0;  // default: off
+  rt::RunResult r = rt::execute(c->module(), ropts);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.output;
+}
+
+/// Full pipeline on a snippet; asserts success.
+inline Profiler profileSource(const std::string& src, ProfileOptions opts = {}) {
+  Profiler p(opts);
+  EXPECT_TRUE(p.profileString("test.chpl", src)) << p.lastError();
+  return p;
+}
+
+/// Blame lines of a named variable in a function, restricted to a range.
+inline std::set<uint32_t> blameLinesOf(const Profiler& p, const std::string& fnName,
+                                       const std::string& var, uint32_t lo = 0,
+                                       uint32_t hi = 100000) {
+  const ir::Module& m = p.compilation()->module();
+  ir::FuncId f = ir::kNone;
+  for (ir::FuncId i = 0; i < m.numFunctions(); ++i)
+    if (m.function(i).displayName == fnName) f = i;
+  EXPECT_NE(f, ir::kNone) << "no function " << fnName;
+  std::set<uint32_t> out;
+  if (f == ir::kNone) return out;
+  const an::FunctionBlame& fb = p.moduleBlame()->fn(f);
+  for (an::EntityId e = 0; e < fb.entities.size(); ++e) {
+    if (fb.entities[e].displayName != var) continue;
+    for (uint32_t line : fb.blameLines(m, e))
+      if (line >= lo && line <= hi) out.insert(line);
+  }
+  return out;
+}
+
+}  // namespace cb::test
