@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gluing.dir/bench_ablate_gluing.cpp.o"
+  "CMakeFiles/bench_ablate_gluing.dir/bench_ablate_gluing.cpp.o.d"
+  "bench_ablate_gluing"
+  "bench_ablate_gluing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gluing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_implicit.dir/bench_ablate_implicit.cpp.o"
+  "CMakeFiles/bench_ablate_implicit.dir/bench_ablate_implicit.cpp.o.d"
+  "bench_ablate_implicit"
+  "bench_ablate_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_skid.dir/bench_ablate_skid.cpp.o"
+  "CMakeFiles/bench_ablate_skid.dir/bench_ablate_skid.cpp.o.d"
+  "bench_ablate_skid"
+  "bench_ablate_skid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_skid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_transfer.dir/bench_ablate_transfer.cpp.o"
+  "CMakeFiles/bench_ablate_transfer.dir/bench_ablate_transfer.cpp.o.d"
+  "bench_ablate_transfer"
+  "bench_ablate_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

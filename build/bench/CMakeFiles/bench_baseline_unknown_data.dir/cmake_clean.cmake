@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_unknown_data.dir/bench_baseline_unknown_data.cpp.o"
+  "CMakeFiles/bench_baseline_unknown_data.dir/bench_baseline_unknown_data.cpp.o.d"
+  "bench_baseline_unknown_data"
+  "bench_baseline_unknown_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_unknown_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

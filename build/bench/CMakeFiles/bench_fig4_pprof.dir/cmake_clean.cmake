@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pprof.dir/bench_fig4_pprof.cpp.o"
+  "CMakeFiles/bench_fig4_pprof.dir/bench_fig4_pprof.cpp.o.d"
+  "bench_fig4_pprof"
+  "bench_fig4_pprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

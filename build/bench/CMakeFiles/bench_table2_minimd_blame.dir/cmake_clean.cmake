@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_minimd_blame.dir/bench_table2_minimd_blame.cpp.o"
+  "CMakeFiles/bench_table2_minimd_blame.dir/bench_table2_minimd_blame.cpp.o.d"
+  "bench_table2_minimd_blame"
+  "bench_table2_minimd_blame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_minimd_blame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_minimd_speedup.dir/bench_table3_minimd_speedup.cpp.o"
+  "CMakeFiles/bench_table3_minimd_speedup.dir/bench_table3_minimd_speedup.cpp.o.d"
+  "bench_table3_minimd_speedup"
+  "bench_table3_minimd_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_minimd_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_clomp_blame.dir/bench_table4_clomp_blame.cpp.o"
+  "CMakeFiles/bench_table4_clomp_blame.dir/bench_table4_clomp_blame.cpp.o.d"
+  "bench_table4_clomp_blame"
+  "bench_table4_clomp_blame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_clomp_blame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

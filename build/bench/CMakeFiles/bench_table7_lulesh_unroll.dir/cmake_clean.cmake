@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_lulesh_unroll.dir/bench_table7_lulesh_unroll.cpp.o"
+  "CMakeFiles/bench_table7_lulesh_unroll.dir/bench_table7_lulesh_unroll.cpp.o.d"
+  "bench_table7_lulesh_unroll"
+  "bench_table7_lulesh_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_lulesh_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

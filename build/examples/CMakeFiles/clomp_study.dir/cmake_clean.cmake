@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clomp_study.dir/clomp_study.cpp.o"
+  "CMakeFiles/clomp_study.dir/clomp_study.cpp.o.d"
+  "clomp_study"
+  "clomp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clomp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

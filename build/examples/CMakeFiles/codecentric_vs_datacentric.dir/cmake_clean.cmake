@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codecentric_vs_datacentric.dir/codecentric_vs_datacentric.cpp.o"
+  "CMakeFiles/codecentric_vs_datacentric.dir/codecentric_vs_datacentric.cpp.o.d"
+  "codecentric_vs_datacentric"
+  "codecentric_vs_datacentric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codecentric_vs_datacentric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for codecentric_vs_datacentric.
+# This may be replaced when dependencies are built.

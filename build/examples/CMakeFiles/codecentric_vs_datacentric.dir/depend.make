@@ -1,0 +1,2 @@
+# Empty dependencies file for codecentric_vs_datacentric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimd_tuning.dir/minimd_tuning.cpp.o"
+  "CMakeFiles/minimd_tuning.dir/minimd_tuning.cpp.o.d"
+  "minimd_tuning"
+  "minimd_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimd_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

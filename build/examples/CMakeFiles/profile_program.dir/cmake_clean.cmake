@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_program.dir/profile_program.cpp.o"
+  "CMakeFiles/profile_program.dir/profile_program.cpp.o.d"
+  "profile_program"
+  "profile_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

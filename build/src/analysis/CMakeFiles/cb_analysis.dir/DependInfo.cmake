@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blame_analysis.cpp" "src/analysis/CMakeFiles/cb_analysis.dir/blame_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/cb_analysis.dir/blame_analysis.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/cb_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/cb_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/control_dep.cpp" "src/analysis/CMakeFiles/cb_analysis.dir/control_dep.cpp.o" "gcc" "src/analysis/CMakeFiles/cb_analysis.dir/control_dep.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/cb_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/cb_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/resolve.cpp" "src/analysis/CMakeFiles/cb_analysis.dir/resolve.cpp.o" "gcc" "src/analysis/CMakeFiles/cb_analysis.dir/resolve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_analysis.dir/blame_analysis.cpp.o"
+  "CMakeFiles/cb_analysis.dir/blame_analysis.cpp.o.d"
+  "CMakeFiles/cb_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/cb_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/cb_analysis.dir/control_dep.cpp.o"
+  "CMakeFiles/cb_analysis.dir/control_dep.cpp.o.d"
+  "CMakeFiles/cb_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/cb_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/cb_analysis.dir/resolve.cpp.o"
+  "CMakeFiles/cb_analysis.dir/resolve.cpp.o.d"
+  "libcb_analysis.a"
+  "libcb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_core.dir/lulesh_variants.cpp.o"
+  "CMakeFiles/cb_core.dir/lulesh_variants.cpp.o.d"
+  "CMakeFiles/cb_core.dir/profiler.cpp.o"
+  "CMakeFiles/cb_core.dir/profiler.cpp.o.d"
+  "libcb_core.a"
+  "libcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

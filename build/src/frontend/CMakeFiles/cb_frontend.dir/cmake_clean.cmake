@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_frontend.dir/compiler.cpp.o"
+  "CMakeFiles/cb_frontend.dir/compiler.cpp.o.d"
+  "CMakeFiles/cb_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/cb_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/cb_frontend.dir/lower.cpp.o"
+  "CMakeFiles/cb_frontend.dir/lower.cpp.o.d"
+  "CMakeFiles/cb_frontend.dir/lower_stmt.cpp.o"
+  "CMakeFiles/cb_frontend.dir/lower_stmt.cpp.o.d"
+  "CMakeFiles/cb_frontend.dir/parser.cpp.o"
+  "CMakeFiles/cb_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/cb_frontend.dir/passes.cpp.o"
+  "CMakeFiles/cb_frontend.dir/passes.cpp.o.d"
+  "libcb_frontend.a"
+  "libcb_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_ir.dir/builder.cpp.o"
+  "CMakeFiles/cb_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/cb_ir.dir/module.cpp.o"
+  "CMakeFiles/cb_ir.dir/module.cpp.o.d"
+  "CMakeFiles/cb_ir.dir/printer.cpp.o"
+  "CMakeFiles/cb_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/cb_ir.dir/type.cpp.o"
+  "CMakeFiles/cb_ir.dir/type.cpp.o.d"
+  "CMakeFiles/cb_ir.dir/verifier.cpp.o"
+  "CMakeFiles/cb_ir.dir/verifier.cpp.o.d"
+  "libcb_ir.a"
+  "libcb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

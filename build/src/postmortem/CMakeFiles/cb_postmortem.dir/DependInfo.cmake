@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/postmortem/attribution.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/attribution.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/attribution.cpp.o.d"
+  "/root/repo/src/postmortem/baseline.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/baseline.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/baseline.cpp.o.d"
+  "/root/repo/src/postmortem/instance.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/instance.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/cb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

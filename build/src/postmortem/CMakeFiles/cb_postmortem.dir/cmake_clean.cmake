@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_postmortem.dir/attribution.cpp.o"
+  "CMakeFiles/cb_postmortem.dir/attribution.cpp.o.d"
+  "CMakeFiles/cb_postmortem.dir/baseline.cpp.o"
+  "CMakeFiles/cb_postmortem.dir/baseline.cpp.o.d"
+  "CMakeFiles/cb_postmortem.dir/instance.cpp.o"
+  "CMakeFiles/cb_postmortem.dir/instance.cpp.o.d"
+  "libcb_postmortem.a"
+  "libcb_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_report.dir/html.cpp.o"
+  "CMakeFiles/cb_report.dir/html.cpp.o.d"
+  "CMakeFiles/cb_report.dir/views.cpp.o"
+  "CMakeFiles/cb_report.dir/views.cpp.o.d"
+  "libcb_report.a"
+  "libcb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

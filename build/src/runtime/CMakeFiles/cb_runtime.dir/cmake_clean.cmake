@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_runtime.dir/cost_model.cpp.o"
+  "CMakeFiles/cb_runtime.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cb_runtime.dir/interp.cpp.o"
+  "CMakeFiles/cb_runtime.dir/interp.cpp.o.d"
+  "CMakeFiles/cb_runtime.dir/value.cpp.o"
+  "CMakeFiles/cb_runtime.dir/value.cpp.o.d"
+  "libcb_runtime.a"
+  "libcb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

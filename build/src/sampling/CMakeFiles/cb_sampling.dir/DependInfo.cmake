@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/log_io.cpp" "src/sampling/CMakeFiles/cb_sampling.dir/log_io.cpp.o" "gcc" "src/sampling/CMakeFiles/cb_sampling.dir/log_io.cpp.o.d"
+  "/root/repo/src/sampling/sample.cpp" "src/sampling/CMakeFiles/cb_sampling.dir/sample.cpp.o" "gcc" "src/sampling/CMakeFiles/cb_sampling.dir/sample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_sampling.dir/log_io.cpp.o"
+  "CMakeFiles/cb_sampling.dir/log_io.cpp.o.d"
+  "CMakeFiles/cb_sampling.dir/sample.cpp.o"
+  "CMakeFiles/cb_sampling.dir/sample.cpp.o.d"
+  "libcb_sampling.a"
+  "libcb_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

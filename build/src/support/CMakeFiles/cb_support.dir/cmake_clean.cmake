@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/cb_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/cb_support.dir/source_manager.cpp.o"
+  "CMakeFiles/cb_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/cb_support.dir/table.cpp.o"
+  "CMakeFiles/cb_support.dir/table.cpp.o.d"
+  "libcb_support.a"
+  "libcb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/cb_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_blame.cpp" "tests/CMakeFiles/cb_tests.dir/test_blame.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_blame.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/cb_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_html.cpp" "tests/CMakeFiles/cb_tests.dir/test_html.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_html.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/cb_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/cb_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/cb_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_log_io.cpp" "tests/CMakeFiles/cb_tests.dir/test_log_io.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_log_io.cpp.o.d"
+  "/root/repo/tests/test_lower.cpp" "tests/CMakeFiles/cb_tests.dir/test_lower.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_lower.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/cb_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_postmortem.cpp" "tests/CMakeFiles/cb_tests.dir/test_postmortem.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_postmortem.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/cb_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/cb_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/cb_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/cb_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cb_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/cb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/postmortem/CMakeFiles/cb_postmortem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/cb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
