@@ -1,0 +1,71 @@
+// Speedup of the parallel sharded post-mortem pipeline (consolidation +
+// blame attribution + deterministic merge) over the sequential path, at
+// 1/2/4/8 workers, on the LULESH and MiniMD assets. The sample logs are
+// produced once per program at a low PMU threshold so step 3 has a
+// paper-scale sample volume to chew on; every parallel run is checked
+// bit-identical to the sequential report before its time is reported.
+#include <chrono>
+
+#include "bench_common.h"
+#include "postmortem/parallel.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using cb::bench::printHeader;
+using Clock = std::chrono::steady_clock;
+
+double millis(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void benchProgram(const char* name, uint64_t threshold) {
+  cb::Profiler p = cb::bench::profileAsset(name, /*fast=*/false, threshold);
+  const cb::ir::Module& m = p.compilation()->module();
+  const cb::an::ModuleBlame& mb = *p.moduleBlame();
+  const cb::sampling::RunLog& log = p.runResult()->log;
+
+  std::printf("\n%s: %zu samples (%zu user), %zu spawn records\n", name, log.samples.size(),
+              log.numUserSamples(), log.spawns.size());
+  std::printf("  %-28s %12s %10s\n", "configuration", "time (ms)", "speedup");
+
+  auto timePostmortem = [&](uint32_t workers) {
+    cb::pm::ParallelOptions popts;
+    popts.workers = workers;
+    // Warm-up + best-of-3: post-mortem time, not first-touch page faults.
+    double best = 1e300;
+    cb::pm::PostmortemResult r;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = Clock::now();
+      r = cb::pm::runPostmortem(m, &mb, log, {}, {}, popts);
+      auto t1 = Clock::now();
+      best = std::min(best, millis(t0, t1));
+    }
+    return std::pair<double, cb::pm::PostmortemResult>(best, std::move(r));
+  };
+
+  auto [seqMs, seqResult] = timePostmortem(1);
+  std::printf("  %-28s %12.2f %9.2fx\n", "sequential (workers=1)", seqMs, 1.0);
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    auto [ms, result] = timePostmortem(workers);
+    bool identical =
+        result.report == seqResult.report && result.instances == seqResult.instances;
+    std::printf("  workers=%-2u shards=%-12u %12.2f %9.2fx%s\n", workers,
+                workers * cb::pm::kShardsPerWorker, ms, seqMs / ms,
+                identical ? "" : "  ** MISMATCH **");
+    if (!identical) std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  printHeader(
+      "Parallel sharded post-mortem: speedup over the sequential path\n"
+      "(shard by stream/taskTag -> per-shard attribute -> deterministic merge;\n"
+      "every row is verified bit-identical to workers=1 before timing counts)");
+  std::printf("hardware concurrency: %u\n", cb::ThreadPool::defaultConcurrency());
+  benchProgram("lulesh", 211);
+  benchProgram("minimd", 211);
+  return 0;
+}

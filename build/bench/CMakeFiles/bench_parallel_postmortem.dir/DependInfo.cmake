@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_postmortem.cpp" "bench/CMakeFiles/bench_parallel_postmortem.dir/bench_parallel_postmortem.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_postmortem.dir/bench_parallel_postmortem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/cb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/postmortem/CMakeFiles/cb_postmortem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/cb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

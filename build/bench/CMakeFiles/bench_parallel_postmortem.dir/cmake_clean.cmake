@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_postmortem.dir/bench_parallel_postmortem.cpp.o"
+  "CMakeFiles/bench_parallel_postmortem.dir/bench_parallel_postmortem.cpp.o.d"
+  "bench_parallel_postmortem"
+  "bench_parallel_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -224,13 +224,15 @@ bench/CMakeFiles/bench_pipeline_micro.dir/bench_pipeline_micro.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ir/debug.h \
  /root/repo/src/ir/instr.h /root/repo/src/ir/type.h \
- /root/repo/src/support/interner.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /root/repo/src/ir/function.h \
  /root/repo/src/core/profiler.h /root/repo/src/frontend/compiler.h \
  /root/repo/src/support/diagnostics.h \
  /root/repo/src/postmortem/attribution.h \
  /root/repo/src/postmortem/instance.h /root/repo/src/sampling/sample.h \
- /root/repo/src/postmortem/baseline.h /root/repo/src/report/views.h \
+ /root/repo/src/postmortem/baseline.h \
+ /root/repo/src/postmortem/parallel.h /root/repo/src/report/views.h \
  /root/repo/src/runtime/interp.h /root/repo/src/runtime/cost_model.h \
  /root/repo/src/runtime/value.h /root/repo/src/support/common.h \
  /root/repo/src/support/rng.h /root/repo/src/frontend/lexer.h \

@@ -217,7 +217,8 @@ src/analysis/CMakeFiles/cb_analysis.dir/blame_analysis.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ir/debug.h \
  /root/repo/src/ir/instr.h /root/repo/src/ir/type.h \
- /root/repo/src/support/interner.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /root/repo/src/ir/function.h \
  /root/repo/src/analysis/cfg.h /root/repo/src/analysis/resolve.h \
  /root/repo/src/analysis/control_dep.h \

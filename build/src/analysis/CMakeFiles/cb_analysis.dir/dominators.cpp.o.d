@@ -123,8 +123,9 @@ src/analysis/CMakeFiles/cb_analysis.dir/dominators.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/ir/instr.h \
- /root/repo/src/ir/type.h /root/repo/src/support/interner.h \
- /usr/include/c++/12/unordered_map \
+ /root/repo/src/ir/type.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/support/interner.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \

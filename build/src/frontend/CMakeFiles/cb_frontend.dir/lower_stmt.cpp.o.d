@@ -220,5 +220,7 @@ src/frontend/CMakeFiles/cb_frontend.dir/lower_stmt.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ir/debug.h \
  /root/repo/src/ir/instr.h /root/repo/src/ir/type.h \
- /root/repo/src/support/interner.h /root/repo/src/ir/function.h \
- /root/repo/src/support/diagnostics.h /root/repo/src/support/common.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.h \
+ /root/repo/src/ir/function.h /root/repo/src/support/diagnostics.h \
+ /root/repo/src/support/common.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/postmortem/attribution.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/attribution.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/attribution.cpp.o.d"
   "/root/repo/src/postmortem/baseline.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/baseline.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/baseline.cpp.o.d"
   "/root/repo/src/postmortem/instance.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/instance.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/instance.cpp.o.d"
+  "/root/repo/src/postmortem/parallel.cpp" "src/postmortem/CMakeFiles/cb_postmortem.dir/parallel.cpp.o" "gcc" "src/postmortem/CMakeFiles/cb_postmortem.dir/parallel.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cb_postmortem.dir/baseline.cpp.o.d"
   "CMakeFiles/cb_postmortem.dir/instance.cpp.o"
   "CMakeFiles/cb_postmortem.dir/instance.cpp.o.d"
+  "CMakeFiles/cb_postmortem.dir/parallel.cpp.o"
+  "CMakeFiles/cb_postmortem.dir/parallel.cpp.o.d"
   "libcb_postmortem.a"
   "libcb_postmortem.pdb"
 )

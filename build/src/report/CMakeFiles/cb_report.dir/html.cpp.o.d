@@ -213,7 +213,8 @@ src/report/CMakeFiles/cb_report.dir/html.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ir/debug.h \
  /root/repo/src/ir/instr.h /root/repo/src/ir/type.h \
- /root/repo/src/support/interner.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /root/repo/src/ir/function.h \
  /root/repo/src/postmortem/instance.h /root/repo/src/sampling/sample.h \
  /root/repo/src/report/views.h /root/repo/src/postmortem/baseline.h \

@@ -210,7 +210,8 @@ src/sampling/CMakeFiles/cb_sampling.dir/log_io.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ir/debug.h \
  /root/repo/src/ir/instr.h /root/repo/src/ir/type.h \
- /root/repo/src/support/interner.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /usr/include/c++/12/optional \
  /root/repo/src/ir/function.h /usr/include/c++/12/cinttypes \
  /usr/include/inttypes.h /usr/include/c++/12/fstream \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/diagnostics.cpp" "src/support/CMakeFiles/cb_support.dir/diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/cb_support.dir/diagnostics.cpp.o.d"
   "/root/repo/src/support/source_manager.cpp" "src/support/CMakeFiles/cb_support.dir/source_manager.cpp.o" "gcc" "src/support/CMakeFiles/cb_support.dir/source_manager.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/cb_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/cb_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/cb_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/cb_support.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

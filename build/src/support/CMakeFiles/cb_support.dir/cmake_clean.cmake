@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cb_support.dir/source_manager.cpp.o.d"
   "CMakeFiles/cb_support.dir/table.cpp.o"
   "CMakeFiles/cb_support.dir/table.cpp.o.d"
+  "CMakeFiles/cb_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/cb_support.dir/thread_pool.cpp.o.d"
   "libcb_support.a"
   "libcb_support.pdb"
 )

@@ -17,6 +17,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/cb_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_lexer.cpp.o.d"
   "/root/repo/tests/test_log_io.cpp" "tests/CMakeFiles/cb_tests.dir/test_log_io.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_log_io.cpp.o.d"
   "/root/repo/tests/test_lower.cpp" "tests/CMakeFiles/cb_tests.dir/test_lower.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_lower.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/cb_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/test_parallel_postmortem.cpp" "tests/CMakeFiles/cb_tests.dir/test_parallel_postmortem.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_parallel_postmortem.cpp.o.d"
   "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/cb_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_parser.cpp.o.d"
   "/root/repo/tests/test_postmortem.cpp" "tests/CMakeFiles/cb_tests.dir/test_postmortem.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_postmortem.cpp.o.d"
   "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/cb_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/cb_tests.dir/test_profiler.cpp.o.d"

@@ -295,6 +295,8 @@ tests/CMakeFiles/cb_tests.dir/test_ir.cpp.o: /root/repo/tests/test_ir.cpp \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ir/builder.h /root/repo/src/ir/module.h \
  /root/repo/src/ir/debug.h /root/repo/src/ir/instr.h \
- /root/repo/src/ir/type.h /root/repo/src/support/interner.h \
+ /root/repo/src/ir/type.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /root/repo/src/ir/function.h \
  /root/repo/src/ir/printer.h /root/repo/src/ir/verifier.h

@@ -295,13 +295,16 @@ tests/CMakeFiles/cb_tests.dir/test_postmortem.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/postmortem/baseline.h /root/repo/src/ir/module.h \
  /root/repo/src/ir/debug.h /root/repo/src/ir/instr.h \
- /root/repo/src/ir/type.h /root/repo/src/support/interner.h \
+ /root/repo/src/ir/type.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/support/interner.h \
  /root/repo/src/support/source_manager.h /root/repo/src/ir/function.h \
  /root/repo/src/postmortem/instance.h /root/repo/src/sampling/sample.h \
  /root/repo/tests/test_util.h /root/repo/src/core/profiler.h \
  /root/repo/src/analysis/blame.h /root/repo/src/frontend/compiler.h \
  /root/repo/src/support/diagnostics.h \
- /root/repo/src/postmortem/attribution.h /root/repo/src/report/views.h \
+ /root/repo/src/postmortem/attribution.h \
+ /root/repo/src/postmortem/parallel.h /root/repo/src/report/views.h \
  /root/repo/src/runtime/interp.h /root/repo/src/runtime/cost_model.h \
  /root/repo/src/runtime/value.h /root/repo/src/support/common.h \
  /root/repo/src/support/rng.h

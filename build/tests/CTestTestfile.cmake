@@ -5,3 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/cb_tests[1]_include.cmake")
+include("/root/repo/build/tests/cb_tests[2]_include.cmake")
+include("/root/repo/build/tests/cb_tests[3]_include.cmake")
+include("/root/repo/build/tests/cb_tests[4]_include.cmake")

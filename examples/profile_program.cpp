@@ -24,6 +24,7 @@ void usage() {
       "  --fast                compile with the --fast pipeline\n"
       "  --threshold N         PMU overflow threshold (virtual cycles)\n"
       "  --workers N           worker streams (default 12)\n"
+      "  --pm-workers N        post-mortem worker threads (0 = hardware, 1 = sequential)\n"
       "  --config K=V          override a config const (repeatable)\n"
       "  --view V              data|code|pprof|hybrid|gui|baseline|csv (default data)\n"
       "  --skid N              simulate PMU skid of N instructions\n"
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
       profiler.options().run.sampleThreshold = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--workers") {
       profiler.options().run.numWorkers = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--pm-workers") {
+      profiler.options().postmortem.workers = static_cast<uint32_t>(std::stoul(next()));
     } else if (arg == "--config") {
       std::string kv = next();
       size_t eq = kv.find('=');

@@ -53,16 +53,17 @@ bool Profiler::postProcess() {
     error_ = "postProcess() requires analyze() and run()";
     return false;
   }
-  instances_ = pm::consolidate(comp_->module(), result_->log, opts_.consolidate);
+  // --fast strips the IR -> source-variable mapping, so only the
+  // code-centric view is meaningful (paper §V, footnote 1); attribution is
+  // skipped by passing a null blame database.
+  bool stripped = comp_->module().debugInfoStripped;
+  pm::PostmortemResult res =
+      pm::runPostmortem(comp_->module(), stripped ? nullptr : &*blame_, result_->log,
+                        opts_.consolidate, opts_.attribution, opts_.postmortem);
+  instances_ = std::move(res.instances);
   codeReport_ = rpt::codeCentric(*instances_);
-  if (comp_->module().debugInfoStripped) {
-    // --fast: the IR -> source-variable mapping is gone; only the
-    // code-centric view is meaningful (paper §V, footnote 1).
-    report_ = pm::BlameReport{};
-    report_->totalRawSamples = instances_->size();
-    return true;
-  }
-  report_ = pm::attribute(*blame_, *instances_, opts_.attribution);
+  report_ = std::move(res.report);
+  if (stripped) report_->totalRawSamples = instances_->size();
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include "postmortem/attribution.h"
 #include "postmortem/baseline.h"
 #include "postmortem/instance.h"
+#include "postmortem/parallel.h"
 #include "report/views.h"
 #include "runtime/interp.h"
 
@@ -31,6 +32,10 @@ struct ProfileOptions {
   rt::RunOptions run;
   pm::ConsolidateOptions consolidate;
   pm::AttributionOptions attribution;
+  /// Parallel post-mortem (step 3) sharding. `postmortem.workers` defaults
+  /// to hardware concurrency; 1 forces the sequential path. Any worker
+  /// count yields a bit-identical BlameReport (see src/postmortem/parallel.h).
+  pm::ParallelOptions postmortem;
   pm::BaselineOptions baseline;
   rpt::ViewOptions view;
 };

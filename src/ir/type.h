@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,9 @@ class TypeContext {
   TypeId array(TypeId elem, uint8_t rank);
   TypeId ref(TypeId pointee);
 
+  /// The returned reference stays valid while this context lives, even as
+  /// later calls add types — lowering routinely holds one across builder
+  /// calls that intern new Ref/Tuple types.
   const Type& get(TypeId id) const { return types_.at(id); }
   TypeKind kindOf(TypeId id) const { return get(id).kind; }
   bool isScalar(TypeId id) const {
@@ -97,7 +101,9 @@ class TypeContext {
  private:
   TypeId add(Type t);
 
-  std::vector<Type> types_;
+  // Deque, not vector: growth must not invalidate references handed out by
+  // get() (see its contract above).
+  std::deque<Type> types_;
 };
 
 }  // namespace cb::ir

@@ -51,8 +51,10 @@ class Attributor {
   Attributor(const an::ModuleBlame& mb, const AttributionOptions& opts)
       : mb_(mb), m_(*mb.mod), opts_(opts) {}
 
-  BlameReport run(const std::vector<Instance>& instances) {
-    for (const Instance& inst : instances) {
+  BlameReport run(const std::vector<const Instance*>& instances) {
+    for (const Instance* instPtr : instances) {
+      if (!instPtr) continue;
+      const Instance& inst = *instPtr;
       ++report_.totalRawSamples;
       if (inst.idle || inst.frames.empty()) continue;
       ++report_.totalUserSamples;
@@ -181,10 +183,7 @@ class Attributor {
                         : 0.0;
       report_.rows.push_back(std::move(row));
     }
-    std::sort(report_.rows.begin(), report_.rows.end(), [](const auto& a, const auto& b) {
-      if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
-      return a.name < b.name;
-    });
+    std::sort(report_.rows.begin(), report_.rows.end(), blameRowLess);
     return std::move(report_);
   }
 
@@ -205,6 +204,15 @@ const VariableBlame* BlameReport::find(const std::string& name) const {
   return nullptr;
 }
 
+bool blameRowLess(const VariableBlame& a, const VariableBlame& b) {
+  // sampleCount descending is percent descending: within one report every
+  // row shares the denominator, so comparing counts avoids float ties.
+  if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
+  if (a.name != b.name) return a.name < b.name;
+  if (a.context != b.context) return a.context < b.context;
+  return a.type < b.type;
+}
+
 std::string userContextName(const ir::Module& m, ir::FuncId f) {
   ir::FuncId cur = f;
   int guard = 0;
@@ -217,19 +225,29 @@ std::string userContextName(const ir::Module& m, ir::FuncId f) {
 
 BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
                       const AttributionOptions& opts) {
+  std::vector<const Instance*> ptrs;
+  ptrs.reserve(instances.size());
+  for (const Instance& inst : instances) ptrs.push_back(&inst);
+  return Attributor(mb, opts).run(ptrs);
+}
+
+BlameReport attribute(const an::ModuleBlame& mb, const std::vector<const Instance*>& instances,
+                      const AttributionOptions& opts) {
   return Attributor(mb, opts).run(instances);
 }
 
 BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale) {
   BlameReport out;
-  // Key on (context, name); keep the first type display seen.
+  // Key on (context, name, type) — the same key the attributor aggregates
+  // per sample — so a merge of per-shard partial reports is row-for-row
+  // identical to attributing the union sequentially.
   std::unordered_map<std::string, VariableBlame> agg;
   for (const BlameReport* r : perLocale) {
     if (!r) continue;
     out.totalUserSamples += r->totalUserSamples;
     out.totalRawSamples += r->totalRawSamples;
     for (const VariableBlame& row : r->rows) {
-      std::string key = row.context + "\x01" + row.name;
+      std::string key = row.context + "\x01" + row.name + "\x01" + row.type;
       auto [it, inserted] = agg.emplace(key, row);
       if (!inserted) it->second.sampleCount += row.sampleCount;
     }
@@ -241,10 +259,7 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
                       : 0.0;
     out.rows.push_back(std::move(row));
   }
-  std::sort(out.rows.begin(), out.rows.end(), [](const auto& a, const auto& b) {
-    if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
-    return a.name < b.name;
-  });
+  std::sort(out.rows.begin(), out.rows.end(), blameRowLess);
   return out;
 }
 

@@ -18,15 +18,26 @@ struct VariableBlame {
   std::string context;   // defining function ("main" for module-scope vars)
   uint64_t sampleCount = 0;
   double percent = 0.0;  // of user samples; rows can sum to > 100% (paper §III)
+
+  friend bool operator==(const VariableBlame&, const VariableBlame&) = default;
 };
+
+/// The canonical row order of every BlameReport: percent (i.e. sample count)
+/// descending, then name, then context, then type. A *total* order — reports
+/// keyed on (context, name, type) have no equal elements under it — so any
+/// merge order of per-shard or per-locale partial reports sorts to the same
+/// row sequence.
+bool blameRowLess(const VariableBlame& a, const VariableBlame& b);
 
 struct BlameReport {
   uint64_t totalUserSamples = 0;  // denominator for percentages
   uint64_t totalRawSamples = 0;   // including idle/runtime samples
-  std::vector<VariableBlame> rows;  // sorted by percent, descending
+  std::vector<VariableBlame> rows;  // sorted by blameRowLess
 
   /// Finds a row by display name (first match); nullptr if absent.
   const VariableBlame* find(const std::string& name) const;
+
+  friend bool operator==(const BlameReport&, const BlameReport&) = default;
 };
 
 struct AttributionOptions {
@@ -38,11 +49,21 @@ struct AttributionOptions {
 BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
                       const AttributionOptions& opts = {});
 
-/// Step 4 for multi-locale runs (paper §IV.C: "for multi-locale, we need to
-/// aggregate the results across the nodes"): merges per-locale blame
-/// reports by summing sample counts per (variable, context) and recomputing
-/// percentages over the combined denominator. Step 3 is embarrassingly
-/// parallel across locales; this is the final combine.
+/// Subset form (the parallel post-mortem shard kernel): attributes only the
+/// pointed-to instances. Null entries are skipped. Attribution is a pure
+/// per-instance map-reduce, so attributing a partition of the instances
+/// shard-by-shard and merging with aggregateAcrossLocales reproduces the
+/// full-vector result exactly.
+BlameReport attribute(const an::ModuleBlame& mb, const std::vector<const Instance*>& instances,
+                      const AttributionOptions& opts = {});
+
+/// The shared order-independent reduction kernel, used both as the paper's
+/// step 4 for multi-locale runs (§IV.C: "for multi-locale, we need to
+/// aggregate the results across the nodes") and as the merge step of the
+/// parallel sharded post-mortem pipeline. Sums sample counts per
+/// (context, variable, type), recomputes percentages over the combined
+/// denominator, and re-sorts with blameRowLess — the result is bit-identical
+/// for every permutation and partition of the inputs.
 BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale);
 
 /// Resolves the user-facing context of a function: task functions report

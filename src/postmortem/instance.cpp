@@ -22,49 +22,52 @@ ResolvedFrame resolve(const ir::Module& m, const sampling::Frame& f) {
 
 }  // namespace
 
+Instance consolidateSample(const ir::Module& m, const sampling::RunLog& log,
+                           const sampling::RawSample& s, const ConsolidateOptions& opts) {
+  Instance inst;
+  inst.stream = s.stream;
+  if (s.runtimeFrame != sampling::RuntimeFrameKind::None) {
+    inst.idle = true;
+    inst.runtimeFrame = s.runtimeFrame;
+    return inst;
+  }
+
+  // Glue: prepend pre-spawn stacks, innermost tag first, walking the
+  // parent chain ("we glue the pre-spawn stack trace and post-spawn stack
+  // trace based on the unique spawn tag").
+  std::vector<sampling::Frame> full;
+  std::vector<const sampling::SpawnRecord*> chain;
+  if (opts.glueSpawns) {
+    uint64_t tag = s.taskTag;
+    while (tag != 0) {
+      auto it = log.spawns.find(tag);
+      if (it == log.spawns.end()) break;
+      chain.push_back(&it->second);
+      tag = it->second.parentTag;
+    }
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const sampling::SpawnRecord& rec = **it;
+    for (const sampling::Frame& f : rec.preSpawnStack) {
+      // Trim redundancy: if the pre-spawn leaf repeats the previous glue
+      // point, skip the duplicate.
+      if (!full.empty() && full.back() == f) continue;
+      full.push_back(f);
+    }
+  }
+  for (const sampling::Frame& f : s.stack) full.push_back(f);
+
+  inst.frames.reserve(full.size());
+  for (const sampling::Frame& f : full) inst.frames.push_back(resolve(m, f));
+  return inst;
+}
+
 std::vector<Instance> consolidate(const ir::Module& m, const sampling::RunLog& log,
                                   const ConsolidateOptions& opts) {
   std::vector<Instance> out;
   out.reserve(log.samples.size());
-  for (const sampling::RawSample& s : log.samples) {
-    Instance inst;
-    inst.stream = s.stream;
-    if (s.runtimeFrame != sampling::RuntimeFrameKind::None) {
-      inst.idle = true;
-      inst.runtimeFrame = s.runtimeFrame;
-      out.push_back(std::move(inst));
-      continue;
-    }
-
-    // Glue: prepend pre-spawn stacks, innermost tag first, walking the
-    // parent chain ("we glue the pre-spawn stack trace and post-spawn stack
-    // trace based on the unique spawn tag").
-    std::vector<sampling::Frame> full;
-    std::vector<const sampling::SpawnRecord*> chain;
-    if (opts.glueSpawns) {
-      uint64_t tag = s.taskTag;
-      while (tag != 0) {
-        auto it = log.spawns.find(tag);
-        if (it == log.spawns.end()) break;
-        chain.push_back(&it->second);
-        tag = it->second.parentTag;
-      }
-    }
-    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-      const sampling::SpawnRecord& rec = **it;
-      for (const sampling::Frame& f : rec.preSpawnStack) {
-        // Trim redundancy: if the pre-spawn leaf repeats the previous glue
-        // point, skip the duplicate.
-        if (!full.empty() && full.back() == f) continue;
-        full.push_back(f);
-      }
-    }
-    for (const sampling::Frame& f : s.stack) full.push_back(f);
-
-    inst.frames.reserve(full.size());
-    for (const sampling::Frame& f : full) inst.frames.push_back(resolve(m, f));
-    out.push_back(std::move(inst));
-  }
+  for (const sampling::RawSample& s : log.samples)
+    out.push_back(consolidateSample(m, log, s, opts));
   return out;
 }
 

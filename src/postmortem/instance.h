@@ -18,6 +18,8 @@ struct ResolvedFrame {
   std::string funcName;
   std::string file;
   uint32_t line = 0;
+
+  friend bool operator==(const ResolvedFrame&, const ResolvedFrame&) = default;
 };
 
 /// A consolidated sample: the paper's "instance" abstraction (module, file,
@@ -27,6 +29,8 @@ struct Instance {
   uint32_t stream = 0;
   bool idle = false;
   sampling::RuntimeFrameKind runtimeFrame = sampling::RuntimeFrameKind::None;
+
+  friend bool operator==(const Instance&, const Instance&) = default;
 };
 
 struct ConsolidateOptions {
@@ -39,5 +43,12 @@ struct ConsolidateOptions {
 /// Glues, trims and resolves every sample of a run.
 std::vector<Instance> consolidate(const ir::Module& m, const sampling::RunLog& log,
                                   const ConsolidateOptions& opts = {});
+
+/// Consolidates a single sample. Samples are independent of one another —
+/// this is the per-item kernel the parallel post-mortem pipeline shards
+/// over; `consolidate` is exactly a sequential map of it over `log.samples`.
+/// Only reads `log.spawns` (for glue-chain lookups), never mutates the log.
+Instance consolidateSample(const ir::Module& m, const sampling::RunLog& log,
+                           const sampling::RawSample& s, const ConsolidateOptions& opts = {});
 
 }  // namespace cb::pm

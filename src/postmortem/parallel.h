@@ -1,0 +1,74 @@
+// Parallel sharded post-mortem pipeline. The paper observes that step 3
+// (consolidation + blame attribution) is embarrassingly parallel across
+// locales; the same holds across samples within one locale, because both
+// consolidation and attribution are pure per-sample map-reduces. This module
+// shards the raw samples of a run log by (stream, taskTag), runs the two
+// per-sample kernels on a fixed-size worker pool, and reduces the per-shard
+// partial BlameReports with the order-independent aggregateAcrossLocales
+// kernel. The contract — enforced by the shard-invariance property suite and
+// the golden fixtures — is bit-identical output to the sequential path for
+// every worker and shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "postmortem/attribution.h"
+#include "postmortem/instance.h"
+
+namespace cb {
+class ThreadPool;
+}
+
+namespace cb::pm {
+
+struct ParallelOptions {
+  /// Worker threads for the post-mortem step. 0 = hardware concurrency;
+  /// 1 preserves today's exact sequential path (no pool, no sharding).
+  uint32_t workers = 0;
+  /// Shard count. 0 = auto (kShardsPerWorker per resolved worker, so the
+  /// pool load-balances uneven shards). Clamped to >= 1.
+  uint32_t shards = 0;
+};
+
+/// Shards-per-worker factor used when ParallelOptions.shards == 0.
+inline constexpr uint32_t kShardsPerWorker = 4;
+
+/// ParallelOptions.workers resolved against the machine: 0 -> hardware
+/// concurrency (>= 1), anything else unchanged.
+uint32_t resolveWorkers(uint32_t requested);
+
+/// Deterministic shard assignment: sample i goes to shard
+/// hash(taskTag != 0 ? taskTag : stream) % numShards, so all samples of one
+/// task (and all non-task samples of one stream) land in the same shard.
+/// The assignment depends only on the log contents and numShards — never on
+/// scheduling — and every index of `log.samples` appears in exactly one
+/// shard, in ascending order.
+std::vector<std::vector<uint32_t>> shardSamples(const sampling::RunLog& log, uint32_t numShards);
+
+struct PostmortemResult {
+  /// Consolidated instances in original log order — bit-identical to the
+  /// sequential consolidate() output regardless of worker/shard counts
+  /// (each worker writes its shard's instances into pre-assigned slots).
+  std::vector<Instance> instances;
+  /// Merged blame report; empty (zero rows) when mb == nullptr.
+  BlameReport report;
+};
+
+/// Runs consolidation and attribution sharded over `pool`. Pass
+/// mb == nullptr to skip attribution (the --fast path, where the
+/// source-variable mapping is stripped); consolidation still parallelizes.
+PostmortemResult runPostmortemSharded(const ir::Module& m, const an::ModuleBlame* mb,
+                                      const sampling::RunLog& log,
+                                      const ConsolidateOptions& copts,
+                                      const AttributionOptions& aopts, ThreadPool& pool,
+                                      uint32_t numShards);
+
+/// Convenience wrapper: resolves `popts`, creates the pool, and dispatches.
+/// workers == 1 (after resolution) runs the plain sequential kernels on the
+/// calling thread — exactly today's path, no pool created.
+PostmortemResult runPostmortem(const ir::Module& m, const an::ModuleBlame* mb,
+                               const sampling::RunLog& log, const ConsolidateOptions& copts,
+                               const AttributionOptions& aopts, const ParallelOptions& popts);
+
+}  // namespace cb::pm

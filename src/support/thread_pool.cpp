@@ -1,0 +1,58 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace cb {
+
+ThreadPool::ThreadPool(uint32_t numThreads) {
+  uint32_t n = std::max<uint32_t>(1, numThreads);
+  threads_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  workAvailable_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    ++pending_;
+  }
+  workAvailable_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  batchDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+uint32_t ThreadPool::defaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      workAvailable_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) batchDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace cb

@@ -1,0 +1,54 @@
+// A small fixed-size worker pool for the parallel post-mortem pipeline and
+// other embarrassingly-parallel batch work. Deliberately minimal: submit
+// `void()` jobs, then `wait()` for the batch to drain. Results are
+// communicated through pre-sized output slots owned by the caller, so jobs
+// never contend on shared mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cb {
+
+class ThreadPool {
+ public:
+  /// Spawns `numThreads` workers (clamped to >= 1). A pool of size 1 still
+  /// runs jobs on its single worker thread, preserving one code path.
+  explicit ThreadPool(uint32_t numThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe to call from any thread, including from inside a
+  /// running job (jobs may fan out further work before the batch drains).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished. The pool is reusable
+  /// afterwards: submit/wait cycles can repeat.
+  void wait();
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+  /// Hardware concurrency, clamped to >= 1 (hardware_concurrency() may
+  /// return 0 on exotic platforms).
+  static uint32_t defaultConcurrency();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable workAvailable_;
+  std::condition_variable batchDone_;
+  uint64_t pending_ = 0;  // queued + running jobs
+  bool shutdown_ = false;
+};
+
+}  // namespace cb

@@ -6,6 +6,7 @@
 #include "postmortem/attribution.h"
 #include "postmortem/instance.h"
 #include "sampling/log_io.h"
+#include "support/rng.h"
 #include "test_util.h"
 
 namespace cb {
@@ -81,6 +82,123 @@ TEST(LogIo, ReloadedLogAttributesIdentically) {
     EXPECT_EQ(report.rows[i].sampleCount, p.blameReport()->rows[i].sampleCount);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Property suite: random logs round-trip through the serializer unchanged.
+// ---------------------------------------------------------------------------
+
+void expectLogsEqual(const sampling::RunLog& a, const sampling::RunLog& b) {
+  EXPECT_EQ(a.sampleThreshold, b.sampleThreshold);
+  EXPECT_EQ(a.numStreams, b.numStreams);
+  EXPECT_EQ(a.totalCycles, b.totalCycles);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].stream, b.samples[i].stream) << "sample " << i;
+    EXPECT_EQ(a.samples[i].taskTag, b.samples[i].taskTag) << "sample " << i;
+    EXPECT_EQ(a.samples[i].atCycle, b.samples[i].atCycle) << "sample " << i;
+    EXPECT_EQ(a.samples[i].runtimeFrame, b.samples[i].runtimeFrame) << "sample " << i;
+    EXPECT_EQ(a.samples[i].stack, b.samples[i].stack) << "sample " << i;
+  }
+  ASSERT_EQ(a.spawns.size(), b.spawns.size());
+  for (const auto& [tag, rec] : a.spawns) {
+    auto it = b.spawns.find(tag);
+    ASSERT_NE(it, b.spawns.end()) << "tag " << tag;
+    EXPECT_EQ(rec.parentTag, it->second.parentTag);
+    EXPECT_EQ(rec.taskFn, it->second.taskFn);
+    EXPECT_EQ(rec.spawnInstr, it->second.spawnInstr);
+    EXPECT_EQ(rec.preSpawnStack, it->second.preSpawnStack);
+  }
+  EXPECT_EQ(a.allocBytesBySite, b.allocBytesBySite);
+}
+
+class PropertyLogIoRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyLogIoRoundTrip, RandomLogsSurviveSerializeParse) {
+  // Serialization needs no module: func/instr ids are opaque integers here.
+  Rng rng(GetParam());
+  auto randomStack = [&](size_t maxDepth) {
+    std::vector<sampling::Frame> stack;
+    size_t depth = rng.nextBounded(maxDepth + 1);
+    for (size_t i = 0; i < depth; ++i) {
+      sampling::Frame f;
+      f.func = static_cast<ir::FuncId>(rng.nextBounded(1000));
+      f.instr = static_cast<ir::InstrId>(rng.nextBounded(5000));
+      stack.push_back(f);
+    }
+    return stack;
+  };
+
+  for (int trial = 0; trial < 16; ++trial) {
+    sampling::RunLog log;
+    log.sampleThreshold = rng.next();
+    log.numStreams = static_cast<uint32_t>(rng.nextBounded(64));
+    log.totalCycles = rng.next();
+
+    // Deep spawn-tag chain: tag k parents tag k-1 (chain of length numTags).
+    uint64_t numTags = rng.nextBounded(40);
+    for (uint64_t tag = 1; tag <= numTags; ++tag) {
+      sampling::SpawnRecord rec;
+      rec.tag = tag;
+      rec.parentTag = tag - 1;
+      rec.taskFn = static_cast<ir::FuncId>(rng.nextBounded(1000));
+      rec.spawnInstr = static_cast<ir::InstrId>(rng.nextBounded(5000));
+      rec.preSpawnStack = randomStack(8);  // may be empty
+      log.spawns.emplace(tag, std::move(rec));
+    }
+
+    uint64_t numSamples = rng.nextBounded(200);
+    for (uint64_t i = 0; i < numSamples; ++i) {
+      sampling::RawSample s;
+      s.stream = static_cast<uint32_t>(rng.nextBounded(64));
+      s.atCycle = rng.next();
+      if (rng.nextBounded(5) == 0) {
+        // Idle runtime-frame sample: empty stack by construction.
+        s.runtimeFrame = static_cast<sampling::RuntimeFrameKind>(1 + rng.nextBounded(3));
+      } else {
+        s.taskTag = numTags ? rng.nextBounded(numTags + 1) : 0;
+        s.stack = randomStack(10);  // empty-stack edge case included
+      }
+      log.samples.push_back(std::move(s));
+    }
+
+    uint64_t numSites = rng.nextBounded(20);
+    for (uint64_t i = 0; i < numSites; ++i)
+      log.allocBytesBySite[rng.next()] = rng.next();
+
+    sampling::RunLog back;
+    ASSERT_TRUE(sampling::deserializeRunLog(sampling::serializeRunLog(log), back))
+        << "trial " << trial;
+    expectLogsEqual(log, back);
+  }
+}
+
+TEST_P(PropertyLogIoRoundTrip, SecondRoundTripIsAFixedPoint) {
+  // parse(serialize(x)) is a fixed point: running the trip twice changes
+  // nothing (spawn/alloc map iteration order may shuffle lines, but the
+  // parsed structure must be stable).
+  Rng rng(GetParam() ^ 0xABCDEFull);
+  sampling::RunLog log;
+  log.sampleThreshold = 101;
+  log.numStreams = 4;
+  for (uint64_t tag = 1; tag <= 12; ++tag) {
+    sampling::SpawnRecord rec;
+    rec.tag = tag;
+    rec.parentTag = tag / 2;
+    rec.preSpawnStack.push_back({static_cast<ir::FuncId>(rng.nextBounded(10)),
+                                 static_cast<ir::InstrId>(rng.nextBounded(100))});
+    log.spawns.emplace(tag, std::move(rec));
+  }
+  std::string once = sampling::serializeRunLog(log);
+  sampling::RunLog back;
+  ASSERT_TRUE(sampling::deserializeRunLog(once, back));
+  std::string twice = sampling::serializeRunLog(back);
+  sampling::RunLog back2;
+  ASSERT_TRUE(sampling::deserializeRunLog(twice, back2));
+  expectLogsEqual(back, back2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyLogIoRoundTrip,
+                         ::testing::Values(7ull, 1234ull, 0xDEADBEEFull));
 
 TEST(SelectWhen, LowersAndRuns) {
   EXPECT_EQ(test::runOutput(R"(proc label(x: int): int {

@@ -1,0 +1,17 @@
+// Custom gtest entry point: supports `cb_tests --update-golden`, which makes
+// the golden-report suites rewrite their fixtures under tests/golden/ from
+// the current pipeline output instead of comparing against them.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace cb::test {
+bool g_updateGolden = false;
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--update-golden") == 0) cb::test::g_updateGolden = true;
+  return RUN_ALL_TESTS();
+}

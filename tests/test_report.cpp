@@ -1,7 +1,12 @@
 // Tests of the presentation layer: data-centric / code-centric / pprof /
-// hybrid views and CSV output.
+// hybrid views and CSV output — plus the golden-report regression fixtures
+// for the three paper benchmarks (regenerate with `cb_tests --update-golden`).
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "cb_config.h"
 #include "report/views.h"
 #include "test_util.h"
 
@@ -115,6 +120,62 @@ TEST(Report, BaselineViewListsUnknownData) {
   std::string out = rpt::baselineView(p.baselineReport());
   EXPECT_NE(out.find("unknown data"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Golden-report fixtures: the data-centric text view of the three paper
+// benchmarks, pinned byte-for-byte under tests/golden/. The substrate is a
+// deterministic VM, so any diff is a real behavior change — either a bug or
+// an intentional change that must be re-blessed with --update-golden.
+// ---------------------------------------------------------------------------
+
+std::string goldenPath(const std::string& program) {
+  return std::string(kGoldenDir) + "/" + program + "_datacentric.txt";
+}
+
+std::string renderDataCentric(Profiler& p) {
+  // Show everything: all rows, no percentage floor — maximum sensitivity.
+  return rpt::dataCentricView(*p.blameReport(), {1000, 0.0});
+}
+
+class GoldenReport : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenReport, DataCentricTextMatchesFixture) {
+  Profiler p;  // default options: paper-scale threshold, sequential-or-auto
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+  std::string rendered = renderDataCentric(p);
+  std::string path = goldenPath(GetParam());
+  if (test::g_updateGolden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path << "; run `cb_tests --update-golden`";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << "golden mismatch for " << GetParam()
+      << "; if intentional, regenerate with `cb_tests --update-golden`";
+}
+
+TEST_P(GoldenReport, ParallelWorkersMatchFixture) {
+  // The sharded pipeline must land on the same golden bytes as the
+  // sequential path (the PR's bit-identical acceptance bar, per program).
+  Profiler p;
+  p.options().postmortem.workers = 4;
+  ASSERT_TRUE(p.profileFile(assetProgram(GetParam()))) << p.lastError();
+  std::string rendered = renderDataCentric(p);
+  std::ifstream in(goldenPath(GetParam()), std::ios::binary);
+  if (test::g_updateGolden && !in) return;  // fixture being created by the twin test
+  ASSERT_TRUE(in) << "missing fixture " << goldenPath(GetParam());
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, GoldenReport,
+                         ::testing::Values("minimd", "clomp", "lulesh"));
 
 }  // namespace
 }  // namespace cb

@@ -10,6 +10,10 @@
 
 namespace cb::test {
 
+/// Set by `cb_tests --update-golden` (see test_main.cpp): golden suites
+/// regenerate their fixtures instead of asserting against them.
+extern bool g_updateGolden;
+
 /// Compiles a snippet; fails the test (with diagnostics) on error.
 inline std::unique_ptr<fe::Compilation> compile(const std::string& src,
                                                 fe::CompileOptions opts = {}) {
