@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "support/bitset.h"
 
 namespace cb::an {
 
@@ -78,21 +79,22 @@ struct FunctionBlame {
   std::unordered_map<EntityKey, EntityId, EntityKeyHash> index;
 
   /// Value-flow blame set per entity (propagates along inheritance edges).
-  std::vector<std::set<ir::InstrId>> blameInstrs;
+  /// Dense bitmaps over the function's InstrIds; iterate in ascending order.
+  std::vector<BitSet> blameInstrs;
   /// Region-only blame set per entity: IR-level writes to the variable's
   /// memory region that are not part of any value computation — view
   /// descriptor writes (domain remapping), zippered-iterator advances, and
   /// call sites whose callee writes the variable. These match samples (the
   /// paper's Count/binSpace rows, and the inclusive call-path credit) but
   /// do NOT transfer to consumers of the variable's value.
-  std::vector<std::set<ir::InstrId>> regionInstrs;
+  std::vector<BitSet> regionInstrs;
   /// Explicit/implicit/alias inheritance edges: e inherits the full
   /// value-flow blame set of each entity in inheritsFrom[e].
-  std::vector<std::set<EntityId>> inheritsFrom;
+  std::vector<SparseBitSet> inheritsFrom;
   /// Region inheritance: containment (a struct spans its fields' regions)
   /// and aliasing (an owner spans its slices' regions). Region blame flows
   /// only along these edges — never through value dependencies.
-  std::vector<std::set<EntityId>> regionInheritsFrom;
+  std::vector<SparseBitSet> regionInheritsFrom;
   /// True when samples blamed to this entity must bubble to the caller
   /// (parameter roots of by-ref / array / domain kind).
   std::vector<bool> exitViaCaller;
@@ -103,7 +105,7 @@ struct FunctionBlame {
     /// Callee param index -> caller entity the argument roots at.
     std::vector<EntityId> paramToCallerEntity;  // kNoEntity when untracked
     /// Caller entities that consume the call's return value.
-    std::set<EntityId> resultTargets;
+    SparseBitSet resultTargets;
   };
   std::unordered_map<ir::InstrId, CallSite> callsites;
 
@@ -141,6 +143,11 @@ struct ModuleBlame {
 struct BlameOptions {
   bool implicitTransfer = true;   // control-dependence blame (ablatable)
   bool aliasTransfer = true;      // array-slice alias edges (ablatable)
+  /// Use the seed's Jacobi round-robin fixpoints (intra-function blame
+  /// propagation AND the write-summary call-graph closure) instead of the
+  /// SCC-condensation passes. Oracle/ablation only: results are identical,
+  /// this is the baseline `bench_analysis_scale` measures against.
+  bool referenceFixpoint = false;
 };
 
 /// Runs the full static analysis over every function of the module.

@@ -9,6 +9,7 @@
 #include "analysis/resolve.h"
 #include "analysis/control_dep.h"
 #include "analysis/dominators.h"
+#include "analysis/propagation.h"
 #include "support/common.h"
 
 namespace cb::an {
@@ -29,11 +30,11 @@ namespace {
 /// global variables"). Without the written-check, read-only ref captures
 /// would absorb the blame of entire parallel regions.
 struct WriteSummary {
-  std::vector<std::vector<bool>> params;      // per function, per formal
-  std::vector<std::set<ir::GlobalId>> globals;  // per function
+  std::vector<std::vector<bool>> params;   // per function, per formal
+  std::vector<SparseBitSet> globals;       // per function
 };
 
-WriteSummary computeWriteSummary(const ir::Module& m) {
+WriteSummary computeWriteSummary(const ir::Module& m, bool referenceFixpoint) {
   WriteSummary out;
   out.params.resize(m.numFunctions());
   out.globals.resize(m.numFunctions());
@@ -68,33 +69,77 @@ WriteSummary computeWriteSummary(const ir::Module& m) {
     }
   }
   // Transitive closure over the call graph.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
-      const ir::Function& fn = m.function(f);
-      for (const Instr& in : fn.instrs) {
-        if (in.op != Opcode::Call && in.op != Opcode::Spawn) continue;
-        ir::FuncId callee = in.extra.func;
-        // NOTE: globals written by a callee are deliberately NOT folded into
-        // the caller's set — inclusive sample matching already visits every
-        // frame on the call path, so the frame where the write really
-        // happens provides the credit. Folding transitively would blame
-        // every module variable for the whole program (losing Table II's
-        // Count-vs-Pos differentiation).
-        // Arguments bound to written formals are written by the caller.
-        const auto& calleeParams = out.params[callee];
-        for (size_t i = 0; i < in.ops.size() && i < calleeParams.size(); ++i) {
-          if (!calleeParams[i]) continue;
-          EntityKey k = resolveChainKey(m, fn, in.ops[i]);
-          if (k.root == RootKind::Param && k.rootId < out.params[f].size() &&
-              !out.params[f][k.rootId]) {
-            out.params[f][k.rootId] = true;
-            changed = true;
-          } else if (k.root == RootKind::Global && out.globals[f].insert(k.rootId).second) {
-            changed = true;
-          }
+  //
+  // NOTE: globals written by a callee are deliberately NOT folded into
+  // the caller's set — inclusive sample matching already visits every
+  // frame on the call path, so the frame where the write really
+  // happens provides the credit. Folding transitively would blame
+  // every module variable for the whole program (losing Table II's
+  // Count-vs-Pos differentiation).
+  // Arguments bound to written formals are written by the caller.
+  //
+  // Argument roots don't depend on the summary state, so resolve every
+  // callsite binding ONCE up front, then run the closure over the compact
+  // binding lists in SCC dependency order (callees before callers; a
+  // worklist only inside recursion cycles). The seed's round-robin loop
+  // re-resolved chains every round and needed one full pass per call-chain
+  // level; it is retained below as the reference oracle.
+  struct CallBind {
+    ir::FuncId callee;
+    uint32_t formal;   // callee formal index
+    RootKind root;     // Param or Global
+    uint32_t rootId;   // caller formal index / GlobalId
+  };
+  std::vector<std::vector<CallBind>> binds(m.numFunctions());
+  std::vector<SparseBitSet> callees(m.numFunctions());  // call-graph adjacency
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    for (const Instr& in : fn.instrs) {
+      if (in.op != Opcode::Call && in.op != Opcode::Spawn) continue;
+      ir::FuncId callee = in.extra.func;
+      callees[f].insert(callee);
+      size_t numFormals = out.params[callee].size();
+      for (size_t i = 0; i < in.ops.size() && i < numFormals; ++i) {
+        EntityKey k = resolveChainKey(m, fn, in.ops[i]);
+        if (k.root != RootKind::Param && k.root != RootKind::Global) continue;
+        binds[f].push_back({callee, static_cast<uint32_t>(i), k.root, k.rootId});
+      }
+    }
+  }
+  auto applyBinds = [&](ir::FuncId f) {
+    bool changed = false;
+    for (const CallBind& b : binds[f]) {
+      if (!out.params[b.callee][b.formal]) continue;
+      if (b.root == RootKind::Param) {
+        if (b.rootId < out.params[f].size() && !out.params[f][b.rootId]) {
+          out.params[f][b.rootId] = true;
+          changed = true;
         }
+      } else if (out.globals[f].insert(b.rootId)) {
+        changed = true;
+      }
+    }
+    return changed;
+  };
+  if (referenceFixpoint) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (ir::FuncId f = 0; f < m.numFunctions(); ++f)
+        if (applyBinds(f)) changed = true;
+    }
+  } else {
+    SccResult scc = tarjanScc(m.numFunctions(), callees);
+    for (const std::vector<uint32_t>& comp : scc.components) {
+      if (comp.size() == 1 && !callees[comp[0]].contains(comp[0])) {
+        applyBinds(comp[0]);  // callees already final: one pass suffices
+        continue;
+      }
+      bool changed = true;  // recursion cycle: fixpoint within the SCC only
+      while (changed) {
+        changed = false;
+        for (uint32_t f : comp)
+          if (applyBinds(f)) changed = true;
       }
     }
   }
@@ -190,8 +235,8 @@ class FunctionAnalyzer {
     e.key = key;
     e.parent = parent;
     out_.entities.push_back(std::move(e));
-    out_.blameInstrs.emplace_back();
-    out_.regionInstrs.emplace_back();
+    out_.blameInstrs.emplace_back(static_cast<uint32_t>(fn_.numInstrs()));
+    out_.regionInstrs.emplace_back(static_cast<uint32_t>(fn_.numInstrs()));
     out_.inheritsFrom.emplace_back();
     out_.regionInheritsFrom.emplace_back();
     out_.exitViaCaller.push_back(false);
@@ -506,24 +551,13 @@ class FunctionAnalyzer {
   }
 
   void propagate() {
-    auto fixpoint = [&](std::vector<std::set<InstrId>>& sets,
-                        const std::vector<std::set<EntityId>>& edges) {
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        for (EntityId e = 0; e < out_.entities.size(); ++e) {
-          auto& set = sets[e];
-          size_t before = set.size();
-          for (EntityId u : edges[e]) {
-            if (u == e) continue;
-            set.insert(sets[u].begin(), sets[u].end());
-          }
-          if (set.size() != before) changed = true;
-        }
-      }
-    };
-    fixpoint(out_.blameInstrs, out_.inheritsFrom);
-    fixpoint(out_.regionInstrs, out_.regionInheritsFrom);
+    if (opts_.referenceFixpoint) {
+      propagateInheritsReference(out_.blameInstrs, out_.inheritsFrom);
+      propagateInheritsReference(out_.regionInstrs, out_.regionInheritsFrom);
+    } else {
+      propagateInherits(out_.blameInstrs, out_.inheritsFrom);
+      propagateInherits(out_.regionInstrs, out_.regionInheritsFrom);
+    }
   }
 
   // ---- finalize -----------------------------------------------------------
@@ -650,7 +684,7 @@ class FunctionAnalyzer {
   std::vector<std::optional<Slice>> sliceCache_;
   std::vector<std::unique_ptr<Slice>> argSlices_;
   std::vector<WriteRec> writes_;
-  std::vector<std::set<ir::BlockId>> writerBlocks_;
+  std::vector<SparseBitSet> writerBlocks_;
   std::vector<bool> conditionalBlock_;
 };
 
@@ -659,7 +693,7 @@ class FunctionAnalyzer {
 std::set<uint32_t> FunctionBlame::blameLines(const ir::Module& m, EntityId e) const {
   std::set<uint32_t> lines;
   const ir::Function& f = m.function(func);
-  auto add = [&](const std::set<ir::InstrId>& set) {
+  auto add = [&](const BitSet& set) {
     for (ir::InstrId i : set) {
       const ir::Instr& in = f.instrs.at(i);
       if (in.loc.valid()) lines.insert(in.loc.line);
@@ -720,7 +754,7 @@ void computeAliasGroups(const ir::Module& m, ModuleBlame& out) {
 ModuleBlame analyzeModule(const ir::Module& m, const BlameOptions& opts) {
   ModuleBlame out;
   out.mod = &m;
-  WriteSummary summary = computeWriteSummary(m);
+  WriteSummary summary = computeWriteSummary(m, opts.referenceFixpoint);
   out.functions.reserve(m.numFunctions());
   for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
     out.functions.push_back(FunctionAnalyzer(m, f, opts, summary).run());

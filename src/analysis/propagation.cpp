@@ -1,0 +1,125 @@
+#include "analysis/propagation.h"
+
+#include <algorithm>
+
+namespace cb::an {
+
+namespace {
+
+constexpr uint32_t kUnvisited = ~0u;
+
+}  // namespace
+
+// Iterative Tarjan — the synthetic-scale benchmarks build inheritance chains
+// thousands of entities deep, so the textbook recursion would overflow the
+// stack.
+SccResult tarjanScc(size_t n, const std::vector<SparseBitSet>& edges) {
+  SccResult out;
+  out.comp.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> onStack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t nextIndex = 0;
+
+  struct Frame {
+    uint32_t v;
+    std::vector<uint32_t>::const_iterator next, last;
+  };
+  std::vector<Frame> callStack;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    callStack.push_back({root, edges[root].begin(), edges[root].end()});
+    index[root] = lowlink[root] = nextIndex++;
+    stack.push_back(root);
+    onStack[root] = true;
+
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      if (f.next != f.last) {
+        uint32_t w = *f.next++;
+        if (w >= n) continue;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = nextIndex++;
+          stack.push_back(w);
+          onStack[w] = true;
+          callStack.push_back({w, edges[w].begin(), edges[w].end()});
+        } else if (onStack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      uint32_t v = f.v;
+      callStack.pop_back();
+      if (!callStack.empty())
+        lowlink[callStack.back().v] = std::min(lowlink[callStack.back().v], lowlink[v]);
+      if (lowlink[v] == index[v]) {
+        uint32_t cid = static_cast<uint32_t>(out.components.size());
+        out.components.emplace_back();
+        uint32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          onStack[w] = false;
+          out.comp[w] = cid;
+          out.components[cid].push_back(w);
+        } while (w != v);
+      }
+    }
+  }
+  return out;
+}
+
+void propagateInherits(std::vector<BitSet>& sets, const std::vector<SparseBitSet>& edges) {
+  size_t n = sets.size();
+  SccResult scc = tarjanScc(n, edges);
+  for (uint32_t cid = 0; cid < scc.components.size(); ++cid) {
+    const std::vector<uint32_t>& members = scc.components[cid];
+    if (members.size() == 1) {
+      uint32_t e = members[0];
+      for (uint32_t u : edges[e]) {
+        if (u == e || u >= n) continue;
+        sets[e].unionWith(sets[u]);  // dependency already final (smaller cid)
+      }
+      continue;
+    }
+    // Every member of a cycle reaches every other, so they all converge to
+    // the same union: member seeds plus all external dependencies.
+    BitSet acc;
+    for (uint32_t e : members) acc.unionWith(sets[e]);
+    for (uint32_t e : members)
+      for (uint32_t u : edges[e])
+        if (u < n && scc.comp[u] != cid) acc.unionWith(sets[u]);
+    for (uint32_t e : members) sets[e] = acc;
+  }
+}
+
+void propagateInheritsReference(std::vector<BitSet>& sets,
+                                const std::vector<SparseBitSet>& edges) {
+  // The seed's exact loop and data structure: round-robin over every entity,
+  // merging dependency sets into std::set until a full round adds nothing.
+  size_t n = sets.size();
+  std::vector<std::set<uint32_t>> work(n);
+  for (size_t e = 0; e < n; ++e) work[e].insert(sets[e].begin(), sets[e].end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t e = 0; e < n; ++e) {
+      auto& set = work[e];
+      size_t before = set.size();
+      for (uint32_t u : edges[e]) {
+        if (u == e || u >= n) continue;
+        set.insert(work[u].begin(), work[u].end());
+      }
+      if (set.size() != before) changed = true;
+    }
+  }
+  for (size_t e = 0; e < n; ++e) {
+    sets[e].clear();
+    sets[e].insert(work[e].begin(), work[e].end());
+  }
+}
+
+}  // namespace cb::an

@@ -1,0 +1,54 @@
+// Dataflow propagation over "inherits" graphs.
+//
+// The blame analysis produces, per entity e, a seed set `sets[e]` (its own
+// write/slice instructions) and dependency edges `edges[e]` (the entities
+// whose full blame set e inherits). The required fixpoint is
+//
+//     result[e] = U_{u reachable from e} seed[u]
+//
+// The seed implementation iterated a Jacobi-style round-robin over every
+// entity until quiescence — O(rounds · E) set unions, where `rounds` grows
+// with the longest inheritance chain. `propagateInherits` instead condenses
+// the graph with Tarjan's SCC algorithm and performs ONE union pass in
+// dependency order: Tarjan emits components in reverse topological order of
+// the condensation, so every dependency is final before its inheritors are
+// visited, and all members of a non-trivial SCC share one union (they reach
+// exactly the same node set). Effectively a single linear pass.
+//
+// `propagateInheritsReference` retains the seed algorithm (round-robin over
+// `std::set`, the seed's exact data structure) as the oracle for equivalence
+// tests and the before/after baseline in `bench_analysis_scale`.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "support/bitset.h"
+
+namespace cb::an {
+
+/// Strongly connected components of a graph over nodes [0, n) with adjacency
+/// `edges`. `comp[v]` is the component id of node v; `components[c]` lists
+/// the member nodes of component c. Components are numbered in Tarjan
+/// emission order: every edge out of component c lands in a component with a
+/// SMALLER id (reverse topological order of the condensation), so processing
+/// components 0..k-1 in order visits dependencies before dependents.
+struct SccResult {
+  std::vector<uint32_t> comp;
+  std::vector<std::vector<uint32_t>> components;
+};
+
+SccResult tarjanScc(size_t n, const std::vector<SparseBitSet>& edges);
+
+/// Single-pass SCC-condensation propagation (see file comment). Self-edges
+/// are ignored, matching the seed fixpoint.
+void propagateInherits(std::vector<BitSet>& sets, const std::vector<SparseBitSet>& edges);
+
+/// The seed's Jacobi round-robin fixpoint, kept verbatim over `std::set`
+/// (rows are converted in and out) as the equivalence oracle and benchmark
+/// baseline. Produces bit-identical results to `propagateInherits`.
+void propagateInheritsReference(std::vector<BitSet>& sets,
+                                const std::vector<SparseBitSet>& edges);
+
+}  // namespace cb::an

@@ -1,9 +1,12 @@
 #include "postmortem/attribution.h"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/common.h"
+#include "support/interner.h"
 
 namespace cb::pm {
 
@@ -16,6 +19,28 @@ using an::PathElem;
 using an::RootKind;
 
 namespace {
+
+/// Aggregation key: interned (context, name, type) symbol ids. The seed
+/// concatenated the three display strings with '\x01' separators and hashed
+/// that composite per sample; interning hashes each distinct string once and
+/// reduces the per-sample work to a 12-byte POD hash. Display strings are
+/// materialized only when rows are emitted.
+struct AttrKey {
+  uint32_t context = 0;
+  uint32_t name = 0;
+  uint32_t type = 0;
+
+  friend bool operator==(const AttrKey&, const AttrKey&) = default;
+};
+
+struct AttrKeyHash {
+  size_t operator()(const AttrKey& k) const {
+    uint64_t h = k.context;
+    h = (h ^ k.name) * 0x9E3779B97F4A7C15ull;
+    h = (h ^ k.type) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
 
 /// Renders additional path elements appended below an already-rendered
 /// entity (used when a callee's sub-object path lands on a caller variable).
@@ -49,7 +74,12 @@ int indexDepthOf(const std::vector<PathElem>& path) {
 class Attributor {
  public:
   Attributor(const an::ModuleBlame& mb, const AttributionOptions& opts)
-      : mb_(mb), m_(*mb.mod), opts_(opts) {}
+      : mb_(mb), m_(*mb.mod), opts_(opts) {
+    mainSym_ = syms_.intern("main").id();
+    contextSym_.assign(m_.numFunctions(), kUncached);
+    entSym_.resize(m_.numFunctions());
+    aliasKeys_.resize(m_.numGlobals());
+  }
 
   BlameReport run(const std::vector<const Instance*>& instances) {
     for (const Instance* instPtr : instances) {
@@ -69,15 +99,33 @@ class Attributor {
         for (EntityId e : fb.instrEntities[fr.instr])
           blameOne(inst, fi, fb, e, {});
       }
-      for (const auto& key : perSample_) {
-        auto& row = agg_[key];
-        ++row;
-      }
+      for (const AttrKey& key : perSample_) ++agg_[key];
     }
     return finish();
   }
 
  private:
+  static constexpr uint32_t kUncached = ~0u;
+
+  uint32_t contextSymOf(ir::FuncId f) {
+    uint32_t& slot = contextSym_[f];
+    if (slot == kUncached) slot = syms_.intern(userContextName(m_, f)).id();
+    return slot;
+  }
+
+  /// Interned (name, type) of an entity's fixed display strings, cached per
+  /// (function, entity) so repeated samples never re-hash the strings.
+  std::pair<uint32_t, uint32_t> entitySyms(const FunctionBlame& fb, EntityId e) {
+    auto& table = entSym_[fb.func];
+    if (table.empty()) table.assign(fb.entities.size(), {kUncached, kUncached});
+    auto& slot = table[e];
+    if (slot.first == kUncached) {
+      slot.first = syms_.intern(fb.entities[e].displayName).id();
+      slot.second = syms_.intern(fb.entities[e].typeDisplay).id();
+    }
+    return slot;
+  }
+
   void blameOne(const Instance& inst, size_t frameIdx, const FunctionBlame& fb, EntityId e,
                 std::vector<PathElem> extraPath) {
     if (depth_ > 64) return;  // cyclic transfer guard
@@ -101,7 +149,7 @@ class Attributor {
             }
           }
         }
-        record(inst, frameIdx, fb, ent, extraPath);
+        record(inst, frameIdx, fb, e, extraPath);
         return;
       case RootKind::Ret:
         if (opts_.interprocedural && frameIdx > 0) {
@@ -120,63 +168,75 @@ class Attributor {
       case RootKind::Global:
       case RootKind::Local:
       case RootKind::Unknown:
-        record(inst, frameIdx, fb, ent, extraPath);
+        record(inst, frameIdx, fb, e, extraPath);
         return;
     }
   }
 
-  void record(const Instance& inst, size_t frameIdx, const FunctionBlame& fb, const Entity& ent,
+  void record(const Instance& inst, size_t frameIdx, const FunctionBlame& fb, EntityId e,
               const std::vector<PathElem>& extraPath) {
+    const Entity& ent = fb.entities[e];
     if (!ent.displayable && !opts_.includeHidden) return;
 
-    std::string name = ent.displayName;
-    std::string type = ent.typeDisplay;
-    if (!extraPath.empty()) {
+    uint32_t nameSym, typeSym;
+    if (extraPath.empty()) {
+      std::tie(nameSym, typeSym) = entitySyms(fb, e);
+    } else {
       // Prefer the statically-known combined entity if the function formed
       // one (better type display); otherwise render the suffix by hand.
       EntityKey combined = ent.key;
       combined.path.insert(combined.path.end(), extraPath.begin(), extraPath.end());
       EntityId ce = fb.find(combined);
       if (ce != kNoEntity) {
-        name = fb.entities[ce].displayName;
-        type = fb.entities[ce].typeDisplay;
+        std::tie(nameSym, typeSym) = entitySyms(fb, ce);
       } else {
+        std::string name = ent.displayName;
         if (ent.key.path.empty()) name = "->" + name;
         name += renderExtraPath(extraPath, indexDepthOf(ent.key.path));
-        type = "?";
+        nameSym = syms_.intern(name).id();
+        typeSym = syms_.intern("?").id();
       }
     }
 
-    std::string context = ent.key.root == RootKind::Global
-                              ? "main"
-                              : userContextName(m_, inst.frames[frameIdx].func);
-    perSample_.insert(context + "\x01" + name + "\x01" + type);
+    uint32_t context = ent.key.root == RootKind::Global
+                           ? mainSym_
+                           : contextSymOf(inst.frames[frameIdx].func);
+    perSample_.insert(AttrKey{context, nameSym, typeSym});
 
     // Module-scope aliases share their region: blaming RealPos blames Pos
     // (and vice versa) — §III: "writes to the memory region allocated to
     // the variable v, the aliases of v, ...".
     if (ent.key.root == RootKind::Global) {
-      for (ir::GlobalId sib : mb_.aliasSiblings(ent.key.rootId)) {
-        const ir::GlobalVar& gv = m_.global(sib);
-        if (gv.debugVar == ir::kNone || !m_.debugVar(gv.debugVar).displayable()) continue;
-        const ir::DebugVar& dv = m_.debugVar(gv.debugVar);
-        std::string sname = m_.interner().str(dv.name);
-        std::string stype = dv.typeDisplay.empty()
-                                ? m_.types().display(gv.type, m_.interner())
-                                : dv.typeDisplay;
-        perSample_.insert("main\x01" + sname + "\x01" + stype);
-      }
+      for (const AttrKey& k : aliasKeysOf(ent.key.rootId)) perSample_.insert(k);
     }
   }
 
+  const std::vector<AttrKey>& aliasKeysOf(ir::GlobalId g) {
+    auto& cached = aliasKeys_[g];
+    if (cached) return *cached;
+    cached.emplace();
+    for (ir::GlobalId sib : mb_.aliasSiblings(g)) {
+      const ir::GlobalVar& gv = m_.global(sib);
+      if (gv.debugVar == ir::kNone || !m_.debugVar(gv.debugVar).displayable()) continue;
+      const ir::DebugVar& dv = m_.debugVar(gv.debugVar);
+      uint32_t sname = syms_.intern(m_.interner().str(dv.name)).id();
+      uint32_t stype = syms_
+                           .intern(dv.typeDisplay.empty()
+                                       ? m_.types().display(gv.type, m_.interner())
+                                       : dv.typeDisplay)
+                           .id();
+      cached->push_back(AttrKey{mainSym_, sname, stype});
+    }
+    return *cached;
+  }
+
   BlameReport finish() {
+    report_.rows.reserve(agg_.size());
     for (const auto& [key, count] : agg_) {
-      size_t p1 = key.find('\x01');
-      size_t p2 = key.find('\x01', p1 + 1);
       VariableBlame row;
-      row.context = key.substr(0, p1);
-      row.name = key.substr(p1 + 1, p2 - p1 - 1);
-      row.type = key.substr(p2 + 1);
+      row.context = syms_.str(Symbol(key.context));
+      row.name = syms_.str(Symbol(key.name));
+      row.type = syms_.str(Symbol(key.type));
       row.sampleCount = count;
       row.percent = report_.totalUserSamples
                         ? 100.0 * static_cast<double>(count) / report_.totalUserSamples
@@ -191,8 +251,13 @@ class Attributor {
   const ir::Module& m_;
   AttributionOptions opts_;
   BlameReport report_;
-  std::unordered_set<std::string> perSample_;
-  std::unordered_map<std::string, uint64_t> agg_;
+  StringInterner syms_;
+  uint32_t mainSym_ = 0;
+  std::vector<uint32_t> contextSym_;  // FuncId -> interned context name
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> entSym_;  // per func, per entity
+  std::vector<std::optional<std::vector<AttrKey>>> aliasKeys_;      // per global
+  std::unordered_set<AttrKey, AttrKeyHash> perSample_;
+  std::unordered_map<AttrKey, uint64_t, AttrKeyHash> agg_;
   int depth_ = 0;
 };
 
@@ -240,14 +305,17 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
   BlameReport out;
   // Key on (context, name, type) — the same key the attributor aggregates
   // per sample — so a merge of per-shard partial reports is row-for-row
-  // identical to attributing the union sequentially.
-  std::unordered_map<std::string, VariableBlame> agg;
+  // identical to attributing the union sequentially. The triple is interned
+  // per distinct string rather than concatenated per row.
+  StringInterner syms;
+  std::unordered_map<AttrKey, VariableBlame, AttrKeyHash> agg;
   for (const BlameReport* r : perLocale) {
     if (!r) continue;
     out.totalUserSamples += r->totalUserSamples;
     out.totalRawSamples += r->totalRawSamples;
     for (const VariableBlame& row : r->rows) {
-      std::string key = row.context + "\x01" + row.name + "\x01" + row.type;
+      AttrKey key{syms.intern(row.context).id(), syms.intern(row.name).id(),
+                  syms.intern(row.type).id()};
       auto [it, inserted] = agg.emplace(key, row);
       if (!inserted) it->second.sampleCount += row.sampleCount;
     }

@@ -1,11 +1,16 @@
 #include "sampling/log_io.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace cb::sampling {
+
+// ---------------------------------------------------------------------------
+// Text format (v1) — the portable fallback.
+// ---------------------------------------------------------------------------
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
@@ -45,9 +50,7 @@ bool parseFrames(std::istringstream& in, size_t n, std::vector<Frame>& out) {
   return true;
 }
 
-}  // namespace
-
-bool deserializeRunLog(const std::string& text, RunLog& out) {
+bool deserializeRunLogText(const std::string& text, RunLog& out) {
   out = RunLog{};
   std::istringstream lines(text);
   std::string line;
@@ -90,11 +93,233 @@ bool deserializeRunLog(const std::string& text, RunLog& out) {
   return true;
 }
 
-bool saveRunLog(const RunLog& log, const std::string& path) {
+// ---------------------------------------------------------------------------
+// Binary format (v1) — LEB128 varints, zigzag deltas, deterministic order.
+// ---------------------------------------------------------------------------
+
+constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
+constexpr uint8_t kBinaryVersion = 1;
+
+void putVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Delta between two unsigned values as a signed quantity (two's-complement
+/// wraparound makes encode/decode exact even across the full u64 range).
+void putDelta(std::string& out, uint64_t cur, uint64_t prev) {
+  putVarint(out, zigzag(static_cast<int64_t>(cur - prev)));
+}
+
+void putFrames(std::string& out, const std::vector<Frame>& stack) {
+  putVarint(out, stack.size());
+  uint32_t prevFunc = 0, prevInstr = 0;
+  for (const Frame& f : stack) {
+    // Stacks share long prefixes frame-to-frame in func id space; instr ids
+    // are small offsets. Zigzag deltas keep both to 1-2 bytes each.
+    putDelta(out, f.func, prevFunc);
+    putDelta(out, f.instr, prevInstr);
+    prevFunc = f.func;
+    prevInstr = f.instr;
+  }
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  bool varint(uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return false;
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      out |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return true;
+    }
+    return false;  // over-long encoding
+  }
+
+  bool varint32(uint32_t& out) {
+    uint64_t v;
+    if (!varint(v) || v > ~0u) return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+  }
+
+  bool delta(uint64_t& cur, uint64_t prev) {
+    uint64_t z;
+    if (!varint(z)) return false;
+    cur = prev + static_cast<uint64_t>(unzigzag(z));
+    return true;
+  }
+
+  bool delta32(uint32_t& cur, uint32_t prev) {
+    uint64_t c;
+    if (!delta(c, prev)) return false;
+    cur = static_cast<uint32_t>(c);  // ids wrap in 32 bits by construction
+    return true;
+  }
+
+  bool frames(std::vector<Frame>& out) {
+    uint64_t n;
+    if (!varint(n) || n > remaining()) return false;  // each frame >= 2 bytes
+    out.reserve(n);
+    uint32_t prevFunc = 0, prevInstr = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      Frame f;
+      if (!delta32(f.func, prevFunc) || !delta32(f.instr, prevInstr)) return false;
+      prevFunc = f.func;
+      prevInstr = f.instr;
+      out.push_back(f);
+    }
+    return true;
+  }
+
+  bool byte(uint8_t& out) {
+    if (pos_ >= data_.size()) return false;
+    out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
+  out = RunLog{};
+  ByteReader r(data);
+  uint8_t b;
+  for (char m : kBinaryMagic)
+    if (!r.byte(b) || b != static_cast<uint8_t>(m)) return false;
+  if (!r.byte(b) || b != kBinaryVersion) return false;
+
+  uint64_t nStreams;
+  if (!r.varint(out.sampleThreshold) || !r.varint(nStreams) || nStreams > ~0u ||
+      !r.varint(out.totalCycles))
+    return false;
+  out.numStreams = static_cast<uint32_t>(nStreams);
+
+  uint64_t nSamples;
+  if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
+  out.samples.reserve(nSamples);
+  uint64_t prevCycle = 0;
+  for (uint64_t i = 0; i < nSamples; ++i) {
+    RawSample s;
+    uint64_t rtk;
+    if (!r.varint32(s.stream) || !r.varint(s.taskTag) || !r.delta(s.atCycle, prevCycle) ||
+        !r.varint(rtk) || rtk > 255)
+      return false;
+    prevCycle = s.atCycle;
+    s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+    if (!r.frames(s.stack)) return false;
+    out.samples.push_back(std::move(s));
+  }
+
+  uint64_t nSpawns;
+  if (!r.varint(nSpawns) || nSpawns > r.remaining()) return false;
+  uint64_t prevTag = 0;
+  for (uint64_t i = 0; i < nSpawns; ++i) {
+    SpawnRecord rec;
+    if (!r.delta(rec.tag, prevTag) || !r.varint(rec.parentTag) || !r.varint32(rec.taskFn) ||
+        !r.varint32(rec.spawnInstr) || !r.frames(rec.preSpawnStack))
+      return false;
+    prevTag = rec.tag;
+    uint64_t tag = rec.tag;
+    out.spawns.emplace(tag, std::move(rec));
+  }
+
+  uint64_t nSites;
+  if (!r.varint(nSites) || nSites > r.remaining()) return false;
+  uint64_t prevKey = 0;
+  for (uint64_t i = 0; i < nSites; ++i) {
+    uint64_t key, bytes;
+    if (!r.delta(key, prevKey) || !r.varint(bytes)) return false;
+    prevKey = key;
+    out.allocBytesBySite[key] = bytes;
+  }
+  return r.atEnd();  // trailing garbage is a format error
+}
+
+}  // namespace
+
+std::string serializeRunLogBinary(const RunLog& log) {
+  std::string out;
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  out.push_back(static_cast<char>(kBinaryVersion));
+  putVarint(out, log.sampleThreshold);
+  putVarint(out, log.numStreams);
+  putVarint(out, log.totalCycles);
+
+  putVarint(out, log.samples.size());
+  uint64_t prevCycle = 0;
+  for (const RawSample& s : log.samples) {
+    putVarint(out, s.stream);
+    putVarint(out, s.taskTag);
+    putDelta(out, s.atCycle, prevCycle);
+    prevCycle = s.atCycle;
+    putVarint(out, static_cast<uint64_t>(s.runtimeFrame));
+    putFrames(out, s.stack);
+  }
+
+  // Hash-map records are emitted in sorted key order so the encoding is a
+  // deterministic function of the log contents.
+  std::vector<uint64_t> tags;
+  tags.reserve(log.spawns.size());
+  for (const auto& [tag, rec] : log.spawns) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  putVarint(out, tags.size());
+  uint64_t prevTag = 0;
+  for (uint64_t tag : tags) {
+    const SpawnRecord& rec = log.spawns.at(tag);
+    putDelta(out, rec.tag, prevTag);
+    prevTag = rec.tag;
+    putVarint(out, rec.parentTag);
+    putVarint(out, rec.taskFn);
+    putVarint(out, rec.spawnInstr);
+    putFrames(out, rec.preSpawnStack);
+  }
+
+  std::vector<uint64_t> keys;
+  keys.reserve(log.allocBytesBySite.size());
+  for (const auto& [key, bytes] : log.allocBytesBySite) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  putVarint(out, keys.size());
+  uint64_t prevKey = 0;
+  for (uint64_t key : keys) {
+    putDelta(out, key, prevKey);
+    prevKey = key;
+    putVarint(out, log.allocBytesBySite.at(key));
+  }
+  return out;
+}
+
+bool deserializeRunLog(const std::string& data, RunLog& out) {
+  if (data.size() >= sizeof(kBinaryMagic) &&
+      std::equal(kBinaryMagic, kBinaryMagic + sizeof(kBinaryMagic), data.begin()))
+    return deserializeRunLogBinary(data, out);
+  return deserializeRunLogText(data, out);
+}
+
+bool saveRunLog(const RunLog& log, const std::string& path, RunLogFormat format) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return false;
-  std::string text = serializeRunLog(log);
-  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  std::string data =
+      format == RunLogFormat::Binary ? serializeRunLogBinary(log) : serializeRunLog(log);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
   return f.good();
 }
 

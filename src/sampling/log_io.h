@@ -1,7 +1,17 @@
 // Run-log (de)serialization — the "raw sample data" files the paper's
 // monitoring process writes to disk between step 2 and the post-mortem
-// step 3 (6-20 MB per run at the paper's scale). A compact line-based
-// format; fully round-trippable.
+// step 3 (6-20 MB per run at the paper's scale).
+//
+// Two formats, auto-detected on load:
+//   - Text ("cblog 1 ..."): the portable line-based fallback, human-readable
+//     and diff-friendly.
+//   - Binary (magic 0x89 'C' 'B' 'L'): a versioned compact encoding —
+//     LEB128 varints throughout, zigzag-delta compression for sample
+//     timestamps and for the func/instr pairs within each stack, records
+//     sorted by tag/site key so the bytes are deterministic. Typically
+//     several times smaller than the text form.
+// Both round-trip losslessly and interchangeably (text -> binary -> text is
+// the identity on the parsed structure).
 #pragma once
 
 #include <string>
@@ -10,6 +20,11 @@
 
 namespace cb::sampling {
 
+enum class RunLogFormat {
+  Text,    // "cblog 1 ..." line format (portable fallback)
+  Binary,  // compact varint/delta format (see serializeRunLogBinary)
+};
+
 /// Serializes a run log. Line-based:
 ///   cblog 1 <threshold> <streams> <totalCycles>
 ///   S <stream> <tag> <cycle> <runtimeFrameKind> <n> <func:instr>*
@@ -17,12 +32,28 @@ namespace cb::sampling {
 ///   A <siteKey> <bytes>
 std::string serializeRunLog(const RunLog& log);
 
-/// Parses a serialized log. Returns false (leaving `out` unspecified) on a
-/// malformed input.
-bool deserializeRunLog(const std::string& text, RunLog& out);
+/// Serializes a run log in the compact binary format:
+///   magic(4) = 89 43 42 4C ("\x89CBL"), version(1) = 0x01
+///   varint threshold, streams, totalCycles
+///   varint nSamples, then per sample:
+///     varint stream, taskTag, zigzag(atCycle - prevAtCycle),
+///     varint runtimeFrameKind, varint stackLen,
+///     per frame: zigzag(func - prevFunc), zigzag(instr - prevInstr)
+///     (prev func/instr reset to 0 at each stack; prevAtCycle spans samples)
+///   varint nSpawns (sorted by tag), per record:
+///     varint tag - prevTag, parentTag, taskFn, spawnInstr, stack as above
+///   varint nAllocSites (sorted by key): varint key - prevKey, bytes
+std::string serializeRunLogBinary(const RunLog& log);
+
+/// Parses a serialized log in EITHER format (auto-detected from the leading
+/// magic). Returns false (leaving `out` unspecified) on malformed input,
+/// truncation, trailing garbage, or an unsupported format version.
+bool deserializeRunLog(const std::string& data, RunLog& out);
 
 /// File convenience wrappers; return false on I/O or format errors.
-bool saveRunLog(const RunLog& log, const std::string& path);
+/// `loadRunLog` auto-detects the on-disk format.
+bool saveRunLog(const RunLog& log, const std::string& path,
+                RunLogFormat format = RunLogFormat::Text);
 bool loadRunLog(const std::string& path, RunLog& out);
 
 }  // namespace cb::sampling

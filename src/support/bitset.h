@@ -1,0 +1,179 @@
+// Dense and sparse bit-set containers for the analysis hot paths.
+//
+// `BitSet` is a growable dense bitmap over 32-bit ids (blame sets are keyed
+// by InstrId within one function, so the universe is small and dense).
+// Word-wise union replaces the per-element `std::set::insert` that dominated
+// the seed's propagation fixpoint. `SparseBitSet` is a sorted unique vector
+// for wide-universe / low-population rows (inheritance edges, written-global
+// sets) where a dense bitmap would waste space and iteration time.
+//
+// Both iterate in ascending id order — the same order `std::set` produced —
+// so every consumer (blameLines, invertIndex, the attributor) sees
+// bit-identical sequences.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace cb {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  /// Capacity hint: pre-sizes the bitmap for ids in [0, universe).
+  explicit BitSet(uint32_t universe) : words_((universe + 63) / 64, 0) {}
+
+  /// Sets bit `i`; returns true when it was newly set.
+  bool insert(uint32_t i) {
+    size_t w = i >> 6;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    uint64_t mask = 1ull << (i & 63);
+    if (words_[w] & mask) return false;
+    words_[w] |= mask;
+    ++count_;
+    return true;
+  }
+
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(static_cast<uint32_t>(*first));
+  }
+
+  bool test(uint32_t i) const {
+    size_t w = i >> 6;
+    return w < words_.size() && (words_[w] >> (i & 63)) & 1;
+  }
+  bool count(uint32_t i) const { return test(i); }
+
+  /// `*this |= o`; returns true when any bit was added.
+  bool unionWith(const BitSet& o) {
+    if (o.count_ == 0) return false;
+    if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
+    bool changed = false;
+    for (size_t w = 0; w < o.words_.size(); ++w) {
+      uint64_t add = o.words_[w] & ~words_[w];
+      if (add) {
+        words_[w] |= add;
+        count_ += static_cast<size_t>(__builtin_popcountll(add));
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  void clear() {
+    words_.clear();
+    count_ = 0;
+  }
+
+  friend bool operator==(const BitSet& a, const BitSet& b) {
+    if (a.count_ != b.count_) return false;
+    size_t common = std::min(a.words_.size(), b.words_.size());
+    for (size_t w = 0; w < common; ++w)
+      if (a.words_[w] != b.words_[w]) return false;
+    // Trailing words (if any) must be zero — counts already match, but a
+    // mismatch there with compensating bits earlier is caught above.
+    for (size_t w = common; w < a.words_.size(); ++w)
+      if (a.words_[w]) return false;
+    for (size_t w = common; w < b.words_.size(); ++w)
+      if (b.words_[w]) return false;
+    return true;
+  }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t*;
+    using reference = uint32_t;
+    const_iterator(const std::vector<uint64_t>* words, size_t word, uint64_t rest)
+        : words_(words), word_(word), rest_(rest) {
+      advance();
+    }
+
+    uint32_t operator*() const {
+      return static_cast<uint32_t>((word_ << 6) + __builtin_ctzll(rest_));
+    }
+    const_iterator& operator++() {
+      rest_ &= rest_ - 1;
+      advance();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.word_ == b.word_ && a.rest_ == b.rest_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) { return !(a == b); }
+
+   private:
+    void advance() {
+      while (rest_ == 0 && word_ + 1 < words_->size()) rest_ = (*words_)[++word_];
+      if (rest_ == 0) word_ = words_->size();  // canonical end state
+    }
+    const std::vector<uint64_t>* words_;
+    size_t word_;
+    uint64_t rest_;
+  };
+
+  const_iterator begin() const {
+    if (words_.empty()) return end();
+    return const_iterator(&words_, 0, words_[0]);
+  }
+  const_iterator end() const { return const_iterator(&words_, words_.size(), 0); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t count_ = 0;
+};
+
+class SparseBitSet {
+ public:
+  SparseBitSet() = default;
+
+  /// Returns true when `i` was newly inserted.
+  bool insert(uint32_t i) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), i);
+    if (it != v_.end() && *it == i) return false;
+    v_.insert(it, i);
+    return true;
+  }
+
+  bool contains(uint32_t i) const { return std::binary_search(v_.begin(), v_.end(), i); }
+  bool count(uint32_t i) const { return contains(i); }
+
+  /// `*this |= o`; returns true when any element was added.
+  bool unionWith(const SparseBitSet& o) {
+    if (o.v_.empty()) return false;
+    std::vector<uint32_t> merged;
+    merged.reserve(v_.size() + o.v_.size());
+    std::set_union(v_.begin(), v_.end(), o.v_.begin(), o.v_.end(), std::back_inserter(merged));
+    if (merged.size() == v_.size()) return false;
+    v_ = std::move(merged);
+    return true;
+  }
+
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  std::vector<uint32_t>::const_iterator begin() const { return v_.begin(); }
+  std::vector<uint32_t>::const_iterator end() const { return v_.end(); }
+
+  friend bool operator==(const SparseBitSet& a, const SparseBitSet& b) { return a.v_ == b.v_; }
+
+ private:
+  std::vector<uint32_t> v_;  // sorted, unique
+};
+
+}  // namespace cb

@@ -1,0 +1,220 @@
+// Tests of the dense/sparse bit-set containers and the SCC-condensation
+// propagation engine that replaced the seed's Jacobi fixpoint.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "analysis/propagation.h"
+#include "core/profiler.h"
+#include "support/bitset.h"
+#include "support/rng.h"
+
+namespace cb {
+namespace {
+
+std::vector<uint32_t> toVec(const BitSet& b) { return {b.begin(), b.end()}; }
+
+TEST(BitSet, EmptyHasNoBitsAndIteratesNothing) {
+  BitSet b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(1000));
+  EXPECT_EQ(toVec(b), std::vector<uint32_t>{});
+  EXPECT_EQ(b, BitSet(128));  // capacity hints don't affect equality
+}
+
+TEST(BitSet, SingleBitAtEdgeSizes) {
+  for (uint32_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 4096u}) {
+    BitSet b;
+    EXPECT_TRUE(b.insert(i));
+    EXPECT_FALSE(b.insert(i)) << "second insert of " << i;
+    EXPECT_TRUE(b.test(i));
+    EXPECT_FALSE(b.test(i + 1));
+    if (i > 0) EXPECT_FALSE(b.test(i - 1));
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(toVec(b), std::vector<uint32_t>{i});
+  }
+}
+
+TEST(BitSet, IterationIsAscendingLikeStdSet) {
+  BitSet b;
+  std::set<uint32_t> ref;
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.nextBounded(1000));
+    EXPECT_EQ(b.insert(v), ref.insert(v).second);
+  }
+  EXPECT_EQ(b.size(), ref.size());
+  EXPECT_EQ(toVec(b), std::vector<uint32_t>(ref.begin(), ref.end()));
+}
+
+TEST(BitSet, UnionWithReportsChangeAndGrows) {
+  BitSet a, b;
+  a.insert(1);
+  a.insert(64);
+  b.insert(64);
+  b.insert(200);
+  EXPECT_TRUE(a.unionWith(b));
+  EXPECT_FALSE(a.unionWith(b));  // already a superset
+  EXPECT_EQ(toVec(a), (std::vector<uint32_t>{1, 64, 200}));
+  EXPECT_EQ(a.size(), 3u);
+  BitSet empty;
+  EXPECT_FALSE(a.unionWith(empty));
+  EXPECT_TRUE(empty.unionWith(a));
+  EXPECT_EQ(empty, a);
+}
+
+TEST(BitSet, RangeInsertAndEquality) {
+  std::vector<uint32_t> vals{5, 0, 65, 64, 5};
+  BitSet a;
+  a.insert(vals.begin(), vals.end());
+  EXPECT_EQ(toVec(a), (std::vector<uint32_t>{0, 5, 64, 65}));
+  BitSet b;
+  for (uint32_t v : {0u, 5u, 64u, 65u}) b.insert(v);
+  EXPECT_EQ(a, b);
+  b.insert(66);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SparseBitSet, InsertKeepsSortedUnique) {
+  SparseBitSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(700000));  // wide universe is fine
+  EXPECT_FALSE(s.insert(10));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(std::vector<uint32_t>(s.begin(), s.end()), (std::vector<uint32_t>{3, 10, 700000}));
+}
+
+TEST(SparseBitSet, UnionWith) {
+  SparseBitSet a, b;
+  a.insert(1);
+  a.insert(5);
+  b.insert(5);
+  b.insert(2);
+  EXPECT_TRUE(a.unionWith(b));
+  EXPECT_FALSE(a.unionWith(b));
+  EXPECT_EQ(std::vector<uint32_t>(a.begin(), a.end()), (std::vector<uint32_t>{1, 2, 5}));
+  SparseBitSet empty;
+  EXPECT_FALSE(a.unionWith(empty));
+}
+
+// ---------------------------------------------------------------------------
+// SCC engine.
+// ---------------------------------------------------------------------------
+
+std::vector<SparseBitSet> makeEdges(size_t n, std::initializer_list<std::pair<int, int>> es) {
+  std::vector<SparseBitSet> edges(n);
+  for (auto [a, b] : es) edges[a].insert(static_cast<uint32_t>(b));
+  return edges;
+}
+
+TEST(TarjanScc, ComponentsComeOutInDependencyOrder) {
+  // 0 -> 1 -> 2, cycle {3,4} -> 2.
+  auto edges = makeEdges(5, {{0, 1}, {1, 2}, {3, 4}, {4, 3}, {4, 2}});
+  an::SccResult scc = an::tarjanScc(5, edges);
+  ASSERT_EQ(scc.comp.size(), 5u);
+  EXPECT_EQ(scc.comp[3], scc.comp[4]);
+  EXPECT_NE(scc.comp[0], scc.comp[1]);
+  // Every edge points to an equal-or-smaller component id (deps first).
+  for (uint32_t v = 0; v < 5; ++v)
+    for (uint32_t w : edges[v]) EXPECT_LE(scc.comp[w], scc.comp[v]) << v << "->" << w;
+}
+
+TEST(TarjanScc, LongChainDoesNotOverflowTheStack) {
+  // 100k-node chain — the recursive formulation would crash here.
+  size_t n = 100000;
+  std::vector<SparseBitSet> edges(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) edges[v].insert(v + 1);
+  an::SccResult scc = an::tarjanScc(n, edges);
+  EXPECT_EQ(scc.components.size(), n);
+}
+
+// ---------------------------------------------------------------------------
+// Property: SCC propagation == retained Jacobi reference on random graphs.
+// ---------------------------------------------------------------------------
+
+class PropertyPropagation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyPropagation, SccMatchesReferenceFixpointOnRandomGraphs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t n = 1 + rng.nextBounded(60);
+    size_t nEdges = rng.nextBounded(4 * n);
+    std::vector<SparseBitSet> edges(n);
+    for (size_t i = 0; i < nEdges; ++i)
+      edges[rng.nextBounded(n)].insert(static_cast<uint32_t>(rng.nextBounded(n)));
+
+    std::vector<BitSet> seeds(n);
+    for (size_t e = 0; e < n; ++e) {
+      size_t bits = rng.nextBounded(6);
+      for (size_t b = 0; b < bits; ++b)
+        seeds[e].insert(static_cast<uint32_t>(rng.nextBounded(500)));
+    }
+
+    std::vector<BitSet> scc = seeds;
+    std::vector<BitSet> ref = seeds;
+    an::propagateInherits(scc, edges);
+    an::propagateInheritsReference(ref, edges);
+    for (size_t e = 0; e < n; ++e)
+      EXPECT_EQ(toVec(scc[e]), toVec(ref[e])) << "trial " << trial << " entity " << e;
+  }
+}
+
+TEST_P(PropertyPropagation, CyclesConvergeToSharedUnion) {
+  // Dense random cycles: every member of one SCC must end with an identical
+  // set (they reach the same nodes).
+  Rng rng(GetParam() ^ 0xC1C1Eull);
+  size_t n = 12;
+  std::vector<SparseBitSet> edges(n);
+  for (uint32_t v = 0; v < n; ++v) edges[v].insert((v + 1) % n);  // one big ring
+  for (int extra = 0; extra < 6; ++extra)
+    edges[rng.nextBounded(n)].insert(static_cast<uint32_t>(rng.nextBounded(n)));
+  std::vector<BitSet> sets(n);
+  for (uint32_t v = 0; v < n; ++v) sets[v].insert(v);
+  an::propagateInherits(sets, edges);
+  for (size_t v = 1; v < n; ++v) EXPECT_EQ(sets[v], sets[0]);
+  EXPECT_EQ(sets[0].size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyPropagation,
+                         ::testing::Values(11ull, 2026ull, 0xFEEDFACEull));
+
+// ---------------------------------------------------------------------------
+// End-to-end oracle: the full static analysis run with SCC propagation is
+// bit-identical to the retained reference fixpoint on the paper corpus.
+// ---------------------------------------------------------------------------
+
+class PropagationCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropagationCorpus, SccAnalysisMatchesReferenceFixpoint) {
+  Profiler p;
+  ASSERT_TRUE(p.compileFile(assetProgram(GetParam()))) << p.lastError();
+  const ir::Module& m = p.compilation()->module();
+  an::BlameOptions ref;
+  ref.referenceFixpoint = true;
+  an::ModuleBlame fast = an::analyzeModule(m);
+  an::ModuleBlame slow = an::analyzeModule(m, ref);
+  ASSERT_EQ(fast.functions.size(), slow.functions.size());
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    const an::FunctionBlame& a = fast.fn(f);
+    const an::FunctionBlame& b = slow.fn(f);
+    ASSERT_EQ(a.entities.size(), b.entities.size()) << "func " << f;
+    for (an::EntityId e = 0; e < a.entities.size(); ++e) {
+      EXPECT_EQ(a.blameInstrs[e], b.blameInstrs[e]) << "func " << f << " entity " << e;
+      EXPECT_EQ(a.regionInstrs[e], b.regionInstrs[e]) << "func " << f << " entity " << e;
+      EXPECT_EQ(a.blameLines(m, e), b.blameLines(m, e)) << "func " << f << " entity " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, PropagationCorpus,
+                         ::testing::Values("example", "clomp", "minimd", "lulesh"));
+
+}  // namespace
+}  // namespace cb

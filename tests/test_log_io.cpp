@@ -197,8 +197,149 @@ TEST_P(PropertyLogIoRoundTrip, SecondRoundTripIsAFixedPoint) {
   expectLogsEqual(back, back2);
 }
 
+TEST_P(PropertyLogIoRoundTrip, RandomLogsSurviveBinaryRoundTrip) {
+  Rng rng(GetParam() ^ 0xB19A2Full);
+  for (int trial = 0; trial < 16; ++trial) {
+    sampling::RunLog log;
+    log.sampleThreshold = rng.next();
+    log.numStreams = static_cast<uint32_t>(rng.nextBounded(64));
+    log.totalCycles = rng.next();
+    uint64_t numSamples = rng.nextBounded(120);
+    for (uint64_t i = 0; i < numSamples; ++i) {
+      sampling::RawSample s;
+      s.stream = static_cast<uint32_t>(rng.nextBounded(64));
+      s.taskTag = rng.nextBounded(40);
+      s.atCycle = rng.next();  // random order: deltas exercise negatives
+      size_t depth = rng.nextBounded(10);
+      for (size_t d = 0; d < depth; ++d)
+        s.stack.push_back({static_cast<ir::FuncId>(rng.nextBounded(1000)),
+                           static_cast<ir::InstrId>(rng.nextBounded(5000))});
+      log.samples.push_back(std::move(s));
+    }
+    uint64_t numTags = rng.nextBounded(30);
+    for (uint64_t tag = 1; tag <= numTags; ++tag) {
+      sampling::SpawnRecord rec;
+      rec.tag = tag * 3 + rng.nextBounded(2);  // non-contiguous tags
+      rec.parentTag = rng.nextBounded(tag);
+      rec.taskFn = static_cast<ir::FuncId>(rng.nextBounded(1000));
+      rec.spawnInstr = static_cast<ir::InstrId>(rng.nextBounded(5000));
+      uint64_t t = rec.tag;
+      log.spawns.emplace(t, std::move(rec));
+    }
+    for (uint64_t i = 0, n = rng.nextBounded(20); i < n; ++i)
+      log.allocBytesBySite[rng.next()] = rng.next();
+
+    std::string bin = sampling::serializeRunLogBinary(log);
+    sampling::RunLog back;
+    ASSERT_TRUE(sampling::deserializeRunLog(bin, back)) << "trial " << trial;
+    expectLogsEqual(log, back);
+    // The binary encoding is a deterministic function of the contents:
+    // re-serializing the parsed log reproduces the bytes exactly.
+    EXPECT_EQ(sampling::serializeRunLogBinary(back), bin) << "trial " << trial;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyLogIoRoundTrip,
                          ::testing::Values(7ull, 1234ull, 0xDEADBEEFull));
+
+// ---------------------------------------------------------------------------
+// Binary format: cross-format identity, auto-detection, rejection paths.
+// ---------------------------------------------------------------------------
+
+TEST(LogIoBinary, TextToBinaryToTextIsTheIdentity) {
+  sampling::RunLog log = makeLog();
+  // text -> parse -> binary -> parse: structurally identical to the source.
+  std::string text = sampling::serializeRunLog(log);
+  sampling::RunLog fromText;
+  ASSERT_TRUE(sampling::deserializeRunLog(text, fromText));
+  std::string bin = sampling::serializeRunLogBinary(fromText);
+  sampling::RunLog fromBin;
+  ASSERT_TRUE(sampling::deserializeRunLog(bin, fromBin));
+  expectLogsEqual(fromText, fromBin);
+  expectLogsEqual(log, fromBin);
+  // And the regenerated text parses back to the same structure again.
+  sampling::RunLog again;
+  ASSERT_TRUE(sampling::deserializeRunLog(sampling::serializeRunLog(fromBin), again));
+  expectLogsEqual(fromBin, again);
+}
+
+TEST(LogIoBinary, FileRoundTripAutoDetects) {
+  sampling::RunLog log = makeLog();
+  std::string path = ::testing::TempDir() + "/cb_log_io_test_bin.cblog";
+  ASSERT_TRUE(sampling::saveRunLog(log, path, sampling::RunLogFormat::Binary));
+  sampling::RunLog back;
+  ASSERT_TRUE(sampling::loadRunLog(path, back));  // no format hint needed
+  expectLogsEqual(log, back);
+  std::remove(path.c_str());
+}
+
+TEST(LogIoBinary, RejectsTruncation) {
+  sampling::RunLog log = makeLog();
+  std::string bin = sampling::serializeRunLogBinary(log);
+  ASSERT_GT(bin.size(), 16u);
+  sampling::RunLog out;
+  // Every strict prefix is malformed: record counts are declared up front,
+  // so a clean cut mid-stream still leaves missing records.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{4}, size_t{5}, size_t{8}, bin.size() / 4,
+                     bin.size() / 2, bin.size() - 1})
+    EXPECT_FALSE(sampling::deserializeRunLog(bin.substr(0, len), out)) << "prefix " << len;
+  // Trailing garbage after a well-formed stream is rejected too.
+  EXPECT_FALSE(sampling::deserializeRunLog(bin + "x", out));
+  EXPECT_TRUE(sampling::deserializeRunLog(bin, out));
+}
+
+TEST(LogIoBinary, RejectsVersionMismatchAndCorruptMagic) {
+  sampling::RunLog log = makeLog();
+  std::string bin = sampling::serializeRunLogBinary(log);
+  sampling::RunLog out;
+  std::string wrongVersion = bin;
+  wrongVersion[4] = 0x7F;  // unsupported future version
+  EXPECT_FALSE(sampling::deserializeRunLog(wrongVersion, out));
+  std::string wrongMagic = bin;
+  wrongMagic[1] = 'X';  // no longer binary; not valid text either
+  EXPECT_FALSE(sampling::deserializeRunLog(wrongMagic, out));
+}
+
+TEST(LogIoBinary, CorruptedBytesNeverCrash) {
+  // Flipped bytes may decode to a different (valid) log or be rejected —
+  // either way the parser must stay in-bounds and terminate.
+  sampling::RunLog log = makeLog();
+  std::string bin = sampling::serializeRunLogBinary(log);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bin;
+    size_t pos = 5 + rng.nextBounded(mutated.size() - 5);  // keep magic+version
+    mutated[pos] = static_cast<char>(rng.nextBounded(256));
+    sampling::RunLog out;
+    sampling::deserializeRunLog(mutated, out);  // must not hang or fault
+  }
+}
+
+/// The acceptance gate: on each paper benchmark, the binary log is lossless
+/// against the text format and strictly smaller on disk.
+class PropertyBinaryLogCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropertyBinaryLogCorpus, LosslessAndSmallerThanText) {
+  Profiler p;
+  p.options().run.sampleThreshold = 997;
+  ASSERT_TRUE(p.compileFile(assetProgram(GetParam())) && p.analyze() && p.run())
+      << p.lastError();
+  const sampling::RunLog& log = p.runResult()->log;
+  ASSERT_FALSE(log.samples.empty());
+
+  std::string text = sampling::serializeRunLog(log);
+  std::string bin = sampling::serializeRunLogBinary(log);
+  sampling::RunLog fromText, fromBin;
+  ASSERT_TRUE(sampling::deserializeRunLog(text, fromText));
+  ASSERT_TRUE(sampling::deserializeRunLog(bin, fromBin));
+  expectLogsEqual(fromText, fromBin);
+  expectLogsEqual(log, fromBin);
+  EXPECT_LT(bin.size(), text.size())
+      << GetParam() << ": binary " << bin.size() << "B vs text " << text.size() << "B";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, PropertyBinaryLogCorpus,
+                         ::testing::Values("minimd", "clomp", "lulesh"));
 
 TEST(SelectWhen, LowersAndRuns) {
   EXPECT_EQ(test::runOutput(R"(proc label(x: int): int {
