@@ -28,6 +28,8 @@ void usage() {
       "  --config K=V          override a config const (repeatable)\n"
       "  --view V              data|code|pprof|hybrid|gui|baseline|csv (default data)\n"
       "  --skid N              simulate PMU skid of N instructions\n"
+      "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
+      "  --replay-threads N    replay eligible parallel regions on N OS threads\n"
       "  --locales N           simulate N locales and aggregate blame\n"
       "  --save-log PATH       write the raw monitoring dataset to PATH\n"
       "  --html PATH           write a standalone HTML report (the GUI) to PATH\n"
@@ -82,6 +84,10 @@ int main(int argc, char** argv) {
       view = next();
     } else if (arg == "--skid") {
       profiler.options().run.skidInstructions = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--reference-interp") {
+      profiler.options().run.referenceInterp = true;
+    } else if (arg == "--replay-threads") {
+      profiler.options().run.replayThreads = static_cast<uint32_t>(std::stoul(next()));
     } else if (arg == "--locales") {
       numLocales = static_cast<uint32_t>(std::stoul(next()));
     } else if (arg == "--save-log") {

@@ -29,6 +29,11 @@ namespace cb {
 struct ProfileOptions {
   fe::CompileOptions compile;
   an::BlameOptions blame;
+  /// Execution-engine selection rides along here: `run.referenceInterp`
+  /// forces the tree-walking oracle interpreter, and `run.replayThreads`
+  /// lets the default bytecode engine replay eligible parallel regions on
+  /// OS threads. Every combination produces a bit-identical RunLog, so
+  /// profiles are comparable regardless of engine (see src/runtime/exec.cpp).
   rt::RunOptions run;
   pm::ConsolidateOptions consolidate;
   pm::AttributionOptions attribution;

@@ -1,0 +1,1110 @@
+#include "runtime/bytecode.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "support/common.h"
+
+namespace cb::rt::bc {
+
+using ir::BinKind;
+using ir::BuiltinKind;
+using ir::FuncId;
+using ir::Instr;
+using ir::InstrId;
+using ir::Opcode;
+using ir::TypeId;
+using ir::TypeKind;
+using ir::ValueRef;
+
+namespace {
+
+bool typeOwnsArrays(const ir::Module& m, TypeId t) {
+  const ir::Type& ty = m.types().get(t);
+  switch (ty.kind) {
+    case TypeKind::Array: return true;
+    case TypeKind::Tuple:
+      for (TypeId e : ty.elems)
+        if (typeOwnsArrays(m, e)) return true;
+      return false;
+    case TypeKind::Record:
+      for (const ir::RecordField& f : ty.fields)
+        if (typeOwnsArrays(m, f.type)) return true;
+      return false;
+    default: return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-replay eligibility analysis.
+//
+// Flow-insensitive abstract interpretation of the outlined task function.
+// Integer values are classified relative to the chunk loop: Uniform (same
+// value in every task, with an interned symbolic identity), Induction (the
+// chunk-loop counter, whose ranges are disjoint across tasks), Aff/AffN
+// (uniform +/- induction — still injective, so same-signature accesses from
+// different tasks never collide), or Varying. Shared arrays are tracked back
+// to task-invariant roots (globals / byval iterand args / byref captures,
+// possibly through record-field paths); every element access through a root
+// is summarized by the signature of its index vector. A region is eligible
+// when each written root is touched through exactly one disjointness-bearing
+// signature and nothing falls outside the abstraction (calls, nested spawns,
+// RNG, global or capture stores, views, escaping handles...). Anything not
+// understood degrades to a sequential fallback, never to a race.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kArbSig = ~0u;
+
+struct Analyzer {
+  const ir::Module& m;
+  const ir::Function& fn;
+
+  struct VC {
+    enum K : uint8_t { Bot, Uni, Ind, Aff, AffN, CLo, CHi, Vary };
+    K k = Bot;
+    uint32_t s = 0;
+  };
+  struct RC {
+    enum K : uint8_t { NotRef, Local, LocalField, TaskElem, Elem, Cap, Glob, Vary };
+    K k = NotRef;
+    uint32_t a = 0;    // alloca id / root id / arg index / global id
+    uint32_t sig = 0;  // Elem only
+    std::vector<uint32_t> path;  // Cap/Glob only
+  };
+  struct AC {
+    enum K : uint8_t { NotArr, Root, TaskLocal, Vary };
+    K k = NotArr;
+    uint32_t root = 0;
+  };
+
+  std::vector<VC> vc;
+  std::vector<RC> rc;
+  std::vector<AC> ac;
+  struct AllocaState {
+    VC v;
+    AC a;
+  };
+  std::vector<AllocaState> allocaSt;
+  std::vector<bool> isInduction;
+
+  std::map<std::string, uint32_t> symIds;
+  std::vector<std::string> rootKeys;
+  std::map<std::string, uint32_t> rootIds;
+  std::vector<RootRef> rootRefs;
+  struct SigElem {
+    uint8_t k;  // 0 Uni, 1 Ind, 2 Aff, 3 AffN
+    uint32_t s;
+  };
+  std::vector<std::pair<bool, std::vector<SigElem>>> sigs;
+  std::map<std::string, uint32_t> sigIds;
+
+  struct RootInfo {
+    std::set<uint32_t> wsigs, rsigs;
+    bool arbW = false, arbR = false;
+  };
+  std::map<uint32_t, RootInfo> rootInfo;
+
+  bool fatal = false;
+  bool anyUnknownRead = false;
+  bool changed = false;
+  bool record = false;
+
+  Analyzer(const ir::Module& mod, const ir::Function& f) : m(mod), fn(f) {
+    size_t n = fn.numInstrs();
+    vc.resize(n);
+    rc.resize(n);
+    ac.resize(n);
+    allocaSt.resize(n);
+    isInduction.assign(n, false);
+    findInductionAllocas();
+  }
+
+  uint32_t sym(const std::string& s) {
+    auto [it, fresh] = symIds.emplace(s, static_cast<uint32_t>(symIds.size()));
+    return it->second;
+  }
+
+  uint32_t rootId(bool fromGlobal, bool deref, uint32_t index,
+                  const std::vector<uint32_t>& path) {
+    std::string key = (fromGlobal ? "g" : "a");
+    key += deref ? "d:" : ":";
+    key += std::to_string(index);
+    for (uint32_t p : path) key += "." + std::to_string(p);
+    auto it = rootIds.find(key);
+    if (it != rootIds.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(rootRefs.size());
+    rootIds.emplace(key, id);
+    rootRefs.push_back(RootRef{fromGlobal, deref, index, path, false});
+    return id;
+  }
+
+  uint32_t internSig(bool linear, const std::vector<SigElem>& elems) {
+    std::string key = linear ? "L" : "M";
+    for (const SigElem& e : elems)
+      key += ";" + std::to_string(e.k) + ":" + std::to_string(e.s);
+    auto it = sigIds.find(key);
+    if (it != sigIds.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(sigs.size());
+    sigIds.emplace(key, id);
+    sigs.emplace_back(linear, elems);
+    return id;
+  }
+
+  void findInductionAllocas() {
+    // The chunk loop's counter: an alloca with exactly two stores, one of
+    // the chunk_lo argument (arg 0) and one of (load(self) + 1).
+    std::vector<std::vector<InstrId>> storesTo(fn.numInstrs());
+    for (InstrId i = 0; i < fn.numInstrs(); ++i) {
+      const Instr& in = fn.instrs[i];
+      if (in.op != Opcode::Store || in.ops.size() != 2) continue;
+      if (in.ops[1].isReg() && fn.instrs[in.ops[1].reg].op == Opcode::Alloca)
+        storesTo[in.ops[1].reg].push_back(i);
+    }
+    for (InstrId a = 0; a < fn.numInstrs(); ++a) {
+      if (fn.instrs[a].op != Opcode::Alloca || storesTo[a].size() != 2) continue;
+      bool init = false, inc = false;
+      for (InstrId s : storesTo[a]) {
+        const ValueRef& v = fn.instrs[s].ops[0];
+        if (v.kind == ValueRef::Kind::Arg && v.arg == 0) { init = true; continue; }
+        if (!v.isReg()) continue;
+        const Instr& add = fn.instrs[v.reg];
+        if (add.op != Opcode::Bin || add.extra.bin != BinKind::Add || add.ops.size() != 2)
+          continue;
+        for (int side = 0; side < 2; ++side) {
+          const ValueRef& x = add.ops[side];
+          const ValueRef& y = add.ops[1 - side];
+          if (y.kind != ValueRef::Kind::ConstInt || y.i != 1) continue;
+          if (x.isReg() && fn.instrs[x.reg].op == Opcode::Load &&
+              fn.instrs[x.reg].ops[0].isReg() && fn.instrs[x.reg].ops[0].reg == a)
+            inc = true;
+        }
+      }
+      if (init && inc) isInduction[a] = true;
+    }
+  }
+
+  // -- joins ----------------------------------------------------------------
+  static VC joinVC(const VC& a, const VC& b) {
+    if (a.k == VC::Bot) return b;
+    if (b.k == VC::Bot) return a;
+    if (a.k == b.k && a.s == b.s) return a;
+    return VC{VC::Vary, 0};
+  }
+  static AC joinAC(const AC& a, const AC& b) {
+    if (a.k == AC::NotArr) return b;
+    if (b.k == AC::NotArr) return a;
+    if (a.k == b.k && a.root == b.root) return a;
+    return AC{AC::Vary, 0};
+  }
+
+  void setVC(InstrId i, VC v) {
+    if (vc[i].k != v.k || vc[i].s != v.s) { vc[i] = v; changed = true; }
+  }
+  void setRC(InstrId i, RC r) {
+    if (rc[i].k != r.k || rc[i].a != r.a || rc[i].sig != r.sig || rc[i].path != r.path) {
+      rc[i] = std::move(r);
+      changed = true;
+    }
+  }
+  void setAC(InstrId i, AC a) {
+    if (ac[i].k != a.k || ac[i].root != a.root) { ac[i] = a; changed = true; }
+  }
+  void joinAlloca(InstrId a, const VC& v, const AC& arr) {
+    VC nv = joinVC(allocaSt[a].v, v);
+    AC na = joinAC(allocaSt[a].a, arr);
+    if (nv.k != allocaSt[a].v.k || nv.s != allocaSt[a].v.s || na.k != allocaSt[a].a.k ||
+        na.root != allocaSt[a].a.root) {
+      allocaSt[a].v = nv;
+      allocaSt[a].a = na;
+      changed = true;
+    }
+  }
+
+  // -- operand classification ----------------------------------------------
+  VC vcOf(const ValueRef& v) {
+    switch (v.kind) {
+      case ValueRef::Kind::ConstInt: return VC{VC::Uni, sym("ci:" + std::to_string(v.i))};
+      case ValueRef::Kind::ConstReal: {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v.r));
+        __builtin_memcpy(&bits, &v.r, sizeof(bits));
+        return VC{VC::Uni, sym("cr:" + std::to_string(bits))};
+      }
+      case ValueRef::Kind::ConstBool: return VC{VC::Uni, sym(v.b ? "cb:1" : "cb:0")};
+      case ValueRef::Kind::ConstString:
+        return VC{VC::Uni, sym("cs:" + std::to_string(v.stringId))};
+      case ValueRef::Kind::Arg:
+        if (v.arg == 0) return VC{VC::CLo, 0};
+        if (v.arg == 1) return VC{VC::CHi, 0};
+        if (v.arg < fn.params.size() && fn.params[v.arg].byRef) return VC{VC::Vary, 0};
+        return VC{VC::Uni, sym("arg:" + std::to_string(v.arg))};
+      case ValueRef::Kind::Reg: return vc[v.reg];
+      default: return VC{VC::Vary, 0};
+    }
+  }
+  RC rcOf(const ValueRef& v) {
+    if (v.isReg()) return rc[v.reg];
+    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size() && fn.params[v.arg].byRef)
+      return RC{RC::Cap, v.arg, 0, {}};
+    if (v.kind == ValueRef::Kind::GlobalAddr) return RC{RC::Glob, v.global, 0, {}};
+    return RC{RC::NotRef, 0, 0, {}};
+  }
+  AC acOf(const ValueRef& v) {
+    if (v.isReg()) return ac[v.reg];
+    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size() && !fn.params[v.arg].byRef &&
+        m.types().kindOf(fn.params[v.arg].type) == TypeKind::Array)
+      return AC{AC::Root, rootId(false, false, v.arg, {})};
+    return AC{AC::NotArr};
+  }
+  bool operandIsRefValue(const ValueRef& v) {
+    return rcOf(v).k != RC::NotRef;
+  }
+  TypeId operandType(const ValueRef& v) {
+    if (v.isReg()) return fn.instrs[v.reg].type;
+    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size())
+      return fn.params[v.arg].type;
+    return ir::kInvalidType;
+  }
+
+  void markRead(uint32_t root, uint32_t sig) {
+    if (!record) return;
+    if (sig == kArbSig) rootInfo[root].arbR = true;
+    else rootInfo[root].rsigs.insert(sig);
+  }
+  void markWrite(uint32_t root, uint32_t sig) {
+    if (!record) return;
+    if (sig == kArbSig) rootInfo[root].arbW = true;
+    else rootInfo[root].wsigs.insert(sig);
+  }
+  void bail() {
+    if (record) fatal = true;
+  }
+
+  // -- transfer -------------------------------------------------------------
+  void transfer(InstrId i) {
+    const Instr& in = fn.instrs[i];
+    switch (in.op) {
+      case Opcode::Alloca:
+        setRC(i, RC{RC::Local, i, 0, {}});
+        break;
+      case Opcode::Load: {
+        RC r = rcOf(in.ops[0]);
+        bool isArr = in.type != ir::kInvalidType &&
+                     m.types().kindOf(in.type) == TypeKind::Array;
+        bool owns = in.type != ir::kInvalidType && !isArr && typeOwnsArrays(m, in.type);
+        if (owns && r.k != RC::Local) bail();  // shared record-of-array handles escape
+        switch (r.k) {
+          case RC::Local:
+            setVC(i, isInduction[r.a] ? VC{VC::Ind, 0} : allocaSt[r.a].v);
+            if (isArr) setAC(i, allocaSt[r.a].a);
+            break;
+          case RC::LocalField:
+            if (record && (isArr || owns)) fatal = true;
+            setVC(i, VC{VC::Vary, 0});
+            break;
+          case RC::TaskElem:
+            if (isArr) setAC(i, AC{AC::TaskLocal, 0});
+            setVC(i, VC{VC::Vary, 0});
+            break;
+          case RC::Elem:
+            markRead(r.a, r.sig);
+            if (isArr) setAC(i, AC{AC::Vary, 0});
+            setVC(i, VC{VC::Vary, 0});
+            break;
+          case RC::Cap:
+          case RC::Glob: {
+            bool g = r.k == RC::Glob;
+            std::string tag = (g ? "g:" : "cap:") + std::to_string(r.a);
+            for (uint32_t p : r.path) tag += "." + std::to_string(p);
+            if (isArr) setAC(i, AC{AC::Root, rootId(g, !g, r.a, r.path)});
+            setVC(i, VC{VC::Uni, sym(tag)});
+            break;
+          }
+          default:
+            if (record) anyUnknownRead = true;
+            if (isArr) setAC(i, AC{AC::Vary, 0});
+            setVC(i, VC{VC::Vary, 0});
+            break;
+        }
+        break;
+      }
+      case Opcode::Store: {
+        RC r = rcOf(in.ops[1]);
+        VC v = vcOf(in.ops[0]);
+        AC av = acOf(in.ops[0]);
+        TypeId vt = operandType(in.ops[0]);
+        bool vIsArr = vt != ir::kInvalidType && m.types().kindOf(vt) == TypeKind::Array;
+        bool vOwns = vt != ir::kInvalidType && !vIsArr && typeOwnsArrays(m, vt);
+        bool vIsRef = operandIsRefValue(in.ops[0]) ||
+                      in.ops[0].kind == ValueRef::Kind::GlobalAddr;
+        switch (r.k) {
+          case RC::Local:
+            joinAlloca(r.a, vIsArr ? VC{VC::Vary, 0} : v, vIsArr ? av : AC{AC::NotArr});
+            if (record && (vOwns || vIsRef)) fatal = true;
+            break;
+          case RC::LocalField:
+          case RC::TaskElem:
+            if (record && (vOwns || vIsRef || (vIsArr && av.k != AC::TaskLocal))) fatal = true;
+            break;
+          case RC::Elem:
+            markWrite(r.a, r.sig);
+            if (record && (vOwns || vIsArr || vIsRef)) fatal = true;
+            break;
+          default:
+            bail();
+            break;
+        }
+        break;
+      }
+      case Opcode::FieldAddr:
+      case Opcode::TupleAddr: {
+        RC r = rcOf(in.ops[0]);
+        bool dyn = in.op == Opcode::TupleAddr && in.ops.size() == 2;
+        switch (r.k) {
+          case RC::Local:
+          case RC::LocalField: setRC(i, RC{RC::LocalField, r.a, 0, {}}); break;
+          case RC::TaskElem: setRC(i, RC{RC::TaskElem, 0, 0, {}}); break;
+          case RC::Elem: setRC(i, RC{RC::Elem, r.a, r.sig, {}}); break;
+          case RC::Cap:
+          case RC::Glob:
+            if (dyn) { setRC(i, RC{RC::Vary, 0, 0, {}}); break; }
+            {
+              RC nr = r;
+              nr.path.push_back(in.imm);
+              setRC(i, std::move(nr));
+            }
+            break;
+          default: setRC(i, RC{RC::Vary, 0, 0, {}}); break;
+        }
+        break;
+      }
+      case Opcode::IndexAddr: {
+        AC base = acOf(in.ops[0]);
+        switch (base.k) {
+          case AC::Root: {
+            bool linear = in.imm == 1;
+            std::vector<SigElem> elems;
+            bool arb = false;
+            for (size_t k = 1; k < in.ops.size(); ++k) {
+              VC c = vcOf(in.ops[k]);
+              switch (c.k) {
+                case VC::Uni: elems.push_back({0, c.s}); break;
+                case VC::Ind: elems.push_back({1, 0}); break;
+                case VC::Aff: elems.push_back({2, c.s}); break;
+                case VC::AffN: elems.push_back({3, c.s}); break;
+                default: arb = true; break;
+              }
+            }
+            setRC(i, RC{RC::Elem, base.root, arb ? kArbSig : internSig(linear, elems), {}});
+            break;
+          }
+          case AC::TaskLocal: setRC(i, RC{RC::TaskElem, 0, 0, {}}); break;
+          default: setRC(i, RC{RC::Vary, 0, 0, {}}); break;
+        }
+        break;
+      }
+      case Opcode::Bin: {
+        TypeKind rk = m.types().kindOf(in.type);
+        VC a = vcOf(in.ops[0]), b = vcOf(in.ops[1]);
+        auto uni2 = [&](const char* tag) {
+          return VC{VC::Uni, sym(std::string(tag) + "(" + std::to_string(a.s) + "," +
+                                 std::to_string(b.s) + ")")};
+        };
+        if (rk != TypeKind::Int) {
+          setVC(i, (a.k == VC::Uni && b.k == VC::Uni)
+                       ? uni2(("b" + std::to_string(static_cast<int>(in.extra.bin))).c_str())
+                       : VC{VC::Vary, 0});
+          break;
+        }
+        VC out{VC::Vary, 0};
+        BinKind k = in.extra.bin;
+        if (a.k == VC::Uni && b.k == VC::Uni) {
+          out = uni2(("b" + std::to_string(static_cast<int>(k))).c_str());
+        } else if (k == BinKind::Add) {
+          if ((a.k == VC::Uni && b.k == VC::Ind) || (a.k == VC::Ind && b.k == VC::Uni))
+            out = VC{VC::Aff, a.k == VC::Uni ? a.s : b.s};
+          else if ((a.k == VC::Uni && b.k == VC::Aff) || (a.k == VC::Aff && b.k == VC::Uni))
+            out = VC{VC::Aff, sym("+(" + std::to_string(std::min(a.s, b.s)) + "," +
+                                  std::to_string(std::max(a.s, b.s)) + ")+")};
+          else if ((a.k == VC::Uni && b.k == VC::AffN) || (a.k == VC::AffN && b.k == VC::Uni))
+            out = VC{VC::AffN, sym("+(" + std::to_string(std::min(a.s, b.s)) + "," +
+                                   std::to_string(std::max(a.s, b.s)) + ")-")};
+        } else if (k == BinKind::Sub) {
+          if (a.k == VC::Ind && b.k == VC::Uni)
+            out = VC{VC::Aff, sym("neg(" + std::to_string(b.s) + ")")};
+          else if (a.k == VC::Aff && b.k == VC::Uni)
+            out = VC{VC::Aff, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")+")};
+          else if (a.k == VC::Uni && b.k == VC::Ind)
+            out = VC{VC::AffN, a.s};
+          else if (a.k == VC::Uni && b.k == VC::Aff)
+            out = VC{VC::AffN, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")-")};
+          else if (a.k == VC::AffN && b.k == VC::Uni)
+            out = VC{VC::AffN, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")n")};
+        }
+        setVC(i, out);
+        break;
+      }
+      case Opcode::Un: {
+        VC a = vcOf(in.ops[0]);
+        setVC(i, a.k == VC::Uni
+                     ? VC{VC::Uni, sym("u" + std::to_string(static_cast<int>(in.extra.un)) +
+                                       "(" + std::to_string(a.s) + ")")}
+                     : VC{VC::Vary, 0});
+        break;
+      }
+      case Opcode::TupleMake: {
+        bool allUni = true;
+        std::string tag = "tm";
+        for (const ValueRef& o : in.ops) {
+          if (record && (operandIsRefValue(o) || acOf(o).k != AC::NotArr)) fatal = true;
+          VC c = vcOf(o);
+          if (c.k != VC::Uni) allUni = false;
+          else tag += ":" + std::to_string(c.s);
+        }
+        if (record && in.type != ir::kInvalidType && typeOwnsArrays(m, in.type)) fatal = true;
+        setVC(i, allUni ? VC{VC::Uni, sym(tag)} : VC{VC::Vary, 0});
+        break;
+      }
+      case Opcode::TupleGet: {
+        if (record && in.type != ir::kInvalidType && typeOwnsArrays(m, in.type)) fatal = true;
+        VC t = vcOf(in.ops[0]);
+        bool dyn = in.ops.size() == 2;
+        VC idx = dyn ? vcOf(in.ops[1]) : VC{VC::Uni, sym("imm:" + std::to_string(in.imm))};
+        setVC(i, (t.k == VC::Uni && idx.k == VC::Uni)
+                     ? VC{VC::Uni, sym("tg(" + std::to_string(t.s) + "," +
+                                       std::to_string(idx.s) + ")")}
+                     : VC{VC::Vary, 0});
+        break;
+      }
+      case Opcode::RecordNew:
+        if (record && typeOwnsArrays(m, in.type)) fatal = true;  // runs domain thunks
+        setVC(i, VC{VC::Vary, 0});
+        break;
+      case Opcode::DomainMake:
+      case Opcode::DomainExpand: {
+        bool allUni = true;
+        std::string tag = "dm";
+        for (const ValueRef& o : in.ops) {
+          VC c = vcOf(o);
+          if (c.k != VC::Uni) { allUni = false; break; }
+          tag += ":" + std::to_string(c.s);
+        }
+        setVC(i, allUni ? VC{VC::Uni, sym(tag)} : VC{VC::Vary, 0});
+        break;
+      }
+      case Opcode::DomainSize:
+      case Opcode::DomainDim: {
+        AC base = acOf(in.ops[0]);
+        if (base.k == AC::Root) {
+          setVC(i, VC{VC::Uni, sym("dq:" + std::to_string(base.root) + ":" +
+                                   std::to_string(in.imm) +
+                                   (in.op == Opcode::DomainSize ? "s" : "d"))});
+        } else {
+          VC d = vcOf(in.ops[0]);
+          setVC(i, d.k == VC::Uni
+                       ? VC{VC::Uni, sym("dq(" + std::to_string(d.s) + "," +
+                                         std::to_string(in.imm) + ")")}
+                       : VC{VC::Vary, 0});
+        }
+        break;
+      }
+      case Opcode::ArrayNew:
+        setAC(i, AC{AC::TaskLocal, 0});
+        break;
+      case Opcode::ArrayView:
+        // Views remap coordinates; accesses through them are not comparable
+        // with direct-root signatures. Reads stay safe, writes bail.
+        setAC(i, AC{AC::Vary, 0});
+        break;
+      case Opcode::Call:
+      case Opcode::Spawn:
+        bail();
+        setVC(i, VC{VC::Vary, 0});
+        break;
+      case Opcode::Builtin:
+        switch (in.extra.builtin) {
+          case BuiltinKind::Random: bail(); break;
+          case BuiltinKind::Writeln:
+            for (const ValueRef& o : in.ops) {
+              if (record && operandIsRefValue(o)) fatal = true;
+              AC a = acOf(o);
+              if (a.k == AC::Root) { if (record) rootInfo[a.root].arbR = true; }
+              else if (a.k == AC::Vary) { if (record) anyUnknownRead = true; }
+            }
+            break;
+          case BuiltinKind::ArrayFill:
+          case BuiltinKind::ArrayCopy: {
+            AC dst = acOf(in.ops[0]);
+            if (dst.k != AC::TaskLocal) bail();
+            if (in.extra.builtin == BuiltinKind::ArrayCopy) {
+              AC src = acOf(in.ops[1]);
+              if (src.k == AC::Root) { if (record) rootInfo[src.root].arbR = true; }
+              else if (src.k == AC::Vary) { if (record) anyUnknownRead = true; }
+            }
+            break;
+          }
+          case BuiltinKind::ConfigGet:
+            setVC(i, vcOf(in.ops[1]).k == VC::Uni
+                         ? VC{VC::Uni, sym("cfg:" + std::to_string(i))}
+                         : VC{VC::Vary, 0});
+            break;
+          default:  // Clock / Yield / HeapHint
+            setVC(i, VC{VC::Vary, 0});
+            break;
+        }
+        break;
+      default:  // Ret / Br / CondBr / IterOverhead
+        break;
+    }
+  }
+
+  SpawnPlan run() {
+    for (int iter = 0; iter < 32; ++iter) {
+      changed = false;
+      for (InstrId i = 0; i < fn.numInstrs(); ++i) transfer(i);
+      if (!changed) break;
+      if (iter == 31) return SpawnPlan{};  // did not converge: fall back
+    }
+    record = true;
+    for (InstrId i = 0; i < fn.numInstrs(); ++i) {
+      transfer(i);
+      if (fatal) return SpawnPlan{};
+    }
+    bool anyWrite = false;
+    for (auto& [root, info] : rootInfo) {
+      bool w = info.arbW || !info.wsigs.empty();
+      if (!w) continue;
+      anyWrite = true;
+      rootRefs[root].written = true;
+      if (info.arbW || info.arbR) return SpawnPlan{};
+      std::set<uint32_t> all = info.wsigs;
+      all.insert(info.rsigs.begin(), info.rsigs.end());
+      if (all.size() != 1) return SpawnPlan{};
+      const auto& [linear, elems] = sigs[*all.begin()];
+      bool disjoint = false;
+      for (const SigElem& e : elems)
+        if (e.k != 0) disjoint = true;
+      (void)linear;
+      if (!disjoint) return SpawnPlan{};
+    }
+    if (anyUnknownRead && anyWrite) return SpawnPlan{};
+    SpawnPlan plan;
+    plan.eligible = true;
+    plan.roots = rootRefs;
+    return plan;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bytecode lowering.
+// ---------------------------------------------------------------------------
+
+struct FnCompiler {
+  const ir::Module& m;
+  const ir::Function& fn;
+  FuncId fid;
+  CompiledModule& cm;
+  const CostModel& cost;
+  uint64_t q10;
+  std::unordered_map<FuncId, uint32_t>& planOf;
+
+  std::vector<uint32_t> uses;           // Reg use counts across the function
+  std::vector<uint32_t> blockPc;        // BlockId -> bytecode pc
+  struct Fixup { uint32_t pc; bool second; ir::BlockId block; };
+  std::vector<Fixup> fixups;
+  // Slot loads elided by operand forwarding: the load emits as a
+  // prologue-only IterOverhead and its (single) consumer reads the slot in
+  // place via a BOperand::K::Slot operand.
+  std::unordered_map<uint32_t, uint32_t> slotForward;
+  BFunc out;
+
+  FnCompiler(const ir::Module& mod, FuncId f, CompiledModule& c, const CostModel& cst,
+             uint64_t icq10, std::unordered_map<FuncId, uint32_t>& plans)
+      : m(mod), fn(mod.function(f)), fid(f), cm(c), cost(cst), q10(icq10), planOf(plans) {
+    uses.assign(fn.numInstrs(), 0);
+    for (InstrId i = 0; i < fn.numInstrs(); ++i)
+      for (const ValueRef& o : fn.instrs[i].ops)
+        if (o.isReg()) ++uses[o.reg];
+  }
+
+  uint32_t scaled(const Instr& in) const {
+    return static_cast<uint32_t>((cost.cost(in) * q10) >> 10);
+  }
+
+  BOperand dec(const ValueRef& v) {
+    BOperand o;
+    switch (v.kind) {
+      case ValueRef::Kind::Reg: {
+        auto fw = slotForward.find(v.reg);
+        if (fw != slotForward.end()) { o = {BOperand::K::Slot, fw->second}; break; }
+        o = {BOperand::K::Reg, v.reg};
+        break;
+      }
+      case ValueRef::Kind::Arg: o = {BOperand::K::Arg, v.arg}; break;
+      case ValueRef::Kind::GlobalAddr: o = {BOperand::K::Global, v.global}; break;
+      case ValueRef::Kind::ConstInt: o = {BOperand::K::Const, addConst(Value::makeInt(v.i))}; break;
+      case ValueRef::Kind::ConstReal:
+        o = {BOperand::K::Const, addConst(Value::makeReal(v.r))};
+        break;
+      case ValueRef::Kind::ConstBool:
+        o = {BOperand::K::Const, addConst(Value::makeBool(v.b))};
+        break;
+      case ValueRef::Kind::ConstString:
+        o = {BOperand::K::Const, addConst(Value::makeStr(m.string(v.stringId)))};
+        break;
+      case ValueRef::Kind::None: o = {BOperand::K::None, 0}; break;
+    }
+    return o;
+  }
+
+  uint32_t addConst(Value v) {
+    cm.constPool.push_back(std::move(v));
+    return static_cast<uint32_t>(cm.constPool.size() - 1);
+  }
+
+  uint32_t window(const std::vector<ValueRef>& ops, size_t from = 0) {
+    uint32_t base = static_cast<uint32_t>(out.operands.size());
+    for (size_t k = from; k < ops.size(); ++k) out.operands.push_back(dec(ops[k]));
+    return base;
+  }
+
+  /// Slot index when `v` is the register of an Alloca in this function.
+  int32_t slotOf(const ValueRef& v) const {
+    if (!v.isReg() || fn.instrs[v.reg].op != Opcode::Alloca) return -1;
+    return cm.allocaSlot[fid][v.reg];
+  }
+
+  uint32_t planFor(FuncId taskFn) {
+    auto it = planOf.find(taskFn);
+    if (it != planOf.end()) return it->second;
+    Analyzer an(m, m.function(taskFn));
+    uint32_t idx = static_cast<uint32_t>(cm.plans.size());
+    cm.plans.push_back(an.run());
+    planOf.emplace(taskFn, idx);
+    return idx;
+  }
+
+  /// Operand forwarding: slot index when single-use slot load `id` at block
+  /// position `p` has its one consumer inside the same block, reachable only
+  /// through instructions that cannot modify any frame slot (so the consumer
+  /// observes the same value reading the slot in place of the dead register
+  /// copy). Returns -1 when the copy must be materialized. The load still
+  /// emits a prologue-only instruction carrying its InstrId and cost, so
+  /// instruction counts, sample points and charges are unchanged.
+  int32_t forwardableSlot(const std::vector<InstrId>& instrs, size_t p, InstrId id) {
+    const Instr& in = fn.instrs[id];
+    if (uses.size() <= id || uses[id] != 1) return -1;
+    int32_t slot = slotOf(in.ops[0]);
+    if (slot < 0) return -1;
+    for (size_t q = p + 1; q < instrs.size(); ++q) {
+      const Instr& c = fn.instrs[instrs[q]];
+      for (const ValueRef& o : c.ops)
+        if (o.isReg() && o.reg == id) return c.op == Opcode::Spawn ? -1 : slot;
+      switch (c.op) {
+        case Opcode::Load:
+        case Opcode::Alloca:
+        case Opcode::FieldAddr:
+        case Opcode::TupleAddr:
+        case Opcode::IndexAddr:
+        case Opcode::Bin:
+        case Opcode::Un:
+        case Opcode::TupleMake:
+        case Opcode::TupleGet:
+        case Opcode::DomainMake:
+        case Opcode::DomainExpand:
+        case Opcode::DomainSize:
+        case Opcode::DomainDim:
+        case Opcode::RecordNew:
+        case Opcode::ArrayNew:
+        case Opcode::ArrayView:
+        case Opcode::IterOverhead:
+          continue;  // cannot write any frame slot
+        case Opcode::Store: {
+          int32_t s = slotOf(c.ops[1]);
+          if (s >= 0 && s != slot) continue;  // store to a different slot
+          return -1;  // same slot, or an arbitrary ref target
+        }
+        default:
+          return -1;  // Call/Spawn/Builtin may write through captured refs
+      }
+    }
+    return -1;  // consumed in a later block
+  }
+
+  void compile() {
+    blockPc.assign(fn.blocks.size(), 0);
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      blockPc[b] = static_cast<uint32_t>(out.code.size());
+      const auto& instrs = fn.blocks[b].instrs;
+      for (size_t p = 0; p < instrs.size(); ++p) {
+        InstrId id = instrs[p];
+        const Instr* next = p + 1 < instrs.size() ? &fn.instrs[instrs[p + 1]] : nullptr;
+        InstrId nextId = p + 1 < instrs.size() ? instrs[p + 1] : 0;
+        if (next && emitFused(id, fn.instrs[id], nextId, *next)) { ++p; continue; }
+        const Instr& in = fn.instrs[id];
+        if (in.op == Opcode::Load) {
+          int32_t fw = forwardableSlot(instrs, p, id);
+          if (fw >= 0) {
+            slotForward.emplace(id, static_cast<uint32_t>(fw));
+            out.code.push_back(base(id, in, Op::IterOverhead));
+            continue;
+          }
+        }
+        emitOne(id, in);
+      }
+    }
+    for (const Fixup& fx : fixups) {
+      if (fx.second) out.code[fx.pc].t1 = blockPc[fx.block];
+      else out.code[fx.pc].t0 = blockPc[fx.block];
+    }
+    out.numSlots = cm.numSlots[fid];
+    out.numRegs = static_cast<uint32_t>(fn.numInstrs());
+    // Slots whose every Alloca is immediately followed by a Store to it are
+    // always written before any read; all others must be reset on frame
+    // reuse (see BFunc::resetSlots).
+    std::vector<uint8_t> mustReset(out.numSlots, 0), inited(out.numSlots, 0);
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const auto& instrs = fn.blocks[b].instrs;
+      for (size_t p = 0; p < instrs.size(); ++p) {
+        InstrId id = instrs[p];
+        if (fn.instrs[id].op != Opcode::Alloca) continue;
+        int32_t slot = cm.allocaSlot[fid][id];
+        if (slot < 0) continue;
+        const Instr* nx = p + 1 < instrs.size() ? &fn.instrs[instrs[p + 1]] : nullptr;
+        bool storedNext = nx && nx->op == Opcode::Store && nx->ops[1].isReg() &&
+                          nx->ops[1].reg == id;
+        (storedNext ? inited : mustReset)[static_cast<uint32_t>(slot)] = 1;
+      }
+    }
+    for (uint32_t s = 0; s < out.numSlots; ++s)
+      if (mustReset[s] || !inited[s]) out.resetSlots.push_back(s);
+  }
+
+  BInstr base(InstrId id, const Instr& in, Op op) {
+    BInstr b;
+    b.op = op;
+    b.ir = id;
+    b.cost = scaled(in);
+    b.dst = id;
+    return b;
+  }
+
+  bool emitFused(InstrId id, const Instr& in, InstrId nid, const Instr& nx) {
+    if (uses.size() <= id || uses[id] != 1) return false;
+    // Bin(bool) + CondBr -> CmpBr.
+    if (in.op == Opcode::Bin && m.types().kindOf(in.type) == TypeKind::Bool &&
+        nx.op == Opcode::CondBr && nx.ops[0].isReg() && nx.ops[0].reg == id) {
+      BInstr b = base(id, in, Op::CmpBr);
+      b.sub = static_cast<uint8_t>(in.extra.bin);
+      b.rk = static_cast<uint8_t>(TypeKind::Bool);
+      b.a = dec(in.ops[0]);
+      b.b = dec(in.ops[1]);
+      b.ir2 = nid;
+      b.cost2 = scaled(nx);
+      fixups.push_back({static_cast<uint32_t>(out.code.size()), false, nx.target0});
+      fixups.push_back({static_cast<uint32_t>(out.code.size()), true, nx.target1});
+      out.code.push_back(b);
+      return true;
+    }
+    // IndexAddr + Load -> IndexLoad.
+    if (in.op == Opcode::IndexAddr && nx.op == Opcode::Load && nx.ops[0].isReg() &&
+        nx.ops[0].reg == id) {
+      BInstr b = base(id, in, Op::IndexLoad);
+      if (in.imm == 1) b.flags |= kLinear;
+      b.opBase = window(in.ops);
+      b.nops = static_cast<uint32_t>(in.ops.size());
+      b.ir2 = nid;
+      b.cost2 = scaled(nx);
+      b.dst2 = nid;
+      out.code.push_back(b);
+      return true;
+    }
+    // IndexAddr + Store -> IndexStore.
+    if (in.op == Opcode::IndexAddr && nx.op == Opcode::Store && nx.ops[1].isReg() &&
+        nx.ops[1].reg == id) {
+      BInstr b = base(id, in, Op::IndexStore);
+      if (in.imm == 1) b.flags |= kLinear;
+      b.opBase = window(in.ops);
+      b.nops = static_cast<uint32_t>(in.ops.size());
+      b.a = dec(nx.ops[0]);  // stored value
+      b.ir2 = nid;
+      b.cost2 = scaled(nx);
+      out.code.push_back(b);
+      return true;
+    }
+    // Load-from-slot + TupleGet -> TupleGetSlot. The dominant tuple-read
+    // idiom (`t(k)` where t is a local) loads the whole tuple just to
+    // extract one element; fused, the element is read straight out of the
+    // slot and the dead whole-tuple copy disappears.
+    if (in.op == Opcode::Load && nx.op == Opcode::TupleGet && nx.ops[0].isReg() &&
+        nx.ops[0].reg == id) {
+      int32_t slot = slotOf(in.ops[0]);
+      if (slot >= 0) {
+        BInstr b = base(id, in, Op::TupleGetSlot);
+        b.t0 = static_cast<uint32_t>(slot);
+        if (nx.ops.size() == 2) { b.b = dec(nx.ops[1]); b.flags |= kDynIndex; }
+        b.imm = nx.imm;
+        b.ir2 = nid;
+        b.cost2 = scaled(nx);
+        b.dst2 = nid;
+        out.code.push_back(b);
+        return true;
+      }
+    }
+    // TupleAddr + Load -> TupleGetRef (`hourgam(i)(j)` style ref chains).
+    if (in.op == Opcode::TupleAddr && nx.op == Opcode::Load && nx.ops[0].isReg() &&
+        nx.ops[0].reg == id) {
+      BInstr b = base(id, in, Op::TupleGetRef);
+      b.a = dec(in.ops[0]);
+      if (in.ops.size() == 2) { b.b = dec(in.ops[1]); b.flags |= kDynIndex; }
+      b.imm = in.imm;
+      b.ir2 = nid;
+      b.cost2 = scaled(nx);
+      b.dst2 = nid;
+      out.code.push_back(b);
+      return true;
+    }
+    // Bin(int/real) + Store-to-slot -> BinStoreSlot.
+    if (in.op == Opcode::Bin && nx.op == Opcode::Store && nx.ops[0].isReg() &&
+        nx.ops[0].reg == id) {
+      TypeKind rk = m.types().kindOf(in.type);
+      int32_t slot = slotOf(nx.ops[1]);
+      if ((rk == TypeKind::Int || rk == TypeKind::Real) && slot >= 0) {
+        BInstr b = base(id, in, Op::BinStoreSlot);
+        b.sub = static_cast<uint8_t>(in.extra.bin);
+        b.rk = static_cast<uint8_t>(rk);
+        b.a = dec(in.ops[0]);
+        b.b = dec(in.ops[1]);
+        b.ir2 = nid;
+        b.cost2 = scaled(nx);
+        b.dst2 = static_cast<uint32_t>(slot);
+        out.code.push_back(b);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void emitOne(InstrId id, const Instr& in) {
+    switch (in.op) {
+      case Opcode::Alloca: {
+        BInstr b = base(id, in, Op::Alloca);
+        b.t0 = static_cast<uint32_t>(cm.allocaSlot[fid][id]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Load: {
+        int32_t slot = slotOf(in.ops[0]);
+        if (slot >= 0) {
+          BInstr b = base(id, in, Op::LoadSlot);
+          b.t0 = static_cast<uint32_t>(slot);
+          out.code.push_back(b);
+        } else {
+          BInstr b = base(id, in, Op::LoadRef);
+          b.a = dec(in.ops[0]);
+          if (in.ops[0].isReg() && fn.instrs[in.ops[0].reg].op == Opcode::FieldAddr)
+            b.flags |= kNestedHandle;
+          out.code.push_back(b);
+        }
+        break;
+      }
+      case Opcode::Store: {
+        int32_t slot = slotOf(in.ops[1]);
+        if (slot >= 0) {
+          BInstr b = base(id, in, Op::StoreSlot);
+          b.a = dec(in.ops[0]);
+          b.t0 = static_cast<uint32_t>(slot);
+          out.code.push_back(b);
+        } else {
+          BInstr b = base(id, in, Op::StoreRef);
+          b.a = dec(in.ops[0]);
+          b.b = dec(in.ops[1]);
+          out.code.push_back(b);
+        }
+        break;
+      }
+      case Opcode::FieldAddr: {
+        BInstr b = base(id, in, Op::FieldAddr);
+        b.a = dec(in.ops[0]);
+        b.imm = in.imm;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::TupleAddr: {
+        BInstr b = base(id, in, Op::TupleAddr);
+        b.a = dec(in.ops[0]);
+        if (in.ops.size() == 2) { b.b = dec(in.ops[1]); b.flags |= kDynIndex; }
+        b.imm = in.imm;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::IndexAddr: {
+        BInstr b = base(id, in, Op::IndexAddr);
+        if (in.imm == 1) b.flags |= kLinear;
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Bin: {
+        BInstr b = base(id, in, Op::Bin);
+        b.sub = static_cast<uint8_t>(in.extra.bin);
+        b.rk = static_cast<uint8_t>(m.types().kindOf(in.type));
+        b.a = dec(in.ops[0]);
+        b.b = dec(in.ops[1]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Un: {
+        BInstr b = base(id, in, Op::Un);
+        b.sub = static_cast<uint8_t>(in.extra.un);
+        b.a = dec(in.ops[0]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::TupleMake: {
+        BInstr b = base(id, in, Op::TupleMake);
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::TupleGet: {
+        BInstr b = base(id, in, Op::TupleGet);
+        b.a = dec(in.ops[0]);
+        if (in.ops.size() == 2) { b.b = dec(in.ops[1]); b.flags |= kDynIndex; }
+        b.imm = in.imm;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::RecordNew: {
+        BInstr b = base(id, in, Op::RecordNew);
+        b.t0 = in.type;
+        b.imm = cost.profile().recordNewPerField * m.types().get(in.type).fields.size();
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::DomainMake: {
+        BInstr b = base(id, in, Op::DomainMake);
+        b.sub = static_cast<uint8_t>(in.imm);
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::DomainExpand: {
+        BInstr b = base(id, in, Op::DomainExpand);
+        b.a = dec(in.ops[0]);
+        b.b = dec(in.ops[1]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::DomainSize: {
+        BInstr b = base(id, in, Op::DomainSize);
+        b.a = dec(in.ops[0]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::DomainDim: {
+        BInstr b = base(id, in, Op::DomainDim);
+        b.a = dec(in.ops[0]);
+        b.imm = in.imm;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::ArrayNew: {
+        BInstr b = base(id, in, Op::ArrayNew);
+        b.a = dec(in.ops[0]);
+        b.t0 = m.types().get(in.type).elem;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::ArrayView: {
+        BInstr b = base(id, in, Op::ArrayView);
+        b.a = dec(in.ops[0]);
+        b.b = dec(in.ops[1]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Call: {
+        BInstr b = base(id, in, Op::Call);
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        b.t0 = in.extra.func;
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Ret: {
+        BInstr b = base(id, in, Op::Ret);
+        if (!in.ops.empty()) b.a = dec(in.ops[0]);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Br: {
+        BInstr b = base(id, in, Op::Br);
+        fixups.push_back({static_cast<uint32_t>(out.code.size()), false, in.target0});
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::CondBr: {
+        BInstr b = base(id, in, Op::CondBr);
+        b.a = dec(in.ops[0]);
+        fixups.push_back({static_cast<uint32_t>(out.code.size()), false, in.target0});
+        fixups.push_back({static_cast<uint32_t>(out.code.size()), true, in.target1});
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::Spawn: {
+        BInstr b = base(id, in, Op::Spawn);
+        b.sub = static_cast<uint8_t>(in.imm);
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        b.t0 = in.extra.func;
+        b.t1 = planFor(in.extra.func);
+        out.code.push_back(b);
+        break;
+      }
+      case Opcode::IterOverhead:
+        out.code.push_back(base(id, in, Op::IterOverhead));
+        break;
+      case Opcode::Builtin: {
+        BInstr b = base(id, in, Op::Builtin);
+        b.sub = static_cast<uint8_t>(in.extra.builtin);
+        b.opBase = window(in.ops);
+        b.nops = static_cast<uint32_t>(in.ops.size());
+        out.code.push_back(b);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CompiledModule compile(const ir::Module& m, const CostModel& cost,
+                       const std::vector<uint64_t>& icacheQ10) {
+  CompiledModule cm;
+  cm.allocaSlot.resize(m.numFunctions());
+  cm.numSlots.assign(m.numFunctions(), 0);
+  for (FuncId f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(f);
+    cm.allocaSlot[f].assign(fn.numInstrs(), -1);
+    uint32_t n = 0;
+    for (InstrId i = 0; i < fn.numInstrs(); ++i)
+      if (fn.instrs[i].op == Opcode::Alloca)
+        cm.allocaSlot[f][i] = static_cast<int32_t>(n++);
+    cm.numSlots[f] = n;
+  }
+  cm.funcs.resize(m.numFunctions());
+  std::unordered_map<FuncId, uint32_t> planOf;
+  for (FuncId f = 0; f < m.numFunctions(); ++f) {
+    FnCompiler fc(m, f, cm, cost, icacheQ10[f], planOf);
+    fc.compile();
+    cm.funcs[f] = std::move(fc.out);
+  }
+  return cm;
+}
+
+}  // namespace cb::rt::bc

@@ -1,0 +1,16 @@
+// Bytecode execution engine entry point.
+//
+// The engine executes the flat pre-decoded form produced by
+// src/runtime/bytecode.h and is the default for rt::execute(); the
+// tree-walking interpreter in interp.cpp remains available behind
+// RunOptions::referenceInterp as the correctness oracle. Both must produce
+// bit-identical RunResults (same RunLog, cycles, output, errors).
+#pragma once
+
+#include "runtime/interp.h"
+
+namespace cb::rt {
+
+RunResult executeBytecode(const ir::Module& m, const RunOptions& opts);
+
+}  // namespace cb::rt

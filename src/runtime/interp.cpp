@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "runtime/exec.h"
 #include "support/common.h"
 
 namespace cb::rt {
@@ -124,12 +125,22 @@ class Interp {
   }
 
   void emitSample() {
+    // Parent frames are suspended at their callsite, so between frame
+    // pushes/pops only the leaf's instruction pointer moves: reuse the
+    // resolved stack from the previous sample and patch the leaf.
+    if (cachedStackGen_ != stackGen_) {
+      cachedStack_.clear();
+      cachedStack_.reserve(stack_.size());
+      for (const Frame* fr : stack_) cachedStack_.push_back({fr->fid, fr->curInstr});
+      cachedStackGen_ = stackGen_;
+    } else if (!cachedStack_.empty()) {
+      cachedStack_.back().instr = stack_.back()->curInstr;
+    }
     sampling::RawSample s;
     s.stream = curStream_;
     s.taskTag = curTaskTag_;
     s.atCycle = pmu_.clock(curStream_);
-    s.stack.reserve(stack_.size());
-    for (const Frame* fr : stack_) s.stack.push_back({fr->fid, fr->curInstr});
+    s.stack = cachedStack_;
     result_.log.samples.push_back(std::move(s));
   }
 
@@ -300,8 +311,10 @@ class Interp {
     fr.regs.resize(fn.numInstrs());
     fr.slots.resize(numSlots_[f]);
     stack_.push_back(&fr);
+    ++stackGen_;
     Value ret = execFrame(fr);
     stack_.pop_back();
+    ++stackGen_;
     return ret;
   }
 
@@ -621,6 +634,7 @@ class Interp {
     uint32_t savedStream = curStream_;
     std::vector<Frame*> savedStack;
     savedStack.swap(stack_);
+    ++stackGen_;
 
     if (savedTag != 0 || savedStream != 0) {
       // Nested spawn: the pool is busy — run inline on the current stream.
@@ -667,6 +681,7 @@ class Interp {
     }
 
     stack_.swap(savedStack);
+    ++stackGen_;
     curTaskTag_ = savedTag;
     curStream_ = savedStream;
   }
@@ -747,6 +762,10 @@ class Interp {
   uint64_t tagCounter_ = 0;
   uint64_t idleSampleCounter_ = 0;
 
+  std::vector<sampling::Frame> cachedStack_;   // resolved copy of stack_
+  uint64_t stackGen_ = 0;                      // bumped on push/pop/swap
+  uint64_t cachedStackGen_ = ~0ull;            // generation cachedStack_ matches
+
   std::vector<std::vector<int32_t>> allocaSlot_;
   std::vector<uint32_t> numSlots_;
   std::vector<uint64_t> lastBusyEnd_;
@@ -759,6 +778,7 @@ class Interp {
 }  // namespace
 
 RunResult execute(const ir::Module& m, const RunOptions& opts) {
+  if (!opts.referenceInterp) return executeBytecode(m, opts);
   Interp interp(m, opts);
   // Globals live for the whole run; _module_init assigns every one of them
   // in declaration order, so plain empty values suffice here.

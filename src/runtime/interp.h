@@ -49,6 +49,19 @@ struct RunOptions {
   /// Full cost-profile override (calibration/ablation); when set it takes
   /// precedence over fastCostProfile.
   std::optional<CostProfile> costProfileOverride;
+  /// Engine selection. The default engine pre-compiles each function to a
+  /// flat bytecode with pre-decoded operands and fused superinstructions
+  /// (src/runtime/bytecode.h, src/runtime/exec.cpp). Setting this flag runs
+  /// the original tree-walking CIR interpreter instead — kept as the
+  /// correctness oracle, mirroring BlameOptions::referenceFixpoint. Both
+  /// engines produce bit-identical RunLogs.
+  bool referenceInterp = false;
+  /// OS threads used for deterministic parallel replay of worker streams in
+  /// the bytecode engine. 0 = auto (min(numWorkers, hardware)); 1 = fully
+  /// sequential execution. Any value yields a bit-identical RunLog: only
+  /// provably independent forall/coforall regions replay in parallel, and
+  /// their per-stream artefacts are merged in canonical task order.
+  uint32_t replayThreads = 0;
 };
 
 struct RunResult {
@@ -61,6 +74,10 @@ struct RunResult {
   std::vector<uint64_t> cyclesPerFunction;
   bool ok = false;
   std::string error;                  // runtime error message when !ok
+  /// Diagnostics only (never part of the RunLog comparison): number of
+  /// top-level spawn regions the bytecode engine replayed on OS threads.
+  /// Always 0 for the reference interpreter and for replayThreads == 1.
+  uint64_t parallelRegionsReplayed = 0;
 };
 
 /// Compiles nothing — executes an already-lowered module under monitoring.

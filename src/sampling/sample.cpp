@@ -1,6 +1,72 @@
 #include "sampling/sample.h"
 
+#include <sstream>
+
 namespace cb::sampling {
+
+namespace {
+
+bool sameSample(const RawSample& a, const RawSample& b) {
+  return a.stream == b.stream && a.taskTag == b.taskTag && a.atCycle == b.atCycle &&
+         a.runtimeFrame == b.runtimeFrame && a.stack == b.stack;
+}
+
+bool sameSpawn(const SpawnRecord& a, const SpawnRecord& b) {
+  return a.tag == b.tag && a.parentTag == b.parentTag && a.taskFn == b.taskFn &&
+         a.spawnInstr == b.spawnInstr && a.preSpawnStack == b.preSpawnStack;
+}
+
+}  // namespace
+
+bool identical(const RunLog& a, const RunLog& b) {
+  if (a.sampleThreshold != b.sampleThreshold || a.numStreams != b.numStreams ||
+      a.totalCycles != b.totalCycles)
+    return false;
+  if (a.samples.size() != b.samples.size()) return false;
+  for (size_t i = 0; i < a.samples.size(); ++i)
+    if (!sameSample(a.samples[i], b.samples[i])) return false;
+  if (a.spawns.size() != b.spawns.size()) return false;
+  for (const auto& [tag, rec] : a.spawns) {
+    auto it = b.spawns.find(tag);
+    if (it == b.spawns.end() || !sameSpawn(rec, it->second)) return false;
+  }
+  if (a.allocBytesBySite.size() != b.allocBytesBySite.size()) return false;
+  for (const auto& [site, bytes] : a.allocBytesBySite) {
+    auto it = b.allocBytesBySite.find(site);
+    if (it == b.allocBytesBySite.end() || it->second != bytes) return false;
+  }
+  return true;
+}
+
+std::string firstDifference(const RunLog& a, const RunLog& b) {
+  std::ostringstream os;
+  if (a.sampleThreshold != b.sampleThreshold)
+    os << "sampleThreshold " << a.sampleThreshold << " vs " << b.sampleThreshold;
+  else if (a.numStreams != b.numStreams)
+    os << "numStreams " << a.numStreams << " vs " << b.numStreams;
+  else if (a.totalCycles != b.totalCycles)
+    os << "totalCycles " << a.totalCycles << " vs " << b.totalCycles;
+  else if (a.samples.size() != b.samples.size())
+    os << "sample count " << a.samples.size() << " vs " << b.samples.size();
+  else {
+    for (size_t i = 0; i < a.samples.size(); ++i) {
+      if (sameSample(a.samples[i], b.samples[i])) continue;
+      const RawSample &x = a.samples[i], &y = b.samples[i];
+      os << "sample " << i << ": stream " << x.stream << "/" << y.stream << " tag "
+         << x.taskTag << "/" << y.taskTag << " cycle " << x.atCycle << "/" << y.atCycle
+         << " depth " << x.stack.size() << "/" << y.stack.size();
+      return os.str();
+    }
+    if (a.spawns.size() != b.spawns.size())
+      os << "spawn count " << a.spawns.size() << " vs " << b.spawns.size();
+    else if (a.allocBytesBySite.size() != b.allocBytesBySite.size())
+      os << "alloc-site count " << a.allocBytesBySite.size() << " vs "
+         << b.allocBytesBySite.size();
+    else if (!identical(a, b))
+      os << "spawn/alloc content differs";
+  }
+  return os.str();
+}
 
 const char* runtimeFrameName(RuntimeFrameKind k) {
   switch (k) {

@@ -80,6 +80,16 @@ struct RunLog {
 
 const char* runtimeFrameName(RuntimeFrameKind k);
 
+/// Field-by-field bit-identity of two run logs (samples in order, spawn
+/// registry, allocation sites, threshold/stream/cycle metadata). This is the
+/// oracle check for alternative execution engines: any engine must reproduce
+/// the reference interpreter's log exactly.
+bool identical(const RunLog& a, const RunLog& b);
+
+/// When `identical` fails, a short human-readable description of the first
+/// divergence (for test diagnostics); empty when the logs match.
+std::string firstDifference(const RunLog& a, const RunLog& b);
+
 /// Event-overflow virtual PMU: one counter per execution stream. `advance`
 /// returns the number of overflows that occurred while charging `cost`
 /// cycles (normally 0 or 1; large single costs can trigger several).

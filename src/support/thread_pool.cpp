@@ -31,6 +31,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   batchDone_.wait(lock, [this] { return pending_ == 0; });
+  if (firstError_) {
+    std::exception_ptr e = std::move(firstError_);
+    firstError_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 uint32_t ThreadPool::defaultConcurrency() {
@@ -47,9 +52,17 @@ void ThreadPool::workerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      // A throwing job must not escape the worker thread (std::terminate);
+      // capture the first failure of the batch and surface it from wait().
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !firstError_) firstError_ = std::move(err);
       if (--pending_ == 0) batchDone_.notify_all();
     }
   }

@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,6 +32,11 @@ class ThreadPool {
 
   /// Blocks until every submitted job has finished. The pool is reusable
   /// afterwards: submit/wait cycles can repeat.
+  ///
+  /// Exception safety: if any job of the batch threw, the FIRST captured
+  /// exception is rethrown here (the worker thread itself never terminates
+  /// the process). Later exceptions of the same batch are dropped; the pool
+  /// stays usable for the next submit/wait cycle.
   void wait();
 
   uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
@@ -48,6 +54,7 @@ class ThreadPool {
   std::condition_variable workAvailable_;
   std::condition_variable batchDone_;
   uint64_t pending_ = 0;  // queued + running jobs
+  std::exception_ptr firstError_;  // first exception thrown by a job
   bool shutdown_ = false;
 };
 

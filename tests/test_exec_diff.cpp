@@ -1,0 +1,309 @@
+// Differential tests for the bytecode execution engine (src/runtime/exec.cpp)
+// against the tree-walking reference interpreter (RunOptions::referenceInterp).
+//
+// Every program — the bundled corpus plus seeded randomly generated modules —
+// is executed three ways: reference, bytecode sequential (replayThreads = 1)
+// and bytecode with parallel worker-stream replay (replayThreads = 4). All
+// three must agree on EVERYTHING the runtime reports: a bit-identical RunLog
+// (samples, spawn records, alloc sites, threshold, streams, total cycles),
+// the writeln output, the executed-instruction count, per-function cycle
+// totals, and the success flag / error message.
+//
+// Suite naming feeds the CTest labels (tests/CMakeLists.txt): Property*.*
+// carries the `property` label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sampling/sample.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+struct ModeResult {
+  const char* mode;
+  rt::RunResult r;
+};
+
+/// Runs a compiled module under all three engine modes with shared options.
+std::vector<ModeResult> runAllModes(const ir::Module& m, rt::RunOptions base) {
+  std::vector<ModeResult> out;
+  {
+    rt::RunOptions o = base;
+    o.referenceInterp = true;
+    out.push_back({"reference", rt::execute(m, o)});
+  }
+  {
+    rt::RunOptions o = base;
+    o.referenceInterp = false;
+    o.replayThreads = 1;  // bytecode engine, fully sequential
+    out.push_back({"bytecode-seq", rt::execute(m, o)});
+  }
+  {
+    rt::RunOptions o = base;
+    o.referenceInterp = false;
+    o.replayThreads = 4;  // parallel replay wherever regions are eligible
+    out.push_back({"bytecode-par4", rt::execute(m, o)});
+  }
+  return out;
+}
+
+void expectAllModesAgree(const ir::Module& m, rt::RunOptions base,
+                         const std::string& what) {
+  std::vector<ModeResult> rs = runAllModes(m, base);
+  const rt::RunResult& ref = rs[0].r;
+  for (size_t i = 1; i < rs.size(); ++i) {
+    const rt::RunResult& r = rs[i].r;
+    SCOPED_TRACE(what + " [" + rs[i].mode + " vs reference]");
+    EXPECT_EQ(r.ok, ref.ok);
+    EXPECT_EQ(r.error, ref.error);
+    EXPECT_TRUE(sampling::identical(ref.log, r.log))
+        << sampling::firstDifference(ref.log, r.log);
+    EXPECT_EQ(r.totalCycles, ref.totalCycles);
+    EXPECT_EQ(r.instructionsExecuted, ref.instructionsExecuted);
+    EXPECT_EQ(r.output, ref.output);
+    EXPECT_EQ(r.cyclesPerFunction, ref.cyclesPerFunction);
+  }
+}
+
+void expectSourceAgrees(const std::string& src, rt::RunOptions base,
+                        const std::string& what) {
+  auto c = fe::Compilation::fromString("diff.chpl", src, {});
+  ASSERT_TRUE(c->ok()) << what << "\n" << c->diags().renderAll() << src;
+  expectAllModesAgree(c->module(), base, what);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus equivalence: every bundled program, sampling on, plus a skidded
+// variant (skid exercises the deferred-sample queue in both engines).
+// ---------------------------------------------------------------------------
+
+class PropertyExecDiffCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropertyExecDiffCorpus, AllEnginesBitIdentical) {
+  auto c = fe::Compilation::fromFile(assetProgram(GetParam()), {});
+  ASSERT_TRUE(c->ok()) << c->diags().renderAll();
+  rt::RunOptions base;  // default threshold 9973, 12 workers, idle sampling
+  expectAllModesAgree(c->module(), base, GetParam());
+}
+
+TEST_P(PropertyExecDiffCorpus, SkiddedSamplingBitIdentical) {
+  auto c = fe::Compilation::fromFile(assetProgram(GetParam()), {});
+  ASSERT_TRUE(c->ok()) << c->diags().renderAll();
+  rt::RunOptions base;
+  base.sampleThreshold = 997;
+  base.skidInstructions = 3;
+  expectAllModesAgree(c->module(), base, std::string(GetParam()) + " skid=3");
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, PropertyExecDiffCorpus,
+                         ::testing::Values("example", "clomp", "clomp_opt",
+                                           "minimd", "minimd_opt", "lulesh"));
+
+// ---------------------------------------------------------------------------
+// The parallel path must actually engage on an eligible program; silently
+// falling back everywhere would make the equivalence above vacuous.
+// ---------------------------------------------------------------------------
+
+TEST(PropertyExecParallel, EligibleRegionsReplayOnThreads) {
+  auto c = fe::Compilation::fromFile(assetProgram("lulesh"), {});
+  ASSERT_TRUE(c->ok());
+  rt::RunOptions o;
+  o.replayThreads = 4;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.parallelRegionsReplayed, 0u)
+      << "lulesh foralls should be provably independent";
+  // Sequential modes never touch the pool.
+  o.replayThreads = 1;
+  EXPECT_EQ(rt::execute(c->module(), o).parallelRegionsReplayed, 0u);
+  o.referenceInterp = true;
+  o.replayThreads = 4;
+  EXPECT_EQ(rt::execute(c->module(), o).parallelRegionsReplayed, 0u);
+}
+
+TEST(PropertyExecParallel, RacyScatterFallsBackAndMatches) {
+  // fx[c] += ... with a gathered (data-dependent) index is NOT provably
+  // independent: the engine must refuse to parallelize yet still match.
+  const std::string src = R"(
+    const D = {0..#64};
+    var a: [D] real;
+    var idx: [D] int;
+    proc main() {
+      forall i in D { idx[i] = (i * 7) % 64; }
+      forall i in D { a[idx[i]] = a[idx[i]] + 1.0; }
+      var s = 0.0;
+      for i in D { s = s + a[i]; }
+      writeln("sum:", s);
+    }
+  )";
+  auto c = fe::Compilation::fromString("scatter.chpl", src, {});
+  ASSERT_TRUE(c->ok()) << c->diags().renderAll();
+  rt::RunOptions o;
+  o.replayThreads = 4;
+  rt::RunResult r = rt::execute(c->module(), o);
+  ASSERT_TRUE(r.ok) << r.error;
+  expectAllModesAgree(c->module(), o, "racy scatter");
+}
+
+// ---------------------------------------------------------------------------
+// Runtime errors must carry the same message, the same partial RunLog and
+// the same cycle/instruction totals in all modes — including errors raised
+// inside a region that the parallel engine replays on threads.
+// ---------------------------------------------------------------------------
+
+TEST(PropertyExecErrors, OutOfBoundsInsideParallelRegion) {
+  const std::string src = R"(
+    const D = {0..#40};
+    var a: [D] real;
+    proc main() {
+      forall i in D { a[i + 30] = 1.0; }
+      writeln("unreachable");
+    }
+  )";
+  rt::RunOptions base;
+  expectSourceAgrees(src, base, "oob in forall");
+}
+
+TEST(PropertyExecErrors, DivisionByZeroInsideTask) {
+  const std::string src = R"(
+    const D = {0..#24};
+    var a: [D] int;
+    proc main() {
+      forall i in D { a[i] = 100 / (i - 7); }
+    }
+  )";
+  rt::RunOptions base;
+  expectSourceAgrees(src, base, "div by zero in forall");
+}
+
+TEST(PropertyExecErrors, InstructionBudgetExhaustion) {
+  const std::string src = R"(
+    proc main() {
+      var s = 0;
+      for i in 0..#100000 { s = s + i; }
+      writeln(s);
+    }
+  )";
+  rt::RunOptions base;
+  base.maxInstructions = 5000;  // trips mid-loop, outside any spawn
+  expectSourceAgrees(src, base, "budget exhaustion");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random modules. The generator composes independent feature blocks —
+// disjoint-write foralls, gathers, reductions through captured scalars
+// (ineligible), RNG calls (ineligible), records, 2D domains, coforalls,
+// nested spawns, writeln in tasks — with seed-derived sizes and constants,
+// then the whole program must agree across engines under several sampling
+// configurations.
+// ---------------------------------------------------------------------------
+
+std::string randomProgram(uint64_t seed) {
+  Rng rng(seed);
+  auto pick = [&](uint32_t n) { return rng.nextBounded(n); };
+  uint32_t n = 16 + pick(48);          // array extent
+  uint32_t rows = 3 + pick(5), cols = 3 + pick(5);
+  std::string s;
+  s += "config const scale = " + std::to_string(1 + pick(7)) + ";\n";
+  s += "const D = {0..#" + std::to_string(n) + "};\n";
+  s += "const G = {0..#" + std::to_string(rows) + ", 0..#" + std::to_string(cols) + "};\n";
+  s += "var a: [D] real;\nvar b: [D] real;\nvar c: [D] int;\nvar grid: [G] real;\n";
+  s += "record Pt { var px: real; var py: real; }\n";
+  s += "var pts: [D] Pt;\n";
+
+  s += "proc initAll() {\n";
+  s += "  forall i in D {\n";
+  s += "    a[i] = i * 1.5 + " + std::to_string(pick(9)) + ".25;\n";
+  s += "    b[i] = 0.0;\n";
+  s += "    c[i] = (i * " + std::to_string(1 + pick(5)) + ") % " + std::to_string(n) + ";\n";
+  s += "  }\n";
+  s += "  forall (r, cc) in G { grid[r, cc] = r * 10.0 + cc; }\n";
+  s += "}\n";
+
+  // Eligible: disjoint writes, affine offsets, reads of other arrays.
+  s += "proc stencil() {\n";
+  s += "  forall i in D {\n";
+  s += "    b[i] = a[i] * scale + " + std::to_string(pick(4)) + ".5;\n";
+  s += "    pts[i].px = b[i];\n";
+  s += "    pts[i].py = a[i] - b[i];\n";
+  s += "  }\n";
+  s += "}\n";
+
+  // Ineligible: gather through a data-dependent index.
+  s += "proc gather() {\n";
+  s += "  forall i in D { b[i] = b[i] + a[c[i]]; }\n";
+  s += "}\n";
+
+  // Ineligible: reduction through a captured scalar (store via ref capture
+  // forces the sequential fallback; the deterministic scheduler makes the
+  // serial forall reduction well-defined in every engine).
+  s += "proc reduceAll(): real {\n";
+  s += "  var total = 0.0;\n";
+  s += "  forall i in D { total = total + b[i] + pts[i].px; }\n";
+  s += "  return total;\n";
+  s += "}\n";
+
+  // Coforall block, per-index tasks.
+  uint32_t tasks = 2 + pick(5);
+  s += "proc spray() {\n";
+  s += "  coforall t in 0..#" + std::to_string(tasks) + " {\n";
+  s += "    grid[t % " + std::to_string(rows) + ", t % " + std::to_string(cols) + "] = t * 2.0;\n";
+  s += "  }\n";
+  s += "}\n";
+
+  // Possibly an RNG-using loop (always ineligible) and task-side writeln.
+  bool useRng = pick(2) == 0;
+  bool taskPrint = pick(2) == 0;
+  s += "proc noise() {\n";
+  if (useRng) s += "  forall i in D { a[i] = a[i] + random() * 0.001; }\n";
+  if (taskPrint) s += "  forall i in 0..#3 { writeln(\"t\", i); }\n";
+  s += "  a[0] = a[0] + 1.0;\n";
+  s += "}\n";
+
+  // Nested spawn: outer forall calls nothing, inner loops only (the outer
+  // region has calls, so it must fall back; inner spawns run inline).
+  s += "proc nested() {\n";
+  s += "  forall i in 0..#4 {\n";
+  s += "    forall j in D { b[j] = b[j] + 0.125; }\n";
+  s += "  }\n";
+  s += "}\n";
+
+  uint32_t steps = 1 + pick(3);
+  s += "proc main() {\n";
+  s += "  initAll();\n";
+  s += "  for step in 0..#" + std::to_string(steps) + " {\n";
+  s += "    stencil();\n    gather();\n    spray();\n    noise();\n";
+  s += "  }\n";
+  s += "  nested();\n";
+  s += "  var gsum = 0.0;\n";
+  s += "  for (r, cc) in G { gsum = gsum + grid[r, cc]; }\n";
+  s += "  writeln(\"sum:\", reduceAll(), \" grid:\", gsum);\n";
+  s += "}\n";
+  return s;
+}
+
+class PropertyExecDiffRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyExecDiffRandom, GeneratedModuleBitIdentical) {
+  std::string src = randomProgram(GetParam());
+  rt::RunOptions base;
+  expectSourceAgrees(src, base, "seed " + std::to_string(GetParam()));
+}
+
+TEST_P(PropertyExecDiffRandom, GeneratedModuleLowThresholdFewWorkers) {
+  std::string src = randomProgram(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  rt::RunOptions base;
+  base.sampleThreshold = 211;
+  base.numWorkers = 3;
+  expectSourceAgrees(src, base, "seed' " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyExecDiffRandom,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace cb

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 #include "postmortem/parallel.h"
 #include "support/rng.h"
@@ -65,6 +66,49 @@ TEST(ThreadPool, ZeroRequestClampsToOneWorker) {
   pool.submit([&count] { ++count; });
   pool.wait();
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingJobSurfacesFromWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndOthersAreSwallowed) {
+  ThreadPool pool(1);  // single worker => deterministic job order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // A failed batch must not poison the pool: later batches run normally and
+  // wait() no longer throws (the stored exception was consumed).
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NonFailingJobsStillRunWhenOneThrows) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    if (i == 17)
+      pool.submit([] { throw std::runtime_error("one bad job"); });
+    else
+      pool.submit([&count] { ++count; });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(count.load(), 99);
 }
 
 // ---------------------------------------------------------------------------
