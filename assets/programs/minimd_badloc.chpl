@@ -1,0 +1,83 @@
+/* MiniMD (mis-distributed PGAS variant) — the flattened MiniMD force/
+   integrate kernel over a CYCLIC-distributed atom space, iterated in
+   contiguous per-locale chunks via `on Locales[l]` blocks.
+
+   The iteration is owner-compute for a BLOCK distribution: locale l walks
+   atoms [l*chunk, (l+1)*chunk). Under `dmapped Cyclic` atom i instead lives
+   on locale i % numLocales, so nearly every Pos read is a remote GET and
+   every Force/Vel write a remote PUT — the classic distribution mismatch a
+   data-centric comm profile should pin on the arrays themselves. Compare
+   minimd_blockloc.chpl, identical except for `dmapped Block`.           */
+
+type v3 = 3*real;
+
+config const numAtoms = 256;
+config const numSteps = 4;
+config const dt = 0.002;
+config const cutsq = 0.95;
+
+const Space = {0..#numAtoms} dmapped Cyclic;
+
+var Pos: [Space] v3;
+var Vel: [Space] v3;
+var Force: [Space] v3;
+
+proc initAtoms() {
+  for i in 0..#numAtoms {
+    Pos[i] = (random(), random(), random());
+    Vel[i] = (0.0, 0.0, 0.0);
+    Force[i] = (0.0, 0.0, 0.0);
+  }
+}
+
+/* Short-range pair force over the 2-neighborhood of each owned atom. */
+proc computeForce(lo: int, hi: int) {
+  for i in lo..hi {
+    var f = (0.0, 0.0, 0.0);
+    for j in i-2..i+2 {
+      if j >= 0 && j < numAtoms && j != i {
+        var del = Pos[i] - Pos[j];
+        var rsq = del(1)*del(1) + del(2)*del(2) + del(3)*del(3);
+        if rsq < cutsq && rsq > 0.000001 {
+          var sr2 = 1.0 / rsq;
+          var sr6 = sr2 * sr2 * sr2;
+          var fpair = min(48.0 * sr6 * (sr6 - 0.5) * sr2, 50.0);
+          f = f + del * fpair;
+        }
+      }
+    }
+    Force[i] = f;
+  }
+}
+
+proc integrate(lo: int, hi: int) {
+  for i in lo..hi {
+    Vel[i] = Vel[i] + Force[i] * dt;
+    Pos[i] = Pos[i] + Vel[i] * dt;
+  }
+}
+
+proc run() {
+  const chunk = numAtoms / numLocales;
+  for step in 0..#numSteps {
+    for l in 0..#numLocales {
+      on Locales[l] {
+        const lo = l * chunk;
+        var hi = lo + chunk - 1;
+        if l == numLocales - 1 then hi = numAtoms - 1;
+        computeForce(lo, hi);
+        integrate(lo, hi);
+      }
+    }
+  }
+}
+
+proc main() {
+  initAtoms();
+  run();
+  var chk = 0.0;
+  for i in 0..#numAtoms {
+    chk = chk + Pos[i](1) + Vel[i](1);
+  }
+  writeln("MiniMD checksum:", chk);
+}

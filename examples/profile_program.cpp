@@ -26,7 +26,8 @@ void usage() {
       "  --workers N           worker streams (default 12)\n"
       "  --pm-workers N        post-mortem worker threads (0 = hardware, 1 = sequential)\n"
       "  --config K=V          override a config const (repeatable)\n"
-      "  --view V              data|code|pprof|hybrid|gui|baseline|csv (default data)\n"
+      "  --view V              data|code|pprof|hybrid|gui|baseline|csv|comm|locale\n"
+      "                        (default data; locale requires --locales N)\n"
       "  --skid N              simulate PMU skid of N instructions\n"
       "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
       "  --replay-threads N    replay eligible parallel regions on N OS threads\n"
@@ -113,11 +114,24 @@ int main(int argc, char** argv) {
   if (numLocales > 1) {
     cb::MultiLocaleResult ml = cb::profileMultiLocale(path, numLocales, profiler.options());
     if (!ml.ok) {
-      std::cerr << "error:\n" << ml.error << "\n";
-      return 1;
+      // Partial profiles (some locales failed) still print their aggregate;
+      // only a total failure is fatal.
+      bool anyOk = false;
+      for (const std::string& e : ml.localeErrors) anyOk |= e.empty();
+      if (!anyOk) {
+        std::cerr << "error:\n" << ml.error << "\n";
+        return 1;
+      }
+      std::cerr << "warning (partial profile):\n" << ml.error << "\n";
     }
-    std::cout << "Aggregated blame across " << numLocales << " locales:\n"
-              << cb::rpt::dataCentricView(ml.aggregate, profiler.options().view);
+    if (view == "comm") {
+      std::cout << cb::rpt::commView(ml.aggregate, profiler.options().view);
+    } else if (view == "locale") {
+      std::cout << cb::rpt::perLocaleView(ml.perLocale, profiler.options().view);
+    } else {
+      std::cout << "Aggregated blame across " << numLocales << " locales:\n"
+                << cb::rpt::dataCentricView(ml.aggregate, profiler.options().view);
+    }
     return 0;
   }
 
@@ -143,6 +157,8 @@ int main(int argc, char** argv) {
   else if (view == "gui") std::cout << profiler.guiText();
   else if (view == "baseline") std::cout << cb::rpt::baselineView(profiler.baselineReport());
   else if (view == "csv") std::cout << cb::rpt::dataCentricCsv(*profiler.blameReport());
+  else if (view == "comm") std::cout << cb::rpt::commView(*profiler.blameReport(),
+                                                          profiler.options().view);
   else {
     usage();
     return 2;

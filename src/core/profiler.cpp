@@ -1,6 +1,9 @@
 #include "core/profiler.h"
 
+#include <algorithm>
+
 #include "cb_config.h"
+#include "support/thread_pool.h"
 
 namespace cb {
 
@@ -108,22 +111,53 @@ std::string Profiler::guiText() const {
 MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocales,
                                      ProfileOptions opts) {
   MultiLocaleResult result;
-  for (uint32_t locale = 0; locale < numLocales; ++locale) {
+  if (numLocales == 0) numLocales = 1;
+  result.perLocale.resize(numLocales);
+  result.localeErrors.resize(numLocales);
+
+  // Each locale is one full SPMD pipeline run (compile + monitored execution
+  // + post-mortem) — embarrassingly parallel, so fan the locales out over a
+  // pool. Every locale writes only its own pre-sized slots; the aggregate is
+  // combined afterwards in locale order, so the result is bit-identical for
+  // any worker count (including the sequential path).
+  auto runLocale = [&, numLocales](uint32_t locale) {
     ProfileOptions o = opts;
     o.run.rngSeed = opts.run.rngSeed + locale;
+    o.run.numLocales = numLocales;
+    o.run.localeId = locale;
     o.run.configOverrides["hereId"] = std::to_string(locale);
     Profiler p(o);
-    if (!p.profileFile(path)) {
-      result.error = "locale " + std::to_string(locale) + ": " + p.lastError();
-      return result;
-    }
-    result.perLocale.push_back(*p.blameReport());
+    if (!p.profileFile(path))
+      result.localeErrors[locale] = "locale " + std::to_string(locale) + ": " + p.lastError();
+    else
+      result.perLocale[locale] = *p.blameReport();
+  };
+
+  uint32_t workers = opts.localeWorkers != 0
+                         ? opts.localeWorkers
+                         : std::min(numLocales, ThreadPool::defaultConcurrency());
+  if (workers <= 1 || numLocales <= 1) {
+    for (uint32_t locale = 0; locale < numLocales; ++locale) runLocale(locale);
+  } else {
+    ThreadPool pool(std::min(workers, numLocales));
+    for (uint32_t locale = 0; locale < numLocales; ++locale)
+      pool.submit([&runLocale, locale] { runLocale(locale); });
+    pool.wait();
+  }
+
+  // Surface every failing locale, and keep aggregating the locales that did
+  // complete — a partial profile still answers "where does the blame go".
+  for (uint32_t locale = 0; locale < numLocales; ++locale) {
+    if (result.localeErrors[locale].empty()) continue;
+    if (!result.error.empty()) result.error += "; ";
+    result.error += result.localeErrors[locale];
   }
   std::vector<const pm::BlameReport*> ptrs;
-  ptrs.reserve(result.perLocale.size());
-  for (const pm::BlameReport& r : result.perLocale) ptrs.push_back(&r);
+  ptrs.reserve(numLocales);
+  for (uint32_t locale = 0; locale < numLocales; ++locale)
+    if (result.localeErrors[locale].empty()) ptrs.push_back(&result.perLocale[locale]);
   result.aggregate = pm::aggregateAcrossLocales(ptrs);
-  result.ok = true;
+  result.ok = result.error.empty();
   return result;
 }
 

@@ -43,6 +43,13 @@ struct ProfileOptions {
   pm::ParallelOptions postmortem;
   pm::BaselineOptions baseline;
   rpt::ViewOptions view;
+  /// profileMultiLocale pool width: each simulated locale is an independent
+  /// compile+run+postmortem pipeline, so locales execute on a ThreadPool of
+  /// this many workers. 0 = auto (min(numLocales, hardware)); 1 = fully
+  /// sequential. Any value yields bit-identical per-locale and aggregate
+  /// reports — locale results land in pre-sized slots and the aggregate is
+  /// combined in locale order.
+  uint32_t localeWorkers = 0;
 };
 
 /// Absolute path of a bundled mini-Chapel program, e.g. assetProgram("clomp")
@@ -118,9 +125,14 @@ class Profiler {
 /// parallel across locales; step 4 is the combine.
 struct MultiLocaleResult {
   pm::BlameReport aggregate;
-  std::vector<pm::BlameReport> perLocale;
+  std::vector<pm::BlameReport> perLocale;  // one slot per locale (empty on failure)
+  /// Per-locale failure descriptions, one slot per locale; empty string =
+  /// success. Every failing locale is surfaced (not just the first), and
+  /// reports from locales that completed are kept in `perLocale` and still
+  /// contribute to `aggregate`.
+  std::vector<std::string> localeErrors;
   bool ok = false;
-  std::string error;
+  std::string error;  // all locale failures, joined
 };
 
 MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocales,

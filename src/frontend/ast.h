@@ -63,6 +63,8 @@ enum class ExprKind {
   DomainLit,     // args = ranges (rank = args.size())
   Reduce,        // Chapel reduction: `+ reduce A`; binOp in {Add,Mul} or
                  // min/max via strVal; args[0] = the reduced array
+  Dmapped,       // `domainExpr dmapped Block|Cyclic`; args[0] = base domain,
+                 // strVal = distribution name
 };
 
 enum class BinOp { Add, Sub, Mul, Div, Mod, Pow, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
@@ -98,6 +100,7 @@ enum class StmtKind {
   Coforall,    // one task per index
   Select,      // select expr { when v1, v2 { } ... otherwise { } }
   Return,
+  On,          // `on Locales[e] { }` — expr = target locale, body = block
 };
 
 enum class AssignOp { Plain, Add, Sub, Mul, Div };

@@ -45,6 +45,7 @@ void Compilation::compileBuffer(uint32_t file) {
   if (!lowerer.run()) return;
 
   if (opts_.fast) runFastPipeline(*module_);
+  markIndexStores(*module_);
 
   if (opts_.verify) {
     auto errs = ir::verifyModule(*module_);

@@ -39,6 +39,8 @@ const char* tokName(Tok t) {
     case Tok::KwSelect: return "'select'";
     case Tok::KwWhen: return "'when'";
     case Tok::KwOtherwise: return "'otherwise'";
+    case Tok::KwOn: return "'on'";
+    case Tok::KwDmapped: return "'dmapped'";
     case Tok::LBrace: return "'{'";
     case Tok::RBrace: return "'}'";
     case Tok::LParen: return "'('";
@@ -92,6 +94,7 @@ const std::unordered_map<std::string, Tok>& keywords() {
       {"use", Tok::KwUse},         {"type", Tok::KwType},
       {"reduce", Tok::KwReduce},   {"select", Tok::KwSelect},
       {"when", Tok::KwWhen},       {"otherwise", Tok::KwOtherwise},
+      {"on", Tok::KwOn},           {"dmapped", Tok::KwDmapped},
   };
   return kw;
 }

@@ -489,6 +489,12 @@ void Lowerer::collectFreeVarsStmt(const Stmt& s, std::set<std::string>& bound,
       for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
       return;
     }
+    case StmtKind::On: {
+      collectFreeVarsExpr(*s.expr, bound, out);
+      std::set<std::string> b1 = bound;
+      for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, b1, out);
+      return;
+    }
     case StmtKind::Select: {
       collectFreeVarsExpr(*s.expr, bound, out);
       for (const WhenClause& w : s.whens) {

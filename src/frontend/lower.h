@@ -88,6 +88,7 @@ class Lowerer {
   void lowerParallel(const Stmt& s);  // forall / coforall
   void lowerSelect(const Stmt& s);
   void lowerReturn(const Stmt& s);
+  void lowerOn(const Stmt& s);
 
   // Loop plumbing shared between sequential and outlined loops.
   struct IterInfo {

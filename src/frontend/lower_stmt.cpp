@@ -114,7 +114,32 @@ void Lowerer::lowerStmt(const Stmt& s) {
     case StmtKind::Coforall: return lowerParallel(s);
     case StmtKind::Select: return lowerSelect(s);
     case StmtKind::Return: return lowerReturn(s);
+    case StmtKind::On: return lowerOn(s);
   }
+}
+
+void Lowerer::lowerOn(const Stmt& s) {
+  // `on Locales[e] { ... }` — switch the executing locale for the dynamic
+  // extent of the body. The target is either the idiomatic `Locales[e]`
+  // (in which case the index expression IS the locale id) or any integer
+  // expression.
+  ir::TypeContext& types = mod_.types();
+  const Expr& target = *s.expr;
+  ValueRef localeId;
+  if (target.kind == ExprKind::Index && target.args.size() == 2 &&
+      target.args[0]->kind == ExprKind::Ident && target.args[0]->strVal == "Locales" &&
+      !lookup("Locales") && !globalsByName_.count("Locales")) {
+    localeId = coerce(lowerExpr(*target.args[1]), types.intTy(), target.loc);
+  } else {
+    localeId = coerce(lowerExpr(target), types.intTy(), target.loc);
+  }
+  b().builtin(BuiltinKind::OnBegin, {localeId}, types.voidTy());
+  pushScope();
+  lowerStmts(s.body);
+  popScope();
+  // A `return` inside an `on` body unwinds the locale stack in the runtime
+  // (callFunction save/restore), so only emit OnEnd on the fallthrough path.
+  if (!b().blockTerminated()) b().builtin(BuiltinKind::OnEnd, {}, types.voidTy());
 }
 
 void Lowerer::lowerSelect(const Stmt& s) {
@@ -738,6 +763,8 @@ Lowerer::TypedValue Lowerer::lowerExpr(const Expr& e) {
         TypeId ty = mod_.global(g->second).type;
         return {b().load(ValueRef::makeGlobal(g->second), ty), ty};
       }
+      if (e.strVal == "numLocales")
+        return {b().builtin(BuiltinKind::NumLocales, {}, types.intTy()), types.intTy()};
       error(e.loc, "unknown identifier '" + e.strVal + "'");
       return makeError(e.loc);
     }
@@ -757,6 +784,10 @@ Lowerer::TypedValue Lowerer::lowerExpr(const Expr& e) {
     case ExprKind::MethodCall: return lowerMethodCall(e);
     case ExprKind::Index: return lowerIndexExpr(e);
     case ExprKind::Field: {
+      // `here.id` — the simulated current-locale id.
+      if (e.strVal == "id" && e.args[0]->kind == ExprKind::Ident &&
+          e.args[0]->strVal == "here" && !lookup("here") && !globalsByName_.count("here"))
+        return {b().builtin(BuiltinKind::HereId, {}, types.intTy()), types.intTy()};
       // Record field reads on addressable bases go through FieldAddr+Load,
       // keeping the address chain resolvable for the blame analysis (and
       // avoiding whole-record copies). `.size` stays a domain/array
@@ -906,6 +937,24 @@ Lowerer::TypedValue Lowerer::lowerExpr(const Expr& e) {
       }
       uint8_t rank = static_cast<uint8_t>(e.args.size());
       return {b().domainMake(bounds, rank), types.domain(rank)};
+    }
+    case ExprKind::Dmapped: {
+      // `{...} dmapped Block` / `dmapped Cyclic` — stamp a distribution onto
+      // a domain value. The locale count binds at run time (numLocales).
+      TypedValue dom = lowerExpr(*e.args[0]);
+      if (types.kindOf(dom.type) != TypeKind::Domain) {
+        error(e.loc, "dmapped needs a domain operand");
+        return makeError(e.loc);
+      }
+      int64_t distKind = e.strVal == "Block"  ? 1
+                       : e.strVal == "Cyclic" ? 2
+                                              : 0;
+      if (distKind == 0) {
+        error(e.loc, "unknown distribution '" + e.strVal + "' (expected Block or Cyclic)");
+        return makeError(e.loc);
+      }
+      return {b().builtin(BuiltinKind::Dmapped, {dom.v, ValueRef::makeInt(distKind)}, dom.type),
+              dom.type};
     }
   }
   CB_UNREACHABLE("bad expr kind");

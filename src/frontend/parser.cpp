@@ -97,7 +97,11 @@ Program Parser::parseProgram() {
       }
       default:
         error("expected top-level declaration");
-        syncToDeclOrSemi();
+        // syncToDeclOrSemi stops AT a closing brace without consuming it; a
+        // stray `}` at top level must be eaten here or recovery never
+        // advances.
+        if (check(Tok::RBrace)) advance();
+        else syncToDeclOrSemi();
         break;
     }
   }
@@ -260,6 +264,15 @@ StmtPtr Parser::parseStmt() {
         }
       }
       expect(Tok::RBrace, "to close select body");
+      return s;
+    }
+    case Tok::KwOn: {
+      // `on <target> { ... }` — target is typically `Locales[e]` or `here`.
+      auto s = std::make_unique<Stmt>(StmtKind::On, cur().loc);
+      advance();
+      s->expr = parseExpr();
+      if (accept(Tok::KwThen)) s->body.push_back(parseStmt());
+      else s->body = parseBlock();
       return s;
     }
     case Tok::KwReturn: {
@@ -579,6 +592,24 @@ ExprPtr Parser::parsePostfix() {
         f->args.push_back(std::move(e));
         e = std::move(f);
       }
+    } else if (check(Tok::KwDmapped)) {
+      // `{0..#n} dmapped Block` / `D dmapped Cyclic` — distribution postfix.
+      SourceLoc loc = advance().loc;
+      auto d = std::make_unique<Expr>(ExprKind::Dmapped, loc);
+      d->strVal = expect(Tok::Ident, "distribution name after 'dmapped'").text;
+      // Accept Chapel-flavoured constructor syntax: `dmapped Block(boundingBox=...)`
+      // — the argument list is descriptive only and is skipped.
+      if (accept(Tok::LParen)) {
+        int depth = 1;
+        while (depth > 0 && !check(Tok::Eof)) {
+          if (check(Tok::LParen)) ++depth;
+          else if (check(Tok::RParen)) --depth;
+          if (depth > 0) advance();
+        }
+        expect(Tok::RParen, "to close dmapped arguments");
+      }
+      d->args.push_back(std::move(e));
+      e = std::move(d);
     } else if (check(Tok::LParen) && e->kind == ExprKind::Ident) {
       // Call — or tuple indexing `t(1)`, disambiguated during lowering.
       SourceLoc loc = advance().loc;

@@ -295,6 +295,24 @@ void stripDebugInfo(Module& m) {
   m.debugInfoStripped = true;
 }
 
+size_t markIndexStores(Module& m) {
+  size_t marked = 0;
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    Function& fn = m.function(f);
+    for (const Instr& in : fn.instrs) {
+      if (in.op != Opcode::Store) continue;
+      const ValueRef& addr = in.ops[1];
+      if (addr.kind != ValueRef::Kind::Reg) continue;
+      Instr& def = fn.instrs[addr.reg];
+      if (def.op == Opcode::IndexAddr && (def.imm & 2) == 0) {
+        def.imm |= 2;
+        ++marked;
+      }
+    }
+  }
+  return marked;
+}
+
 void runFastPipeline(Module& m) {
   for (int round = 0; round < 4; ++round) {
     size_t changed = constantFold(m);

@@ -36,4 +36,11 @@ void stripDebugInfo(ir::Module& m);
 /// The full --fast pipeline: fold + forward + DCE to fixpoint, then strip.
 void runFastPipeline(ir::Module& m);
 
+/// Marks every IndexAddr whose address feeds a Store by setting bit 1 of its
+/// `imm` (bit 0 keeps meaning "linear index"). The runtimes use the bit to
+/// classify a remote array access as a PUT (store) vs a GET (load) without
+/// any dynamic lookahead. Runs after all other passes; always called by the
+/// compiler (with or without --fast). Returns the number of marked accesses.
+size_t markIndexStores(ir::Module& m);
+
 }  // namespace cb::fe

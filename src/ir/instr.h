@@ -59,7 +59,9 @@ enum class Opcode : uint8_t {
   Load,        // ops: [addr] -> value
   Store,       // ops: [value, addr]
   FieldAddr,   // ops: [recordAddr], imm = field index -> Ref(fieldTy)
-  IndexAddr,   // ops: [arrayValue, idx...] -> Ref(elemTy); one per access, cost scales with rank
+  IndexAddr,   // ops: [arrayValue, idx...] -> Ref(elemTy); one per access, cost
+               // scales with rank. imm is a bit-field: bit0 = linear (flat
+               // 0-based index), bit1 = feeds a Store (set by markIndexStores)
   TupleAddr,   // ops: [tupleAddr], imm = element index -> Ref(elemTy)
 
   // Values.
@@ -114,6 +116,14 @@ enum class BuiltinKind : uint8_t {
   ArrayFill,   // ops: [array, scalar] — whole-array broadcast assignment
   ArrayCopy,   // ops: [dstArray, srcArray] — whole-array copy
   ConfigGet,   // ops: [nameString, default] — config-const with CLI override
+
+  // Multi-locale PGAS simulation (`on` blocks and distributed domains).
+  Dmapped,     // ops: [domain, distKind] — stamp a distribution onto a domain
+               // (1 = Block, 2 = Cyclic); locale count is bound at run time
+  OnBegin,     // ops: [locale] — push the current locale, switch to `locale`
+  OnEnd,       // pop the locale pushed by the matching OnBegin
+  HereId,      // -> Int: the current locale id (`here.id`)
+  NumLocales,  // -> Int: the simulated locale count (`numLocales`)
 };
 
 /// One instruction. Result registers are identified by the instruction's own

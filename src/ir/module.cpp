@@ -82,6 +82,11 @@ const char* builtinName(BuiltinKind k) {
     case BuiltinKind::ArrayFill: return "arrayfill";
     case BuiltinKind::ArrayCopy: return "arraycopy";
     case BuiltinKind::ConfigGet: return "configget";
+    case BuiltinKind::Dmapped: return "dmapped";
+    case BuiltinKind::OnBegin: return "onbegin";
+    case BuiltinKind::OnEnd: return "onend";
+    case BuiltinKind::HereId: return "hereid";
+    case BuiltinKind::NumLocales: return "numlocales";
   }
   return "?";
 }

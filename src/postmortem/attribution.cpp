@@ -33,6 +33,14 @@ struct AttrKey {
   friend bool operator==(const AttrKey&, const AttrKey&) = default;
 };
 
+/// Per-key sample tally, split by the sample's comm classification
+/// (sampling::AccessKind) — index order None/Local/RemoteGet/RemotePut.
+struct AttrCounts {
+  uint64_t byKind[4] = {0, 0, 0, 0};
+
+  uint64_t total() const { return byKind[0] + byKind[1] + byKind[2] + byKind[3]; }
+};
+
 struct AttrKeyHash {
   size_t operator()(const AttrKey& k) const {
     uint64_t h = k.context;
@@ -99,7 +107,10 @@ class Attributor {
         for (EntityId e : fb.instrEntities[fr.instr])
           blameOne(inst, fi, fb, e, {});
       }
-      for (const AttrKey& key : perSample_) ++agg_[key];
+      // Each blamed key absorbs one sample, tallied under the sample's comm
+      // classification so finish() can emit the compute/local/remote split.
+      size_t kind = static_cast<size_t>(inst.accessKind);
+      for (const AttrKey& key : perSample_) ++agg_[key].byKind[kind];
     }
     return finish();
   }
@@ -232,14 +243,18 @@ class Attributor {
 
   BlameReport finish() {
     report_.rows.reserve(agg_.size());
-    for (const auto& [key, count] : agg_) {
+    for (const auto& [key, counts] : agg_) {
       VariableBlame row;
       row.context = syms_.str(Symbol(key.context));
       row.name = syms_.str(Symbol(key.name));
       row.type = syms_.str(Symbol(key.type));
-      row.sampleCount = count;
+      row.computeSamples = counts.byKind[0];
+      row.localSamples = counts.byKind[1];
+      row.remoteGetSamples = counts.byKind[2];
+      row.remotePutSamples = counts.byKind[3];
+      row.sampleCount = counts.total();
       row.percent = report_.totalUserSamples
-                        ? 100.0 * static_cast<double>(count) / report_.totalUserSamples
+                        ? 100.0 * static_cast<double>(row.sampleCount) / report_.totalUserSamples
                         : 0.0;
       report_.rows.push_back(std::move(row));
     }
@@ -257,7 +272,7 @@ class Attributor {
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> entSym_;  // per func, per entity
   std::vector<std::optional<std::vector<AttrKey>>> aliasKeys_;      // per global
   std::unordered_set<AttrKey, AttrKeyHash> perSample_;
-  std::unordered_map<AttrKey, uint64_t, AttrKeyHash> agg_;
+  std::unordered_map<AttrKey, AttrCounts, AttrKeyHash> agg_;
   int depth_ = 0;
 };
 
@@ -317,7 +332,13 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
       AttrKey key{syms.intern(row.context).id(), syms.intern(row.name).id(),
                   syms.intern(row.type).id()};
       auto [it, inserted] = agg.emplace(key, row);
-      if (!inserted) it->second.sampleCount += row.sampleCount;
+      if (!inserted) {
+        it->second.sampleCount += row.sampleCount;
+        it->second.computeSamples += row.computeSamples;
+        it->second.localSamples += row.localSamples;
+        it->second.remoteGetSamples += row.remoteGetSamples;
+        it->second.remotePutSamples += row.remotePutSamples;
+      }
     }
   }
   out.rows.reserve(agg.size());

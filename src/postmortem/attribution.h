@@ -18,6 +18,16 @@ struct VariableBlame {
   std::string context;   // defining function ("main" for module-scope vars)
   uint64_t sampleCount = 0;
   double percent = 0.0;  // of user samples; rows can sum to > 100% (paper §III)
+  /// PGAS split of `sampleCount` by the comm classification the sample
+  /// carried (sampling::AccessKind): pure compute (no array access pending),
+  /// accesses that stayed on the executing locale, and accesses that crossed
+  /// locales as GETs/PUTs. Always sums to sampleCount.
+  uint64_t computeSamples = 0;
+  uint64_t localSamples = 0;
+  uint64_t remoteGetSamples = 0;
+  uint64_t remotePutSamples = 0;
+
+  uint64_t remoteSamples() const { return remoteGetSamples + remotePutSamples; }
 
   friend bool operator==(const VariableBlame&, const VariableBlame&) = default;
 };

@@ -26,6 +26,7 @@ Instance consolidateSample(const ir::Module& m, const sampling::RunLog& log,
                            const sampling::RawSample& s, const ConsolidateOptions& opts) {
   Instance inst;
   inst.stream = s.stream;
+  inst.accessKind = s.accessKind;
   if (s.runtimeFrame != sampling::RuntimeFrameKind::None) {
     inst.idle = true;
     inst.runtimeFrame = s.runtimeFrame;

@@ -29,6 +29,9 @@ struct Instance {
   uint32_t stream = 0;
   bool idle = false;
   sampling::RuntimeFrameKind runtimeFrame = sampling::RuntimeFrameKind::None;
+  /// Comm classification carried over from the raw sample (PGAS): what kind
+  /// of array access the stream had most recently resolved at overflow time.
+  sampling::AccessKind accessKind = sampling::AccessKind::None;
 
   friend bool operator==(const Instance&, const Instance&) = default;
 };

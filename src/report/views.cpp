@@ -140,6 +140,69 @@ std::string hybridView(const pm::BlameReport& report, const ViewOptions& opts) {
   return out.str();
 }
 
+std::string commView(const pm::BlameReport& report, const ViewOptions& opts) {
+  // Remote-heavy rows first: remote samples descending breaks out the
+  // mis-distributed arrays; the canonical blame order breaks ties so the
+  // view is deterministic across merge orders.
+  std::vector<const pm::VariableBlame*> rows;
+  rows.reserve(report.rows.size());
+  for (const pm::VariableBlame& row : report.rows) {
+    if (row.percent < opts.minPercent) continue;
+    rows.push_back(&row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const pm::VariableBlame* a, const pm::VariableBlame* b) {
+    if (a->remoteSamples() != b->remoteSamples()) return a->remoteSamples() > b->remoteSamples();
+    return pm::blameRowLess(*a, *b);
+  });
+  auto pct = [](uint64_t part, uint64_t whole) {
+    return formatFixed(whole ? 100.0 * static_cast<double>(part) / whole : 0.0, 1) + "%";
+  };
+  TextTable t({"Name", "Blame", "Compute", "Local", "RemoteGet", "RemotePut", "Remote%", "Context"});
+  size_t shown = 0;
+  for (const pm::VariableBlame* row : rows) {
+    if (shown++ >= opts.maxRows) break;
+    t.addRow({row->name, formatFixed(row->percent, 1) + "%",
+              std::to_string(row->computeSamples), std::to_string(row->localSamples),
+              std::to_string(row->remoteGetSamples), std::to_string(row->remotePutSamples),
+              pct(row->remoteSamples(), row->sampleCount), row->context});
+  }
+  std::ostringstream out;
+  out << "Comm (PGAS) view — " << report.totalUserSamples << " user samples ("
+      << report.totalRawSamples << " total)\n"
+      << t.render();
+  return out.str();
+}
+
+std::string perLocaleView(const std::vector<pm::BlameReport>& perLocale,
+                          const ViewOptions& opts) {
+  TextTable t({"Locale", "User", "Raw", "Local", "RemoteGet", "RemotePut", "Top remote variable"});
+  for (size_t locale = 0; locale < perLocale.size(); ++locale) {
+    const pm::BlameReport& r = perLocale[locale];
+    if (r.totalRawSamples == 0 && r.rows.empty()) {
+      t.addRow({std::to_string(locale), "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    // Blame rows overlap (a sample can blame several variables), so these
+    // sums are blamed-sample tallies, comparable across locales of one run.
+    uint64_t local = 0, gets = 0, puts = 0;
+    const pm::VariableBlame* top = nullptr;
+    for (const pm::VariableBlame& row : r.rows) {
+      local += row.localSamples;
+      gets += row.remoteGetSamples;
+      puts += row.remotePutSamples;
+      if (row.remoteSamples() > 0 && (!top || row.remoteSamples() > top->remoteSamples()))
+        top = &row;
+    }
+    t.addRow({std::to_string(locale), std::to_string(r.totalUserSamples),
+              std::to_string(r.totalRawSamples), std::to_string(local), std::to_string(gets),
+              std::to_string(puts), top ? top->name : "-"});
+  }
+  (void)opts;
+  std::ostringstream out;
+  out << "Per-locale view — " << perLocale.size() << " locales\n" << t.render();
+  return out.str();
+}
+
 std::string baselineView(const pm::BaselineReport& report) {
   TextTable t({"Variable", "Samples", "Percent"});
   for (const pm::BaselineRow& row : report.rows) {

@@ -56,6 +56,21 @@ std::string pprofView(const CodeCentricReport& report, const std::string& binary
 /// point") where their blame comes to rest; main is the primary blame point.
 std::string hybridView(const pm::BlameReport& report, const ViewOptions& opts = {});
 
+// ---- PGAS / multi-locale ---------------------------------------------------
+
+/// Comm view: variables ranked by remote-access blame. Each row shows the
+/// split of the variable's samples by comm classification — pure compute,
+/// local array accesses, and remote GETs/PUTs — so mis-distributed arrays
+/// (high remote share) stand out even when total blame is similar.
+std::string commView(const pm::BlameReport& report, const ViewOptions& opts = {});
+
+/// Per-locale view: one summary row per locale (sample totals plus the
+/// locale's comm mix aggregated over its blamed variables), followed by the
+/// top remote-heavy variable of each locale. `perLocale` uses one report per
+/// locale in locale order; failed locales (empty reports) render as "-".
+std::string perLocaleView(const std::vector<pm::BlameReport>& perLocale,
+                          const ViewOptions& opts = {});
+
 /// Baseline (allocation-threshold) report rendering.
 std::string baselineView(const pm::BaselineReport& report);
 

@@ -384,7 +384,7 @@ struct Analyzer {
         AC base = acOf(in.ops[0]);
         switch (base.k) {
           case AC::Root: {
-            bool linear = in.imm == 1;
+            bool linear = (in.imm & 1) != 0;
             std::vector<SigElem> elems;
             bool arb = false;
             for (size_t k = 1; k < in.ops.size(); ++k) {
@@ -549,6 +549,20 @@ struct Analyzer {
             setVC(i, vcOf(in.ops[1]).k == VC::Uni
                          ? VC{VC::Uni, sym("cfg:" + std::to_string(i))}
                          : VC{VC::Vary, 0});
+            break;
+          case BuiltinKind::Dmapped:
+          case BuiltinKind::OnBegin:
+          case BuiltinKind::OnEnd:
+            // Locale switches mutate shared runtime state (current locale,
+            // comm counters follow task order): keep such regions sequential.
+            bail();
+            setVC(i, VC{VC::Vary, 0});
+            break;
+          case BuiltinKind::HereId:
+            setVC(i, VC{VC::Uni, sym("here")});
+            break;
+          case BuiltinKind::NumLocales:
+            setVC(i, VC{VC::Uni, sym("nloc")});
             break;
           default:  // Clock / Yield / HeapHint
             setVC(i, VC{VC::Vary, 0});
@@ -812,7 +826,8 @@ struct FnCompiler {
     if (in.op == Opcode::IndexAddr && nx.op == Opcode::Load && nx.ops[0].isReg() &&
         nx.ops[0].reg == id) {
       BInstr b = base(id, in, Op::IndexLoad);
-      if (in.imm == 1) b.flags |= kLinear;
+      if (in.imm & 1) b.flags |= kLinear;
+      if (in.imm & 2) b.flags |= kStore;
       b.opBase = window(in.ops);
       b.nops = static_cast<uint32_t>(in.ops.size());
       b.ir2 = nid;
@@ -825,7 +840,8 @@ struct FnCompiler {
     if (in.op == Opcode::IndexAddr && nx.op == Opcode::Store && nx.ops[1].isReg() &&
         nx.ops[1].reg == id) {
       BInstr b = base(id, in, Op::IndexStore);
-      if (in.imm == 1) b.flags |= kLinear;
+      if (in.imm & 1) b.flags |= kLinear;
+      if (in.imm & 2) b.flags |= kStore;
       b.opBase = window(in.ops);
       b.nops = static_cast<uint32_t>(in.ops.size());
       b.a = dec(nx.ops[0]);  // stored value
@@ -942,7 +958,8 @@ struct FnCompiler {
       }
       case Opcode::IndexAddr: {
         BInstr b = base(id, in, Op::IndexAddr);
-        if (in.imm == 1) b.flags |= kLinear;
+        if (in.imm & 1) b.flags |= kLinear;
+        if (in.imm & 2) b.flags |= kStore;
         b.opBase = window(in.ops);
         b.nops = static_cast<uint32_t>(in.ops.size());
         out.code.push_back(b);

@@ -82,8 +82,10 @@ struct BOperand {
 };
 
 inline constexpr uint8_t kNestedHandle = 1;  // LoadRef: addr comes from FieldAddr
-inline constexpr uint8_t kLinear = 2;        // IndexAddr family: linear (imm==1) mode
+inline constexpr uint8_t kLinear = 2;        // IndexAddr family: linear (imm bit 0) mode
 inline constexpr uint8_t kDynIndex = 4;      // TupleAddr/TupleGet: runtime index in b
+inline constexpr uint8_t kStore = 8;         // IndexAddr family: address feeds a Store
+                                             //   (imm bit 1; remote access = PUT)
 
 struct BInstr {
   Op op = Op::Ret;

@@ -42,6 +42,11 @@ CostProfile CostProfile::fast() {
   p.spawnPerTask = 90;
   p.iterOverheadPerIterand = 68;
   p.writelnBase = 200;
+  // Comm costs barely improve with --fast: they model network latency, not
+  // generated code quality.
+  p.remoteGet = 100;
+  p.remotePut = 130;
+  p.onFork = 220;
   return p;
 }
 
@@ -55,7 +60,7 @@ uint64_t CostModel::cost(const ir::Instr& in) const {
     case Opcode::TupleAddr:
       return in.ops.size() == 2 ? p_.tupleDynAccess : p_.tupleAddr;
     case Opcode::IndexAddr: {
-      if (in.imm == 1) return p_.indexLinear;  // linear iteration mode
+      if (in.imm & 1) return p_.indexLinear;  // linear iteration mode
       uint32_t dims = static_cast<uint32_t>(in.ops.size()) - 1;
       return p_.indexBase + p_.indexPerDim * dims;
     }
@@ -110,6 +115,11 @@ uint64_t CostModel::cost(const ir::Instr& in) const {
         case ir::BuiltinKind::ConfigGet: return p_.configGet;
         case ir::BuiltinKind::ArrayFill:
         case ir::BuiltinKind::ArrayCopy: return 4;  // + per-elem dynamically
+        case ir::BuiltinKind::Dmapped: return p_.domainMake;
+        case ir::BuiltinKind::OnBegin: return 2;  // + onFork dynamically if remote
+        case ir::BuiltinKind::OnEnd: return 1;
+        case ir::BuiltinKind::HereId:
+        case ir::BuiltinKind::NumLocales: return 1;
         default: return 1;
       }
   }

@@ -46,6 +46,10 @@ struct CostProfile {
   uint64_t iterOverheadPerIterand = 135;          // zippered leader/follower protocol
   // Builtins.
   uint64_t randomC = 20, clockC = 4, yieldC = 30, writelnBase = 200, configGet = 10;
+  // PGAS communication (multi-locale simulation). A remote GET/PUT models a
+  // one-sided transfer through the comm layer; an `on` fork to a different
+  // locale models active-message dispatch (`chpl_comm_fork`).
+  uint64_t remoteGet = 120, remotePut = 150, onFork = 250;
 
   // Instruction-footprint (icache) pressure: functions larger than the
   // threshold pay a per-cycle multiplier growing with the excess size.

@@ -161,6 +161,9 @@ class Engine {
     arrayNewPerElemC_ = p.arrayNewPerElem;
     arrayFillPerElemC_ = p.arrayFillPerElem;
     arrayCopyPerElemC_ = p.arrayCopyPerElem;
+    remoteGetC_ = p.remoteGet;
+    remotePutC_ = p.remotePut;
+    onForkC_ = p.onFork;
   }
 
   RunResult run() {
@@ -172,6 +175,10 @@ class Engine {
     ctx.cycles = result_.cyclesPerFunction.data();
     ctx.allocMap = &result_.log.allocBytesBySite;
     ctx.echo = opts_.echoWriteln;
+    ctx.locale = opts_.localeId;
+    ctx.commGets = &result_.log.commGets;
+    ctx.commPuts = &result_.log.commPuts;
+    ctx.commOnForks = &result_.log.commOnForks;
     ctx.next = nextFor(0);
     try {
       if (m_.moduleInitFunc != ir::kNone) callFunction(ctx, m_.moduleInitFunc, {});
@@ -217,6 +224,16 @@ class Engine {
     std::unordered_map<uint64_t, uint64_t>* allocMap = nullptr;       // main thread
     std::vector<std::pair<uint64_t, uint64_t>>* allocVec = nullptr;   // workers
     bool echo = false;
+    // PGAS locale simulation: the locale this context currently executes on,
+    // the `on`-block restore stack, the comm classification pending for the
+    // next sample, and exact comm counters (main thread points straight into
+    // result_.log; workers into private tallies merged via TRec deltas).
+    int64_t locale = 0;
+    std::vector<int64_t> onStack;
+    sampling::AccessKind pending = sampling::AccessKind::None;
+    uint64_t* commGets = nullptr;
+    uint64_t* commPuts = nullptr;
+    uint64_t* commOnForks = nullptr;
     std::vector<uint32_t> skid;
     std::vector<EFrame*> stack;
     std::vector<sampling::Frame> cachedStack;
@@ -249,8 +266,10 @@ class Engine {
     s.stream = c.stream;
     s.taskTag = c.taskTag;
     s.atCycle = c.clock;
+    s.accessKind = c.pending;
     s.stack = c.cachedStack;
     c.samples->push_back(std::move(s));
+    c.pending = sampling::AccessKind::None;  // consumed by this sample
   }
 
   void overflow(Ctx& c) {
@@ -462,8 +481,14 @@ class Engine {
     c.stack.push_back(fr);
     ++c.stackGen;
     uint32_t savedFid = c.curFid;
+    // `on` blocks are lexically scoped: a return from inside one must not
+    // leak the switched locale into the caller.
+    int64_t savedLocale = c.locale;
+    size_t savedOnDepth = c.onStack.size();
     c.curFid = f;
     execFrame(c, *fr, compiled_.funcs[f], m_.function(f), out);
+    c.locale = savedLocale;
+    c.onStack.resize(savedOnDepth);
     c.stack.pop_back();
     ++c.stackGen;
     c.curFid = savedFid;
@@ -589,23 +614,58 @@ class Engine {
     }
   }
 
+  /// PGAS access classification, mirroring Interp::noteArrayAccess: views
+  /// defer ownership to their base array; a remote owner charges the GET/PUT
+  /// cost and bumps the exact counters; the kind stays pending for the next
+  /// sample.
+  inline void noteArrayAccess(Ctx& c, const ArrayObj* arr, int64_t idx0, bool isStore) {
+    const ArrayObj* own = arr->base ? arr->base.get() : arr;
+    const DomainVal& od = own->dom;
+    if (od.distKind != 0 && od.distLocales > 1 && od.ownerOf(idx0) != c.locale) {
+      if (isStore) {
+        c.pending = sampling::AccessKind::RemotePut;
+        ++*c.commPuts;
+        charge(c, remotePutC_);
+      } else {
+        c.pending = sampling::AccessKind::RemoteGet;
+        ++*c.commGets;
+        charge(c, remoteGetC_);
+      }
+    } else {
+      c.pending = sampling::AccessKind::Local;
+    }
+  }
+
   /// IndexAddr address computation shared by the plain and fused forms;
-  /// charges the view penalty exactly where the tree-walker does.
+  /// charges the view penalty and the PGAS remote-access cost exactly where
+  /// the tree-walker does.
   Value* indexAddr(Ctx& c, EFrame& fr, const bc::BInstr& bi, const bc::BOperand* ops,
                    SourceLoc loc) {
     const Value& base = rd(c, fr, ops[bi.opBase]);
     if (base.kind != VKind::Array || !base.arr) fail("indexing a non-array", loc);
     Value* p = nullptr;
+    int64_t idx0 = 0;
     if (bi.flags & bc::kLinear) {
-      p = base.arr->atLinear(rd(c, fr, ops[bi.opBase + 1]).asInt());
+      int64_t k = rd(c, fr, ops[bi.opBase + 1]).asInt();
+      p = base.arr->atLinear(k);
+      if (p) {
+        const ArrayObj* own = base.arr->base ? base.arr->base.get() : base.arr.get();
+        if (own->dom.distKind != 0 && own->dom.distLocales > 1) {
+          int64_t idx[3];
+          base.arr->dom.delinearize(k, idx);
+          idx0 = idx[0];
+        }
+      }
     } else {
       int64_t idx[3] = {0, 0, 0};
       int n = static_cast<int>(bi.nops) - 1;
       for (int d = 0; d < n; ++d) idx[d] = rd(c, fr, ops[bi.opBase + 1 + d]).asInt();
       p = base.arr->at(idx);
+      idx0 = idx[0];
     }
     if (!p) fail("array index out of bounds", loc);
     if (base.arr->isView()) charge(c, viewExtraC_);
+    noteArrayAccess(c, base.arr.get(), idx0, (bi.flags & bc::kStore) != 0);
     return p;
   }
 
@@ -680,6 +740,39 @@ class Engine {
         }
         break;
       }
+      case BuiltinKind::Dmapped: {
+        const Value& d = rd(ctx, fr, ops[bi.opBase]);
+        if (d.kind != VKind::Domain) fail("dmapped on a non-domain", irFn.instrs[bi.ir].loc);
+        DomainVal dv = d.dom;
+        dv.distKind = static_cast<uint8_t>(rd(ctx, fr, ops[bi.opBase + 1]).asInt());
+        dv.distLocales = static_cast<uint16_t>(std::max<uint32_t>(1, opts_.numLocales));
+        setDomain(fr.regs[bi.dst], dv);
+        break;
+      }
+      case BuiltinKind::OnBegin: {
+        int64_t target = rd(ctx, fr, ops[bi.opBase]).asInt();
+        int64_t L = std::max<int64_t>(1, opts_.numLocales);
+        target = ((target % L) + L) % L;  // wrap like Locales[i % numLocales]
+        ctx.onStack.push_back(ctx.locale);
+        if (target != ctx.locale) {
+          ++*ctx.commOnForks;
+          charge(ctx, onForkC_);
+        }
+        ctx.locale = target;
+        break;
+      }
+      case BuiltinKind::OnEnd:
+        if (!ctx.onStack.empty()) {
+          ctx.locale = ctx.onStack.back();
+          ctx.onStack.pop_back();
+        }
+        break;
+      case BuiltinKind::HereId:
+        setInt(fr.regs[bi.dst], ctx.locale);
+        break;
+      case BuiltinKind::NumLocales:
+        setInt(fr.regs[bi.dst], std::max<int64_t>(1, opts_.numLocales));
+        break;
     }
   }
 
@@ -772,6 +865,9 @@ class Engine {
     flushSkid(ctx);
     uint64_t savedTag = ctx.taskTag;
     uint32_t savedStream = ctx.stream;
+    // Each task chunk starts with no pending comm attribution, regardless of
+    // whether chunks run here sequentially or on replay threads.
+    sampling::AccessKind savedPending = ctx.pending;
     std::vector<EFrame*> savedStack;
     savedStack.swap(ctx.stack);
     ++ctx.stackGen;
@@ -785,6 +881,7 @@ class Engine {
         args.push_back(Value::makeInt(clo));
         args.push_back(Value::makeInt(chi));
         for (const Value& v : extra) args.push_back(v);
+        ctx.pending = sampling::AccessKind::None;
         callFunction(ctx, bi.t0, std::move(args));
         flushSkid(ctx);
       }
@@ -811,6 +908,7 @@ class Engine {
             args.push_back(Value::makeInt(chunks[ti].first));
             args.push_back(Value::makeInt(chunks[ti].second));
             for (const Value& v : extra) args.push_back(v);
+            ctx.pending = sampling::AccessKind::None;
             callFunction(ctx, bi.t0, std::move(args));
             flushSkid(ctx);
             workerEnd[ws] = ctx.clock;
@@ -840,6 +938,7 @@ class Engine {
     ++ctx.stackGen;
     ctx.taskTag = savedTag;
     ctx.stream = savedStream;
+    ctx.pending = savedPending;
   }
 
   const ir::Module& m_;
@@ -860,6 +959,7 @@ class Engine {
 
   uint64_t nestedHandleC_ = 0, viewExtraC_ = 0, spawnPerTaskC_ = 0;
   uint64_t arrayNewPerElemC_ = 0, arrayFillPerElemC_ = 0, arrayCopyPerElemC_ = 0;
+  uint64_t remoteGetC_ = 0, remotePutC_ = 0, onForkC_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -875,6 +975,9 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
   struct TRec {
     size_t sampleEnd = 0, outputEnd = 0, allocEnd = 0;
     uint64_t icountDelta = 0;
+    // Comm counters are commutative sums, so per-chunk deltas merged in
+    // canonical task order reproduce the sequential totals exactly.
+    uint64_t gets = 0, puts = 0, forks = 0;
     std::vector<std::pair<uint32_t, uint64_t>> cycles;
   };
   struct StreamRes {
@@ -912,6 +1015,13 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
       wc.cycles = cyc.data();
       wc.allocVec = &S.allocs;
       wc.echo = false;
+      // The plan bails on OnBegin (and on Call), so the region's locale is
+      // constant: inherit it, with per-worker comm tallies.
+      wc.locale = ctx.locale;
+      uint64_t wGets = 0, wPuts = 0, wForks = 0;
+      wc.commGets = &wGets;
+      wc.commPuts = &wPuts;
+      wc.commOnForks = &wForks;
       uint64_t prevIc = 0;
       auto snap = [&] {
         TRec r;
@@ -920,6 +1030,10 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
         r.allocEnd = S.allocs.size();
         r.icountDelta = local - prevIc;
         prevIc = local;
+        r.gets = wGets;
+        r.puts = wPuts;
+        r.forks = wForks;
+        wGets = wPuts = wForks = 0;
         for (size_t f = 0; f < nf; ++f)
           if (cyc[f]) {
             r.cycles.emplace_back(static_cast<uint32_t>(f), cyc[f]);
@@ -934,6 +1048,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
           args.push_back(Value::makeInt(chunks[ti].first));
           args.push_back(Value::makeInt(chunks[ti].second));
           for (const Value& v : extra) args.push_back(v);
+          wc.pending = sampling::AccessKind::None;
           callFunction(wc, taskFn, std::move(args));
           flushSkid(wc);
         } catch (const RunError& e) {
@@ -980,6 +1095,9 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     aStart[ws] = r.allocEnd;
     for (const auto& [f, cyc] : r.cycles) result_.cyclesPerFunction[f] += cyc;
     result_.instructionsExecuted += r.icountDelta;
+    result_.log.commGets += r.gets;
+    result_.log.commPuts += r.puts;
+    result_.log.commOnForks += r.forks;
   }
   if (minFail != ~0ull) {
     const StreamRes& S = streams[1 + static_cast<uint32_t>(minFail % w)];

@@ -33,7 +33,8 @@ class Interp {
                   ? *opts.costProfileOverride
                   : (opts.fastCostProfile ? CostProfile::fast() : CostProfile::standard())),
         pmu_(opts.sampleThreshold, opts.numWorkers + 1),
-        rng_(opts.rngSeed) {
+        rng_(opts.rngSeed),
+        curLocale_(opts.localeId) {
     // Precompute alloca -> slot maps per function.
     allocaSlot_.resize(m.numFunctions());
     numSlots_.resize(m.numFunctions(), 0);
@@ -140,8 +141,10 @@ class Interp {
     s.stream = curStream_;
     s.taskTag = curTaskTag_;
     s.atCycle = pmu_.clock(curStream_);
+    s.accessKind = pendingAccess_;
     s.stack = cachedStack_;
     result_.log.samples.push_back(std::move(s));
+    pendingAccess_ = sampling::AccessKind::None;  // consumed by this sample
   }
 
   void emitIdleSamples(uint32_t stream, uint64_t from, uint64_t to) {
@@ -160,6 +163,29 @@ class Interp {
       else if (k % 20 >= 17) s.runtimeFrame = sampling::RuntimeFrameKind::PthreadState;
       else s.runtimeFrame = sampling::RuntimeFrameKind::SchedYield;
       result_.log.samples.push_back(std::move(s));
+    }
+  }
+
+  /// Classifies one array element access for the PGAS simulation: resolves
+  /// the owning locale of dim-0 coordinate `idx0` via the owning array's
+  /// domain (views defer to their base) and, when the owner differs from the
+  /// executing locale, charges the remote GET/PUT cost and bumps the exact
+  /// comm counters. The classification is left pending for the next sample.
+  void noteArrayAccess(const ArrayObj* arr, int64_t idx0, bool isStore) {
+    const ArrayObj* own = arr->base ? arr->base.get() : arr;
+    const DomainVal& od = own->dom;
+    if (od.distKind != 0 && od.distLocales > 1 && od.ownerOf(idx0) != curLocale_) {
+      if (isStore) {
+        pendingAccess_ = sampling::AccessKind::RemotePut;
+        ++result_.log.commPuts;
+        charge(cost_.profile().remotePut);
+      } else {
+        pendingAccess_ = sampling::AccessKind::RemoteGet;
+        ++result_.log.commGets;
+        charge(cost_.profile().remoteGet);
+      }
+    } else {
+      pendingAccess_ = sampling::AccessKind::Local;
     }
   }
 
@@ -312,7 +338,13 @@ class Interp {
     fr.slots.resize(numSlots_[f]);
     stack_.push_back(&fr);
     ++stackGen_;
+    // `on` blocks are lexically scoped: a return from inside one must not
+    // leak the switched locale into the caller.
+    int64_t savedLocale = curLocale_;
+    size_t savedOnDepth = onStack_.size();
     Value ret = execFrame(fr);
+    curLocale_ = savedLocale;
+    onStack_.resize(savedOnDepth);
     stack_.pop_back();
     ++stackGen_;
     return ret;
@@ -376,16 +408,25 @@ class Interp {
           Value base = evalOp(fr, in.ops[0]);
           if (base.kind != VKind::Array || !base.arr) fail("indexing a non-array", in.loc);
           Value* p = nullptr;
-          if (in.imm == 1) {
-            p = base.arr->atLinear(evalOp(fr, in.ops[1]).asInt());
+          int64_t idx0 = 0;
+          if (in.imm & 1) {
+            int64_t k = evalOp(fr, in.ops[1]).asInt();
+            p = base.arr->atLinear(k);
+            if (p) {
+              int64_t idx[3];
+              base.arr->dom.delinearize(k, idx);
+              idx0 = idx[0];
+            }
           } else {
             int64_t idx[3] = {0, 0, 0};
             int n = static_cast<int>(in.ops.size()) - 1;
             for (int d = 0; d < n; ++d) idx[d] = evalOp(fr, in.ops[d + 1]).asInt();
             p = base.arr->at(idx);
+            idx0 = idx[0];
           }
           if (!p) fail("array index out of bounds", in.loc);
           if (base.arr->isView()) charge(cost_.profile().viewIndexExtra);
+          noteArrayAccess(base.arr.get(), idx0, (in.imm & 2) != 0);
           fr.regs[id] = Value::makeRef(p);
           break;
         }
@@ -632,6 +673,10 @@ class Interp {
     flushSkid();  // pending samples belong to the pre-spawn context
     uint64_t savedTag = curTaskTag_;
     uint32_t savedStream = curStream_;
+    // Each task chunk starts with no pending comm attribution, regardless of
+    // whether chunks run interleaved here or consecutively per worker in the
+    // bytecode engine's parallel replay.
+    sampling::AccessKind savedPending = pendingAccess_;
     std::vector<Frame*> savedStack;
     savedStack.swap(stack_);
     ++stackGen_;
@@ -644,6 +689,7 @@ class Interp {
         args.push_back(Value::makeInt(clo));
         args.push_back(Value::makeInt(chi));
         for (const Value& v : extra) args.push_back(v);
+        pendingAccess_ = sampling::AccessKind::None;
         callFunction(in.extra.func, std::move(args));
         flushSkid();
       }
@@ -667,6 +713,7 @@ class Interp {
         args.push_back(Value::makeInt(chunks[ti].first));
         args.push_back(Value::makeInt(chunks[ti].second));
         for (const Value& v : extra) args.push_back(v);
+        pendingAccess_ = sampling::AccessKind::None;
         callFunction(in.extra.func, std::move(args));
         flushSkid();
         workerEnd[ws] = pmu_.clock(ws);
@@ -684,6 +731,7 @@ class Interp {
     ++stackGen_;
     curTaskTag_ = savedTag;
     curStream_ = savedStream;
+    pendingAccess_ = savedPending;
   }
 
   void execBuiltin(Frame& fr, InstrId id, const Instr& in) {
@@ -745,6 +793,39 @@ class Interp {
         }
         break;
       }
+      case BuiltinKind::Dmapped: {
+        Value d = evalOp(fr, in.ops[0]);
+        if (d.kind != VKind::Domain) fail("dmapped on a non-domain", in.loc);
+        DomainVal dv = d.dom;
+        dv.distKind = static_cast<uint8_t>(evalOp(fr, in.ops[1]).asInt());
+        dv.distLocales = static_cast<uint16_t>(std::max<uint32_t>(1, opts_.numLocales));
+        fr.regs[id] = Value::makeDomain(dv);
+        break;
+      }
+      case BuiltinKind::OnBegin: {
+        int64_t target = evalOp(fr, in.ops[0]).asInt();
+        int64_t L = std::max<int64_t>(1, opts_.numLocales);
+        target = ((target % L) + L) % L;  // wrap like Locales[i % numLocales]
+        onStack_.push_back(curLocale_);
+        if (target != curLocale_) {
+          ++result_.log.commOnForks;
+          charge(cost_.profile().onFork);
+        }
+        curLocale_ = target;
+        break;
+      }
+      case BuiltinKind::OnEnd:
+        if (!onStack_.empty()) {
+          curLocale_ = onStack_.back();
+          onStack_.pop_back();
+        }
+        break;
+      case BuiltinKind::HereId:
+        fr.regs[id] = Value::makeInt(curLocale_);
+        break;
+      case BuiltinKind::NumLocales:
+        fr.regs[id] = Value::makeInt(std::max<int64_t>(1, opts_.numLocales));
+        break;
     }
   }
 
@@ -761,6 +842,11 @@ class Interp {
   uint64_t curTaskTag_ = 0;
   uint64_t tagCounter_ = 0;
   uint64_t idleSampleCounter_ = 0;
+
+  // PGAS locale simulation state.
+  int64_t curLocale_ = 0;
+  std::vector<int64_t> onStack_;
+  sampling::AccessKind pendingAccess_ = sampling::AccessKind::None;
 
   std::vector<sampling::Frame> cachedStack_;   // resolved copy of stack_
   uint64_t stackGen_ = 0;                      // bumped on push/pop/swap

@@ -62,6 +62,13 @@ struct RunOptions {
   /// provably independent forall/coforall regions replay in parallel, and
   /// their per-stream artefacts are merged in canonical task order.
   uint32_t replayThreads = 0;
+  /// Simulated PGAS locale count (SPMD: profileMultiLocale runs the program
+  /// once per locale) and the id of the locale this run models. `on` blocks
+  /// switch the current locale dynamically; `dmapped` domains partition
+  /// array ownership across `numLocales`; accesses whose owner differs from
+  /// the current locale are charged remote GET/PUT costs.
+  uint32_t numLocales = 1;
+  uint32_t localeId = 0;
 };
 
 struct RunResult {

@@ -21,8 +21,26 @@ struct ArrayObj;
 /// Rectangular index set, rank 1..3, inclusive bounds, row-major layout.
 struct DomainVal {
   uint8_t rank = 1;
+  /// PGAS distribution stamped by `dmapped` (0 = local, 1 = Block,
+  /// 2 = Cyclic) and the locale count bound when the stamp was applied.
+  /// Ownership partitions along dimension 0 only. Not part of equality:
+  /// two domains with the same bounds describe the same index set.
+  uint8_t distKind = 0;
+  uint16_t distLocales = 1;
   int64_t lo[3] = {0, 0, 0};
   int64_t hi[3] = {-1, -1, -1};
+
+  /// Owning locale of index `idx0` along dim 0; 0 for undistributed domains.
+  int64_t ownerOf(int64_t idx0) const {
+    if (distKind == 0 || distLocales <= 1) return 0;
+    int64_t e = extent(0);
+    if (e <= 0) return 0;
+    int64_t off = idx0 - lo[0];
+    if (off < 0) off = 0;
+    if (off >= e) off = e - 1;
+    if (distKind == 1) return off * distLocales / e;  // Block
+    return off % distLocales;                         // Cyclic
+  }
 
   int64_t extent(int d) const { return hi[d] >= lo[d] ? hi[d] - lo[d] + 1 : 0; }
   int64_t size() const {

@@ -9,16 +9,19 @@
 namespace cb::sampling {
 
 // ---------------------------------------------------------------------------
-// Text format (v1) — the portable fallback.
+// Text format — the portable fallback. Version 2 appends the exact comm
+// counters to the header and the per-sample AccessKind after the runtime
+// frame; version 1 files (no comm channel) still load, defaulting both.
 // ---------------------------------------------------------------------------
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
-  out << "cblog 1 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
-      << "\n";
+  out << "cblog 2 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+      << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << "\n";
   for (const RawSample& s : log.samples) {
     out << "S " << s.stream << " " << s.taskTag << " " << s.atCycle << " "
-        << static_cast<int>(s.runtimeFrame) << " " << s.stack.size();
+        << static_cast<int>(s.runtimeFrame) << " " << static_cast<int>(s.accessKind) << " "
+        << s.stack.size();
     for (const Frame& f : s.stack) out << " " << f.func << ":" << f.instr;
     out << "\n";
   }
@@ -54,14 +57,15 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
   out = RunLog{};
   std::istringstream lines(text);
   std::string line;
+  int version = 0;
   if (!std::getline(lines, line)) return false;
   {
     std::istringstream h(line);
     std::string magic;
-    int version = 0;
     if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
       return false;
-    if (magic != "cblog" || version != 1) return false;
+    if (magic != "cblog" || version < 1 || version > 2) return false;
+    if (version >= 2 && !(h >> out.commGets >> out.commPuts >> out.commOnForks)) return false;
   }
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
@@ -70,10 +74,13 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
     in >> kind;
     if (kind == 'S') {
       RawSample s;
-      int rtk = 0;
+      int rtk = 0, ak = 0;
       size_t n = 0;
-      if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk >> n)) return false;
+      if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk)) return false;
+      if (version >= 2 && !(in >> ak)) return false;
+      if (!(in >> n)) return false;
       s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+      s.accessKind = static_cast<AccessKind>(ak);
       if (!parseFrames(in, n, s.stack)) return false;
       out.samples.push_back(std::move(s));
     } else if (kind == 'W') {
@@ -94,11 +101,14 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
 }
 
 // ---------------------------------------------------------------------------
-// Binary format (v1) — LEB128 varints, zigzag deltas, deterministic order.
+// Binary format — LEB128 varints, zigzag deltas, deterministic order.
+// Version 2 adds the three comm counters after totalCycles and a varint
+// AccessKind per sample after the runtime-frame kind; version 1 files
+// (pre-PGAS) still load with both defaulted.
 // ---------------------------------------------------------------------------
 
 constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-constexpr uint8_t kBinaryVersion = 1;
+constexpr uint8_t kBinaryVersion = 2;
 
 void putVarint(std::string& out, uint64_t v) {
   while (v >= 0x80) {
@@ -205,13 +215,17 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
   uint8_t b;
   for (char m : kBinaryMagic)
     if (!r.byte(b) || b != static_cast<uint8_t>(m)) return false;
-  if (!r.byte(b) || b != kBinaryVersion) return false;
+  uint8_t version;
+  if (!r.byte(version) || version < 1 || version > kBinaryVersion) return false;
 
   uint64_t nStreams;
   if (!r.varint(out.sampleThreshold) || !r.varint(nStreams) || nStreams > ~0u ||
       !r.varint(out.totalCycles))
     return false;
   out.numStreams = static_cast<uint32_t>(nStreams);
+  if (version >= 2 &&
+      (!r.varint(out.commGets) || !r.varint(out.commPuts) || !r.varint(out.commOnForks)))
+    return false;
 
   uint64_t nSamples;
   if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
@@ -225,6 +239,11 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
       return false;
     prevCycle = s.atCycle;
     s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+    if (version >= 2) {
+      uint64_t ak;
+      if (!r.varint(ak) || ak > 3) return false;
+      s.accessKind = static_cast<AccessKind>(ak);
+    }
     if (!r.frames(s.stack)) return false;
     out.samples.push_back(std::move(s));
   }
@@ -263,6 +282,9 @@ std::string serializeRunLogBinary(const RunLog& log) {
   putVarint(out, log.sampleThreshold);
   putVarint(out, log.numStreams);
   putVarint(out, log.totalCycles);
+  putVarint(out, log.commGets);
+  putVarint(out, log.commPuts);
+  putVarint(out, log.commOnForks);
 
   putVarint(out, log.samples.size());
   uint64_t prevCycle = 0;
@@ -272,6 +294,7 @@ std::string serializeRunLogBinary(const RunLog& log) {
     putDelta(out, s.atCycle, prevCycle);
     prevCycle = s.atCycle;
     putVarint(out, static_cast<uint64_t>(s.runtimeFrame));
+    putVarint(out, static_cast<uint64_t>(s.accessKind));
     putFrames(out, s.stack);
   }
 

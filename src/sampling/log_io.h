@@ -3,7 +3,7 @@
 // step 3 (6-20 MB per run at the paper's scale).
 //
 // Two formats, auto-detected on load:
-//   - Text ("cblog 1 ..."): the portable line-based fallback, human-readable
+//   - Text ("cblog 2 ..."): the portable line-based fallback, human-readable
 //     and diff-friendly.
 //   - Binary (magic 0x89 'C' 'B' 'L'): a versioned compact encoding —
 //     LEB128 varints throughout, zigzag-delta compression for sample
@@ -21,23 +21,25 @@
 namespace cb::sampling {
 
 enum class RunLogFormat {
-  Text,    // "cblog 1 ..." line format (portable fallback)
+  Text,    // "cblog 2 ..." line format (portable fallback)
   Binary,  // compact varint/delta format (see serializeRunLogBinary)
 };
 
-/// Serializes a run log. Line-based:
-///   cblog 1 <threshold> <streams> <totalCycles>
-///   S <stream> <tag> <cycle> <runtimeFrameKind> <n> <func:instr>*
+/// Serializes a run log. Line-based (version 1 files, which lack the comm
+/// counters and the per-sample access kind, still deserialize):
+///   cblog 2 <threshold> <streams> <totalCycles> <commGets> <commPuts> <commOnForks>
+///   S <stream> <tag> <cycle> <runtimeFrameKind> <accessKind> <n> <func:instr>*
 ///   W <tag> <parentTag> <taskFn> <spawnInstr> <n> <func:instr>*
 ///   A <siteKey> <bytes>
 std::string serializeRunLog(const RunLog& log);
 
-/// Serializes a run log in the compact binary format:
-///   magic(4) = 89 43 42 4C ("\x89CBL"), version(1) = 0x01
-///   varint threshold, streams, totalCycles
+/// Serializes a run log in the compact binary format (version-1 files, which
+/// lack the comm counters and per-sample access kind, still deserialize):
+///   magic(4) = 89 43 42 4C ("\x89CBL"), version(1) = 0x02
+///   varint threshold, streams, totalCycles, commGets, commPuts, commOnForks
 ///   varint nSamples, then per sample:
 ///     varint stream, taskTag, zigzag(atCycle - prevAtCycle),
-///     varint runtimeFrameKind, varint stackLen,
+///     varint runtimeFrameKind, varint accessKind, varint stackLen,
 ///     per frame: zigzag(func - prevFunc), zigzag(instr - prevInstr)
 ///     (prev func/instr reset to 0 at each stack; prevAtCycle spans samples)
 ///   varint nSpawns (sorted by tag), per record:

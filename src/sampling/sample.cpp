@@ -8,7 +8,8 @@ namespace {
 
 bool sameSample(const RawSample& a, const RawSample& b) {
   return a.stream == b.stream && a.taskTag == b.taskTag && a.atCycle == b.atCycle &&
-         a.runtimeFrame == b.runtimeFrame && a.stack == b.stack;
+         a.runtimeFrame == b.runtimeFrame && a.accessKind == b.accessKind &&
+         a.stack == b.stack;
 }
 
 bool sameSpawn(const SpawnRecord& a, const SpawnRecord& b) {
@@ -21,6 +22,8 @@ bool sameSpawn(const SpawnRecord& a, const SpawnRecord& b) {
 bool identical(const RunLog& a, const RunLog& b) {
   if (a.sampleThreshold != b.sampleThreshold || a.numStreams != b.numStreams ||
       a.totalCycles != b.totalCycles)
+    return false;
+  if (a.commGets != b.commGets || a.commPuts != b.commPuts || a.commOnForks != b.commOnForks)
     return false;
   if (a.samples.size() != b.samples.size()) return false;
   for (size_t i = 0; i < a.samples.size(); ++i)
@@ -46,6 +49,12 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
     os << "numStreams " << a.numStreams << " vs " << b.numStreams;
   else if (a.totalCycles != b.totalCycles)
     os << "totalCycles " << a.totalCycles << " vs " << b.totalCycles;
+  else if (a.commGets != b.commGets)
+    os << "commGets " << a.commGets << " vs " << b.commGets;
+  else if (a.commPuts != b.commPuts)
+    os << "commPuts " << a.commPuts << " vs " << b.commPuts;
+  else if (a.commOnForks != b.commOnForks)
+    os << "commOnForks " << a.commOnForks << " vs " << b.commOnForks;
   else if (a.samples.size() != b.samples.size())
     os << "sample count " << a.samples.size() << " vs " << b.samples.size();
   else {
@@ -54,7 +63,9 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
       const RawSample &x = a.samples[i], &y = b.samples[i];
       os << "sample " << i << ": stream " << x.stream << "/" << y.stream << " tag "
          << x.taskTag << "/" << y.taskTag << " cycle " << x.atCycle << "/" << y.atCycle
-         << " depth " << x.stack.size() << "/" << y.stack.size();
+         << " access " << static_cast<int>(x.accessKind) << "/"
+         << static_cast<int>(y.accessKind) << " depth " << x.stack.size() << "/"
+         << y.stack.size();
       return os.str();
     }
     if (a.spawns.size() != b.spawns.size())

@@ -34,11 +34,22 @@ enum class RuntimeFrameKind : uint8_t {
   PthreadState,       // __pthread_setcancelstate
 };
 
+/// Comm-event channel: what kind of array access the stream most recently
+/// resolved when the overflow fired. Local means the access stayed on the
+/// executing locale; RemoteGet/RemotePut crossed locales (PGAS simulation).
+enum class AccessKind : uint8_t {
+  None,       // no array access pending (pure compute / idle)
+  Local,
+  RemoteGet,
+  RemotePut,
+};
+
 struct RawSample {
   uint32_t stream = 0;           // 0 = main thread, 1..W = workers
   uint64_t taskTag = 0;          // 0 when not inside a spawned task
   uint64_t atCycle = 0;          // stream-local virtual time of the overflow
   RuntimeFrameKind runtimeFrame = RuntimeFrameKind::None;  // set for idle samples
+  AccessKind accessKind = AccessKind::None;  // pending comm attribution
   std::vector<Frame> stack;      // post-spawn stack, outermost first; empty for idle
 };
 
@@ -59,6 +70,12 @@ struct RunLog {
   uint64_t sampleThreshold = 0;
   uint32_t numStreams = 0;
   uint64_t totalCycles = 0;      // main-thread end-to-end virtual time
+
+  /// Exact communication counters (not sampled): remote GETs/PUTs resolved
+  /// and cross-locale `on` forks executed over the whole run.
+  uint64_t commGets = 0;
+  uint64_t commPuts = 0;
+  uint64_t commOnForks = 0;
 
   /// Heap allocations observed at each ArrayNew site: (func<<32|instr) ->
   /// largest allocation in bytes. Feeds the allocation-threshold baseline

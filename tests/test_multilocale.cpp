@@ -1,0 +1,217 @@
+// Multi-locale PGAS simulation tests: the comm split of variable blame
+// (compute / local / remote GET / remote PUT), the distribution-mismatch
+// acceptance scenario (remote blame collapses to local when a Cyclic array
+// is redistributed Block), surfacing of ALL failing locales with partial
+// reports kept, and golden fixtures for the comm / per-locale views at 4
+// locales (regenerate with `cb_tests --update-golden`).
+//
+// Suite naming feeds the CTest labels (tests/CMakeLists.txt):
+// MultiLocale*.* carries the `multilocale` label.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cb_config.h"
+#include "report/views.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+/// One 4-locale profile per program per binary invocation — the multi-locale
+/// pipeline is deterministic, so every test can share the cached result.
+const MultiLocaleResult& profiled4(const std::string& program) {
+  static std::map<std::string, MultiLocaleResult> cache;
+  auto it = cache.find(program);
+  if (it == cache.end())
+    it = cache.emplace(program, profileMultiLocale(assetProgram(program), 4)).first;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Comm split invariants.
+// ---------------------------------------------------------------------------
+
+TEST(MultiLocaleComm, SplitFieldsPartitionSampleCount) {
+  const MultiLocaleResult& r = profiled4("minimd_badloc");
+  ASSERT_TRUE(r.ok) << r.error;
+  auto checkReport = [](const pm::BlameReport& rep, const std::string& what) {
+    ASSERT_FALSE(rep.rows.empty()) << what;
+    for (const pm::VariableBlame& row : rep.rows) {
+      EXPECT_EQ(row.computeSamples + row.localSamples + row.remoteGetSamples +
+                    row.remotePutSamples,
+                row.sampleCount)
+          << what << ": " << row.name;
+    }
+  };
+  checkReport(r.aggregate, "aggregate");
+  for (size_t l = 0; l < r.perLocale.size(); ++l)
+    checkReport(r.perLocale[l], "locale " + std::to_string(l));
+}
+
+TEST(MultiLocaleComm, SingleLocaleRunsHaveNoRemoteBlame) {
+  // With one locale every distributed index is owned locally: no GETs, no
+  // PUTs, anywhere — in the exact comm counters or in the blame split.
+  Profiler p;
+  ASSERT_TRUE(p.profileFile(assetProgram("minimd_badloc"))) << p.lastError();
+  EXPECT_EQ(p.runResult()->log.commGets, 0u);
+  EXPECT_EQ(p.runResult()->log.commPuts, 0u);
+  EXPECT_EQ(p.runResult()->log.commOnForks, 0u);
+  for (const pm::VariableBlame& row : p.blameReport()->rows)
+    EXPECT_EQ(row.remoteSamples(), 0u) << row.name;
+}
+
+TEST(MultiLocaleComm, MisdistributionShowsUpAsRemoteBlame) {
+  // The acceptance scenario: the Cyclic-distributed variant iterated in
+  // block chunks must show the position/force arrays dominated by remote
+  // blame; the Block-distributed twin shifts them back to local.
+  const MultiLocaleResult& bad = profiled4("minimd_badloc");
+  const MultiLocaleResult& good = profiled4("minimd_blockloc");
+  ASSERT_TRUE(bad.ok) << bad.error;
+  ASSERT_TRUE(good.ok) << good.error;
+  for (const char* name : {"Pos", "Force"}) {
+    const pm::VariableBlame* b = bad.aggregate.find(name);
+    const pm::VariableBlame* g = good.aggregate.find(name);
+    ASSERT_NE(b, nullptr) << name;
+    ASSERT_NE(g, nullptr) << name;
+    double badRemote = 100.0 * static_cast<double>(b->remoteSamples()) / b->sampleCount;
+    double goodRemote = 100.0 * static_cast<double>(g->remoteSamples()) / g->sampleCount;
+    EXPECT_GT(badRemote, 50.0) << name << " should be remote-dominated under Cyclic";
+    EXPECT_LT(goodRemote, 50.0) << name << " should be local-dominated under Block";
+    EXPECT_GT(badRemote, goodRemote) << name;
+  }
+}
+
+TEST(MultiLocaleComm, OnForksAreCountedPerLocale) {
+  // Every SPMD rank executes numSteps * numLocales `on` blocks, of which
+  // numLocales - 1 per step target a different locale and fork.
+  Profiler p;
+  p.options().run.numLocales = 4;
+  p.options().run.localeId = 1;
+  ASSERT_TRUE(p.profileFile(assetProgram("minimd_badloc"))) << p.lastError();
+  EXPECT_EQ(p.runResult()->log.commOnForks, 4u * 3u);  // numSteps=4, 3 remote targets
+  EXPECT_GT(p.runResult()->log.commGets, 0u);
+  EXPECT_GT(p.runResult()->log.commPuts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failing locales: ALL of them surface, completed reports are kept.
+// ---------------------------------------------------------------------------
+
+TEST(MultiLocaleErrors, AllFailuresSurfacedAndPartialReportsKept) {
+  // Locales 1 and 2 divide by zero; locales 0 and 3 complete. The result
+  // must name both failures (not just the first) and still aggregate the
+  // two completed locales.
+  std::string path = ::testing::TempDir() + "cb_multilocale_partial.chpl";
+  {
+    std::ofstream out(path);
+    out << "proc main() {\n"
+           "  var s = 0;\n"
+           "  for i in 0..#200 { s += i; }\n"
+           "  if here.id == 1 { var z = s / (here.id - 1); writeln(z); }\n"
+           "  if here.id == 2 { var z = s / (here.id - 2); writeln(z); }\n"
+           "  writeln(s);\n"
+           "}\n";
+  }
+  ProfileOptions o;
+  o.run.sampleThreshold = 101;  // the program is tiny; make sure it samples
+  MultiLocaleResult r = profileMultiLocale(path, 4, o);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.localeErrors.size(), 4u);
+  EXPECT_TRUE(r.localeErrors[0].empty()) << r.localeErrors[0];
+  EXPECT_FALSE(r.localeErrors[1].empty());
+  EXPECT_FALSE(r.localeErrors[2].empty());
+  EXPECT_TRUE(r.localeErrors[3].empty()) << r.localeErrors[3];
+  EXPECT_NE(r.error.find("locale 1"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("locale 2"), std::string::npos) << r.error;
+  // Completed locales keep their reports and drive the aggregate.
+  ASSERT_EQ(r.perLocale.size(), 4u);
+  EXPECT_FALSE(r.perLocale[0].rows.empty());
+  EXPECT_TRUE(r.perLocale[1].rows.empty());
+  EXPECT_TRUE(r.perLocale[2].rows.empty());
+  EXPECT_FALSE(r.perLocale[3].rows.empty());
+  pm::BlameReport expected = pm::aggregateAcrossLocales({&r.perLocale[0], &r.perLocale[3]});
+  EXPECT_EQ(r.aggregate, expected);
+}
+
+TEST(MultiLocaleErrors, TotalFailureAggregatesToEmpty) {
+  std::string path = ::testing::TempDir() + "cb_multilocale_allfail.chpl";
+  {
+    std::ofstream out(path);
+    out << "proc main() { var z = 1 / (numLocales - numLocales); writeln(z); }\n";
+  }
+  MultiLocaleResult r = profileMultiLocale(path, 3);
+  EXPECT_FALSE(r.ok);
+  for (const std::string& e : r.localeErrors) EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(r.aggregate.rows.empty());
+  EXPECT_EQ(r.aggregate.totalRawSamples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: comm and per-locale views at 4 locales, byte-pinned.
+// ---------------------------------------------------------------------------
+
+std::string goldenPath(const std::string& program, const char* view) {
+  return std::string(kGoldenDir) + "/" + program + "_" + view + "4.txt";
+}
+
+std::string renderComm(const MultiLocaleResult& r) {
+  return rpt::commView(r.aggregate, {1000, 0.0});  // all rows, no floor
+}
+
+std::string renderLocale(const MultiLocaleResult& r) {
+  return rpt::perLocaleView(r.perLocale, {1000, 0.0});
+}
+
+void checkGolden(const std::string& rendered, const std::string& path) {
+  if (test::g_updateGolden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path << "; run `cb_tests --update-golden`";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << "golden mismatch for " << path
+      << "; if intentional, regenerate with `cb_tests --update-golden`";
+}
+
+class MultiLocaleGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MultiLocaleGolden, CommViewMatchesFixture) {
+  const MultiLocaleResult& r = profiled4(GetParam());
+  ASSERT_TRUE(r.ok) << r.error;
+  checkGolden(renderComm(r), goldenPath(GetParam(), "comm"));
+}
+
+TEST_P(MultiLocaleGolden, PerLocaleViewMatchesFixture) {
+  const MultiLocaleResult& r = profiled4(GetParam());
+  ASSERT_TRUE(r.ok) << r.error;
+  checkGolden(renderLocale(r), goldenPath(GetParam(), "locale"));
+}
+
+TEST_P(MultiLocaleGolden, SequentialLocalesMatchFixture) {
+  // The locale pool must land on the same golden bytes as a fully
+  // sequential locale loop (the bit-identical acceptance bar, per program).
+  ProfileOptions o;
+  o.localeWorkers = 1;
+  MultiLocaleResult r = profileMultiLocale(assetProgram(GetParam()), 4, o);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ifstream in(goldenPath(GetParam(), "comm"), std::ios::binary);
+  if (test::g_updateGolden && !in) return;  // fixture being created by the twin test
+  ASSERT_TRUE(in) << "missing fixture " << goldenPath(GetParam(), "comm");
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(renderComm(r), expected.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, MultiLocaleGolden,
+                         ::testing::Values("minimd_badloc", "minimd_blockloc", "clomp"));
+
+}  // namespace
+}  // namespace cb

@@ -316,6 +316,83 @@ TEST(ParallelMerge, MergeOfOneIsIdentity) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-locale: the locale fan-out must be bit-identical for every pool
+// width and across repeated runs, and the aggregate must not depend on the
+// order the per-locale reports are merged in.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMultiLocale, WorkerCountAndRepetitionBitIdentical) {
+  auto runWith = [](uint32_t workers) {
+    ProfileOptions o;
+    o.localeWorkers = workers;
+    return profileMultiLocale(assetProgram("minimd_badloc"), 4, o);
+  };
+  MultiLocaleResult seq = runWith(1);
+  ASSERT_TRUE(seq.ok) << seq.error;
+  ASSERT_FALSE(seq.aggregate.rows.empty());
+  for (uint32_t workers : {2u, 4u}) {
+    MultiLocaleResult par = runWith(workers);
+    ASSERT_TRUE(par.ok) << par.error;
+    EXPECT_EQ(par.aggregate, seq.aggregate) << "workers=" << workers;
+    EXPECT_EQ(par.perLocale, seq.perLocale) << "workers=" << workers;
+  }
+  // Repetition: same pool width twice -> same bytes (no run-to-run jitter).
+  MultiLocaleResult again = runWith(4);
+  MultiLocaleResult again2 = runWith(4);
+  EXPECT_EQ(again.aggregate, again2.aggregate);
+  EXPECT_EQ(again.perLocale, again2.perLocale);
+}
+
+TEST(PropertyLocaleAggregate, PermutationInvariantWithCommSplit) {
+  // Real per-locale reports (with live remote GET/PUT splits) merged in
+  // every rotation and the full reversal: one aggregate, bit for bit —
+  // including the comm-split fields, not just the sample counts.
+  MultiLocaleResult r = profileMultiLocale(assetProgram("minimd_badloc"), 4);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::vector<const pm::BlameReport*> order = {&r.perLocale[0], &r.perLocale[1],
+                                               &r.perLocale[2], &r.perLocale[3]};
+  pm::BlameReport ref = pm::aggregateAcrossLocales(order);
+  EXPECT_EQ(ref, r.aggregate);
+  uint64_t remote = 0;
+  for (const pm::VariableBlame& row : ref.rows) remote += row.remoteSamples();
+  EXPECT_GT(remote, 0u) << "permutation test would be vacuous without remote blame";
+  for (int rot = 1; rot < 4; ++rot) {
+    std::rotate(order.begin(), order.begin() + 1, order.end());
+    EXPECT_EQ(pm::aggregateAcrossLocales(order), ref) << "rotation " << rot;
+  }
+  std::reverse(order.begin(), order.end());
+  EXPECT_EQ(pm::aggregateAcrossLocales(order), ref) << "reversal";
+}
+
+TEST(ParallelMerge, MergeSumsCommSplitFields) {
+  auto rowWith = [](uint64_t comp, uint64_t loc, uint64_t get, uint64_t put) {
+    pm::VariableBlame row;
+    row.name = "x";
+    row.type = "int";
+    row.context = "main";
+    row.computeSamples = comp;
+    row.localSamples = loc;
+    row.remoteGetSamples = get;
+    row.remotePutSamples = put;
+    row.sampleCount = comp + loc + get + put;
+    return row;
+  };
+  pm::BlameReport a, b;
+  a.totalUserSamples = a.totalRawSamples = 10;
+  a.rows = {rowWith(1, 2, 3, 4)};
+  b.totalUserSamples = b.totalRawSamples = 30;
+  b.rows = {rowWith(10, 20, 0, 0)};
+  pm::BlameReport merged = pm::aggregateAcrossLocales({&a, &b});
+  ASSERT_EQ(merged.rows.size(), 1u);
+  EXPECT_EQ(merged.rows[0].computeSamples, 11u);
+  EXPECT_EQ(merged.rows[0].localSamples, 22u);
+  EXPECT_EQ(merged.rows[0].remoteGetSamples, 3u);
+  EXPECT_EQ(merged.rows[0].remotePutSamples, 4u);
+  EXPECT_EQ(merged.rows[0].sampleCount, 40u);
+  EXPECT_EQ(merged.rows[0].remoteSamples(), 7u);
+}
+
+// ---------------------------------------------------------------------------
 // Property suite: random sample logs -> shard -> merge == sequential.
 // ---------------------------------------------------------------------------
 
