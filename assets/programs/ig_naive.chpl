@@ -1,0 +1,112 @@
+/* Index gather/scatter (naive) — the conveyors/bale "indexgather"
+   microbenchmark shape over one BLOCK- and one CYCLIC-distributed table.
+
+   Each locale walks its own contiguous window [lo, lo+chunk) and, per slot,
+   gathers a table element through a per-round rotated index, then scatters
+   an update back through a second rotation. Rotations are permutations of
+   the window, so every slot is read and written exactly once per round and
+   the final state is order-independent.
+
+   Window-local indices are owner-local under `dmapped Block`, so ABlk
+   traffic stays on-locale; under `dmapped Cyclic` the same indices land on
+   locale (i % numLocales), so nearly every ACyc access is a fine-grained
+   remote GET (gather) or PUT (scatter) — the pathology aggregators exist
+   for. Setup and checksum iterate in owner order (cyclic-strided for ACyc)
+   and touch nothing remote: all communication is in the kernels.
+
+   Compare ig_agg.chpl: identical kernels routed through SrcAggregator/
+   DstAggregator task intents, identical checksum.                        */
+
+config const tableSize = 512;
+config const numRounds = 16;
+
+const TBlk = {0..#tableSize} dmapped Block;
+const TCyc = {0..#tableSize} dmapped Cyclic;
+
+var ABlk: [TBlk] int;
+var ACyc: [TCyc] int;
+
+var GotBlk: [{0..#tableSize}] int;
+var GotCyc: [{0..#tableSize}] int;
+
+/* Owner-order initialization: ABlk in block windows, ACyc cyclic-strided,
+   so nothing here crosses locales. */
+proc initTables() {
+  const chunk = tableSize / numLocales;
+  for l in 0..#numLocales {
+    on Locales[l] {
+      const lo = l * chunk;
+      for k in lo..#chunk {
+        ABlk[k] = k * 3 + 1;
+        GotBlk[k] = 0;
+        GotCyc[k] = 0;
+      }
+      for m in 0..#chunk {
+        const c = m * numLocales + l;
+        ACyc[c] = c * 5 + 2;
+      }
+    }
+  }
+}
+
+/* Gather: read each table through the rotated window-local index. One
+   loop per table keeps the per-array blame clean. */
+proc gather(lo: int, hi: int, chunk: int, shift: int) {
+  forall k in lo..hi {
+    var t = k + shift;
+    if t > hi then t = t - chunk;
+    GotBlk[k] = ABlk[t];
+  }
+  forall k in lo..hi {
+    var t = k + shift;
+    if t > hi then t = t - chunk;
+    GotCyc[k] = ACyc[t];
+  }
+}
+
+/* Scatter: push updates back through a second rotation. */
+proc scatter(lo: int, hi: int, chunk: int, shift: int, round: int) {
+  forall k in lo..hi {
+    var t = k + shift;
+    if t > hi then t = t - chunk;
+    ABlk[t] = GotCyc[k] + round;
+  }
+  forall k in lo..hi {
+    var t = k + shift;
+    if t > hi then t = t - chunk;
+    ACyc[t] = GotBlk[k] + round;
+  }
+}
+
+proc run() {
+  const chunk = tableSize / numLocales;
+  for round in 0..#numRounds {
+    for l in 0..#numLocales {
+      on Locales[l] {
+        const lo = l * chunk;
+        const hi = lo + chunk - 1;
+        gather(lo, hi, chunk, (round * 3 + 1) % chunk);
+        scatter(lo, hi, chunk, (round * 5 + 2) % chunk, round);
+      }
+    }
+  }
+}
+
+proc main() {
+  initTables();
+  run();
+  var chk = 0;
+  const chunk = tableSize / numLocales;
+  for l in 0..#numLocales {
+    on Locales[l] {
+      const lo = l * chunk;
+      for k in lo..#chunk {
+        chk = chk + ABlk[k] + GotBlk[k] + GotCyc[k];
+      }
+      for m in 0..#chunk {
+        chk = chk + ACyc[m * numLocales + l];
+      }
+    }
+  }
+  writeln("IG checksum:", chk);
+}

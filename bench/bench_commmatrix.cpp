@@ -1,0 +1,106 @@
+// Comm-matrix / aggregator bench: the conveyors-style naive-vs-aggregated
+// index-gather pair at 4 simulated locales. Emits a single JSON object (for
+// the CI timing-smoke artifact) with the virtual-cycle totals of both
+// variants under both cost profiles, the exact transfer counters, the
+// hottest locale pairs, and the wall-clock time of the profiled runs. Exits
+// non-zero if aggregation fails to win by >= 3x or the twins' outputs
+// diverge — the bench doubles as an acceptance check.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct IgRun {
+  uint64_t cycles = 0;
+  uint64_t gets = 0, puts = 0, aggGets = 0, aggPuts = 0, flushes = 0;
+  double wallMs = 0.0;
+  std::string output;
+  std::map<uint64_t, uint64_t> matrix;
+};
+
+IgRun runIg(const char* program, bool fast) {
+  cb::Profiler p;
+  p.options().compile.fast = fast;
+  p.options().run.fastCostProfile = fast;
+  // One worker stream and a non-zero rank: remote latency lands undiluted
+  // on the critical path, the regime the aggregation ratio is defined in.
+  p.options().run.numLocales = 4;
+  p.options().run.localeId = 1;
+  p.options().run.numWorkers = 1;
+  p.options().run.configOverrides["hereId"] = "1";
+  auto t0 = Clock::now();
+  if (!p.profileFile(cb::assetProgram(program))) {
+    std::fprintf(stderr, "bench: profiling %s failed:\n%s\n", program, p.lastError().c_str());
+    std::exit(1);
+  }
+  auto t1 = Clock::now();
+  const cb::sampling::RunLog& log = p.runResult()->log;
+  IgRun r;
+  r.cycles = p.runResult()->totalCycles;
+  r.gets = log.commGets;
+  r.puts = log.commPuts;
+  r.aggGets = log.commAggGets;
+  r.aggPuts = log.commAggPuts;
+  r.flushes = log.commAggFlushes;
+  r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.output = p.runResult()->output;
+  for (const auto& [key, count] : log.commMatrix) r.matrix[key] = count;
+  return r;
+}
+
+void emitVariant(const char* label, const IgRun& naive, const IgRun& agg, bool last) {
+  double ratio = agg.cycles ? static_cast<double>(naive.cycles) / agg.cycles : 0.0;
+  std::printf("  \"%s\": {\n", label);
+  std::printf("    \"naive_cycles\": %llu,\n", (unsigned long long)naive.cycles);
+  std::printf("    \"agg_cycles\": %llu,\n", (unsigned long long)agg.cycles);
+  std::printf("    \"ratio\": %.3f,\n", ratio);
+  std::printf("    \"naive_gets\": %llu, \"naive_puts\": %llu,\n",
+              (unsigned long long)naive.gets, (unsigned long long)naive.puts);
+  std::printf("    \"agg_gets\": %llu, \"agg_puts\": %llu, \"agg_flushes\": %llu,\n",
+              (unsigned long long)agg.aggGets, (unsigned long long)agg.aggPuts,
+              (unsigned long long)agg.flushes);
+  std::printf("    \"naive_wall_ms\": %.1f, \"agg_wall_ms\": %.1f\n", naive.wallMs,
+              agg.wallMs);
+  std::printf("  }%s\n", last ? "" : ",");
+  if (ratio < 3.0) {
+    std::fprintf(stderr, "bench: %s aggregation ratio %.2fx is below the 3x acceptance bar\n",
+                 label, ratio);
+    std::exit(1);
+  }
+  if (naive.output != agg.output) {
+    std::fprintf(stderr, "bench: %s naive/agg outputs diverge:\n%s\nvs\n%s\n", label,
+                 naive.output.c_str(), agg.output.c_str());
+    std::exit(1);
+  }
+  if (agg.matrix != naive.matrix) {
+    std::fprintf(stderr, "bench: %s naive/agg comm matrices diverge\n", label);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  IgRun naiveStd = runIg("ig_naive", false);
+  IgRun aggStd = runIg("ig_agg", false);
+  IgRun naiveFast = runIg("ig_naive", true);
+  IgRun aggFast = runIg("ig_agg", true);
+
+  std::printf("{\n");
+  emitVariant("standard", naiveStd, aggStd, false);
+  emitVariant("fast", naiveFast, aggFast, false);
+  // The hottest locale pairs of the naive run (identical for the agg twin,
+  // asserted above): the scatter structure the commmatrix view renders.
+  std::printf("  \"hot_pairs\": [");
+  size_t i = 0;
+  for (const auto& [key, count] : naiveStd.matrix) {
+    std::printf("%s{\"src\": %d, \"dst\": %d, \"elements\": %llu}", i++ ? ", " : "",
+                cb::sampling::RunLog::pairSrc(key), cb::sampling::RunLog::pairDst(key),
+                (unsigned long long)count);
+  }
+  std::printf("]\n}\n");
+  return 0;
+}

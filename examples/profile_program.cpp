@@ -26,7 +26,7 @@ void usage() {
       "  --workers N           worker streams (default 12)\n"
       "  --pm-workers N        post-mortem worker threads (0 = hardware, 1 = sequential)\n"
       "  --config K=V          override a config const (repeatable)\n"
-      "  --view V              data|code|pprof|hybrid|gui|baseline|csv|comm|locale\n"
+      "  --view V              data|code|pprof|hybrid|gui|baseline|csv|comm|commmatrix|locale\n"
       "                        (default data; locale requires --locales N)\n"
       "  --skid N              simulate PMU skid of N instructions\n"
       "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
@@ -126,6 +126,8 @@ int main(int argc, char** argv) {
     }
     if (view == "comm") {
       std::cout << cb::rpt::commView(ml.aggregate, profiler.options().view);
+    } else if (view == "commmatrix") {
+      std::cout << cb::rpt::commMatrixView(ml.aggregate, profiler.options().view);
     } else if (view == "locale") {
       std::cout << cb::rpt::perLocaleView(ml.perLocale, profiler.options().view);
     } else {
@@ -159,6 +161,8 @@ int main(int argc, char** argv) {
   else if (view == "csv") std::cout << cb::rpt::dataCentricCsv(*profiler.blameReport());
   else if (view == "comm") std::cout << cb::rpt::commView(*profiler.blameReport(),
                                                           profiler.options().view);
+  else if (view == "commmatrix") std::cout << cb::rpt::commMatrixView(*profiler.blameReport(),
+                                                                      profiler.options().view);
   else {
     usage();
     return 2;

@@ -57,6 +57,10 @@ WriteSummary computeWriteSummary(const ir::Module& m, bool referenceFixpoint) {
                  (in.extra.builtin == ir::BuiltinKind::ArrayFill ||
                   in.extra.builtin == ir::BuiltinKind::ArrayCopy)) {
         markDirect(f, fn, in.ops[0]);
+      } else if (in.op == Opcode::Builtin && in.extra.builtin == ir::BuiltinKind::AggCopy) {
+        // agg.copy writes its destination operand (element address in the
+        // Src form, destination array in the Dst form — ops[1] either way).
+        markDirect(f, fn, in.ops[1]);
       } else if (in.op == Opcode::ArrayView) {
         // Descriptor writes (domain remapping) count as IR-level writes.
         markDirect(f, fn, in.ops[0]);
@@ -337,6 +341,21 @@ class FunctionAnalyzer {
               // Note: ArrayCopy is an element-wise value copy, so the
               // destination inherits the source explicitly (not an alias).
               writes_.push_back(w);
+            } else if (in.extra.builtin == ir::BuiltinKind::AggCopy) {
+              // Buffered agg.copy: ops[1] is the destination in both forms;
+              // the copied value flows from the remaining operands (source
+              // array + index, or index + source value).
+              EntityKey k = resolveKey(in.ops[1]);
+              if (k.root == RootKind::Unknown) break;
+              for (int sop = 2; sop <= 3; ++sop) {
+                WriteRec w;
+                w.instr = id;
+                w.block = b;
+                w.target = entityOf(k);
+                w.slice = &sliceOf2(in.ops[sop]);
+                if (in.ops[1].kind == ValueRef::Kind::Reg) w.addrSlice = &sliceOf(in.ops[1].reg);
+                writes_.push_back(w);
+              }
             }
             break;
           }

@@ -111,6 +111,16 @@ struct LoopHead {
   bool zipped = false;
 };
 
+/// A simulated aggregator task intent on a forall/coforall:
+///   `with (var agg = new SrcAggregator(int), ...)`.
+/// Each intent gives every task a private buffered-copy channel; the body
+/// issues `agg.copy(dst, src)` calls against it.
+struct AggIntent {
+  std::string name;   // the per-task binding, e.g. `agg`
+  bool isSrc = true;  // SrcAggregator (remote reads) vs DstAggregator (writes)
+  SourceLoc loc;
+};
+
 struct WhenClause {
   std::vector<ExprPtr> values;  // the `when v1, v2` match values
   std::vector<StmtPtr> body;
@@ -142,7 +152,8 @@ struct Stmt {
 
   // Loops.
   LoopHead head;
-  int64_t paramLo = 0, paramHi = 0;  // ForParam bounds (literal)
+  std::vector<AggIntent> aggIntents;  // Forall/Coforall `with (...)` clause
+  int64_t paramLo = 0, paramHi = 0;   // ForParam bounds (literal)
 
   explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
 };

@@ -41,6 +41,8 @@ const char* tokName(Tok t) {
     case Tok::KwOtherwise: return "'otherwise'";
     case Tok::KwOn: return "'on'";
     case Tok::KwDmapped: return "'dmapped'";
+    case Tok::KwWith: return "'with'";
+    case Tok::KwNew: return "'new'";
     case Tok::LBrace: return "'{'";
     case Tok::RBrace: return "'}'";
     case Tok::LParen: return "'('";
@@ -95,6 +97,7 @@ const std::unordered_map<std::string, Tok>& keywords() {
       {"reduce", Tok::KwReduce},   {"select", Tok::KwSelect},
       {"when", Tok::KwWhen},       {"otherwise", Tok::KwOtherwise},
       {"on", Tok::KwOn},           {"dmapped", Tok::KwDmapped},
+      {"with", Tok::KwWith},       {"new", Tok::KwNew},
   };
   return kw;
 }

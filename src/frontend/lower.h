@@ -138,6 +138,16 @@ class Lowerer {
   TypedValue lowerBinary(const Expr& e);
   TypedValue lowerCall(const Expr& e);
   TypedValue lowerMethodCall(const Expr& e);
+  /// One `agg.copy(dst, src)` against an active aggregator intent: the
+  /// remote leg is lowered as (array value, index value) operands so the
+  /// engines can buffer it instead of charging the naive per-element
+  /// latency through IndexAddr.
+  struct AggBinding {
+    ir::ValueRef slot;      // alloca holding the AggOpen handle
+    bool isSrc = true;
+    size_t ctxDepth = 0;    // ctxStack_ depth of the owning task function
+  };
+  TypedValue lowerAggCopy(const Expr& e, const AggBinding& ab);
   TypedValue lowerIndexExpr(const Expr& e);
   /// Inserts int->real conversion when needed; diagnoses other mismatches.
   ir::ValueRef coerce(TypedValue v, ir::TypeId want, SourceLoc loc);
@@ -171,6 +181,9 @@ class Lowerer {
   std::unordered_map<std::string, const TypeExpr*> typeAliases_;
 
   std::vector<std::unique_ptr<FnCtx>> ctxStack_;
+  /// Aggregator intents currently in scope (name -> handle binding); keyed
+  /// per name with shadowing handled by save/restore in lowerParallel.
+  std::unordered_map<std::string, AggBinding> aggBindings_;
   uint32_t tempCounter_ = 0;
   uint32_t taskFnCounter_ = 0;
 };

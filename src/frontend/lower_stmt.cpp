@@ -563,8 +563,10 @@ void Lowerer::lowerParallel(const Stmt& s) {
     return;
   }
 
-  // Free variables of the body (minus the loop indices) become ref captures.
+  // Free variables of the body (minus the loop indices and aggregator
+  // intents) become ref captures.
   std::set<std::string> bound(s.head.indexNames.begin(), s.head.indexNames.end());
+  for (const AggIntent& ai : s.aggIntents) bound.insert(ai.name);
   std::vector<std::string> captures;
   for (const StmtPtr& c : s.body) collectFreeVarsStmt(*c, bound, captures);
 
@@ -674,6 +676,23 @@ void Lowerer::lowerParallel(const Stmt& s) {
     bind(cp.name, Binding{Binding::Kind::VarAddr, ValueRef::makeArg(cp.argIdx), cp.type});
   }
 
+  // Simulated aggregator intents: open one per-task buffer before the chunk
+  // loop and close (flushing) after it, LIFO. The handle lives in a local
+  // slot so `agg.copy` can load it anywhere in the body.
+  std::vector<std::pair<std::string, AggBinding>> shadowedAggs;
+  for (const AggIntent& ai : s.aggIntents) {
+    b().setLoc(ai.loc);
+    ValueRef h = b().builtin(ir::BuiltinKind::AggOpen,
+                             {ValueRef::makeInt(ai.isSrc ? 1 : 0)}, types.intTy());
+    ir::DebugVarId dv = makeDebugVar(ai.name, types.intTy(), ir::VarKind::Local, ai.loc, taskId);
+    ValueRef slot = b().alloca_(types.intTy(), dv);
+    b().store(h, slot);
+    auto prev = aggBindings_.find(ai.name);
+    if (prev != aggBindings_.end()) shadowedAggs.emplace_back(ai.name, prev->second);
+    aggBindings_[ai.name] = AggBinding{slot, ai.isSrc, ctxStack_.size()};
+  }
+  b().setLoc(s.loc);
+
   ValueRef lo = ValueRef::makeArg(0);
   ValueRef hi = ValueRef::makeArg(1);
   emitCountedLoop(lo, hi, s.loc, [&](ValueRef idx) {
@@ -728,6 +747,13 @@ void Lowerer::lowerParallel(const Stmt& s) {
     lowerStmts(s.body);
     popScope();
   });
+
+  for (auto rit = s.aggIntents.rbegin(); rit != s.aggIntents.rend(); ++rit) {
+    ValueRef slot = aggBindings_[rit->name].slot;
+    b().builtin(ir::BuiltinKind::AggClose, {b().load(slot, types.intTy())}, types.voidTy());
+    aggBindings_.erase(rit->name);
+  }
+  for (auto& [nm, bnd] : shadowedAggs) aggBindings_[nm] = bnd;
 
   popScope();
   popFnCtxAndCommit();
@@ -1183,6 +1209,12 @@ Lowerer::TypedValue Lowerer::lowerCall(const Expr& e) {
 
 Lowerer::TypedValue Lowerer::lowerMethodCall(const Expr& e) {
   ir::TypeContext& types = mod_.types();
+  // `agg.copy(a, b)` against an active aggregator intent: the base name is
+  // not an ordinary variable, so intercept before lowering it as a value.
+  if (e.strVal == "copy" && e.args.size() == 3 && e.args[0]->kind == ExprKind::Ident) {
+    auto ab = aggBindings_.find(e.args[0]->strVal);
+    if (ab != aggBindings_.end()) return lowerAggCopy(e, ab->second);
+  }
   TypedValue base = lowerExpr(*e.args[0]);
   TypeKind k = types.kindOf(base.type);
   if (k == TypeKind::Domain) {
@@ -1232,6 +1264,54 @@ Lowerer::TypedValue Lowerer::lowerMethodCall(const Expr& e) {
   }
   error(e.loc, "unknown method '" + e.strVal + "' on this type");
   return makeError(e.loc);
+}
+
+Lowerer::TypedValue Lowerer::lowerAggCopy(const Expr& e, const AggBinding& ab) {
+  ir::TypeContext& types = mod_.types();
+  if (ab.ctxDepth != ctxStack_.size()) {
+    error(e.loc, "aggregator '" + e.args[0]->strVal + "' used outside its loop body");
+    return makeError(e.loc);
+  }
+  ValueRef handle = b().load(ab.slot, types.intTy());
+  // The aggregated (remote) leg must be a 1-D element A[i]; it is passed as
+  // separate (array value, index value) operands — NOT through IndexAddr —
+  // so the engines classify and buffer it instead of charging the naive
+  // per-element remote latency.
+  auto lowerRemoteLeg = [&](const Expr& le, ValueRef& arrV, ValueRef& idxV,
+                            ir::TypeId& elemTy) -> bool {
+    if (le.kind != ExprKind::Index || le.args.size() != 2) {
+      error(le.loc, "the aggregated side of agg.copy must be an array element A[i]");
+      return false;
+    }
+    TypedValue abase = lowerExpr(*le.args[0]);
+    if (types.kindOf(abase.type) != TypeKind::Array || types.get(abase.type).rank != 1) {
+      error(le.loc, "agg.copy expects a 1-D array element");
+      return false;
+    }
+    arrV = abase.v;
+    idxV = coerce(lowerExpr(*le.args[1]), types.intTy(), le.loc);
+    elemTy = types.get(abase.type).elem;
+    return true;
+  };
+  ValueRef arrV, idxV;
+  ir::TypeId elemTy = ir::kInvalidType;
+  if (ab.isSrc) {
+    // agg.copy(dst, A[i]): buffered remote read of A[i] into local dst.
+    LValue dst = lowerLValue(*e.args[1]);
+    if (!dst.valid) return makeError(e.loc);
+    if (!lowerRemoteLeg(*e.args[2], arrV, idxV, elemTy)) return makeError(e.loc);
+    if (dst.type != elemTy) {
+      error(e.loc, "agg.copy destination type does not match the element type");
+      return makeError(e.loc);
+    }
+    b().builtin(ir::BuiltinKind::AggCopy, {handle, dst.addr, arrV, idxV}, types.voidTy());
+  } else {
+    // agg.copy(A[i], src): buffered remote write of src into A[i].
+    if (!lowerRemoteLeg(*e.args[1], arrV, idxV, elemTy)) return makeError(e.loc);
+    ValueRef srcV = coerce(lowerExpr(*e.args[2]), elemTy, e.loc);
+    b().builtin(ir::BuiltinKind::AggCopy, {handle, arrV, idxV, srcV}, types.voidTy());
+  }
+  return {ValueRef::makeInt(0), types.intTy()};
 }
 
 Lowerer::TypedValue Lowerer::lowerIndexExpr(const Expr& e) {

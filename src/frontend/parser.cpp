@@ -386,6 +386,40 @@ StmtPtr Parser::parseForLike(StmtKind kind) {
   } else {
     s->head = parseLoopHead();
   }
+  // Optional aggregator task intents on parallel loops:
+  //   forall i in D with (var agg = new SrcAggregator(int)) { ... }
+  if ((kind == StmtKind::Forall || kind == StmtKind::Coforall) && accept(Tok::KwWith)) {
+    expect(Tok::LParen, "after with");
+    do {
+      AggIntent intent;
+      intent.loc = cur().loc;
+      expect(Tok::KwVar, "in with clause");
+      intent.name = expect(Tok::Ident, "aggregator name").text;
+      expect(Tok::Assign, "in with clause");
+      expect(Tok::KwNew, "in with clause");
+      std::string ctor = expect(Tok::Ident, "aggregator type").text;
+      if (ctor == "SrcAggregator") {
+        intent.isSrc = true;
+      } else if (ctor == "DstAggregator") {
+        intent.isSrc = false;
+      } else {
+        error("expected SrcAggregator or DstAggregator");
+      }
+      // The element-type argument list is accepted and ignored: the
+      // simulation is untyped, so `(int)` is documentation.
+      if (accept(Tok::LParen)) {
+        int depth = 1;
+        while (depth > 0 && !check(Tok::Eof)) {
+          if (check(Tok::LParen)) ++depth;
+          else if (check(Tok::RParen)) --depth;
+          if (depth > 0) advance();
+        }
+        expect(Tok::RParen, "to close aggregator arguments");
+      }
+      s->aggIntents.push_back(std::move(intent));
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close with clause");
+  }
   s->body = parseBlock();
   return s;
 }

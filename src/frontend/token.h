@@ -19,7 +19,7 @@ enum class Tok : uint8_t {
   KwConfig, KwConst, KwVar, KwRecord, KwProc, KwRef, KwIn, KwIf, KwThen,
   KwElse, KwWhile, KwFor, KwForall, KwCoforall, KwParam, KwReturn, KwZip,
   KwTrue, KwFalse, KwDomain, KwUse, KwType, KwReduce, KwSelect, KwWhen, KwOtherwise,
-  KwOn, KwDmapped,
+  KwOn, KwDmapped, KwWith, KwNew,
 
   // Punctuation / operators.
   LBrace, RBrace, LParen, RParen, LBracket, RBracket,

@@ -124,6 +124,13 @@ enum class BuiltinKind : uint8_t {
   OnEnd,       // pop the locale pushed by the matching OnBegin
   HereId,      // -> Int: the current locale id (`here.id`)
   NumLocales,  // -> Int: the simulated locale count (`numLocales`)
+
+  // Remote-access aggregation (simulated Src/DstAggregator task intents).
+  AggOpen,     // ops: [isSrc] -> Int handle; opens a per-task aggregator
+  AggCopy,     // ops: [handle, a, b, c] — one agg.copy(). Src form: a = dst
+               // element address, (b, c) = source array + index. Dst form:
+               // (a, b) = destination array + index, c = source value.
+  AggClose,    // ops: [handle] — flush all buffered peers, close
 };
 
 /// One instruction. Result registers are identified by the instruction's own

@@ -87,6 +87,9 @@ const char* builtinName(BuiltinKind k) {
     case BuiltinKind::OnEnd: return "onend";
     case BuiltinKind::HereId: return "hereid";
     case BuiltinKind::NumLocales: return "numlocales";
+    case BuiltinKind::AggOpen: return "aggopen";
+    case BuiltinKind::AggCopy: return "aggcopy";
+    case BuiltinKind::AggClose: return "aggclose";
   }
   return "?";
 }

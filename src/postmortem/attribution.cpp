@@ -1,6 +1,7 @@
 #include "postmortem/attribution.h"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,12 +35,25 @@ struct AttrKey {
 };
 
 /// Per-key sample tally, split by the sample's comm classification
-/// (sampling::AccessKind) — index order None/Local/RemoteGet/RemotePut.
+/// (sampling::AccessKind) — index order None/Local/RemoteGet/RemotePut —
+/// plus the sparse locale-pair tally of the remote kinds (pairKey -> count;
+/// a sorted map so emission order is deterministic).
 struct AttrCounts {
   uint64_t byKind[4] = {0, 0, 0, 0};
+  std::map<uint64_t, uint64_t> cells;
 
   uint64_t total() const { return byKind[0] + byKind[1] + byKind[2] + byKind[3]; }
 };
+
+/// Renders a sparse pairKey->count map as the sorted CommCell vector the
+/// report structures carry.
+std::vector<CommCell> cellsOf(const std::map<uint64_t, uint64_t>& m) {
+  std::vector<CommCell> out;
+  out.reserve(m.size());
+  for (const auto& [k, n] : m)
+    out.push_back(CommCell{sampling::RunLog::pairSrc(k), sampling::RunLog::pairDst(k), n});
+  return out;
+}
 
 struct AttrKeyHash {
   size_t operator()(const AttrKey& k) const {
@@ -108,9 +122,20 @@ class Attributor {
           blameOne(inst, fi, fb, e, {});
       }
       // Each blamed key absorbs one sample, tallied under the sample's comm
-      // classification so finish() can emit the compute/local/remote split.
+      // classification so finish() can emit the compute/local/remote split;
+      // remote samples also land in the blamed variables' locale-pair cells
+      // and (once per sample) in the report-global matrix.
       size_t kind = static_cast<size_t>(inst.accessKind);
-      for (const AttrKey& key : perSample_) ++agg_[key].byKind[kind];
+      bool remote = inst.accessKind == sampling::AccessKind::RemoteGet ||
+                    inst.accessKind == sampling::AccessKind::RemotePut;
+      uint64_t pk =
+          remote ? sampling::RunLog::pairKey(inst.srcLocale, inst.dstLocale) : 0;
+      if (remote) ++totalComm_[pk];
+      for (const AttrKey& key : perSample_) {
+        AttrCounts& ac = agg_[key];
+        ++ac.byKind[kind];
+        if (remote) ++ac.cells[pk];
+      }
     }
     return finish();
   }
@@ -252,12 +277,14 @@ class Attributor {
       row.localSamples = counts.byKind[1];
       row.remoteGetSamples = counts.byKind[2];
       row.remotePutSamples = counts.byKind[3];
+      row.commMatrix = cellsOf(counts.cells);
       row.sampleCount = counts.total();
       row.percent = report_.totalUserSamples
                         ? 100.0 * static_cast<double>(row.sampleCount) / report_.totalUserSamples
                         : 0.0;
       report_.rows.push_back(std::move(row));
     }
+    report_.totalComm = cellsOf(totalComm_);
     std::sort(report_.rows.begin(), report_.rows.end(), blameRowLess);
     return std::move(report_);
   }
@@ -273,6 +300,7 @@ class Attributor {
   std::vector<std::optional<std::vector<AttrKey>>> aliasKeys_;      // per global
   std::unordered_set<AttrKey, AttrKeyHash> perSample_;
   std::unordered_map<AttrKey, AttrCounts, AttrKeyHash> agg_;
+  std::map<uint64_t, uint64_t> totalComm_;  // once-per-remote-sample pairs
   int depth_ = 0;
 };
 
@@ -324,13 +352,24 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
   // per distinct string rather than concatenated per row.
   StringInterner syms;
   std::unordered_map<AttrKey, VariableBlame, AttrKeyHash> agg;
+  // Comm matrices merge sparsely through keyed maps: only cells that are
+  // actually present in some input are ever touched, so a 64-locale run
+  // with 3 communicating pairs costs 3 cells, not 64x64.
+  std::unordered_map<AttrKey, std::map<uint64_t, uint64_t>, AttrKeyHash> aggCells;
+  std::map<uint64_t, uint64_t> totalCells;
+  auto mergeCells = [](std::map<uint64_t, uint64_t>& into, const std::vector<CommCell>& cells) {
+    for (const CommCell& c : cells)
+      into[sampling::RunLog::pairKey(c.src, c.dst)] += c.samples;
+  };
   for (const BlameReport* r : perLocale) {
     if (!r) continue;
     out.totalUserSamples += r->totalUserSamples;
     out.totalRawSamples += r->totalRawSamples;
+    mergeCells(totalCells, r->totalComm);
     for (const VariableBlame& row : r->rows) {
       AttrKey key{syms.intern(row.context).id(), syms.intern(row.name).id(),
                   syms.intern(row.type).id()};
+      mergeCells(aggCells[key], row.commMatrix);
       auto [it, inserted] = agg.emplace(key, row);
       if (!inserted) {
         it->second.sampleCount += row.sampleCount;
@@ -346,8 +385,10 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
     row.percent = out.totalUserSamples
                       ? 100.0 * static_cast<double>(row.sampleCount) / out.totalUserSamples
                       : 0.0;
+    row.commMatrix = cellsOf(aggCells[key]);
     out.rows.push_back(std::move(row));
   }
+  out.totalComm = cellsOf(totalCells);
   std::sort(out.rows.begin(), out.rows.end(), blameRowLess);
   return out;
 }

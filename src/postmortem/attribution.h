@@ -12,6 +12,18 @@
 
 namespace cb::pm {
 
+/// One cell of a sparse locale-pair communication matrix: `samples` remote
+/// samples crossed from executing locale `src` to owning locale `dst`.
+/// Matrices are stored as vectors sorted by (src, dst) with no zero cells,
+/// so merges and comparisons are order-stable at any locale count.
+struct CommCell {
+  int32_t src = 0;
+  int32_t dst = 0;
+  uint64_t samples = 0;
+
+  friend bool operator==(const CommCell&, const CommCell&) = default;
+};
+
 struct VariableBlame {
   std::string name;      // "Pos", "->partArray[i].zoneArray[j].value", ...
   std::string type;      // Chapel-style type display
@@ -26,6 +38,11 @@ struct VariableBlame {
   uint64_t localSamples = 0;
   uint64_t remoteGetSamples = 0;
   uint64_t remotePutSamples = 0;
+
+  /// Sparse per-variable locale-pair matrix: how this variable's remote
+  /// samples distribute over (executing, owning) locale pairs. Sorted by
+  /// (src, dst), zero cells omitted; cell samples sum to remoteSamples().
+  std::vector<CommCell> commMatrix;
 
   uint64_t remoteSamples() const { return remoteGetSamples + remotePutSamples; }
 
@@ -42,6 +59,11 @@ bool blameRowLess(const VariableBlame& a, const VariableBlame& b);
 struct BlameReport {
   uint64_t totalUserSamples = 0;  // denominator for percentages
   uint64_t totalRawSamples = 0;   // including idle/runtime samples
+  /// Global locale-pair matrix over remote *user samples* (each remote
+  /// sample counts exactly once, independent of how many variables it
+  /// blames — per-variable rows overlap and cannot be summed for this).
+  /// Sparse, sorted by (src, dst).
+  std::vector<CommCell> totalComm;
   std::vector<VariableBlame> rows;  // sorted by blameRowLess
 
   /// Finds a row by display name (first match); nullptr if absent.

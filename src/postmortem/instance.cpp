@@ -27,6 +27,8 @@ Instance consolidateSample(const ir::Module& m, const sampling::RunLog& log,
   Instance inst;
   inst.stream = s.stream;
   inst.accessKind = s.accessKind;
+  inst.srcLocale = s.srcLocale;
+  inst.dstLocale = s.dstLocale;
   if (s.runtimeFrame != sampling::RuntimeFrameKind::None) {
     inst.idle = true;
     inst.runtimeFrame = s.runtimeFrame;

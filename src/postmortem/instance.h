@@ -30,8 +30,12 @@ struct Instance {
   bool idle = false;
   sampling::RuntimeFrameKind runtimeFrame = sampling::RuntimeFrameKind::None;
   /// Comm classification carried over from the raw sample (PGAS): what kind
-  /// of array access the stream had most recently resolved at overflow time.
+  /// of array access the stream had most recently resolved at overflow time,
+  /// and — for remote kinds — which locale pair it crossed (src = executing
+  /// locale, dst = owning locale; both 0 otherwise).
   sampling::AccessKind accessKind = sampling::AccessKind::None;
+  int32_t srcLocale = 0;
+  int32_t dstLocale = 0;
 
   friend bool operator==(const Instance&, const Instance&) = default;
 };

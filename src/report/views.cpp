@@ -173,6 +173,102 @@ std::string commView(const pm::BlameReport& report, const ViewOptions& opts) {
   return out.str();
 }
 
+std::string commMatrixView(const pm::BlameReport& report, const ViewOptions& opts) {
+  std::ostringstream out;
+  out << "Comm matrix view — " << report.totalUserSamples << " user samples ("
+      << report.totalRawSamples << " total)\n";
+  if (report.totalComm.empty()) {
+    out << "(no remote communication sampled)\n";
+    return out.str();
+  }
+
+  // Active locales only: a 64-locale run where 3 pairs communicate renders
+  // a grid over the handful of locales that appear, never L×L.
+  std::set<int32_t> act;
+  uint64_t maxCell = 0, totalRemote = 0;
+  std::map<std::pair<int32_t, int32_t>, uint64_t> cells;
+  for (const pm::CommCell& c : report.totalComm) {
+    act.insert(c.src);
+    act.insert(c.dst);
+    maxCell = std::max(maxCell, c.samples);
+    totalRemote += c.samples;
+    cells[{c.src, c.dst}] = c.samples;
+  }
+  std::vector<int32_t> locs(act.begin(), act.end());
+  out << "Global src->dst remote samples — " << totalRemote << " across " << cells.size()
+      << " locale pair(s), " << locs.size() << " active locale(s)\n";
+
+  // Heat grid: one glyph per cell, ramp scaled to the hottest cell.
+  static const char kRamp[] = " .:-=+*#%@";
+  char buf[32];
+  out << "      ";
+  for (int32_t d : locs) {
+    std::snprintf(buf, sizeof buf, "%4d", d);
+    out << buf;
+  }
+  out << "  (dst)\n";
+  for (int32_t s : locs) {
+    std::snprintf(buf, sizeof buf, "%5d ", s);
+    out << buf;
+    for (int32_t d : locs) {
+      auto it = cells.find({s, d});
+      char g = ' ';
+      if (it != cells.end() && it->second > 0)
+        g = kRamp[1 + static_cast<size_t>((it->second - 1) * 8 / maxCell)];
+      out << "   " << g;
+    }
+    out << "\n";
+  }
+
+  // Hottest cells, numerically.
+  std::vector<pm::CommCell> top(report.totalComm);
+  std::sort(top.begin(), top.end(), [](const pm::CommCell& a, const pm::CommCell& b) {
+    if (a.samples != b.samples) return a.samples > b.samples;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  TextTable t({"Src", "Dst", "Samples", "Share"});
+  for (size_t i = 0; i < top.size() && i < opts.maxRows; ++i) {
+    const pm::CommCell& c = top[i];
+    t.addRow({std::to_string(c.src), std::to_string(c.dst), std::to_string(c.samples),
+              formatFixed(totalRemote ? 100.0 * static_cast<double>(c.samples) / totalRemote : 0.0,
+                          1) +
+                  "%"});
+  }
+  out << "\nHottest cells\n" << t.render();
+
+  // Per-variable hot cells: remote-heavy variables first (same order as the
+  // comm view), each with its top pairs inline.
+  std::vector<const pm::VariableBlame*> rows;
+  for (const pm::VariableBlame& row : report.rows)
+    if (!row.commMatrix.empty()) rows.push_back(&row);
+  std::sort(rows.begin(), rows.end(), [](const pm::VariableBlame* a, const pm::VariableBlame* b) {
+    if (a->remoteSamples() != b->remoteSamples()) return a->remoteSamples() > b->remoteSamples();
+    return pm::blameRowLess(*a, *b);
+  });
+  TextTable v({"Name", "Remote", "Hot cells (src->dst:samples)", "Context"});
+  size_t shown = 0;
+  for (const pm::VariableBlame* row : rows) {
+    if (shown++ >= opts.maxRows) break;
+    std::vector<pm::CommCell> vc(row->commMatrix);
+    std::sort(vc.begin(), vc.end(), [](const pm::CommCell& a, const pm::CommCell& b) {
+      if (a.samples != b.samples) return a.samples > b.samples;
+      if (a.src != b.src) return a.src < b.src;
+      return a.dst < b.dst;
+    });
+    std::string hot;
+    for (size_t i = 0; i < vc.size() && i < 3; ++i) {
+      if (i) hot += ", ";
+      hot += std::to_string(vc[i].src) + "->" + std::to_string(vc[i].dst) + ":" +
+             std::to_string(vc[i].samples);
+    }
+    if (vc.size() > 3) hot += ", +" + std::to_string(vc.size() - 3) + " more";
+    v.addRow({row->name, std::to_string(row->remoteSamples()), hot, row->context});
+  }
+  out << "\nPer-variable hot cells\n" << v.render();
+  return out.str();
+}
+
 std::string perLocaleView(const std::vector<pm::BlameReport>& perLocale,
                           const ViewOptions& opts) {
   TextTable t({"Locale", "User", "Raw", "Local", "RemoteGet", "RemotePut", "Top remote variable"});

@@ -64,6 +64,12 @@ std::string hybridView(const pm::BlameReport& report, const ViewOptions& opts = 
 /// (high remote share) stand out even when total blame is similar.
 std::string commView(const pm::BlameReport& report, const ViewOptions& opts = {});
 
+/// Comm-matrix view: the global locale×locale remote-sample matrix as a
+/// heat-style text grid over the locales that actually communicate, the
+/// hottest (src, dst) cells, and each remote-heavy variable's top cells —
+/// the per-variable scatter/gather structure the aggregator story hinges on.
+std::string commMatrixView(const pm::BlameReport& report, const ViewOptions& opts = {});
+
 /// Per-locale view: one summary row per locale (sample totals plus the
 /// locale's comm mix aggregated over its blamed variables), followed by the
 /// top remote-heavy variable of each locale. `perLocale` uses one report per

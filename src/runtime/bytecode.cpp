@@ -558,6 +558,15 @@ struct Analyzer {
             bail();
             setVC(i, VC{VC::Vary, 0});
             break;
+          case BuiltinKind::AggOpen:
+          case BuiltinKind::AggCopy:
+          case BuiltinKind::AggClose:
+            // Aggregator buffers are per-task mutable runtime state whose
+            // flush points depend on copy order: keep such regions
+            // sequential so replay stays deterministic.
+            bail();
+            setVC(i, VC{VC::Vary, 0});
+            break;
           case BuiltinKind::HereId:
             setVC(i, VC{VC::Uni, sym("here")});
             break;

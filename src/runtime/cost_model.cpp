@@ -44,9 +44,13 @@ CostProfile CostProfile::fast() {
   p.writelnBase = 200;
   // Comm costs barely improve with --fast: they model network latency, not
   // generated code quality.
-  p.remoteGet = 100;
-  p.remotePut = 130;
-  p.onFork = 220;
+  p.remoteGet = 550;
+  p.remotePut = 650;
+  p.onFork = 850;
+  p.aggFlushLatency = 550;
+  p.aggPerElemBandwidth = 2;
+  p.aggBufferCap = 64;
+  p.aggCopyLocal = 3;
   return p;
 }
 
@@ -120,6 +124,9 @@ uint64_t CostModel::cost(const ir::Instr& in) const {
         case ir::BuiltinKind::OnEnd: return 1;
         case ir::BuiltinKind::HereId:
         case ir::BuiltinKind::NumLocales: return 1;
+        case ir::BuiltinKind::AggOpen: return 6;   // buffer setup
+        case ir::BuiltinKind::AggCopy: return p_.aggCopyLocal;  // + flush dynamically
+        case ir::BuiltinKind::AggClose: return 2;  // + final flushes dynamically
         default: return 1;
       }
   }

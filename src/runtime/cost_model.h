@@ -48,8 +48,20 @@ struct CostProfile {
   uint64_t randomC = 20, clockC = 4, yieldC = 30, writelnBase = 200, configGet = 10;
   // PGAS communication (multi-locale simulation). A remote GET/PUT models a
   // one-sided transfer through the comm layer; an `on` fork to a different
-  // locale models active-message dispatch (`chpl_comm_fork`).
-  uint64_t remoteGet = 120, remotePut = 150, onFork = 250;
+  // locale models active-message dispatch (`chpl_comm_fork`). Network
+  // round-trip latency is microseconds against nanosecond ALU ops, so these
+  // sit two to three orders of magnitude above scalar costs — fine-grained
+  // remote access has to dominate any loop it appears in, which is exactly
+  // the regime where aggregation pays off (the conveyors/bale result).
+  uint64_t remoteGet = 600, remotePut = 700, onFork = 900;
+  /// Simulated remote-access aggregation (Src/DstAggregator intents): a
+  /// buffer of up to aggBufferCap elements per destination locale flushes
+  /// for aggFlushLatency + n * aggPerElemBandwidth cycles instead of paying
+  /// n full remote latencies — the bandwidth-vs-latency trade batching
+  /// exploits (one round trip amortized over the whole buffer).
+  /// aggCopyLocal is the per-copy bookkeeping charge.
+  uint64_t aggFlushLatency = 600, aggPerElemBandwidth = 3, aggBufferCap = 64;
+  uint64_t aggCopyLocal = 4;
 
   // Instruction-footprint (icache) pressure: functions larger than the
   // threshold pay a per-cycle multiplier growing with the excess size.

@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -164,6 +165,9 @@ class Engine {
     remoteGetC_ = p.remoteGet;
     remotePutC_ = p.remotePut;
     onForkC_ = p.onFork;
+    aggFlushLatencyC_ = p.aggFlushLatency;
+    aggPerElemC_ = p.aggPerElemBandwidth;
+    aggBufferCapC_ = p.aggBufferCap;
   }
 
   RunResult run() {
@@ -179,6 +183,10 @@ class Engine {
     ctx.commGets = &result_.log.commGets;
     ctx.commPuts = &result_.log.commPuts;
     ctx.commOnForks = &result_.log.commOnForks;
+    ctx.commAggGets = &result_.log.commAggGets;
+    ctx.commAggPuts = &result_.log.commAggPuts;
+    ctx.commAggFlushes = &result_.log.commAggFlushes;
+    ctx.commMatrix = &result_.log.commMatrix;
     ctx.next = nextFor(0);
     try {
       if (m_.moduleInitFunc != ir::kNone) callFunction(ctx, m_.moduleInitFunc, {});
@@ -231,9 +239,22 @@ class Engine {
     int64_t locale = 0;
     std::vector<int64_t> onStack;
     sampling::AccessKind pending = sampling::AccessKind::None;
+    int32_t pendingSrc = 0;
+    int32_t pendingDst = 0;
     uint64_t* commGets = nullptr;
     uint64_t* commPuts = nullptr;
     uint64_t* commOnForks = nullptr;
+    uint64_t* commAggGets = nullptr;
+    uint64_t* commAggPuts = nullptr;
+    uint64_t* commAggFlushes = nullptr;
+    std::map<uint64_t, uint64_t>* commMatrix = nullptr;
+    /// Open simulated aggregators (AggOpen handle = index, LIFO). Buffers
+    /// hold per-destination COUNTS only; values move eagerly at copy time.
+    struct AggState {
+      bool isSrc;
+      std::map<int64_t, uint32_t> pending;
+    };
+    std::vector<AggState> aggStack;
     std::vector<uint32_t> skid;
     std::vector<EFrame*> stack;
     std::vector<sampling::Frame> cachedStack;
@@ -267,9 +288,12 @@ class Engine {
     s.taskTag = c.taskTag;
     s.atCycle = c.clock;
     s.accessKind = c.pending;
+    s.srcLocale = c.pendingSrc;
+    s.dstLocale = c.pendingDst;
     s.stack = c.cachedStack;
     c.samples->push_back(std::move(s));
     c.pending = sampling::AccessKind::None;  // consumed by this sample
+    c.pendingSrc = c.pendingDst = 0;
   }
 
   void overflow(Ctx& c) {
@@ -621,7 +645,11 @@ class Engine {
   inline void noteArrayAccess(Ctx& c, const ArrayObj* arr, int64_t idx0, bool isStore) {
     const ArrayObj* own = arr->base ? arr->base.get() : arr;
     const DomainVal& od = own->dom;
-    if (od.distKind != 0 && od.distLocales > 1 && od.ownerOf(idx0) != c.locale) {
+    int64_t owner;
+    if (od.distKind != 0 && od.distLocales > 1 && (owner = od.ownerOf(idx0)) != c.locale) {
+      c.pendingSrc = static_cast<int32_t>(c.locale);
+      c.pendingDst = static_cast<int32_t>(owner);
+      ++(*c.commMatrix)[sampling::RunLog::pairKey(c.locale, owner)];
       if (isStore) {
         c.pending = sampling::AccessKind::RemotePut;
         ++*c.commPuts;
@@ -633,6 +661,7 @@ class Engine {
       }
     } else {
       c.pending = sampling::AccessKind::Local;
+      c.pendingSrc = c.pendingDst = 0;
     }
   }
 
@@ -773,6 +802,76 @@ class Engine {
       case BuiltinKind::NumLocales:
         setInt(fr.regs[bi.dst], std::max<int64_t>(1, opts_.numLocales));
         break;
+      case BuiltinKind::AggOpen: {
+        bool isSrc = rd(ctx, fr, ops[bi.opBase]).asInt() != 0;
+        ctx.aggStack.push_back(Ctx::AggState{isSrc, {}});
+        setInt(fr.regs[bi.dst], static_cast<int64_t>(ctx.aggStack.size()) - 1);
+        break;
+      }
+      case BuiltinKind::AggCopy:
+        execAggCopy(ctx, fr, bi, ops, irFn);
+        break;
+      case BuiltinKind::AggClose: {
+        int64_t h = rd(ctx, fr, ops[bi.opBase]).asInt();
+        if (h < 0 || static_cast<size_t>(h) != ctx.aggStack.size() - 1 ||
+            ctx.aggStack.empty())
+          fail("aggregator closed out of order", irFn.instrs[bi.ir].loc);
+        Ctx::AggState& st = ctx.aggStack.back();
+        for (const auto& [peer, n] : st.pending) {
+          if (n == 0) continue;
+          ++*ctx.commAggFlushes;
+          charge(ctx, aggFlushLatencyC_ + aggPerElemC_ * n);
+        }
+        ctx.aggStack.pop_back();
+        break;
+      }
+    }
+  }
+
+  /// One simulated agg.copy(), mirroring Interp::execAggCopy: classify the
+  /// remote leg, bump the agg counters + matrix, buffer a per-destination
+  /// count (flushing at capacity for latency + n*bandwidth), then move the
+  /// value eagerly so final state matches the non-aggregated program.
+  void execAggCopy(Ctx& ctx, EFrame& fr, const bc::BInstr& bi, const bc::BOperand* ops,
+                   const ir::Function& irFn) {
+    SourceLoc loc = irFn.instrs[bi.ir].loc;
+    int64_t h = rd(ctx, fr, ops[bi.opBase]).asInt();
+    if (h < 0 || static_cast<size_t>(h) >= ctx.aggStack.size())
+      fail("aggregator used outside its task", loc);
+    Ctx::AggState& st = ctx.aggStack[static_cast<size_t>(h)];
+    const Value& remoteArrV = rd(ctx, fr, ops[bi.opBase + (st.isSrc ? 2 : 1)]);
+    if (remoteArrV.kind != VKind::Array || !remoteArrV.arr)
+      fail("agg.copy element operand is not an array", loc);
+    int64_t idx[3] = {rd(ctx, fr, ops[bi.opBase + (st.isSrc ? 3 : 2)]).asInt(), 0, 0};
+    Value* elem = remoteArrV.arr->at(idx);
+    if (!elem) fail("array index out of bounds", loc);
+    const ArrayObj* own = remoteArrV.arr->base ? remoteArrV.arr->base.get()
+                                               : remoteArrV.arr.get();
+    const DomainVal& od = own->dom;
+    int64_t owner;
+    if (od.distKind != 0 && od.distLocales > 1 &&
+        (owner = od.ownerOf(idx[0])) != ctx.locale) {
+      ctx.pending = st.isSrc ? sampling::AccessKind::RemoteGet
+                             : sampling::AccessKind::RemotePut;
+      ctx.pendingSrc = static_cast<int32_t>(ctx.locale);
+      ctx.pendingDst = static_cast<int32_t>(owner);
+      ++*(st.isSrc ? ctx.commAggGets : ctx.commAggPuts);
+      ++(*ctx.commMatrix)[sampling::RunLog::pairKey(ctx.locale, owner)];
+      uint32_t& pending = st.pending[owner];
+      if (++pending >= aggBufferCapC_) {
+        ++*ctx.commAggFlushes;
+        charge(ctx, aggFlushLatencyC_ + aggPerElemC_ * pending);
+        pending = 0;
+      }
+    } else {
+      ctx.pending = sampling::AccessKind::Local;
+      ctx.pendingSrc = ctx.pendingDst = 0;
+    }
+    if (st.isSrc) {
+      Value* dst = refOf(ctx, fr, ops[bi.opBase + 1], loc);
+      *dst = *elem;
+    } else {
+      *elem = rd(ctx, fr, ops[bi.opBase + 3]);
     }
   }
 
@@ -868,6 +967,7 @@ class Engine {
     // Each task chunk starts with no pending comm attribution, regardless of
     // whether chunks run here sequentially or on replay threads.
     sampling::AccessKind savedPending = ctx.pending;
+    int32_t savedSrc = ctx.pendingSrc, savedDst = ctx.pendingDst;
     std::vector<EFrame*> savedStack;
     savedStack.swap(ctx.stack);
     ++ctx.stackGen;
@@ -882,6 +982,7 @@ class Engine {
         args.push_back(Value::makeInt(chi));
         for (const Value& v : extra) args.push_back(v);
         ctx.pending = sampling::AccessKind::None;
+        ctx.pendingSrc = ctx.pendingDst = 0;
         callFunction(ctx, bi.t0, std::move(args));
         flushSkid(ctx);
       }
@@ -909,6 +1010,7 @@ class Engine {
             args.push_back(Value::makeInt(chunks[ti].second));
             for (const Value& v : extra) args.push_back(v);
             ctx.pending = sampling::AccessKind::None;
+            ctx.pendingSrc = ctx.pendingDst = 0;
             callFunction(ctx, bi.t0, std::move(args));
             flushSkid(ctx);
             workerEnd[ws] = ctx.clock;
@@ -939,6 +1041,8 @@ class Engine {
     ctx.taskTag = savedTag;
     ctx.stream = savedStream;
     ctx.pending = savedPending;
+    ctx.pendingSrc = savedSrc;
+    ctx.pendingDst = savedDst;
   }
 
   const ir::Module& m_;
@@ -960,6 +1064,7 @@ class Engine {
   uint64_t nestedHandleC_ = 0, viewExtraC_ = 0, spawnPerTaskC_ = 0;
   uint64_t arrayNewPerElemC_ = 0, arrayFillPerElemC_ = 0, arrayCopyPerElemC_ = 0;
   uint64_t remoteGetC_ = 0, remotePutC_ = 0, onForkC_ = 0;
+  uint64_t aggFlushLatencyC_ = 0, aggPerElemC_ = 0, aggBufferCapC_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -976,8 +1081,11 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     size_t sampleEnd = 0, outputEnd = 0, allocEnd = 0;
     uint64_t icountDelta = 0;
     // Comm counters are commutative sums, so per-chunk deltas merged in
-    // canonical task order reproduce the sequential totals exactly.
+    // canonical task order reproduce the sequential totals exactly. The
+    // same holds cell-wise for the locale-pair matrix.
     uint64_t gets = 0, puts = 0, forks = 0;
+    uint64_t aggGets = 0, aggPuts = 0, aggFlushes = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> matrix;
     std::vector<std::pair<uint32_t, uint64_t>> cycles;
   };
   struct StreamRes {
@@ -1019,9 +1127,15 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
       // constant: inherit it, with per-worker comm tallies.
       wc.locale = ctx.locale;
       uint64_t wGets = 0, wPuts = 0, wForks = 0;
+      uint64_t wAggGets = 0, wAggPuts = 0, wAggFlushes = 0;
+      std::map<uint64_t, uint64_t> wMatrix;
       wc.commGets = &wGets;
       wc.commPuts = &wPuts;
       wc.commOnForks = &wForks;
+      wc.commAggGets = &wAggGets;
+      wc.commAggPuts = &wAggPuts;
+      wc.commAggFlushes = &wAggFlushes;
+      wc.commMatrix = &wMatrix;
       uint64_t prevIc = 0;
       auto snap = [&] {
         TRec r;
@@ -1033,7 +1147,13 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
         r.gets = wGets;
         r.puts = wPuts;
         r.forks = wForks;
+        r.aggGets = wAggGets;
+        r.aggPuts = wAggPuts;
+        r.aggFlushes = wAggFlushes;
         wGets = wPuts = wForks = 0;
+        wAggGets = wAggPuts = wAggFlushes = 0;
+        r.matrix.assign(wMatrix.begin(), wMatrix.end());
+        wMatrix.clear();
         for (size_t f = 0; f < nf; ++f)
           if (cyc[f]) {
             r.cycles.emplace_back(static_cast<uint32_t>(f), cyc[f]);
@@ -1049,6 +1169,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
           args.push_back(Value::makeInt(chunks[ti].second));
           for (const Value& v : extra) args.push_back(v);
           wc.pending = sampling::AccessKind::None;
+          wc.pendingSrc = wc.pendingDst = 0;
           callFunction(wc, taskFn, std::move(args));
           flushSkid(wc);
         } catch (const RunError& e) {
@@ -1098,6 +1219,10 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     result_.log.commGets += r.gets;
     result_.log.commPuts += r.puts;
     result_.log.commOnForks += r.forks;
+    result_.log.commAggGets += r.aggGets;
+    result_.log.commAggPuts += r.aggPuts;
+    result_.log.commAggFlushes += r.aggFlushes;
+    for (const auto& [k, v] : r.matrix) result_.log.commMatrix[k] += v;
   }
   if (minFail != ~0ull) {
     const StreamRes& S = streams[1 + static_cast<uint32_t>(minFail % w)];

@@ -142,9 +142,12 @@ class Interp {
     s.taskTag = curTaskTag_;
     s.atCycle = pmu_.clock(curStream_);
     s.accessKind = pendingAccess_;
+    s.srcLocale = pendingSrc_;
+    s.dstLocale = pendingDst_;
     s.stack = cachedStack_;
     result_.log.samples.push_back(std::move(s));
     pendingAccess_ = sampling::AccessKind::None;  // consumed by this sample
+    pendingSrc_ = pendingDst_ = 0;
   }
 
   void emitIdleSamples(uint32_t stream, uint64_t from, uint64_t to) {
@@ -174,7 +177,11 @@ class Interp {
   void noteArrayAccess(const ArrayObj* arr, int64_t idx0, bool isStore) {
     const ArrayObj* own = arr->base ? arr->base.get() : arr;
     const DomainVal& od = own->dom;
-    if (od.distKind != 0 && od.distLocales > 1 && od.ownerOf(idx0) != curLocale_) {
+    int64_t owner;
+    if (od.distKind != 0 && od.distLocales > 1 && (owner = od.ownerOf(idx0)) != curLocale_) {
+      pendingSrc_ = static_cast<int32_t>(curLocale_);
+      pendingDst_ = static_cast<int32_t>(owner);
+      ++result_.log.commMatrix[sampling::RunLog::pairKey(curLocale_, owner)];
       if (isStore) {
         pendingAccess_ = sampling::AccessKind::RemotePut;
         ++result_.log.commPuts;
@@ -186,6 +193,7 @@ class Interp {
       }
     } else {
       pendingAccess_ = sampling::AccessKind::Local;
+      pendingSrc_ = pendingDst_ = 0;
     }
   }
 
@@ -677,6 +685,7 @@ class Interp {
     // whether chunks run interleaved here or consecutively per worker in the
     // bytecode engine's parallel replay.
     sampling::AccessKind savedPending = pendingAccess_;
+    int32_t savedSrc = pendingSrc_, savedDst = pendingDst_;
     std::vector<Frame*> savedStack;
     savedStack.swap(stack_);
     ++stackGen_;
@@ -690,6 +699,7 @@ class Interp {
         args.push_back(Value::makeInt(chi));
         for (const Value& v : extra) args.push_back(v);
         pendingAccess_ = sampling::AccessKind::None;
+        pendingSrc_ = pendingDst_ = 0;
         callFunction(in.extra.func, std::move(args));
         flushSkid();
       }
@@ -714,6 +724,7 @@ class Interp {
         args.push_back(Value::makeInt(chunks[ti].second));
         for (const Value& v : extra) args.push_back(v);
         pendingAccess_ = sampling::AccessKind::None;
+        pendingSrc_ = pendingDst_ = 0;
         callFunction(in.extra.func, std::move(args));
         flushSkid();
         workerEnd[ws] = pmu_.clock(ws);
@@ -732,6 +743,8 @@ class Interp {
     curTaskTag_ = savedTag;
     curStream_ = savedStream;
     pendingAccess_ = savedPending;
+    pendingSrc_ = savedSrc;
+    pendingDst_ = savedDst;
   }
 
   void execBuiltin(Frame& fr, InstrId id, const Instr& in) {
@@ -826,6 +839,75 @@ class Interp {
       case BuiltinKind::NumLocales:
         fr.regs[id] = Value::makeInt(std::max<int64_t>(1, opts_.numLocales));
         break;
+      case BuiltinKind::AggOpen: {
+        bool isSrc = evalOp(fr, in.ops[0]).asInt() != 0;
+        aggStack_.push_back(AggState{isSrc, {}});
+        fr.regs[id] = Value::makeInt(static_cast<int64_t>(aggStack_.size()) - 1);
+        break;
+      }
+      case BuiltinKind::AggCopy:
+        execAggCopy(fr, in);
+        break;
+      case BuiltinKind::AggClose: {
+        int64_t h = evalOp(fr, in.ops[0]).asInt();
+        if (h != static_cast<int64_t>(aggStack_.size()) - 1 || h < 0)
+          fail("aggregator closed out of order", in.loc);
+        AggState& st = aggStack_.back();
+        const CostProfile& p = cost_.profile();
+        for (const auto& [peer, n] : st.pending) {
+          if (n == 0) continue;
+          ++result_.log.commAggFlushes;
+          charge(p.aggFlushLatency + p.aggPerElemBandwidth * n);
+        }
+        aggStack_.pop_back();
+        break;
+      }
+    }
+  }
+
+  /// One agg.copy(): the value moves eagerly (aggregation changes cost,
+  /// never values); the remote leg is classified like a naive access — same
+  /// pending-sample channel, same comm matrix cell — but counts toward the
+  /// aggregated counters and a per-destination buffer that flushes at
+  /// aggBufferCap for aggFlushLatency + n*aggPerElemBandwidth cycles.
+  void execAggCopy(Frame& fr, const Instr& in) {
+    int64_t h = evalOp(fr, in.ops[0]).asInt();
+    if (h < 0 || static_cast<size_t>(h) >= aggStack_.size())
+      fail("aggregator used outside its task", in.loc);
+    AggState& st = aggStack_[static_cast<size_t>(h)];
+    Value remoteArrV = evalOp(fr, in.ops[st.isSrc ? 2 : 1]);
+    if (remoteArrV.kind != VKind::Array || !remoteArrV.arr)
+      fail("agg.copy element operand is not an array", in.loc);
+    int64_t idx[3] = {evalOp(fr, in.ops[st.isSrc ? 3 : 2]).asInt(), 0, 0};
+    Value* elem = remoteArrV.arr->at(idx);
+    if (!elem) fail("array index out of bounds", in.loc);
+    const ArrayObj* own =
+        remoteArrV.arr->base ? remoteArrV.arr->base.get() : remoteArrV.arr.get();
+    const DomainVal& od = own->dom;
+    int64_t owner;
+    if (od.distKind != 0 && od.distLocales > 1 && (owner = od.ownerOf(idx[0])) != curLocale_) {
+      pendingAccess_ =
+          st.isSrc ? sampling::AccessKind::RemoteGet : sampling::AccessKind::RemotePut;
+      pendingSrc_ = static_cast<int32_t>(curLocale_);
+      pendingDst_ = static_cast<int32_t>(owner);
+      ++(st.isSrc ? result_.log.commAggGets : result_.log.commAggPuts);
+      ++result_.log.commMatrix[sampling::RunLog::pairKey(curLocale_, owner)];
+      const CostProfile& p = cost_.profile();
+      uint32_t& pending = st.pending[owner];
+      if (++pending >= p.aggBufferCap) {
+        ++result_.log.commAggFlushes;
+        charge(p.aggFlushLatency + p.aggPerElemBandwidth * pending);
+        pending = 0;
+      }
+    } else {
+      pendingAccess_ = sampling::AccessKind::Local;
+      pendingSrc_ = pendingDst_ = 0;
+    }
+    if (st.isSrc) {
+      Value* dst = refOf(fr, in.ops[1], in.loc);
+      *dst = *elem;
+    } else {
+      *elem = evalOp(fr, in.ops[3]);
     }
   }
 
@@ -847,6 +929,18 @@ class Interp {
   int64_t curLocale_ = 0;
   std::vector<int64_t> onStack_;
   sampling::AccessKind pendingAccess_ = sampling::AccessKind::None;
+  int32_t pendingSrc_ = 0;
+  int32_t pendingDst_ = 0;
+
+  /// Open simulated aggregators, innermost last; AggCopy addresses one by
+  /// its AggOpen handle (= stack index), AggClose pops in LIFO order. The
+  /// per-destination map holds buffered-element COUNTS only — values moved
+  /// eagerly at copy time.
+  struct AggState {
+    bool isSrc;
+    std::map<int64_t, uint32_t> pending;
+  };
+  std::vector<AggState> aggStack_;
 
   std::vector<sampling::Frame> cachedStack_;   // resolved copy of stack_
   uint64_t stackGen_ = 0;                      // bumped on push/pop/swap

@@ -9,19 +9,23 @@
 namespace cb::sampling {
 
 // ---------------------------------------------------------------------------
-// Text format — the portable fallback. Version 2 appends the exact comm
+// Text format — the portable fallback. Version 2 appended the exact comm
 // counters to the header and the per-sample AccessKind after the runtime
-// frame; version 1 files (no comm channel) still load, defaulting both.
+// frame; version 3 appends the aggregated-transfer counters to the header,
+// the per-sample (srcLocale, dstLocale) pair after the access kind, and `M`
+// lines carrying the exact src→dst comm matrix. Version 1/2 files still
+// load, defaulting every newer field.
 // ---------------------------------------------------------------------------
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
-  out << "cblog 2 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
-      << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << "\n";
+  out << "cblog 3 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+      << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << " "
+      << log.commAggGets << " " << log.commAggPuts << " " << log.commAggFlushes << "\n";
   for (const RawSample& s : log.samples) {
     out << "S " << s.stream << " " << s.taskTag << " " << s.atCycle << " "
         << static_cast<int>(s.runtimeFrame) << " " << static_cast<int>(s.accessKind) << " "
-        << s.stack.size();
+        << s.srcLocale << " " << s.dstLocale << " " << s.stack.size();
     for (const Frame& f : s.stack) out << " " << f.func << ":" << f.instr;
     out << "\n";
   }
@@ -33,6 +37,8 @@ std::string serializeRunLog(const RunLog& log) {
   }
   for (const auto& [key, bytes] : log.allocBytesBySite)
     out << "A " << key << " " << bytes << "\n";
+  for (const auto& [key, count] : log.commMatrix)
+    out << "M " << RunLog::pairSrc(key) << " " << RunLog::pairDst(key) << " " << count << "\n";
   return out.str();
 }
 
@@ -64,8 +70,10 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
     std::string magic;
     if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
       return false;
-    if (magic != "cblog" || version < 1 || version > 2) return false;
+    if (magic != "cblog" || version < 1 || version > 3) return false;
     if (version >= 2 && !(h >> out.commGets >> out.commPuts >> out.commOnForks)) return false;
+    if (version >= 3 && !(h >> out.commAggGets >> out.commAggPuts >> out.commAggFlushes))
+      return false;
   }
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
@@ -78,6 +86,7 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
       size_t n = 0;
       if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk)) return false;
       if (version >= 2 && !(in >> ak)) return false;
+      if (version >= 3 && !(in >> s.srcLocale >> s.dstLocale)) return false;
       if (!(in >> n)) return false;
       s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
       s.accessKind = static_cast<AccessKind>(ak);
@@ -93,6 +102,11 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
       uint64_t key = 0, bytes = 0;
       if (!(in >> key >> bytes)) return false;
       out.allocBytesBySite[key] = bytes;
+    } else if (kind == 'M' && version >= 3) {
+      int64_t src = 0, dst = 0;
+      uint64_t count = 0;
+      if (!(in >> src >> dst >> count)) return false;
+      out.commMatrix[RunLog::pairKey(src, dst)] = count;
     } else {
       return false;
     }
@@ -102,13 +116,17 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
 
 // ---------------------------------------------------------------------------
 // Binary format — LEB128 varints, zigzag deltas, deterministic order.
-// Version 2 adds the three comm counters after totalCycles and a varint
-// AccessKind per sample after the runtime-frame kind; version 1 files
-// (pre-PGAS) still load with both defaulted.
+// Version 2 added the three comm counters after totalCycles and a varint
+// AccessKind per sample after the runtime-frame kind. Version 3 adds the
+// aggregated-transfer counters after commOnForks, the (srcLocale, dstLocale)
+// pair per sample — encoded ONLY when the access kind is RemoteGet or
+// RemotePut — and the sparse comm matrix (sorted by pair key) after the
+// alloc-site section. Version 1/2 files still load with all newer fields
+// defaulted.
 // ---------------------------------------------------------------------------
 
 constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-constexpr uint8_t kBinaryVersion = 2;
+constexpr uint8_t kBinaryVersion = 3;
 
 void putVarint(std::string& out, uint64_t v) {
   while (v >= 0x80) {
@@ -226,6 +244,9 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
   if (version >= 2 &&
       (!r.varint(out.commGets) || !r.varint(out.commPuts) || !r.varint(out.commOnForks)))
     return false;
+  if (version >= 3 && (!r.varint(out.commAggGets) || !r.varint(out.commAggPuts) ||
+                       !r.varint(out.commAggFlushes)))
+    return false;
 
   uint64_t nSamples;
   if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
@@ -243,6 +264,13 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
       uint64_t ak;
       if (!r.varint(ak) || ak > 3) return false;
       s.accessKind = static_cast<AccessKind>(ak);
+      if (version >= 3 && (s.accessKind == AccessKind::RemoteGet ||
+                           s.accessKind == AccessKind::RemotePut)) {
+        uint64_t src, dst;
+        if (!r.varint(src) || src > ~0u || !r.varint(dst) || dst > ~0u) return false;
+        s.srcLocale = static_cast<int32_t>(src);
+        s.dstLocale = static_cast<int32_t>(dst);
+      }
     }
     if (!r.frames(s.stack)) return false;
     out.samples.push_back(std::move(s));
@@ -270,6 +298,18 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
     prevKey = key;
     out.allocBytesBySite[key] = bytes;
   }
+
+  if (version >= 3) {
+    uint64_t nCells;
+    if (!r.varint(nCells) || nCells > r.remaining()) return false;
+    uint64_t prevCell = 0;
+    for (uint64_t i = 0; i < nCells; ++i) {
+      uint64_t key, count;
+      if (!r.delta(key, prevCell) || !r.varint(count)) return false;
+      prevCell = key;
+      out.commMatrix[key] = count;
+    }
+  }
   return r.atEnd();  // trailing garbage is a format error
 }
 
@@ -285,6 +325,9 @@ std::string serializeRunLogBinary(const RunLog& log) {
   putVarint(out, log.commGets);
   putVarint(out, log.commPuts);
   putVarint(out, log.commOnForks);
+  putVarint(out, log.commAggGets);
+  putVarint(out, log.commAggPuts);
+  putVarint(out, log.commAggFlushes);
 
   putVarint(out, log.samples.size());
   uint64_t prevCycle = 0;
@@ -295,6 +338,12 @@ std::string serializeRunLogBinary(const RunLog& log) {
     prevCycle = s.atCycle;
     putVarint(out, static_cast<uint64_t>(s.runtimeFrame));
     putVarint(out, static_cast<uint64_t>(s.accessKind));
+    // The locale pair is only meaningful (and only encoded) for remote
+    // accesses; local/compute samples carry the defaults.
+    if (s.accessKind == AccessKind::RemoteGet || s.accessKind == AccessKind::RemotePut) {
+      putVarint(out, static_cast<uint32_t>(s.srcLocale));
+      putVarint(out, static_cast<uint32_t>(s.dstLocale));
+    }
     putFrames(out, s.stack);
   }
 
@@ -326,6 +375,15 @@ std::string serializeRunLogBinary(const RunLog& log) {
     putDelta(out, key, prevKey);
     prevKey = key;
     putVarint(out, log.allocBytesBySite.at(key));
+  }
+
+  // Comm matrix: a std::map already iterates in ascending key order.
+  putVarint(out, log.commMatrix.size());
+  uint64_t prevCell = 0;
+  for (const auto& [key, count] : log.commMatrix) {
+    putDelta(out, key, prevCell);
+    prevCell = key;
+    putVarint(out, count);
   }
   return out;
 }

@@ -3,7 +3,7 @@
 // step 3 (6-20 MB per run at the paper's scale).
 //
 // Two formats, auto-detected on load:
-//   - Text ("cblog 2 ..."): the portable line-based fallback, human-readable
+//   - Text ("cblog 3 ..."): the portable line-based fallback, human-readable
 //     and diff-friendly.
 //   - Binary (magic 0x89 'C' 'B' 'L'): a versioned compact encoding —
 //     LEB128 varints throughout, zigzag-delta compression for sample
@@ -25,26 +25,34 @@ enum class RunLogFormat {
   Binary,  // compact varint/delta format (see serializeRunLogBinary)
 };
 
-/// Serializes a run log. Line-based (version 1 files, which lack the comm
-/// counters and the per-sample access kind, still deserialize):
-///   cblog 2 <threshold> <streams> <totalCycles> <commGets> <commPuts> <commOnForks>
-///   S <stream> <tag> <cycle> <runtimeFrameKind> <accessKind> <n> <func:instr>*
+/// Serializes a run log. Line-based (version 1/2 files, which lack some or
+/// all of the comm channel, still deserialize with the newer fields
+/// defaulted):
+///   cblog 3 <threshold> <streams> <totalCycles> <commGets> <commPuts>
+///           <commOnForks> <commAggGets> <commAggPuts> <commAggFlushes>
+///   S <stream> <tag> <cycle> <runtimeFrameKind> <accessKind> <srcLocale>
+///     <dstLocale> <n> <func:instr>*
 ///   W <tag> <parentTag> <taskFn> <spawnInstr> <n> <func:instr>*
 ///   A <siteKey> <bytes>
+///   M <srcLocale> <dstLocale> <count>
 std::string serializeRunLog(const RunLog& log);
 
-/// Serializes a run log in the compact binary format (version-1 files, which
-/// lack the comm counters and per-sample access kind, still deserialize):
-///   magic(4) = 89 43 42 4C ("\x89CBL"), version(1) = 0x02
-///   varint threshold, streams, totalCycles, commGets, commPuts, commOnForks
+/// Serializes a run log in the compact binary format (version-1/2 files
+/// still deserialize with the newer fields defaulted):
+///   magic(4) = 89 43 42 4C ("\x89CBL"), version(1) = 0x03
+///   varint threshold, streams, totalCycles, commGets, commPuts, commOnForks,
+///   varint commAggGets, commAggPuts, commAggFlushes
 ///   varint nSamples, then per sample:
 ///     varint stream, taskTag, zigzag(atCycle - prevAtCycle),
-///     varint runtimeFrameKind, varint accessKind, varint stackLen,
+///     varint runtimeFrameKind, varint accessKind,
+///     [varint srcLocale, dstLocale — only when accessKind is remote],
+///     varint stackLen,
 ///     per frame: zigzag(func - prevFunc), zigzag(instr - prevInstr)
 ///     (prev func/instr reset to 0 at each stack; prevAtCycle spans samples)
 ///   varint nSpawns (sorted by tag), per record:
 ///     varint tag - prevTag, parentTag, taskFn, spawnInstr, stack as above
 ///   varint nAllocSites (sorted by key): varint key - prevKey, bytes
+///   varint nMatrixCells (sorted by pair key): varint key - prevKey, count
 std::string serializeRunLogBinary(const RunLog& log);
 
 /// Parses a serialized log in EITHER format (auto-detected from the leading

@@ -9,7 +9,7 @@ namespace {
 bool sameSample(const RawSample& a, const RawSample& b) {
   return a.stream == b.stream && a.taskTag == b.taskTag && a.atCycle == b.atCycle &&
          a.runtimeFrame == b.runtimeFrame && a.accessKind == b.accessKind &&
-         a.stack == b.stack;
+         a.srcLocale == b.srcLocale && a.dstLocale == b.dstLocale && a.stack == b.stack;
 }
 
 bool sameSpawn(const SpawnRecord& a, const SpawnRecord& b) {
@@ -25,6 +25,10 @@ bool identical(const RunLog& a, const RunLog& b) {
     return false;
   if (a.commGets != b.commGets || a.commPuts != b.commPuts || a.commOnForks != b.commOnForks)
     return false;
+  if (a.commAggGets != b.commAggGets || a.commAggPuts != b.commAggPuts ||
+      a.commAggFlushes != b.commAggFlushes)
+    return false;
+  if (a.commMatrix != b.commMatrix) return false;
   if (a.samples.size() != b.samples.size()) return false;
   for (size_t i = 0; i < a.samples.size(); ++i)
     if (!sameSample(a.samples[i], b.samples[i])) return false;
@@ -55,6 +59,15 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
     os << "commPuts " << a.commPuts << " vs " << b.commPuts;
   else if (a.commOnForks != b.commOnForks)
     os << "commOnForks " << a.commOnForks << " vs " << b.commOnForks;
+  else if (a.commAggGets != b.commAggGets)
+    os << "commAggGets " << a.commAggGets << " vs " << b.commAggGets;
+  else if (a.commAggPuts != b.commAggPuts)
+    os << "commAggPuts " << a.commAggPuts << " vs " << b.commAggPuts;
+  else if (a.commAggFlushes != b.commAggFlushes)
+    os << "commAggFlushes " << a.commAggFlushes << " vs " << b.commAggFlushes;
+  else if (a.commMatrix != b.commMatrix)
+    os << "commMatrix differs (" << a.commMatrix.size() << " vs " << b.commMatrix.size()
+       << " cells)";
   else if (a.samples.size() != b.samples.size())
     os << "sample count " << a.samples.size() << " vs " << b.samples.size();
   else {
@@ -64,8 +77,9 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
       os << "sample " << i << ": stream " << x.stream << "/" << y.stream << " tag "
          << x.taskTag << "/" << y.taskTag << " cycle " << x.atCycle << "/" << y.atCycle
          << " access " << static_cast<int>(x.accessKind) << "/"
-         << static_cast<int>(y.accessKind) << " depth " << x.stack.size() << "/"
-         << y.stack.size();
+         << static_cast<int>(y.accessKind) << " pair " << x.srcLocale << "->"
+         << x.dstLocale << "/" << y.srcLocale << "->" << y.dstLocale << " depth "
+         << x.stack.size() << "/" << y.stack.size();
       return os.str();
     }
     if (a.spawns.size() != b.spawns.size())

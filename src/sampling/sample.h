@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,11 @@ struct RawSample {
   uint64_t atCycle = 0;          // stream-local virtual time of the overflow
   RuntimeFrameKind runtimeFrame = RuntimeFrameKind::None;  // set for idle samples
   AccessKind accessKind = AccessKind::None;  // pending comm attribution
+  /// Locale pair of the pending remote access: srcLocale is the requesting
+  /// (executing) locale, dstLocale the owner of the touched element. Both 0
+  /// unless accessKind is RemoteGet/RemotePut.
+  int32_t srcLocale = 0;
+  int32_t dstLocale = 0;
   std::vector<Frame> stack;      // post-spawn stack, outermost first; empty for idle
 };
 
@@ -76,6 +82,25 @@ struct RunLog {
   uint64_t commGets = 0;
   uint64_t commPuts = 0;
   uint64_t commOnForks = 0;
+
+  /// Aggregated transfers (simulated Src/DstAggregator copies): remote
+  /// elements moved through aggregation buffers instead of naive GET/PUT,
+  /// plus the number of buffer flushes that carried them.
+  uint64_t commAggGets = 0;
+  uint64_t commAggPuts = 0;
+  uint64_t commAggFlushes = 0;
+
+  /// Exact source→destination locale communication matrix: pairKey(src,dst)
+  /// -> remote element transfers (naive and aggregated alike). Sparse and
+  /// sorted, so iteration order is deterministic.
+  std::map<uint64_t, uint64_t> commMatrix;
+
+  static uint64_t pairKey(int64_t src, int64_t dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+  static int32_t pairSrc(uint64_t key) { return static_cast<int32_t>(key >> 32); }
+  static int32_t pairDst(uint64_t key) { return static_cast<int32_t>(key & 0xffffffffu); }
 
   /// Heap allocations observed at each ArrayNew site: (func<<32|instr) ->
   /// largest allocation in bytes. Feeds the allocation-threshold baseline

@@ -91,12 +91,22 @@ void expectLogsEqual(const sampling::RunLog& a, const sampling::RunLog& b) {
   EXPECT_EQ(a.sampleThreshold, b.sampleThreshold);
   EXPECT_EQ(a.numStreams, b.numStreams);
   EXPECT_EQ(a.totalCycles, b.totalCycles);
+  EXPECT_EQ(a.commGets, b.commGets);
+  EXPECT_EQ(a.commPuts, b.commPuts);
+  EXPECT_EQ(a.commOnForks, b.commOnForks);
+  EXPECT_EQ(a.commAggGets, b.commAggGets);
+  EXPECT_EQ(a.commAggPuts, b.commAggPuts);
+  EXPECT_EQ(a.commAggFlushes, b.commAggFlushes);
+  EXPECT_EQ(a.commMatrix, b.commMatrix);
   ASSERT_EQ(a.samples.size(), b.samples.size());
   for (size_t i = 0; i < a.samples.size(); ++i) {
     EXPECT_EQ(a.samples[i].stream, b.samples[i].stream) << "sample " << i;
     EXPECT_EQ(a.samples[i].taskTag, b.samples[i].taskTag) << "sample " << i;
     EXPECT_EQ(a.samples[i].atCycle, b.samples[i].atCycle) << "sample " << i;
     EXPECT_EQ(a.samples[i].runtimeFrame, b.samples[i].runtimeFrame) << "sample " << i;
+    EXPECT_EQ(a.samples[i].accessKind, b.samples[i].accessKind) << "sample " << i;
+    EXPECT_EQ(a.samples[i].srcLocale, b.samples[i].srcLocale) << "sample " << i;
+    EXPECT_EQ(a.samples[i].dstLocale, b.samples[i].dstLocale) << "sample " << i;
     EXPECT_EQ(a.samples[i].stack, b.samples[i].stack) << "sample " << i;
   }
   ASSERT_EQ(a.spawns.size(), b.spawns.size());
@@ -157,6 +167,13 @@ TEST_P(PropertyLogIoRoundTrip, RandomLogsSurviveSerializeParse) {
       } else {
         s.taskTag = numTags ? rng.nextBounded(numTags + 1) : 0;
         s.stack = randomStack(10);  // empty-stack edge case included
+        s.accessKind = static_cast<sampling::AccessKind>(rng.nextBounded(4));
+        if (s.accessKind == sampling::AccessKind::RemoteGet ||
+            s.accessKind == sampling::AccessKind::RemotePut) {
+          // The locale pair is only meaningful for remote accesses.
+          s.srcLocale = static_cast<int32_t>(rng.nextBounded(64));
+          s.dstLocale = static_cast<int32_t>((s.srcLocale + 1 + rng.nextBounded(63)) % 64);
+        }
       }
       log.samples.push_back(std::move(s));
     }
@@ -164,6 +181,19 @@ TEST_P(PropertyLogIoRoundTrip, RandomLogsSurviveSerializeParse) {
     uint64_t numSites = rng.nextBounded(20);
     for (uint64_t i = 0; i < numSites; ++i)
       log.allocBytesBySite[rng.next()] = rng.next();
+
+    // Exact comm counters and a sparse random comm matrix.
+    log.commGets = rng.nextBounded(100000);
+    log.commPuts = rng.nextBounded(100000);
+    log.commOnForks = rng.nextBounded(1000);
+    log.commAggGets = rng.nextBounded(100000);
+    log.commAggPuts = rng.nextBounded(100000);
+    log.commAggFlushes = rng.nextBounded(10000);
+    for (uint64_t i = 0, n = rng.nextBounded(12); i < n; ++i) {
+      int64_t src = static_cast<int64_t>(rng.nextBounded(64));
+      int64_t dst = static_cast<int64_t>((src + 1 + rng.nextBounded(63)) % 64);
+      log.commMatrix[sampling::RunLog::pairKey(src, dst)] = 1 + rng.nextBounded(1 << 20);
+    }
 
     sampling::RunLog back;
     ASSERT_TRUE(sampling::deserializeRunLog(sampling::serializeRunLog(log), back))
@@ -210,12 +240,25 @@ TEST_P(PropertyLogIoRoundTrip, RandomLogsSurviveBinaryRoundTrip) {
       s.stream = static_cast<uint32_t>(rng.nextBounded(64));
       s.taskTag = rng.nextBounded(40);
       s.atCycle = rng.next();  // random order: deltas exercise negatives
+      s.accessKind = static_cast<sampling::AccessKind>(rng.nextBounded(4));
+      if (s.accessKind == sampling::AccessKind::RemoteGet ||
+          s.accessKind == sampling::AccessKind::RemotePut) {
+        s.srcLocale = static_cast<int32_t>(rng.nextBounded(1024));
+        s.dstLocale = static_cast<int32_t>((s.srcLocale + 1) % 1024);
+      }
       size_t depth = rng.nextBounded(10);
       for (size_t d = 0; d < depth; ++d)
         s.stack.push_back({static_cast<ir::FuncId>(rng.nextBounded(1000)),
                            static_cast<ir::InstrId>(rng.nextBounded(5000))});
       log.samples.push_back(std::move(s));
     }
+    log.commGets = rng.nextBounded(1 << 20);
+    log.commAggPuts = rng.nextBounded(1 << 20);
+    log.commAggFlushes = rng.nextBounded(1 << 12);
+    for (uint64_t i = 0, n = rng.nextBounded(10); i < n; ++i)
+      log.commMatrix[sampling::RunLog::pairKey(static_cast<int64_t>(rng.nextBounded(512)),
+                                               static_cast<int64_t>(rng.nextBounded(512)))] =
+          1 + rng.nextBounded(1 << 16);
     uint64_t numTags = rng.nextBounded(30);
     for (uint64_t tag = 1; tag <= numTags; ++tag) {
       sampling::SpawnRecord rec;
@@ -313,6 +356,206 @@ TEST(LogIoBinary, CorruptedBytesNeverCrash) {
     sampling::RunLog out;
     sampling::deserializeRunLog(mutated, out);  // must not hang or fault
   }
+}
+
+// ---------------------------------------------------------------------------
+// v3 comm channel: logs carrying locale pairs, aggregated-transfer counters
+// and the exact comm matrix survive both formats; v1 AND v2 fixtures (text
+// and hand-assembled binary) still load with the newer fields defaulted.
+// ---------------------------------------------------------------------------
+
+/// A log with live v3 payload: a 4-locale aggregated ig rank — remote
+/// samples with locale pairs, agg counters, a populated comm matrix.
+sampling::RunLog makeCommLog() {
+  auto c = fe::Compilation::fromFile(assetProgram("ig_agg"), {});
+  EXPECT_TRUE(c->ok()) << c->diags().renderAll();
+  rt::RunOptions o;
+  o.sampleThreshold = 997;
+  o.numLocales = 4;
+  o.localeId = 1;
+  o.configOverrides["hereId"] = "1";
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.log.commAggGets, 0u);
+  EXPECT_GT(r.log.commAggFlushes, 0u);
+  EXPECT_FALSE(r.log.commMatrix.empty());
+  return r.log;
+}
+
+TEST(LogIoV3, CommLogRoundTripsTextAndBinary) {
+  sampling::RunLog log = makeCommLog();
+  // The payload must be non-trivial or this test is vacuous: at least one
+  // sample must carry a remote classification with a real locale pair.
+  bool sawRemotePair = false;
+  for (const sampling::RawSample& s : log.samples)
+    if ((s.accessKind == sampling::AccessKind::RemoteGet ||
+         s.accessKind == sampling::AccessKind::RemotePut) &&
+        s.srcLocale != s.dstLocale)
+      sawRemotePair = true;
+  EXPECT_TRUE(sawRemotePair);
+
+  sampling::RunLog fromText, fromBin;
+  ASSERT_TRUE(sampling::deserializeRunLog(sampling::serializeRunLog(log), fromText));
+  expectLogsEqual(log, fromText);
+  std::string bin = sampling::serializeRunLogBinary(log);
+  ASSERT_TRUE(sampling::deserializeRunLog(bin, fromBin));
+  expectLogsEqual(log, fromBin);
+  EXPECT_EQ(sampling::serializeRunLogBinary(fromBin), bin);  // deterministic encoding
+}
+
+TEST(LogIoV3, TruncatedAndCorruptedCommLogsNeverCrash) {
+  sampling::RunLog log = makeCommLog();
+  std::string bin = sampling::serializeRunLogBinary(log);
+  sampling::RunLog out;
+  for (size_t len : {size_t{0}, size_t{4}, size_t{5}, bin.size() / 3, bin.size() / 2,
+                     bin.size() - 2, bin.size() - 1})
+    EXPECT_FALSE(sampling::deserializeRunLog(bin.substr(0, len), out)) << "prefix " << len;
+  EXPECT_FALSE(sampling::deserializeRunLog(bin + std::string(1, '\0'), out));
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bin;
+    size_t pos = 5 + rng.nextBounded(mutated.size() - 5);  // keep magic+version
+    mutated[pos] = static_cast<char>(rng.nextBounded(256));
+    sampling::RunLog ignored;
+    sampling::deserializeRunLog(mutated, ignored);  // must stay in-bounds
+  }
+  // Text truncation: cutting a line mid-token must not parse.
+  std::string text = sampling::serializeRunLog(log);
+  EXPECT_FALSE(sampling::deserializeRunLog(text.substr(0, text.size() / 2) + "Z", out));
+}
+
+TEST(LogIoCompat, Version1TextStillLoads) {
+  // A frozen v1 fixture: header has no comm counters, samples have no
+  // access kind and no locale pair, and there are no M lines.
+  const std::string v1 =
+      "cblog 1 101 2 5000\n"
+      "S 0 0 150 0 2 3:7 4:9\n"
+      "S 1 2 300 1 0\n"
+      "W 2 0 5 11 1 3:7\n"
+      "A 77 4096\n";
+  sampling::RunLog log;
+  ASSERT_TRUE(sampling::deserializeRunLog(v1, log));
+  EXPECT_EQ(log.sampleThreshold, 101u);
+  EXPECT_EQ(log.numStreams, 2u);
+  EXPECT_EQ(log.totalCycles, 5000u);
+  ASSERT_EQ(log.samples.size(), 2u);
+  EXPECT_EQ(log.samples[0].stack.size(), 2u);
+  EXPECT_EQ(log.samples[1].runtimeFrame, sampling::RuntimeFrameKind::SchedYield);
+  EXPECT_EQ(log.spawns.size(), 1u);
+  EXPECT_EQ(log.allocBytesBySite.at(77), 4096u);
+  // Every newer field defaults.
+  EXPECT_EQ(log.commGets, 0u);
+  EXPECT_EQ(log.commAggGets, 0u);
+  EXPECT_EQ(log.commAggFlushes, 0u);
+  EXPECT_TRUE(log.commMatrix.empty());
+  for (const sampling::RawSample& s : log.samples) {
+    EXPECT_EQ(s.accessKind, sampling::AccessKind::None);
+    EXPECT_EQ(s.srcLocale, 0);
+    EXPECT_EQ(s.dstLocale, 0);
+  }
+}
+
+TEST(LogIoCompat, Version2TextStillLoads) {
+  // A frozen v2 fixture: comm counters in the header and a per-sample
+  // access kind, but no aggregated counters, no pairs, no matrix.
+  const std::string v2 =
+      "cblog 2 101 2 5000 10 20 3\n"
+      "S 0 0 150 0 2 1 3:7\n"
+      "S 0 0 400 0 1 0\n";
+  sampling::RunLog log;
+  ASSERT_TRUE(sampling::deserializeRunLog(v2, log));
+  EXPECT_EQ(log.commGets, 10u);
+  EXPECT_EQ(log.commPuts, 20u);
+  EXPECT_EQ(log.commOnForks, 3u);
+  EXPECT_EQ(log.commAggGets, 0u);
+  EXPECT_EQ(log.commAggPuts, 0u);
+  EXPECT_EQ(log.commAggFlushes, 0u);
+  EXPECT_TRUE(log.commMatrix.empty());
+  ASSERT_EQ(log.samples.size(), 2u);
+  EXPECT_EQ(log.samples[0].accessKind, sampling::AccessKind::RemoteGet);
+  EXPECT_EQ(log.samples[0].srcLocale, 0);  // v2 has no pair channel
+  EXPECT_EQ(log.samples[0].dstLocale, 0);
+  EXPECT_EQ(log.samples[1].accessKind, sampling::AccessKind::Local);
+  // A version from the future is rejected, not misparsed.
+  EXPECT_FALSE(sampling::deserializeRunLog("cblog 4 1 1 1 1 1 1 1 1 1\n", log));
+}
+
+/// Minimal varint writer mirroring the on-disk encoding, for assembling
+/// frozen old-version binary fixtures by hand.
+void putV(std::string& s, uint64_t v) {
+  while (v >= 0x80) {
+    s.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  s.push_back(static_cast<char>(v));
+}
+uint64_t zz(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+TEST(LogIoCompat, Version1BinaryStillLoads) {
+  std::string bin("\x89"
+                  "CBL",
+                  4);
+  bin.push_back(1);  // version 1
+  putV(bin, 101);    // threshold
+  putV(bin, 2);      // streams
+  putV(bin, 5000);   // cycles — v1 header ends here
+  putV(bin, 1);      // one sample
+  putV(bin, 0);      // stream
+  putV(bin, 0);      // taskTag
+  putV(bin, zz(150));  // cycle delta
+  putV(bin, 0);      // runtime frame — v1 sample has no access kind
+  putV(bin, 1);      // one frame
+  putV(bin, zz(3));
+  putV(bin, zz(7));
+  putV(bin, 0);      // no spawns
+  putV(bin, 1);      // one alloc site
+  putV(bin, zz(77));
+  putV(bin, 4096);   // v1 ends here: no comm matrix section
+  sampling::RunLog log;
+  ASSERT_TRUE(sampling::deserializeRunLog(bin, log));
+  EXPECT_EQ(log.sampleThreshold, 101u);
+  ASSERT_EQ(log.samples.size(), 1u);
+  EXPECT_EQ(log.samples[0].atCycle, 150u);
+  EXPECT_EQ(log.samples[0].accessKind, sampling::AccessKind::None);
+  EXPECT_EQ(log.allocBytesBySite.at(77), 4096u);
+  EXPECT_EQ(log.commGets, 0u);
+  EXPECT_EQ(log.commAggGets, 0u);
+  EXPECT_TRUE(log.commMatrix.empty());
+}
+
+TEST(LogIoCompat, Version2BinaryStillLoads) {
+  std::string bin("\x89"
+                  "CBL",
+                  4);
+  bin.push_back(2);  // version 2
+  putV(bin, 101);
+  putV(bin, 2);
+  putV(bin, 5000);
+  putV(bin, 10);     // commGets
+  putV(bin, 20);     // commPuts
+  putV(bin, 3);      // commOnForks — v2 header ends here
+  putV(bin, 1);      // one sample
+  putV(bin, 0);
+  putV(bin, 0);
+  putV(bin, zz(150));
+  putV(bin, 0);      // runtime frame
+  putV(bin, 2);      // access kind RemoteGet — v2 encodes NO pair after it
+  putV(bin, 0);      // empty stack
+  putV(bin, 0);      // no spawns
+  putV(bin, 0);      // no alloc sites — v2 ends here: no matrix section
+  sampling::RunLog log;
+  ASSERT_TRUE(sampling::deserializeRunLog(bin, log));
+  EXPECT_EQ(log.commGets, 10u);
+  EXPECT_EQ(log.commPuts, 20u);
+  EXPECT_EQ(log.commOnForks, 3u);
+  EXPECT_EQ(log.commAggGets, 0u);
+  ASSERT_EQ(log.samples.size(), 1u);
+  EXPECT_EQ(log.samples[0].accessKind, sampling::AccessKind::RemoteGet);
+  EXPECT_EQ(log.samples[0].srcLocale, 0);
+  EXPECT_EQ(log.samples[0].dstLocale, 0);
+  EXPECT_TRUE(log.commMatrix.empty());
 }
 
 /// The acceptance gate: on each paper benchmark, the binary log is lossless

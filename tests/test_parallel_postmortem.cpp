@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <utility>
 
 #include "postmortem/parallel.h"
 #include "support/rng.h"
@@ -392,6 +393,65 @@ TEST(ParallelMerge, MergeSumsCommSplitFields) {
   EXPECT_EQ(merged.rows[0].remoteSamples(), 7u);
 }
 
+TEST(ParallelMerge, MergeSumsCommMatrixCells) {
+  // Cell-level merge semantics: shared pairs sum, disjoint pairs interleave
+  // in (src, dst) order, and no zero or duplicate cell survives.
+  auto rowWithCells = [](std::vector<pm::CommCell> cells) {
+    pm::VariableBlame row;
+    row.name = "x";
+    row.type = "int";
+    row.context = "main";
+    for (const pm::CommCell& c : cells) row.remoteGetSamples += c.samples;
+    row.sampleCount = row.remoteGetSamples;
+    row.commMatrix = std::move(cells);
+    return row;
+  };
+  pm::BlameReport a, b;
+  a.totalUserSamples = a.totalRawSamples = 10;
+  a.rows = {rowWithCells({{0, 2, 4}, {3, 1, 6}})};
+  a.totalComm = {{0, 2, 4}, {3, 1, 6}};
+  b.totalUserSamples = b.totalRawSamples = 10;
+  b.rows = {rowWithCells({{0, 2, 1}, {1, 0, 9}})};
+  b.totalComm = {{0, 2, 1}, {1, 0, 9}};
+  pm::BlameReport merged = pm::aggregateAcrossLocales({&a, &b});
+  std::vector<pm::CommCell> expected = {{0, 2, 5}, {1, 0, 9}, {3, 1, 6}};
+  ASSERT_EQ(merged.rows.size(), 1u);
+  EXPECT_EQ(merged.rows[0].commMatrix, expected);
+  EXPECT_EQ(merged.totalComm, expected);
+  EXPECT_EQ(pm::aggregateAcrossLocales({&b, &a}).totalComm, expected);
+}
+
+TEST(ParallelPostmortem, CommMatrixSurvivesShardingAtAnyWidth) {
+  // A live multi-locale rank with real remote traffic: the sharded pipeline
+  // must reproduce the per-variable comm matrices and the global matrix bit
+  // for bit at every worker/shard combination (matrix merging is part of
+  // the deterministic reduction, not a sequential afterthought).
+  Profiler p;
+  p.options().run.sampleThreshold = 997;
+  p.options().run.numLocales = 4;
+  p.options().run.localeId = 1;
+  p.options().run.configOverrides["hereId"] = "1";
+  p.options().postmortem.workers = 1;
+  ASSERT_TRUE(p.profileFile(assetProgram("ig_naive"))) << p.lastError();
+  const pm::BlameReport& ref = *p.blameReport();
+  ASSERT_FALSE(ref.totalComm.empty()) << "vacuous without remote samples";
+  uint64_t cells = 0;
+  for (const pm::VariableBlame& row : ref.rows) cells += row.commMatrix.size();
+  ASSERT_GT(cells, 0u);
+  const sampling::RunLog& log = p.runResult()->log;
+  for (auto [workers, shards] : {std::pair<uint32_t, uint32_t>{2, 3},
+                                 {4, 16},
+                                 {8, 1},
+                                 {3, 64}}) {
+    pm::ParallelOptions popts;
+    popts.workers = workers;
+    popts.shards = shards;
+    pm::PostmortemResult r = pm::runPostmortem(p.compilation()->module(), p.moduleBlame(),
+                                               log, {}, {}, popts);
+    ASSERT_EQ(r.report, ref) << "workers=" << workers << " shards=" << shards;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Property suite: random sample logs -> shard -> merge == sequential.
 // ---------------------------------------------------------------------------
@@ -447,6 +507,15 @@ sampling::RunLog randomLog(const ir::Module& m, Rng& rng) {
       default:
         s.taskTag = numTags ? rng.nextBounded(numTags + 1) : 0;
         s.stack = randomStack(6);
+        // Random comm classification: some samples are local accesses, some
+        // remote with a live locale pair — the sharded pipeline must carry
+        // the pairs into per-variable matrices identically to sequential.
+        s.accessKind = static_cast<sampling::AccessKind>(rng.nextBounded(4));
+        if (s.accessKind == sampling::AccessKind::RemoteGet ||
+            s.accessKind == sampling::AccessKind::RemotePut) {
+          s.srcLocale = static_cast<int32_t>(rng.nextBounded(8));
+          s.dstLocale = static_cast<int32_t>((s.srcLocale + 1 + rng.nextBounded(7)) % 8);
+        }
         break;
     }
     log.samples.push_back(std::move(s));

@@ -223,7 +223,8 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ClompShapeSweep,
 // Grammar-based fuzzing of the PGAS frontend: a seeded generator over the
 // mini-Chapel grammar — distributed (`dmapped Block`/`Cyclic`) and plain
 // domains, `on Locales[e]` blocks (nested, `here.id`-relative, out-of-range
-// targets that wrap), foralls, gathers, procedure calls and reductions.
+// targets that wrap), foralls, gathers, procedure calls, reductions, and
+// Src/DstAggregator `with`-intent copies (buffered remote transfers).
 // Every generated program must (a) get through parse + sema without
 // crashing, (b) lower to a module the IR verifier accepts, and (c) execute
 // bit-identically on the bytecode engine and the tree-walking reference
@@ -241,6 +242,7 @@ std::string fuzzPgasProgram(uint64_t seed) {
   s += "const D = {0..#" + num(n) + "}" + dists[pick(3)] + ";\n";
   s += "const E = {0..#" + num(n) + "}" + dists[pick(3)] + ";\n";
   s += "var a: [D] real;\nvar b: [E] real;\nvar c: [D] int;\n";
+  s += "var g: [{0..#" + num(n) + "}] real;\n";  // plain staging array for aggregators
 
   s += "proc fill() {\n";
   s += "  forall i in D {\n";
@@ -265,7 +267,7 @@ std::string fuzzPgasProgram(uint64_t seed) {
   std::string body;
   uint32_t stmts = 1 + pick(3);
   for (uint32_t k = 0; k < stmts; ++k) {
-    switch (pick(5)) {
+    switch (pick(7)) {
       case 0:
         body += "    sweep(0, " + num(mid) + ");\n";
         break;
@@ -277,6 +279,18 @@ std::string fuzzPgasProgram(uint64_t seed) {
         break;
       case 3:
         body += "    for i in 0..#" + num(n) + " { a[i] = a[i] + b[i] * 0.25; }\n";
+        break;
+      case 4:
+        // Aggregated gather: remote reads of a distributed table batched
+        // into a plain staging array through a SrcAggregator task intent.
+        body += "    forall i in D with (var ga = new SrcAggregator(real)) { "
+                "ga.copy(g[i], a[i]); }\n";
+        break;
+      case 5:
+        // Aggregated scatter: disjoint remote writes through a
+        // DstAggregator (each index written once, so flush order is moot).
+        body += "    forall i in E with (var da = new DstAggregator(real)) { "
+                "da.copy(b[i], g[i] + " + num(pick(3)) + ".25); }\n";
         break;
       default:
         body += "    if here.id == " + num(pick(4)) + " { a[0] = a[0] + 1.0; }\n";
@@ -301,7 +315,7 @@ std::string fuzzPgasProgram(uint64_t seed) {
   if (pick(2) == 0) s += "    for l in 0..#numLocales { on Locales[l] { sweep(0, " + num(n - 1) + "); } }\n";
   s += "  }\n";
   s += "  var chk = 0.0;\n";
-  s += "  for i in 0..#" + num(n) + " { chk = chk + a[i] + b[i] + c[i]; }\n";
+  s += "  for i in 0..#" + num(n) + " { chk = chk + a[i] + b[i] + c[i] + g[i]; }\n";
   s += "  writeln(\"chk:\", chk);\n";
   s += "}\n";
   return s;
