@@ -1,0 +1,50 @@
+/* Weak-scaling probe: per-locale work is CONSTANT at any locale count.
+   Each rank owns a `win`-element window of a Block-distributed ring,
+   initializes it, does `reps` passes of local compute over it, then reads
+   its right neighbor's window remotely — exactly one (me -> me+1) comm
+   pair per rank, so the global comm matrix is a sparse ring with
+   numLocales cells whether 4 locales run or 1024.
+
+   Unlike the minimd/ig programs, no rank ever loops over `Locales`: the
+   per-rank instruction count does not grow with numLocales, which is what
+   makes this the bench_weak_scale driver (1/4/16/64/256/1024 locales at
+   fixed per-locale cost, memory bounded by the streaming aggregator).   */
+
+config const win = 32;
+config const reps = 64;
+
+const ringSize = win * numLocales;
+const R = {0..#ringSize} dmapped Block;
+
+var Ring: [R] int;
+var Acc: [{0..#win}] int;
+
+proc main() {
+  const me = here.id;
+  const lo = me * win;
+
+  /* Owner-order init: this rank touches only its own window — all local. */
+  for k in lo..#win {
+    Ring[k] = k * 3 + 1;
+  }
+
+  /* Fixed local compute: reps passes over the owned window. */
+  var s = 0;
+  for r in 0..#reps {
+    for k in lo..#win {
+      s = s + Ring[k] * (r + 1);
+    }
+  }
+
+  /* Neighbor exchange: win remote GETs from the next rank's window. */
+  const nb = (me + 1) % numLocales;
+  const nlo = nb * win;
+  for k in 0..#win {
+    Acc[k] = Ring[nlo + k];
+  }
+  for k in 0..#win {
+    s = s + Acc[k];
+  }
+
+  writeln("weakscale checksum:", s);
+}

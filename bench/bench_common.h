@@ -51,6 +51,24 @@ inline uint64_t runtimeCycles(const std::string& name, bool fast = false,
   return p.runResult()->totalCycles;
 }
 
+/// runtimeCycles under an explicit cost profile (e.g.
+/// rt::CostProfile::bandwidthCeiling) instead of the standard/fast pair.
+/// `fast` still selects the compile pipeline; the profile decides the costs.
+inline uint64_t runtimeCyclesProfile(const std::string& name, const rt::CostProfile& profile,
+                                     bool fast = false,
+                                     std::map<std::string, std::string> configs = {}) {
+  Profiler p;
+  p.options().compile.fast = fast;
+  p.options().run.costProfileOverride = profile;
+  p.options().run.sampleThreshold = 0;
+  for (auto& [k, v] : configs) p.options().run.configOverrides[k] = v;
+  if (!(p.compileFile(assetProgram(name)) && p.run())) {
+    std::fprintf(stderr, "bench: running %s failed:\n%s\n", name.c_str(), p.lastError().c_str());
+    std::exit(1);
+  }
+  return p.runResult()->totalCycles;
+}
+
 /// Same, for an in-memory source (LULESH variants).
 inline uint64_t runtimeCyclesSource(const std::string& source, bool fast = false) {
   Profiler p;

@@ -5,8 +5,10 @@
 // paper-scale sample volume to chew on; every parallel run is checked
 // bit-identical to the sequential report before its time is reported.
 #include <chrono>
+#include <random>
 
 #include "bench_common.h"
+#include "postmortem/attribution.h"
 #include "postmortem/parallel.h"
 #include "support/thread_pool.h"
 
@@ -57,6 +59,65 @@ void benchProgram(const char* name, uint64_t threshold) {
   }
 }
 
+// Micro-perf of the shared reduction kernel behind both the multi-locale
+// combine and the shard merge: 1024 synthetic locale reports, rows drawn
+// from a fixed key pool (so merges collide, the hot path), each with a
+// sparse comm matrix over 1024 locales. Exercises the two-pointer
+// sorted-cell merge and the intern-once-per-report row keying.
+void benchAggregation() {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> name(0, 15), ctx(0, 3), cells(2, 8);
+  std::uniform_int_distribution<int32_t> loc(0, 1023);
+  std::uniform_int_distribution<uint64_t> samp(1, 997);
+  std::vector<cb::pm::BlameReport> reports(1024);
+  for (cb::pm::BlameReport& r : reports) {
+    for (int i = 0; i < 12; ++i) {
+      cb::pm::VariableBlame row;
+      row.name = "v" + std::to_string(name(rng));
+      row.context = "f" + std::to_string(ctx(rng));
+      row.type = "int";
+      std::map<std::pair<int32_t, int32_t>, uint64_t> cm;
+      for (int c = cells(rng); c > 0; --c) {
+        int32_t s = loc(rng), d = loc(rng);
+        if (s != d) cm[{s, d}] += samp(rng);
+      }
+      for (const auto& [key, n] : cm) {
+        row.commMatrix.push_back({key.first, key.second, n});
+        row.remoteGetSamples += n;
+      }
+      row.localSamples = samp(rng);
+      row.sampleCount = row.localSamples + row.remoteGetSamples;
+      r.totalUserSamples += row.sampleCount;
+      r.rows.push_back(std::move(row));
+    }
+    r.totalRawSamples = r.totalUserSamples;
+  }
+  std::vector<const cb::pm::BlameReport*> ptrs;
+  for (const cb::pm::BlameReport& r : reports) ptrs.push_back(&r);
+
+  double batchMs = 1e300, streamMs = 1e300;
+  cb::pm::BlameReport batch, streamed;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto t0 = Clock::now();
+    batch = cb::pm::aggregateAcrossLocales(ptrs);
+    auto t1 = Clock::now();
+    batchMs = std::min(batchMs, millis(t0, t1));
+    auto t2 = Clock::now();
+    cb::pm::StreamingAggregator agg;
+    for (const cb::pm::BlameReport& r : reports) agg.add(r);
+    streamed = agg.finish();
+    auto t3 = Clock::now();
+    streamMs = std::min(streamMs, millis(t2, t3));
+  }
+  bool identical = batch == streamed;
+  std::printf("\naggregate 1024 locale reports (12 rows, sparse 1024-locale matrices):\n");
+  std::printf("  %-28s %12.2f %10.0f reports/ms\n", "batch (vector of ptrs)", batchMs,
+              1024.0 / batchMs);
+  std::printf("  %-28s %12.2f %10.0f reports/ms%s\n", "streaming (fold + finish)", streamMs,
+              1024.0 / streamMs, identical ? "" : "  ** MISMATCH **");
+  if (!identical) std::exit(1);
+}
+
 }  // namespace
 
 int main() {
@@ -67,5 +128,6 @@ int main() {
   std::printf("hardware concurrency: %u\n", cb::ThreadPool::defaultConcurrency());
   benchProgram("lulesh", 211);
   benchProgram("minimd", 211);
+  benchAggregation();
   return 0;
 }

@@ -1,0 +1,165 @@
+// Memory-bounded weak scaling: profileMultiLocale on the weakscale.chpl
+// neighbor ring (constant per-locale work) at 1/4/16/64/256/1024 simulated
+// locales with keepPerLocaleReports=false, so every per-locale BlameReport
+// dies as soon as the streaming aggregator has folded it.
+//
+// Emits one JSON object (the CI timing-smoke artifact) and exits non-zero
+// when any acceptance bar fails:
+//   - every run completes and the aggregate's comm matrix is the full
+//     (l -> l+1 mod L) ring;
+//   - streaming == batch bit-identity on real 64-locale reports, and the
+//     drop-mode aggregate == the keep-mode aggregate;
+//   - allocator counter: folding 1024 reports over the 64-locale key pool
+//     grows the accumulator at most 1.5x past its 64-fold footprint;
+//   - peak RSS after the full ascending sweep stays under the budget.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <vector>
+
+#include "bench_common.h"
+#include "postmortem/attribution.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// High-water RSS of this process in MiB (ru_maxrss is KiB on Linux).
+double peakRssMb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+struct Row {
+  uint32_t locales = 0;
+  double ms = 0.0;
+  unsigned long long rawSamples = 0;
+  size_t commCells = 0;
+  size_t rows = 0;
+  double peakRss = 0.0;
+};
+
+cb::MultiLocaleResult runWeakScale(uint32_t locales, bool keep) {
+  cb::ProfileOptions o;
+  o.keepPerLocaleReports = keep;
+  cb::MultiLocaleResult r =
+      cb::profileMultiLocale(cb::assetProgram("weakscale"), locales, o);
+  if (!r.ok) {
+    std::fprintf(stderr, "bench: weakscale at %u locales failed:\n%s\n", locales,
+                 r.error.c_str());
+    std::exit(1);
+  }
+  return r;
+}
+
+void requireRing(const cb::MultiLocaleResult& r, uint32_t locales) {
+  if (locales == 1) {  // the neighbor is the rank itself: all local
+    if (!r.aggregate.totalComm.empty()) {
+      std::fprintf(stderr, "bench: 1 locale: unexpected remote cells\n");
+      std::exit(1);
+    }
+    return;
+  }
+  if (r.aggregate.totalComm.size() != locales) {
+    std::fprintf(stderr, "bench: %u locales: expected %u ring cells, got %zu\n", locales,
+                 locales, r.aggregate.totalComm.size());
+    std::exit(1);
+  }
+  for (const cb::pm::CommCell& c : r.aggregate.totalComm) {
+    if (c.dst != (c.src + 1) % static_cast<int32_t>(locales) || c.samples == 0) {
+      std::fprintf(stderr, "bench: %u locales: non-ring cell %d->%d\n", locales, c.src,
+                   c.dst);
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The budget the 1024-locale drop-mode sweep must fit in. Measured peak
+  // for the whole ascending 1..1024 sweep when this bench was introduced:
+  // 9.6 MiB. The budget leaves allocator/toolchain headroom while still
+  // catching any return to O(locales x report) materialization, which blows
+  // far past it.
+  constexpr double kPeakRssBudgetMb = 64.0;
+
+  std::vector<Row> rows;
+  for (uint32_t locales : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    auto t0 = Clock::now();
+    cb::MultiLocaleResult r = runWeakScale(locales, /*keep=*/false);
+    auto t1 = Clock::now();
+    requireRing(r, locales);
+    for (const cb::pm::BlameReport& rep : r.perLocale) {
+      if (!rep.rows.empty()) {
+        std::fprintf(stderr, "bench: %u locales: per-locale report retained in drop mode\n",
+                     locales);
+        std::exit(1);
+      }
+    }
+    rows.push_back({locales, std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                    (unsigned long long)r.aggregate.totalRawSamples,
+                    r.aggregate.totalComm.size(), r.aggregate.rows.size(), peakRssMb()});
+  }
+
+  // Bit-identity on real reports: the streamed keep-mode aggregate vs the
+  // batch combine of its retained reports, and drop mode vs keep mode.
+  cb::MultiLocaleResult keep64 = runWeakScale(64, /*keep=*/true);
+  std::vector<const cb::pm::BlameReport*> ptrs;
+  for (const cb::pm::BlameReport& rep : keep64.perLocale) ptrs.push_back(&rep);
+  bool streamingMatchesBatch = keep64.aggregate == cb::pm::aggregateAcrossLocales(ptrs);
+  cb::MultiLocaleResult drop64 = runWeakScale(64, /*keep=*/false);
+  bool dropMatchesKeep = drop64.aggregate == keep64.aggregate;
+
+  // Allocator counter: 1024 folds over the 64-locale key pool must not grow
+  // the accumulator meaningfully past its 64-fold footprint.
+  cb::pm::StreamingAggregator accum;
+  size_t after64 = 0;
+  for (int pass = 0; pass < 16; ++pass) {
+    for (const cb::pm::BlameReport& rep : keep64.perLocale) accum.add(rep);
+    if (pass == 0) after64 = accum.approxMemoryBytes();
+  }
+  size_t after1024 = accum.approxMemoryBytes();
+
+  double peak = peakRssMb();
+  bool rssOk = peak <= kPeakRssBudgetMb;
+  bool accumOk = after64 > 0 && after1024 <= after64 + after64 / 2;
+
+  std::printf("{\n  \"weak_scaling\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"locales\": %u, \"ms\": %.1f, \"ms_per_locale\": %.3f, "
+                "\"raw_samples\": %llu, \"comm_cells\": %zu, \"blame_rows\": %zu, "
+                "\"peak_rss_mb\": %.1f}%s\n",
+                r.locales, r.ms, r.ms / r.locales, r.rawSamples, r.commCells, r.rows,
+                r.peakRss, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"streaming_matches_batch\": %s,\n", streamingMatchesBatch ? "true" : "false");
+  std::printf("  \"drop_matches_keep\": %s,\n", dropMatchesKeep ? "true" : "false");
+  std::printf("  \"accum_bytes_after_64_folds\": %zu,\n", after64);
+  std::printf("  \"accum_bytes_after_1024_folds\": %zu,\n", after1024);
+  std::printf("  \"peak_rss_mb\": %.1f,\n", peak);
+  std::printf("  \"peak_rss_budget_mb\": %.1f\n}\n", kPeakRssBudgetMb);
+
+  if (!streamingMatchesBatch) {
+    std::fprintf(stderr, "bench: streamed aggregate != batch aggregate\n");
+    return 1;
+  }
+  if (!dropMatchesKeep) {
+    std::fprintf(stderr, "bench: drop-mode aggregate != keep-mode aggregate\n");
+    return 1;
+  }
+  if (!accumOk) {
+    std::fprintf(stderr, "bench: accumulator grew %zu -> %zu bytes over repeated folds\n",
+                 after64, after1024);
+    return 1;
+  }
+  if (!rssOk) {
+    std::fprintf(stderr, "bench: peak RSS %.1f MiB exceeds the %.1f MiB budget\n", peak,
+                 kPeakRssBudgetMb);
+    return 1;
+  }
+  return 0;
+}

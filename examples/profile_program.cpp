@@ -31,7 +31,7 @@ void usage() {
       "  --skid N              simulate PMU skid of N instructions\n"
       "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
       "  --replay-threads N    replay eligible parallel regions on N OS threads\n"
-      "  --locales N           simulate N locales and aggregate blame\n"
+      "  --locales N           simulate N locales (1..4096) and aggregate blame\n"
       "  --save-log PATH       write the raw monitoring dataset to PATH\n"
       "  --html PATH           write a standalone HTML report (the GUI) to PATH\n"
       "  --no-idle             do not sample idle workers\n"
@@ -90,7 +90,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--replay-threads") {
       profiler.options().run.replayThreads = static_cast<uint32_t>(std::stoul(next()));
     } else if (arg == "--locales") {
-      numLocales = static_cast<uint32_t>(std::stoul(next()));
+      uint64_t requested = std::strtoull(next().c_str(), nullptr, 10);
+      if (std::string err = cb::validateLocaleCount(requested); !err.empty()) {
+        std::cerr << "error: --locales: " << err << "\n";
+        return 2;
+      }
+      numLocales = static_cast<uint32_t>(requested);
     } else if (arg == "--save-log") {
       saveLogPath = next();
     } else if (arg == "--html") {

@@ -1,6 +1,7 @@
 #include "core/profiler.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "cb_config.h"
 #include "support/thread_pool.h"
@@ -108,18 +109,36 @@ std::string Profiler::guiText() const {
   return rpt::guiView(*report_, *codeReport_, opts_.view);
 }
 
+std::string validateLocaleCount(uint64_t n) {
+  if (n == 0) return "locale count must be at least 1";
+  if (n > kMaxSimulatedLocales)
+    return "locale count " + std::to_string(n) + " exceeds the supported maximum of " +
+           std::to_string(kMaxSimulatedLocales);
+  return {};
+}
+
 MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocales,
                                      ProfileOptions opts) {
   MultiLocaleResult result;
-  if (numLocales == 0) numLocales = 1;
+  if (std::string err = validateLocaleCount(numLocales); !err.empty()) {
+    result.error = std::move(err);
+    result.ok = false;
+    return result;
+  }
   result.perLocale.resize(numLocales);
   result.localeErrors.resize(numLocales);
 
   // Each locale is one full SPMD pipeline run (compile + monitored execution
   // + post-mortem) — embarrassingly parallel, so fan the locales out over a
-  // pool. Every locale writes only its own pre-sized slots; the aggregate is
-  // combined afterwards in locale order, so the result is bit-identical for
-  // any worker count (including the sequential path).
+  // pool. Every locale writes only its own pre-sized slots, and each
+  // finished report is folded straight into a streaming aggregator (guarded
+  // by a mutex) whose folds are all commutative sums, so the aggregate is
+  // bit-identical for any worker count and any completion order. With
+  // keepPerLocaleReports off, the report dies with its pipeline right after
+  // the fold: peak memory is the accumulator plus the in-flight pipelines,
+  // never numLocales full reports.
+  pm::StreamingAggregator agg;
+  std::mutex aggMutex;
   auto runLocale = [&, numLocales](uint32_t locale) {
     ProfileOptions o = opts;
     o.run.rngSeed = opts.run.rngSeed + locale;
@@ -127,10 +146,15 @@ MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocale
     o.run.localeId = locale;
     o.run.configOverrides["hereId"] = std::to_string(locale);
     Profiler p(o);
-    if (!p.profileFile(path))
+    if (!p.profileFile(path)) {
       result.localeErrors[locale] = "locale " + std::to_string(locale) + ": " + p.lastError();
-    else
-      result.perLocale[locale] = *p.blameReport();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(aggMutex);
+      agg.add(*p.blameReport());
+    }
+    if (opts.keepPerLocaleReports) result.perLocale[locale] = std::move(*p.blameReportMutable());
   };
 
   uint32_t workers = opts.localeWorkers != 0
@@ -152,11 +176,7 @@ MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocale
     if (!result.error.empty()) result.error += "; ";
     result.error += result.localeErrors[locale];
   }
-  std::vector<const pm::BlameReport*> ptrs;
-  ptrs.reserve(numLocales);
-  for (uint32_t locale = 0; locale < numLocales; ++locale)
-    if (result.localeErrors[locale].empty()) ptrs.push_back(&result.perLocale[locale]);
-  result.aggregate = pm::aggregateAcrossLocales(ptrs);
+  result.aggregate = agg.finish();
   result.ok = result.error.empty();
   return result;
 }

@@ -48,9 +48,27 @@ struct ProfileOptions {
   /// this many workers. 0 = auto (min(numLocales, hardware)); 1 = fully
   /// sequential. Any value yields bit-identical per-locale and aggregate
   /// reports — locale results land in pre-sized slots and the aggregate is
-  /// combined in locale order.
+  /// streamed through a commutative accumulator, so completion order cannot
+  /// change it.
   uint32_t localeWorkers = 0;
+  /// When false, profileMultiLocale drops each locale's BlameReport as soon
+  /// as it has been folded into the streaming aggregate, leaving
+  /// MultiLocaleResult::perLocale slots empty. That bounds peak memory at
+  /// O(distinct aggregate rows) + O(localeWorkers in-flight pipelines)
+  /// instead of O(numLocales × report) — the difference between 1024
+  /// simulated locales fitting comfortably and not.
+  bool keepPerLocaleReports = true;
 };
+
+/// Highest `numLocales` profileMultiLocale (and the profile_program
+/// `--locales` flag) accepts. 1024-locale weak scaling is a supported,
+/// benchmarked configuration; the cap only rejects typo-sized requests that
+/// would spawn an absurd number of pipelines.
+inline constexpr uint32_t kMaxSimulatedLocales = 4096;
+
+/// Validates a requested simulated-locale count: returns an empty string
+/// when `1 <= n <= kMaxSimulatedLocales`, else a human-readable error.
+std::string validateLocaleCount(uint64_t n);
 
 /// Absolute path of a bundled mini-Chapel program, e.g. assetProgram("clomp")
 /// -> "<repo>/assets/programs/clomp.chpl".
@@ -90,6 +108,9 @@ class Profiler {
     return instances_ ? &*instances_ : nullptr;
   }
   const pm::BlameReport* blameReport() const { return report_ ? &*report_ : nullptr; }
+  /// Mutable access so short-lived pipelines can move the report out instead
+  /// of copying it (profileMultiLocale folds then steals each locale's).
+  pm::BlameReport* blameReportMutable() { return report_ ? &*report_ : nullptr; }
   const rpt::CodeCentricReport* codeReport() const {
     return codeReport_ ? &*codeReport_ : nullptr;
   }
@@ -125,7 +146,10 @@ class Profiler {
 /// parallel across locales; step 4 is the combine.
 struct MultiLocaleResult {
   pm::BlameReport aggregate;
-  std::vector<pm::BlameReport> perLocale;  // one slot per locale (empty on failure)
+  /// One slot per locale; empty on failure, and empty for EVERY locale when
+  /// ProfileOptions::keepPerLocaleReports is false (the aggregate is then
+  /// the only retained artefact).
+  std::vector<pm::BlameReport> perLocale;
   /// Per-locale failure descriptions, one slot per locale; empty string =
   /// success. Every failing locale is surfaced (not just the first), and
   /// reports from locales that completed are kept in `perLocale` and still

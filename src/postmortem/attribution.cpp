@@ -55,6 +55,38 @@ std::vector<CommCell> cellsOf(const std::map<uint64_t, uint64_t>& m) {
   return out;
 }
 
+/// Accumulates `add` into `into`, both sorted by (src, dst): a two-pointer
+/// merge with no per-cell map nodes. `scratch` is caller-provided so a long
+/// sequence of merges (one per input report) reuses one buffer instead of
+/// allocating per row.
+void mergeSortedCells(std::vector<CommCell>& into, const std::vector<CommCell>& add,
+                      std::vector<CommCell>& scratch) {
+  if (add.empty()) return;
+  if (into.empty()) {
+    into = add;
+    return;
+  }
+  scratch.clear();
+  scratch.reserve(into.size() + add.size());
+  auto key = [](const CommCell& c) { return sampling::RunLog::pairKey(c.src, c.dst); };
+  size_t i = 0, j = 0;
+  while (i < into.size() && j < add.size()) {
+    uint64_t ka = key(into[i]), kb = key(add[j]);
+    if (ka < kb) {
+      scratch.push_back(into[i++]);
+    } else if (kb < ka) {
+      scratch.push_back(add[j++]);
+    } else {
+      CommCell c = into[i++];
+      c.samples += add[j++].samples;
+      scratch.push_back(c);
+    }
+  }
+  scratch.insert(scratch.end(), into.begin() + i, into.end());
+  scratch.insert(scratch.end(), add.begin() + j, add.end());
+  into.swap(scratch);
+}
+
 struct AttrKeyHash {
   size_t operator()(const AttrKey& k) const {
     uint64_t h = k.context;
@@ -344,32 +376,36 @@ BlameReport attribute(const an::ModuleBlame& mb, const std::vector<const Instanc
   return Attributor(mb, opts).run(instances);
 }
 
-BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale) {
-  BlameReport out;
-  // Key on (context, name, type) — the same key the attributor aggregates
-  // per sample — so a merge of per-shard partial reports is row-for-row
-  // identical to attributing the union sequentially. The triple is interned
-  // per distinct string rather than concatenated per row.
+namespace {
+
+/// Shared accumulator behind both the batch and the streaming reductions.
+/// Keys on (context, name, type) — the same key the attributor aggregates
+/// per sample — so a merge of per-shard partial reports is row-for-row
+/// identical to attributing the union sequentially. Strings are interned
+/// once per distinct value, comm matrices merge as sorted CommCell vectors
+/// via two-pointer passes (no per-cell map nodes), and percentages plus the
+/// final row order are applied only in finish() — every fold is a
+/// commutative sum, so arrival order cannot change the result.
+struct AggAccum {
   StringInterner syms;
   std::unordered_map<AttrKey, VariableBlame, AttrKeyHash> agg;
-  // Comm matrices merge sparsely through keyed maps: only cells that are
-  // actually present in some input are ever touched, so a 64-locale run
-  // with 3 communicating pairs costs 3 cells, not 64x64.
-  std::unordered_map<AttrKey, std::map<uint64_t, uint64_t>, AttrKeyHash> aggCells;
-  std::map<uint64_t, uint64_t> totalCells;
-  auto mergeCells = [](std::map<uint64_t, uint64_t>& into, const std::vector<CommCell>& cells) {
-    for (const CommCell& c : cells)
-      into[sampling::RunLog::pairKey(c.src, c.dst)] += c.samples;
-  };
-  for (const BlameReport* r : perLocale) {
-    if (!r) continue;
-    out.totalUserSamples += r->totalUserSamples;
-    out.totalRawSamples += r->totalRawSamples;
-    mergeCells(totalCells, r->totalComm);
-    for (const VariableBlame& row : r->rows) {
+  std::vector<CommCell> totalComm;
+  std::vector<CommCell> scratch;
+  uint64_t totalUserSamples = 0;
+  uint64_t totalRawSamples = 0;
+  uint64_t reports = 0;
+
+  void add(const BlameReport& r) {
+    ++reports;
+    totalUserSamples += r.totalUserSamples;
+    totalRawSamples += r.totalRawSamples;
+    mergeSortedCells(totalComm, r.totalComm, scratch);
+    // Rehash at most once per input report, never per row.
+    if (agg.size() + r.rows.size() > agg.bucket_count() * agg.max_load_factor())
+      agg.reserve(agg.size() + r.rows.size());
+    for (const VariableBlame& row : r.rows) {
       AttrKey key{syms.intern(row.context).id(), syms.intern(row.name).id(),
                   syms.intern(row.type).id()};
-      mergeCells(aggCells[key], row.commMatrix);
       auto [it, inserted] = agg.emplace(key, row);
       if (!inserted) {
         it->second.sampleCount += row.sampleCount;
@@ -377,20 +413,70 @@ BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLoc
         it->second.localSamples += row.localSamples;
         it->second.remoteGetSamples += row.remoteGetSamples;
         it->second.remotePutSamples += row.remotePutSamples;
+        mergeSortedCells(it->second.commMatrix, row.commMatrix, scratch);
       }
     }
   }
-  out.rows.reserve(agg.size());
-  for (auto& [key, row] : agg) {
-    row.percent = out.totalUserSamples
-                      ? 100.0 * static_cast<double>(row.sampleCount) / out.totalUserSamples
-                      : 0.0;
-    row.commMatrix = cellsOf(aggCells[key]);
-    out.rows.push_back(std::move(row));
+
+  BlameReport finish() {
+    BlameReport out;
+    out.totalUserSamples = totalUserSamples;
+    out.totalRawSamples = totalRawSamples;
+    out.totalComm = std::move(totalComm);
+    out.rows.reserve(agg.size());
+    for (auto& [key, row] : agg) {
+      row.percent = totalUserSamples
+                        ? 100.0 * static_cast<double>(row.sampleCount) / totalUserSamples
+                        : 0.0;
+      out.rows.push_back(std::move(row));
+    }
+    agg.clear();
+    std::sort(out.rows.begin(), out.rows.end(), blameRowLess);
+    return out;
   }
-  out.totalComm = cellsOf(totalCells);
-  std::sort(out.rows.begin(), out.rows.end(), blameRowLess);
-  return out;
+
+  size_t approxMemoryBytes() const {
+    size_t bytes = sizeof(*this);
+    for (uint32_t s = 0; s < syms.size(); ++s) {
+      // Interned string storage appears twice (owned vector + map key copy).
+      size_t len = syms.str(Symbol(s)).capacity();
+      bytes += 2 * (len + sizeof(std::string)) + 4 * sizeof(void*);
+    }
+    bytes += agg.bucket_count() * sizeof(void*);
+    for (const auto& [key, row] : agg) {
+      bytes += sizeof(key) + sizeof(row) + 2 * sizeof(void*);
+      bytes += row.name.capacity() + row.type.capacity() + row.context.capacity();
+      bytes += row.commMatrix.capacity() * sizeof(CommCell);
+    }
+    bytes += (totalComm.capacity() + scratch.capacity()) * sizeof(CommCell);
+    return bytes;
+  }
+};
+
+}  // namespace
+
+BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale) {
+  AggAccum acc;
+  for (const BlameReport* r : perLocale)
+    if (r) acc.add(*r);
+  return acc.finish();
 }
+
+struct StreamingAggregator::Impl {
+  AggAccum acc;
+};
+
+StreamingAggregator::StreamingAggregator() : impl_(std::make_unique<Impl>()) {}
+StreamingAggregator::~StreamingAggregator() = default;
+StreamingAggregator::StreamingAggregator(StreamingAggregator&&) noexcept = default;
+StreamingAggregator& StreamingAggregator::operator=(StreamingAggregator&&) noexcept = default;
+
+void StreamingAggregator::add(const BlameReport& report) { impl_->acc.add(report); }
+
+BlameReport StreamingAggregator::finish() { return impl_->acc.finish(); }
+
+uint64_t StreamingAggregator::reportsAdded() const { return impl_->acc.reports; }
+
+size_t StreamingAggregator::approxMemoryBytes() const { return impl_->acc.approxMemoryBytes(); }
 
 }  // namespace cb::pm

@@ -3,6 +3,7 @@
 // exit variables / transfer functions, and aggregate per source variable.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,43 @@ BlameReport attribute(const an::ModuleBlame& mb, const std::vector<const Instanc
 /// denominator, and re-sorts with blameRowLess — the result is bit-identical
 /// for every permutation and partition of the inputs.
 BlameReport aggregateAcrossLocales(const std::vector<const BlameReport*>& perLocale);
+
+/// Incremental form of the same reduction for memory-bounded weak scaling:
+/// per-locale reports are folded in one at a time (and can be discarded by
+/// the caller immediately after), so peak memory is O(distinct rows in the
+/// aggregate), not O(locales × report). Every accumulator operation is a
+/// commutative sum or a sorted-vector merge and percentages/row order are
+/// fixed only in finish(), so ANY arrival order of the same report set —
+/// completion order under a thread pool included — finishes bit-identically
+/// to aggregateAcrossLocales over the batch (enforced by the
+/// WeakScaleProperty tests).
+class StreamingAggregator {
+ public:
+  StreamingAggregator();
+  ~StreamingAggregator();
+  StreamingAggregator(StreamingAggregator&&) noexcept;
+  StreamingAggregator& operator=(StreamingAggregator&&) noexcept;
+
+  /// Folds one per-locale (or per-shard) report into the accumulator.
+  void add(const BlameReport& report);
+
+  /// Recomputes percentages over the combined denominator, sorts with
+  /// blameRowLess and returns the aggregate. The accumulator is consumed:
+  /// reuse requires a fresh instance.
+  BlameReport finish();
+
+  /// Reports folded in so far.
+  uint64_t reportsAdded() const;
+
+  /// Allocator-counter style accounting of the accumulator's heap footprint
+  /// (interned strings, row table, comm cells). Used by bench_weak_scale to
+  /// assert the 1024-locale aggregate stays within a fixed budget.
+  size_t approxMemoryBytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Resolves the user-facing context of a function: task functions report
 /// their lexically-enclosing user function; _module_init reports "main".

@@ -198,26 +198,35 @@ std::string commMatrixView(const pm::BlameReport& report, const ViewOptions& opt
   out << "Global src->dst remote samples — " << totalRemote << " across " << cells.size()
       << " locale pair(s), " << locs.size() << " active locale(s)\n";
 
-  // Heat grid: one glyph per cell, ramp scaled to the hottest cell.
-  static const char kRamp[] = " .:-=+*#%@";
-  char buf[32];
-  out << "      ";
-  for (int32_t d : locs) {
-    std::snprintf(buf, sizeof buf, "%4d", d);
-    out << buf;
-  }
-  out << "  (dst)\n";
-  for (int32_t s : locs) {
-    std::snprintf(buf, sizeof buf, "%5d ", s);
-    out << buf;
+  // Heat grid: one glyph per cell, ramp scaled to the hottest cell. The grid
+  // is quadratic in active locales, so it only renders when it still fits a
+  // terminal (<= 16 active); larger runs fall through to the sparse tables,
+  // which stay O(maxRows) at any locale count.
+  constexpr size_t kDenseGridMaxLocales = 16;
+  if (locs.size() <= kDenseGridMaxLocales) {
+    static const char kRamp[] = " .:-=+*#%@";
+    char buf[32];
+    out << "      ";
     for (int32_t d : locs) {
-      auto it = cells.find({s, d});
-      char g = ' ';
-      if (it != cells.end() && it->second > 0)
-        g = kRamp[1 + static_cast<size_t>((it->second - 1) * 8 / maxCell)];
-      out << "   " << g;
+      std::snprintf(buf, sizeof buf, "%4d", d);
+      out << buf;
     }
-    out << "\n";
+    out << "  (dst)\n";
+    for (int32_t s : locs) {
+      std::snprintf(buf, sizeof buf, "%5d ", s);
+      out << buf;
+      for (int32_t d : locs) {
+        auto it = cells.find({s, d});
+        char g = ' ';
+        if (it != cells.end() && it->second > 0)
+          g = kRamp[1 + static_cast<size_t>((it->second - 1) * 8 / maxCell)];
+        out << "   " << g;
+      }
+      out << "\n";
+    }
+  } else {
+    out << "(heat grid suppressed: " << locs.size() << " active locales > "
+        << kDenseGridMaxLocales << "; showing hottest cells only)\n";
   }
 
   // Hottest cells, numerically.

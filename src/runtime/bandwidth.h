@@ -1,0 +1,142 @@
+// Deterministic bandwidth-ceiling machinery shared by both execution
+// engines (interp.cpp and exec.cpp).
+//
+// The model is a token bucket per execution stream running on the stream's
+// own virtual clock: an allowance accrues at `rate` bytes per 1024 cycles up
+// to a burst cap, every charged transfer consumes its byte count, and a
+// transfer that outruns the allowance stalls the stream for exactly the
+// cycles needed to earn the deficit. In steady state that is the roofline:
+// time per operation = max(compute cycles, bytes / rate) — a latency-bound
+// loop is untouched, a bandwidth-bound loop is clamped to the ceiling, and
+// the stall cycles are counted separately (RunLog::comm*StallCycles) so the
+// post-mortem can tell the two regimes apart.
+//
+// Determinism discipline (the reason replay width and engine choice cannot
+// change a single cycle): all state is a pure function of the stream-local
+// clock, state resets at every task-chunk boundary — exactly where the
+// pending-access classification resets in all four task loops — and is
+// saved/restored around Spawn on the main stream, so chunks are independent
+// of scheduling order by construction. Integer-only math, no randomness.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/cost_model.h"
+
+namespace cb::rt {
+
+/// Per-stream ceiling parameters derived once from a CostProfile. Stream 0
+/// gets the full rates; worker streams split them evenly (concurrent tasks
+/// share the socket's memory bandwidth and the locale's injection port).
+struct BwLimits {
+  uint64_t memRate = 0;     // bytes per 1024 virtual cycles, 0 = off
+  uint64_t memBurstQ = 0;   // burst allowance, bytes << 10
+  uint64_t netRate = 0;
+  uint64_t netBurstQ = 0;
+  uint64_t netElemBytes = 8;
+  uint64_t contWindow = 0;  // owner-contention window, cycles (0 = off)
+  uint64_t contFree = 0;    // free transfers per window
+  uint64_t contStall = 0;   // stall cycles per excess transfer
+
+  bool enabled() const { return memRate != 0 || netRate != 0 || contWindow != 0; }
+
+  static BwLimits forStream(const CostProfile& p, uint32_t stream, uint32_t numWorkers) {
+    BwLimits l;
+    uint64_t share = stream == 0 ? 1 : (numWorkers > 0 ? numWorkers : 1);
+    if (p.memBandwidthBytesPerKCycle) {
+      l.memRate = p.memBandwidthBytesPerKCycle / share;
+      if (l.memRate == 0) l.memRate = 1;
+      l.memBurstQ = p.memBandwidthBurstBytes << 10;
+    }
+    if (p.netInjectionBytesPerKCycle) {
+      l.netRate = p.netInjectionBytesPerKCycle / share;
+      if (l.netRate == 0) l.netRate = 1;
+      l.netBurstQ = p.netInjectionBurstBytes << 10;
+    }
+    l.netElemBytes = p.netElemBytes;
+    l.contWindow = p.netContentionWindowCycles;
+    l.contFree = p.netContentionFreePerWindow;
+    l.contStall = p.netContentionStallCycles;
+    return l;
+  }
+};
+
+/// Token bucket in Q10 fixed point: tokensQ holds bytes << 10, so a refill
+/// of `elapsed * rate` units adds exactly rate bytes per 1024 cycles with no
+/// fractional loss. Overflow-safe: the refill is clamped to the burst cap
+/// before multiplying.
+struct TokenBucket {
+  uint64_t tokensQ = 0;
+  uint64_t lastRefill = 0;
+
+  void reset(uint64_t now, uint64_t burstQ) {
+    tokensQ = burstQ;  // a fresh chunk starts with a full burst allowance
+    lastRefill = now;
+  }
+
+  /// Consume `bytes` at stream time `now`; returns the stall cycles the
+  /// caller must charge (0 when the allowance covers the transfer).
+  uint64_t consume(uint64_t now, uint64_t bytes, uint64_t rate, uint64_t burstQ) {
+    if (rate == 0 || bytes == 0) return 0;
+    uint64_t elapsed = now >= lastRefill ? now - lastRefill : 0;
+    uint64_t headQ = burstQ > tokensQ ? burstQ - tokensQ : 0;
+    if (elapsed >= (headQ + rate - 1) / rate) tokensQ = burstQ;
+    else tokensQ += elapsed * rate;
+    lastRefill = now;
+    uint64_t needQ = bytes << 10;
+    if (tokensQ >= needQ) {
+      tokensQ -= needQ;
+      return 0;
+    }
+    uint64_t deficitQ = needQ - tokensQ;
+    uint64_t stall = (deficitQ + rate - 1) / rate;
+    tokensQ += stall * rate - needQ;  // leftover fraction of the last cycle
+    lastRefill = now + stall;         // caller charges `stall` cycles next
+    return stall;
+  }
+};
+
+/// Owner-contention tracker: counts back-to-back transfers from this stream
+/// to one destination locale. Beyond the free allowance inside a window the
+/// home node's port is congested and each further transfer stalls. Changing
+/// destination or letting the window expire starts a fresh window.
+struct ContentionWindow {
+  int64_t dst = -1;
+  uint64_t windowStart = 0;
+  uint64_t hits = 0;
+
+  void reset() {
+    dst = -1;
+    windowStart = 0;
+    hits = 0;
+  }
+
+  uint64_t note(uint64_t now, int64_t d, const BwLimits& lim) {
+    if (lim.contWindow == 0) return 0;
+    if (d != dst || now - windowStart >= lim.contWindow) {
+      dst = d;
+      windowStart = now;
+      hits = 1;
+      return 0;
+    }
+    ++hits;
+    return hits > lim.contFree ? lim.contStall : 0;
+  }
+};
+
+/// The complete per-stream bandwidth state. Plain value type: saving and
+/// restoring around a Spawn is a struct copy, mirroring the pending-access
+/// fields.
+struct BwState {
+  TokenBucket mem;
+  TokenBucket net;
+  ContentionWindow cont;
+
+  void reset(uint64_t now, const BwLimits& lim) {
+    mem.reset(now, lim.memBurstQ);
+    net.reset(now, lim.netBurstQ);
+    cont.reset();
+  }
+};
+
+}  // namespace cb::rt

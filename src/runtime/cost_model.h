@@ -63,6 +63,41 @@ struct CostProfile {
   uint64_t aggFlushLatency = 600, aggPerElemBandwidth = 3, aggBufferCap = 64;
   uint64_t aggCopyLocal = 4;
 
+  // ---- Bandwidth ceilings (opt-in) ----------------------------------------
+  // Every rate below defaults to 0 = disabled, so the default profiles keep
+  // the pure-latency model bit-for-bit. The ceilings are enforced by a
+  // deterministic virtual-clock token bucket per stream (src/runtime/
+  // bandwidth.h): transfers accrue an allowance at `rate` bytes per 1024
+  // virtual cycles up to a burst cap; a transfer that outruns the allowance
+  // stalls the stream for the cycles needed to earn the deficit, which is
+  // exactly the roofline: steady-state time/op = max(compute, bytes/rate).
+
+  /// Local memory-bandwidth roof. Only arrays whose allocation footprint
+  /// exceeds memCacheResidentBytes are charged (smaller arrays live in
+  /// cache); each element access then consumes 8 * scalarWidth(elem) bytes.
+  /// Stream 0 gets the full rate; each worker stream gets rate/numWorkers
+  /// (concurrent tasks share the socket's bandwidth).
+  uint64_t memBandwidthBytesPerKCycle = 0;
+  uint64_t memBandwidthBurstBytes = 256;
+  uint64_t memCacheResidentBytes = 256 * 1024;
+
+  /// Per-locale network injection-bandwidth roof for the PGAS simulation:
+  /// remote GET/PUT elements and aggregator flush payloads consume
+  /// netElemBytes per element from the injection bucket, splitting remote
+  /// cost into the latency leg (remoteGet/remotePut/aggFlushLatency) and a
+  /// bandwidth leg (stall cycles, counted in RunLog::commNetStallCycles).
+  uint64_t netInjectionBytesPerKCycle = 0;
+  uint64_t netInjectionBurstBytes = 512;
+  uint64_t netElemBytes = 8;
+
+  /// Owner contention: when one stream keeps hitting the SAME destination
+  /// locale, accesses beyond the free allowance within a window stall for
+  /// netContentionStallCycles each (the home-node hot-spot penalty; counted
+  /// in RunLog::commContentionCycles). Window 0 disables the charge.
+  uint64_t netContentionWindowCycles = 0;
+  uint64_t netContentionFreePerWindow = 0;
+  uint64_t netContentionStallCycles = 0;
+
   // Instruction-footprint (icache) pressure: functions larger than the
   // threshold pay a per-cycle multiplier growing with the excess size.
   // This is what makes aggressive `param` unrolling counter-productive
@@ -77,6 +112,11 @@ struct CostProfile {
   /// leaner iterator protocol).
   static CostProfile fast();
   static CostProfile standard() { return CostProfile{}; }
+  /// The calibrated bandwidth-ceiling profile: standard()/fast() costs plus
+  /// the memory roof and network injection/contention ceilings. This is the
+  /// profile that reproduces Table V row 4's memory-bandwidth collapse
+  /// (EXPERIMENTS.md) and the weak-scaling saturation in bench_weak_scale.
+  static CostProfile bandwidthCeiling(bool fastCodegen);
 };
 
 class CostModel {

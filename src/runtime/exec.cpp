@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/bandwidth.h"
 #include "runtime/bytecode.h"
 #include "support/common.h"
 #include "support/rng.h"
@@ -168,6 +169,11 @@ class Engine {
     aggFlushLatencyC_ = p.aggFlushLatency;
     aggPerElemC_ = p.aggPerElemBandwidth;
     aggBufferCapC_ = p.aggBufferCap;
+    memBwRateC_ = p.memBandwidthBytesPerKCycle;
+    memCacheResC_ = p.memCacheResidentBytes;
+    limits0_ = BwLimits::forStream(p, 0, opts.numWorkers);
+    limitsW_ = BwLimits::forStream(p, 1, opts.numWorkers);
+    bwEnabled_ = limits0_.enabled();
   }
 
   RunResult run() {
@@ -187,6 +193,10 @@ class Engine {
     ctx.commAggPuts = &result_.log.commAggPuts;
     ctx.commAggFlushes = &result_.log.commAggFlushes;
     ctx.commMatrix = &result_.log.commMatrix;
+    ctx.commMemStall = &result_.log.commMemStallCycles;
+    ctx.commNetStall = &result_.log.commNetStallCycles;
+    ctx.commContention = &result_.log.commContentionCycles;
+    ctx.bw.reset(0, limits0_);
     ctx.next = nextFor(0);
     try {
       if (m_.moduleInitFunc != ir::kNone) callFunction(ctx, m_.moduleInitFunc, {});
@@ -248,6 +258,13 @@ class Engine {
     uint64_t* commAggPuts = nullptr;
     uint64_t* commAggFlushes = nullptr;
     std::map<uint64_t, uint64_t>* commMatrix = nullptr;
+    // Bandwidth-ceiling state (runtime/bandwidth.h): chunk-local like the
+    // pending access; the stall tallies point into result_.log on the main
+    // thread and into per-worker sums merged via TRec deltas.
+    BwState bw;
+    uint64_t* commMemStall = nullptr;
+    uint64_t* commNetStall = nullptr;
+    uint64_t* commContention = nullptr;
     /// Open simulated aggregators (AggOpen handle = index, LIFO). Buffers
     /// hold per-destination COUNTS only; values move eagerly at copy time.
     struct AggState {
@@ -443,6 +460,9 @@ class Engine {
     int64_t n = dom.size();
     auto obj = std::make_shared<ArrayObj>();
     obj->dom = dom;
+    uint64_t width = scalarWidth(elemTy);
+    if (memBwRateC_ != 0 && static_cast<uint64_t>(n) * width * 8 > memCacheResC_)
+      obj->streamBytes = static_cast<uint32_t>(8 * width);
     obj->data.reserve(static_cast<size_t>(n));
     if (n > 0) {
       if (typeOwnsArrays(elemTy)) {
@@ -452,7 +472,7 @@ class Engine {
         for (int64_t k = 0; k < n; ++k) obj->data.push_back(proto);
       }
     }
-    charge(c, arrayNewPerElemC_ * static_cast<uint64_t>(n) * scalarWidth(elemTy));
+    charge(c, arrayNewPerElemC_ * static_cast<uint64_t>(n) * width);
     Value v;
     v.kind = VKind::Array;
     v.arr = std::move(obj);
@@ -659,9 +679,41 @@ class Engine {
         ++*c.commGets;
         charge(c, remoteGetC_);
       }
+      if (bwEnabled_) chargeNetBw(c, owner, bwLimits(c).netElemBytes);
     } else {
       c.pending = sampling::AccessKind::Local;
       c.pendingSrc = c.pendingDst = 0;
+      if (bwEnabled_) chargeLocalBw(c, own);
+    }
+  }
+
+  // ---- bandwidth ceilings (mirrors Interp::chargeNetBw/chargeLocalBw) ----
+
+  const BwLimits& bwLimits(const Ctx& c) const {
+    return c.stream == 0 ? limits0_ : limitsW_;
+  }
+
+  void chargeNetBw(Ctx& c, int64_t peer, uint64_t bytes) {
+    const BwLimits& lim = bwLimits(c);
+    uint64_t cs = c.bw.cont.note(c.clock, peer, lim);
+    if (cs) {
+      *c.commContention += cs;
+      charge(c, cs);
+    }
+    uint64_t ns = c.bw.net.consume(c.clock, bytes, lim.netRate, lim.netBurstQ);
+    if (ns) {
+      *c.commNetStall += ns;
+      charge(c, ns);
+    }
+  }
+
+  void chargeLocalBw(Ctx& c, const ArrayObj* own) {
+    const BwLimits& lim = bwLimits(c);
+    if (lim.memRate == 0 || own->streamBytes == 0) return;
+    uint64_t ms = c.bw.mem.consume(c.clock, own->streamBytes, lim.memRate, lim.memBurstQ);
+    if (ms) {
+      *c.commMemStall += ms;
+      charge(c, ms);
     }
   }
 
@@ -821,6 +873,7 @@ class Engine {
           if (n == 0) continue;
           ++*ctx.commAggFlushes;
           charge(ctx, aggFlushLatencyC_ + aggPerElemC_ * n);
+          if (bwEnabled_) chargeNetBw(ctx, peer, n * bwLimits(ctx).netElemBytes);
         }
         ctx.aggStack.pop_back();
         break;
@@ -861,6 +914,7 @@ class Engine {
       if (++pending >= aggBufferCapC_) {
         ++*ctx.commAggFlushes;
         charge(ctx, aggFlushLatencyC_ + aggPerElemC_ * pending);
+        if (bwEnabled_) chargeNetBw(ctx, owner, pending * bwLimits(ctx).netElemBytes);
         pending = 0;
       }
     } else {
@@ -968,6 +1022,7 @@ class Engine {
     // whether chunks run here sequentially or on replay threads.
     sampling::AccessKind savedPending = ctx.pending;
     int32_t savedSrc = ctx.pendingSrc, savedDst = ctx.pendingDst;
+    BwState savedBw = ctx.bw;  // bandwidth state is chunk-local, like the pending access
     std::vector<EFrame*> savedStack;
     savedStack.swap(ctx.stack);
     ++ctx.stackGen;
@@ -983,6 +1038,7 @@ class Engine {
         for (const Value& v : extra) args.push_back(v);
         ctx.pending = sampling::AccessKind::None;
         ctx.pendingSrc = ctx.pendingDst = 0;
+        ctx.bw.reset(ctx.clock, bwLimits(ctx));
         callFunction(ctx, bi.t0, std::move(args));
         flushSkid(ctx);
       }
@@ -1011,6 +1067,7 @@ class Engine {
             for (const Value& v : extra) args.push_back(v);
             ctx.pending = sampling::AccessKind::None;
             ctx.pendingSrc = ctx.pendingDst = 0;
+            ctx.bw.reset(workerEnd[ws], limitsW_);
             callFunction(ctx, bi.t0, std::move(args));
             flushSkid(ctx);
             workerEnd[ws] = ctx.clock;
@@ -1043,6 +1100,7 @@ class Engine {
     ctx.pending = savedPending;
     ctx.pendingSrc = savedSrc;
     ctx.pendingDst = savedDst;
+    ctx.bw = savedBw;
   }
 
   const ir::Module& m_;
@@ -1065,6 +1123,10 @@ class Engine {
   uint64_t arrayNewPerElemC_ = 0, arrayFillPerElemC_ = 0, arrayCopyPerElemC_ = 0;
   uint64_t remoteGetC_ = 0, remotePutC_ = 0, onForkC_ = 0;
   uint64_t aggFlushLatencyC_ = 0, aggPerElemC_ = 0, aggBufferCapC_ = 0;
+  uint64_t memBwRateC_ = 0, memCacheResC_ = 0;
+  BwLimits limits0_;
+  BwLimits limitsW_;
+  bool bwEnabled_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -1085,6 +1147,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     // same holds cell-wise for the locale-pair matrix.
     uint64_t gets = 0, puts = 0, forks = 0;
     uint64_t aggGets = 0, aggPuts = 0, aggFlushes = 0;
+    uint64_t memStall = 0, netStall = 0, contention = 0;
     std::vector<std::pair<uint64_t, uint64_t>> matrix;
     std::vector<std::pair<uint32_t, uint64_t>> cycles;
   };
@@ -1128,6 +1191,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
       wc.locale = ctx.locale;
       uint64_t wGets = 0, wPuts = 0, wForks = 0;
       uint64_t wAggGets = 0, wAggPuts = 0, wAggFlushes = 0;
+      uint64_t wMemStall = 0, wNetStall = 0, wContention = 0;
       std::map<uint64_t, uint64_t> wMatrix;
       wc.commGets = &wGets;
       wc.commPuts = &wPuts;
@@ -1136,6 +1200,9 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
       wc.commAggPuts = &wAggPuts;
       wc.commAggFlushes = &wAggFlushes;
       wc.commMatrix = &wMatrix;
+      wc.commMemStall = &wMemStall;
+      wc.commNetStall = &wNetStall;
+      wc.commContention = &wContention;
       uint64_t prevIc = 0;
       auto snap = [&] {
         TRec r;
@@ -1150,8 +1217,12 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
         r.aggGets = wAggGets;
         r.aggPuts = wAggPuts;
         r.aggFlushes = wAggFlushes;
+        r.memStall = wMemStall;
+        r.netStall = wNetStall;
+        r.contention = wContention;
         wGets = wPuts = wForks = 0;
         wAggGets = wAggPuts = wAggFlushes = 0;
+        wMemStall = wNetStall = wContention = 0;
         r.matrix.assign(wMatrix.begin(), wMatrix.end());
         wMatrix.clear();
         for (size_t f = 0; f < nf; ++f)
@@ -1170,6 +1241,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
           for (const Value& v : extra) args.push_back(v);
           wc.pending = sampling::AccessKind::None;
           wc.pendingSrc = wc.pendingDst = 0;
+          wc.bw.reset(wc.clock, limitsW_);
           callFunction(wc, taskFn, std::move(args));
           flushSkid(wc);
         } catch (const RunError& e) {
@@ -1222,6 +1294,9 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     result_.log.commAggGets += r.aggGets;
     result_.log.commAggPuts += r.aggPuts;
     result_.log.commAggFlushes += r.aggFlushes;
+    result_.log.commMemStallCycles += r.memStall;
+    result_.log.commNetStallCycles += r.netStall;
+    result_.log.commContentionCycles += r.contention;
     for (const auto& [k, v] : r.matrix) result_.log.commMatrix[k] += v;
   }
   if (minFail != ~0ull) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "runtime/bandwidth.h"
 #include "runtime/exec.h"
 #include "support/common.h"
 
@@ -50,6 +51,10 @@ class Interp {
     result_.log.sampleThreshold = opts.sampleThreshold;
     result_.log.numStreams = opts.numWorkers + 1;
     lastBusyEnd_.assign(opts.numWorkers + 1, 0);
+    limits0_ = BwLimits::forStream(cost_.profile(), 0, opts.numWorkers);
+    limitsW_ = BwLimits::forStream(cost_.profile(), 1, opts.numWorkers);
+    bwEnabled_ = limits0_.enabled();
+    bw_.reset(0, limits0_);
     // Instruction-footprint multiplier per function (Q10 fixed point).
     const CostProfile& p = cost_.profile();
     icacheQ10_.assign(m.numFunctions(), 1024);
@@ -191,9 +196,48 @@ class Interp {
         ++result_.log.commGets;
         charge(cost_.profile().remoteGet);
       }
+      if (bwEnabled_) chargeNetBw(owner, bwLimits().netElemBytes);
     } else {
       pendingAccess_ = sampling::AccessKind::Local;
       pendingSrc_ = pendingDst_ = 0;
+      if (bwEnabled_) chargeLocalBw(own);
+    }
+  }
+
+  // ---- bandwidth ceilings ---------------------------------------------------
+
+  const BwLimits& bwLimits() const { return curStream_ == 0 ? limits0_ : limitsW_; }
+
+  /// Charges the network-side ceilings for one remote transfer of `bytes`
+  /// toward locale `peer`: first the owner-contention hit, then the
+  /// injection-bandwidth token bucket. Stall cycles are charged to the
+  /// stream (so samples landing inside them blame the pending access) and
+  /// counted separately so blame can split latency- from bandwidth-bound.
+  void chargeNetBw(int64_t peer, uint64_t bytes) {
+    const BwLimits& lim = bwLimits();
+    uint64_t cs = bw_.cont.note(pmu_.clock(curStream_), peer, lim);
+    if (cs) {
+      result_.log.commContentionCycles += cs;
+      charge(cs);
+    }
+    uint64_t ns = bw_.net.consume(pmu_.clock(curStream_), bytes, lim.netRate, lim.netBurstQ);
+    if (ns) {
+      result_.log.commNetStallCycles += ns;
+      charge(ns);
+    }
+  }
+
+  /// Charges the local memory-bandwidth roof for one element access against
+  /// a streaming (cache-busting) array. Cache-resident arrays carry
+  /// streamBytes == 0 and stay free.
+  void chargeLocalBw(const ArrayObj* own) {
+    const BwLimits& lim = bwLimits();
+    if (lim.memRate == 0 || own->streamBytes == 0) return;
+    uint64_t ms =
+        bw_.mem.consume(pmu_.clock(curStream_), own->streamBytes, lim.memRate, lim.memBurstQ);
+    if (ms) {
+      result_.log.commMemStallCycles += ms;
+      charge(ms);
     }
   }
 
@@ -310,6 +354,11 @@ class Interp {
     int64_t n = dom.size();
     auto obj = std::make_shared<ArrayObj>();
     obj->dom = dom;
+    uint64_t width = scalarWidth(elemTy);
+    const CostProfile& prof = cost_.profile();
+    if (prof.memBandwidthBytesPerKCycle != 0 &&
+        static_cast<uint64_t>(n) * width * 8 > prof.memCacheResidentBytes)
+      obj->streamBytes = static_cast<uint32_t>(8 * width);
     obj->data.reserve(static_cast<size_t>(n));
     if (n > 0) {
       if (typeOwnsArrays(elemTy)) {
@@ -321,7 +370,7 @@ class Interp {
         for (int64_t k = 0; k < n; ++k) obj->data.push_back(proto);
       }
     }
-    charge(cost_.profile().arrayNewPerElem * static_cast<uint64_t>(n) * scalarWidth(elemTy));
+    charge(prof.arrayNewPerElem * static_cast<uint64_t>(n) * width);
     Value v;
     v.kind = VKind::Array;
     v.arr = std::move(obj);
@@ -686,6 +735,7 @@ class Interp {
     // bytecode engine's parallel replay.
     sampling::AccessKind savedPending = pendingAccess_;
     int32_t savedSrc = pendingSrc_, savedDst = pendingDst_;
+    BwState savedBw = bw_;  // bandwidth state is chunk-local, like the pending access
     std::vector<Frame*> savedStack;
     savedStack.swap(stack_);
     ++stackGen_;
@@ -700,6 +750,7 @@ class Interp {
         for (const Value& v : extra) args.push_back(v);
         pendingAccess_ = sampling::AccessKind::None;
         pendingSrc_ = pendingDst_ = 0;
+        bw_.reset(pmu_.clock(curStream_), bwLimits());
         callFunction(in.extra.func, std::move(args));
         flushSkid();
       }
@@ -725,6 +776,7 @@ class Interp {
         for (const Value& v : extra) args.push_back(v);
         pendingAccess_ = sampling::AccessKind::None;
         pendingSrc_ = pendingDst_ = 0;
+        bw_.reset(workerEnd[ws], limitsW_);
         callFunction(in.extra.func, std::move(args));
         flushSkid();
         workerEnd[ws] = pmu_.clock(ws);
@@ -745,6 +797,7 @@ class Interp {
     pendingAccess_ = savedPending;
     pendingSrc_ = savedSrc;
     pendingDst_ = savedDst;
+    bw_ = savedBw;
   }
 
   void execBuiltin(Frame& fr, InstrId id, const Instr& in) {
@@ -858,6 +911,7 @@ class Interp {
           if (n == 0) continue;
           ++result_.log.commAggFlushes;
           charge(p.aggFlushLatency + p.aggPerElemBandwidth * n);
+          if (bwEnabled_) chargeNetBw(peer, n * bwLimits().netElemBytes);
         }
         aggStack_.pop_back();
         break;
@@ -897,6 +951,7 @@ class Interp {
       if (++pending >= p.aggBufferCap) {
         ++result_.log.commAggFlushes;
         charge(p.aggFlushLatency + p.aggPerElemBandwidth * pending);
+        if (bwEnabled_) chargeNetBw(owner, pending * bwLimits().netElemBytes);
         pending = 0;
       }
     } else {
@@ -931,6 +986,13 @@ class Interp {
   sampling::AccessKind pendingAccess_ = sampling::AccessKind::None;
   int32_t pendingSrc_ = 0;
   int32_t pendingDst_ = 0;
+
+  // Bandwidth-ceiling state (runtime/bandwidth.h); inert when the profile's
+  // rates are all 0. limits0_ serves the main stream, limitsW_ every worker.
+  BwState bw_;
+  BwLimits limits0_;
+  BwLimits limitsW_;
+  bool bwEnabled_ = false;
 
   /// Open simulated aggregators, innermost last; AggCopy addresses one by
   /// its AggOpen handle (= stack index), AggClose pops in LIFO order. The

@@ -135,6 +135,11 @@ struct ArrayObj {
   DomainVal dom;
   std::vector<Value> data;             // empty for views
   std::shared_ptr<ArrayObj> base;      // non-null for views
+  /// Bytes each element access moves against the memory-bandwidth ceiling
+  /// (runtime/bandwidth.h). Decided once at allocation: 0 when the array's
+  /// footprint fits the profile's cache-resident threshold (or the ceiling
+  /// is off), else 8 * scalarWidth(elem). Views defer to their base.
+  uint32_t streamBytes = 0;
 
   bool isView() const { return base != nullptr; }
 

@@ -13,15 +13,18 @@ namespace cb::sampling {
 // counters to the header and the per-sample AccessKind after the runtime
 // frame; version 3 appends the aggregated-transfer counters to the header,
 // the per-sample (srcLocale, dstLocale) pair after the access kind, and `M`
-// lines carrying the exact src→dst comm matrix. Version 1/2 files still
-// load, defaulting every newer field.
+// lines carrying the exact src→dst comm matrix; version 4 appends the three
+// bandwidth-ceiling stall counters (mem / net-injection / contention) to the
+// header. Version 1/2/3 files still load, defaulting every newer field.
 // ---------------------------------------------------------------------------
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
-  out << "cblog 3 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+  out << "cblog 4 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
       << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << " "
-      << log.commAggGets << " " << log.commAggPuts << " " << log.commAggFlushes << "\n";
+      << log.commAggGets << " " << log.commAggPuts << " " << log.commAggFlushes << " "
+      << log.commMemStallCycles << " " << log.commNetStallCycles << " "
+      << log.commContentionCycles << "\n";
   for (const RawSample& s : log.samples) {
     out << "S " << s.stream << " " << s.taskTag << " " << s.atCycle << " "
         << static_cast<int>(s.runtimeFrame) << " " << static_cast<int>(s.accessKind) << " "
@@ -70,9 +73,12 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
     std::string magic;
     if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
       return false;
-    if (magic != "cblog" || version < 1 || version > 3) return false;
+    if (magic != "cblog" || version < 1 || version > 4) return false;
     if (version >= 2 && !(h >> out.commGets >> out.commPuts >> out.commOnForks)) return false;
     if (version >= 3 && !(h >> out.commAggGets >> out.commAggPuts >> out.commAggFlushes))
+      return false;
+    if (version >= 4 && !(h >> out.commMemStallCycles >> out.commNetStallCycles >>
+                          out.commContentionCycles))
       return false;
   }
   while (std::getline(lines, line)) {
@@ -121,12 +127,13 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
 // aggregated-transfer counters after commOnForks, the (srcLocale, dstLocale)
 // pair per sample — encoded ONLY when the access kind is RemoteGet or
 // RemotePut — and the sparse comm matrix (sorted by pair key) after the
-// alloc-site section. Version 1/2 files still load with all newer fields
-// defaulted.
+// alloc-site section. Version 4 adds the three bandwidth-ceiling stall
+// counters after the aggregated-transfer counters. Version 1/2/3 files
+// still load with all newer fields defaulted.
 // ---------------------------------------------------------------------------
 
 constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-constexpr uint8_t kBinaryVersion = 3;
+constexpr uint8_t kBinaryVersion = 4;
 
 void putVarint(std::string& out, uint64_t v) {
   while (v >= 0x80) {
@@ -247,6 +254,9 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
   if (version >= 3 && (!r.varint(out.commAggGets) || !r.varint(out.commAggPuts) ||
                        !r.varint(out.commAggFlushes)))
     return false;
+  if (version >= 4 && (!r.varint(out.commMemStallCycles) || !r.varint(out.commNetStallCycles) ||
+                       !r.varint(out.commContentionCycles)))
+    return false;
 
   uint64_t nSamples;
   if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
@@ -328,6 +338,9 @@ std::string serializeRunLogBinary(const RunLog& log) {
   putVarint(out, log.commAggGets);
   putVarint(out, log.commAggPuts);
   putVarint(out, log.commAggFlushes);
+  putVarint(out, log.commMemStallCycles);
+  putVarint(out, log.commNetStallCycles);
+  putVarint(out, log.commContentionCycles);
 
   putVarint(out, log.samples.size());
   uint64_t prevCycle = 0;

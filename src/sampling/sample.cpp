@@ -28,6 +28,10 @@ bool identical(const RunLog& a, const RunLog& b) {
   if (a.commAggGets != b.commAggGets || a.commAggPuts != b.commAggPuts ||
       a.commAggFlushes != b.commAggFlushes)
     return false;
+  if (a.commMemStallCycles != b.commMemStallCycles ||
+      a.commNetStallCycles != b.commNetStallCycles ||
+      a.commContentionCycles != b.commContentionCycles)
+    return false;
   if (a.commMatrix != b.commMatrix) return false;
   if (a.samples.size() != b.samples.size()) return false;
   for (size_t i = 0; i < a.samples.size(); ++i)
@@ -65,6 +69,13 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
     os << "commAggPuts " << a.commAggPuts << " vs " << b.commAggPuts;
   else if (a.commAggFlushes != b.commAggFlushes)
     os << "commAggFlushes " << a.commAggFlushes << " vs " << b.commAggFlushes;
+  else if (a.commMemStallCycles != b.commMemStallCycles)
+    os << "commMemStallCycles " << a.commMemStallCycles << " vs " << b.commMemStallCycles;
+  else if (a.commNetStallCycles != b.commNetStallCycles)
+    os << "commNetStallCycles " << a.commNetStallCycles << " vs " << b.commNetStallCycles;
+  else if (a.commContentionCycles != b.commContentionCycles)
+    os << "commContentionCycles " << a.commContentionCycles << " vs "
+       << b.commContentionCycles;
   else if (a.commMatrix != b.commMatrix)
     os << "commMatrix differs (" << a.commMatrix.size() << " vs " << b.commMatrix.size()
        << " cells)";

@@ -90,6 +90,16 @@ struct RunLog {
   uint64_t commAggPuts = 0;
   uint64_t commAggFlushes = 0;
 
+  /// Bandwidth-ceiling stall cycles (runtime/bandwidth.h; all zero under the
+  /// default pure-latency profiles): cycles streams spent stalled on the
+  /// local memory roof, on the network injection ceiling, and on
+  /// destination-locale contention. These split remote traffic into
+  /// latency-bound (latency charges dominate, stalls near zero) versus
+  /// bandwidth-bound (stalls rival the latency charges).
+  uint64_t commMemStallCycles = 0;
+  uint64_t commNetStallCycles = 0;
+  uint64_t commContentionCycles = 0;
+
   /// Exact source→destination locale communication matrix: pairKey(src,dst)
   /// -> remote element transfers (naive and aggregated alike). Sparse and
   /// sorted, so iteration order is deterministic.

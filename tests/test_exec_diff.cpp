@@ -13,6 +13,7 @@
 // carries the `property` label.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -479,6 +480,107 @@ TEST_P(PropertyAggDiff, TwinsAgreeAcrossEnginesThreadsAndLocales) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyAggDiff, ::testing::Range<uint64_t>(0, 6));
+
+// ---------------------------------------------------------------------------
+// Bandwidth-ceiling cost profile: the token-bucket and contention charges
+// must be bit-identical across engines and replay widths (the stall
+// counters are part of sampling::identical), and the new counters must
+// actually fire where the model says they should.
+// ---------------------------------------------------------------------------
+
+class PropertyBandwidthDiff : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropertyBandwidthDiff, CeilingProfileBitIdentical) {
+  auto c = fe::Compilation::fromFile(assetProgram(GetParam()), {});
+  ASSERT_TRUE(c->ok()) << c->diags().renderAll();
+  for (bool fastProfile : {false, true}) {
+    rt::RunOptions base;
+    base.costProfileOverride = rt::CostProfile::bandwidthCeiling(fastProfile);
+    base.numLocales = 4;
+    base.localeId = 1;
+    base.configOverrides["hereId"] = "1";
+    expectAllModesAgree(c->module(), base,
+                        std::string(GetParam()) + (fastProfile ? " [fast]" : " [std]"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, PropertyBandwidthDiff,
+                         ::testing::Values("ig_naive", "ig_agg", "minimd_badloc",
+                                           "weakscale", "clomp"));
+
+rt::RunResult runCeiling(const char* program, bool ceiling, uint32_t workers,
+                         std::map<std::string, std::string> configs = {}) {
+  auto c = fe::Compilation::fromFile(assetProgram(program), {});
+  EXPECT_TRUE(c->ok()) << c->diags().renderAll();
+  rt::RunOptions o;
+  if (ceiling) o.costProfileOverride = rt::CostProfile::bandwidthCeiling(false);
+  o.numLocales = 4;
+  o.localeId = 1;
+  o.numWorkers = workers;
+  o.configOverrides["hereId"] = "1";
+  for (auto& [k, v] : configs) o.configOverrides[k] = v;
+  rt::RunResult r = rt::execute(c->module(), o);
+  EXPECT_TRUE(r.ok) << program << ": " << r.error;
+  return r;
+}
+
+TEST(PropertyBandwidthCounters, DefaultProfileChargesNothing) {
+  // Without the ceiling all three stall counters stay zero — the model is
+  // strictly opt-in, so default profiles are bit-identical to the seed.
+  for (const char* program : {"ig_naive", "ig_agg", "weakscale"}) {
+    rt::RunResult r = runCeiling(program, /*ceiling=*/false, 1);
+    EXPECT_EQ(r.log.commNetStallCycles, 0u) << program;
+    EXPECT_EQ(r.log.commMemStallCycles, 0u) << program;
+    EXPECT_EQ(r.log.commContentionCycles, 0u) << program;
+  }
+}
+
+TEST(PropertyBandwidthCounters, BulkFlushesAreBandwidthBound) {
+  // Aggregated traffic is where the injection ceiling bites: an ig_agg
+  // flush injects up to 64 elements x 8 bytes in one burst, far past what
+  // the bucket earns during the flush latency, so net-stall cycles land on
+  // the clock — the "bandwidth-bound" half of the comm-counter split — and
+  // total time grows past the latency-only run. Bare one-element GETs
+  // (ig_naive) stay latency-bound: each 600-cycle round trip earns the
+  // bucket more than the 8 bytes the element costs.
+  rt::RunResult plain = runCeiling("ig_agg", /*ceiling=*/false, 1);
+  rt::RunResult ceil = runCeiling("ig_agg", /*ceiling=*/true, 1);
+  EXPECT_GT(ceil.log.commNetStallCycles, 0u);
+  EXPECT_GT(ceil.totalCycles, plain.totalCycles);
+  // Same traffic, different price: the exact comm counts cannot move.
+  EXPECT_EQ(ceil.log.commAggGets, plain.log.commAggGets);
+  EXPECT_EQ(ceil.log.commAggPuts, plain.log.commAggPuts);
+  EXPECT_EQ(ceil.log.commMatrix, plain.log.commMatrix);
+  EXPECT_EQ(ceil.output, plain.output);
+  rt::RunResult naive = runCeiling("ig_naive", /*ceiling=*/true, 1);
+  EXPECT_EQ(naive.log.commNetStallCycles, 0u);
+}
+
+TEST(PropertyBandwidthCounters, SameOwnerStreamTripsContention) {
+  // weakscale's exchange loop issues its remote GETs back to back against
+  // ONE home locale (~600-cycle spacing, ~12 per 8192-cycle window, free
+  // allowance 8), so the hot-spot charge fires. ig_naive's cyclic table
+  // rotates the owning locale every element and must never trip it.
+  rt::RunResult ring = runCeiling("weakscale", /*ceiling=*/true, 1);
+  EXPECT_GT(ring.log.commContentionCycles, 0u);
+  rt::RunResult rotating = runCeiling("ig_naive", /*ceiling=*/true, 1);
+  EXPECT_EQ(rotating.log.commContentionCycles, 0u);
+}
+
+TEST(PropertyBandwidthCounters, MemStallFiresOnlyPastCacheResidency) {
+  // clomp_opt's flat zone array at 256 parts x 256 zones is 512KB — past
+  // memCacheResidentBytes, so its streaming accesses pay memory-bandwidth
+  // stalls once 12 worker streams share the socket rate. The nested
+  // original keeps every per-part array cache-resident and must not be
+  // charged a single stall cycle.
+  std::map<std::string, std::string> cfg = {{"CLOMP_numParts", "256"},
+                                            {"CLOMP_zonesPerPart", "256"},
+                                            {"CLOMP_timeScale", "1"}};
+  rt::RunResult flat = runCeiling("clomp_opt", /*ceiling=*/true, 12, cfg);
+  rt::RunResult nested = runCeiling("clomp", /*ceiling=*/true, 12, cfg);
+  EXPECT_GT(flat.log.commMemStallCycles, 0u);
+  EXPECT_EQ(nested.log.commMemStallCycles, 0u);
+}
 
 }  // namespace
 }  // namespace cb

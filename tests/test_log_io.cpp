@@ -477,7 +477,26 @@ TEST(LogIoCompat, Version2TextStillLoads) {
   EXPECT_EQ(log.samples[0].dstLocale, 0);
   EXPECT_EQ(log.samples[1].accessKind, sampling::AccessKind::Local);
   // A version from the future is rejected, not misparsed.
-  EXPECT_FALSE(sampling::deserializeRunLog("cblog 4 1 1 1 1 1 1 1 1 1\n", log));
+  EXPECT_FALSE(sampling::deserializeRunLog("cblog 5 1 1 1 1 1 1 1 1 1 1 1 1\n", log));
+}
+
+TEST(LogIoCompat, Version3TextStillLoads) {
+  // A frozen v3 fixture: aggregated counters and the comm matrix, but no
+  // bandwidth-stall counters in the header.
+  const std::string v3 =
+      "cblog 3 101 2 5000 10 20 3 7 8 2\n"
+      "S 0 0 150 0 2 0 1 1 3:7\n"
+      "M 0 1 64\n";
+  sampling::RunLog log;
+  ASSERT_TRUE(sampling::deserializeRunLog(v3, log));
+  EXPECT_EQ(log.commAggGets, 7u);
+  EXPECT_EQ(log.commAggPuts, 8u);
+  EXPECT_EQ(log.commAggFlushes, 2u);
+  EXPECT_EQ(log.commMemStallCycles, 0u);
+  EXPECT_EQ(log.commNetStallCycles, 0u);
+  EXPECT_EQ(log.commContentionCycles, 0u);
+  ASSERT_EQ(log.samples.size(), 1u);
+  EXPECT_EQ(log.commMatrix.at(sampling::RunLog::pairKey(0, 1)), 64u);
 }
 
 /// Minimal varint writer mirroring the on-disk encoding, for assembling

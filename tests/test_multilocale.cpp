@@ -158,6 +158,53 @@ TEST(MultiLocaleErrors, TotalFailureAggregatesToEmpty) {
   EXPECT_EQ(r.aggregate.totalRawSamples, 0u);
 }
 
+TEST(MultiLocaleErrors, LocaleCountValidation) {
+  // The shared validator behind profileMultiLocale and the profile_program
+  // --locales flag: 1..kMaxSimulatedLocales pass, 0 and above-cap fail with
+  // messages that name the offending value / the cap.
+  EXPECT_TRUE(validateLocaleCount(1).empty());
+  EXPECT_TRUE(validateLocaleCount(1024).empty());
+  EXPECT_TRUE(validateLocaleCount(kMaxSimulatedLocales).empty());
+  EXPECT_FALSE(validateLocaleCount(0).empty());
+  std::string overCap = validateLocaleCount(kMaxSimulatedLocales + 1ull);
+  ASSERT_FALSE(overCap.empty());
+  EXPECT_NE(overCap.find(std::to_string(kMaxSimulatedLocales)), std::string::npos) << overCap;
+  EXPECT_NE(overCap.find("4097"), std::string::npos) << overCap;
+}
+
+TEST(MultiLocaleErrors, InvalidLocaleCountFailsFast) {
+  // Rejected before any pipeline spins up: ok=false, the validator's
+  // message, and no per-locale slots at all.
+  for (uint32_t bad : {0u, kMaxSimulatedLocales + 1u}) {
+    MultiLocaleResult r = profileMultiLocale(assetProgram("clomp"), bad);
+    EXPECT_FALSE(r.ok) << bad;
+    EXPECT_EQ(r.error, validateLocaleCount(bad)) << bad;
+    EXPECT_TRUE(r.perLocale.empty()) << bad;
+    EXPECT_TRUE(r.localeErrors.empty()) << bad;
+    EXPECT_TRUE(r.aggregate.rows.empty()) << bad;
+  }
+}
+
+TEST(MultiLocaleMemory, DroppedPerLocaleReportsStillAggregate) {
+  // keepPerLocaleReports=false is the 1024-locale memory lever: every
+  // perLocale slot stays empty, while the streamed aggregate is bit-identical
+  // to the retained run's.
+  ProfileOptions keep;
+  MultiLocaleResult retained = profileMultiLocale(assetProgram("minimd_badloc"), 4, keep);
+  ASSERT_TRUE(retained.ok) << retained.error;
+  ProfileOptions drop;
+  drop.keepPerLocaleReports = false;
+  MultiLocaleResult dropped = profileMultiLocale(assetProgram("minimd_badloc"), 4, drop);
+  ASSERT_TRUE(dropped.ok) << dropped.error;
+  ASSERT_EQ(dropped.perLocale.size(), 4u);
+  for (const pm::BlameReport& rep : dropped.perLocale) {
+    EXPECT_TRUE(rep.rows.empty());
+    EXPECT_EQ(rep.totalRawSamples, 0u);
+  }
+  EXPECT_EQ(dropped.aggregate, retained.aggregate);
+  EXPECT_FALSE(dropped.aggregate.rows.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Golden fixtures: comm and per-locale views at 4 locales, byte-pinned.
 // ---------------------------------------------------------------------------
@@ -439,6 +486,48 @@ TEST_P(CommMatrixGolden, ViewMatchesFixture) {
 INSTANTIATE_TEST_SUITE_P(Programs, CommMatrixGolden,
                          ::testing::Values("minimd_badloc", "minimd_blockloc", "ig_naive",
                                            "ig_agg"));
+
+/// Synthetic report with a ring of remote traffic over `n` locales — cells
+/// already sorted by (src, dst), deterministic sample counts.
+pm::BlameReport ringReport(int32_t n) {
+  pm::BlameReport r;
+  pm::VariableBlame row;
+  row.name = "Ring";
+  row.type = "[BlockDom] real(64)";
+  row.context = "main";
+  for (int32_t l = 0; l < n; ++l) {
+    pm::CommCell c{l, (l + 1) % n, static_cast<uint64_t>((l * 7) % 13 + 1)};
+    row.commMatrix.push_back(c);
+    r.totalComm.push_back(c);
+    row.remoteGetSamples += c.samples;
+  }
+  row.sampleCount = row.remoteGetSamples;
+  row.percent = 100.0;
+  r.totalUserSamples = r.totalRawSamples = row.sampleCount;
+  r.rows.push_back(std::move(row));
+  return r;
+}
+
+TEST(CommMatrixSparse, HeatGridGatesAtSixteenActiveLocales) {
+  // The dense glyph grid is quadratic in active locales, so it renders only
+  // up to 16 of them; wider runs print a notice and fall through to the
+  // sparse hottest-cells tables, which stay O(maxRows) at any width.
+  std::string dense = rpt::commMatrixView(ringReport(16), {1000, 0.0});
+  EXPECT_NE(dense.find("(dst)"), std::string::npos) << dense;
+  EXPECT_EQ(dense.find("heat grid suppressed"), std::string::npos) << dense;
+  std::string sparse = rpt::commMatrixView(ringReport(17), {1000, 0.0});
+  EXPECT_EQ(sparse.find("(dst)"), std::string::npos) << sparse;
+  EXPECT_NE(sparse.find("heat grid suppressed"), std::string::npos) << sparse;
+  EXPECT_NE(sparse.find("Hottest cells"), std::string::npos) << sparse;
+  EXPECT_NE(sparse.find("Per-variable hot cells"), std::string::npos) << sparse;
+}
+
+TEST(CommMatrixSparseGolden, WideRunMatchesFixture) {
+  // Byte-pins the sparse form on a 24-locale ring (> the 16-locale gate):
+  // suppression notice + hottest-cells + per-variable tables, no heat grid.
+  checkGolden(rpt::commMatrixView(ringReport(24), {1000, 0.0}),
+              std::string(kGoldenDir) + "/synthetic_commmatrix_sparse24.txt");
+}
 
 }  // namespace
 }  // namespace cb

@@ -1,0 +1,206 @@
+// Memory-bounded weak scaling tests. Two halves:
+//
+//  - WeakScaleProperty: the StreamingAggregator must finish bit-identically
+//    to batch aggregateAcrossLocales on RANDOMIZED report sets — sparse
+//    1024-locale comm matrices, arbitrary arrival permutations, two-level
+//    shard partitions — and its footprint must be bounded by distinct rows,
+//    not by reports folded.
+//  - WeakScaleSmoke: the 1024-simulated-locale end-to-end run on the
+//    weakscale.chpl ring program (constant per-locale work), with per-locale
+//    reports dropped as they fold.
+//
+// Suites named WeakScale* carry the `weakscale` CTest label
+// (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <random>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "postmortem/attribution.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+constexpr int32_t kLocales = 1024;
+
+uint64_t cellSum(const std::vector<pm::CommCell>& cells) {
+  uint64_t n = 0;
+  for (const pm::CommCell& c : cells) n += c.samples;
+  return n;
+}
+
+/// Random sparse comm matrix over 1024 locales: sorted by (src, dst), no
+/// zero cells, src != dst — the well-formedness every real matrix has.
+std::vector<pm::CommCell> randomCells(std::mt19937& rng, size_t maxCells) {
+  std::uniform_int_distribution<int32_t> loc(0, kLocales - 1);
+  std::uniform_int_distribution<uint64_t> samples(1, 997);
+  std::uniform_int_distribution<size_t> howMany(0, maxCells);
+  std::map<std::pair<int32_t, int32_t>, uint64_t> cells;
+  for (size_t tries = howMany(rng); tries > 0; --tries) {
+    int32_t s = loc(rng), d = loc(rng);
+    if (s != d) cells[{s, d}] += samples(rng);
+  }
+  std::vector<pm::CommCell> out;
+  out.reserve(cells.size());
+  for (const auto& [key, n] : cells) out.push_back({key.first, key.second, n});
+  return out;
+}
+
+/// Random per-locale report: rows drawn from a small (context, name, type)
+/// pool so merges across reports actually collide, each with its own sparse
+/// matrix. Percentages are left stale on purpose — finish() must recompute
+/// them over the combined denominator.
+pm::BlameReport randomReport(std::mt19937& rng) {
+  static const char* kNames[] = {"Pos", "Force", "Ring", "Acc", "s", "Table"};
+  static const char* kContexts[] = {"main", "kernel", "exchange"};
+  static const char* kTypes[] = {"int", "real(64)", "[BlockDom] int"};
+  std::uniform_int_distribution<size_t> ni(0, 5), ci(0, 2), ti(0, 2);
+  std::uniform_int_distribution<uint64_t> samp(0, 500);
+  std::uniform_int_distribution<int> howMany(1, 12);
+  pm::BlameReport r;
+  std::set<std::tuple<size_t, size_t, size_t>> used;
+  for (int i = howMany(rng); i > 0; --i) {
+    auto key = std::make_tuple(ci(rng), ni(rng), ti(rng));
+    if (!used.insert(key).second) continue;  // keys are unique within a report
+    pm::VariableBlame row;
+    row.context = kContexts[std::get<0>(key)];
+    row.name = kNames[std::get<1>(key)];
+    row.type = kTypes[std::get<2>(key)];
+    row.commMatrix = randomCells(rng, 8);
+    uint64_t remote = cellSum(row.commMatrix);
+    row.remotePutSamples = remote / 3;
+    row.remoteGetSamples = remote - row.remotePutSamples;
+    row.computeSamples = samp(rng);
+    row.localSamples = samp(rng);
+    row.sampleCount = row.computeSamples + row.localSamples + remote;
+    row.percent = 50.0;  // deliberately wrong; the aggregate recomputes
+    r.totalUserSamples += row.sampleCount;
+    r.rows.push_back(std::move(row));
+  }
+  r.totalUserSamples += samp(rng);
+  r.totalRawSamples = r.totalUserSamples + samp(rng);
+  r.totalComm = randomCells(rng, 16);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Property: streaming ≡ batch, bit-identical, under any arrival order.
+// ---------------------------------------------------------------------------
+
+TEST(WeakScaleProperty, StreamingEqualsBatchUnderPermutation) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int trial = 0; trial < 24; ++trial) {
+    size_t n = 1 + static_cast<size_t>(trial) % 32;
+    std::vector<pm::BlameReport> reports;
+    reports.reserve(n);
+    for (size_t i = 0; i < n; ++i) reports.push_back(randomReport(rng));
+    std::vector<const pm::BlameReport*> ptrs;
+    for (const pm::BlameReport& r : reports) ptrs.push_back(&r);
+    pm::BlameReport batch = pm::aggregateAcrossLocales(ptrs);
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (int perm = 0; perm < 3; ++perm) {
+      std::shuffle(order.begin(), order.end(), rng);
+      pm::StreamingAggregator agg;
+      for (size_t idx : order) agg.add(reports[idx]);
+      EXPECT_EQ(agg.reportsAdded(), n);
+      EXPECT_EQ(agg.finish(), batch) << "trial " << trial << " perm " << perm;
+    }
+  }
+}
+
+TEST(WeakScaleProperty, ShardedTwoLevelAggregationMatchesFlat) {
+  // Aggregation must be associative: batch-combining shard aggregates (the
+  // parallel post-mortem shape) lands on the same bytes as one flat fold.
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<pm::BlameReport> reports;
+    for (int i = 0; i < 12; ++i) reports.push_back(randomReport(rng));
+    std::vector<const pm::BlameReport*> ptrs;
+    for (const pm::BlameReport& r : reports) ptrs.push_back(&r);
+    pm::BlameReport flat = pm::aggregateAcrossLocales(ptrs);
+    std::uniform_int_distribution<size_t> shardOf(0, 2);
+    std::vector<std::vector<const pm::BlameReport*>> shards(3);
+    for (const pm::BlameReport& r : reports) shards[shardOf(rng)].push_back(&r);
+    pm::StreamingAggregator agg;
+    std::vector<pm::BlameReport> partials;
+    for (const auto& shard : shards) partials.push_back(pm::aggregateAcrossLocales(shard));
+    for (const pm::BlameReport& p : partials) agg.add(p);
+    EXPECT_EQ(agg.finish(), flat) << "trial " << trial;
+  }
+}
+
+TEST(WeakScaleProperty, EmptyStreamFinishesLikeEmptyBatch) {
+  pm::StreamingAggregator agg;
+  EXPECT_EQ(agg.reportsAdded(), 0u);
+  EXPECT_EQ(agg.finish(), pm::aggregateAcrossLocales({}));
+}
+
+TEST(WeakScaleProperty, MemoryBoundedByDistinctRowsNotReports) {
+  // The whole point of streaming: folding 1000 reports over the same key
+  // pool must cost what folding 8 costs — the accumulator's footprint
+  // tracks distinct aggregate rows, never the report count.
+  std::mt19937 rng(7);
+  pm::BlameReport r = randomReport(rng);
+  pm::StreamingAggregator agg;
+  for (int i = 0; i < 8; ++i) agg.add(r);
+  size_t early = agg.approxMemoryBytes();
+  ASSERT_GT(early, 0u);
+  for (int i = 0; i < 992; ++i) agg.add(r);
+  EXPECT_LE(agg.approxMemoryBytes(), 2 * early);
+  pm::BlameReport total = agg.finish();
+  EXPECT_EQ(total.totalUserSamples, 1000 * r.totalUserSamples);
+  ASSERT_EQ(total.rows.size(), r.rows.size());
+  for (const pm::VariableBlame& row : total.rows) {
+    const pm::VariableBlame* orig = r.find(row.name);
+    ASSERT_NE(orig, nullptr) << row.name;
+    EXPECT_EQ(cellSum(row.commMatrix), 1000 * cellSum(orig->commMatrix)) << row.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end smoke at the full 1024-simulated-locale weak-scaling point.
+// ---------------------------------------------------------------------------
+
+TEST(WeakScaleSmoke, StreamedAggregateMatchesBatchAtSixtyFour) {
+  // Real per-locale reports (not synthetic ones): the streamed aggregate of
+  // a 64-locale ring run must equal the batch combine of the retained
+  // reports, byte for byte.
+  MultiLocaleResult r = profileMultiLocale(assetProgram("weakscale"), 64);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::vector<const pm::BlameReport*> ptrs;
+  for (const pm::BlameReport& rep : r.perLocale) ptrs.push_back(&rep);
+  EXPECT_EQ(r.aggregate, pm::aggregateAcrossLocales(ptrs));
+}
+
+TEST(WeakScaleSmoke, ThousandLocalesBoundedAndRingShaped) {
+  ProfileOptions o;
+  o.keepPerLocaleReports = false;
+  MultiLocaleResult r = profileMultiLocale(assetProgram("weakscale"), kLocales, o);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Memory contract: every per-locale slot was dropped after folding.
+  ASSERT_EQ(r.perLocale.size(), static_cast<size_t>(kLocales));
+  for (const pm::BlameReport& rep : r.perLocale) EXPECT_TRUE(rep.rows.empty());
+  EXPECT_FALSE(r.aggregate.rows.empty());
+  EXPECT_GT(r.aggregate.totalUserSamples, 0u);
+  // The program is a neighbor ring: every sampled remote pair must be
+  // (l, l+1 mod 1024), and at the default threshold every rank samples its
+  // exchange window, so the full 1024-cell ring shows up.
+  ASSERT_EQ(r.aggregate.totalComm.size(), static_cast<size_t>(kLocales));
+  for (const pm::CommCell& c : r.aggregate.totalComm) {
+    EXPECT_GE(c.src, 0);
+    EXPECT_LT(c.src, kLocales);
+    EXPECT_EQ(c.dst, (c.src + 1) % kLocales) << c.src;
+    EXPECT_GT(c.samples, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cb
