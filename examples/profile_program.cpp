@@ -1,10 +1,14 @@
 // Command-line profiler driver: compile, analyze, run and report on any
 // mini-Chapel program (a bundled asset name or a path to a .chpl file).
+// Also built as `cb`, the short paper-facing name. Flags and the program
+// argument may appear in any order.
 //
 //   profile_program clomp --view data
 //   profile_program minimd --view pprof --threshold 20011
 //   profile_program lulesh --fast --view code
 //   profile_program my_prog.chpl --config CLOMP_numParts=128 --time
+//   cb --lint assets/programs/minimd_badloc.chpl
+//   cb --lint ig_naive --with-run --locales 4
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -20,7 +24,11 @@ namespace {
 
 void usage() {
   std::cerr <<
-      "usage: profile_program <program|path.chpl> [options]\n"
+      "usage: cb <program|path.chpl> [options]   (flags may appear anywhere)\n"
+      "  --lint                static locality & race lint: no execution, prints\n"
+      "                        predicted comm splits, findings, race verdicts\n"
+      "  --with-run            with --lint: also profile the program so the\n"
+      "                        static-vs-dynamic differential is reported\n"
       "  --fast                compile with the --fast pipeline\n"
       "  --threshold N         PMU overflow threshold (virtual cycles)\n"
       "  --workers N           worker streams (default 12)\n"
@@ -42,20 +50,19 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
-    return 2;
-  }
-  std::string program = argv[1];
+  std::string program;
   std::string view = "data";
   bool showTime = false;
+  bool lintMode = false;
+  bool lintWithRun = false;
   uint32_t numLocales = 1;
+  bool localesSet = false;
   std::string saveLogPath;
   std::string htmlPath;
   cb::Profiler profiler;
   profiler.options().run.sampleThreshold = 9973;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -64,7 +71,11 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--fast") {
+    if (arg == "--lint") {
+      lintMode = true;
+    } else if (arg == "--with-run") {
+      lintWithRun = true;
+    } else if (arg == "--fast") {
       profiler.options().compile.fast = true;
       profiler.options().run.fastCostProfile = true;
     } else if (arg == "--threshold") {
@@ -96,6 +107,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       numLocales = static_cast<uint32_t>(requested);
+      localesSet = true;
     } else if (arg == "--save-log") {
       saveLogPath = next();
     } else if (arg == "--html") {
@@ -106,15 +118,36 @@ int main(int argc, char** argv) {
       profiler.options().run.echoWriteln = true;
     } else if (arg == "--time") {
       showTime = true;
-    } else {
+    } else if (arg.rfind("--", 0) == 0 || !program.empty()) {
+      // Unknown flag, or a second positional argument.
       usage();
       return 2;
+    } else {
+      program = arg;
     }
+  }
+  if (program.empty()) {
+    usage();
+    return 2;
   }
 
   std::string path = program.size() > 5 && program.substr(program.size() - 5) == ".chpl"
                          ? program
                          : cb::assetProgram(program);
+
+  if (lintMode) {
+    // Static analysis defaults to a 4-locale model so distribution effects
+    // are visible even without an explicit --locales; the override wins.
+    uint32_t lintLocales = localesSet ? numLocales : 4;
+    profiler.options().run.numLocales = lintLocales;
+    bool ok = lintWithRun ? profiler.profileFile(path) : profiler.compileFile(path);
+    if (!ok) {
+      std::cerr << "error:\n" << profiler.lastError() << "\n";
+      return 1;
+    }
+    std::cout << profiler.lintText();
+    return 0;
+  }
 
   if (numLocales > 1) {
     cb::MultiLocaleResult ml = cb::profileMultiLocale(path, numLocales, profiler.options());

@@ -1,0 +1,163 @@
+// Static locality-and-parallelism analysis (`cb --lint`).
+//
+// Predicts, at compile time, the PGAS communication behaviour the virtual
+// runtime would measure: for every distributed array, the expected
+// local/remote-GET/remote-PUT split, the locale-pair footprint, and a
+// counterfactual split under the swapped Block<->Cyclic distribution. The
+// predictor is a concrete mirror of the CIR interpreter's array-ownership
+// semantics (src/runtime/interp.cpp): it evaluates index expressions against
+// each array's `dmapped` domain exactly as the runtime would, but without the
+// PMU, worker streams, or sampling machinery — so on a well-formed module the
+// predicted remote GET/PUT counts equal the RunLog's commGets/commPuts
+// bit-for-bit (tests/test_lint.cpp asserts this on generated programs).
+//
+// On top of the per-site statistics, the linter derives findings:
+//   - DistributionMismatch: a mostly-remote array whose swapped distribution
+//     would be mostly-local ("`Pos` is Cyclic but iterated in Block chunks;
+//     suggest `dmapped Block`").
+//   - MissingAggregator: fine-grained naive remote traffic inside a
+//     forall/coforall with no Src/DstAggregator on the array.
+//   - MayRaceRegion: a forall/coforall region the race-freedom prover
+//     (analysis/race.h) could not clear, with the reason and the offending
+//     instructions — these regions silently serialize at replay time.
+//   - AnalysisTruncated: the mirror hit its step budget; statistics are a
+//     prefix of the program, not the whole run.
+//
+// The static-vs-dynamic differential (predicted split vs a measured
+// BlameReport) lives in the report layer (rpt::lintView), which can see the
+// postmortem types without creating a library cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/race.h"
+#include "ir/module.h"
+
+namespace cb::an::loc {
+
+struct Params {
+  /// Simulated locale count / starting locale, matching
+  /// rt::RunOptions::numLocales / localeId for exact-parity checks.
+  uint32_t numLocales = 4;
+  uint32_t homeLocale = 0;
+  /// Abstract instruction budget: the mirror stops (truncated = true) rather
+  /// than run away on huge inputs. Statistics stay valid as a prefix.
+  uint64_t stepBudget = 400000000ULL;
+  /// config-const overrides, exactly like rt::RunOptions::configOverrides.
+  std::unordered_map<std::string, std::string> configOverrides;
+  uint64_t rngSeed = 0x5eedULL;  // mirror of RunOptions::rngSeed
+  /// Per-instruction static cost, used only for the expected-sample-mass
+  /// model behind ArrayStats::remoteFraction (injected so the analysis
+  /// library needs no runtime dependency; pass rt::CostModel::cost).
+  /// When empty, fractions fall back to raw access counts.
+  std::function<uint64_t(const ir::Instr&)> instrCost;
+  /// Cycle surcharges for remote transfers under the mass model; defaults
+  /// match rt::CostProfile::standard().
+  uint64_t remoteGetCost = 600, remotePutCost = 700, viewIndexExtraCost = 10;
+  /// Naive remote accesses inside one parallel region before a
+  /// MissingAggregator finding fires (default: the aggregator buffer
+  /// capacity, where batching starts to pay).
+  uint64_t aggSuggestThreshold = 64;
+};
+
+enum class FindingKind : uint8_t {
+  DistributionMismatch,
+  MissingAggregator,
+  MayRaceRegion,
+  StaticDynamicDivergence,  // produced by the report layer's differential
+  AnalysisTruncated,
+};
+
+struct Finding {
+  FindingKind kind = FindingKind::DistributionMismatch;
+  std::string variable;           // array / region anchor ("" when global)
+  SourceLoc loc;                  // best source anchor for the diagnostic
+  std::string message;            // human-readable, includes the suggestion
+  double predictedRemoteFraction = 0.0;
+  double counterfactualRemoteFraction = 0.0;  // swapped-distribution estimate
+  double measuredRemoteFraction = 0.0;        // differential findings only
+};
+
+const char* findingKindName(FindingKind k);
+
+/// Aggregated statistics for one runtime array object (views collapse onto
+/// the owning allocation, like the runtime's ownership resolution).
+struct ArrayStats {
+  std::string name;          // user variable name, or "<anon>" fallback
+  SourceLoc declLoc;         // allocation site (or naming store)
+  uint8_t distKind = 0;      // 0 = local, 1 = Block, 2 = Cyclic
+  int64_t elems = 0;
+  uint64_t accesses = 0;     // naive element accesses (IndexAddr)
+  uint64_t remoteGets = 0;
+  uint64_t remotePuts = 0;
+  uint64_t aggGets = 0;      // aggregated remote traffic (AggCopy)
+  uint64_t aggPuts = 0;
+  uint64_t aggLocal = 0;
+  /// Remote count had the distribution been swapped (Block<->Cyclic) with
+  /// every access replayed unchanged — the counterfactual behind the
+  /// DistributionMismatch suggestion.
+  uint64_t counterfactualRemote = 0;
+  /// Naive remote traffic issued inside forall/coforall bodies (aggregation
+  /// candidates).
+  uint64_t forallRemoteGets = 0;
+  uint64_t forallRemotePuts = 0;
+  /// Every dynamic index observed at every site followed a fixed stride.
+  bool strideRegular = true;
+  /// Every indexing site is statically affine in loop-induction variables.
+  bool staticallyAffine = true;
+  /// Some indexing site reads a marked loop-induction alloca
+  /// (fe::markLoopInductionAllocas): the access walks a loop iterator.
+  bool inductionIndexed = false;
+  /// Expected sample mass (virtual cycles charged at access sites) split by
+  /// locality — the static analogue of a VariableBlame comm split.
+  uint64_t localMass = 0;
+  uint64_t remoteMass = 0;
+  std::map<uint64_t, uint64_t> pairTransfers;  // RunLog::pairKey -> count
+
+  uint64_t remoteCount() const { return remoteGets + remotePuts; }
+  /// Predicted remote share of this variable's samples: by cycle mass when a
+  /// cost function was supplied, by access counts otherwise.
+  double remoteFraction() const;
+  double countFraction() const;
+  double counterfactualFraction() const;
+};
+
+/// One forall/coforall region with its race-freedom verdict.
+struct RegionReport {
+  ir::FuncId taskFn = ir::kNone;
+  bool isCoforall = false;
+  std::string parentName;    // enclosing user function display name
+  SourceLoc loc;             // source location of the forall/coforall
+  bool executed = false;     // reached by the mirror
+  race::Verdict verdict;
+};
+
+struct LintReport {
+  bool ok = false;           // mirror ran (possibly truncated/aborted)
+  bool truncated = false;    // step budget exhausted
+  std::string error;         // abort reason when execution stopped early
+  uint64_t steps = 0;        // abstract instructions executed
+  uint32_t numLocales = 1;
+  /// Exact predicted comm counters (== RunLog commGets/commPuts/commAggGets/
+  /// commAggPuts for the same locale view of a well-formed program).
+  uint64_t predictedGets = 0;
+  uint64_t predictedPuts = 0;
+  uint64_t predictedAggGets = 0;
+  uint64_t predictedAggPuts = 0;
+  uint64_t predictedOnForks = 0;
+  std::vector<ArrayStats> arrays;     // sorted by remote traffic, descending
+  std::vector<RegionReport> regions;  // every task function in the module
+  std::vector<Finding> findings;      // sorted by severity
+};
+
+/// Runs the static locality analysis over a module. Never throws and never
+/// crashes on parser-recovered input: malformed IR aborts the mirror, leaving
+/// a partial report with `error` set.
+LintReport lint(const ir::Module& m, const Params& p = {});
+
+}  // namespace cb::an::loc

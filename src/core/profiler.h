@@ -118,6 +118,17 @@ class Profiler {
   /// Baseline (allocation-threshold) attribution, computed on demand.
   pm::BaselineReport baselineReport() const;
 
+  /// Static locality-and-race lint (analysis/locality.h), computed on
+  /// demand from the compiled module. Requires a successful compile. Locale
+  /// count, config overrides, and cost profile come from `options().run` so
+  /// predictions line up with what run() would measure. `numLocalesOverride`
+  /// (when nonzero) models a different locale count than the run options.
+  an::loc::LintReport lintReport(uint32_t numLocalesOverride = 0) const;
+
+  /// lintView rendering of lintReport(); includes the static-vs-dynamic
+  /// differential when postProcess() has produced a BlameReport.
+  std::string lintText(uint32_t numLocalesOverride = 0) const;
+
   // ---- renderings ---------------------------------------------------------
   std::string dataCentricText() const;
   std::string codeCentricText() const;

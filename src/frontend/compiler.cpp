@@ -46,6 +46,7 @@ void Compilation::compileBuffer(uint32_t file) {
 
   if (opts_.fast) runFastPipeline(*module_);
   markIndexStores(*module_);
+  markLoopInductionAllocas(*module_);
 
   if (opts_.verify) {
     auto errs = ir::verifyModule(*module_);

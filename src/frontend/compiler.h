@@ -32,6 +32,11 @@ class Compilation {
                                                const CompileOptions& opts = {});
 
   bool ok() const { return ok_; }
+  /// False when compilation stopped before lowering began (lex/parse
+  /// errors): there is no IR at all and module() must not be called. True
+  /// whenever lowering started, even if it then failed — the partial module
+  /// is valid input for tools that tolerate recovered IR (analysis/locality).
+  bool hasModule() const { return module_ != nullptr; }
   ir::Module& module() { return *module_; }
   const ir::Module& module() const { return *module_; }
   SourceManager& sourceManager() { return sm_; }

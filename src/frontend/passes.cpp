@@ -1,6 +1,7 @@
 #include "frontend/passes.h"
 
 #include <cmath>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -307,6 +308,87 @@ size_t markIndexStores(Module& m) {
       if (def.op == Opcode::IndexAddr && (def.imm & 2) == 0) {
         def.imm |= 2;
         ++marked;
+      }
+    }
+  }
+  return marked;
+}
+
+size_t markLoopInductionAllocas(Module& m) {
+  size_t marked = 0;
+  for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+    Function& fn = m.function(f);
+    // Stores per alloca register.
+    std::map<InstrId, std::vector<const Instr*>> stores;
+    for (const Instr& in : fn.instrs) {
+      if (in.op != Opcode::Store) continue;
+      const ValueRef& addr = in.ops[1];
+      if (addr.kind != ValueRef::Kind::Reg) continue;
+      if (fn.instrs[addr.reg].op == Opcode::Alloca) stores[addr.reg].push_back(&in);
+    }
+    for (const auto& [id, sts] : stores) {
+      if (sts.size() != 2) continue;
+      auto selfStep = [&](const Instr* st) {
+        const ValueRef& val = st->ops[0];
+        if (val.kind != ValueRef::Kind::Reg) return false;
+        const Instr& d = fn.instrs[val.reg];
+        if (d.op != Opcode::Bin ||
+            (d.extra.bin != BinKind::Add && d.extra.bin != BinKind::Sub))
+          return false;
+        for (const ValueRef& o : d.ops) {
+          if (o.kind != ValueRef::Kind::Reg) continue;
+          const Instr& ld = fn.instrs[o.reg];
+          if (ld.op == Opcode::Load && ld.ops[0].kind == ValueRef::Kind::Reg &&
+              ld.ops[0].reg == id)
+            return true;
+        }
+        return false;
+      };
+      // Exactly one initializer and one self-increment: the lowered shape of
+      // every counted-loop induction variable.
+      if (selfStep(sts[0]) != selfStep(sts[1])) {
+        Instr& al = fn.instrs[id];
+        if (!(al.imm & 1)) {
+          al.imm |= 1;
+          ++marked;
+        }
+      }
+    }
+    // Derived copies: `for i in lo..hi` lowers to a hidden marked counter
+    // plus one per-iteration store into the user variable `i`, and nested
+    // bounds like `lo = l * chunk` chain further. Propagate the bit through
+    // single-store allocas whose value is an affine expression walking a
+    // marked alloca, to a fixpoint.
+    auto walksInduction = [&](auto&& self, const ValueRef& v, int depth) -> bool {
+      if (depth > 8 || v.kind != ValueRef::Kind::Reg) return false;
+      const Instr& d = fn.instrs[v.reg];
+      switch (d.op) {
+        case Opcode::Load:
+          return d.ops[0].kind == ValueRef::Kind::Reg &&
+                 fn.instrs[d.ops[0].reg].op == Opcode::Alloca &&
+                 (fn.instrs[d.ops[0].reg].imm & 1);
+        case Opcode::Bin:
+          if (d.extra.bin != BinKind::Add && d.extra.bin != BinKind::Sub &&
+              d.extra.bin != BinKind::Mul)
+            return false;
+          return self(self, d.ops[0], depth + 1) || self(self, d.ops[1], depth + 1);
+        case Opcode::Un:
+          return self(self, d.ops[0], depth + 1);
+        default:
+          return false;
+      }
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [id, sts] : stores) {
+        Instr& al = fn.instrs[id];
+        if ((al.imm & 1) || sts.size() != 1) continue;
+        if (walksInduction(walksInduction, sts[0]->ops[0], 0)) {
+          al.imm |= 1;
+          ++marked;
+          changed = true;
+        }
       }
     }
   }

@@ -43,4 +43,17 @@ void runFastPipeline(ir::Module& m);
 /// compiler (with or without --fast). Returns the number of marked accesses.
 size_t markIndexStores(ir::Module& m);
 
+/// Marks loop-induction allocas by setting bit 0 of the Alloca's `imm`: a
+/// local with exactly two stores, one initializer plus one self-increment
+/// (store of Add/Sub over a load of the same alloca) — the shape every
+/// lowered `for`/forall-chunk counter takes. The bit then propagates (to a
+/// fixpoint) through single-store allocas whose value is an affine Add/Sub/
+/// Mul chain over a marked alloca — the per-iteration copy `i` of a hidden
+/// counter, and derived bounds like `lo = l * chunk`. The runtimes ignore
+/// the bit entirely. The static locality analysis
+/// (analysis/locality.h) uses the bit to label array accesses that are
+/// affine in a loop iterator. Always called by the compiler, after all
+/// other passes. Returns the number of marked allocas.
+size_t markLoopInductionAllocas(ir::Module& m);
+
 }  // namespace cb::fe

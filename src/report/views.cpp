@@ -1,6 +1,7 @@
 #include "report/views.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -317,6 +318,106 @@ std::string baselineView(const pm::BaselineReport& report) {
   out << "Allocation-threshold baseline (HPCToolkit-data-centric stand-in) — "
       << report.totalSamples << " samples\n"
       << t.render();
+  return out.str();
+}
+
+namespace {
+
+/// basename:line:col, matching the policy of the lint findings themselves.
+std::string lintLoc(const ir::Module& m, SourceLoc loc) {
+  std::string s = m.sourceManager().render(loc);
+  size_t slash = s.rfind('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string lintView(const ir::Module& m, const an::loc::LintReport& lint,
+                     const pm::BlameReport* measured, double divergenceThreshold) {
+  std::ostringstream out;
+  out << "Lint — static locality & race analysis (" << lint.numLocales
+      << " simulated locales, " << lint.steps << " abstract steps)\n";
+  if (!lint.error.empty()) out << "note: " << lint.error << "\n";
+
+  // Findings, plus the static-vs-dynamic differential when a measured
+  // profile is available.
+  std::vector<an::loc::Finding> findings = lint.findings;
+  if (measured) {
+    for (const an::loc::ArrayStats& a : lint.arrays) {
+      // Match by variable name; ties go to the row with the most samples.
+      const pm::VariableBlame* best = nullptr;
+      for (const pm::VariableBlame& row : measured->rows) {
+        if (row.name != a.name) continue;
+        if (!best || row.sampleCount > best->sampleCount) best = &row;
+      }
+      if (!best) continue;
+      uint64_t accessSamples = best->localSamples + best->remoteSamples();
+      if (accessSamples < 16) continue;  // too few samples to call it
+      double meas = static_cast<double>(best->remoteSamples()) /
+                    static_cast<double>(accessSamples);
+      double pred = a.remoteFraction();
+      if (std::abs(pred - meas) <= divergenceThreshold) continue;
+      an::loc::Finding f;
+      f.kind = an::loc::FindingKind::StaticDynamicDivergence;
+      f.variable = a.name;
+      f.loc = a.declLoc;
+      f.predictedRemoteFraction = pred;
+      f.measuredRemoteFraction = meas;
+      std::ostringstream msg;
+      msg << "`" << a.name << "` predicted " << formatFixed(pred * 100.0, 1)
+          << "% remote but measured " << formatFixed(meas * 100.0, 1) << "%";
+      if (!a.staticallyAffine)
+        msg << " (irregular indexing: the static model saw data-dependent"
+               " indices)";
+      if (!a.strideRegular) msg << " (non-constant stride at some sites)";
+      f.message = msg.str();
+      findings.push_back(std::move(f));
+    }
+  }
+  if (findings.empty()) {
+    out << "\n(clean) no findings\n";
+  } else {
+    out << "\nFindings (" << findings.size() << "):\n";
+    for (const an::loc::Finding& f : findings) {
+      out << "  [" << an::loc::findingKindName(f.kind) << "] "
+          << lintLoc(m, f.loc) << " — " << f.message << "\n";
+    }
+  }
+
+  out << "\nPredicted comm: " << lint.predictedGets << " GETs, "
+      << lint.predictedPuts << " PUTs, " << lint.predictedAggGets
+      << " aggregated GETs, " << lint.predictedAggPuts << " aggregated PUTs, "
+      << lint.predictedOnForks << " on-forks\n";
+
+  if (!lint.arrays.empty()) {
+    out << "\nArrays (predicted locality):\n";
+    TextTable t({"Name", "Dist", "Elems", "Accesses", "RemoteGet", "RemotePut",
+                 "Agg", "Remote%", "Swapped%", "Affine"});
+    for (const an::loc::ArrayStats& a : lint.arrays) {
+      const char* dist = a.distKind == 1 ? "Block" : a.distKind == 2 ? "Cyclic" : "local";
+      t.addRow({a.name, dist, std::to_string(a.elems), std::to_string(a.accesses),
+                std::to_string(a.remoteGets), std::to_string(a.remotePuts),
+                std::to_string(a.aggGets + a.aggPuts),
+                formatFixed(a.countFraction() * 100.0, 1) + "%",
+                a.distKind == 0 ? "-"
+                                : formatFixed(a.counterfactualFraction() * 100.0, 1) + "%",
+                a.staticallyAffine ? (a.inductionIndexed ? "yes" : "invariant")
+                                   : "no"});
+    }
+    out << t.render();
+  }
+
+  if (!lint.regions.empty()) {
+    out << "\nParallel regions:\n";
+    TextTable t({"Region", "Kind", "Executed", "Verdict", "Reason"});
+    for (const an::loc::RegionReport& r : lint.regions) {
+      std::string name = r.parentName.empty() ? "?" : r.parentName;
+      t.addRow({name + "@" + lintLoc(m, r.loc), r.isCoforall ? "coforall" : "forall",
+                r.executed ? "yes" : "no",
+                r.verdict.raceFree ? "race-free" : "may-race", r.verdict.reason});
+    }
+    out << t.render();
+  }
   return out.str();
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/locality.h"
 #include "postmortem/attribution.h"
 #include "postmortem/baseline.h"
 #include "postmortem/instance.h"
@@ -76,6 +77,20 @@ std::string commMatrixView(const pm::BlameReport& report, const ViewOptions& opt
 /// locale in locale order; failed locales (empty reports) render as "-".
 std::string perLocaleView(const std::vector<pm::BlameReport>& perLocale,
                           const ViewOptions& opts = {});
+
+// ---- static lint ------------------------------------------------------------
+
+/// Lint view (`cb --lint`): findings from the static locality-and-race
+/// analysis, the predicted per-array comm splits, and the race verdict of
+/// every forall/coforall region. When `measured` is non-null, appends the
+/// static-vs-dynamic differential: each predicted remote fraction is
+/// cross-checked against the measured VariableBlame comm split, and
+/// divergences above `divergenceThreshold` (fraction points) are flagged as
+/// findings. Source locations render as basename:line:col so the output is
+/// checkout-path independent (golden fixtures under tests/golden/).
+std::string lintView(const ir::Module& m, const an::loc::LintReport& lint,
+                     const pm::BlameReport* measured = nullptr,
+                     double divergenceThreshold = 0.15);
 
 /// Baseline (allocation-threshold) report rendering.
 std::string baselineView(const pm::BaselineReport& report);

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/race.h"
 #include "support/common.h"
 
 namespace cb::rt::bc {
@@ -20,605 +21,6 @@ using ir::TypeKind;
 using ir::ValueRef;
 
 namespace {
-
-bool typeOwnsArrays(const ir::Module& m, TypeId t) {
-  const ir::Type& ty = m.types().get(t);
-  switch (ty.kind) {
-    case TypeKind::Array: return true;
-    case TypeKind::Tuple:
-      for (TypeId e : ty.elems)
-        if (typeOwnsArrays(m, e)) return true;
-      return false;
-    case TypeKind::Record:
-      for (const ir::RecordField& f : ty.fields)
-        if (typeOwnsArrays(m, f.type)) return true;
-      return false;
-    default: return false;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Parallel-replay eligibility analysis.
-//
-// Flow-insensitive abstract interpretation of the outlined task function.
-// Integer values are classified relative to the chunk loop: Uniform (same
-// value in every task, with an interned symbolic identity), Induction (the
-// chunk-loop counter, whose ranges are disjoint across tasks), Aff/AffN
-// (uniform +/- induction — still injective, so same-signature accesses from
-// different tasks never collide), or Varying. Shared arrays are tracked back
-// to task-invariant roots (globals / byval iterand args / byref captures,
-// possibly through record-field paths); every element access through a root
-// is summarized by the signature of its index vector. A region is eligible
-// when each written root is touched through exactly one disjointness-bearing
-// signature and nothing falls outside the abstraction (calls, nested spawns,
-// RNG, global or capture stores, views, escaping handles...). Anything not
-// understood degrades to a sequential fallback, never to a race.
-// ---------------------------------------------------------------------------
-
-constexpr uint32_t kArbSig = ~0u;
-
-struct Analyzer {
-  const ir::Module& m;
-  const ir::Function& fn;
-
-  struct VC {
-    enum K : uint8_t { Bot, Uni, Ind, Aff, AffN, CLo, CHi, Vary };
-    K k = Bot;
-    uint32_t s = 0;
-  };
-  struct RC {
-    enum K : uint8_t { NotRef, Local, LocalField, TaskElem, Elem, Cap, Glob, Vary };
-    K k = NotRef;
-    uint32_t a = 0;    // alloca id / root id / arg index / global id
-    uint32_t sig = 0;  // Elem only
-    std::vector<uint32_t> path;  // Cap/Glob only
-  };
-  struct AC {
-    enum K : uint8_t { NotArr, Root, TaskLocal, Vary };
-    K k = NotArr;
-    uint32_t root = 0;
-  };
-
-  std::vector<VC> vc;
-  std::vector<RC> rc;
-  std::vector<AC> ac;
-  struct AllocaState {
-    VC v;
-    AC a;
-  };
-  std::vector<AllocaState> allocaSt;
-  std::vector<bool> isInduction;
-
-  std::map<std::string, uint32_t> symIds;
-  std::vector<std::string> rootKeys;
-  std::map<std::string, uint32_t> rootIds;
-  std::vector<RootRef> rootRefs;
-  struct SigElem {
-    uint8_t k;  // 0 Uni, 1 Ind, 2 Aff, 3 AffN
-    uint32_t s;
-  };
-  std::vector<std::pair<bool, std::vector<SigElem>>> sigs;
-  std::map<std::string, uint32_t> sigIds;
-
-  struct RootInfo {
-    std::set<uint32_t> wsigs, rsigs;
-    bool arbW = false, arbR = false;
-  };
-  std::map<uint32_t, RootInfo> rootInfo;
-
-  bool fatal = false;
-  bool anyUnknownRead = false;
-  bool changed = false;
-  bool record = false;
-
-  Analyzer(const ir::Module& mod, const ir::Function& f) : m(mod), fn(f) {
-    size_t n = fn.numInstrs();
-    vc.resize(n);
-    rc.resize(n);
-    ac.resize(n);
-    allocaSt.resize(n);
-    isInduction.assign(n, false);
-    findInductionAllocas();
-  }
-
-  uint32_t sym(const std::string& s) {
-    auto [it, fresh] = symIds.emplace(s, static_cast<uint32_t>(symIds.size()));
-    return it->second;
-  }
-
-  uint32_t rootId(bool fromGlobal, bool deref, uint32_t index,
-                  const std::vector<uint32_t>& path) {
-    std::string key = (fromGlobal ? "g" : "a");
-    key += deref ? "d:" : ":";
-    key += std::to_string(index);
-    for (uint32_t p : path) key += "." + std::to_string(p);
-    auto it = rootIds.find(key);
-    if (it != rootIds.end()) return it->second;
-    uint32_t id = static_cast<uint32_t>(rootRefs.size());
-    rootIds.emplace(key, id);
-    rootRefs.push_back(RootRef{fromGlobal, deref, index, path, false});
-    return id;
-  }
-
-  uint32_t internSig(bool linear, const std::vector<SigElem>& elems) {
-    std::string key = linear ? "L" : "M";
-    for (const SigElem& e : elems)
-      key += ";" + std::to_string(e.k) + ":" + std::to_string(e.s);
-    auto it = sigIds.find(key);
-    if (it != sigIds.end()) return it->second;
-    uint32_t id = static_cast<uint32_t>(sigs.size());
-    sigIds.emplace(key, id);
-    sigs.emplace_back(linear, elems);
-    return id;
-  }
-
-  void findInductionAllocas() {
-    // The chunk loop's counter: an alloca with exactly two stores, one of
-    // the chunk_lo argument (arg 0) and one of (load(self) + 1).
-    std::vector<std::vector<InstrId>> storesTo(fn.numInstrs());
-    for (InstrId i = 0; i < fn.numInstrs(); ++i) {
-      const Instr& in = fn.instrs[i];
-      if (in.op != Opcode::Store || in.ops.size() != 2) continue;
-      if (in.ops[1].isReg() && fn.instrs[in.ops[1].reg].op == Opcode::Alloca)
-        storesTo[in.ops[1].reg].push_back(i);
-    }
-    for (InstrId a = 0; a < fn.numInstrs(); ++a) {
-      if (fn.instrs[a].op != Opcode::Alloca || storesTo[a].size() != 2) continue;
-      bool init = false, inc = false;
-      for (InstrId s : storesTo[a]) {
-        const ValueRef& v = fn.instrs[s].ops[0];
-        if (v.kind == ValueRef::Kind::Arg && v.arg == 0) { init = true; continue; }
-        if (!v.isReg()) continue;
-        const Instr& add = fn.instrs[v.reg];
-        if (add.op != Opcode::Bin || add.extra.bin != BinKind::Add || add.ops.size() != 2)
-          continue;
-        for (int side = 0; side < 2; ++side) {
-          const ValueRef& x = add.ops[side];
-          const ValueRef& y = add.ops[1 - side];
-          if (y.kind != ValueRef::Kind::ConstInt || y.i != 1) continue;
-          if (x.isReg() && fn.instrs[x.reg].op == Opcode::Load &&
-              fn.instrs[x.reg].ops[0].isReg() && fn.instrs[x.reg].ops[0].reg == a)
-            inc = true;
-        }
-      }
-      if (init && inc) isInduction[a] = true;
-    }
-  }
-
-  // -- joins ----------------------------------------------------------------
-  static VC joinVC(const VC& a, const VC& b) {
-    if (a.k == VC::Bot) return b;
-    if (b.k == VC::Bot) return a;
-    if (a.k == b.k && a.s == b.s) return a;
-    return VC{VC::Vary, 0};
-  }
-  static AC joinAC(const AC& a, const AC& b) {
-    if (a.k == AC::NotArr) return b;
-    if (b.k == AC::NotArr) return a;
-    if (a.k == b.k && a.root == b.root) return a;
-    return AC{AC::Vary, 0};
-  }
-
-  void setVC(InstrId i, VC v) {
-    if (vc[i].k != v.k || vc[i].s != v.s) { vc[i] = v; changed = true; }
-  }
-  void setRC(InstrId i, RC r) {
-    if (rc[i].k != r.k || rc[i].a != r.a || rc[i].sig != r.sig || rc[i].path != r.path) {
-      rc[i] = std::move(r);
-      changed = true;
-    }
-  }
-  void setAC(InstrId i, AC a) {
-    if (ac[i].k != a.k || ac[i].root != a.root) { ac[i] = a; changed = true; }
-  }
-  void joinAlloca(InstrId a, const VC& v, const AC& arr) {
-    VC nv = joinVC(allocaSt[a].v, v);
-    AC na = joinAC(allocaSt[a].a, arr);
-    if (nv.k != allocaSt[a].v.k || nv.s != allocaSt[a].v.s || na.k != allocaSt[a].a.k ||
-        na.root != allocaSt[a].a.root) {
-      allocaSt[a].v = nv;
-      allocaSt[a].a = na;
-      changed = true;
-    }
-  }
-
-  // -- operand classification ----------------------------------------------
-  VC vcOf(const ValueRef& v) {
-    switch (v.kind) {
-      case ValueRef::Kind::ConstInt: return VC{VC::Uni, sym("ci:" + std::to_string(v.i))};
-      case ValueRef::Kind::ConstReal: {
-        uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(v.r));
-        __builtin_memcpy(&bits, &v.r, sizeof(bits));
-        return VC{VC::Uni, sym("cr:" + std::to_string(bits))};
-      }
-      case ValueRef::Kind::ConstBool: return VC{VC::Uni, sym(v.b ? "cb:1" : "cb:0")};
-      case ValueRef::Kind::ConstString:
-        return VC{VC::Uni, sym("cs:" + std::to_string(v.stringId))};
-      case ValueRef::Kind::Arg:
-        if (v.arg == 0) return VC{VC::CLo, 0};
-        if (v.arg == 1) return VC{VC::CHi, 0};
-        if (v.arg < fn.params.size() && fn.params[v.arg].byRef) return VC{VC::Vary, 0};
-        return VC{VC::Uni, sym("arg:" + std::to_string(v.arg))};
-      case ValueRef::Kind::Reg: return vc[v.reg];
-      default: return VC{VC::Vary, 0};
-    }
-  }
-  RC rcOf(const ValueRef& v) {
-    if (v.isReg()) return rc[v.reg];
-    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size() && fn.params[v.arg].byRef)
-      return RC{RC::Cap, v.arg, 0, {}};
-    if (v.kind == ValueRef::Kind::GlobalAddr) return RC{RC::Glob, v.global, 0, {}};
-    return RC{RC::NotRef, 0, 0, {}};
-  }
-  AC acOf(const ValueRef& v) {
-    if (v.isReg()) return ac[v.reg];
-    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size() && !fn.params[v.arg].byRef &&
-        m.types().kindOf(fn.params[v.arg].type) == TypeKind::Array)
-      return AC{AC::Root, rootId(false, false, v.arg, {})};
-    return AC{AC::NotArr};
-  }
-  bool operandIsRefValue(const ValueRef& v) {
-    return rcOf(v).k != RC::NotRef;
-  }
-  TypeId operandType(const ValueRef& v) {
-    if (v.isReg()) return fn.instrs[v.reg].type;
-    if (v.kind == ValueRef::Kind::Arg && v.arg < fn.params.size())
-      return fn.params[v.arg].type;
-    return ir::kInvalidType;
-  }
-
-  void markRead(uint32_t root, uint32_t sig) {
-    if (!record) return;
-    if (sig == kArbSig) rootInfo[root].arbR = true;
-    else rootInfo[root].rsigs.insert(sig);
-  }
-  void markWrite(uint32_t root, uint32_t sig) {
-    if (!record) return;
-    if (sig == kArbSig) rootInfo[root].arbW = true;
-    else rootInfo[root].wsigs.insert(sig);
-  }
-  void bail() {
-    if (record) fatal = true;
-  }
-
-  // -- transfer -------------------------------------------------------------
-  void transfer(InstrId i) {
-    const Instr& in = fn.instrs[i];
-    switch (in.op) {
-      case Opcode::Alloca:
-        setRC(i, RC{RC::Local, i, 0, {}});
-        break;
-      case Opcode::Load: {
-        RC r = rcOf(in.ops[0]);
-        bool isArr = in.type != ir::kInvalidType &&
-                     m.types().kindOf(in.type) == TypeKind::Array;
-        bool owns = in.type != ir::kInvalidType && !isArr && typeOwnsArrays(m, in.type);
-        if (owns && r.k != RC::Local) bail();  // shared record-of-array handles escape
-        switch (r.k) {
-          case RC::Local:
-            setVC(i, isInduction[r.a] ? VC{VC::Ind, 0} : allocaSt[r.a].v);
-            if (isArr) setAC(i, allocaSt[r.a].a);
-            break;
-          case RC::LocalField:
-            if (record && (isArr || owns)) fatal = true;
-            setVC(i, VC{VC::Vary, 0});
-            break;
-          case RC::TaskElem:
-            if (isArr) setAC(i, AC{AC::TaskLocal, 0});
-            setVC(i, VC{VC::Vary, 0});
-            break;
-          case RC::Elem:
-            markRead(r.a, r.sig);
-            if (isArr) setAC(i, AC{AC::Vary, 0});
-            setVC(i, VC{VC::Vary, 0});
-            break;
-          case RC::Cap:
-          case RC::Glob: {
-            bool g = r.k == RC::Glob;
-            std::string tag = (g ? "g:" : "cap:") + std::to_string(r.a);
-            for (uint32_t p : r.path) tag += "." + std::to_string(p);
-            if (isArr) setAC(i, AC{AC::Root, rootId(g, !g, r.a, r.path)});
-            setVC(i, VC{VC::Uni, sym(tag)});
-            break;
-          }
-          default:
-            if (record) anyUnknownRead = true;
-            if (isArr) setAC(i, AC{AC::Vary, 0});
-            setVC(i, VC{VC::Vary, 0});
-            break;
-        }
-        break;
-      }
-      case Opcode::Store: {
-        RC r = rcOf(in.ops[1]);
-        VC v = vcOf(in.ops[0]);
-        AC av = acOf(in.ops[0]);
-        TypeId vt = operandType(in.ops[0]);
-        bool vIsArr = vt != ir::kInvalidType && m.types().kindOf(vt) == TypeKind::Array;
-        bool vOwns = vt != ir::kInvalidType && !vIsArr && typeOwnsArrays(m, vt);
-        bool vIsRef = operandIsRefValue(in.ops[0]) ||
-                      in.ops[0].kind == ValueRef::Kind::GlobalAddr;
-        switch (r.k) {
-          case RC::Local:
-            joinAlloca(r.a, vIsArr ? VC{VC::Vary, 0} : v, vIsArr ? av : AC{AC::NotArr});
-            if (record && (vOwns || vIsRef)) fatal = true;
-            break;
-          case RC::LocalField:
-          case RC::TaskElem:
-            if (record && (vOwns || vIsRef || (vIsArr && av.k != AC::TaskLocal))) fatal = true;
-            break;
-          case RC::Elem:
-            markWrite(r.a, r.sig);
-            if (record && (vOwns || vIsArr || vIsRef)) fatal = true;
-            break;
-          default:
-            bail();
-            break;
-        }
-        break;
-      }
-      case Opcode::FieldAddr:
-      case Opcode::TupleAddr: {
-        RC r = rcOf(in.ops[0]);
-        bool dyn = in.op == Opcode::TupleAddr && in.ops.size() == 2;
-        switch (r.k) {
-          case RC::Local:
-          case RC::LocalField: setRC(i, RC{RC::LocalField, r.a, 0, {}}); break;
-          case RC::TaskElem: setRC(i, RC{RC::TaskElem, 0, 0, {}}); break;
-          case RC::Elem: setRC(i, RC{RC::Elem, r.a, r.sig, {}}); break;
-          case RC::Cap:
-          case RC::Glob:
-            if (dyn) { setRC(i, RC{RC::Vary, 0, 0, {}}); break; }
-            {
-              RC nr = r;
-              nr.path.push_back(in.imm);
-              setRC(i, std::move(nr));
-            }
-            break;
-          default: setRC(i, RC{RC::Vary, 0, 0, {}}); break;
-        }
-        break;
-      }
-      case Opcode::IndexAddr: {
-        AC base = acOf(in.ops[0]);
-        switch (base.k) {
-          case AC::Root: {
-            bool linear = (in.imm & 1) != 0;
-            std::vector<SigElem> elems;
-            bool arb = false;
-            for (size_t k = 1; k < in.ops.size(); ++k) {
-              VC c = vcOf(in.ops[k]);
-              switch (c.k) {
-                case VC::Uni: elems.push_back({0, c.s}); break;
-                case VC::Ind: elems.push_back({1, 0}); break;
-                case VC::Aff: elems.push_back({2, c.s}); break;
-                case VC::AffN: elems.push_back({3, c.s}); break;
-                default: arb = true; break;
-              }
-            }
-            setRC(i, RC{RC::Elem, base.root, arb ? kArbSig : internSig(linear, elems), {}});
-            break;
-          }
-          case AC::TaskLocal: setRC(i, RC{RC::TaskElem, 0, 0, {}}); break;
-          default: setRC(i, RC{RC::Vary, 0, 0, {}}); break;
-        }
-        break;
-      }
-      case Opcode::Bin: {
-        TypeKind rk = m.types().kindOf(in.type);
-        VC a = vcOf(in.ops[0]), b = vcOf(in.ops[1]);
-        auto uni2 = [&](const char* tag) {
-          return VC{VC::Uni, sym(std::string(tag) + "(" + std::to_string(a.s) + "," +
-                                 std::to_string(b.s) + ")")};
-        };
-        if (rk != TypeKind::Int) {
-          setVC(i, (a.k == VC::Uni && b.k == VC::Uni)
-                       ? uni2(("b" + std::to_string(static_cast<int>(in.extra.bin))).c_str())
-                       : VC{VC::Vary, 0});
-          break;
-        }
-        VC out{VC::Vary, 0};
-        BinKind k = in.extra.bin;
-        if (a.k == VC::Uni && b.k == VC::Uni) {
-          out = uni2(("b" + std::to_string(static_cast<int>(k))).c_str());
-        } else if (k == BinKind::Add) {
-          if ((a.k == VC::Uni && b.k == VC::Ind) || (a.k == VC::Ind && b.k == VC::Uni))
-            out = VC{VC::Aff, a.k == VC::Uni ? a.s : b.s};
-          else if ((a.k == VC::Uni && b.k == VC::Aff) || (a.k == VC::Aff && b.k == VC::Uni))
-            out = VC{VC::Aff, sym("+(" + std::to_string(std::min(a.s, b.s)) + "," +
-                                  std::to_string(std::max(a.s, b.s)) + ")+")};
-          else if ((a.k == VC::Uni && b.k == VC::AffN) || (a.k == VC::AffN && b.k == VC::Uni))
-            out = VC{VC::AffN, sym("+(" + std::to_string(std::min(a.s, b.s)) + "," +
-                                   std::to_string(std::max(a.s, b.s)) + ")-")};
-        } else if (k == BinKind::Sub) {
-          if (a.k == VC::Ind && b.k == VC::Uni)
-            out = VC{VC::Aff, sym("neg(" + std::to_string(b.s) + ")")};
-          else if (a.k == VC::Aff && b.k == VC::Uni)
-            out = VC{VC::Aff, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")+")};
-          else if (a.k == VC::Uni && b.k == VC::Ind)
-            out = VC{VC::AffN, a.s};
-          else if (a.k == VC::Uni && b.k == VC::Aff)
-            out = VC{VC::AffN, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")-")};
-          else if (a.k == VC::AffN && b.k == VC::Uni)
-            out = VC{VC::AffN, sym("-(" + std::to_string(a.s) + "," + std::to_string(b.s) + ")n")};
-        }
-        setVC(i, out);
-        break;
-      }
-      case Opcode::Un: {
-        VC a = vcOf(in.ops[0]);
-        setVC(i, a.k == VC::Uni
-                     ? VC{VC::Uni, sym("u" + std::to_string(static_cast<int>(in.extra.un)) +
-                                       "(" + std::to_string(a.s) + ")")}
-                     : VC{VC::Vary, 0});
-        break;
-      }
-      case Opcode::TupleMake: {
-        bool allUni = true;
-        std::string tag = "tm";
-        for (const ValueRef& o : in.ops) {
-          if (record && (operandIsRefValue(o) || acOf(o).k != AC::NotArr)) fatal = true;
-          VC c = vcOf(o);
-          if (c.k != VC::Uni) allUni = false;
-          else tag += ":" + std::to_string(c.s);
-        }
-        if (record && in.type != ir::kInvalidType && typeOwnsArrays(m, in.type)) fatal = true;
-        setVC(i, allUni ? VC{VC::Uni, sym(tag)} : VC{VC::Vary, 0});
-        break;
-      }
-      case Opcode::TupleGet: {
-        if (record && in.type != ir::kInvalidType && typeOwnsArrays(m, in.type)) fatal = true;
-        VC t = vcOf(in.ops[0]);
-        bool dyn = in.ops.size() == 2;
-        VC idx = dyn ? vcOf(in.ops[1]) : VC{VC::Uni, sym("imm:" + std::to_string(in.imm))};
-        setVC(i, (t.k == VC::Uni && idx.k == VC::Uni)
-                     ? VC{VC::Uni, sym("tg(" + std::to_string(t.s) + "," +
-                                       std::to_string(idx.s) + ")")}
-                     : VC{VC::Vary, 0});
-        break;
-      }
-      case Opcode::RecordNew:
-        if (record && typeOwnsArrays(m, in.type)) fatal = true;  // runs domain thunks
-        setVC(i, VC{VC::Vary, 0});
-        break;
-      case Opcode::DomainMake:
-      case Opcode::DomainExpand: {
-        bool allUni = true;
-        std::string tag = "dm";
-        for (const ValueRef& o : in.ops) {
-          VC c = vcOf(o);
-          if (c.k != VC::Uni) { allUni = false; break; }
-          tag += ":" + std::to_string(c.s);
-        }
-        setVC(i, allUni ? VC{VC::Uni, sym(tag)} : VC{VC::Vary, 0});
-        break;
-      }
-      case Opcode::DomainSize:
-      case Opcode::DomainDim: {
-        AC base = acOf(in.ops[0]);
-        if (base.k == AC::Root) {
-          setVC(i, VC{VC::Uni, sym("dq:" + std::to_string(base.root) + ":" +
-                                   std::to_string(in.imm) +
-                                   (in.op == Opcode::DomainSize ? "s" : "d"))});
-        } else {
-          VC d = vcOf(in.ops[0]);
-          setVC(i, d.k == VC::Uni
-                       ? VC{VC::Uni, sym("dq(" + std::to_string(d.s) + "," +
-                                         std::to_string(in.imm) + ")")}
-                       : VC{VC::Vary, 0});
-        }
-        break;
-      }
-      case Opcode::ArrayNew:
-        setAC(i, AC{AC::TaskLocal, 0});
-        break;
-      case Opcode::ArrayView:
-        // Views remap coordinates; accesses through them are not comparable
-        // with direct-root signatures. Reads stay safe, writes bail.
-        setAC(i, AC{AC::Vary, 0});
-        break;
-      case Opcode::Call:
-      case Opcode::Spawn:
-        bail();
-        setVC(i, VC{VC::Vary, 0});
-        break;
-      case Opcode::Builtin:
-        switch (in.extra.builtin) {
-          case BuiltinKind::Random: bail(); break;
-          case BuiltinKind::Writeln:
-            for (const ValueRef& o : in.ops) {
-              if (record && operandIsRefValue(o)) fatal = true;
-              AC a = acOf(o);
-              if (a.k == AC::Root) { if (record) rootInfo[a.root].arbR = true; }
-              else if (a.k == AC::Vary) { if (record) anyUnknownRead = true; }
-            }
-            break;
-          case BuiltinKind::ArrayFill:
-          case BuiltinKind::ArrayCopy: {
-            AC dst = acOf(in.ops[0]);
-            if (dst.k != AC::TaskLocal) bail();
-            if (in.extra.builtin == BuiltinKind::ArrayCopy) {
-              AC src = acOf(in.ops[1]);
-              if (src.k == AC::Root) { if (record) rootInfo[src.root].arbR = true; }
-              else if (src.k == AC::Vary) { if (record) anyUnknownRead = true; }
-            }
-            break;
-          }
-          case BuiltinKind::ConfigGet:
-            setVC(i, vcOf(in.ops[1]).k == VC::Uni
-                         ? VC{VC::Uni, sym("cfg:" + std::to_string(i))}
-                         : VC{VC::Vary, 0});
-            break;
-          case BuiltinKind::Dmapped:
-          case BuiltinKind::OnBegin:
-          case BuiltinKind::OnEnd:
-            // Locale switches mutate shared runtime state (current locale,
-            // comm counters follow task order): keep such regions sequential.
-            bail();
-            setVC(i, VC{VC::Vary, 0});
-            break;
-          case BuiltinKind::AggOpen:
-          case BuiltinKind::AggCopy:
-          case BuiltinKind::AggClose:
-            // Aggregator buffers are per-task mutable runtime state whose
-            // flush points depend on copy order: keep such regions
-            // sequential so replay stays deterministic.
-            bail();
-            setVC(i, VC{VC::Vary, 0});
-            break;
-          case BuiltinKind::HereId:
-            setVC(i, VC{VC::Uni, sym("here")});
-            break;
-          case BuiltinKind::NumLocales:
-            setVC(i, VC{VC::Uni, sym("nloc")});
-            break;
-          default:  // Clock / Yield / HeapHint
-            setVC(i, VC{VC::Vary, 0});
-            break;
-        }
-        break;
-      default:  // Ret / Br / CondBr / IterOverhead
-        break;
-    }
-  }
-
-  SpawnPlan run() {
-    for (int iter = 0; iter < 32; ++iter) {
-      changed = false;
-      for (InstrId i = 0; i < fn.numInstrs(); ++i) transfer(i);
-      if (!changed) break;
-      if (iter == 31) return SpawnPlan{};  // did not converge: fall back
-    }
-    record = true;
-    for (InstrId i = 0; i < fn.numInstrs(); ++i) {
-      transfer(i);
-      if (fatal) return SpawnPlan{};
-    }
-    bool anyWrite = false;
-    for (auto& [root, info] : rootInfo) {
-      bool w = info.arbW || !info.wsigs.empty();
-      if (!w) continue;
-      anyWrite = true;
-      rootRefs[root].written = true;
-      if (info.arbW || info.arbR) return SpawnPlan{};
-      std::set<uint32_t> all = info.wsigs;
-      all.insert(info.rsigs.begin(), info.rsigs.end());
-      if (all.size() != 1) return SpawnPlan{};
-      const auto& [linear, elems] = sigs[*all.begin()];
-      bool disjoint = false;
-      for (const SigElem& e : elems)
-        if (e.k != 0) disjoint = true;
-      (void)linear;
-      if (!disjoint) return SpawnPlan{};
-    }
-    if (anyUnknownRead && anyWrite) return SpawnPlan{};
-    SpawnPlan plan;
-    plan.eligible = true;
-    plan.roots = rootRefs;
-    return plan;
-  }
-};
 
 // ---------------------------------------------------------------------------
 // Bytecode lowering.
@@ -702,9 +104,14 @@ struct FnCompiler {
   uint32_t planFor(FuncId taskFn) {
     auto it = planOf.find(taskFn);
     if (it != planOf.end()) return it->second;
-    Analyzer an(m, m.function(taskFn));
+    // Parallel-replay eligibility comes from the shared race-freedom prover
+    // (analysis/race.h); the plan keeps only what the engines need.
+    an::race::Verdict v = an::race::analyzeTaskFunction(m, taskFn);
     uint32_t idx = static_cast<uint32_t>(cm.plans.size());
-    cm.plans.push_back(an.run());
+    SpawnPlan plan;
+    plan.eligible = v.raceFree;
+    if (v.raceFree) plan.roots = std::move(v.roots);
+    cm.plans.push_back(std::move(plan));
     planOf.emplace(taskFn, idx);
     return idx;
   }

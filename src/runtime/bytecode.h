@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/race.h"
 #include "ir/module.h"
 #include "runtime/cost_model.h"
 #include "runtime/value.h"
@@ -117,20 +118,13 @@ struct BFunc {
   std::vector<uint32_t> resetSlots;
 };
 
-/// A shared-array root the task function accesses: the task-invariant place
-/// the array handle is loaded from, resolved to a concrete ArrayObj at
-/// spawn time. `argIndex`/`deref` describe task-fn arguments (byval iterand
-/// arrays, or byref captures dereferenced once); globals walk `globalId`.
-/// `path` is a chain of record-field / tuple-element indices.
-struct RootRef {
-  bool fromGlobal = false;
-  bool deref = false;       // arg holds a Ref that must be dereferenced first
-  uint32_t index = 0;       // GlobalId or task-fn arg index
-  std::vector<uint32_t> path;
-  bool written = false;     // some task may write elements of this root
-};
+/// A shared-array root the task function accesses (see analysis/race.h —
+/// the race-freedom prover both engines gate parallel replay on).
+using RootRef = ::cb::an::race::RootRef;
 
-/// Result of the static independence analysis for one Spawn site.
+/// Result of the static independence analysis for one Spawn site. Derived
+/// from the prover's Verdict: `eligible` is `raceFree`, `roots` the shared
+/// arrays needing runtime alias checks (kept only when eligible).
 struct SpawnPlan {
   bool eligible = false;          // streams may replay on OS threads
   std::vector<RootRef> roots;     // shared arrays needing runtime alias checks

@@ -1051,6 +1051,10 @@ class Engine {
       }
       std::vector<uint64_t> workerEnd(w + 1, t0);
       ctx.taskTag = tag;
+      // Count regions the prover could not clear: depends only on the static
+      // verdict (not replay width or runtime aliasing), so the counter is
+      // identical across engines and worker counts.
+      if (!compiled_.plans[bi.t1].eligible) ++result_.log.raceFallbackRegions;
       try {
         if (canParallelize(compiled_.plans[bi.t1], chunks.size(), extra, ctx)) {
           runParallel(ctx, bi.t0, bi, irFn, chunks, extra, tag, t0, workerEnd);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "analysis/race.h"
 #include "runtime/bandwidth.h"
 #include "runtime/exec.h"
 #include "support/common.h"
@@ -766,6 +767,12 @@ class Interp {
       }
       std::vector<uint64_t> workerEnd(w + 1, t0);
       curTaskTag_ = tag;
+      // Count regions the race-freedom prover could not clear (the bytecode
+      // engine would replay them sequentially). The reference interpreter
+      // always runs chunks interleaved, but the counter depends only on the
+      // static verdict so the RunLog stays bit-identical across engines.
+      if (!raceCache_.verdictFor(m_, in.extra.func).raceFree)
+        ++result_.log.raceFallbackRegions;
       for (size_t ti = 0; ti < chunks.size(); ++ti) {
         uint32_t ws = 1 + static_cast<uint32_t>(ti % w);
         pmu_.setClock(ws, workerEnd[ws]);
@@ -979,6 +986,10 @@ class Interp {
   uint64_t curTaskTag_ = 0;
   uint64_t tagCounter_ = 0;
   uint64_t idleSampleCounter_ = 0;
+
+  // Memoized race-freedom verdicts per task function, queried at each
+  // top-level spawn for the raceFallbackRegions counter.
+  an::race::RaceCache raceCache_;
 
   // PGAS locale simulation state.
   int64_t curLocale_ = 0;

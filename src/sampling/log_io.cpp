@@ -20,11 +20,11 @@ namespace cb::sampling {
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
-  out << "cblog 4 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+  out << "cblog 5 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
       << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << " "
       << log.commAggGets << " " << log.commAggPuts << " " << log.commAggFlushes << " "
       << log.commMemStallCycles << " " << log.commNetStallCycles << " "
-      << log.commContentionCycles << "\n";
+      << log.commContentionCycles << " " << log.raceFallbackRegions << "\n";
   for (const RawSample& s : log.samples) {
     out << "S " << s.stream << " " << s.taskTag << " " << s.atCycle << " "
         << static_cast<int>(s.runtimeFrame) << " " << static_cast<int>(s.accessKind) << " "
@@ -73,13 +73,14 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
     std::string magic;
     if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
       return false;
-    if (magic != "cblog" || version < 1 || version > 4) return false;
+    if (magic != "cblog" || version < 1 || version > 5) return false;
     if (version >= 2 && !(h >> out.commGets >> out.commPuts >> out.commOnForks)) return false;
     if (version >= 3 && !(h >> out.commAggGets >> out.commAggPuts >> out.commAggFlushes))
       return false;
     if (version >= 4 && !(h >> out.commMemStallCycles >> out.commNetStallCycles >>
                           out.commContentionCycles))
       return false;
+    if (version >= 5 && !(h >> out.raceFallbackRegions)) return false;
   }
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
@@ -133,7 +134,7 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
 // ---------------------------------------------------------------------------
 
 constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-constexpr uint8_t kBinaryVersion = 4;
+constexpr uint8_t kBinaryVersion = 5;
 
 void putVarint(std::string& out, uint64_t v) {
   while (v >= 0x80) {
@@ -257,6 +258,7 @@ bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
   if (version >= 4 && (!r.varint(out.commMemStallCycles) || !r.varint(out.commNetStallCycles) ||
                        !r.varint(out.commContentionCycles)))
     return false;
+  if (version >= 5 && !r.varint(out.raceFallbackRegions)) return false;
 
   uint64_t nSamples;
   if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
@@ -341,6 +343,7 @@ std::string serializeRunLogBinary(const RunLog& log) {
   putVarint(out, log.commMemStallCycles);
   putVarint(out, log.commNetStallCycles);
   putVarint(out, log.commContentionCycles);
+  putVarint(out, log.raceFallbackRegions);
 
   putVarint(out, log.samples.size());
   uint64_t prevCycle = 0;

@@ -32,6 +32,7 @@ bool identical(const RunLog& a, const RunLog& b) {
       a.commNetStallCycles != b.commNetStallCycles ||
       a.commContentionCycles != b.commContentionCycles)
     return false;
+  if (a.raceFallbackRegions != b.raceFallbackRegions) return false;
   if (a.commMatrix != b.commMatrix) return false;
   if (a.samples.size() != b.samples.size()) return false;
   for (size_t i = 0; i < a.samples.size(); ++i)
@@ -76,6 +77,8 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
   else if (a.commContentionCycles != b.commContentionCycles)
     os << "commContentionCycles " << a.commContentionCycles << " vs "
        << b.commContentionCycles;
+  else if (a.raceFallbackRegions != b.raceFallbackRegions)
+    os << "raceFallbackRegions " << a.raceFallbackRegions << " vs " << b.raceFallbackRegions;
   else if (a.commMatrix != b.commMatrix)
     os << "commMatrix differs (" << a.commMatrix.size() << " vs " << b.commMatrix.size()
        << " cells)";

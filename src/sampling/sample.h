@@ -100,6 +100,15 @@ struct RunLog {
   uint64_t commNetStallCycles = 0;
   uint64_t commContentionCycles = 0;
 
+  /// Top-level forall/coforall regions the race-freedom prover
+  /// (analysis/race.h) could NOT prove independent, so their worker streams
+  /// replayed sequentially. Counts executed region entries (not distinct
+  /// spawn sites) and is identical across engines and replay widths — it
+  /// depends only on the static verdict. Makes silent serialization
+  /// observable: a hot region stuck at width 1 shows up here instead of
+  /// being indistinguishable from a parallel replay.
+  uint64_t raceFallbackRegions = 0;
+
   /// Exact source→destination locale communication matrix: pairKey(src,dst)
   /// -> remote element transfers (naive and aggregated alike). Sparse and
   /// sorted, so iteration order is deterministic.
