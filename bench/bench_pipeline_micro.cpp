@@ -15,6 +15,7 @@
 #include "postmortem/attribution.h"
 #include "postmortem/instance.h"
 #include "runtime/interp.h"
+#include "support/interner.h"
 
 namespace {
 
@@ -101,6 +102,31 @@ void BM_ConsolidateAndAttribute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConsolidateAndAttribute);
+
+// Symbol-interner churn under attribution-like load: the same entity-path
+// strings interned over and over (the hot pattern in Attributor). The arena
+// + transparent-lookup interner answers repeats without allocating; pass
+// `--benchmark_filter=InternChurn` to compare against the pre-arena
+// baseline recorded in EXPERIMENTS.md.
+void BM_InternChurn(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (int v = 0; v < 64; ++v)
+    for (const char* field : {"", ".zoneArray", ".zoneArray[j]", ".firstZone", ".mass"})
+      names.push_back("partArray[" + std::to_string(v) + "]" + field);
+  size_t i = 0;
+  for (auto _ : state) {
+    cb::StringInterner syms;
+    syms.reserve(names.size());
+    // 16 repeat rounds ~ one attribution pass re-resolving hot rows.
+    for (int round = 0; round < 16; ++round)
+      for (const std::string& n : names) benchmark::DoNotOptimize(syms.intern(n));
+    benchmark::DoNotOptimize(syms.approxMemoryBytes());
+    i += names.size() * 16;
+  }
+  state.counters["interns/s"] =
+      benchmark::Counter(static_cast<double>(i), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InternChurn);
 
 }  // namespace
 

@@ -9,206 +9,91 @@
 //   profile_program my_prog.chpl --config CLOMP_numParts=128 --time
 //   cb --lint assets/programs/minimd_badloc.chpl
 //   cb --lint ig_naive --with-run --locales 4
-#include <cstdint>
+//
+// Service mode (profiling-as-a-service):
+//   cb --serve --socket /tmp/cb.sock          # resident daemon
+//   cb clomp --socket /tmp/cb.sock            # run THIS job on the daemon
+//   CB_SERVE_SOCKET=/tmp/cb.sock cb clomp     # same, via the environment
+//
+// The profiling logic itself lives in src/service/job.cpp and is shared
+// verbatim between the local path and the daemon, so served output is
+// bit-identical to local output.
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/profiler.h"
-#include "report/views.h"
-#include "report/html.h"
-#include "sampling/log_io.h"
-
-namespace {
-
-void usage() {
-  std::cerr <<
-      "usage: cb <program|path.chpl> [options]   (flags may appear anywhere)\n"
-      "  --lint                static locality & race lint: no execution, prints\n"
-      "                        predicted comm splits, findings, race verdicts\n"
-      "  --with-run            with --lint: also profile the program so the\n"
-      "                        static-vs-dynamic differential is reported\n"
-      "  --fast                compile with the --fast pipeline\n"
-      "  --threshold N         PMU overflow threshold (virtual cycles)\n"
-      "  --workers N           worker streams (default 12)\n"
-      "  --pm-workers N        post-mortem worker threads (0 = hardware, 1 = sequential)\n"
-      "  --config K=V          override a config const (repeatable)\n"
-      "  --view V              data|code|pprof|hybrid|gui|baseline|csv|comm|commmatrix|locale\n"
-      "                        (default data; locale requires --locales N)\n"
-      "  --skid N              simulate PMU skid of N instructions\n"
-      "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
-      "  --replay-threads N    replay eligible parallel regions on N OS threads\n"
-      "  --locales N           simulate N locales (1..4096) and aggregate blame\n"
-      "  --save-log PATH       write the raw monitoring dataset to PATH\n"
-      "  --html PATH           write a standalone HTML report (the GUI) to PATH\n"
-      "  --no-idle             do not sample idle workers\n"
-      "  --echo                echo program writeln output\n"
-      "  --time                print total virtual cycles\n";
-}
-
-}  // namespace
+#include "cache/analysis_cache.h"
+#include "service/client.h"
+#include "service/job.h"
+#include "service/server.h"
 
 int main(int argc, char** argv) {
-  std::string program;
-  std::string view = "data";
-  bool showTime = false;
-  bool lintMode = false;
-  bool lintWithRun = false;
-  uint32_t numLocales = 1;
-  bool localesSet = false;
-  std::string saveLogPath;
-  std::string htmlPath;
-  cb::Profiler profiler;
-  profiler.options().run.sampleThreshold = 9973;
+  std::vector<std::string> args(argv + 1, argv + argc);
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+  // --serve: run as the resident daemon. Remaining flags configure it.
+  bool serveMode = false;
+  std::string socketPath;
+  cb::svc::ServerOptions sopts;
+  std::vector<std::string> jobArgs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage();
+      if (i + 1 >= args.size()) {
+        std::cerr << cb::svc::usageText();
         std::exit(2);
       }
-      return argv[++i];
+      return args[++i];
     };
-    if (arg == "--lint") {
-      lintMode = true;
-    } else if (arg == "--with-run") {
-      lintWithRun = true;
-    } else if (arg == "--fast") {
-      profiler.options().compile.fast = true;
-      profiler.options().run.fastCostProfile = true;
-    } else if (arg == "--threshold") {
-      profiler.options().run.sampleThreshold = std::strtoull(next().c_str(), nullptr, 10);
-    } else if (arg == "--workers") {
-      profiler.options().run.numWorkers = static_cast<uint32_t>(std::stoul(next()));
-    } else if (arg == "--pm-workers") {
-      profiler.options().postmortem.workers = static_cast<uint32_t>(std::stoul(next()));
-    } else if (arg == "--config") {
-      std::string kv = next();
-      size_t eq = kv.find('=');
-      if (eq == std::string::npos) {
-        usage();
-        return 2;
-      }
-      profiler.options().run.configOverrides[kv.substr(0, eq)] = kv.substr(eq + 1);
-    } else if (arg == "--view") {
-      view = next();
-    } else if (arg == "--skid") {
-      profiler.options().run.skidInstructions = static_cast<uint32_t>(std::stoul(next()));
-    } else if (arg == "--reference-interp") {
-      profiler.options().run.referenceInterp = true;
-    } else if (arg == "--replay-threads") {
-      profiler.options().run.replayThreads = static_cast<uint32_t>(std::stoul(next()));
-    } else if (arg == "--locales") {
-      uint64_t requested = std::strtoull(next().c_str(), nullptr, 10);
-      if (std::string err = cb::validateLocaleCount(requested); !err.empty()) {
-        std::cerr << "error: --locales: " << err << "\n";
-        return 2;
-      }
-      numLocales = static_cast<uint32_t>(requested);
-      localesSet = true;
-    } else if (arg == "--save-log") {
-      saveLogPath = next();
-    } else if (arg == "--html") {
-      htmlPath = next();
-    } else if (arg == "--no-idle") {
-      profiler.options().run.sampleIdle = false;
-    } else if (arg == "--echo") {
-      profiler.options().run.echoWriteln = true;
-    } else if (arg == "--time") {
-      showTime = true;
-    } else if (arg.rfind("--", 0) == 0 || !program.empty()) {
-      // Unknown flag, or a second positional argument.
-      usage();
+    if (arg == "--serve") serveMode = true;
+    else if (arg == "--socket") socketPath = next();
+    else if (arg == "--serve-workers") sopts.workers =
+        static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    else if (arg == "--max-requests") sopts.maxRequests =
+        std::strtoull(next().c_str(), nullptr, 10);
+    else jobArgs.push_back(arg);
+  }
+  if (socketPath.empty())
+    if (const char* env = std::getenv("CB_SERVE_SOCKET")) socketPath = env;
+
+  if (serveMode) {
+    if (socketPath.empty()) {
+      std::cerr << "error: --serve requires --socket PATH (or $CB_SERVE_SOCKET)\n";
       return 2;
-    } else {
-      program = arg;
     }
-  }
-  if (program.empty()) {
-    usage();
-    return 2;
-  }
-
-  std::string path = program.size() > 5 && program.substr(program.size() - 5) == ".chpl"
-                         ? program
-                         : cb::assetProgram(program);
-
-  if (lintMode) {
-    // Static analysis defaults to a 4-locale model so distribution effects
-    // are visible even without an explicit --locales; the override wins.
-    uint32_t lintLocales = localesSet ? numLocales : 4;
-    profiler.options().run.numLocales = lintLocales;
-    bool ok = lintWithRun ? profiler.profileFile(path) : profiler.compileFile(path);
-    if (!ok) {
-      std::cerr << "error:\n" << profiler.lastError() << "\n";
+    sopts.socketPath = socketPath;
+    // The daemon applies a disk cache to every job when configured; a job's
+    // own --cache-dir flag still overrides.
+    for (size_t i = 0; i + 1 < jobArgs.size(); ++i)
+      if (jobArgs[i] == "--cache-dir") sopts.cacheDir = jobArgs[i + 1];
+    if (sopts.cacheDir.empty()) sopts.cacheDir = cb::cache::defaultCacheDir();
+    cb::svc::Server server(sopts);
+    if (!server.start()) {
+      std::cerr << "error: " << server.lastError() << "\n";
       return 1;
     }
-    std::cout << profiler.lintText();
+    std::cerr << "cb-serve: listening on " << socketPath << "\n";
+    server.wait();
+    server.stop();
     return 0;
   }
 
-  if (numLocales > 1) {
-    cb::MultiLocaleResult ml = cb::profileMultiLocale(path, numLocales, profiler.options());
-    if (!ml.ok) {
-      // Partial profiles (some locales failed) still print their aggregate;
-      // only a total failure is fatal.
-      bool anyOk = false;
-      for (const std::string& e : ml.localeErrors) anyOk |= e.empty();
-      if (!anyOk) {
-        std::cerr << "error:\n" << ml.error << "\n";
-        return 1;
-      }
-      std::cerr << "warning (partial profile):\n" << ml.error << "\n";
+  if (!socketPath.empty()) {
+    // Thin-client mode: forward the argv to the daemon and relay its answer.
+    cb::svc::ClientResult r = cb::svc::runRemote(socketPath, jobArgs);
+    if (!r.ok) {
+      std::cerr << "error: " << r.error << "\n";
+      return 1;
     }
-    if (view == "comm") {
-      std::cout << cb::rpt::commView(ml.aggregate, profiler.options().view);
-    } else if (view == "commmatrix") {
-      std::cout << cb::rpt::commMatrixView(ml.aggregate, profiler.options().view);
-    } else if (view == "locale") {
-      std::cout << cb::rpt::perLocaleView(ml.perLocale, profiler.options().view);
-    } else {
-      std::cout << "Aggregated blame across " << numLocales << " locales:\n"
-                << cb::rpt::dataCentricView(ml.aggregate, profiler.options().view);
-    }
-    return 0;
+    std::cout << r.job.out;
+    std::cerr << r.job.err;
+    return r.job.exitCode;
   }
 
-  if (!profiler.profileFile(path)) {
-    std::cerr << "error:\n" << profiler.lastError() << "\n";
-    return 1;
-  }
-  if (!saveLogPath.empty() &&
-      !cb::sampling::saveRunLog(profiler.runResult()->log, saveLogPath)) {
-    std::cerr << "error: cannot write " << saveLogPath << "\n";
-    return 1;
-  }
-  if (!htmlPath.empty() && !cb::rpt::writeHtmlReport(htmlPath, program, *profiler.blameReport(),
-                                                     *profiler.codeReport())) {
-    std::cerr << "error: cannot write " << htmlPath << "\n";
-    return 1;
-  }
-
-  if (view == "data") std::cout << profiler.dataCentricText();
-  else if (view == "code") std::cout << profiler.codeCentricText();
-  else if (view == "pprof") std::cout << profiler.pprofText(program);
-  else if (view == "hybrid") std::cout << profiler.hybridText();
-  else if (view == "gui") std::cout << profiler.guiText();
-  else if (view == "baseline") std::cout << cb::rpt::baselineView(profiler.baselineReport());
-  else if (view == "csv") std::cout << cb::rpt::dataCentricCsv(*profiler.blameReport());
-  else if (view == "comm") std::cout << cb::rpt::commView(*profiler.blameReport(),
-                                                          profiler.options().view);
-  else if (view == "commmatrix") std::cout << cb::rpt::commMatrixView(*profiler.blameReport(),
-                                                                      profiler.options().view);
-  else {
-    usage();
-    return 2;
-  }
-
-  if (showTime) {
-    std::cout << "total virtual cycles: " << profiler.runResult()->totalCycles << "\n";
-    std::cout << "instructions executed: " << profiler.runResult()->instructionsExecuted << "\n";
-  }
-  return 0;
+  cb::svc::JobContext ctx;
+  ctx.cacheDir = cb::cache::defaultCacheDir();
+  cb::svc::JobResult r = cb::svc::runJob(jobArgs, ctx);
+  std::cout << r.out;
+  std::cerr << r.err;
+  return r.exitCode;
 }

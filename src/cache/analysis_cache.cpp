@@ -1,0 +1,445 @@
+#include "cache/analysis_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "support/varint.h"
+
+namespace cb::cache {
+
+namespace {
+
+constexpr char kEntryMagic[4] = {'C', 'B', 'A', 'C'};
+
+uint64_t fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t fnv1a(uint64_t h, std::string_view s) { return fnv1a(h, s.data(), s.size()); }
+
+uint64_t fnv1a(uint64_t h, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return fnv1a(h, b, 8);
+}
+
+constexpr uint64_t kFnvBasis = 14695981039346656037ull;
+
+// ---- ModuleBlame byte encoding --------------------------------------------
+
+void putBitSet(std::string& out, const BitSet& bs) {
+  putVarint(out, bs.size());
+  uint64_t prev = 0;
+  for (uint32_t id : bs) {
+    putDelta(out, id, prev);
+    prev = id;
+  }
+}
+
+bool getBitSet(StringByteReader& r, BitSet& bs) {
+  uint64_t n;
+  if (!r.varint(n) || n > r.remaining() + 1) return false;  // each id >= 1 byte
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    if (!r.delta(id, prev) || id > ~0u) return false;
+    prev = id;
+    if (!bs.insert(static_cast<uint32_t>(id))) return false;  // dup = corrupt
+  }
+  return true;
+}
+
+void putSparse(std::string& out, const SparseBitSet& s) {
+  putVarint(out, s.size());
+  uint64_t prev = 0;
+  for (uint32_t id : s) {
+    putDelta(out, id, prev);
+    prev = id;
+  }
+}
+
+bool getSparse(StringByteReader& r, SparseBitSet& s) {
+  uint64_t n;
+  if (!r.varint(n) || n > r.remaining() + 1) return false;
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    if (!r.delta(id, prev) || id > ~0u) return false;
+    prev = id;
+    if (!s.insert(static_cast<uint32_t>(id))) return false;
+  }
+  return true;
+}
+
+void putEntity(std::string& out, const an::Entity& e) {
+  out.push_back(static_cast<char>(e.key.root));
+  putVarint(out, e.key.rootId);
+  putVarint(out, e.key.path.size());
+  for (const an::PathElem& p : e.key.path) {
+    out.push_back(static_cast<char>(p.kind));
+    putVarint(out, p.idx);
+    putString(out, p.fieldName);
+  }
+  putVarint(out, e.debugVar);
+  putString(out, e.displayName);
+  putString(out, e.typeDisplay);
+  out.push_back(e.displayable ? 1 : 0);
+  putVarint(out, e.parent);
+}
+
+bool getEntity(StringByteReader& r, an::Entity& e) {
+  uint8_t root, kind, displayable;
+  uint64_t rootId, nPath, debugVar, parent;
+  if (!r.byte(root) || root > static_cast<uint8_t>(an::RootKind::Unknown) ||
+      !r.varint(rootId) || rootId > ~0u || !r.varint(nPath) || nPath > r.remaining())
+    return false;
+  e.key.root = static_cast<an::RootKind>(root);
+  e.key.rootId = static_cast<uint32_t>(rootId);
+  e.key.path.resize(nPath);
+  for (an::PathElem& p : e.key.path) {
+    uint64_t idx;
+    if (!r.byte(kind) || kind > static_cast<uint8_t>(an::PathElem::Kind::Index) ||
+        !r.varint(idx) || idx > ~0u || !r.str(p.fieldName))
+      return false;
+    p.kind = static_cast<an::PathElem::Kind>(kind);
+    p.idx = static_cast<uint32_t>(idx);
+  }
+  if (!r.varint(debugVar) || debugVar > ~0u || !r.str(e.displayName) ||
+      !r.str(e.typeDisplay) || !r.byte(displayable) || displayable > 1 || !r.varint(parent) ||
+      parent > ~0u)
+    return false;
+  e.debugVar = static_cast<ir::DebugVarId>(debugVar);
+  e.displayable = displayable != 0;
+  e.parent = static_cast<an::EntityId>(parent);
+  return true;
+}
+
+void putFunctionBlame(std::string& out, const an::FunctionBlame& fb) {
+  putVarint(out, fb.func);
+  const size_t nEnt = fb.entities.size();
+  putVarint(out, nEnt);
+  for (const an::Entity& e : fb.entities) putEntity(out, e);
+  for (const BitSet& bs : fb.blameInstrs) putBitSet(out, bs);
+  for (const BitSet& bs : fb.regionInstrs) putBitSet(out, bs);
+  for (const SparseBitSet& s : fb.inheritsFrom) putSparse(out, s);
+  for (const SparseBitSet& s : fb.regionInheritsFrom) putSparse(out, s);
+  for (size_t i = 0; i < nEnt; ++i) out.push_back(fb.exitViaCaller[i] ? 1 : 0);
+
+  // unordered_map iterated in sorted key order so the bytes are a pure
+  // function of the contents.
+  std::vector<ir::InstrId> sites;
+  sites.reserve(fb.callsites.size());
+  for (const auto& [instr, cs] : fb.callsites) sites.push_back(instr);
+  std::sort(sites.begin(), sites.end());
+  putVarint(out, sites.size());
+  for (ir::InstrId instr : sites) {
+    const an::FunctionBlame::CallSite& cs = fb.callsites.at(instr);
+    putVarint(out, instr);
+    putVarint(out, cs.callee);
+    putVarint(out, cs.paramToCallerEntity.size());
+    for (an::EntityId id : cs.paramToCallerEntity) putVarint(out, id);
+    putSparse(out, cs.resultTargets);
+  }
+
+  putVarint(out, fb.instrEntities.size());
+  for (const std::vector<an::EntityId>& ids : fb.instrEntities) {
+    putVarint(out, ids.size());
+    // Raw ids in stored order: the inverted index's element order is part of
+    // the attribution contract, so it is preserved verbatim.
+    for (an::EntityId id : ids) putVarint(out, id);
+  }
+}
+
+bool getFunctionBlame(StringByteReader& r, an::FunctionBlame& fb) {
+  uint64_t func, nEnt;
+  if (!r.varint(func) || func > ~0u || !r.varint(nEnt) || nEnt > r.remaining()) return false;
+  fb.func = static_cast<ir::FuncId>(func);
+  fb.entities.resize(nEnt);
+  for (an::Entity& e : fb.entities)
+    if (!getEntity(r, e)) return false;
+  fb.blameInstrs.resize(nEnt);
+  for (BitSet& bs : fb.blameInstrs)
+    if (!getBitSet(r, bs)) return false;
+  fb.regionInstrs.resize(nEnt);
+  for (BitSet& bs : fb.regionInstrs)
+    if (!getBitSet(r, bs)) return false;
+  fb.inheritsFrom.resize(nEnt);
+  for (SparseBitSet& s : fb.inheritsFrom)
+    if (!getSparse(r, s)) return false;
+  fb.regionInheritsFrom.resize(nEnt);
+  for (SparseBitSet& s : fb.regionInheritsFrom)
+    if (!getSparse(r, s)) return false;
+  fb.exitViaCaller.resize(nEnt);
+  for (uint64_t i = 0; i < nEnt; ++i) {
+    uint8_t b;
+    if (!r.byte(b) || b > 1) return false;
+    fb.exitViaCaller[i] = b != 0;
+  }
+
+  uint64_t nSites;
+  if (!r.varint(nSites) || nSites > r.remaining()) return false;
+  for (uint64_t i = 0; i < nSites; ++i) {
+    uint64_t instr, callee, nParams;
+    an::FunctionBlame::CallSite cs;
+    if (!r.varint(instr) || instr > ~0u || !r.varint(callee) || callee > ~0u ||
+        !r.varint(nParams) || nParams > r.remaining() + 1)
+      return false;
+    cs.callee = static_cast<ir::FuncId>(callee);
+    cs.paramToCallerEntity.resize(nParams);
+    for (an::EntityId& id : cs.paramToCallerEntity) {
+      uint64_t v;
+      if (!r.varint(v) || v > ~0u) return false;
+      id = static_cast<an::EntityId>(v);
+    }
+    if (!getSparse(r, cs.resultTargets)) return false;
+    if (!fb.callsites.emplace(static_cast<ir::InstrId>(instr), std::move(cs)).second)
+      return false;  // duplicate site = corrupt
+  }
+
+  uint64_t nInstrs;
+  if (!r.varint(nInstrs) || nInstrs > r.remaining() + 1) return false;
+  fb.instrEntities.resize(nInstrs);
+  for (std::vector<an::EntityId>& ids : fb.instrEntities) {
+    uint64_t n;
+    if (!r.varint(n) || n > r.remaining() + 1) return false;
+    ids.resize(n);
+    for (an::EntityId& id : ids) {
+      uint64_t v;
+      if (!r.varint(v) || v > ~0u) return false;
+      id = static_cast<an::EntityId>(v);
+    }
+  }
+
+  fb.index.reserve(nEnt);
+  for (an::EntityId i = 0; i < fb.entities.size(); ++i)
+    if (!fb.index.emplace(fb.entities[i].key, i).second) return false;  // dup key
+  return true;
+}
+
+}  // namespace
+
+uint64_t hashProgram(const std::string& name, const std::string& source,
+                     const fe::CompileOptions& copts, const an::BlameOptions& bopts) {
+  uint64_t h = kFnvBasis;
+  h = fnv1a(h, "cb-analysis-cache");
+  h = fnv1a(h, static_cast<uint64_t>(kAnalysisCacheVersion));
+  h = fnv1a(h, name);
+  h = fnv1a(h, static_cast<uint64_t>(source.size()));
+  h = fnv1a(h, source);
+  h = fnv1a(h, static_cast<uint64_t>(copts.fast) | static_cast<uint64_t>(copts.verify) << 1 |
+                   static_cast<uint64_t>(bopts.implicitTransfer) << 2 |
+                   static_cast<uint64_t>(bopts.aliasTransfer) << 3 |
+                   static_cast<uint64_t>(bopts.referenceFixpoint) << 4);
+  return h;
+}
+
+uint64_t moduleFingerprint(const ir::Module& m) {
+  uint64_t h = kFnvBasis;
+  h = fnv1a(h, static_cast<uint64_t>(m.numFunctions()));
+  for (size_t f = 0; f < m.numFunctions(); ++f) {
+    const ir::Function& fn = m.function(static_cast<ir::FuncId>(f));
+    h = fnv1a(h, fn.displayName);
+    h = fnv1a(h, static_cast<uint64_t>(fn.numInstrs()));
+    h = fnv1a(h, static_cast<uint64_t>(fn.numBlocks()));
+    h = fnv1a(h, static_cast<uint64_t>(fn.params.size()));
+  }
+  h = fnv1a(h, static_cast<uint64_t>(m.numGlobals()));
+  h = fnv1a(h, static_cast<uint64_t>(m.numDebugVars()));
+  h = fnv1a(h, static_cast<uint64_t>(m.debugInfoStripped));
+  return h;
+}
+
+std::string serializeModuleBlame(const an::ModuleBlame& mb) {
+  std::string out;
+  putVarint(out, mb.functions.size());
+  for (const an::FunctionBlame& fb : mb.functions) putFunctionBlame(out, fb);
+  putVarint(out, mb.globalAliasGroup.size());
+  for (uint32_t g : mb.globalAliasGroup) putVarint(out, g);
+  putVarint(out, mb.aliasGroups.size());
+  for (const std::vector<ir::GlobalId>& grp : mb.aliasGroups) {
+    putVarint(out, grp.size());
+    for (ir::GlobalId g : grp) putVarint(out, g);
+  }
+  return out;
+}
+
+bool deserializeModuleBlame(const std::string& payload, const ir::Module& m,
+                            an::ModuleBlame& mb) {
+  StringByteReader r(payload);
+  mb = an::ModuleBlame{};
+  mb.mod = &m;
+  uint64_t nFuncs;
+  if (!r.varint(nFuncs) || nFuncs != m.numFunctions()) return false;
+  mb.functions.resize(nFuncs);
+  for (size_t f = 0; f < nFuncs; ++f) {
+    if (!getFunctionBlame(r, mb.functions[f])) return false;
+    if (mb.functions[f].func != static_cast<ir::FuncId>(f)) return false;
+    // The inverted index spans the function's instruction universe.
+    if (mb.functions[f].instrEntities.size() !=
+        m.function(static_cast<ir::FuncId>(f)).numInstrs())
+      return false;
+  }
+  uint64_t nGroups;
+  if (!r.varint(nGroups) || nGroups != m.numGlobals()) return false;
+  mb.globalAliasGroup.resize(nGroups);
+  for (uint32_t& g : mb.globalAliasGroup) {
+    uint64_t v;
+    if (!r.varint(v) || v > ~0u) return false;
+    g = static_cast<uint32_t>(v);
+  }
+  uint64_t nAlias;
+  if (!r.varint(nAlias) || nAlias > r.remaining() + 1) return false;
+  mb.aliasGroups.resize(nAlias);
+  for (std::vector<ir::GlobalId>& grp : mb.aliasGroups) {
+    uint64_t n;
+    if (!r.varint(n) || n > r.remaining() + 1) return false;
+    grp.resize(n);
+    for (ir::GlobalId& g : grp) {
+      uint64_t v;
+      if (!r.varint(v) || v > ~0u) return false;
+      g = static_cast<ir::GlobalId>(v);
+    }
+  }
+  return r.atEnd();
+}
+
+// ---- on-disk tier ---------------------------------------------------------
+
+AnalysisCache::AnalysisCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) dir_.clear();  // unusable directory -> disabled cache
+}
+
+std::string AnalysisCache::entryPath(uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cbac", static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+bool AnalysisCache::load(uint64_t key, const ir::Module& m, an::ModuleBlame& mb) {
+  if (!enabled()) return false;
+  std::ifstream f(entryPath(key), std::ios::binary);
+  if (!f) {
+    ++misses_;
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+
+  auto miss = [this] {
+    ++misses_;
+    return false;
+  };
+  StringByteReader r(data);
+  char magic[4];
+  uint8_t version;
+  if (!r.bytes(magic, 4) || std::memcmp(magic, kEntryMagic, 4) != 0) return miss();
+  if (!r.byte(version) || version != kAnalysisCacheVersion) return miss();
+  uint64_t storedKey, fingerprint, payloadSize;
+  if (!r.varint(storedKey) || storedKey != key) return miss();
+  if (!r.varint(fingerprint) || fingerprint != moduleFingerprint(m)) return miss();
+  if (!r.varint(payloadSize) || payloadSize > r.remaining()) return miss();
+  std::string payload(payloadSize, '\0');
+  if (!r.bytes(payload.data(), payloadSize)) return miss();
+  uint64_t checksum;
+  if (!r.varint(checksum) || !r.atEnd()) return miss();
+  if (checksum != fnv1a(kFnvBasis, payload)) return miss();
+  if (!deserializeModuleBlame(payload, m, mb)) return miss();
+  ++hits_;
+  return true;
+}
+
+bool AnalysisCache::store(uint64_t key, const ir::Module& m, const an::ModuleBlame& mb) {
+  if (!enabled()) return false;
+  std::string payload = serializeModuleBlame(mb);
+  std::string entry;
+  entry.append(kEntryMagic, 4);
+  entry.push_back(static_cast<char>(kAnalysisCacheVersion));
+  putVarint(entry, key);
+  putVarint(entry, moduleFingerprint(m));
+  putString(entry, payload);
+  putVarint(entry, fnv1a(kFnvBasis, payload));
+
+  // Publish atomically: a concurrent reader sees either the old entry or
+  // the complete new one, never a partial write. The tmp name is unique per
+  // process AND per store call, so concurrent writers never share one.
+  static std::atomic<uint64_t> seq{0};
+  std::string tmp = entryPath(key) + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f.write(entry.data(), static_cast<std::streamsize>(entry.size()));
+    if (!f.good()) {
+      f.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entryPath(key), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  ++stores_;
+  return true;
+}
+
+std::string defaultCacheDir() {
+  const char* env = std::getenv("CB_CACHE_DIR");
+  return env ? env : "";
+}
+
+// ---- resident tier --------------------------------------------------------
+
+ResidentProgramCache::ResidentProgramCache(size_t capacity) : cap_(std::max<size_t>(capacity, 1)) {}
+
+std::shared_ptr<const CachedProgram> ResidentProgramCache::find(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  ++hits_;
+  return it->second.first;
+}
+
+void ResidentProgramCache::insert(uint64_t key, std::shared_ptr<const CachedProgram> prog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.first = std::move(prog);
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, std::make_pair(std::move(prog), lru_.begin()));
+  while (map_.size() > cap_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+size_t ResidentProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace cb::cache

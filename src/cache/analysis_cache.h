@@ -1,0 +1,133 @@
+// Content-hash analysis caching — the "N-th profile of an unchanged
+// program" fast path of the profiling service.
+//
+// Two tiers, both keyed by one content hash over (source bytes, program
+// name, compile options, blame options, format version):
+//
+//   - RESIDENT tier (ResidentProgramCache): live Compilation + ModuleBlame
+//     objects behind shared_ptr<const>, LRU-bounded. A hit skips the entire
+//     front half of the pipeline — lex, parse, lowering, CFG/dominators and
+//     the blame fixpoint. This is what cb-serve and profileMultiLocale
+//     consult; immutability after construction makes concurrent readers
+//     safe without locking the entry itself.
+//
+//   - DISK tier (AnalysisCache): a versioned entry per key under a cache
+//     directory, holding the serialized ModuleBlame. A hit re-lowers the
+//     (deterministic) compilation and skips only the analysis fixpoint —
+//     the dominant cost on analysis-heavy modules. Entries are validated by
+//     magic, format version, key hash, module fingerprint and payload
+//     checksum; ANY validation failure — truncation, corruption, version
+//     bump, hash mismatch, concurrent writer — falls back silently to a
+//     cold analysis. Writes go to a temp file first and are published with
+//     an atomic rename, so readers never observe a partial entry. Only
+//     successful analyses are ever stored.
+//
+// Cached and uncached profiles are bit-identical: the serialized form
+// round-trips every field attribution reads (enforced by the cache property
+// tests over the asset corpus).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/blame.h"
+#include "frontend/compiler.h"
+
+namespace cb::cache {
+
+/// Bumped whenever the serialized ModuleBlame layout (or anything the key
+/// hash covers) changes shape; old entries then miss and are overwritten.
+inline constexpr uint8_t kAnalysisCacheVersion = 1;
+
+/// Content hash identifying one (program, options) analysis input.
+uint64_t hashProgram(const std::string& name, const std::string& source,
+                     const fe::CompileOptions& copts, const an::BlameOptions& bopts);
+
+/// Structural fingerprint of a lowered module: function/instruction/block
+/// shape, globals, debug-var count. Guards a disk entry against being
+/// rebound to a module the (same-sourced) compiler lowered differently.
+uint64_t moduleFingerprint(const ir::Module& m);
+
+/// Deterministic byte encoding of everything attribution reads from a
+/// ModuleBlame. Exposed for the round-trip property tests.
+std::string serializeModuleBlame(const an::ModuleBlame& mb);
+
+/// Rebuilds a ModuleBlame bound to `m` from serialized bytes. Returns false
+/// (leaving `mb` unspecified) on truncation, corruption, or a structural
+/// mismatch with `m`.
+bool deserializeModuleBlame(const std::string& payload, const ir::Module& m,
+                            an::ModuleBlame& mb);
+
+/// The on-disk tier. Thread-safe; every method tolerates a missing or
+/// unwritable directory (load misses, store fails silently).
+class AnalysisCache {
+ public:
+  /// `dir` empty disables the cache (all loads miss, stores no-op).
+  explicit AnalysisCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Loads the entry for `key` and rebinds it to `m`. Returns true only when
+  /// every validation layer passes; any failure is a silent miss.
+  bool load(uint64_t key, const ir::Module& m, an::ModuleBlame& mb);
+
+  /// Serializes and atomically publishes the entry for `key`. Returns false
+  /// on I/O failure (callers need not care — the cache is best-effort).
+  bool store(uint64_t key, const ir::Module& m, const an::ModuleBlame& mb);
+
+  /// Entry path for `key` (for tests that corrupt/truncate entries).
+  std::string entryPath(uint64_t key) const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t stores() const { return stores_; }
+
+ private:
+  std::string dir_;
+  std::atomic<uint64_t> hits_{0}, misses_{0}, stores_{0};
+};
+
+/// Default disk-cache directory: $CB_CACHE_DIR, else empty (disabled).
+std::string defaultCacheDir();
+
+/// One fully-built program: the compilation (owning the module the blame
+/// database points into) plus its analysis. Immutable after construction.
+struct CachedProgram {
+  std::shared_ptr<const fe::Compilation> comp;
+  std::shared_ptr<const an::ModuleBlame> blame;
+};
+
+/// The resident tier: an LRU map from content hash to live CachedProgram.
+/// Thread-safe; entries are shared, so eviction never invalidates a pipeline
+/// still holding one.
+class ResidentProgramCache {
+ public:
+  explicit ResidentProgramCache(size_t capacity = 32);
+
+  /// nullptr on miss; bumps the entry to most-recently-used on hit.
+  std::shared_ptr<const CachedProgram> find(uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting the LRU tail past capacity.
+  void insert(uint64_t key, std::shared_ptr<const CachedProgram> prog);
+
+  size_t size() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t cap_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t,
+                     std::pair<std::shared_ptr<const CachedProgram>, std::list<uint64_t>::iterator>>
+      map_;
+  std::atomic<uint64_t> hits_{0}, misses_{0};
+};
+
+}  // namespace cb::cache

@@ -12,22 +12,51 @@ std::string assetProgram(const std::string& name) {
   return std::string(kAssetDir) + "/programs/" + name + ".chpl";
 }
 
+namespace {
+
+/// Content hash of the program buffer a compilation was built from (file id
+/// 1 is the primary buffer) combined with the options that shape analysis.
+uint64_t keyOf(const fe::Compilation& comp, const ProfileOptions& opts) {
+  const SourceManager& sm = comp.sourceManager();
+  if (sm.numBuffers() < 1) return 0;
+  return cache::hashProgram(sm.name(1), sm.contents(1), opts.compile, opts.blame);
+}
+
+}  // namespace
+
 bool Profiler::compileString(const std::string& name, const std::string& source) {
+  programKey_ = 0;
   comp_ = fe::Compilation::fromString(name, source, opts_.compile);
   if (!comp_->ok()) {
     error_ = comp_->diags().renderAll();
     return false;
   }
+  programKey_ = keyOf(*comp_, opts_);
   return true;
 }
 
 bool Profiler::compileFile(const std::string& path) {
+  programKey_ = 0;
   comp_ = fe::Compilation::fromFile(path, opts_.compile);
   if (!comp_->ok()) {
     error_ = comp_->diags().renderAll();
     return false;
   }
+  programKey_ = keyOf(*comp_, opts_);
   return true;
+}
+
+void Profiler::attachProgram(std::shared_ptr<const fe::Compilation> comp,
+                             std::shared_ptr<const an::ModuleBlame> blame, uint64_t key) {
+  comp_ = std::move(comp);
+  blame_ = std::move(blame);
+  programKey_ = key;
+  analysisCacheHit_ = false;
+  result_.reset();
+  instances_.reset();
+  report_.reset();
+  codeReport_.reset();
+  error_.clear();
 }
 
 bool Profiler::analyze() {
@@ -35,7 +64,21 @@ bool Profiler::analyze() {
     error_ = "analyze() requires a successful compile";
     return false;
   }
-  blame_ = an::analyzeModule(comp_->module(), opts_.blame);
+  analysisCacheHit_ = false;
+  const ir::Module& m = comp_->module();
+  if (!opts_.cacheDir.empty() && programKey_ != 0) {
+    cache::AnalysisCache disk(opts_.cacheDir);
+    an::ModuleBlame mb;
+    if (disk.load(programKey_, m, mb)) {
+      blame_ = std::make_shared<const an::ModuleBlame>(std::move(mb));
+      analysisCacheHit_ = true;
+      return true;
+    }
+    blame_ = std::make_shared<const an::ModuleBlame>(an::analyzeModule(m, opts_.blame));
+    disk.store(programKey_, m, *blame_);
+    return true;
+  }
+  blame_ = std::make_shared<const an::ModuleBlame>(an::analyzeModule(m, opts_.blame));
   return true;
 }
 
@@ -62,7 +105,7 @@ bool Profiler::postProcess() {
   // skipped by passing a null blame database.
   bool stripped = comp_->module().debugInfoStripped;
   pm::PostmortemResult res =
-      pm::runPostmortem(comp_->module(), stripped ? nullptr : &*blame_, result_->log,
+      pm::runPostmortem(comp_->module(), stripped ? nullptr : blame_.get(), result_->log,
                         opts_.consolidate, opts_.attribution, opts_.postmortem);
   instances_ = std::move(res.instances);
   codeReport_ = rpt::codeCentric(*instances_);
@@ -160,11 +203,27 @@ MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocale
   result.perLocale.resize(numLocales);
   result.localeErrors.resize(numLocales);
 
-  // Each locale is one full SPMD pipeline run (compile + monitored execution
-  // + post-mortem) — embarrassingly parallel, so fan the locales out over a
-  // pool. Every locale writes only its own pre-sized slots, and each
-  // finished report is folded straight into a streaming aggregator (guarded
-  // by a mutex) whose folds are all commutative sums, so the aggregate is
+  // The program is identical across locales — only the run options (seed,
+  // localeId, hereId override) differ — so compilation and static analysis
+  // are hoisted out of the per-locale loop and shared read-only by every
+  // pipeline. A compile/analyze failure fails every locale with the same
+  // message the per-locale compile produced before the hoist.
+  Profiler shared(opts);
+  bool sharedOk = shared.compileFile(path) && shared.analyze();
+  if (!sharedOk) {
+    for (uint32_t locale = 0; locale < numLocales; ++locale)
+      result.localeErrors[locale] =
+          "locale " + std::to_string(locale) + ": " + shared.lastError();
+  }
+  std::shared_ptr<const fe::Compilation> sharedComp = shared.sharedCompilation();
+  std::shared_ptr<const an::ModuleBlame> sharedBlame = shared.sharedModuleBlame();
+  uint64_t sharedKey = shared.programKey();
+
+  // Each locale is one monitored execution + post-mortem over the shared
+  // program — embarrassingly parallel, so fan the locales out over a pool.
+  // Every locale writes only its own pre-sized slots, and each finished
+  // report is folded straight into a streaming aggregator (guarded by a
+  // mutex) whose folds are all commutative sums, so the aggregate is
   // bit-identical for any worker count and any completion order. With
   // keepPerLocaleReports off, the report dies with its pipeline right after
   // the fold: peak memory is the accumulator plus the in-flight pipelines,
@@ -178,7 +237,8 @@ MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocale
     o.run.localeId = locale;
     o.run.configOverrides["hereId"] = std::to_string(locale);
     Profiler p(o);
-    if (!p.profileFile(path)) {
+    p.attachProgram(sharedComp, sharedBlame, sharedKey);
+    if (!p.run() || !p.postProcess()) {
       result.localeErrors[locale] = "locale " + std::to_string(locale) + ": " + p.lastError();
       return;
     }
@@ -192,7 +252,9 @@ MultiLocaleResult profileMultiLocale(const std::string& path, uint32_t numLocale
   uint32_t workers = opts.localeWorkers != 0
                          ? opts.localeWorkers
                          : std::min(numLocales, ThreadPool::defaultConcurrency());
-  if (workers <= 1 || numLocales <= 1) {
+  if (!sharedOk) {
+    // Locale errors already record the shared failure; skip the runs.
+  } else if (workers <= 1 || numLocales <= 1) {
     for (uint32_t locale = 0; locale < numLocales; ++locale) runLocale(locale);
   } else {
     ThreadPool pool(std::min(workers, numLocales));

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/blame.h"
+#include "cache/analysis_cache.h"
 #include "frontend/compiler.h"
 #include "postmortem/attribution.h"
 #include "postmortem/baseline.h"
@@ -51,6 +52,12 @@ struct ProfileOptions {
   /// streamed through a commutative accumulator, so completion order cannot
   /// change it.
   uint32_t localeWorkers = 0;
+  /// On-disk analysis cache directory; empty disables caching. When set,
+  /// analyze() tries the cache (keyed by a content hash over the source and
+  /// the compile/blame options) before running the blame fixpoint, and
+  /// stores the result after a cold success. Cached and uncached analyses
+  /// are bit-identical; any invalid entry is a silent cold fallback.
+  std::string cacheDir;
   /// When false, profileMultiLocale drops each locale's BlameReport as soon
   /// as it has been folded into the streaming aggregate, leaving
   /// MultiLocaleResult::perLocale slots empty. That bounds peak memory at
@@ -85,7 +92,15 @@ class Profiler {
   bool compileString(const std::string& name, const std::string& source);
   bool compileFile(const std::string& path);
 
-  /// Step 1: static blame analysis. Requires a successful compile.
+  /// Steps 0+1 by adoption: attaches an already-built program (typically a
+  /// resident-cache hit), so compileX() and analyze() are skipped entirely.
+  /// `blame` may be null for --fast pipelines. `key` records the program's
+  /// content hash (0 = unknown). Downstream artefacts are reset.
+  void attachProgram(std::shared_ptr<const fe::Compilation> comp,
+                     std::shared_ptr<const an::ModuleBlame> blame, uint64_t key = 0);
+
+  /// Step 1: static blame analysis. Requires a successful compile. Consults
+  /// the on-disk cache when options().cacheDir is set.
   bool analyze();
 
   /// Step 2: execute under the monitor. Requires a successful compile.
@@ -102,7 +117,15 @@ class Profiler {
 
   // ---- artefacts ----------------------------------------------------------
   const fe::Compilation* compilation() const { return comp_.get(); }
-  const an::ModuleBlame* moduleBlame() const { return blame_ ? &*blame_ : nullptr; }
+  const an::ModuleBlame* moduleBlame() const { return blame_.get(); }
+  /// Shared ownership of the built program, for the resident cache: a
+  /// CachedProgram made of these stays valid after this Profiler dies.
+  std::shared_ptr<const fe::Compilation> sharedCompilation() const { return comp_; }
+  std::shared_ptr<const an::ModuleBlame> sharedModuleBlame() const { return blame_; }
+  /// Content hash of the compiled program + options (0 before a compile).
+  uint64_t programKey() const { return programKey_; }
+  /// True when the last analyze() was served from the on-disk cache.
+  bool analysisCacheHit() const { return analysisCacheHit_; }
   const rt::RunResult* runResult() const { return result_ ? &*result_ : nullptr; }
   const std::vector<pm::Instance>* instances() const {
     return instances_ ? &*instances_ : nullptr;
@@ -141,8 +164,10 @@ class Profiler {
 
  private:
   ProfileOptions opts_;
-  std::unique_ptr<fe::Compilation> comp_;
-  std::optional<an::ModuleBlame> blame_;
+  std::shared_ptr<const fe::Compilation> comp_;
+  std::shared_ptr<const an::ModuleBlame> blame_;
+  uint64_t programKey_ = 0;
+  bool analysisCacheHit_ = false;
   std::optional<rt::RunResult> result_;
   std::optional<std::vector<pm::Instance>> instances_;
   std::optional<pm::BlameReport> report_;

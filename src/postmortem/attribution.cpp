@@ -129,6 +129,13 @@ class Attributor {
  public:
   Attributor(const an::ModuleBlame& mb, const AttributionOptions& opts)
       : mb_(mb), m_(*mb.mod), opts_(opts) {
+    // One context name per function plus a name+type pair per displayable
+    // entity is the steady-state symbol population; reserving it up front
+    // keeps the interner from rehashing mid-attribution.
+    size_t displayable = 0;
+    for (const FunctionBlame& fb : mb.functions)
+      for (const Entity& ent : fb.entities) displayable += ent.displayable ? 1 : 0;
+    syms_.reserve(1 + m_.numFunctions() + 2 * displayable);
     mainSym_ = syms_.intern("main").id();
     contextSym_.assign(m_.numFunctions(), kUncached);
     entSym_.resize(m_.numFunctions());
@@ -400,9 +407,12 @@ struct AggAccum {
     totalUserSamples += r.totalUserSamples;
     totalRawSamples += r.totalRawSamples;
     mergeSortedCells(totalComm, r.totalComm, scratch);
-    // Rehash at most once per input report, never per row.
+    // Rehash at most once per input report, never per row — in the row
+    // table and in the interner alike (3 symbols per row upper-bounds the
+    // distinct context/name/type strings this report can introduce).
     if (agg.size() + r.rows.size() > agg.bucket_count() * agg.max_load_factor())
       agg.reserve(agg.size() + r.rows.size());
+    syms.reserve(3 * r.rows.size() + syms.size());
     for (const VariableBlame& row : r.rows) {
       AttrKey key{syms.intern(row.context).id(), syms.intern(row.name).id(),
                   syms.intern(row.type).id()};
@@ -437,11 +447,8 @@ struct AggAccum {
 
   size_t approxMemoryBytes() const {
     size_t bytes = sizeof(*this);
-    for (uint32_t s = 0; s < syms.size(); ++s) {
-      // Interned string storage appears twice (owned vector + map key copy).
-      size_t len = syms.str(Symbol(s)).capacity();
-      bytes += 2 * (len + sizeof(std::string)) + 4 * sizeof(void*);
-    }
+    // Arena-backed interner: owned characters once, map keys are views.
+    bytes += syms.approxMemoryBytes();
     bytes += agg.bucket_count() * sizeof(void*);
     for (const auto& [key, row] : agg) {
       bytes += sizeof(key) + sizeof(row) + 2 * sizeof(void*);

@@ -1,0 +1,61 @@
+#include "postmortem/streaming.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace cb::pm {
+
+bool runPostmortemStreaming(const ir::Module& m, const an::ModuleBlame* mb,
+                            sampling::RunLogStreamer& streamer,
+                            const StreamingPostmortemOptions& opts, BlameReport& out,
+                            sampling::RunLog* meta, StreamingPostmortemStats* stats) {
+  // Pass 1: full validation + everything except the samples. The spawn
+  // registry collected here is what consolidateSample glues stacks through.
+  sampling::RunLog local;
+  sampling::RunLog& header = meta ? *meta : local;
+  if (!streamer.readMeta(header)) return false;
+
+  const uint32_t chunkCap = std::max<uint32_t>(opts.chunkSamples, 1);
+  StreamingAggregator agg;
+  std::vector<Instance> chunk;
+  chunk.reserve(chunkCap);
+  StreamingPostmortemStats acct;
+
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    if (mb) agg.add(attribute(*mb, chunk, opts.attribution));
+    ++acct.chunks;
+    chunk.clear();
+    acct.peakAccumulatorBytes = std::max(acct.peakAccumulatorBytes, agg.approxMemoryBytes());
+  };
+
+  // Pass 2: one sample in flight at a time; the chunk buffer is the only
+  // sample-proportional storage and it is capped at chunkCap entries.
+  bool ok = streamer.forEachSample([&](sampling::RawSample&& s) {
+    chunk.push_back(consolidateSample(m, header, s, opts.consolidate));
+    ++acct.samples;
+    if (chunk.size() >= chunkCap) flush();
+    return true;
+  });
+  if (!ok) return false;
+  flush();
+
+  out = mb ? agg.finish() : BlameReport{};
+  if (stats) {
+    acct.decodeBufferBytes = streamer.bufferBytes();
+    *stats = acct;
+  }
+  return true;
+}
+
+bool runPostmortemStreamingFile(const ir::Module& m, const an::ModuleBlame* mb,
+                                const std::string& path, const StreamingPostmortemOptions& opts,
+                                BlameReport& out, sampling::RunLog* meta,
+                                StreamingPostmortemStats* stats) {
+  sampling::RunLogStreamer s;
+  if (!s.openFile(path)) return false;
+  return runPostmortemStreaming(m, mb, s, opts, out, meta, stats);
+}
+
+}  // namespace cb::pm

@@ -1,0 +1,67 @@
+// Memory-bounded streaming post-mortem: chunked consolidation + attribution
+// over an incrementally-decoded run log. Where the batch pipeline
+// materializes every RawSample and every Instance before attributing, this
+// path holds at most
+//
+//   spawn registry + comm metadata      (RunLogStreamer::readMeta)
+// + one chunk of consolidated instances (opts.chunkSamples)
+// + the blame accumulator               (O(distinct rows), not O(samples))
+// + one fixed decode buffer             (ChunkReader, default 256 KiB)
+//
+// so peak memory is a function of the PROGRAM being profiled (distinct
+// blamed variables, live tasks), never of the log length. Attribution is a
+// pure per-instance map-reduce and StreamingAggregator's fold is partition-
+// and order-invariant, so the streamed report is bit-identical to
+// attribute(consolidate(log)) for every chunk size — the same contract the
+// sharded parallel path keeps, enforced by the streaming property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "postmortem/attribution.h"
+#include "postmortem/instance.h"
+#include "sampling/log_stream.h"
+
+namespace cb::pm {
+
+struct StreamingPostmortemOptions {
+  ConsolidateOptions consolidate;
+  AttributionOptions attribution;
+  /// Instances consolidated per attribution batch. Any value >= 1 produces
+  /// the identical report; larger chunks trade memory for fewer partial
+  /// attribution passes.
+  uint32_t chunkSamples = 4096;
+};
+
+/// Accounting for the bounded-memory claim (allocator-counter style, same
+/// discipline as StreamingAggregator::approxMemoryBytes).
+struct StreamingPostmortemStats {
+  uint64_t samples = 0;        // samples consolidated
+  uint64_t chunks = 0;         // partial attribution batches folded
+  size_t decodeBufferBytes = 0;   // resident ChunkReader buffer
+  size_t peakAccumulatorBytes = 0;  // max aggregator footprint observed
+};
+
+/// Runs the two-pass streaming protocol over an opened streamer: readMeta
+/// (validates the whole log, collects spawns/alloc/comm), then consolidates
+/// and attributes samples chunk-by-chunk, folding partial reports through
+/// StreamingAggregator. Fills `out` with the aggregate; with mb == nullptr
+/// attribution is skipped and `out` is the empty report (matching the
+/// sharded path's --fast semantics). Returns false on malformed input —
+/// accepting exactly the logs the batch loader accepts. `meta` (optional)
+/// receives the non-sample log contents (header counters, spawns,
+/// alloc sites, comm matrix).
+bool runPostmortemStreaming(const ir::Module& m, const an::ModuleBlame* mb,
+                            sampling::RunLogStreamer& streamer,
+                            const StreamingPostmortemOptions& opts, BlameReport& out,
+                            sampling::RunLog* meta = nullptr,
+                            StreamingPostmortemStats* stats = nullptr);
+
+/// File convenience wrapper: opens `path` (format auto-detected) and streams
+/// it through runPostmortemStreaming.
+bool runPostmortemStreamingFile(const ir::Module& m, const an::ModuleBlame* mb,
+                                const std::string& path, const StreamingPostmortemOptions& opts,
+                                BlameReport& out, sampling::RunLog* meta = nullptr,
+                                StreamingPostmortemStats* stats = nullptr);
+
+}  // namespace cb::pm

@@ -1,10 +1,11 @@
 #include "sampling/log_io.h"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "sampling/log_stream.h"
+#include "support/varint.h"
 
 namespace cb::sampling {
 
@@ -16,6 +17,11 @@ namespace cb::sampling {
 // lines carrying the exact src→dst comm matrix; version 4 appends the three
 // bandwidth-ceiling stall counters (mem / net-injection / contention) to the
 // header. Version 1/2/3 files still load, defaulting every newer field.
+//
+// Decoding for BOTH formats lives in log_stream.cpp: the batch entry points
+// below are compatibility shims over the chunked streaming scanner, so batch
+// and streaming ingestion share one parser (and one corruption/truncation
+// acceptance) by construction.
 // ---------------------------------------------------------------------------
 
 std::string serializeRunLog(const RunLog& log) {
@@ -45,82 +51,6 @@ std::string serializeRunLog(const RunLog& log) {
   return out.str();
 }
 
-namespace {
-
-bool parseFrames(std::istringstream& in, size_t n, std::vector<Frame>& out) {
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    std::string tok;
-    if (!(in >> tok)) return false;
-    size_t colon = tok.find(':');
-    if (colon == std::string::npos) return false;
-    Frame f;
-    f.func = static_cast<ir::FuncId>(std::strtoul(tok.c_str(), nullptr, 10));
-    f.instr = static_cast<ir::InstrId>(std::strtoul(tok.c_str() + colon + 1, nullptr, 10));
-    out.push_back(f);
-  }
-  return true;
-}
-
-bool deserializeRunLogText(const std::string& text, RunLog& out) {
-  out = RunLog{};
-  std::istringstream lines(text);
-  std::string line;
-  int version = 0;
-  if (!std::getline(lines, line)) return false;
-  {
-    std::istringstream h(line);
-    std::string magic;
-    if (!(h >> magic >> version >> out.sampleThreshold >> out.numStreams >> out.totalCycles))
-      return false;
-    if (magic != "cblog" || version < 1 || version > 5) return false;
-    if (version >= 2 && !(h >> out.commGets >> out.commPuts >> out.commOnForks)) return false;
-    if (version >= 3 && !(h >> out.commAggGets >> out.commAggPuts >> out.commAggFlushes))
-      return false;
-    if (version >= 4 && !(h >> out.commMemStallCycles >> out.commNetStallCycles >>
-                          out.commContentionCycles))
-      return false;
-    if (version >= 5 && !(h >> out.raceFallbackRegions)) return false;
-  }
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    std::istringstream in(line);
-    char kind;
-    in >> kind;
-    if (kind == 'S') {
-      RawSample s;
-      int rtk = 0, ak = 0;
-      size_t n = 0;
-      if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk)) return false;
-      if (version >= 2 && !(in >> ak)) return false;
-      if (version >= 3 && !(in >> s.srcLocale >> s.dstLocale)) return false;
-      if (!(in >> n)) return false;
-      s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
-      s.accessKind = static_cast<AccessKind>(ak);
-      if (!parseFrames(in, n, s.stack)) return false;
-      out.samples.push_back(std::move(s));
-    } else if (kind == 'W') {
-      SpawnRecord rec;
-      size_t n = 0;
-      if (!(in >> rec.tag >> rec.parentTag >> rec.taskFn >> rec.spawnInstr >> n)) return false;
-      if (!parseFrames(in, n, rec.preSpawnStack)) return false;
-      out.spawns.emplace(rec.tag, std::move(rec));
-    } else if (kind == 'A') {
-      uint64_t key = 0, bytes = 0;
-      if (!(in >> key >> bytes)) return false;
-      out.allocBytesBySite[key] = bytes;
-    } else if (kind == 'M' && version >= 3) {
-      int64_t src = 0, dst = 0;
-      uint64_t count = 0;
-      if (!(in >> src >> dst >> count)) return false;
-      out.commMatrix[RunLog::pairKey(src, dst)] = count;
-    } else {
-      return false;
-    }
-  }
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Binary format — LEB128 varints, zigzag deltas, deterministic order.
 // Version 2 added the three comm counters after totalCycles and a varint
@@ -133,29 +63,7 @@ bool deserializeRunLogText(const std::string& text, RunLog& out) {
 // still load with all newer fields defaulted.
 // ---------------------------------------------------------------------------
 
-constexpr char kBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-constexpr uint8_t kBinaryVersion = 5;
-
-void putVarint(std::string& out, uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
-    v >>= 7;
-  }
-  out.push_back(static_cast<char>(v));
-}
-
-uint64_t zigzag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-int64_t unzigzag(uint64_t v) {
-  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-/// Delta between two unsigned values as a signed quantity (two's-complement
-/// wraparound makes encode/decode exact even across the full u64 range).
-void putDelta(std::string& out, uint64_t cur, uint64_t prev) {
-  putVarint(out, zigzag(static_cast<int64_t>(cur - prev)));
-}
+namespace {
 
 void putFrames(std::string& out, const std::vector<Frame>& stack) {
   putVarint(out, stack.size());
@@ -170,167 +78,12 @@ void putFrames(std::string& out, const std::vector<Frame>& stack) {
   }
 }
 
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& data) : data_(data) {}
-
-  bool varint(uint64_t& out) {
-    out = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      if (pos_ >= data_.size()) return false;
-      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
-      out |= static_cast<uint64_t>(b & 0x7F) << shift;
-      if (!(b & 0x80)) return true;
-    }
-    return false;  // over-long encoding
-  }
-
-  bool varint32(uint32_t& out) {
-    uint64_t v;
-    if (!varint(v) || v > ~0u) return false;
-    out = static_cast<uint32_t>(v);
-    return true;
-  }
-
-  bool delta(uint64_t& cur, uint64_t prev) {
-    uint64_t z;
-    if (!varint(z)) return false;
-    cur = prev + static_cast<uint64_t>(unzigzag(z));
-    return true;
-  }
-
-  bool delta32(uint32_t& cur, uint32_t prev) {
-    uint64_t c;
-    if (!delta(c, prev)) return false;
-    cur = static_cast<uint32_t>(c);  // ids wrap in 32 bits by construction
-    return true;
-  }
-
-  bool frames(std::vector<Frame>& out) {
-    uint64_t n;
-    if (!varint(n) || n > remaining()) return false;  // each frame >= 2 bytes
-    out.reserve(n);
-    uint32_t prevFunc = 0, prevInstr = 0;
-    for (uint64_t i = 0; i < n; ++i) {
-      Frame f;
-      if (!delta32(f.func, prevFunc) || !delta32(f.instr, prevInstr)) return false;
-      prevFunc = f.func;
-      prevInstr = f.instr;
-      out.push_back(f);
-    }
-    return true;
-  }
-
-  bool byte(uint8_t& out) {
-    if (pos_ >= data_.size()) return false;
-    out = static_cast<uint8_t>(data_[pos_++]);
-    return true;
-  }
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool atEnd() const { return pos_ == data_.size(); }
-
- private:
-  const std::string& data_;
-  size_t pos_ = 0;
-};
-
-bool deserializeRunLogBinary(const std::string& data, RunLog& out) {
-  out = RunLog{};
-  ByteReader r(data);
-  uint8_t b;
-  for (char m : kBinaryMagic)
-    if (!r.byte(b) || b != static_cast<uint8_t>(m)) return false;
-  uint8_t version;
-  if (!r.byte(version) || version < 1 || version > kBinaryVersion) return false;
-
-  uint64_t nStreams;
-  if (!r.varint(out.sampleThreshold) || !r.varint(nStreams) || nStreams > ~0u ||
-      !r.varint(out.totalCycles))
-    return false;
-  out.numStreams = static_cast<uint32_t>(nStreams);
-  if (version >= 2 &&
-      (!r.varint(out.commGets) || !r.varint(out.commPuts) || !r.varint(out.commOnForks)))
-    return false;
-  if (version >= 3 && (!r.varint(out.commAggGets) || !r.varint(out.commAggPuts) ||
-                       !r.varint(out.commAggFlushes)))
-    return false;
-  if (version >= 4 && (!r.varint(out.commMemStallCycles) || !r.varint(out.commNetStallCycles) ||
-                       !r.varint(out.commContentionCycles)))
-    return false;
-  if (version >= 5 && !r.varint(out.raceFallbackRegions)) return false;
-
-  uint64_t nSamples;
-  if (!r.varint(nSamples) || nSamples > r.remaining()) return false;
-  out.samples.reserve(nSamples);
-  uint64_t prevCycle = 0;
-  for (uint64_t i = 0; i < nSamples; ++i) {
-    RawSample s;
-    uint64_t rtk;
-    if (!r.varint32(s.stream) || !r.varint(s.taskTag) || !r.delta(s.atCycle, prevCycle) ||
-        !r.varint(rtk) || rtk > 255)
-      return false;
-    prevCycle = s.atCycle;
-    s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
-    if (version >= 2) {
-      uint64_t ak;
-      if (!r.varint(ak) || ak > 3) return false;
-      s.accessKind = static_cast<AccessKind>(ak);
-      if (version >= 3 && (s.accessKind == AccessKind::RemoteGet ||
-                           s.accessKind == AccessKind::RemotePut)) {
-        uint64_t src, dst;
-        if (!r.varint(src) || src > ~0u || !r.varint(dst) || dst > ~0u) return false;
-        s.srcLocale = static_cast<int32_t>(src);
-        s.dstLocale = static_cast<int32_t>(dst);
-      }
-    }
-    if (!r.frames(s.stack)) return false;
-    out.samples.push_back(std::move(s));
-  }
-
-  uint64_t nSpawns;
-  if (!r.varint(nSpawns) || nSpawns > r.remaining()) return false;
-  uint64_t prevTag = 0;
-  for (uint64_t i = 0; i < nSpawns; ++i) {
-    SpawnRecord rec;
-    if (!r.delta(rec.tag, prevTag) || !r.varint(rec.parentTag) || !r.varint32(rec.taskFn) ||
-        !r.varint32(rec.spawnInstr) || !r.frames(rec.preSpawnStack))
-      return false;
-    prevTag = rec.tag;
-    uint64_t tag = rec.tag;
-    out.spawns.emplace(tag, std::move(rec));
-  }
-
-  uint64_t nSites;
-  if (!r.varint(nSites) || nSites > r.remaining()) return false;
-  uint64_t prevKey = 0;
-  for (uint64_t i = 0; i < nSites; ++i) {
-    uint64_t key, bytes;
-    if (!r.delta(key, prevKey) || !r.varint(bytes)) return false;
-    prevKey = key;
-    out.allocBytesBySite[key] = bytes;
-  }
-
-  if (version >= 3) {
-    uint64_t nCells;
-    if (!r.varint(nCells) || nCells > r.remaining()) return false;
-    uint64_t prevCell = 0;
-    for (uint64_t i = 0; i < nCells; ++i) {
-      uint64_t key, count;
-      if (!r.delta(key, prevCell) || !r.varint(count)) return false;
-      prevCell = key;
-      out.commMatrix[key] = count;
-    }
-  }
-  return r.atEnd();  // trailing garbage is a format error
-}
-
 }  // namespace
 
 std::string serializeRunLogBinary(const RunLog& log) {
   std::string out;
-  out.append(kBinaryMagic, sizeof(kBinaryMagic));
-  out.push_back(static_cast<char>(kBinaryVersion));
+  out.append(kRunLogBinaryMagic, sizeof(kRunLogBinaryMagic));
+  out.push_back(static_cast<char>(kRunLogBinaryVersion));
   putVarint(out, log.sampleThreshold);
   putVarint(out, log.numStreams);
   putVarint(out, log.totalCycles);
@@ -405,10 +158,9 @@ std::string serializeRunLogBinary(const RunLog& log) {
 }
 
 bool deserializeRunLog(const std::string& data, RunLog& out) {
-  if (data.size() >= sizeof(kBinaryMagic) &&
-      std::equal(kBinaryMagic, kBinaryMagic + sizeof(kBinaryMagic), data.begin()))
-    return deserializeRunLogBinary(data, out);
-  return deserializeRunLogText(data, out);
+  RunLogStreamer s;
+  s.openString(data);
+  return s.readAll(out);
 }
 
 bool saveRunLog(const RunLog& log, const std::string& path, RunLogFormat format) {
@@ -421,11 +173,11 @@ bool saveRunLog(const RunLog& log, const std::string& path, RunLogFormat format)
 }
 
 bool loadRunLog(const std::string& path, RunLog& out) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  return deserializeRunLog(ss.str(), out);
+  // Chunked single-pass scan: the file is decoded through a fixed-size
+  // buffer instead of being slurped into one contiguous string first.
+  RunLogStreamer s;
+  if (!s.openFile(path)) return false;
+  return s.readAll(out);
 }
 
 }  // namespace cb::sampling

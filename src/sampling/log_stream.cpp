@@ -1,0 +1,297 @@
+#include "sampling/log_stream.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/varint.h"
+
+namespace cb::sampling {
+
+namespace {
+
+/// Exactly the batch parser's frame tokenizer: `strtoul` reads the digits
+/// before the colon (non-digits parse as 0, preserving the seed's
+/// acceptance) and the instr starts right after it.
+bool parseFrames(std::istringstream& in, size_t n, std::vector<Frame>& out) {
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string tok;
+    if (!(in >> tok)) return false;
+    size_t colon = tok.find(':');
+    if (colon == std::string::npos) return false;
+    Frame f;
+    f.func = static_cast<ir::FuncId>(std::strtoul(tok.c_str(), nullptr, 10));
+    f.instr = static_cast<ir::InstrId>(std::strtoul(tok.c_str() + colon + 1, nullptr, 10));
+    out.push_back(f);
+  }
+  return true;
+}
+
+/// Pull-based mirror of StringByteReader's zigzag-delta decoding.
+bool readDelta(ChunkReader& r, uint64_t& cur, uint64_t prev) {
+  uint64_t z;
+  if (!r.varint(z)) return false;
+  cur = prev + static_cast<uint64_t>(unzigzag(z));
+  return true;
+}
+
+bool readDelta32(ChunkReader& r, uint32_t& cur, uint32_t prev) {
+  uint64_t c;
+  if (!readDelta(r, c, prev)) return false;
+  cur = static_cast<uint32_t>(c);  // ids wrap in 32 bits by construction
+  return true;
+}
+
+bool readFramesBinary(ChunkReader& r, uint64_t remaining, std::vector<Frame>& out) {
+  uint64_t n;
+  if (!r.varint(n) || n > remaining) return false;  // each frame >= 2 bytes
+  out.reserve(n);
+  uint32_t prevFunc = 0, prevInstr = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    Frame f;
+    if (!readDelta32(r, f.func, prevFunc) || !readDelta32(r, f.instr, prevInstr)) return false;
+    prevFunc = f.func;
+    prevInstr = f.instr;
+    out.push_back(f);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunLogStreamer::openFile(const std::string& path, size_t chunkBytes) {
+  isFile_ = true;
+  path_ = path;
+  chunkBytes_ = chunkBytes;
+  metaDone_ = false;
+  samples_ = 0;
+  opened_ = reader_.openFile(path, chunkBytes);
+  return opened_;
+}
+
+void RunLogStreamer::openString(std::string_view data) {
+  isFile_ = false;
+  mem_ = data;
+  metaDone_ = false;
+  samples_ = 0;
+  reader_.openString(data);
+  opened_ = true;
+}
+
+bool RunLogStreamer::reopen() {
+  if (!opened_) return false;
+  return reader_.rewind();
+}
+
+bool RunLogStreamer::readMeta(RunLog& meta) {
+  if (!reopen()) return false;
+  samples_ = 0;
+  metaDone_ = scan(&meta, nullptr);
+  return metaDone_;
+}
+
+bool RunLogStreamer::forEachSample(const std::function<bool(RawSample&&)>& fn) {
+  if (!metaDone_ || !reopen()) return false;
+  return scan(nullptr, &fn);
+}
+
+bool RunLogStreamer::readAll(RunLog& out) {
+  if (!reopen()) return false;
+  samples_ = 0;
+  std::function<bool(RawSample&&)> sink = [&out](RawSample&& s) {
+    out.samples.push_back(std::move(s));
+    return true;
+  };
+  metaDone_ = scan(&out, &sink);
+  return metaDone_;
+}
+
+bool RunLogStreamer::scan(RunLog* meta, const std::function<bool(RawSample&&)>* fn) {
+  if (meta) *meta = RunLog{};
+  uint8_t magic[4];
+  size_t got = reader_.peek(magic, 4);
+  bool binary = got == 4;
+  for (size_t i = 0; binary && i < 4; ++i)
+    binary = magic[i] == static_cast<uint8_t>(kRunLogBinaryMagic[i]);
+  return binary ? scanBinary(meta, fn) : scanText(meta, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Binary scan — the decoding twin of serializeRunLogBinary (see log_io.h for
+// the wire layout). Version 1/2/3/4 files load with newer fields defaulted.
+// ---------------------------------------------------------------------------
+
+bool RunLogStreamer::scanBinary(RunLog* meta, const std::function<bool(RawSample&&)>* fn) {
+  ChunkReader& r = reader_;
+  auto remaining = [&r] { return r.totalBytes() - r.bytesConsumed(); };
+  RunLog scratch;
+  RunLog& dst = meta ? *meta : scratch;
+
+  uint8_t b;
+  for (char m : kRunLogBinaryMagic)
+    if (!r.byte(b) || b != static_cast<uint8_t>(m)) return false;
+  uint8_t version;
+  if (!r.byte(version) || version < 1 || version > kRunLogBinaryVersion) return false;
+
+  uint64_t nStreams;
+  if (!r.varint(dst.sampleThreshold) || !r.varint(nStreams) || nStreams > ~0u ||
+      !r.varint(dst.totalCycles))
+    return false;
+  dst.numStreams = static_cast<uint32_t>(nStreams);
+  if (version >= 2 &&
+      (!r.varint(dst.commGets) || !r.varint(dst.commPuts) || !r.varint(dst.commOnForks)))
+    return false;
+  if (version >= 3 && (!r.varint(dst.commAggGets) || !r.varint(dst.commAggPuts) ||
+                       !r.varint(dst.commAggFlushes)))
+    return false;
+  if (version >= 4 && (!r.varint(dst.commMemStallCycles) || !r.varint(dst.commNetStallCycles) ||
+                       !r.varint(dst.commContentionCycles)))
+    return false;
+  if (version >= 5 && !r.varint(dst.raceFallbackRegions)) return false;
+
+  uint64_t nSamples;
+  if (!r.varint(nSamples) || nSamples > remaining()) return false;
+  uint64_t prevCycle = 0;
+  for (uint64_t i = 0; i < nSamples; ++i) {
+    RawSample s;
+    uint64_t rtk;
+    if (!r.varint32(s.stream) || !r.varint(s.taskTag) || !readDelta(r, s.atCycle, prevCycle) ||
+        !r.varint(rtk) || rtk > 255)
+      return false;
+    prevCycle = s.atCycle;
+    s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+    if (version >= 2) {
+      uint64_t ak;
+      if (!r.varint(ak) || ak > 3) return false;
+      s.accessKind = static_cast<AccessKind>(ak);
+      if (version >= 3 &&
+          (s.accessKind == AccessKind::RemoteGet || s.accessKind == AccessKind::RemotePut)) {
+        uint64_t src, dst2;
+        if (!r.varint(src) || src > ~0u || !r.varint(dst2) || dst2 > ~0u) return false;
+        s.srcLocale = static_cast<int32_t>(src);
+        s.dstLocale = static_cast<int32_t>(dst2);
+      }
+    }
+    if (!readFramesBinary(r, remaining(), s.stack)) return false;
+    if (fn && !(*fn)(std::move(s))) return false;
+  }
+  samples_ = nSamples;
+
+  // A sample-only pass (pass 2) stops here: the trailing sections were
+  // already validated and collected by readMeta.
+  if (!meta) return true;
+
+  uint64_t nSpawns;
+  if (!r.varint(nSpawns) || nSpawns > remaining()) return false;
+  uint64_t prevTag = 0;
+  for (uint64_t i = 0; i < nSpawns; ++i) {
+    SpawnRecord rec;
+    if (!readDelta(r, rec.tag, prevTag) || !r.varint(rec.parentTag) ||
+        !r.varint32(rec.taskFn) || !r.varint32(rec.spawnInstr) ||
+        !readFramesBinary(r, remaining(), rec.preSpawnStack))
+      return false;
+    prevTag = rec.tag;
+    uint64_t tag = rec.tag;
+    dst.spawns.emplace(tag, std::move(rec));
+  }
+
+  uint64_t nSites;
+  if (!r.varint(nSites) || nSites > remaining()) return false;
+  uint64_t prevKey = 0;
+  for (uint64_t i = 0; i < nSites; ++i) {
+    uint64_t key, bytes;
+    if (!readDelta(r, key, prevKey) || !r.varint(bytes)) return false;
+    prevKey = key;
+    dst.allocBytesBySite[key] = bytes;
+  }
+
+  if (version >= 3) {
+    uint64_t nCells;
+    if (!r.varint(nCells) || nCells > remaining()) return false;
+    uint64_t prevCell = 0;
+    for (uint64_t i = 0; i < nCells; ++i) {
+      uint64_t key, count;
+      if (!readDelta(r, key, prevCell) || !r.varint(count)) return false;
+      prevCell = key;
+      dst.commMatrix[key] = count;
+    }
+  }
+  return r.atEnd();  // trailing garbage is a format error
+}
+
+// ---------------------------------------------------------------------------
+// Text scan — the line format (see serializeRunLog). Lines of different
+// kinds may interleave in any order; versions gate which fields appear.
+// ---------------------------------------------------------------------------
+
+bool RunLogStreamer::scanText(RunLog* meta, const std::function<bool(RawSample&&)>* fn) {
+  ChunkReader& r = reader_;
+  RunLog scratch;
+  RunLog& dst = meta ? *meta : scratch;
+  std::string line;
+  int version = 0;
+  if (!r.getline(line)) return false;
+  {
+    std::istringstream h(line);
+    std::string magic;
+    if (!(h >> magic >> version >> dst.sampleThreshold >> dst.numStreams >> dst.totalCycles))
+      return false;
+    if (magic != "cblog" || version < 1 || version > 5) return false;
+    if (version >= 2 && !(h >> dst.commGets >> dst.commPuts >> dst.commOnForks)) return false;
+    if (version >= 3 && !(h >> dst.commAggGets >> dst.commAggPuts >> dst.commAggFlushes))
+      return false;
+    if (version >= 4 &&
+        !(h >> dst.commMemStallCycles >> dst.commNetStallCycles >> dst.commContentionCycles))
+      return false;
+    if (version >= 5 && !(h >> dst.raceFallbackRegions)) return false;
+  }
+  uint64_t nSamples = 0;
+  while (r.getline(line)) {
+    if (line.empty()) continue;
+    // The record kind is the first non-whitespace character (operator>>
+    // semantics); whitespace-only lines are malformed, as in the batch
+    // parser. Pass 2 only re-decodes samples — every other record kind was
+    // validated and collected by readMeta.
+    size_t first = line.find_first_not_of(" \t\r\v\f");
+    if (first == std::string::npos) return false;
+    char kind = line[first];
+    if (!meta && kind != 'S') continue;
+    std::istringstream in(line);
+    in >> kind;
+    if (kind == 'S') {
+      RawSample s;
+      int rtk = 0, ak = 0;
+      size_t n = 0;
+      if (!(in >> s.stream >> s.taskTag >> s.atCycle >> rtk)) return false;
+      if (version >= 2 && !(in >> ak)) return false;
+      if (version >= 3 && !(in >> s.srcLocale >> s.dstLocale)) return false;
+      if (!(in >> n)) return false;
+      s.runtimeFrame = static_cast<RuntimeFrameKind>(rtk);
+      s.accessKind = static_cast<AccessKind>(ak);
+      if (!parseFrames(in, n, s.stack)) return false;
+      ++nSamples;
+      if (fn && !(*fn)(std::move(s))) return false;
+    } else if (kind == 'W') {
+      SpawnRecord rec;
+      size_t n = 0;
+      if (!(in >> rec.tag >> rec.parentTag >> rec.taskFn >> rec.spawnInstr >> n)) return false;
+      if (!parseFrames(in, n, rec.preSpawnStack)) return false;
+      dst.spawns.emplace(rec.tag, std::move(rec));
+    } else if (kind == 'A') {
+      uint64_t key = 0, bytes = 0;
+      if (!(in >> key >> bytes)) return false;
+      dst.allocBytesBySite[key] = bytes;
+    } else if (kind == 'M' && version >= 3) {
+      int64_t src = 0, dstLoc = 0;
+      uint64_t count = 0;
+      if (!(in >> src >> dstLoc >> count)) return false;
+      dst.commMatrix[RunLog::pairKey(src, dstLoc)] = count;
+    } else {
+      return false;
+    }
+  }
+  samples_ = nSamples;
+  return true;
+}
+
+}  // namespace cb::sampling

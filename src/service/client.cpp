@@ -1,0 +1,47 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cb::svc {
+
+ClientResult runRemote(const std::string& socketPath, const std::vector<std::string>& args) {
+  ClientResult res;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path)) {
+    res.error = "invalid socket path: '" + socketPath + "'";
+    return res;
+  }
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    res.error = std::string("socket: ") + std::strerror(errno);
+    return res;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    res.error = "cannot connect to cb-serve at " + socketPath + ": " + std::strerror(errno);
+    ::close(fd);
+    return res;
+  }
+  std::string payload;
+  if (!writeFrame(fd, encodeRequest(args)) || !readFrame(fd, payload)) {
+    res.error = "cb-serve connection dropped (daemon gone or request refused)";
+    ::close(fd);
+    return res;
+  }
+  ::close(fd);
+  if (!decodeResponse(payload, res.job)) {
+    res.error = "malformed cb-serve response";
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace cb::svc

@@ -1,0 +1,24 @@
+// Thin client for cb-serve: forward one cb argv to a daemon and collect
+// the framed response. No profiling logic lives here — the daemon runs the
+// same job runner the local CLI does, which is what makes served output
+// bit-identical to local output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace cb::svc {
+
+struct ClientResult {
+  bool ok = false;    // transport-level success (job may still have failed)
+  JobResult job;      // valid when ok
+  std::string error;  // transport-level failure description when !ok
+};
+
+/// Connects to the daemon at `socketPath`, sends `args` as one request and
+/// waits for the response.
+ClientResult runRemote(const std::string& socketPath, const std::vector<std::string>& args);
+
+}  // namespace cb::svc

@@ -1,0 +1,320 @@
+#include "service/job.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/profiler.h"
+#include "postmortem/streaming.h"
+#include "report/html.h"
+#include "report/views.h"
+#include "sampling/log_io.h"
+
+namespace cb::svc {
+
+std::string usageText() {
+  return
+      "usage: cb <program|path.chpl> [options]   (flags may appear anywhere)\n"
+      "  --lint                static locality & race lint: no execution, prints\n"
+      "                        predicted comm splits, findings, race verdicts\n"
+      "  --with-run            with --lint: also profile the program so the\n"
+      "                        static-vs-dynamic differential is reported\n"
+      "  --fast                compile with the --fast pipeline\n"
+      "  --threshold N         PMU overflow threshold (virtual cycles)\n"
+      "  --workers N           worker streams (default 12)\n"
+      "  --pm-workers N        post-mortem worker threads (0 = hardware, 1 = sequential)\n"
+      "  --config K=V          override a config const (repeatable)\n"
+      "  --view V              data|code|pprof|hybrid|gui|baseline|csv|comm|commmatrix|locale\n"
+      "                        (default data; locale requires --locales N)\n"
+      "  --skid N              simulate PMU skid of N instructions\n"
+      "  --reference-interp    use the tree-walking oracle instead of bytecode\n"
+      "  --replay-threads N    replay eligible parallel regions on N OS threads\n"
+      "  --locales N           simulate N locales (1..4096) and aggregate blame\n"
+      "  --save-log PATH       write the raw monitoring dataset to PATH\n"
+      "  --from-log PATH       skip execution: stream an existing run log (text or\n"
+      "                        binary) through the memory-bounded post-mortem\n"
+      "  --stream-chunk N      samples per streaming attribution batch (default 4096)\n"
+      "  --cache-dir PATH      on-disk analysis cache (also: $CB_CACHE_DIR)\n"
+      "  --html PATH           write a standalone HTML report (the GUI) to PATH\n"
+      "  --no-idle             do not sample idle workers\n"
+      "  --echo                echo program writeln output\n"
+      "  --time                print total virtual cycles\n"
+      "\n"
+      "service mode (see also README):\n"
+      "  cb --serve [--socket PATH] [--serve-workers N] [--max-requests N]\n"
+      "                        run as a resident profiling daemon on a unix socket\n"
+      "  cb --socket PATH ...  run this invocation on the daemon at PATH instead\n"
+      "                        of locally ($CB_SERVE_SOCKET works too)\n";
+}
+
+namespace {
+
+JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ctx) {
+  JobResult res;
+  std::ostringstream out, err;
+  auto usage = [&](int code) {
+    err << usageText();
+    res.out = out.str();
+    res.err = err.str();
+    res.exitCode = code;
+    return res;
+  };
+
+  std::string program;
+  std::string view = "data";
+  bool showTime = false;
+  bool lintMode = false;
+  bool lintWithRun = false;
+  uint32_t numLocales = 1;
+  bool localesSet = false;
+  std::string saveLogPath;
+  std::string fromLogPath;
+  std::string htmlPath;
+  uint32_t streamChunk = 4096;
+  Profiler profiler;
+  profiler.options().run.sampleThreshold = 9973;
+  profiler.options().cacheDir = ctx.cacheDir;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    bool missing = false;
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        missing = true;
+        return {};
+      }
+      return args[++i];
+    };
+    if (arg == "--lint") {
+      lintMode = true;
+    } else if (arg == "--with-run") {
+      lintWithRun = true;
+    } else if (arg == "--fast") {
+      profiler.options().compile.fast = true;
+      profiler.options().run.fastCostProfile = true;
+    } else if (arg == "--threshold") {
+      profiler.options().run.sampleThreshold = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--workers") {
+      profiler.options().run.numWorkers =
+          static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--pm-workers") {
+      profiler.options().postmortem.workers =
+          static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--config") {
+      std::string kv = next();
+      size_t eq = kv.find('=');
+      if (!missing && eq == std::string::npos) return usage(2);
+      if (!missing)
+        profiler.options().run.configOverrides[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (arg == "--view") {
+      view = next();
+    } else if (arg == "--skid") {
+      profiler.options().run.skidInstructions =
+          static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--reference-interp") {
+      profiler.options().run.referenceInterp = true;
+    } else if (arg == "--replay-threads") {
+      profiler.options().run.replayThreads =
+          static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--locales") {
+      uint64_t requested = std::strtoull(next().c_str(), nullptr, 10);
+      if (!missing) {
+        if (std::string e = validateLocaleCount(requested); !e.empty()) {
+          err << "error: --locales: " << e << "\n";
+          res.out = out.str();
+          res.err = err.str();
+          res.exitCode = 2;
+          return res;
+        }
+        numLocales = static_cast<uint32_t>(requested);
+        localesSet = true;
+      }
+    } else if (arg == "--save-log") {
+      saveLogPath = next();
+    } else if (arg == "--from-log") {
+      fromLogPath = next();
+    } else if (arg == "--stream-chunk") {
+      streamChunk = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--cache-dir") {
+      profiler.options().cacheDir = next();
+    } else if (arg == "--html") {
+      htmlPath = next();
+    } else if (arg == "--no-idle") {
+      profiler.options().run.sampleIdle = false;
+    } else if (arg == "--echo") {
+      profiler.options().run.echoWriteln = true;
+    } else if (arg == "--time") {
+      showTime = true;
+    } else if (arg.rfind("--", 0) == 0 || !program.empty()) {
+      // Unknown flag, or a second positional argument.
+      return usage(2);
+    } else {
+      program = arg;
+    }
+    if (missing) return usage(2);
+  }
+  if (program.empty()) return usage(2);
+
+  std::string path = program.size() > 5 && program.substr(program.size() - 5) == ".chpl"
+                         ? program
+                         : assetProgram(program);
+
+  auto fail = [&](const std::string& msg) {
+    err << "error:\n" << msg << "\n";
+    res.out = out.str();
+    res.err = err.str();
+    res.exitCode = 1;
+    return res;
+  };
+  auto finish = [&](int code) {
+    res.out = out.str();
+    res.err = err.str();
+    res.exitCode = code;
+    return res;
+  };
+
+  if (lintMode) {
+    // Static analysis defaults to a 4-locale model so distribution effects
+    // are visible even without an explicit --locales; the override wins.
+    uint32_t lintLocales = localesSet ? numLocales : 4;
+    profiler.options().run.numLocales = lintLocales;
+    bool ok = lintWithRun ? profiler.profileFile(path) : profiler.compileFile(path);
+    if (!ok) return fail(profiler.lastError());
+    out << profiler.lintText();
+    return finish(0);
+  }
+
+  if (numLocales > 1) {
+    MultiLocaleResult ml = profileMultiLocale(path, numLocales, profiler.options());
+    if (!ml.ok) {
+      // Partial profiles (some locales failed) still print their aggregate;
+      // only a total failure is fatal.
+      bool anyOk = false;
+      for (const std::string& e : ml.localeErrors) anyOk |= e.empty();
+      if (!anyOk) return fail(ml.error);
+      err << "warning (partial profile):\n" << ml.error << "\n";
+    }
+    if (view == "comm") {
+      out << rpt::commView(ml.aggregate, profiler.options().view);
+    } else if (view == "commmatrix") {
+      out << rpt::commMatrixView(ml.aggregate, profiler.options().view);
+    } else if (view == "locale") {
+      out << rpt::perLocaleView(ml.perLocale, profiler.options().view);
+    } else {
+      out << "Aggregated blame across " << numLocales << " locales:\n"
+          << rpt::dataCentricView(ml.aggregate, profiler.options().view);
+    }
+    return finish(0);
+  }
+
+  // Resident fast path: when the daemon's program cache already holds this
+  // (source, options) build, adopt it and skip compile + analyze entirely.
+  bool attached = false;
+  uint64_t key = 0;
+  if (ctx.resident) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      key = cache::hashProgram(path, ss.str(), profiler.options().compile,
+                               profiler.options().blame);
+      if (auto hit = ctx.resident->find(key)) {
+        profiler.attachProgram(hit->comp, hit->blame, key);
+        attached = true;
+      }
+    }
+  }
+  if (!attached) {
+    if (!profiler.compileFile(path) || !profiler.analyze()) return fail(profiler.lastError());
+    if (ctx.resident && profiler.programKey() != 0) {
+      auto prog = std::make_shared<cache::CachedProgram>();
+      prog->comp = profiler.sharedCompilation();
+      prog->blame = profiler.sharedModuleBlame();
+      ctx.resident->insert(profiler.programKey(), std::move(prog));
+    }
+  }
+
+  if (!fromLogPath.empty()) {
+    // Streaming ingestion: attribute an existing run log chunk-by-chunk
+    // without materializing its samples. Only report-shaped views are
+    // available (code-centric views need the full instance vector).
+    if (view != "data" && view != "hybrid" && view != "csv" && view != "comm" &&
+        view != "commmatrix") {
+      err << "error: --from-log supports --view data|hybrid|csv|comm|commmatrix\n";
+      return finish(2);
+    }
+    const ir::Module& m = profiler.compilation()->module();
+    if (m.debugInfoStripped)
+      return fail("--from-log requires a non---fast module (data-centric mapping stripped)");
+    pm::StreamingPostmortemOptions sopts;
+    sopts.consolidate = profiler.options().consolidate;
+    sopts.attribution = profiler.options().attribution;
+    sopts.chunkSamples = streamChunk;
+    pm::BlameReport report;
+    pm::StreamingPostmortemStats stats;
+    if (!pm::runPostmortemStreamingFile(m, profiler.moduleBlame(), fromLogPath, sopts, report,
+                                        nullptr, &stats))
+      return fail("cannot stream run log '" + fromLogPath + "' (missing or malformed)");
+    if (view == "data") out << rpt::dataCentricView(report, profiler.options().view);
+    else if (view == "hybrid") out << rpt::hybridView(report, profiler.options().view);
+    else if (view == "csv") out << rpt::dataCentricCsv(report);
+    else if (view == "comm") out << rpt::commView(report, profiler.options().view);
+    else out << rpt::commMatrixView(report, profiler.options().view);
+    if (showTime)
+      out << "streamed samples: " << stats.samples << " in " << stats.chunks << " chunks\n";
+    return finish(0);
+  }
+
+  if (!profiler.run() || !profiler.postProcess()) return fail(profiler.lastError());
+  if (!saveLogPath.empty() && !sampling::saveRunLog(profiler.runResult()->log, saveLogPath)) {
+    err << "error: cannot write " << saveLogPath << "\n";
+    return finish(1);
+  }
+  if (!htmlPath.empty() && !rpt::writeHtmlReport(htmlPath, program, *profiler.blameReport(),
+                                                 *profiler.codeReport())) {
+    err << "error: cannot write " << htmlPath << "\n";
+    return finish(1);
+  }
+
+  if (view == "data") out << profiler.dataCentricText();
+  else if (view == "code") out << profiler.codeCentricText();
+  else if (view == "pprof") out << profiler.pprofText(program);
+  else if (view == "hybrid") out << profiler.hybridText();
+  else if (view == "gui") out << profiler.guiText();
+  else if (view == "baseline") out << rpt::baselineView(profiler.baselineReport());
+  else if (view == "csv") out << rpt::dataCentricCsv(*profiler.blameReport());
+  else if (view == "comm") out << rpt::commView(*profiler.blameReport(), profiler.options().view);
+  else if (view == "commmatrix")
+    out << rpt::commMatrixView(*profiler.blameReport(), profiler.options().view);
+  else
+    return usage(2);
+
+  if (showTime) {
+    out << "total virtual cycles: " << profiler.runResult()->totalCycles << "\n";
+    out << "instructions executed: " << profiler.runResult()->instructionsExecuted << "\n";
+  }
+  return finish(0);
+}
+
+}  // namespace
+
+JobResult runJob(const std::vector<std::string>& args, const JobContext& ctx) {
+  // Per-job isolation: a crash in one job must fail that job only, never
+  // the daemon or its caches.
+  try {
+    return runJobInner(args, ctx);
+  } catch (const std::exception& e) {
+    JobResult r;
+    r.exitCode = 3;
+    r.err = std::string("internal error: ") + e.what() + "\n";
+    return r;
+  } catch (...) {
+    JobResult r;
+    r.exitCode = 3;
+    r.err = "internal error: unknown exception\n";
+    return r;
+  }
+}
+
+}  // namespace cb::svc

@@ -1,0 +1,35 @@
+// The cb profiling job, factored out of the CLI so the local binary and the
+// cb-serve daemon execute the IDENTICAL code path — argv in, rendered
+// report text + exit code out. Serving a job can therefore never change its
+// bytes: the daemon only changes where compile/analyze artefacts come from
+// (the resident cache), and cached artefacts are bit-identical to freshly
+// built ones by the cache-equivalence property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/analysis_cache.h"
+#include "service/protocol.h"
+
+namespace cb::svc {
+
+/// Ambient state a job runs against. Everything is optional: the plain CLI
+/// passes a default-constructed context (plus any --cache-dir flag).
+struct JobContext {
+  /// Resident program cache shared across jobs; nullptr = no resident tier.
+  cache::ResidentProgramCache* resident = nullptr;
+  /// Default on-disk analysis-cache directory. A --cache-dir argument in the
+  /// job's argv overrides this; empty disables the disk tier.
+  std::string cacheDir;
+};
+
+/// Runs one profiling job from a cb argv (argv[0] excluded). Captures all
+/// output; never exits, never throws (internal failures become exit code 3
+/// with the reason on the error stream).
+JobResult runJob(const std::vector<std::string>& args, const JobContext& ctx = {});
+
+/// The CLI usage text (shared by local and served error paths).
+std::string usageText();
+
+}  // namespace cb::svc

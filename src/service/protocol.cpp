@@ -1,0 +1,95 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "support/varint.h"
+
+namespace cb::svc {
+
+namespace {
+
+bool writeAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool readAll(int fd, char* data, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame
+    data += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  unsigned char len[4];
+  for (int i = 0; i < 4; ++i) len[i] = static_cast<unsigned char>(payload.size() >> (8 * i));
+  return writeAll(fd, reinterpret_cast<const char*>(len), 4) &&
+         writeAll(fd, payload.data(), payload.size());
+}
+
+bool readFrame(int fd, std::string& payload, size_t maxBytes) {
+  unsigned char len[4];
+  if (!readAll(fd, reinterpret_cast<char*>(len), 4)) return false;
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<uint32_t>(len[i]) << (8 * i);
+  if (n > maxBytes) return false;
+  payload.resize(n);
+  return n == 0 || readAll(fd, payload.data(), n);
+}
+
+std::string encodeRequest(const std::vector<std::string>& args) {
+  std::string out;
+  putVarint(out, args.size());
+  for (const std::string& a : args) putString(out, a);
+  return out;
+}
+
+bool decodeRequest(const std::string& payload, std::vector<std::string>& args) {
+  StringByteReader r(payload);
+  uint64_t n;
+  if (!r.varint(n) || n > r.remaining() + 1) return false;
+  args.resize(n);
+  for (std::string& a : args)
+    if (!r.str(a)) return false;
+  return r.atEnd();
+}
+
+std::string encodeResponse(const JobResult& res) {
+  std::string out;
+  putVarint(out, zigzag(res.exitCode));
+  putString(out, res.out);
+  putString(out, res.err);
+  return out;
+}
+
+bool decodeResponse(const std::string& payload, JobResult& res) {
+  StringByteReader r(payload);
+  uint64_t code;
+  if (!r.varint(code)) return false;
+  int64_t c = unzigzag(code);
+  if (c < INT32_MIN || c > INT32_MAX) return false;
+  res.exitCode = static_cast<int>(c);
+  return r.str(res.out) && r.str(res.err) && r.atEnd();
+}
+
+}  // namespace cb::svc

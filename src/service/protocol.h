@@ -1,0 +1,45 @@
+// cb-serve wire protocol: length-prefixed frames over a local stream socket.
+//
+//   frame    := u32-LE payload length | payload bytes
+//   request  := varint argc | argc x (varint len | bytes)   (raw cb argv)
+//   response := varint exitCode | varint-len stdout | varint-len stderr
+//
+// The request is the client's argv, verbatim — the daemon feeds it to the
+// SAME job runner the local CLI uses (service/job.h), so a served profile is
+// bit-identical to a local one by construction. One request per connection;
+// the daemon replies with exactly one response frame and closes.
+//
+// Decoding is defensive at every layer (frame length cap, bounds-checked
+// varints, trailing-byte checks): a malformed frame fails the one
+// connection that sent it and never the daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cb::svc {
+
+/// Hard cap on a single frame; larger announcements are treated as protocol
+/// errors (a length prefix of garbage must not trigger a huge allocation).
+inline constexpr size_t kMaxFrameBytes = 64ull * 1024 * 1024;
+
+struct JobResult {
+  int exitCode = 0;
+  std::string out;  // captured stdout payload
+  std::string err;  // captured stderr payload
+};
+
+/// Blocking frame I/O over a file descriptor. Both retry on EINTR and
+/// return false on EOF, I/O error, or an over-cap length prefix.
+bool writeFrame(int fd, std::string_view payload);
+bool readFrame(int fd, std::string& payload, size_t maxBytes = kMaxFrameBytes);
+
+std::string encodeRequest(const std::vector<std::string>& args);
+bool decodeRequest(const std::string& payload, std::vector<std::string>& args);
+
+std::string encodeResponse(const JobResult& r);
+bool decodeResponse(const std::string& payload, JobResult& r);
+
+}  // namespace cb::svc

@@ -3,10 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace cb {
 
@@ -26,21 +26,37 @@ class Symbol {
   uint32_t id_ = 0;
 };
 
-/// Owns the interned strings. Not thread-safe; each compilation pipeline owns
-/// exactly one interner and the runtime only reads resolved strings.
+/// Owns the interned strings. Not thread-safe to mutate; each compilation
+/// pipeline owns exactly one interner. Concurrent *readers* (str() on
+/// already-interned symbols, e.g. locale pipelines sharing one const
+/// compilation) are safe as long as nobody interns.
+///
+/// Storage is arena-style: the owned strings live in a std::deque (chunked
+/// allocation, element addresses never move on growth), and the lookup map
+/// keys string_views INTO that arena instead of owning a second copy of
+/// every string. Compared with the seed's vector<string> + string-keyed map
+/// this halves the per-string storage, removes the per-intern key copy, and
+/// — together with reserve() — removes the rehash/realloc churn that showed
+/// up in consolidate+attribute (see bench_pipeline_micro BM_InternChurn).
 class StringInterner {
  public:
   StringInterner() {
     strings_.emplace_back();  // symbol 0 = ""
-    map_.emplace(std::string(), 0u);
+    map_.emplace(std::string_view(strings_.back()), 0u);
   }
+
+  /// Pre-sizes the hash table for about `n` distinct strings so a burst of
+  /// interns (one per entity/context, as in attribution) never rehashes.
+  void reserve(size_t n) { map_.reserve(n + 1); }
 
   Symbol intern(std::string_view s) {
     auto it = map_.find(s);
     if (it != map_.end()) return Symbol(it->second);
     uint32_t id = static_cast<uint32_t>(strings_.size());
     strings_.emplace_back(s);
-    map_.emplace(strings_.back(), id);
+    // Deque elements are address-stable, so the view stays valid for the
+    // interner's lifetime.
+    map_.emplace(std::string_view(strings_.back()), id);
     return Symbol(id);
   }
 
@@ -48,10 +64,16 @@ class StringInterner {
 
   size_t size() const { return strings_.size(); }
 
+  /// Approximate heap footprint (arena characters + map buckets), for
+  /// allocator-counter style accounting (StreamingAggregator).
+  size_t approxMemoryBytes() const {
+    size_t bytes = map_.bucket_count() * sizeof(void*) +
+                   map_.size() * (sizeof(std::string_view) + 2 * sizeof(void*) + 8);
+    for (const std::string& s : strings_) bytes += sizeof(std::string) + s.capacity();
+    return bytes;
+  }
+
  private:
-  // Node-based map keyed by views into strings_ (deque-like stability is
-  // guaranteed because std::string contents don't move on vector growth only
-  // if we store them indirectly; we therefore key on owned copies).
   struct SvHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
@@ -60,8 +82,8 @@ class StringInterner {
     using is_transparent = void;
     bool operator()(std::string_view a, std::string_view b) const { return a == b; }
   };
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, uint32_t, SvHash, SvEq> map_;
+  std::deque<std::string> strings_;  // arena: addresses stable under growth
+  std::unordered_map<std::string_view, uint32_t, SvHash, SvEq> map_;
 };
 
 }  // namespace cb

@@ -1,0 +1,104 @@
+// LEB128 varint + zigzag-delta encoding helpers shared by the run-log
+// serializers (sampling/log_io) and the analysis-cache entry format
+// (cache/analysis_cache). Decode-side bounds checking lives with the
+// readers (sampling/chunk_reader for pull-based streams, StringByteReader
+// below for in-memory buffers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cb {
+
+inline void putVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Delta between two unsigned values as a signed quantity (two's-complement
+/// wraparound makes encode/decode exact even across the full u64 range).
+inline void putDelta(std::string& out, uint64_t cur, uint64_t prev) {
+  putVarint(out, zigzag(static_cast<int64_t>(cur - prev)));
+}
+
+/// Bounds-checked varint reader over an in-memory buffer. Every method
+/// returns false on truncation or over-long encodings and never reads past
+/// the view.
+class StringByteReader {
+ public:
+  explicit StringByteReader(std::string_view data) : data_(data) {}
+
+  bool varint(uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return false;
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      out |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return true;
+    }
+    return false;  // over-long encoding
+  }
+
+  bool varint32(uint32_t& out) {
+    uint64_t v;
+    if (!varint(v) || v > ~0u) return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+  }
+
+  bool delta(uint64_t& cur, uint64_t prev) {
+    uint64_t z;
+    if (!varint(z)) return false;
+    cur = prev + static_cast<uint64_t>(unzigzag(z));
+    return true;
+  }
+
+  bool byte(uint8_t& out) {
+    if (pos_ >= data_.size()) return false;
+    out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool bytes(char* dst, size_t n) {
+    if (n > remaining()) return false;
+    data_.copy(dst, n, pos_);
+    pos_ += n;
+    return true;
+  }
+
+  /// Reads a varint length followed by that many raw bytes.
+  bool str(std::string& out) {
+    uint64_t n;
+    if (!varint(n) || n > remaining()) return false;
+    out.assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Length-prefixed string: varint byte count + raw bytes.
+inline void putString(std::string& out, std::string_view s) {
+  putVarint(out, s.size());
+  out.append(s);
+}
+
+}  // namespace cb

@@ -1,0 +1,286 @@
+// Tests of the two-tier analysis cache behind profiling-as-a-service:
+// ModuleBlame byte round-trips, the content-hash key, and — the part that
+// earns the "silent cold fallback" contract — robustness against truncated,
+// corrupted, version-bumped, mismatched and concurrently-written entries.
+// A cache defect must never change a report; at worst it costs a re-analysis.
+//
+// Suite naming feeds the CTest labels: Property*.* carry the `property`
+// label, the rest land in `unit`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "cache/analysis_cache.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace cb {
+namespace {
+
+const char* kProg =
+    "const D = {0..#40};\nvar A: [D] real;\nproc main() { forall i in D { var t = 0.0; for j "
+    "in 0..#20 { t += i * j; } A[i] = t; } }";
+
+std::string freshDir(const std::string& tag) {
+  std::string d = ::testing::TempDir() + "/cb_cache_" + tag;
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round-trip + key hashing
+// ---------------------------------------------------------------------------
+
+TEST(Cache, ModuleBlameByteRoundTrip) {
+  Profiler p = test::profileSource(kProg);
+  const ir::Module& m = p.compilation()->module();
+  std::string bytes = cache::serializeModuleBlame(*p.moduleBlame());
+  an::ModuleBlame back;
+  ASSERT_TRUE(cache::deserializeModuleBlame(bytes, m, back));
+  // Canonical-form check: re-serializing the rebuilt database must reproduce
+  // the exact bytes (so a warm report is bit-identical by construction).
+  EXPECT_EQ(cache::serializeModuleBlame(back), bytes);
+}
+
+TEST(Cache, DeserializeRejectsTruncationAndCorruption) {
+  Profiler p = test::profileSource(kProg);
+  const ir::Module& m = p.compilation()->module();
+  std::string bytes = cache::serializeModuleBlame(*p.moduleBlame());
+  an::ModuleBlame out;
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = bytes;
+    if (trial % 2 == 0) {
+      mutated.resize(rng.next() % bytes.size());
+    } else {
+      for (int k = 0; k < 3; ++k)
+        mutated[rng.next() % mutated.size()] ^= static_cast<char>(1 + rng.next() % 255);
+    }
+    if (mutated == bytes) continue;
+    an::ModuleBlame scratch;
+    cache::deserializeModuleBlame(mutated, m, scratch);  // must not crash
+  }
+  // Structural mismatch: bytes from one module must not bind to another.
+  Profiler q = test::profileSource("proc main() { var x = 3; writeln(x); }");
+  EXPECT_FALSE(cache::deserializeModuleBlame(bytes, q.compilation()->module(), out));
+}
+
+TEST(Cache, HashProgramSeparatesSourcesAndOptions) {
+  fe::CompileOptions copts;
+  an::BlameOptions bopts;
+  uint64_t base = cache::hashProgram("a.chpl", kProg, copts, bopts);
+  EXPECT_EQ(cache::hashProgram("a.chpl", kProg, copts, bopts), base);
+  EXPECT_NE(cache::hashProgram("b.chpl", kProg, copts, bopts), base);
+  std::string edited = std::string(kProg) + " ";
+  EXPECT_NE(cache::hashProgram("a.chpl", edited, copts, bopts), base);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: hit/miss mechanics + robustness
+// ---------------------------------------------------------------------------
+
+TEST(Cache, DiskStoreThenLoadHits) {
+  Profiler p = test::profileSource(kProg);
+  const ir::Module& m = p.compilation()->module();
+  cache::AnalysisCache disk(freshDir("hit"));
+  ASSERT_TRUE(disk.enabled());
+  uint64_t key = 0x1234567890abcdefULL;
+  an::ModuleBlame out;
+  EXPECT_FALSE(disk.load(key, m, out));  // cold
+  ASSERT_TRUE(disk.store(key, m, *p.moduleBlame()));
+  EXPECT_TRUE(disk.load(key, m, out));  // warm
+  EXPECT_EQ(cache::serializeModuleBlame(out), cache::serializeModuleBlame(*p.moduleBlame()));
+  EXPECT_EQ(disk.hits(), 1u);
+  EXPECT_EQ(disk.misses(), 1u);
+  EXPECT_FALSE(disk.load(key + 1, m, out));  // different key -> its own entry
+}
+
+TEST(Cache, DisabledCacheNeverHitsOrStores) {
+  Profiler p = test::profileSource(kProg);
+  cache::AnalysisCache disk("");
+  EXPECT_FALSE(disk.enabled());
+  an::ModuleBlame out;
+  EXPECT_FALSE(disk.store(7, p.compilation()->module(), *p.moduleBlame()));
+  EXPECT_FALSE(disk.load(7, p.compilation()->module(), out));
+}
+
+// Every way an on-disk entry can be damaged must degrade to a silent miss —
+// never a crash, never a wrong hit.
+TEST(Cache, DamagedEntriesFallBackToCold) {
+  Profiler p = test::profileSource(kProg);
+  const ir::Module& m = p.compilation()->module();
+  cache::AnalysisCache disk(freshDir("damage"));
+  uint64_t key = 99;
+  ASSERT_TRUE(disk.store(key, m, *p.moduleBlame()));
+  std::string good = readFile(disk.entryPath(key));
+  ASSERT_FALSE(good.empty());
+  an::ModuleBlame out;
+
+  auto expectMiss = [&](const std::string& bytes, const char* what) {
+    writeFile(disk.entryPath(key), bytes);
+    EXPECT_FALSE(disk.load(key, m, out)) << what;
+  };
+  expectMiss("", "empty file");
+  expectMiss(good.substr(0, good.size() / 2), "truncated payload");
+  expectMiss(good.substr(0, 3), "truncated header");
+  {
+    std::string bad = good;
+    bad[0] ^= 0x40;  // magic
+    expectMiss(bad, "bad magic");
+  }
+  {
+    std::string bad = good;
+    bad[4] = static_cast<char>(cache::kAnalysisCacheVersion + 1);
+    expectMiss(bad, "future version");
+  }
+  {
+    std::string bad = good;
+    bad[5] ^= 0x01;  // stored key hash
+    expectMiss(bad, "key mismatch");
+  }
+  {
+    std::string bad = good;
+    bad[bad.size() - 1] ^= 0x01;  // checksum
+    expectMiss(bad, "checksum mismatch");
+  }
+  // And a random-corruption sweep over the whole entry.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string bad = good;
+    bad[rng.next() % bad.size()] ^= static_cast<char>(1 + rng.next() % 255);
+    if (bad == good) continue;
+    writeFile(disk.entryPath(key), bad);
+    an::ModuleBlame scratch;
+    if (disk.load(key, m, scratch))  // a surviving hit must be byte-perfect
+      EXPECT_EQ(cache::serializeModuleBlame(scratch),
+                cache::serializeModuleBlame(*p.moduleBlame()));
+  }
+  // Restore and confirm the path still works after all that abuse.
+  writeFile(disk.entryPath(key), good);
+  EXPECT_TRUE(disk.load(key, m, out));
+}
+
+TEST(Cache, ConcurrentStoresAndLoadsAreSafe) {
+  Profiler p = test::profileSource(kProg);
+  const ir::Module& m = p.compilation()->module();
+  cache::AnalysisCache disk(freshDir("race"));
+  std::string expect = cache::serializeModuleBlame(*p.moduleBlame());
+  std::vector<std::thread> threads;
+  std::atomic<int> goodHits{0};
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        if (t % 2 == 0) {
+          disk.store(5, m, *p.moduleBlame());
+        } else {
+          an::ModuleBlame out;
+          if (disk.load(5, m, out)) {
+            // Atomic publish: a reader sees a complete entry or nothing.
+            EXPECT_EQ(cache::serializeModuleBlame(out), expect);
+            ++goodHits;
+          }
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_GT(goodHits.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler integration: warm == cold, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(PropertyCacheEquivalence, WarmReportBitIdenticalAcrossCorpus) {
+  for (const char* prog : {"minimd", "clomp"}) {
+    std::string dir = freshDir(std::string("corpus_") + prog);
+    ProfileOptions opts;
+    opts.cacheDir = dir;
+
+    Profiler cold(opts);
+    ASSERT_TRUE(cold.profileFile(assetProgram(prog))) << cold.lastError();
+    EXPECT_FALSE(cold.analysisCacheHit());
+
+    Profiler warm(opts);
+    ASSERT_TRUE(warm.profileFile(assetProgram(prog))) << warm.lastError();
+    EXPECT_TRUE(warm.analysisCacheHit()) << prog;
+
+    ProfileOptions plain;
+    Profiler uncached(plain);
+    ASSERT_TRUE(uncached.profileFile(assetProgram(prog)));
+
+    ASSERT_NE(cold.blameReport(), nullptr);
+    ASSERT_NE(warm.blameReport(), nullptr);
+    EXPECT_TRUE(*warm.blameReport() == *cold.blameReport()) << prog;
+    EXPECT_TRUE(*warm.blameReport() == *uncached.blameReport()) << prog;
+    EXPECT_EQ(warm.dataCentricText(), uncached.dataCentricText()) << prog;
+  }
+}
+
+TEST(Cache, ProfilerSurvivesDamagedCacheDir) {
+  std::string dir = freshDir("prof_damage");
+  ProfileOptions opts;
+  opts.cacheDir = dir;
+  Profiler cold(opts);
+  ASSERT_TRUE(cold.profileString("test.chpl", kProg));
+  // Corrupt the one entry the cold run stored, then profile again: silent
+  // cold fallback with an identical report, and the entry is re-published.
+  cache::AnalysisCache disk(dir);
+  std::string entry = disk.entryPath(cold.programKey());
+  std::string bytes = readFile(entry);
+  ASSERT_FALSE(bytes.empty());
+  writeFile(entry, bytes.substr(0, bytes.size() / 3));
+  Profiler again(opts);
+  ASSERT_TRUE(again.profileString("test.chpl", kProg));
+  EXPECT_FALSE(again.analysisCacheHit());
+  EXPECT_TRUE(*again.blameReport() == *cold.blameReport());
+  Profiler warm(opts);
+  ASSERT_TRUE(warm.profileString("test.chpl", kProg));
+  EXPECT_TRUE(warm.analysisCacheHit());
+  EXPECT_TRUE(*warm.blameReport() == *cold.blameReport());
+}
+
+// ---------------------------------------------------------------------------
+// Resident tier
+// ---------------------------------------------------------------------------
+
+TEST(Cache, ResidentLruEvictsOldest) {
+  cache::ResidentProgramCache lru(2);
+  auto prog = std::make_shared<cache::CachedProgram>();
+  lru.insert(1, prog);
+  lru.insert(2, prog);
+  EXPECT_NE(lru.find(1), nullptr);  // 1 is now most-recently-used
+  lru.insert(3, prog);              // evicts 2
+  EXPECT_EQ(lru.find(2), nullptr);
+  EXPECT_NE(lru.find(1), nullptr);
+  EXPECT_NE(lru.find(3), nullptr);
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(Cache, ResidentEntriesSurviveEvictionWhileHeld) {
+  cache::ResidentProgramCache lru(1);
+  Profiler p = test::profileSource(kProg);
+  auto prog = std::make_shared<cache::CachedProgram>();
+  prog->blame = std::make_shared<an::ModuleBlame>(*p.moduleBlame());
+  lru.insert(1, prog);
+  std::shared_ptr<const cache::CachedProgram> held = lru.find(1);
+  lru.insert(2, std::make_shared<cache::CachedProgram>());  // evicts 1
+  EXPECT_EQ(lru.find(1), nullptr);
+  ASSERT_NE(held, nullptr);  // a pipeline holding the entry keeps it alive
+  EXPECT_NE(held->blame, nullptr);
+}
+
+}  // namespace
+}  // namespace cb
