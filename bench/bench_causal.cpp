@@ -1,0 +1,141 @@
+// Causal what-if profiler gate (LULESH):
+//   - overhead: per-site cycle tracking (RunOptions::trackCausalSites) plus
+//     the causal analysis itself must cost < 10% host time over the plain
+//     post-mortem pipeline (the paper's "always-on" bar for a profiling
+//     feature you leave enabled);
+//   - oracle: for the top blamed variable and k in {2, 4}, the schedule
+//     replay's predicted cycle count must equal a ground-truth re-run with
+//     that variable's charges divided by k, on both engines.
+// Non-zero exit on either violation, so CI catches both cost and
+// correctness regressions. The predicted-vs-actual rows feed EXPERIMENTS.md.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/causal.h"
+#include "bench_common.h"
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Host milliseconds for run() + postProcess() on a fresh Profiler (the
+/// compile + analyze phases are shared setup and excluded: per-site
+/// tracking cannot affect them).
+double pipelineMs(const cb::Profiler& compiled, bool trackSites, bool causal) {
+  cb::Profiler p;
+  p.options() = compiled.options();
+  p.options().run.trackCausalSites = trackSites;
+  p.attachProgram(compiled.sharedCompilation(), compiled.sharedModuleBlame(),
+                  compiled.programKey());
+  auto t0 = Clock::now();
+  if (!p.run() || !p.postProcess()) {
+    std::fprintf(stderr, "bench_causal: pipeline failed: %s\n", p.lastError().c_str());
+    std::exit(1);
+  }
+  if (causal && !p.causalReport().ok) {
+    std::fprintf(stderr, "bench_causal: causal analysis failed\n");
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cb;
+  bench::printHeader("causal what-if profiler — overhead + oracle gate (LULESH)");
+
+  Profiler compiled;
+  compiled.options().run.sampleThreshold = 9973;
+  if (!compiled.compileFile(assetProgram("lulesh")) || !compiled.analyze()) {
+    std::fprintf(stderr, "bench_causal: compile/analyze failed: %s\n",
+                 compiled.lastError().c_str());
+    return 1;
+  }
+
+  // Best-of-5 per configuration to damp scheduler noise (min-of-N converges
+  // on the true floor under one-sided load spikes); alternate the order so
+  // neither side systematically benefits from a warm cache, and throw away
+  // one warmup round so frequency scaling and cold caches hit neither.
+  pipelineMs(compiled, false, false);
+  double plain = 1e300, causal = 1e300;
+  for (int i = 0; i < 5; ++i) {
+    plain = std::min(plain, pipelineMs(compiled, false, false));
+    causal = std::min(causal, pipelineMs(compiled, true, true));
+  }
+  double overheadPct = plain > 0 ? (causal - plain) / plain * 100.0 : 0.0;
+  std::printf("plain post-mortem:   %8.1f ms\n", plain);
+  std::printf("causal post-mortem:  %8.1f ms  (per-site tracking + critical path + what-if)\n",
+              causal);
+  std::printf("overhead:            %8.1f %%  (gate: < 10%%)\n\n", overheadPct);
+
+  // Oracle gate: predictions vs ground-truth scaled re-runs.
+  Profiler p;
+  p.options() = compiled.options();
+  p.options().run.trackCausalSites = true;
+  p.attachProgram(compiled.sharedCompilation(), compiled.sharedModuleBlame(),
+                  compiled.programKey());
+  if (!p.run() || !p.postProcess()) {
+    std::fprintf(stderr, "bench_causal: profiling failed: %s\n", p.lastError().c_str());
+    return 1;
+  }
+  const sampling::RunLog& log = p.runResult()->log;
+  an::causal::Timeline tl = an::causal::buildTimeline(log);
+  if (!tl.ok) {
+    std::fprintf(stderr, "bench_causal: timeline reconstruction failed: %s\n",
+                 tl.error.c_str());
+    return 1;
+  }
+  std::vector<pm::VariableSiteSet> rows =
+      pm::attributionSites(*p.moduleBlame(), *p.instances(), p.options().attribution);
+  const pm::VariableSiteSet* top = nullptr;
+  for (const pm::VariableSiteSet& r : rows)
+    if (!r.sites.empty()) {
+      top = &r;
+      break;
+    }
+  if (!top) {
+    std::fprintf(stderr, "bench_causal: no attributed sites\n");
+    return 1;
+  }
+
+  std::printf("oracle — variable `%s` (%s), %zu sites, %llu total cycles:\n",
+              top->name.c_str(), top->context.c_str(), top->sites.size(),
+              static_cast<unsigned long long>(log.totalCycles));
+  bool diverged = false;
+  for (size_t factorIdx : {size_t{1}, size_t{2}}) {  // k = 2, k = 4
+    uint64_t predicted = an::causal::predictTotal(log, tl, top->sites, factorIdx);
+    rt::RunOptions o = p.options().run;
+    o.causalScale.sites = top->sites;
+    o.causalScale.num = an::causal::kFactors[factorIdx].num;
+    o.causalScale.den = an::causal::kFactors[factorIdx].den;
+    rt::RunResult bytecode = rt::execute(p.compilation()->module(), o);
+    o.referenceInterp = true;
+    rt::RunResult reference = rt::execute(p.compilation()->module(), o);
+    if (!bytecode.ok || !reference.ok) {
+      std::fprintf(stderr, "bench_causal: scaled re-run failed\n");
+      return 1;
+    }
+    bool exact =
+        predicted == bytecode.totalCycles && predicted == reference.totalCycles;
+    std::printf("  k=%-4s predicted %llu  bytecode %llu  reference %llu  %s\n",
+                an::causal::factorName(an::causal::kFactors[factorIdx]).c_str(),
+                static_cast<unsigned long long>(predicted),
+                static_cast<unsigned long long>(bytecode.totalCycles),
+                static_cast<unsigned long long>(reference.totalCycles),
+                exact ? "exact" : "DIVERGED");
+    diverged = diverged || !exact;
+  }
+
+  if (diverged) {
+    std::fprintf(stderr, "bench_causal: FAIL — prediction diverged from ground truth\n");
+    return 1;
+  }
+  if (overheadPct >= 10.0) {
+    std::fprintf(stderr, "bench_causal: FAIL — %.1f%% causal overhead exceeds the 10%% gate\n",
+                 overheadPct);
+    return 1;
+  }
+  std::printf("\nPASS: oracle exact, overhead %.1f%% < 10%%\n", overheadPct);
+  return 0;
+}

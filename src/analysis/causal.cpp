@@ -1,0 +1,365 @@
+#include "analysis/causal.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace cb::an::causal {
+
+using sampling::RunLog;
+using sampling::SiteCycles;
+using sampling::TaskSpan;
+
+std::string factorName(const Factor& f) {
+  if (f.infinite()) return "inf";
+  if (f.den == 1) return std::to_string(f.num) + "x";
+  std::ostringstream os;
+  os << static_cast<double>(f.num) / static_cast<double>(f.den) << "x";
+  return os.str();
+}
+
+uint64_t scaledSiteCycles(const SiteCycles& sc, size_t factorIdx) {
+  switch (factorIdx) {
+    case 0: return sc.s125;
+    case 1: return sc.s2;
+    case 2: return sc.s4;
+    case 3: return 0;  // k = ∞: every charge vanishes
+    default: return sc.raw;
+  }
+}
+
+namespace {
+
+/// Incremental timeline builder: one pass over the spans in emission order,
+/// validating as it goes that they tile [0, totalCycles] and that each
+/// region's chunks chain back-to-back per worker stream — the structural
+/// invariants the exact replay in predictTotal depends on.
+class TimelineBuilder {
+ public:
+  explicit TimelineBuilder(const RunLog& log) : log_(log) {}
+
+  Timeline build() {
+    tl_.totalCycles = log_.totalCycles;
+    for (size_t i = 0; i < log_.taskSpans.size() && tl_.error.empty(); ++i) addSpan(i);
+    if (tl_.error.empty()) closeRegion();
+    if (tl_.error.empty() && cursor_ != tl_.totalCycles) {
+      std::ostringstream os;
+      os << "spans cover [0, " << cursor_ << ") of " << tl_.totalCycles << " total cycles";
+      tl_.error = os.str();
+    }
+    if (tl_.error.empty() && !pendingNested_.empty())
+      tl_.error = "nested-task span without an enclosing top-level region";
+    tl_.ok = tl_.error.empty();
+    return std::move(tl_);
+  }
+
+ private:
+  void addSpan(size_t i) {
+    const TaskSpan& sp = log_.taskSpans[i];
+    if (sp.endCycle < sp.startCycle) {
+      tl_.error = "span with negative duration";
+      return;
+    }
+    if (!sp.sites.empty()) tl_.hasSites = true;
+    if (sp.tag == 0) {
+      closeRegion();
+      if (!tl_.error.empty()) return;
+      if (sp.startCycle != cursor_) {
+        std::ostringstream os;
+        os << "serial segment starts at " << sp.startCycle << ", expected " << cursor_;
+        tl_.error = os.str();
+        return;
+      }
+      tl_.serialSpans.push_back(i);
+      tl_.serialCycles += sp.duration();
+      cursor_ = sp.endCycle;
+      return;
+    }
+    auto rec = log_.spawns.find(sp.tag);
+    if (rec == log_.spawns.end()) {
+      tl_.error = "span tag " + std::to_string(sp.tag) + " missing from the spawn registry";
+      return;
+    }
+    if (rec->second.parentTag != 0) {
+      pendingNested_[rootTagOf(sp.tag)].push_back(i);
+      return;
+    }
+    if (curRegion_ < 0 || tl_.regions[static_cast<size_t>(curRegion_)].tag != sp.tag) {
+      closeRegion();
+      if (!tl_.error.empty()) return;
+      Region r;
+      r.tag = sp.tag;
+      r.fork = cursor_;
+      curRegion_ = static_cast<long>(tl_.regions.size());
+      tl_.regions.push_back(std::move(r));
+    }
+    tl_.regions[static_cast<size_t>(curRegion_)].chunkSpans.push_back(i);
+  }
+
+  /// Follows parentTag links up to the top-level spawn whose region a nested
+  /// span belongs to (bounded: the registry is acyclic by construction, the
+  /// guard only protects against corrupt logs).
+  uint64_t rootTagOf(uint64_t tag) const {
+    for (int guard = 0; guard < 64; ++guard) {
+      auto it = log_.spawns.find(tag);
+      if (it == log_.spawns.end() || it->second.parentTag == 0) return tag;
+      tag = it->second.parentTag;
+    }
+    return tag;
+  }
+
+  void closeRegion() {
+    if (curRegion_ < 0) return;
+    Region& r = tl_.regions[static_cast<size_t>(curRegion_)];
+    curRegion_ = -1;
+    // Per-stream chain check: a worker's first chunk starts at the fork,
+    // every later chunk starts where its previous one ended.
+    std::unordered_map<uint32_t, uint64_t> chainEnd;
+    uint32_t prevChunk = 0;
+    bool first = true;
+    for (size_t idx : r.chunkSpans) {
+      const TaskSpan& sp = log_.taskSpans[idx];
+      if (!first && sp.chunk <= prevChunk) {
+        tl_.error = "region chunks out of order";
+        return;
+      }
+      first = false;
+      prevChunk = sp.chunk;
+      auto [it, inserted] = chainEnd.try_emplace(sp.stream, r.fork);
+      if (sp.startCycle != it->second) {
+        std::ostringstream os;
+        os << "chunk " << sp.chunk << " of region " << r.tag << " starts at " << sp.startCycle
+           << ", expected " << it->second << " on stream " << sp.stream;
+        tl_.error = os.str();
+        return;
+      }
+      it->second = sp.endCycle;
+      r.join = std::max(r.join, sp.endCycle);
+      r.workCycles += sp.duration();
+      r.maxChunkCycles = std::max(r.maxChunkCycles, sp.duration());
+      ++r.tasks;
+    }
+    r.width = static_cast<uint32_t>(chainEnd.size());
+    auto nested = pendingNested_.find(r.tag);
+    if (nested != pendingNested_.end()) {
+      for (size_t idx : nested->second) {
+        const TaskSpan& sp = log_.taskSpans[idx];
+        if (sp.startCycle < r.fork || sp.endCycle > r.join) {
+          tl_.error = "nested-task span escapes its enclosing region";
+          return;
+        }
+      }
+      r.nestedSpans = std::move(nested->second);
+      pendingNested_.erase(nested);
+    }
+    cursor_ = r.join;
+    tl_.workCycles += r.workCycles;
+    tl_.criticalPath += r.maxChunkCycles;
+  }
+
+  const RunLog& log_;
+  Timeline tl_;
+  uint64_t cursor_ = 0;
+  long curRegion_ = -1;
+  std::unordered_map<uint64_t, std::vector<size_t>> pendingNested_;
+};
+
+/// Per-span sums of the site entries whose key lies in a variable's site
+/// set: the raw cycles plus all three pre-scaled totals at once, so one walk
+/// of the span table serves every factor prediction and the attributed-cycle
+/// count for that variable.
+struct SiteSums {
+  uint64_t raw = 0, s125 = 0, s2 = 0, s4 = 0;
+
+  uint64_t scaled(size_t factorIdx) const {
+    switch (factorIdx) {
+      case 0: return s125;
+      case 1: return s2;
+      case 2: return s4;
+      case 3: return 0;  // k = ∞: every charge vanishes
+      default: return raw;
+    }
+  }
+};
+
+/// One two-pointer merge per span (span sites and the variable's site set are
+/// both sorted by key) — O(Σ |sp.sites| + spans · |sites|) for the whole log,
+/// replacing a per-factor binary-search walk.
+std::vector<SiteSums> intersectSites(const RunLog& log, const std::vector<uint64_t>& sites) {
+  std::vector<SiteSums> sums(log.taskSpans.size());
+  for (size_t i = 0; i < log.taskSpans.size(); ++i) {
+    const TaskSpan& sp = log.taskSpans[i];
+    SiteSums& out = sums[i];
+    size_t a = 0, b = 0;
+    while (a < sp.sites.size() && b < sites.size()) {
+      const SiteCycles& sc = sp.sites[a];
+      if (sc.site < sites[b]) {
+        ++a;
+      } else if (sites[b] < sc.site) {
+        ++b;
+      } else {
+        out.raw += sc.raw;
+        out.s125 += sc.s125;
+        out.s2 += sc.s2;
+        out.s4 += sc.s4;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return sums;
+}
+
+/// Cycles the span sheds when every charge at a site in the set is scaled by
+/// kFactors[factorIdx]. Never exceeds the span's duration: scaled sums are
+/// per-charge ceilings of the raw charges, and Σ raw ≤ duration.
+uint64_t spanSavings(const TaskSpan& sp, const SiteSums& s, size_t factorIdx) {
+  return std::min(s.raw - s.scaled(factorIdx), sp.duration());
+}
+
+/// predictTotal over precomputed per-span site sums (shared across the four
+/// factors when analyze() iterates them for one variable).
+uint64_t predictWithSums(const RunLog& log, const Timeline& tl, const std::vector<SiteSums>& sums,
+                         size_t factorIdx) {
+  uint64_t total = 0;
+  for (size_t idx : tl.serialSpans) {
+    const TaskSpan& sp = log.taskSpans[idx];
+    total += sp.duration() - spanSavings(sp, sums[idx], factorIdx);
+  }
+  std::unordered_map<uint32_t, uint64_t> busy;
+  for (const Region& r : tl.regions) {
+    // Re-chain every worker with its recorded chunks at scaled durations;
+    // the region still ends at its slowest worker (what the main clock
+    // jumps to on a re-run with RunOptions::causalScale).
+    busy.clear();
+    for (size_t idx : r.chunkSpans) {
+      const TaskSpan& sp = log.taskSpans[idx];
+      busy[sp.stream] += sp.duration() - spanSavings(sp, sums[idx], factorIdx);
+    }
+    uint64_t regionCycles = 0;
+    for (const auto& [stream, end] : busy) regionCycles = std::max(regionCycles, end);
+    total += regionCycles;
+  }
+  return total;
+}
+
+}  // namespace
+
+Timeline buildTimeline(const RunLog& log) {
+  Timeline tl = TimelineBuilder(log).build();
+  tl.workCycles += tl.serialCycles;
+  tl.criticalPath += tl.serialCycles;
+  return tl;
+}
+
+uint64_t predictTotal(const RunLog& log, const Timeline& tl, const std::vector<uint64_t>& sites,
+                      size_t factorIdx) {
+  return predictWithSums(log, tl, intersectSites(log, sites), factorIdx);
+}
+
+CausalReport analyze(const RunLog& log, const std::vector<VariableSites>& vars,
+                     const Options& opts) {
+  CausalReport rep;
+  Timeline tl = buildTimeline(log);
+  rep.ok = tl.ok;
+  rep.error = tl.error;
+  rep.totalCycles = tl.totalCycles;
+  rep.serialCycles = tl.serialCycles;
+  rep.workCycles = tl.workCycles;
+  rep.criticalPath = tl.criticalPath;
+  rep.parallelism = tl.parallelism();
+  rep.hasSites = tl.hasSites;
+  if (!tl.ok) return rep;
+
+  rep.regions.reserve(tl.regions.size());
+  for (const Region& r : tl.regions) {
+    RegionSummary s;
+    s.tag = r.tag;
+    auto rec = log.spawns.find(r.tag);
+    if (rec != log.spawns.end()) s.taskFn = rec->second.taskFn;
+    s.cycles = r.duration();
+    s.maxChunkCycles = r.maxChunkCycles;
+    s.tasks = r.tasks;
+    s.width = r.width;
+    rep.regions.push_back(s);
+  }
+
+  if (!tl.hasSites) return rep;  // spans recorded without per-site splits
+  size_t n = std::min(vars.size(), opts.maxVariables);
+
+  // One pass over the span table for ALL variables: merge their site sets
+  // into a single sorted watchlist carrying a per-site membership bitmask,
+  // then two-pointer each span against it once, scattering matches to every
+  // member variable's per-span sums. Falls back to per-variable passes if
+  // the bitmask can't hold the variable count.
+  std::vector<std::vector<SiteSums>> allSums(n);
+  if (n > 0 && n <= 64) {
+    std::vector<std::pair<uint64_t, uint64_t>> watch;  // site -> variable mask
+    for (size_t vi = 0; vi < n; ++vi)
+      for (uint64_t s : vars[vi].sites) watch.emplace_back(s, uint64_t{1} << vi);
+    std::sort(watch.begin(), watch.end());
+    size_t w = 0;
+    for (size_t r = 0; r < watch.size(); ++r) {
+      if (w != 0 && watch[w - 1].first == watch[r].first) watch[w - 1].second |= watch[r].second;
+      else watch[w++] = watch[r];
+    }
+    watch.resize(w);
+    for (size_t vi = 0; vi < n; ++vi) allSums[vi].resize(log.taskSpans.size());
+    for (size_t i = 0; i < log.taskSpans.size(); ++i) {
+      const TaskSpan& sp = log.taskSpans[i];
+      size_t a = 0, b = 0;
+      while (a < sp.sites.size() && b < watch.size()) {
+        const SiteCycles& sc = sp.sites[a];
+        if (sc.site < watch[b].first) {
+          ++a;
+        } else if (watch[b].first < sc.site) {
+          ++b;
+        } else {
+          uint64_t mask = watch[b].second;
+          do {
+            size_t vi = static_cast<size_t>(__builtin_ctzll(mask));
+            SiteSums& out = allSums[vi][i];
+            out.raw += sc.raw;
+            out.s125 += sc.s125;
+            out.s2 += sc.s2;
+            out.s4 += sc.s4;
+            mask &= mask - 1;
+          } while (mask != 0);
+          ++a;
+          ++b;
+        }
+      }
+    }
+  } else {
+    for (size_t vi = 0; vi < n; ++vi) allSums[vi] = intersectSites(log, vars[vi].sites);
+  }
+
+  rep.predictions.reserve(n);
+  for (size_t vi = 0; vi < n; ++vi) {
+    const VariableSites& v = vars[vi];
+    VariablePrediction vp;
+    vp.context = v.context;
+    vp.name = v.name;
+    vp.type = v.type;
+    const std::vector<SiteSums>& sums = allSums[vi];
+    for (const SiteSums& s : sums) vp.attributedCycles += s.raw;
+    vp.attributedFraction =
+        tl.workCycles ? static_cast<double>(vp.attributedCycles) / static_cast<double>(tl.workCycles)
+                      : 0.0;
+    vp.factors.reserve(kNumFactors);
+    for (size_t fi = 0; fi < kNumFactors; ++fi) {
+      FactorPrediction fp;
+      fp.factor = kFactors[fi];
+      fp.predictedCycles = predictWithSums(log, tl, sums, fi);
+      fp.speedup = fp.predictedCycles
+                       ? static_cast<double>(tl.totalCycles) /
+                             static_cast<double>(fp.predictedCycles)
+                       : 1.0;
+      vp.factors.push_back(fp);
+    }
+    rep.predictions.push_back(std::move(vp));
+  }
+  return rep;
+}
+
+}  // namespace cb::an::causal

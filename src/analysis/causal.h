@@ -1,0 +1,175 @@
+// Causal what-if profiler (the data-centric analogue of Coz-style causal
+// profiling): reconstructs the spawn-tree schedule a run actually executed
+// from RunLog::taskSpans, derives the fork/join critical path, and answers
+// "how much faster would the whole program be if variable V's code were k×
+// faster?" by replaying the recorded schedule with V's attributed cycles
+// scaled by 1/k.
+//
+// The replay is EXACT on the recorded schedule, not a model: task spans tile
+// [0, totalCycles] (serial main segments alternate with parallel regions;
+// each region's chunks chain back-to-back per worker stream), and each span
+// carries its per-site cycle split together with the per-charge ceil-scaled
+// sums for the fixed factor set (sampling::SiteCycles). Scaling a site set S
+// by k therefore shortens each span by Σ_{site∈S}(raw − s_k), worker chains
+// re-chain with the same chunk→stream assignment, and a region ends at its
+// slowest worker — precisely what the runtime does when re-run with
+// rt::RunOptions::causalScale on the same sites. tests/test_causal.cpp
+// checks predicted == re-measured cycle-for-cycle on the whole corpus
+// (programs whose control flow never reads clock(); per-charge rounding is
+// shared via rt::causalScaledCost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "sampling/sample.h"
+
+namespace cb::an::causal {
+
+/// One what-if speedup factor k = num/den; num == 0 encodes k = ∞ (the
+/// charges vanish). Only the factors in kFactors carry recorded per-charge
+/// sums (SiteCycles::s125/s2/s4), so only they replay exactly.
+struct Factor {
+  uint32_t num = 1;
+  uint32_t den = 1;
+
+  bool infinite() const { return num == 0; }
+  friend bool operator==(const Factor&, const Factor&) = default;
+};
+
+/// The fixed factor set, in SiteCycles field order: 1.25×, 2×, 4×, ∞.
+inline constexpr Factor kFactors[] = {{5, 4}, {2, 1}, {4, 1}, {0, 1}};
+inline constexpr size_t kNumFactors = 4;
+
+/// "1.25x" / "2x" / "4x" / "inf".
+std::string factorName(const Factor& f);
+
+/// Cycles still charged at `sc` after scaling by kFactors[factorIdx]
+/// (factorIdx out of range returns sc.raw — no scaling).
+uint64_t scaledSiteCycles(const sampling::SiteCycles& sc, size_t factorIdx);
+
+// ---- timeline reconstruction -----------------------------------------------
+
+/// One top-level parallel region: every chunk span sharing one spawn tag,
+/// bounded by fork (= min chunk start = the main clock at the spawn) and
+/// join (= max chunk end = the main clock after the jump).
+struct Region {
+  uint64_t tag = 0;
+  uint64_t fork = 0;
+  uint64_t join = 0;
+  std::vector<size_t> chunkSpans;   // indices into RunLog::taskSpans, ti order
+  std::vector<size_t> nestedSpans;  // nested-task spans inside this region
+  uint64_t workCycles = 0;          // Σ chunk durations
+  uint64_t maxChunkCycles = 0;      // longest single chunk (ideal-width span)
+  uint32_t tasks = 0;               // chunk count
+  uint32_t width = 0;               // distinct worker streams used
+
+  uint64_t duration() const { return join - fork; }
+};
+
+/// The reconstructed schedule: alternating serial segments and parallel
+/// regions, in time order, validated to tile [0, totalCycles] with per-worker
+/// chunk chains intact. `ok == false` (with `error`) means the log's spans
+/// are structurally inconsistent — a truncated or hand-edited log, or a run
+/// that died mid-region.
+struct Timeline {
+  bool ok = false;
+  std::string error;
+  uint64_t totalCycles = 0;
+  /// At least one span carries a per-site cycle split (the run had
+  /// RunOptions::trackCausalSites on) — required for what-if predictions.
+  bool hasSites = false;
+  std::vector<size_t> serialSpans;  // tag==0 span indices, time order
+  std::vector<Region> regions;      // time order (by fork)
+
+  // Work/span decomposition over the fork/join DAG.
+  uint64_t serialCycles = 0;   // Σ serial segment durations
+  uint64_t workCycles = 0;     // serial + Σ region work (total busy cycles)
+  uint64_t criticalPath = 0;   // Σ serial + Σ per-region max chunk (ideal width)
+  double parallelism() const {
+    return criticalPath ? static_cast<double>(workCycles) / static_cast<double>(criticalPath)
+                        : 1.0;
+  }
+};
+
+/// Rebuilds the schedule from a run log. Pure function of the log; cheap
+/// (one pass over taskSpans plus a per-region sort by chunk).
+Timeline buildTimeline(const sampling::RunLog& log);
+
+// ---- what-if prediction ----------------------------------------------------
+
+/// The code sites whose charges a variable's blame comes from — the bridge
+/// from data-centric attribution (pm::attributionSites) into the schedule
+/// replay. `sites` must be sorted ascending (RunLog::siteKey values).
+struct VariableSites {
+  std::string context;
+  std::string name;
+  std::string type;
+  uint64_t sampleCount = 0;          // attribution weight, for ranking only
+  std::vector<uint64_t> sites;
+};
+
+/// Predicted whole-program cycles when every charge at a site in `sites` is
+/// scaled to ceil(c·den/num) — the exact total a re-run with
+/// rt::RunOptions::causalScale{sites, num, den} measures, for every factor
+/// in kFactors, as long as the program's control flow is cycle-independent
+/// and no bandwidth ceiling is active. Requires tl.ok && tl.hasSites.
+uint64_t predictTotal(const sampling::RunLog& log, const Timeline& tl,
+                      const std::vector<uint64_t>& sites, size_t factorIdx);
+
+struct FactorPrediction {
+  Factor factor;
+  uint64_t predictedCycles = 0;
+  /// totalCycles / predictedCycles (1.0 = no effect).
+  double speedup = 1.0;
+};
+
+struct VariablePrediction {
+  std::string context;
+  std::string name;
+  std::string type;
+  uint64_t attributedCycles = 0;   // Σ raw over the variable's sites, all spans
+  double attributedFraction = 0.0; // attributedCycles / workCycles
+  std::vector<FactorPrediction> factors;  // kFactors order
+};
+
+// ---- top-level report ------------------------------------------------------
+
+struct Options {
+  /// Blame rows (vars, in caller-supplied rank order) to run what-if
+  /// predictions for.
+  size_t maxVariables = 8;
+};
+
+struct RegionSummary {
+  uint64_t tag = 0;
+  ir::FuncId taskFn = ir::kNone;   // from the spawn registry (kNone if absent)
+  uint64_t cycles = 0;             // join - fork
+  uint64_t maxChunkCycles = 0;
+  uint32_t tasks = 0;
+  uint32_t width = 0;
+};
+
+struct CausalReport {
+  bool ok = false;
+  std::string error;
+  uint64_t totalCycles = 0;
+  uint64_t serialCycles = 0;
+  uint64_t workCycles = 0;
+  uint64_t criticalPath = 0;
+  double parallelism = 1.0;
+  bool hasSites = false;
+  std::vector<RegionSummary> regions;          // time order, all regions
+  std::vector<VariablePrediction> predictions; // input rank order, capped
+};
+
+/// Critical-path breakdown plus what-if predictions for the given variables
+/// (pass them blame-ranked; only the first Options::maxVariables get
+/// predictions). Predictions are skipped — not failed — when the log carries
+/// no per-site splits.
+CausalReport analyze(const sampling::RunLog& log, const std::vector<VariableSites>& vars,
+                     const Options& opts = {});
+
+}  // namespace cb::an::causal

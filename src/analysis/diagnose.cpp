@@ -1,0 +1,284 @@
+#include "analysis/diagnose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace cb::an::diag {
+
+const char* ruleName(RuleKind k) {
+  switch (k) {
+    case RuleKind::DistributionMismatch: return "distribution-mismatch";
+    case RuleKind::MissingAggregator: return "missing-aggregator";
+    case RuleKind::SerializedRegion: return "serialized-region";
+    case RuleKind::LowParallelism: return "low-parallelism";
+    case RuleKind::SpeedupOpportunity: return "speedup-opportunity";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string pct(double f) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << f * 100.0 << "%";
+  return os.str();
+}
+
+std::string times(double x) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << x << "x";
+  return os.str();
+}
+
+const VarStat* findVar(const Inputs& in, const std::string& name) {
+  for (const VarStat& v : in.vars)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+/// The fraction of run time a variable's remote traffic is worth: its blame
+/// share weighted by how remote it is. Falls back to the static prediction
+/// when the measured profile saw no remote samples for the variable (e.g. a
+/// single-locale run diagnosed against a multi-locale lint model).
+double remoteImpact(const Inputs& in, const std::string& name, double fallback) {
+  const VarStat* v = findVar(in, name);
+  if (v && v->remoteFraction() > 0.0) return (v->percent / 100.0) * v->remoteFraction();
+  return fallback;
+}
+
+/// Distribution + aggregator rules. Prefers the static lint's exact
+/// counterfactuals; falls back to measured-only heuristics when no lint is
+/// available (--from-log on a stripped module).
+void commRules(const Inputs& in, std::vector<Diagnosis>& out) {
+  bool sawMismatch = false;
+  bool sawAggregator = false;
+  if (in.lint) {
+    for (const loc::Finding& f : in.lint->findings) {
+      if (f.kind == loc::FindingKind::DistributionMismatch) {
+        sawMismatch = true;
+        Diagnosis d;
+        d.kind = RuleKind::DistributionMismatch;
+        d.variable = f.variable;
+        d.impact = remoteImpact(in, f.variable, f.predictedRemoteFraction);
+        d.message = "redistribute `" + f.variable + "`: " + f.message;
+        out.push_back(std::move(d));
+      } else if (f.kind == loc::FindingKind::MissingAggregator) {
+        sawAggregator = true;
+        Diagnosis d;
+        d.kind = RuleKind::MissingAggregator;
+        d.variable = f.variable;
+        d.impact = remoteImpact(in, f.variable, f.predictedRemoteFraction);
+        d.message = f.message;
+        out.push_back(std::move(d));
+      }
+    }
+  }
+  if (!sawMismatch) {
+    // Measured-only: a high-blame variable whose samples are mostly remote
+    // is mis-placed even if we cannot compute the swapped-distribution
+    // counterfactual here.
+    for (const VarStat& v : in.vars) {
+      if (v.sampleCount < 16 || v.percent < 10.0 || v.remoteFraction() < 0.5) continue;
+      Diagnosis d;
+      d.kind = RuleKind::DistributionMismatch;
+      d.variable = v.name;
+      d.impact = (v.percent / 100.0) * v.remoteFraction();
+      d.message = "`" + v.name + "` spends " + pct(v.remoteFraction()) +
+                  " of its samples on remote accesses — redistribute it (Block vs Cyclic) so "
+                  "the hot loop iterates over local elements";
+      out.push_back(std::move(d));
+      break;  // one fallback finding: the top remote-heavy variable
+    }
+  }
+  if (!sawAggregator && in.commGets + in.commPuts >= 64 && in.commAggGets + in.commAggPuts == 0) {
+    // Fine-grained remote traffic with the aggregated path never used.
+    const VarStat* top = nullptr;
+    for (const VarStat& v : in.vars)
+      if (v.remoteSamples() > 0 && (!top || v.remoteSamples() > top->remoteSamples())) top = &v;
+    if (top) {
+      Diagnosis d;
+      d.kind = RuleKind::MissingAggregator;
+      d.variable = top->name;
+      d.impact = (top->percent / 100.0) * top->remoteFraction();
+      std::ostringstream os;
+      os << "the run issued " << in.commGets + in.commPuts
+         << " naive remote element transfers and zero aggregated ones — batch `" << top->name
+         << "`'s traffic with a Src/DstAggregator";
+      d.message = os.str();
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+/// Schedule-shape rules from the causal critical-path report.
+void scheduleRules(const Inputs& in, std::vector<Diagnosis>& out) {
+  if (!in.causal || !in.causal->ok || in.causal->totalCycles == 0) return;
+  const causal::CausalReport& c = *in.causal;
+  double total = static_cast<double>(c.totalCycles);
+  for (size_t i = 0; i < c.regions.size(); ++i) {
+    const causal::RegionSummary& r = c.regions[i];
+    if (r.width != 1 || in.numWorkers < 2) continue;
+    double share = static_cast<double>(r.cycles) / total;
+    if (share < 0.10) continue;
+    Diagnosis d;
+    d.kind = RuleKind::SerializedRegion;
+    if (i < in.regionNames.size()) d.variable = in.regionNames[i];
+    d.impact = share * (1.0 - 1.0 / in.numWorkers);
+    std::ostringstream os;
+    os << "parallel region " << (d.variable.empty() ? "#" + std::to_string(i + 1) : d.variable)
+       << " runs " << pct(share) << " of the program with a critical path 1 task wide ("
+       << r.tasks << " task" << (r.tasks == 1 ? "" : "s") << " on 1 of " << in.numWorkers
+       << " workers)";
+    if (in.raceFallbackRegions > 0)
+      os << " — the race-freedom prover could not clear " << in.raceFallbackRegions
+         << " region(s), so they replay sequentially; make the body provably race-free";
+    else if (r.tasks == 1)
+      os << " — split the work into more tasks";
+    else
+      os << " — one chunk serializes the region; balance the per-task work";
+    d.message = os.str();
+    out.push_back(std::move(d));
+  }
+  if (in.numWorkers >= 2 && !c.regions.empty() &&
+      c.parallelism < 0.5 * static_cast<double>(in.numWorkers)) {
+    double serialFrac = static_cast<double>(c.serialCycles) / total;
+    Diagnosis d;
+    d.kind = RuleKind::LowParallelism;
+    d.impact = (1.0 - serialFrac) * (1.0 - c.parallelism / in.numWorkers);
+    std::ostringstream os;
+    os << "average parallelism is " << times(c.parallelism) << " across " << in.numWorkers
+       << " workers (" << pct(serialFrac)
+       << " of the run is serial main-thread time) — widen or rebalance the parallel regions";
+    d.message = os.str();
+    out.push_back(std::move(d));
+  }
+}
+
+/// What-if rules: variables whose 2x site speedup moves the whole program.
+void whatIfRules(const Inputs& in, std::vector<Diagnosis>& out) {
+  if (!in.causal || !in.causal->ok) return;
+  size_t emitted = 0;
+  for (const causal::VariablePrediction& vp : in.causal->predictions) {
+    if (vp.factors.size() < causal::kNumFactors) continue;
+    const causal::FactorPrediction& k2 = vp.factors[1];
+    const causal::FactorPrediction& kInf = vp.factors[3];
+    if (k2.speedup < 1.10) continue;
+    Diagnosis d;
+    d.kind = RuleKind::SpeedupOpportunity;
+    d.variable = vp.name;
+    d.impact = 1.0 - 1.0 / k2.speedup;
+    std::ostringstream os;
+    os << "`" << vp.name << "` (" << vp.context << ") holds " << pct(vp.attributedFraction)
+       << " of all busy cycles; making its code 2x faster speeds the whole program "
+       << times(k2.speedup) << " (upper bound " << times(kInf.speedup) << " at k=inf)";
+    d.message = os.str();
+    out.push_back(std::move(d));
+    if (++emitted == 3) break;
+  }
+}
+
+/// Bad direction of a metric: +1 = higher is worse, -1 = lower is worse.
+int badDirection(const std::string& name) { return name == "parallelism" ? -1 : 1; }
+
+}  // namespace
+
+DiagnoseReport diagnose(const Inputs& in) {
+  DiagnoseReport rep;
+  commRules(in, rep.findings);
+  scheduleRules(in, rep.findings);
+  whatIfRules(in, rep.findings);
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Diagnosis& a, const Diagnosis& b) {
+                     if (a.impact != b.impact) return a.impact > b.impact;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.variable < b.variable;
+                   });
+
+  rep.metrics.emplace_back("total_cycles", static_cast<double>(in.totalCycles));
+  if (in.causal && in.causal->ok) {
+    rep.metrics.emplace_back("critical_path_cycles",
+                             static_cast<double>(in.causal->criticalPath));
+    rep.metrics.emplace_back("parallelism", in.causal->parallelism);
+    rep.metrics.emplace_back("serial_fraction",
+                             in.causal->totalCycles
+                                 ? static_cast<double>(in.causal->serialCycles) /
+                                       static_cast<double>(in.causal->totalCycles)
+                                 : 0.0);
+  }
+  rep.metrics.emplace_back("naive_remote_ops", static_cast<double>(in.commGets + in.commPuts));
+  rep.metrics.emplace_back("race_fallback_regions",
+                           static_cast<double>(in.raceFallbackRegions));
+  rep.metrics.emplace_back("findings", static_cast<double>(rep.findings.size()));
+  return rep;
+}
+
+namespace {
+
+/// Extracts the `metric <name> <value>` lines out of a saved report text;
+/// every other line is ignored.
+std::vector<std::pair<std::string, double>> parseMetrics(const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string word, name, value;
+    if (!(ls >> word >> name >> value) || word != "metric") continue;
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;
+    out.emplace_back(name, v);
+  }
+  return out;
+}
+
+std::vector<Regression> compareMetrics(const std::vector<std::pair<std::string, double>>& base,
+                                       const std::vector<std::pair<std::string, double>>& cur,
+                                       double threshold) {
+  std::vector<Regression> out;
+  for (const auto& [name, curValue] : cur) {
+    const std::pair<std::string, double>* b = nullptr;
+    for (const auto& p : base)
+      if (p.first == name) {
+        b = &p;
+        break;
+      }
+    if (!b) continue;
+    double delta = (curValue - b->second) * badDirection(name);
+    double worsened = b->second != 0.0 ? delta / std::abs(b->second) : delta;
+    if (worsened <= threshold) continue;
+    Regression r;
+    r.metric = name;
+    r.baseline = b->second;
+    r.current = curValue;
+    r.worsened = worsened;
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << name << " worsened " << worsened * 100.0 << "% (baseline " << b->second << ", now "
+       << curValue << ")";
+    r.message = os.str();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Regression> compareBaseline(const std::string& baselineText,
+                                        const DiagnoseReport& current, double threshold) {
+  return compareMetrics(parseMetrics(baselineText), current.metrics, threshold);
+}
+
+std::vector<Regression> compareBaselineText(const std::string& baselineText,
+                                            const std::string& currentText, double threshold) {
+  return compareMetrics(parseMetrics(baselineText), parseMetrics(currentText), threshold);
+}
+
+}  // namespace cb::an::diag

@@ -1,0 +1,119 @@
+// Rule-based performance diagnosis (`cb --diagnose`): turns the measured
+// artefacts of one profiled run — blame rows, comm counters, the causal
+// critical-path report, and (when available) the static lint — into a short
+// ranked list of actionable findings ("redistribute `Pos` to Block", "the
+// critical path is 1 task wide", "add a DstAggregator"), plus a flat block
+// of named scalar metrics a CI job can diff against a saved baseline to
+// catch performance regressions (`--diagnose-baseline FILE`).
+//
+// Inputs are deliberately neutral POD copies (VarStat mirrors the fields of
+// pm::VariableBlame) so this analysis-layer pass never links against the
+// postmortem library — the bridge copy happens in the core/report layer,
+// exactly like the lint differential in rpt::lintView.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/causal.h"
+#include "analysis/locality.h"
+
+namespace cb::an::diag {
+
+/// Neutral copy of one blame row's fields (pm::VariableBlame without the
+/// comm matrix), blame-ranked by the caller.
+struct VarStat {
+  std::string context;
+  std::string name;
+  std::string type;
+  uint64_t sampleCount = 0;
+  double percent = 0.0;  // blame share of user samples
+  uint64_t computeSamples = 0;
+  uint64_t localSamples = 0;
+  uint64_t remoteGetSamples = 0;
+  uint64_t remotePutSamples = 0;
+
+  uint64_t remoteSamples() const { return remoteGetSamples + remotePutSamples; }
+  double remoteFraction() const {
+    return sampleCount ? static_cast<double>(remoteSamples()) / static_cast<double>(sampleCount)
+                       : 0.0;
+  }
+};
+
+struct Inputs {
+  // Run facts (from the RunLog / RunOptions).
+  uint64_t totalCycles = 0;
+  uint32_t numWorkers = 0;
+  uint64_t commGets = 0;
+  uint64_t commPuts = 0;
+  uint64_t commAggGets = 0;
+  uint64_t commAggPuts = 0;
+  uint64_t raceFallbackRegions = 0;
+  uint64_t totalUserSamples = 0;
+  std::vector<VarStat> vars;  // blame rank order
+  /// Causal critical-path + what-if report; null disables schedule rules.
+  const causal::CausalReport* causal = nullptr;
+  /// Display names for causal->regions (same order; typically the task
+  /// function's user context). May be shorter than the region list.
+  std::vector<std::string> regionNames;
+  /// Static lint; null (e.g. --from-log with a stripped module) falls back
+  /// to measured-only heuristics for the distribution/aggregator rules.
+  const loc::LintReport* lint = nullptr;
+};
+
+enum class RuleKind : uint8_t {
+  DistributionMismatch,  // redistribute (Block<->Cyclic)
+  MissingAggregator,     // batch fine-grained remote traffic
+  SerializedRegion,      // critical path is 1 task wide
+  LowParallelism,        // regions far narrower than the worker pool
+  SpeedupOpportunity,    // causal what-if: top variable worth optimizing
+};
+
+const char* ruleName(RuleKind k);
+
+struct Diagnosis {
+  RuleKind kind = RuleKind::SpeedupOpportunity;
+  std::string variable;  // empty for whole-program findings
+  std::string message;   // symptom + suggested fix, one line
+  /// Ranking key: estimated fraction of run time at stake (0..1).
+  double impact = 0.0;
+};
+
+struct DiagnoseReport {
+  std::vector<Diagnosis> findings;  // impact descending, deterministic ties
+  /// Named scalars for regression tracking, in emission order. Rendered by
+  /// rpt::diagnoseView as `metric <name> <value>` lines and re-parsed from
+  /// a saved report by compareBaseline.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+DiagnoseReport diagnose(const Inputs& in);
+
+// ---- baseline regression detection -----------------------------------------
+
+struct Regression {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative change in the metric's bad direction (e.g. +0.25 = 25% worse).
+  double worsened = 0.0;
+  std::string message;
+};
+
+/// Parses `metric <name> <value>` lines out of a previously saved diagnose
+/// report (the full report text is fine; all other lines are ignored) and
+/// flags every metric that moved in its bad direction by more than
+/// `threshold` (relative; absolute for metrics whose baseline is 0).
+/// Metrics present on only one side are ignored.
+std::vector<Regression> compareBaseline(const std::string& baselineText,
+                                        const DiagnoseReport& current, double threshold = 0.10);
+
+/// Text-vs-text form for the CLI: both sides are saved report texts (the
+/// current run's rendered report vs an archived baseline file).
+std::vector<Regression> compareBaselineText(const std::string& baselineText,
+                                            const std::string& currentText,
+                                            double threshold = 0.10);
+
+}  // namespace cb::an::diag

@@ -106,7 +106,7 @@ bool Profiler::postProcess() {
   bool stripped = comp_->module().debugInfoStripped;
   pm::PostmortemResult res =
       pm::runPostmortem(comp_->module(), stripped ? nullptr : blame_.get(), result_->log,
-                        opts_.consolidate, opts_.attribution, opts_.postmortem);
+                        opts_.consolidate, opts_.attribution, opts_.postmortem, &attrCache_);
   instances_ = std::move(res.instances);
   codeReport_ = rpt::codeCentric(*instances_);
   report_ = std::move(res.report);
@@ -157,6 +157,74 @@ std::string Profiler::lintText(uint32_t numLocalesOverride) const {
   if (!comp_ || !comp_->ok()) return "<no compiled module>";
   an::loc::LintReport r = lintReport(numLocalesOverride);
   return rpt::lintView(comp_->module(), r, report_ ? &*report_ : nullptr);
+}
+
+void Profiler::attachRunLog(sampling::RunLog log) {
+  result_.emplace();
+  result_->log = std::move(log);
+  result_->totalCycles = result_->log.totalCycles;
+  result_->ok = true;
+  instances_.reset();
+  report_.reset();
+  codeReport_.reset();
+  error_.clear();
+}
+
+an::causal::CausalReport Profiler::causalReport(size_t maxVariables) const {
+  if (!result_) {
+    an::causal::CausalReport r;
+    r.error = "causal analysis requires run()";
+    return r;
+  }
+  // Variable → site bridge: each blame row carries the leaf sites its
+  // samples fired at — served from postProcess()'s attribution memo when
+  // primed, otherwise by a fresh site-collection pass. Skipped for
+  // --fast modules (no data-centric mapping) — the critical-path breakdown
+  // still works, only the what-if table is empty.
+  std::vector<an::causal::VariableSites> vars;
+  if (blame_ && instances_ && comp_ && !comp_->module().debugInfoStripped) {
+    std::vector<pm::VariableSiteSet> sets =
+        pm::attributionSites(*blame_, *instances_, opts_.attribution, &attrCache_);
+    vars.reserve(sets.size());
+    for (pm::VariableSiteSet& s : sets) {
+      an::causal::VariableSites v;
+      v.context = std::move(s.context);
+      v.name = std::move(s.name);
+      v.type = std::move(s.type);
+      v.sampleCount = s.sampleCount;
+      v.sites = std::move(s.sites);
+      vars.push_back(std::move(v));
+    }
+  }
+  an::causal::Options copts;
+  copts.maxVariables = maxVariables;
+  return an::causal::analyze(result_->log, vars, copts);
+}
+
+std::string Profiler::diagnoseText() const {
+  if (!result_) return "<no run>";
+  an::causal::CausalReport causal = causalReport();
+  static const pm::BlameReport kEmptyReport;
+  const pm::BlameReport& rep = report_ ? *report_ : kEmptyReport;
+  uint32_t workers = result_->log.numStreams > 1 ? result_->log.numStreams - 1
+                                                 : opts_.run.numWorkers;
+  an::diag::Inputs in = rpt::diagnoseInputs(result_->log, workers, rep);
+  in.causal = &causal;
+  an::loc::LintReport lint;
+  if (comp_ && comp_->ok() && !comp_->module().debugInfoStripped) {
+    lint = lintReport();
+    in.lint = &lint;
+  }
+  std::vector<std::string> regionNames;
+  if (comp_ && comp_->ok()) {
+    const ir::Module& m = comp_->module();
+    regionNames.reserve(causal.regions.size());
+    for (const an::causal::RegionSummary& r : causal.regions)
+      regionNames.push_back(r.taskFn != ir::kNone ? pm::userContextName(m, r.taskFn) : "");
+  }
+  in.regionNames = regionNames;
+  an::diag::DiagnoseReport diag = an::diag::diagnose(in);
+  return rpt::diagnoseView(causal, diag, regionNames);
 }
 
 std::string Profiler::dataCentricText() const {

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "analysis/blame.h"
+#include "analysis/causal.h"
+#include "analysis/diagnose.h"
 #include "cache/analysis_cache.h"
 #include "frontend/compiler.h"
 #include "postmortem/attribution.h"
@@ -152,6 +154,26 @@ class Profiler {
   /// differential when postProcess() has produced a BlameReport.
   std::string lintText(uint32_t numLocalesOverride = 0) const;
 
+  /// Adopts a previously saved run log as this profiler's step-2 artefact
+  /// (the `--diagnose --from-log` path): postProcess() and the causal /
+  /// diagnose accessors then behave as if run() had produced it. Downstream
+  /// artefacts are reset.
+  void attachRunLog(sampling::RunLog log);
+
+  /// Causal what-if report (analysis/causal.h): spawn-tree critical path,
+  /// region widths, and per-variable virtual-speedup predictions, computed
+  /// on demand from the recorded task spans. Requires run() (or an attached
+  /// log); predictions additionally need per-site tracking
+  /// (options().run.trackCausalSites) and a postProcess()'d data-centric
+  /// report — the variable→site bridge comes from pm::attributionSites.
+  an::causal::CausalReport causalReport(size_t maxVariables = 8) const;
+
+  /// Rule-based diagnosis (`cb --diagnose`): the causal report, the static
+  /// lint, and the measured blame rows run through an::diag::diagnose,
+  /// rendered by rpt::diagnoseView with the trailing metric block that
+  /// --diagnose-baseline compares against.
+  std::string diagnoseText() const;
+
   // ---- renderings ---------------------------------------------------------
   std::string dataCentricText() const;
   std::string codeCentricText() const;
@@ -170,6 +192,10 @@ class Profiler {
   bool analysisCacheHit_ = false;
   std::optional<rt::RunResult> result_;
   std::optional<std::vector<pm::Instance>> instances_;
+  /// Primed by postProcess() (sequential path only) so causalReport()'s
+  /// variable→site bridge reuses the attribution memo instead of
+  /// re-attributing every sample.
+  pm::AttributionCache attrCache_;
   std::optional<pm::BlameReport> report_;
   std::optional<rpt::CodeCentricReport> codeReport_;
   std::string error_;

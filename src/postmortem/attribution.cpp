@@ -149,17 +149,40 @@ class Attributor {
       ++report_.totalRawSamples;
       if (inst.idle || inst.frames.empty()) continue;
       ++report_.totalUserSamples;
-      perSample_.clear();
-      // Inclusive attribution: every frame of the call path is matched
-      // against its function's blame sets (a sample deep in a callee also
-      // blames caller variables whose blame lines include the callsite).
-      for (size_t fi = 0; fi < inst.frames.size(); ++fi) {
-        const ResolvedFrame& fr = inst.frames[fi];
-        const FunctionBlame& fb = mb_.fn(fr.func);
-        if (fr.instr >= fb.instrEntities.size()) continue;
-        for (EntityId e : fb.instrEntities[fr.instr])
-          blameOne(inst, fi, fb, e, {});
+      // The blamed key set is a pure function of the resolved frame vector
+      // (blameOne only ever consults inst.frames), and samples repeat the
+      // same hot stacks constantly, so memoise per distinct stack: the
+      // entity matching and interprocedural transfer walk run once per
+      // stack shape instead of once per sample.
+      stackKey_.clear();
+      for (const ResolvedFrame& fr : inst.frames)
+        stackKey_.push_back(sampling::RunLog::siteKey(fr.func, fr.instr));
+      auto [memoIt, freshStack] = stackMemo_.try_emplace(stackKey_);
+      if (freshStack) {
+        perSample_.clear();
+        // Inclusive attribution: every frame of the call path is matched
+        // against its function's blame sets (a sample deep in a callee also
+        // blames caller variables whose blame lines include the callsite).
+        for (size_t fi = 0; fi < inst.frames.size(); ++fi) {
+          const ResolvedFrame& fr = inst.frames[fi];
+          const FunctionBlame& fb = mb_.fn(fr.func);
+          if (fr.instr >= fb.instrEntities.size()) continue;
+          for (EntityId e : fb.instrEntities[fr.instr])
+            blameOne(inst, fi, fb, e, {});
+        }
+        memoIt->second.assign(perSample_.begin(), perSample_.end());
+        // Causal bridge: remember which sampled instruction fed each row.
+        // The leaf frame is where the overflow fired, i.e. the site whose
+        // charges the sample stands for (RunLog::siteKey space, same as
+        // taskSpan sites), so scaling a row's site set scales its measured
+        // code. Site and blamed keys are both pure functions of the stack,
+        // so one insert per distinct stack covers every repeat sample.
+        if (collectSites_ && !perSample_.empty()) {
+          uint64_t site = stackKey_.back();  // == siteKey(leaf.func, leaf.instr)
+          for (const AttrKey& key : perSample_) siteAgg_[key].insert(site);
+        }
       }
+      const std::vector<AttrKey>& blamed = memoIt->second;
       // Each blamed key absorbs one sample, tallied under the sample's comm
       // classification so finish() can emit the compute/local/remote split;
       // remote samples also land in the blamed variables' locale-pair cells
@@ -170,7 +193,7 @@ class Attributor {
       uint64_t pk =
           remote ? sampling::RunLog::pairKey(inst.srcLocale, inst.dstLocale) : 0;
       if (remote) ++totalComm_[pk];
-      for (const AttrKey& key : perSample_) {
+      for (const AttrKey& key : blamed) {
         AttrCounts& ac = agg_[key];
         ++ac.byKind[kind];
         if (remote) ++ac.cells[pk];
@@ -178,6 +201,57 @@ class Attributor {
     }
     return finish();
   }
+
+  std::vector<VariableSiteSet> runForSites(const std::vector<const Instance*>& instances) {
+    collectSites_ = true;
+    run(instances);  // agg_ keeps the per-key tallies finish() snapshotted
+    return emitSites(siteAgg_);
+  }
+
+  /// Derives the site sets from a completed run() without touching the
+  /// samples again: the per-stack memo already pairs every distinct stack
+  /// (whose back() is the sampled leaf site) with its blamed keys, and agg_
+  /// still holds the per-key sample tallies finish() snapshotted. Rebuilding
+  /// siteAgg from the memo therefore reproduces runForSites' collection
+  /// exactly — one insert per (distinct stack, blamed key), same keys, same
+  /// counts — at per-stack cost instead of per-sample cost.
+  std::vector<VariableSiteSet> sitesFromMemo() {
+    std::unordered_map<AttrKey, std::unordered_set<uint64_t>, AttrKeyHash> siteAgg;
+    for (const auto& [stack, blamed] : stackMemo_) {
+      if (stack.empty() || blamed.empty()) continue;
+      uint64_t site = stack.back();  // == siteKey(leaf.func, leaf.instr)
+      for (const AttrKey& key : blamed) siteAgg[key].insert(site);
+    }
+    return emitSites(siteAgg);
+  }
+
+ private:
+  std::vector<VariableSiteSet> emitSites(
+      std::unordered_map<AttrKey, std::unordered_set<uint64_t>, AttrKeyHash>& siteAgg) {
+    std::vector<VariableSiteSet> out;
+    out.reserve(siteAgg.size());
+    for (auto& [key, sites] : siteAgg) {
+      VariableSiteSet row;
+      row.context = syms_.str(Symbol(key.context));
+      row.name = syms_.str(Symbol(key.name));
+      row.type = syms_.str(Symbol(key.type));
+      row.sampleCount = agg_[key].total();
+      row.sites.assign(sites.begin(), sites.end());
+      std::sort(row.sites.begin(), row.sites.end());
+      out.push_back(std::move(row));
+    }
+    // Same total order as blameRowLess, so row i lines up with the matching
+    // BlameReport's rows[i].
+    std::sort(out.begin(), out.end(), [](const VariableSiteSet& a, const VariableSiteSet& b) {
+      if (a.sampleCount != b.sampleCount) return a.sampleCount > b.sampleCount;
+      if (a.name != b.name) return a.name < b.name;
+      if (a.context != b.context) return a.context < b.context;
+      return a.type < b.type;
+    });
+    return out;
+  }
+
+ public:
 
  private:
   static constexpr uint32_t kUncached = ~0u;
@@ -338,7 +412,24 @@ class Attributor {
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> entSym_;  // per func, per entity
   std::vector<std::optional<std::vector<AttrKey>>> aliasKeys_;      // per global
   std::unordered_set<AttrKey, AttrKeyHash> perSample_;
+  /// Blamed-key sets memoised per distinct resolved stack (packed as
+  /// siteKey(func, instr) per frame). FNV-1a over the packed frames; exact
+  /// vector equality guards against collisions.
+  struct StackHash {
+    size_t operator()(const std::vector<uint64_t>& v) const {
+      uint64_t h = 1469598103934665603ull;
+      for (uint64_t x : v) {
+        h ^= x;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::vector<uint64_t> stackKey_;
+  std::unordered_map<std::vector<uint64_t>, std::vector<AttrKey>, StackHash> stackMemo_;
   std::unordered_map<AttrKey, AttrCounts, AttrKeyHash> agg_;
+  bool collectSites_ = false;
+  std::unordered_map<AttrKey, std::unordered_set<uint64_t>, AttrKeyHash> siteAgg_;
   std::map<uint64_t, uint64_t> totalComm_;  // once-per-remote-sample pairs
   int depth_ = 0;
 };
@@ -370,17 +461,52 @@ std::string userContextName(const ir::Module& m, ir::FuncId f) {
   return n == "_module_init" ? "main" : n;
 }
 
+/// Holds the attributor whose run() primed the cache, plus the blame map it
+/// ran against (identity-checked before reuse — a cache primed for one
+/// module must never answer for another).
+struct AttributionCache::Impl {
+  std::optional<Attributor> attributor;
+  const an::ModuleBlame* mb = nullptr;
+};
+
+AttributionCache::AttributionCache() : impl_(std::make_unique<Impl>()) {}
+AttributionCache::~AttributionCache() = default;
+AttributionCache::AttributionCache(AttributionCache&&) noexcept = default;
+AttributionCache& AttributionCache::operator=(AttributionCache&&) noexcept = default;
+
+void AttributionCache::clear() {
+  impl_->attributor.reset();
+  impl_->mb = nullptr;
+}
+
 BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
-                      const AttributionOptions& opts) {
+                      const AttributionOptions& opts, AttributionCache* cache) {
   std::vector<const Instance*> ptrs;
   ptrs.reserve(instances.size());
   for (const Instance& inst : instances) ptrs.push_back(&inst);
+  if (cache != nullptr) {
+    cache->impl()->attributor.emplace(mb, opts);
+    cache->impl()->mb = &mb;
+    return cache->impl()->attributor->run(ptrs);
+  }
   return Attributor(mb, opts).run(ptrs);
 }
 
 BlameReport attribute(const an::ModuleBlame& mb, const std::vector<const Instance*>& instances,
                       const AttributionOptions& opts) {
   return Attributor(mb, opts).run(instances);
+}
+
+std::vector<VariableSiteSet> attributionSites(const an::ModuleBlame& mb,
+                                              const std::vector<Instance>& instances,
+                                              const AttributionOptions& opts,
+                                              const AttributionCache* cache) {
+  if (cache != nullptr && cache->impl()->attributor.has_value() && cache->impl()->mb == &mb)
+    return cache->impl()->attributor->sitesFromMemo();
+  std::vector<const Instance*> ptrs;
+  ptrs.reserve(instances.size());
+  for (const Instance& inst : instances) ptrs.push_back(&inst);
+  return Attributor(mb, opts).runForSites(ptrs);
 }
 
 namespace {

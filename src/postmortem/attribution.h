@@ -78,9 +78,35 @@ struct AttributionOptions {
   bool includeHidden = false;   // include compiler temps (debugging aid)
 };
 
+/// Opaque carrier of attributor state (the per-stack blame memo and per-key
+/// tallies) between an `attribute` call and a later `attributionSites` call
+/// over the same (blame map, instances, options). When primed, sites come
+/// straight out of the memo — no second pass over the samples and no repeat
+/// of the entity-matching walk. Only the sequential postmortem path primes
+/// it; the sharded path leaves it empty and `attributionSites` falls back to
+/// a full collection run, so the output is identical either way.
+class AttributionCache {
+ public:
+  AttributionCache();
+  ~AttributionCache();
+  AttributionCache(AttributionCache&&) noexcept;
+  AttributionCache& operator=(AttributionCache&&) noexcept;
+
+  /// Drops any primed state; the next attributionSites call falls back.
+  void clear();
+
+  struct Impl;
+  Impl* impl() const { return impl_.get(); }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Attributes every instance and aggregates per (variable, context).
+/// A non-null `cache` is (re)primed with this run's attributor state for a
+/// later attributionSites call over the same blame map and instances.
 BlameReport attribute(const an::ModuleBlame& mb, const std::vector<Instance>& instances,
-                      const AttributionOptions& opts = {});
+                      const AttributionOptions& opts = {}, AttributionCache* cache = nullptr);
 
 /// Subset form (the parallel post-mortem shard kernel): attributes only the
 /// pointed-to instances. Null entries are skipped. Attribution is a pure
@@ -139,5 +165,37 @@ class StreamingAggregator {
 /// Resolves the user-facing context of a function: task functions report
 /// their lexically-enclosing user function; _module_init reports "main".
 std::string userContextName(const ir::Module& m, ir::FuncId f);
+
+/// The code sites behind one blame row: for the variable row keyed
+/// (context, name, type), the distinct RunLog::siteKey values of the sampled
+/// (leaf) instructions of every instance that blamed it. This is the bridge
+/// from data-centric attribution into the causal what-if replay
+/// (an::causal::VariableSites): scaling these sites by k scales exactly the
+/// code the variable's blame was measured at.
+struct VariableSiteSet {
+  std::string context;
+  std::string name;
+  std::string type;
+  uint64_t sampleCount = 0;     // instances that blamed this row
+  std::vector<uint64_t> sites;  // sorted ascending, deduplicated
+
+  friend bool operator==(const VariableSiteSet&, const VariableSiteSet&) = default;
+};
+
+/// Runs the same attribution pass as `attribute` but collects, per row, the
+/// leaf-site set instead of the comm tally. Rows come back in the matching
+/// BlameReport's order (blameRowLess over the same keys and counts), so
+/// sites[i] corresponds to report.rows[i] when both were built from the same
+/// instances and options.
+///
+/// When `cache` was primed by an `attribute` call over the same blame map
+/// (and the same instances/options — the caller's contract), the site sets
+/// are derived from the cached per-stack memo instead of re-attributing:
+/// same rows, same order, no second pass. An unprimed or mismatched cache
+/// falls back to the full run.
+std::vector<VariableSiteSet> attributionSites(const an::ModuleBlame& mb,
+                                              const std::vector<Instance>& instances,
+                                              const AttributionOptions& opts = {},
+                                              const AttributionCache* cache = nullptr);
 
 }  // namespace cb::pm

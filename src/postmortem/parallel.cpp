@@ -86,13 +86,15 @@ PostmortemResult runPostmortemSharded(const ir::Module& m, const an::ModuleBlame
 
 PostmortemResult runPostmortem(const ir::Module& m, const an::ModuleBlame* mb,
                                const sampling::RunLog& log, const ConsolidateOptions& copts,
-                               const AttributionOptions& aopts, const ParallelOptions& popts) {
+                               const AttributionOptions& aopts, const ParallelOptions& popts,
+                               AttributionCache* cache) {
+  if (cache) cache->clear();  // never leave a stale prime from a prior run
   uint32_t workers = resolveWorkers(popts.workers);
   if (workers <= 1) {
     // The exact sequential path: no pool, no sharding, no merge.
     PostmortemResult out;
     out.instances = consolidate(m, log, copts);
-    if (mb) out.report = attribute(*mb, out.instances, aopts);
+    if (mb) out.report = attribute(*mb, out.instances, aopts, cache);
     return out;
   }
   uint32_t numShards = popts.shards != 0 ? popts.shards : workers * kShardsPerWorker;

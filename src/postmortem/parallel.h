@@ -66,9 +66,14 @@ PostmortemResult runPostmortemSharded(const ir::Module& m, const an::ModuleBlame
 
 /// Convenience wrapper: resolves `popts`, creates the pool, and dispatches.
 /// workers == 1 (after resolution) runs the plain sequential kernels on the
-/// calling thread — exactly today's path, no pool created.
+/// calling thread — exactly today's path, no pool created. A non-null
+/// `cache` is primed on that sequential path (one attributor covers every
+/// instance, so its memo is complete) for a later attributionSites call;
+/// the sharded path clears it instead — per-shard memos are partial and
+/// must not masquerade as full coverage.
 PostmortemResult runPostmortem(const ir::Module& m, const an::ModuleBlame* mb,
                                const sampling::RunLog& log, const ConsolidateOptions& copts,
-                               const AttributionOptions& aopts, const ParallelOptions& popts);
+                               const AttributionOptions& aopts, const ParallelOptions& popts,
+                               AttributionCache* cache = nullptr);
 
 }  // namespace cb::pm

@@ -421,6 +421,115 @@ std::string lintView(const ir::Module& m, const an::loc::LintReport& lint,
   return out.str();
 }
 
+an::diag::Inputs diagnoseInputs(const sampling::RunLog& log, uint32_t numWorkers,
+                                const pm::BlameReport& report) {
+  an::diag::Inputs in;
+  in.totalCycles = log.totalCycles;
+  in.numWorkers = numWorkers;
+  in.commGets = log.commGets;
+  in.commPuts = log.commPuts;
+  in.commAggGets = log.commAggGets;
+  in.commAggPuts = log.commAggPuts;
+  in.raceFallbackRegions = log.raceFallbackRegions;
+  in.totalUserSamples = report.totalUserSamples;
+  in.vars.reserve(report.rows.size());
+  for (const pm::VariableBlame& row : report.rows) {
+    an::diag::VarStat v;
+    v.context = row.context;
+    v.name = row.name;
+    v.type = row.type;
+    v.sampleCount = row.sampleCount;
+    v.percent = row.percent;
+    v.computeSamples = row.computeSamples;
+    v.localSamples = row.localSamples;
+    v.remoteGetSamples = row.remoteGetSamples;
+    v.remotePutSamples = row.remotePutSamples;
+    in.vars.push_back(std::move(v));
+  }
+  return in;
+}
+
+namespace {
+
+/// Metric values render integer-exact when they are whole numbers (cycle
+/// counts, op counts) and as fixed-point otherwise, so the block is both
+/// stable across platforms and strtod-parseable for compareBaseline.
+std::string metricValue(double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  return formatFixed(v, 6);
+}
+
+std::string speedupCell(const an::causal::FactorPrediction& fp) {
+  return formatFixed(fp.speedup, 3) + "x";
+}
+
+}  // namespace
+
+std::string diagnoseView(const an::causal::CausalReport& causal,
+                         const an::diag::DiagnoseReport& diag,
+                         const std::vector<std::string>& regionNames) {
+  std::ostringstream out;
+  out << "Diagnose — causal what-if profile\n";
+  if (!causal.ok) {
+    out << "note: schedule reconstruction failed: " << causal.error << "\n";
+  } else {
+    double total = static_cast<double>(std::max<uint64_t>(1, causal.totalCycles));
+    out << "total " << causal.totalCycles << " cycles, work " << causal.workCycles
+        << ", critical path " << causal.criticalPath << " (parallelism "
+        << formatFixed(causal.parallelism, 2) << "x)\n";
+    out << "serial " << causal.serialCycles << " cycles ("
+        << formatFixed(100.0 * static_cast<double>(causal.serialCycles) / total, 1) << "%), "
+        << causal.regions.size() << " parallel region"
+        << (causal.regions.size() == 1 ? "" : "s") << "\n";
+  }
+
+  if (diag.findings.empty()) {
+    out << "\n(clean) no findings\n";
+  } else {
+    out << "\nFindings (" << diag.findings.size() << "):\n";
+    for (const an::diag::Diagnosis& d : diag.findings) {
+      out << "  [" << an::diag::ruleName(d.kind) << "] " << d.message << " (impact "
+          << formatFixed(d.impact * 100.0, 1) << "%)\n";
+    }
+  }
+
+  if (causal.ok && !causal.regions.empty()) {
+    out << "\nParallel regions (schedule order):\n";
+    TextTable t({"Region", "Cycles", "Tasks", "Width", "MaxChunk"});
+    for (size_t i = 0; i < causal.regions.size(); ++i) {
+      const an::causal::RegionSummary& r = causal.regions[i];
+      std::string name = i < regionNames.size() && !regionNames[i].empty()
+                             ? regionNames[i]
+                             : "#" + std::to_string(i + 1);
+      t.addRow({name, std::to_string(r.cycles), std::to_string(r.tasks),
+                std::to_string(r.width), std::to_string(r.maxChunkCycles)});
+    }
+    out << t.render();
+  }
+
+  if (!causal.predictions.empty()) {
+    out << "\nWhat-if (whole-program speedup when the variable's sites run k-times"
+           " faster):\n";
+    TextTable t({"Name", "Context", "Cycles%", "k=1.25", "k=2", "k=4", "k=inf"});
+    for (const an::causal::VariablePrediction& vp : causal.predictions) {
+      if (vp.factors.size() < an::causal::kNumFactors) continue;
+      t.addRow({vp.name, vp.context, formatFixed(vp.attributedFraction * 100.0, 1) + "%",
+                speedupCell(vp.factors[0]), speedupCell(vp.factors[1]),
+                speedupCell(vp.factors[2]), speedupCell(vp.factors[3])});
+    }
+    out << t.render();
+  } else if (causal.ok && !causal.hasSites) {
+    out << "\n(what-if predictions need a run with per-site tracking"
+           " — rerun with --diagnose or RunOptions::trackCausalSites)\n";
+  }
+
+  out << "\n";
+  for (const auto& [name, value] : diag.metrics)
+    out << "metric " << name << " " << metricValue(value) << "\n";
+  return out.str();
+}
+
 std::string guiView(const pm::BlameReport& blame, const CodeCentricReport& code,
                     const ViewOptions& opts) {
   std::ostringstream out;

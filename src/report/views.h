@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/causal.h"
+#include "analysis/diagnose.h"
 #include "analysis/locality.h"
 #include "postmortem/attribution.h"
 #include "postmortem/baseline.h"
@@ -91,6 +93,25 @@ std::string perLocaleView(const std::vector<pm::BlameReport>& perLocale,
 std::string lintView(const ir::Module& m, const an::loc::LintReport& lint,
                      const pm::BlameReport* measured = nullptr,
                      double divergenceThreshold = 0.15);
+
+// ---- causal diagnosis -------------------------------------------------------
+
+/// Bridges measured artefacts into the neutral diag::Inputs the rule engine
+/// consumes: VarStat copies of the blame rows plus the log's exact comm
+/// counters. The caller attaches the causal report / lint / region names
+/// before calling an::diag::diagnose (the same layering as the lint
+/// differential: the analysis library never sees postmortem types).
+an::diag::Inputs diagnoseInputs(const sampling::RunLog& log, uint32_t numWorkers,
+                                const pm::BlameReport& report);
+
+/// Diagnose view (`cb --diagnose`): the causal critical-path summary, the
+/// ranked findings, the per-variable what-if prediction table, and the
+/// trailing `metric <name> <value>` block that an::diag::compareBaseline
+/// re-parses from a saved report for --diagnose-baseline regression checks.
+/// `regionNames` labels causal.regions rows (same order; "#i" fallback).
+std::string diagnoseView(const an::causal::CausalReport& causal,
+                         const an::diag::DiagnoseReport& diag,
+                         const std::vector<std::string>& regionNames = {});
 
 /// Baseline (allocation-threshold) report rendering.
 std::string baselineView(const pm::BaselineReport& report);

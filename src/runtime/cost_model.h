@@ -13,7 +13,9 @@
 // and cheaper abstraction overheads, as an optimizing backend would emit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "ir/instr.h"
 
@@ -117,6 +119,165 @@ struct CostProfile {
   /// profile that reproduces Table V row 4's memory-bandwidth collapse
   /// (EXPERIMENTS.md) and the weak-scaling saturation in bench_weak_scale.
   static CostProfile bandwidthCeiling(bool fastCodegen);
+};
+
+/// Per-charge causal scaling: the cost of one charge after an (num/den)-fold
+/// virtual speedup, rounded up so a charge never scales to a negative saving
+/// (ceil(c*den/num) <= c whenever den <= num). num == 0 encodes k = ∞: the
+/// charge vanishes entirely. Shared by the runtime ground-truth oracle
+/// (RunOptions::causalScale) and the analysis-side predictor
+/// (analysis/causal.h) so both round identically — that identity is what the
+/// differential oracle test checks.
+inline uint64_t causalScaledCost(uint64_t c, uint32_t num, uint32_t den) {
+  if (num == 0) return 0;
+  return (c * den + num - 1) / num;
+}
+
+/// Per-segment site accumulator behind RunOptions::trackCausalSites, shared
+/// by both engines so their span site splits stay bit-identical. Charges
+/// index a dense flat array (slot of (fid, instr) = siteBase[fid] + instr)
+/// and the hot path touches one 8-byte slot: a charge count plus the slot's
+/// uniform per-charge cost. Everything else is deferred to drain time: while
+/// every charge at a site costs the same — the overwhelmingly common case,
+/// since a site is one static instruction with a static cost — the
+/// per-charge ceil-rounded scaled sum of n charges of cost u is exactly
+/// n * causalScaledCost(u, ...) and the raw sum is n * u, so neither the
+/// raw accumulation nor the three k ∈ {1.25, 2, 4} scalings ever run per
+/// charge. A slot's uniform cost is sticky: it is either seeded up front
+/// from the program's static cost table (the bytecode engine does this,
+/// which lets its dispatch loop count a static prologue charge with a plain
+/// increment and no compare) or latched by the first charge. Charges that
+/// don't match it — builtin extras, bandwidth stalls, causally re-scaled
+/// costs — land in a sparse exact side table (`mixed_`) that overlays the
+/// count * uniform sum at drain time; the slot itself never changes mode.
+///
+/// drain() walks the dense array merged against the sorted overlay keys, so
+/// sites come out in ascending (fid, instr) — i.e. ascending
+/// RunLog::siteKey — order without sorting; the scan is cheap because
+/// segments are orders of magnitude rarer than charges.
+class CausalAccumulator {
+ public:
+  struct Slot {
+    uint32_t count = 0;    ///< charges this segment (0 = untouched)
+    uint32_t uniform = 0;  ///< the common per-charge cost; 0 = mixed costs
+  };
+
+  bool ready() const { return !slots_.empty(); }
+
+  /// Raw slot array for dispatch loops that inline the fast path with the
+  /// site base hoisted out of the loop (see Engine::execFrame). Callers that
+  /// take this pointer mirror charge() exactly: compare against `uniform`,
+  /// bump `count`, and fall back to chargeSlow() on a cost mismatch.
+  Slot* slotData() { return slots_.data(); }
+
+  /// Sizes the slot array from the module's per-function instruction-count
+  /// prefix sums (slots_.size() == siteBase.back()). `siteBase` must outlive
+  /// the accumulator; one init serves the whole run — drains reset in place.
+  /// `staticCost` (same length as the slot array, may be null) seeds every
+  /// slot's uniform cost with the site's static per-charge cost; callers
+  /// that seed may count a charge of exactly that cost with countUniform()
+  /// and skip the compare.
+  void init(const std::vector<uint32_t>& siteBase, const uint32_t* staticCost = nullptr) {
+    siteBase_ = &siteBase;
+    slots_.assign(siteBase.back(), {});
+    if (staticCost != nullptr)
+      for (size_t i = 0; i < slots_.size(); ++i) slots_[i].uniform = staticCost[i];
+    mixed_.assign(slots_.size(), {});
+    mixedKeys_.clear();
+    lastCount_ = 0;
+  }
+
+  inline void charge(uint32_t idx, uint64_t c) {
+    Slot s = slots_[idx];
+    if (__builtin_expect(c == s.uniform, 1)) {  // c > 0, so never an empty slot
+      ++s.count;
+      slots_[idx] = s;
+      return;
+    }
+    chargeSlow(idx, c);
+  }
+
+  /// Counts one charge of exactly the slot's uniform cost. Only valid when
+  /// the caller knows the charge matches (static-cost-seeded slots charged
+  /// their static cost); anything else must go through charge().
+  inline void countUniform(uint32_t idx) { ++slots_[idx].count; }
+
+  /// Emits every charged slot as (fid, instr, raw, s125, s2, s4) in
+  /// ascending site order and resets counts for the next segment (uniform
+  /// costs are sticky — see the class comment).
+  template <typename Emit>
+  void drain(Emit&& emit) {
+    std::sort(mixedKeys_.begin(), mixedKeys_.end());
+    size_t mi = 0;
+    const std::vector<uint32_t>& base = *siteBase_;
+    uint32_t fid = 0;
+    uint64_t emitted = 0;
+    for (uint32_t idx = 0; idx < static_cast<uint32_t>(slots_.size()); ++idx) {
+      Slot& s = slots_[idx];
+      bool overlaid = mi < mixedKeys_.size() && mixedKeys_[mi] == idx;
+      if (s.count == 0 && !overlaid) continue;
+      while (base[fid + 1] <= idx) ++fid;  // ascending idx: cursor walk
+      uint64_t n = s.count, u = s.uniform;
+      uint64_t raw = n * u;
+      uint64_t s125 = n * causalScaledCost(u, 5, 4);
+      uint64_t s2 = n * causalScaledCost(u, 2, 1);
+      uint64_t s4 = n * causalScaledCost(u, 4, 1);
+      if (overlaid) {
+        Mixed& m = mixed_[idx];
+        raw += m.raw;
+        s125 += m.s125;
+        s2 += m.s2;
+        s4 += m.s4;
+        m = {};
+        ++mi;
+      }
+      emit(fid, idx - base[fid], raw, s125, s2, s4);
+      s.count = 0;
+      ++emitted;
+    }
+    mixedKeys_.clear();
+    lastCount_ = emitted;
+  }
+
+  /// Sites emitted by the previous drain — a reserve() hint for the caller's
+  /// span site vector (consecutive segments of the same program touch
+  /// similar site populations).
+  uint64_t lastDrainCount() const { return lastCount_; }
+
+  /// Resets all charged slots without emitting (zero-length segment elided).
+  void discard() {
+    for (Slot& s : slots_) s.count = 0;
+    for (uint32_t idx : mixedKeys_) mixed_[idx] = {};
+    mixedKeys_.clear();
+  }
+
+  void chargeSlow(uint32_t idx, uint64_t c) {
+    Slot& s = slots_[idx];
+    if (s.uniform == 0 && s.count == 0 && c <= 0xffffffffull) {
+      s.uniform = static_cast<uint32_t>(c);  // latch the first-seen cost
+      s.count = 1;
+      return;
+    }
+    // Exact dense overlay; the slot keeps its uniform cost. Every overlay
+    // charge has c > 0, so raw == 0 detects this segment's first touch.
+    Mixed& m = mixed_[idx];
+    if (m.raw == 0) mixedKeys_.push_back(idx);
+    m.raw += c;
+    m.s125 += causalScaledCost(c, 5, 4);
+    m.s2 += causalScaledCost(c, 2, 1);
+    m.s4 += causalScaledCost(c, 4, 1);
+  }
+
+ private:
+  struct Mixed {  ///< exact per-charge sums for non-uniform charges
+    uint64_t raw = 0, s125 = 0, s2 = 0, s4 = 0;
+  };
+
+  const std::vector<uint32_t>* siteBase_ = nullptr;
+  std::vector<Slot> slots_;
+  std::vector<Mixed> mixed_;         // dense overlay, indexed like slots_
+  std::vector<uint32_t> mixedKeys_;  // overlay slots touched this segment
+  uint64_t lastCount_ = 0;
 };
 
 class CostModel {

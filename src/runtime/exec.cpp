@@ -18,6 +18,7 @@
 // back to the sequential path.
 #include "runtime/exec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/bandwidth.h"
@@ -174,6 +176,33 @@ class Engine {
     limits0_ = BwLimits::forStream(p, 0, opts.numWorkers);
     limitsW_ = BwLimits::forStream(p, 1, opts.numWorkers);
     bwEnabled_ = limits0_.enabled();
+    causalTrack_ = opts.trackCausalSites;
+    causalScaleSites_.insert(opts.causalScale.sites.begin(), opts.causalScale.sites.end());
+    causalScaleOn_ = !causalScaleSites_.empty();
+    causalNum_ = opts.causalScale.num;
+    causalDen_ = opts.causalScale.den;
+    causalActive_ = causalTrack_ || causalScaleOn_;
+    if (causalTrack_) {
+      // Dense site index (fid, instr) -> siteBase_[fid] + instr, so the
+      // per-charge accumulation is a flat array slot instead of a hash probe.
+      siteBase_.assign(m.numFunctions() + 1, 0);
+      for (FuncId f = 0; f < m.numFunctions(); ++f)
+        siteBase_[f + 1] = siteBase_[f] + static_cast<uint32_t>(m.function(f).numInstrs());
+      // Static per-site cost table, straight from the compiled bytecode
+      // (bi.cost is already icache-scaled). Seeding the accumulators with it
+      // lets the dispatch loop count a static prologue charge with a single
+      // increment: the charged cost is bi.cost by construction, so it always
+      // equals the seeded uniform cost.
+      staticCost_.assign(siteBase_.back(), 0);
+      for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        const uint32_t base = siteBase_[f];
+        for (const bc::BInstr& bi : compiled_.funcs[f].code) {
+          staticCost_[base + bi.ir] = bi.cost;
+          if (bi.cost2 != 0) staticCost_[base + bi.ir2] = bi.cost2;
+        }
+      }
+      causalAcc_.resize(opts.numWorkers + 1);
+    }
   }
 
   RunResult run() {
@@ -196,6 +225,11 @@ class Engine {
     ctx.commMemStall = &result_.log.commMemStallCycles;
     ctx.commNetStall = &result_.log.commNetStallCycles;
     ctx.commContention = &result_.log.commContentionCycles;
+    ctx.spans = &result_.log.taskSpans;
+    if (causalTrack_) {
+      ctx.acc = &causalAcc_[0];
+      ctx.acc->init(siteBase_, staticCost_.data());
+    }
     ctx.bw.reset(0, limits0_);
     ctx.next = nextFor(0);
     try {
@@ -205,6 +239,7 @@ class Engine {
       flushSkid(ctx);
       for (uint32_t ws = 1; ws <= opts_.numWorkers; ++ws)
         emitIdleSamples(ws, lastBusyEnd_[ws], ctx.clock);
+      closeSerialSpan(ctx, ctx.clock);
       result_.ok = true;
     } catch (const RunError& e) {
       result_.ok = false;
@@ -272,6 +307,17 @@ class Engine {
       std::map<int64_t, uint32_t> pending;
     };
     std::vector<AggState> aggStack;
+    /// Causal span state: completed spans sink (main thread points straight
+    /// into result_.log.taskSpans, replay workers into per-stream vectors
+    /// merged via TRec ranges), the per-site split accrued for the currently
+    /// executing segment, and the start of the open main-stream serial
+    /// segment (meaningful on the main Ctx only).
+    std::vector<sampling::TaskSpan>* spans = nullptr;
+    /// Per-stream causal site accumulator (Engine::causalAcc_[stream]):
+    /// persistent across regions so a worker Ctx never re-zeroes the slot
+    /// array, and per-stream so concurrent replay streams never share one.
+    CausalAccumulator* acc = nullptr;
+    uint64_t serialStart = 0;
     std::vector<uint32_t> skid;
     std::vector<EFrame*> stack;
     std::vector<sampling::Frame> cachedStack;
@@ -321,10 +367,59 @@ class Engine {
     }
   }
 
+  /// Causal charge hook — the bytecode twin of Interp's. The charge site is
+  /// the leaf frame's instruction pointer, which fused superinstructions
+  /// keep exact (curIr is advanced to ir2 before cost2 is charged), so both
+  /// engines see the identical per-charge (site, cost) sequence. The
+  /// what-if scale probe (ground-truth oracle re-runs only) stays
+  /// out-of-line; the tracking path is the accumulator's 8-byte slot touch.
   inline void charge(Ctx& c, uint64_t cost) {
+    if (__builtin_expect(causalActive_, 0) && !c.stack.empty()) {
+      EFrame* fr = c.stack.back();
+      if (causalScaleOn_ &&
+          causalScaleSites_.count(sampling::RunLog::siteKey(fr->fid, fr->curIr)) != 0)
+        cost = causalScaledCost(cost, causalNum_, causalDen_);
+      if (causalTrack_ && cost != 0)
+        c.acc->charge(siteBase_[fr->fid] + fr->curIr, cost);
+    }
     c.cycles[c.curFid] += cost;
     c.clock += cost;
     if (__builtin_expect(c.clock >= c.next, 0)) overflow(c);
+  }
+
+  // ---- task spans -----------------------------------------------------------
+
+  /// Appends one completed span to `c.spans` (completion order == canonical
+  /// emission order). `takeSites` moves the accrued per-site split into the
+  /// span — false for nested spans, whose cycles stay with the enclosing
+  /// top-level segment.
+  void pushSpan(Ctx& c, uint64_t tag, uint32_t chunk, uint32_t stream, uint64_t start,
+                uint64_t end, bool takeSites) {
+    sampling::TaskSpan sp;
+    sp.tag = tag;
+    sp.chunk = chunk;
+    sp.stream = stream;
+    sp.startCycle = start;
+    sp.endCycle = end;
+    if (takeSites && causalTrack_) {
+      sp.sites.reserve(c.acc->lastDrainCount());
+      c.acc->drain([&sp](uint32_t fid, uint32_t instr, uint64_t raw, uint64_t s125,
+                         uint64_t s2, uint64_t s4) {
+        sp.sites.push_back({sampling::RunLog::siteKey(fid, instr), raw, s125, s2, s4});
+      });
+    }
+    c.spans->push_back(std::move(sp));
+  }
+
+  /// Closes the open main-stream serial segment at `end` (eliding zero-length
+  /// segments) and re-opens it there.
+  void closeSerialSpan(Ctx& c, uint64_t end) {
+    if (end > c.serialStart) {
+      pushSpan(c, 0, 0, 0, c.serialStart, end, true);
+    } else if (causalTrack_) {
+      c.acc->discard();
+    }
+    c.serialStart = end;
   }
 
   void tickSkid(Ctx& c) {
@@ -752,6 +847,13 @@ class Engine {
 
   void execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Function& irFn,
                  Value& out);
+  /// The dispatch loop proper, compiled twice: the kCausal = false
+  /// instantiation carries zero causal-mode code on the per-instruction
+  /// path, the kCausal = true one tracks/scales with straight-line inline
+  /// code. execFrame() picks the instantiation once per frame.
+  template <bool kCausal>
+  void execFrameT(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Function& irFn,
+                  Value& out);
 
   void execBuiltin(Ctx& ctx, EFrame& fr, const bc::BInstr& bi, const bc::BOperand* ops,
                    const ir::Function& irFn) {
@@ -1030,20 +1132,26 @@ class Engine {
     if (savedTag != 0 || savedStream != 0) {
       // Nested spawn: run inline on the current stream (saturated pool).
       ctx.taskTag = tag;
-      for (const auto& [clo, chi] : chunks) {
+      for (size_t ti = 0; ti < chunks.size(); ++ti) {
         std::vector<Value> args;
         args.reserve(2 + extra.size());
-        args.push_back(Value::makeInt(clo));
-        args.push_back(Value::makeInt(chi));
+        args.push_back(Value::makeInt(chunks[ti].first));
+        args.push_back(Value::makeInt(chunks[ti].second));
         for (const Value& v : extra) args.push_back(v);
         ctx.pending = sampling::AccessKind::None;
         ctx.pendingSrc = ctx.pendingDst = 0;
-        ctx.bw.reset(ctx.clock, bwLimits(ctx));
+        uint64_t nStart = ctx.clock;
+        ctx.bw.reset(nStart, bwLimits(ctx));
         callFunction(ctx, bi.t0, std::move(args));
         flushSkid(ctx);
+        // Nested spans carry no site split — their cycles stay accrued to
+        // the enclosing top-level segment's map.
+        pushSpan(ctx, tag, static_cast<uint32_t>(ti), ctx.stream, nStart, ctx.clock,
+                 /*takeSites=*/false);
       }
     } else {
       uint64_t t0 = ctx.clock;
+      closeSerialSpan(ctx, t0);  // the fork ends the main-stream serial segment
       uint32_t w = opts_.numWorkers;
       for (uint32_t ws = 1; ws <= w; ++ws) {
         emitIdleSamples(ws, lastBusyEnd_[ws], t0);
@@ -1061,6 +1169,7 @@ class Engine {
         } else {
           for (size_t ti = 0; ti < chunks.size(); ++ti) {
             uint32_t ws = 1 + static_cast<uint32_t>(ti % w);
+            uint64_t chunkStart = workerEnd[ws];
             ctx.stream = ws;
             ctx.clock = workerEnd[ws];
             ctx.next = nextFor(workerEnd[ws]);
@@ -1075,6 +1184,8 @@ class Engine {
             callFunction(ctx, bi.t0, std::move(args));
             flushSkid(ctx);
             workerEnd[ws] = ctx.clock;
+            pushSpan(ctx, tag, static_cast<uint32_t>(ti), ws, chunkStart, ctx.clock,
+                     /*takeSites=*/true);
           }
         }
       } catch (...) {
@@ -1095,6 +1206,7 @@ class Engine {
       ctx.stream = 0;
       ctx.clock = tEnd;
       ctx.next = nextFor(tEnd);
+      ctx.serialStart = tEnd;  // the join re-opens the main-stream serial segment
     }
 
     ctx.stack.swap(savedStack);
@@ -1131,6 +1243,27 @@ class Engine {
   BwLimits limits0_;
   BwLimits limitsW_;
   bool bwEnabled_ = false;
+
+  // Causal what-if state (interp.h: trackCausalSites / causalScale).
+  bool causalTrack_ = false;
+  bool causalScaleOn_ = false;
+  bool causalActive_ = false;
+  uint32_t causalNum_ = 1;
+  uint32_t causalDen_ = 1;
+  std::unordered_set<uint64_t> causalScaleSites_;
+  /// Prefix sums of per-function instruction counts: the dense site index
+  /// of (fid, instr) is siteBase_[fid] + instr (built only under
+  /// trackCausalSites).
+  std::vector<uint32_t> siteBase_;
+  /// Per-site static (icache-scaled) charge cost, indexed like the
+  /// accumulator slots; seeds every accumulator so the dispatch loop's
+  /// prologue charge is a bare count increment.
+  std::vector<uint32_t> staticCost_;
+  /// One accumulator per stream (0 = main, 1..numWorkers = replay workers),
+  /// lazily slot-sized on each stream's first charge and reused across
+  /// regions. Safe under parallel replay: a stream never runs concurrently
+  /// with itself.
+  std::vector<CausalAccumulator> causalAcc_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1152,12 +1285,14 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
     uint64_t gets = 0, puts = 0, forks = 0;
     uint64_t aggGets = 0, aggPuts = 0, aggFlushes = 0;
     uint64_t memStall = 0, netStall = 0, contention = 0;
+    size_t spanEnd = 0;
     std::vector<std::pair<uint64_t, uint64_t>> matrix;
     std::vector<std::pair<uint32_t, uint64_t>> cycles;
   };
   struct StreamRes {
     std::vector<sampling::RawSample> samples;
     std::string output;
+    std::vector<sampling::TaskSpan> spans;
     std::vector<std::pair<uint64_t, uint64_t>> allocs;
     std::vector<TRec> recs;
     bool failed = false;
@@ -1207,12 +1342,18 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
       wc.commMemStall = &wMemStall;
       wc.commNetStall = &wNetStall;
       wc.commContention = &wContention;
+      wc.spans = &S.spans;
+      if (causalTrack_) {
+        wc.acc = &causalAcc_[ws];
+        if (!wc.acc->ready()) wc.acc->init(siteBase_, staticCost_.data());
+      }
       uint64_t prevIc = 0;
       auto snap = [&] {
         TRec r;
         r.sampleEnd = S.samples.size();
         r.outputEnd = S.output.size();
         r.allocEnd = S.allocs.size();
+        r.spanEnd = S.spans.size();
         r.icountDelta = local - prevIc;
         prevIc = local;
         r.gets = wGets;
@@ -1237,6 +1378,7 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
         S.recs.push_back(std::move(r));
       };
       for (uint64_t ti = ws - 1; ti < chunks.size(); ti += w) {
+        uint64_t chunkStart = wc.clock;
         try {
           std::vector<Value> args;
           args.reserve(2 + extra.size());
@@ -1248,6 +1390,8 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
           wc.bw.reset(wc.clock, limitsW_);
           callFunction(wc, taskFn, std::move(args));
           flushSkid(wc);
+          pushSpan(wc, tag, static_cast<uint32_t>(ti), ws, chunkStart, wc.clock,
+                   /*takeSites=*/true);
         } catch (const RunError& e) {
           S.failed = true;
           S.errMsg = e.message;
@@ -1269,7 +1413,8 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
   uint64_t minFail = ~0ull;
   for (uint32_t ws = 1; ws <= usedStreams; ++ws)
     if (streams[ws].failed) minFail = std::min(minFail, streams[ws].failTi);
-  std::vector<size_t> cursor(w + 1, 0), sStart(w + 1, 0), oStart(w + 1, 0), aStart(w + 1, 0);
+  std::vector<size_t> cursor(w + 1, 0), sStart(w + 1, 0), oStart(w + 1, 0), aStart(w + 1, 0),
+      pStart(w + 1, 0);
   for (uint64_t ti = 0; ti < chunks.size(); ++ti) {
     if (ti > minFail) break;
     uint32_t ws = 1 + static_cast<uint32_t>(ti % w);
@@ -1279,6 +1424,10 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
                                std::make_move_iterator(S.samples.begin() + sStart[ws]),
                                std::make_move_iterator(S.samples.begin() + r.sampleEnd));
     sStart[ws] = r.sampleEnd;
+    result_.log.taskSpans.insert(result_.log.taskSpans.end(),
+                                 std::make_move_iterator(S.spans.begin() + pStart[ws]),
+                                 std::make_move_iterator(S.spans.begin() + r.spanEnd));
+    pStart[ws] = r.spanEnd;
     if (r.outputEnd > oStart[ws]) {
       if (opts_.echoWriteln)
         std::fwrite(S.output.data() + oStart[ws], 1, r.outputEnd - oStart[ws], stdout);
@@ -1339,10 +1488,58 @@ void Engine::runParallel(Ctx& ctx, FuncId taskFn, const bc::BInstr& bi,
 
 void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Function& irFn,
                        Value& out) {
+  if (__builtin_expect(causalActive_, 0))
+    execFrameT<true>(ctx, fr, bf, irFn, out);
+  else
+    execFrameT<false>(ctx, fr, bf, irFn, out);
+}
+
+template <bool kCausal>
+void Engine::execFrameT(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Function& irFn,
+                        Value& out) {
   const bc::BInstr* code = bf.code.data();
   const bc::BOperand* ops = bf.operands.data();
   const size_t codeSize = bf.code.size();
   uint32_t pc = 0;
+
+  // Causal-mode state for the per-instruction prologue charge. Everything
+  // except the instruction index is loop-invariant for this frame, so it is
+  // hoisted here instead of being re-derived through ctx.stack.back() on
+  // every instruction the way the generic charge() does — that pointer chase
+  // is fine for the rare out-of-line charges (builtins, allocation extras)
+  // but dominates tracking overhead when paid per instruction.
+  [[maybe_unused]] const bool cscale = causalScaleOn_;
+  [[maybe_unused]] CausalAccumulator::Slot* cslots = nullptr;
+  if constexpr (kCausal) {
+    if (causalTrack_) cslots = ctx.acc->slotData() + siteBase_[fr.fid];
+  }
+  // Prologue charge for instruction `ir`: identical semantics to
+  // charge(ctx, cost), with the causal site lookup resolved against the
+  // hoisted frame state. The tracked fast path is a bare count increment:
+  // the accumulator slots are seeded with staticCost_, and `cost` here IS
+  // that static cost (both come from the same BInstr), so the uniform-cost
+  // compare inside CausalAccumulator::charge() would always hit. A causally
+  // re-scaled cost no longer matches and takes the exact compare/overlay
+  // path instead. Only two values stay live across the loop (cscale,
+  // cslots) — everything the cold scaling path needs is recomputed there —
+  // to keep register pressure in the dispatch loop flat. Drains never
+  // reallocate the slot array, so the cached cslots pointer stays valid
+  // across samples and nested calls.
+  auto chargePro = [&](uint32_t ir, uint64_t cost) __attribute__((always_inline)) {
+    if constexpr (kCausal) {
+      if (__builtin_expect(cscale, 0) &&
+          causalScaleSites_.count((static_cast<uint64_t>(fr.fid) << 32) | ir) != 0) {
+        cost = causalScaledCost(cost, causalNum_, causalDen_);
+        if (cslots != nullptr && cost != 0)
+          ctx.acc->charge(siteBase_[fr.fid] + ir, cost);
+      } else if (cslots != nullptr && cost != 0) {
+        ++cslots[ir].count;  // seeded: uniform == this site's static cost
+      }
+    }
+    ctx.cycles[ctx.curFid] += cost;
+    ctx.clock += cost;
+    if (__builtin_expect(ctx.clock >= ctx.next, 0)) overflow(ctx);
+  };
 
 #if CB_EXEC_CGOTO
   // Must match bc::Op order exactly.
@@ -1367,7 +1564,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
     if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
       fail("instruction budget exceeded", irFn.instrs[bi.ir].loc);
     if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-    charge(ctx, bi.cost);
+    chargePro(bi.ir, bi.cost);
 
 #if CB_EXEC_CGOTO
     goto* kJump[static_cast<size_t>(bi.op)];
@@ -1550,7 +1747,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         pc = cond ? bi.t0 : bi.t1;
         continue;
       }
@@ -1560,7 +1757,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         copyInto(fr.regs[bi.dst2], *p);
         CB_NEXT;
       }
@@ -1570,7 +1767,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         copyInto(*p, rd(ctx, fr, bi.a));
         CB_NEXT;
       }
@@ -1582,7 +1779,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         CB_NEXT;
       }
       CB_OP(TupleGetSlot) : {
@@ -1594,7 +1791,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         if (t.kind != VKind::Tuple && t.kind != VKind::Record)
           fail("tuple access on non-tuple", irFn.instrs[bi.ir2].loc);
         uint64_t idx = (bi.flags & bc::kDynIndex)
@@ -1619,7 +1816,7 @@ void Engine::execFrame(Ctx& ctx, EFrame& fr, const bc::BFunc& bf, const ir::Func
         if (__builtin_expect(++*ctx.icount > ctx.maxInstr, 0))
           fail("instruction budget exceeded", irFn.instrs[bi.ir2].loc);
         if (__builtin_expect(hasSkid_, 0)) tickSkid(ctx);
-        charge(ctx, bi.cost2);
+        chargePro(bi.ir2, bi.cost2);
         copyInto(fr.regs[bi.dst2], *p);
         CB_NEXT;
       }

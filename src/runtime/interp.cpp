@@ -1,7 +1,9 @@
 #include "runtime/interp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <unordered_set>
 
 #include "analysis/race.h"
 #include "runtime/bandwidth.h"
@@ -66,6 +68,21 @@ class Interp {
         icacheQ10_[f] = 1024 + std::min(p.icacheMaxQ10, extra);
       }
     }
+    causalTrack_ = opts.trackCausalSites;
+    causalScaleSites_.insert(opts.causalScale.sites.begin(), opts.causalScale.sites.end());
+    causalScaleOn_ = !causalScaleSites_.empty();
+    causalNum_ = opts.causalScale.num;
+    causalDen_ = opts.causalScale.den;
+    causalActive_ = causalTrack_ || causalScaleOn_;
+    if (causalTrack_) {
+      // Dense site index (fid, instr) -> siteBase_[fid] + instr, so the
+      // per-charge accumulation is a flat array slot instead of a hash probe
+      // (the bytecode engine keeps the identical structure).
+      siteBase_.assign(m.numFunctions() + 1, 0);
+      for (FuncId f = 0; f < m.numFunctions(); ++f)
+        siteBase_[f + 1] = siteBase_[f] + static_cast<uint32_t>(m.function(f).numInstrs());
+      acc_.init(siteBase_);
+    }
   }
 
   RunResult run() {
@@ -77,6 +94,7 @@ class Interp {
       // Final stretch of worker idle time, up to program end.
       for (uint32_t ws = 1; ws <= opts_.numWorkers; ++ws)
         emitIdleSamples(ws, lastBusyEnd_[ws], pmu_.clock(0));
+      closeSerialSpan(pmu_.clock(0));
       result_.ok = true;
     } catch (const RuntimeError& e) {
       result_.ok = false;
@@ -103,13 +121,62 @@ class Interp {
 
   // ---- cost / sampling ----------------------------------------------------
 
+  /// The causal hook mirrors the bytecode engine's: scale the charge when
+  /// its site carries a what-if speedup (the ground-truth oracle re-run),
+  /// then accrue the per-site split of the current task span. The site is
+  /// the leaf frame's instruction pointer — the same derivation emitSample
+  /// uses for the leaf, and identical in the bytecode engine.
   void charge(uint64_t c) {
+    if (__builtin_expect(causalActive_, 0) && !stack_.empty()) {
+      const Frame* fr = stack_.back();
+      if (causalScaleOn_ &&
+          causalScaleSites_.count(sampling::RunLog::siteKey(fr->fid, fr->curInstr)) != 0)
+        c = causalScaledCost(c, causalNum_, causalDen_);
+      if (causalTrack_ && c != 0) acc_.charge(siteBase_[fr->fid] + fr->curInstr, c);
+    }
     if (!stack_.empty()) result_.cyclesPerFunction[stack_.back()->fid] += c;
     uint32_t overflows = pmu_.advance(curStream_, c);
     for (uint32_t k = 0; k < overflows; ++k) {
       if (opts_.skidInstructions == 0) emitSample();
       else skidQueue_.push_back(opts_.skidInstructions);
     }
+  }
+
+  // ---- task spans -----------------------------------------------------------
+
+  /// Appends one span to the log, in completion order (which IS the canonical
+  /// emission order: nested spans complete before their enclosing chunk, and
+  /// the serial segment is closed at the fork before any chunk span).
+  /// `takeSites` moves the accrued per-site split into the span (sorted,
+  /// all-zero entries dropped) — false for nested spans, whose cycles stay
+  /// accrued to the enclosing top-level segment.
+  void pushSpan(uint64_t tag, uint32_t chunk, uint32_t stream, uint64_t start, uint64_t end,
+                bool takeSites) {
+    sampling::TaskSpan sp;
+    sp.tag = tag;
+    sp.chunk = chunk;
+    sp.stream = stream;
+    sp.startCycle = start;
+    sp.endCycle = end;
+    if (takeSites && causalTrack_) {
+      sp.sites.reserve(acc_.lastDrainCount());
+      acc_.drain([&sp](uint32_t fid, uint32_t instr, uint64_t raw, uint64_t s125,
+                       uint64_t s2, uint64_t s4) {
+        sp.sites.push_back({sampling::RunLog::siteKey(fid, instr), raw, s125, s2, s4});
+      });
+    }
+    result_.log.taskSpans.push_back(std::move(sp));
+  }
+
+  /// Closes the open main-stream serial segment at `end` (eliding zero-length
+  /// segments) and re-opens it there.
+  void closeSerialSpan(uint64_t end) {
+    if (end > serialStart_) {
+      pushSpan(0, 0, 0, serialStart_, end, true);
+    } else if (causalTrack_) {
+      acc_.discard();
+    }
+    serialStart_ = end;
   }
 
   /// Called once per executed instruction: ages pending skidded samples and
@@ -744,20 +811,26 @@ class Interp {
     if (savedTag != 0 || savedStream != 0) {
       // Nested spawn: the pool is busy — run inline on the current stream.
       curTaskTag_ = tag;
-      for (const auto& [clo, chi] : chunks) {
+      for (size_t ti = 0; ti < chunks.size(); ++ti) {
         std::vector<Value> args;
-        args.push_back(Value::makeInt(clo));
-        args.push_back(Value::makeInt(chi));
+        args.push_back(Value::makeInt(chunks[ti].first));
+        args.push_back(Value::makeInt(chunks[ti].second));
         for (const Value& v : extra) args.push_back(v);
         pendingAccess_ = sampling::AccessKind::None;
         pendingSrc_ = pendingDst_ = 0;
-        bw_.reset(pmu_.clock(curStream_), bwLimits());
+        uint64_t nStart = pmu_.clock(curStream_);
+        bw_.reset(nStart, bwLimits());
         callFunction(in.extra.func, std::move(args));
         flushSkid();
+        // Nested spans carry no site split — their cycles stay accrued to
+        // the enclosing top-level segment's map.
+        pushSpan(tag, static_cast<uint32_t>(ti), curStream_, nStart, pmu_.clock(curStream_),
+                 /*takeSites=*/false);
       }
     } else {
       // Top-level parallel region: round-robin tasks over worker streams.
       uint64_t t0 = pmu_.clock(0);
+      closeSerialSpan(t0);  // the fork ends the main-stream serial segment
       uint32_t w = opts_.numWorkers;
       // Workers spun idle since their last task ended (between regions /
       // during serial sections) — the __sched_yield time of Fig. 4.
@@ -775,6 +848,7 @@ class Interp {
         ++result_.log.raceFallbackRegions;
       for (size_t ti = 0; ti < chunks.size(); ++ti) {
         uint32_t ws = 1 + static_cast<uint32_t>(ti % w);
+        uint64_t chunkStart = workerEnd[ws];
         pmu_.setClock(ws, workerEnd[ws]);
         curStream_ = ws;
         std::vector<Value> args;
@@ -787,6 +861,8 @@ class Interp {
         callFunction(in.extra.func, std::move(args));
         flushSkid();
         workerEnd[ws] = pmu_.clock(ws);
+        pushSpan(tag, static_cast<uint32_t>(ti), ws, chunkStart, workerEnd[ws],
+                 /*takeSites=*/true);
       }
       uint64_t tEnd = t0;
       for (uint32_t ws = 1; ws <= w; ++ws) tEnd = std::max(tEnd, workerEnd[ws]);
@@ -795,6 +871,7 @@ class Interp {
         lastBusyEnd_[ws] = tEnd;
       }
       pmu_.setClock(0, tEnd);
+      serialStart_ = tEnd;  // the join re-opens the main-stream serial segment
     }
 
     stack_.swap(savedStack);
@@ -986,6 +1063,23 @@ class Interp {
   uint64_t curTaskTag_ = 0;
   uint64_t tagCounter_ = 0;
   uint64_t idleSampleCounter_ = 0;
+
+  // Causal what-if state (interp.h: trackCausalSites / causalScale). The
+  // open main-stream serial segment starts at serialStart_; segSites_ accrues
+  // the per-site split of whichever segment is currently executing (only one
+  // segment is ever live at a time — the interpreter runs chunks one by one).
+  bool causalTrack_ = false;
+  bool causalScaleOn_ = false;
+  bool causalActive_ = false;
+  uint32_t causalNum_ = 1;
+  uint32_t causalDen_ = 1;
+  std::unordered_set<uint64_t> causalScaleSites_;
+  uint64_t serialStart_ = 0;
+  /// Dense per-site accumulator for the currently executing segment:
+  /// siteAcc_[siteBase_[fid] + instr] with touched_ listing live slots, so
+  /// each charge is a flat array slot and draining is O(sites touched).
+  std::vector<uint32_t> siteBase_;
+  CausalAccumulator acc_;
 
   // Memoized race-freedom verdicts per task function, queried at each
   // top-level spawn for the raceFallbackRegions counter.

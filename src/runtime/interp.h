@@ -69,6 +69,22 @@ struct RunOptions {
   /// the current locale are charged remote GET/PUT costs.
   uint32_t numLocales = 1;
   uint32_t localeId = 0;
+  /// Record the exact per-site cycle split of every task span (plus the
+  /// per-charge ceil-scaled sums for the causal what-if factor set) in
+  /// RunLog::taskSpans[*].sites. Spans themselves are always recorded; this
+  /// only gates the per-site maps, which cost a hash probe per charge.
+  bool trackCausalSites = false;
+  /// Ground-truth causal oracle: scale every cycle charge whose site is in
+  /// `sites` to ceil(c * den / num) at charge time (num/den = the speedup
+  /// factor k; num == 0 means k = ∞, i.e. the charge becomes 0). Empty
+  /// `sites` disables scaling. The re-run's schedule stays the recorded one
+  /// whenever the program's control flow is cycle-independent (no clock()
+  /// feedback), which makes analysis/causal.h predictions exactly checkable.
+  struct CausalScale {
+    std::vector<uint64_t> sites;  // RunLog::siteKey values
+    uint32_t num = 1;             // speedup numerator (0 = infinite speedup)
+    uint32_t den = 1;             // speedup denominator
+  } causalScale;
 };
 
 struct RunResult {

@@ -16,7 +16,9 @@ namespace cb::sampling {
 // the per-sample (srcLocale, dstLocale) pair after the access kind, and `M`
 // lines carrying the exact src→dst comm matrix; version 4 appends the three
 // bandwidth-ceiling stall counters (mem / net-injection / contention) to the
-// header. Version 1/2/3 files still load, defaulting every newer field.
+// header. Version 6 appends `T` lines carrying the per-task clock spans (in
+// canonical emission order, each with its optional per-site cycle split).
+// Version 1..5 files still load, defaulting every newer field.
 //
 // Decoding for BOTH formats lives in log_stream.cpp: the batch entry points
 // below are compatibility shims over the chunked streaming scanner, so batch
@@ -26,7 +28,7 @@ namespace cb::sampling {
 
 std::string serializeRunLog(const RunLog& log) {
   std::ostringstream out;
-  out << "cblog 5 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
+  out << "cblog 6 " << log.sampleThreshold << " " << log.numStreams << " " << log.totalCycles
       << " " << log.commGets << " " << log.commPuts << " " << log.commOnForks << " "
       << log.commAggGets << " " << log.commAggPuts << " " << log.commAggFlushes << " "
       << log.commMemStallCycles << " " << log.commNetStallCycles << " "
@@ -48,6 +50,15 @@ std::string serializeRunLog(const RunLog& log) {
     out << "A " << key << " " << bytes << "\n";
   for (const auto& [key, count] : log.commMatrix)
     out << "M " << RunLog::pairSrc(key) << " " << RunLog::pairDst(key) << " " << count << "\n";
+  // Task spans keep their canonical emission order — it encodes the
+  // serial/region alternation the causal layer reconstructs.
+  for (const TaskSpan& sp : log.taskSpans) {
+    out << "T " << sp.tag << " " << sp.chunk << " " << sp.stream << " " << sp.startCycle << " "
+        << sp.endCycle << " " << sp.sites.size();
+    for (const SiteCycles& sc : sp.sites)
+      out << " " << sc.site << ":" << sc.raw << ":" << sc.s125 << ":" << sc.s2 << ":" << sc.s4;
+    out << "\n";
+  }
   return out.str();
 }
 
@@ -153,6 +164,32 @@ std::string serializeRunLogBinary(const RunLog& log) {
     putDelta(out, key, prevCell);
     prevCell = key;
     putVarint(out, count);
+  }
+
+  // Version 6: per-task clock spans in canonical emission order. Start
+  // cycles are near-monotonic across spans (zigzag delta); the end is
+  // encoded as the span length; sites are sorted ascending within a span
+  // (plain delta) with the scaled sums stored as savings off `raw` — they
+  // satisfy raw/2 <= s2 <= raw etc., so the differences are small.
+  putVarint(out, log.taskSpans.size());
+  uint64_t prevStart = 0;
+  for (const TaskSpan& sp : log.taskSpans) {
+    putVarint(out, sp.tag);
+    putVarint(out, sp.chunk);
+    putVarint(out, sp.stream);
+    putDelta(out, sp.startCycle, prevStart);
+    prevStart = sp.startCycle;
+    putVarint(out, sp.endCycle - sp.startCycle);
+    putVarint(out, sp.sites.size());
+    uint64_t prevSite = 0;
+    for (const SiteCycles& sc : sp.sites) {
+      putDelta(out, sc.site, prevSite);
+      prevSite = sc.site;
+      putVarint(out, sc.raw);
+      putVarint(out, sc.raw - sc.s125);
+      putVarint(out, sc.raw - sc.s2);
+      putVarint(out, sc.raw - sc.s4);
+    }
   }
   return out;
 }

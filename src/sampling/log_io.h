@@ -35,6 +35,8 @@ enum class RunLogFormat {
 ///   W <tag> <parentTag> <taskFn> <spawnInstr> <n> <func:instr>*
 ///   A <siteKey> <bytes>
 ///   M <srcLocale> <dstLocale> <count>
+///   T <tag> <chunk> <stream> <startCycle> <endCycle> <n>
+///     <site:raw:s125:s2:s4>*                        (version 6 task spans)
 std::string serializeRunLog(const RunLog& log);
 
 /// Serializes a run log in the compact binary format (version-1/2 files
@@ -53,6 +55,10 @@ std::string serializeRunLog(const RunLog& log);
 ///     varint tag - prevTag, parentTag, taskFn, spawnInstr, stack as above
 ///   varint nAllocSites (sorted by key): varint key - prevKey, bytes
 ///   varint nMatrixCells (sorted by pair key): varint key - prevKey, count
+///   varint nTaskSpans (version 6, canonical emission order), per span:
+///     varint tag, chunk, stream, zigzag(start - prevStart), end - start,
+///     varint nSites (sorted by site), per site:
+///       zigzag(site - prevSite), raw, raw - s125, raw - s2, raw - s4
 std::string serializeRunLogBinary(const RunLog& log);
 
 /// Parses a serialized log in EITHER format (auto-detected from the leading

@@ -1,5 +1,7 @@
 #include "sampling/log_stream.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -118,7 +120,7 @@ bool RunLogStreamer::scan(RunLog* meta, const std::function<bool(RawSample&&)>* 
 
 // ---------------------------------------------------------------------------
 // Binary scan — the decoding twin of serializeRunLogBinary (see log_io.h for
-// the wire layout). Version 1/2/3/4 files load with newer fields defaulted.
+// the wire layout). Version 1..5 files load with newer fields defaulted.
 // ---------------------------------------------------------------------------
 
 bool RunLogStreamer::scanBinary(RunLog* meta, const std::function<bool(RawSample&&)>* fn) {
@@ -216,6 +218,38 @@ bool RunLogStreamer::scanBinary(RunLog* meta, const std::function<bool(RawSample
       dst.commMatrix[key] = count;
     }
   }
+
+  if (version >= 6) {
+    uint64_t nSpans;
+    if (!r.varint(nSpans) || nSpans > remaining()) return false;
+    dst.taskSpans.reserve(nSpans);
+    uint64_t prevStart = 0;
+    for (uint64_t i = 0; i < nSpans; ++i) {
+      TaskSpan sp;
+      uint64_t len, nSites;
+      if (!r.varint(sp.tag) || !r.varint32(sp.chunk) || !r.varint32(sp.stream) ||
+          !readDelta(r, sp.startCycle, prevStart) || !r.varint(len) || !r.varint(nSites) ||
+          nSites > remaining())
+        return false;
+      prevStart = sp.startCycle;
+      sp.endCycle = sp.startCycle + len;
+      sp.sites.reserve(nSites);
+      uint64_t prevSite = 0;
+      for (uint64_t k = 0; k < nSites; ++k) {
+        SiteCycles sc;
+        uint64_t d125, d2, d4;
+        if (!readDelta(r, sc.site, prevSite) || !r.varint(sc.raw) || !r.varint(d125) ||
+            !r.varint(d2) || !r.varint(d4) || d125 > sc.raw || d2 > sc.raw || d4 > sc.raw)
+          return false;
+        prevSite = sc.site;
+        sc.s125 = sc.raw - d125;
+        sc.s2 = sc.raw - d2;
+        sc.s4 = sc.raw - d4;
+        sp.sites.push_back(sc);
+      }
+      dst.taskSpans.push_back(std::move(sp));
+    }
+  }
   return r.atEnd();  // trailing garbage is a format error
 }
 
@@ -236,7 +270,7 @@ bool RunLogStreamer::scanText(RunLog* meta, const std::function<bool(RawSample&&
     std::string magic;
     if (!(h >> magic >> version >> dst.sampleThreshold >> dst.numStreams >> dst.totalCycles))
       return false;
-    if (magic != "cblog" || version < 1 || version > 5) return false;
+    if (magic != "cblog" || version < 1 || version > 6) return false;
     if (version >= 2 && !(h >> dst.commGets >> dst.commPuts >> dst.commOnForks)) return false;
     if (version >= 3 && !(h >> dst.commAggGets >> dst.commAggPuts >> dst.commAggFlushes))
       return false;
@@ -286,6 +320,24 @@ bool RunLogStreamer::scanText(RunLog* meta, const std::function<bool(RawSample&&
       uint64_t count = 0;
       if (!(in >> src >> dstLoc >> count)) return false;
       dst.commMatrix[RunLog::pairKey(src, dstLoc)] = count;
+    } else if (kind == 'T' && version >= 6) {
+      TaskSpan sp;
+      size_t n = 0;
+      if (!(in >> sp.tag >> sp.chunk >> sp.stream >> sp.startCycle >> sp.endCycle >> n) ||
+          sp.endCycle < sp.startCycle)
+        return false;
+      sp.sites.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::string tok;
+        if (!(in >> tok)) return false;
+        SiteCycles sc;
+        // site:raw:s125:s2:s4 — five colon-separated decimal fields.
+        if (std::sscanf(tok.c_str(), "%" SCNu64 ":%" SCNu64 ":%" SCNu64 ":%" SCNu64 ":%" SCNu64,
+                        &sc.site, &sc.raw, &sc.s125, &sc.s2, &sc.s4) != 5)
+          return false;
+        sp.sites.push_back(sc);
+      }
+      dst.taskSpans.push_back(std::move(sp));
     } else {
       return false;
     }

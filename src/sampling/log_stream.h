@@ -29,7 +29,7 @@ namespace cb::sampling {
 
 /// Binary format magic + current version (shared with the serializer).
 inline constexpr char kRunLogBinaryMagic[4] = {'\x89', 'C', 'B', 'L'};
-inline constexpr uint8_t kRunLogBinaryVersion = 5;
+inline constexpr uint8_t kRunLogBinaryVersion = 6;
 
 class RunLogStreamer {
  public:

@@ -47,6 +47,7 @@ bool identical(const RunLog& a, const RunLog& b) {
     auto it = b.allocBytesBySite.find(site);
     if (it == b.allocBytesBySite.end() || it->second != bytes) return false;
   }
+  if (a.taskSpans != b.taskSpans) return false;
   return true;
 }
 
@@ -101,7 +102,19 @@ std::string firstDifference(const RunLog& a, const RunLog& b) {
     else if (a.allocBytesBySite.size() != b.allocBytesBySite.size())
       os << "alloc-site count " << a.allocBytesBySite.size() << " vs "
          << b.allocBytesBySite.size();
-    else if (!identical(a, b))
+    else if (a.taskSpans.size() != b.taskSpans.size())
+      os << "task-span count " << a.taskSpans.size() << " vs " << b.taskSpans.size();
+    else if (a.taskSpans != b.taskSpans) {
+      for (size_t i = 0; i < a.taskSpans.size(); ++i) {
+        if (a.taskSpans[i] == b.taskSpans[i]) continue;
+        const TaskSpan &x = a.taskSpans[i], &y = b.taskSpans[i];
+        os << "task span " << i << ": tag " << x.tag << "/" << y.tag << " chunk " << x.chunk
+           << "/" << y.chunk << " stream " << x.stream << "/" << y.stream << " ["
+           << x.startCycle << "," << x.endCycle << ")/[" << y.startCycle << "," << y.endCycle
+           << ") sites " << x.sites.size() << "/" << y.sites.size();
+        break;
+      }
+    } else if (!identical(a, b))
       os << "spawn/alloc content differs";
   }
   return os.str();

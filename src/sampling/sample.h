@@ -69,6 +69,49 @@ struct SpawnRecord {
   std::vector<Frame> preSpawnStack;    // outermost first; leaf is the spawn site
 };
 
+/// Exact cycles charged at one code site (RunLog::siteKey of the charging
+/// instruction) within one task span, together with the per-charge
+/// ceil-scaled sums for the fixed causal what-if factor set. `s2` is
+/// Σ ceil(c/2) over every individual charge at the site, NOT ceil(raw/2) —
+/// the ground-truth oracle re-runs the program with each charge scaled by
+/// ceil(c·den/num) at charge time, so exact virtual-speedup prediction needs
+/// the same per-charge rounding (see analysis/causal.h). k = ∞ scales every
+/// charge to 0, so its sum needs no field.
+struct SiteCycles {
+  uint64_t site = 0;   // RunLog::siteKey(func, instr)
+  uint64_t raw = 0;    // exact cycles charged at this site in this span
+  uint64_t s125 = 0;   // Σ ceil(4c/5)  — k = 1.25
+  uint64_t s2 = 0;     // Σ ceil(c/2)   — k = 2
+  uint64_t s4 = 0;     // Σ ceil(c/4)   — k = 4
+
+  friend bool operator==(const SiteCycles&, const SiteCycles&) = default;
+};
+
+/// One contiguous execution segment on one stream's continuous virtual
+/// clock, the raw material for spawn-tree critical-path reconstruction
+/// (analysis/causal.h). tag == 0 marks a main-thread serial segment between
+/// top-level parallel regions; otherwise `tag` names the SpawnRecord whose
+/// chunk `chunk` (the task ordinal ti) this span executed. Segments are
+/// emitted in canonical order — serial segment at the fork, then chunk
+/// spans in ti order with any nested-task spans of chunk ti directly before
+/// chunk ti's own span — identically by both engines and every replay
+/// width. `sites` (populated only under RunOptions::trackCausalSites) holds
+/// the exact per-site cycle split of the span, sorted by site; nested-task
+/// spans carry no sites — their cycles accrue to the enclosing top-level
+/// chunk.
+struct TaskSpan {
+  uint64_t tag = 0;
+  uint32_t chunk = 0;
+  uint32_t stream = 0;
+  uint64_t startCycle = 0;
+  uint64_t endCycle = 0;
+  std::vector<SiteCycles> sites;
+
+  uint64_t duration() const { return endCycle - startCycle; }
+
+  friend bool operator==(const TaskSpan&, const TaskSpan&) = default;
+};
+
 /// Everything a monitored run produces.
 struct RunLog {
   std::vector<RawSample> samples;
@@ -129,6 +172,14 @@ struct RunLog {
   static uint64_t siteKey(ir::FuncId f, ir::InstrId i) {
     return (static_cast<uint64_t>(f) << 32) | i;
   }
+
+  /// Per-task clock spans in canonical emission order (log format v6; empty
+  /// when loading older logs). Serial segments and top-level chunk spans
+  /// tile [0, totalCycles]: each serial segment runs on stream 0, each
+  /// top-level region spans [fork, join] with its chunks chained
+  /// back-to-back per worker stream, and nested-task spans lie inside their
+  /// enclosing chunk. Zero-length serial segments are elided.
+  std::vector<TaskSpan> taskSpans;
 
   size_t numIdleSamples() const {
     size_t n = 0;

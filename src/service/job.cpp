@@ -20,6 +20,12 @@ std::string usageText() {
       "                        predicted comm splits, findings, race verdicts\n"
       "  --with-run            with --lint: also profile the program so the\n"
       "                        static-vs-dynamic differential is reported\n"
+      "  --diagnose            causal what-if profile + rule-based diagnosis:\n"
+      "                        critical path, per-variable virtual speedups, and\n"
+      "                        ranked findings (models 4 locales unless --locales;\n"
+      "                        works with --from-log to diagnose a saved log)\n"
+      "  --diagnose-baseline F compare the diagnose metric block against a saved\n"
+      "                        report F; exit 4 when a metric regressed >10%\n"
       "  --fast                compile with the --fast pipeline\n"
       "  --threshold N         PMU overflow threshold (virtual cycles)\n"
       "  --workers N           worker streams (default 12)\n"
@@ -66,6 +72,8 @@ JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ct
   bool showTime = false;
   bool lintMode = false;
   bool lintWithRun = false;
+  bool diagnoseMode = false;
+  std::string diagnoseBaselinePath;
   uint32_t numLocales = 1;
   bool localesSet = false;
   std::string saveLogPath;
@@ -90,6 +98,11 @@ JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ct
       lintMode = true;
     } else if (arg == "--with-run") {
       lintWithRun = true;
+    } else if (arg == "--diagnose") {
+      diagnoseMode = true;
+    } else if (arg == "--diagnose-baseline") {
+      diagnoseMode = true;
+      diagnoseBaselinePath = next();
     } else if (arg == "--fast") {
       profiler.options().compile.fast = true;
       profiler.options().run.fastCostProfile = true;
@@ -185,7 +198,16 @@ JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ct
     return finish(0);
   }
 
-  if (numLocales > 1) {
+  if (diagnoseMode) {
+    // Diagnose runs the full pipeline with per-site span tracking on and —
+    // like --lint — models 4 locales by default so distribution effects are
+    // measurable in one run (which models locale 0; --locales overrides the
+    // count but still runs a single diagnosed locale).
+    profiler.options().run.trackCausalSites = true;
+    profiler.options().run.numLocales = localesSet ? numLocales : 4;
+  }
+
+  if (numLocales > 1 && !diagnoseMode) {
     MultiLocaleResult ml = profileMultiLocale(path, numLocales, profiler.options());
     if (!ml.ok) {
       // Partial profiles (some locales failed) still print their aggregate;
@@ -235,7 +257,15 @@ JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ct
     }
   }
 
-  if (!fromLogPath.empty()) {
+  if (!fromLogPath.empty() && diagnoseMode) {
+    // Causal diagnosis needs the full log (task spans + per-site splits),
+    // so this path materializes it instead of streaming.
+    sampling::RunLog log;
+    if (!sampling::loadRunLog(fromLogPath, log))
+      return fail("cannot load run log '" + fromLogPath + "' (missing or malformed)");
+    profiler.attachRunLog(std::move(log));
+    if (!profiler.postProcess()) return fail(profiler.lastError());
+  } else if (!fromLogPath.empty()) {
     // Streaming ingestion: attribute an existing run log chunk-by-chunk
     // without materializing its samples. Only report-shaped views are
     // available (code-centric views need the full instance vector).
@@ -266,10 +296,32 @@ JobResult runJobInner(const std::vector<std::string>& args, const JobContext& ct
     return finish(0);
   }
 
-  if (!profiler.run() || !profiler.postProcess()) return fail(profiler.lastError());
+  if (fromLogPath.empty() && (!profiler.run() || !profiler.postProcess()))
+    return fail(profiler.lastError());
   if (!saveLogPath.empty() && !sampling::saveRunLog(profiler.runResult()->log, saveLogPath)) {
     err << "error: cannot write " << saveLogPath << "\n";
     return finish(1);
+  }
+
+  if (diagnoseMode) {
+    std::string text = profiler.diagnoseText();
+    out << text;
+    if (!diagnoseBaselinePath.empty()) {
+      std::ifstream bf(diagnoseBaselinePath, std::ios::binary);
+      if (!bf) return fail("cannot read baseline '" + diagnoseBaselinePath + "'");
+      std::ostringstream bs;
+      bs << bf.rdbuf();
+      std::vector<an::diag::Regression> regs = an::diag::compareBaselineText(bs.str(), text);
+      if (regs.empty()) {
+        out << "baseline: no regressions vs " << diagnoseBaselinePath << "\n";
+      } else {
+        out << "baseline regressions vs " << diagnoseBaselinePath << " (" << regs.size()
+            << "):\n";
+        for (const an::diag::Regression& r : regs) out << "  [regression] " << r.message << "\n";
+        return finish(4);
+      }
+    }
+    return finish(0);
   }
   if (!htmlPath.empty() && !rpt::writeHtmlReport(htmlPath, program, *profiler.blameReport(),
                                                  *profiler.codeReport())) {

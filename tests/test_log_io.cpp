@@ -477,7 +477,7 @@ TEST(LogIoCompat, Version2TextStillLoads) {
   EXPECT_EQ(log.samples[0].dstLocale, 0);
   EXPECT_EQ(log.samples[1].accessKind, sampling::AccessKind::Local);
   // A version from the future is rejected, not misparsed.
-  EXPECT_FALSE(sampling::deserializeRunLog("cblog 6 1 1 1 1 1 1 1 1 1 1 1 1 1\n", log));
+  EXPECT_FALSE(sampling::deserializeRunLog("cblog 7 1 1 1 1 1 1 1 1 1 1 1 1 1\n", log));
 }
 
 TEST(LogIoCompat, Version3TextStillLoads) {
